@@ -1,0 +1,73 @@
+"""Experiment abl-depth — QAOA depth sweep.
+
+The paper fixes p for its dataset; this ablation quantifies what depth
+buys: labeling quality (achievable AR) rises with p while the quantum
+resource cost (2-qubit gates) rises linearly — the tradeoff motivating
+warm starts in the first place.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_rows
+from repro.graphs.generators import random_regular_graph
+from repro.qaoa.ansatz import qaoa_resource_counts
+from repro.qaoa.optimizers import AdamOptimizer
+from repro.qaoa.simulator import QAOASimulator
+from repro.maxcut.problem import MaxCutProblem
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR, write_artifact
+from repro.analysis.figures import export_csv
+
+
+def test_ablation_depth(benchmark):
+    graphs = [
+        random_regular_graph(10, 3, rng=BENCH_SEED + i) for i in range(6)
+    ]
+
+    def sweep():
+        rows = []
+        rng = np.random.default_rng(BENCH_SEED)
+        for p in (1, 2, 3):
+            ratios = []
+            for graph in graphs:
+                simulator = QAOASimulator(graph)
+                best = -np.inf
+                for _ in range(2):  # restarts
+                    result = AdamOptimizer().run(
+                        simulator,
+                        rng.uniform(0.2, 1.0, p),
+                        rng.uniform(0.1, 0.6, p),
+                        max_iters=120,
+                    )
+                    best = max(best, result.expectation)
+                ratios.append(
+                    best / MaxCutProblem(graph).max_cut_value()
+                )
+            resources = qaoa_resource_counts(graphs[0], p)
+            rows.append(
+                {
+                    "p": p,
+                    "mean_ar": float(np.mean(ratios)),
+                    "min_ar": float(np.min(ratios)),
+                    "cnot_equivalent": resources["cnot_equivalent"],
+                    "depth": resources["depth"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_rows(
+        rows,
+        ["p", "mean_ar", "min_ar", "cnot_equivalent", "depth"],
+        title="Ablation: QAOA depth vs achievable AR and circuit cost",
+    )
+    write_artifact("ablation_depth", text)
+    export_csv(rows, RESULTS_DIR / "ablation_depth.csv")
+
+    # shape: AR grows (weakly) with p; cost grows linearly with p
+    ars = [row["mean_ar"] for row in rows]
+    assert ars[1] >= ars[0] - 0.01
+    assert ars[2] >= ars[1] - 0.01
+    cnots = [row["cnot_equivalent"] for row in rows]
+    assert cnots == sorted(cnots)
+    assert cnots[2] == 3 * cnots[0]

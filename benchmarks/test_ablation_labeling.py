@@ -1,0 +1,94 @@
+"""Experiment abl-label — labeling strategy quality (§3.1/§3.3 upgrade).
+
+The paper's labels come from a single random-init optimization; §3.3 is
+devoted to repairing the resulting low-quality tail. This bench compares
+three labeling strategies on the same graphs:
+
+- single random start (the paper's method),
+- multi-restart best-of-3,
+- grid-seeded polish (the landscape-analysis global optimizer),
+
+reporting mean/min label AR and the fraction below the paper's 0.7
+pruning threshold. Expected shape: restarts and grid-seeding
+progressively eliminate the low-AR tail — quantifying exactly how much
+of the paper's data-quality problem is a labeling artifact.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_rows
+from repro.data.generation import label_graph, sample_graphs, GenerationConfig
+from repro.qaoa.landscape import global_optimum_p1
+from repro.qaoa.simulator import QAOASimulator
+from repro.maxcut.problem import MaxCutProblem
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR, write_artifact
+from repro.analysis.figures import export_csv
+
+
+def test_ablation_labeling_strategies(benchmark):
+    graphs = sample_graphs(
+        GenerationConfig(
+            num_graphs=40, min_nodes=5, max_nodes=12, seed=BENCH_SEED + 1
+        )
+    )
+
+    def sweep():
+        rows = []
+        single = [
+            label_graph(g, optimizer_iters=25, rng=BENCH_SEED + i)
+            .approximation_ratio
+            for i, g in enumerate(graphs)
+        ]
+        multi = [
+            label_graph(
+                g, optimizer_iters=25, restarts=3, rng=BENCH_SEED + i
+            ).approximation_ratio
+            for i, g in enumerate(graphs)
+        ]
+        seeded = []
+        for g in graphs:
+            problem = MaxCutProblem(g)
+            _, _, value = global_optimum_p1(
+                QAOASimulator(problem), polish_iters=25
+            )
+            seeded.append(problem.approximation_ratio(value))
+        for name, ratios in (
+            ("single_random (paper)", single),
+            ("best_of_3_restarts", multi),
+            ("grid_seeded_polish", seeded),
+        ):
+            arr = np.asarray(ratios)
+            rows.append(
+                {
+                    "strategy": name,
+                    "mean_ar": float(arr.mean()),
+                    "min_ar": float(arr.min()),
+                    "below_0.7": float((arr < 0.7).mean()),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_rows(
+        rows,
+        ["strategy", "mean_ar", "min_ar", "below_0.7"],
+        title="Ablation: labeling strategy vs label quality (25-iter budget)",
+    )
+    write_artifact("ablation_labeling", text)
+    export_csv(rows, RESULTS_DIR / "ablation_labeling.csv")
+
+    by_name = {row["strategy"]: row for row in rows}
+    # restarts never hurt; grid seeding is the strongest
+    assert (
+        by_name["best_of_3_restarts"]["mean_ar"]
+        >= by_name["single_random (paper)"]["mean_ar"] - 1e-9
+    )
+    assert (
+        by_name["grid_seeded_polish"]["mean_ar"]
+        >= by_name["best_of_3_restarts"]["mean_ar"] - 0.02
+    )
+    assert (
+        by_name["grid_seeded_polish"]["below_0.7"]
+        <= by_name["single_random (paper)"]["below_0.7"] + 1e-9
+    )

@@ -1,0 +1,83 @@
+"""Experiment abl-weighted — weighted graphs (§7 limitation).
+
+The paper: "existing models are primarily designed for unweighted
+graphs, leading to inconsistent performance on weighted graphs". This
+bench reproduces that *negative* result faithfully: run the identical
+pipeline on weighted regular graphs (uniform weights on the same
+topologies) and compare the warm-start improvement against the
+unweighted pipeline at the same scale.
+
+Expected shape: the weighted improvement is smaller and/or noisier —
+weighted labels have no canonical angle domain (no periodicity), so the
+regression target is far less concentrated.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_rows
+from repro.data.generation import GenerationConfig, generate_dataset
+from repro.data.splits import stratified_split
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.pipeline.evaluation import WarmStartEvaluator
+from repro.pipeline.training import Trainer, TrainingConfig
+
+from benchmarks.conftest import (
+    BENCH_EVAL_ITERS,
+    BENCH_SEED,
+    RESULTS_DIR,
+    write_artifact,
+)
+from repro.analysis.figures import export_csv
+
+
+def _pipeline(weighted: bool):
+    config = GenerationConfig(
+        num_graphs=70,
+        min_nodes=4,
+        max_nodes=10,
+        optimizer_iters=80,
+        weighted=weighted,
+        seed=BENCH_SEED + 7,
+    )
+    dataset = generate_dataset(config)
+    train_set, test_set = stratified_split(dataset, 15, rng=BENCH_SEED)
+    model = QAOAParameterPredictor(arch="gin", p=1, rng=BENCH_SEED)
+    Trainer(model, TrainingConfig(epochs=40, seed=BENCH_SEED)).fit(train_set)
+    model.eval()
+    evaluator = WarmStartEvaluator(
+        p=1, optimizer_iters=BENCH_EVAL_ITERS, rng=BENCH_SEED
+    )
+    result = evaluator.evaluate_model(test_set.graphs(), model)
+    return {
+        "setting": "weighted" if weighted else "unweighted",
+        "mean_label_ar": float(dataset.approximation_ratios().mean()),
+        "improvement_pp": result.mean_improvement,
+        "std_pp": result.std_improvement,
+        "win_rate": result.win_rate(),
+    }
+
+
+def test_ablation_weighted(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_pipeline(False), _pipeline(True)], rounds=1, iterations=1
+    )
+    text = format_rows(
+        rows,
+        ["setting", "mean_label_ar", "improvement_pp", "std_pp", "win_rate"],
+        title=(
+            "Ablation: unweighted vs weighted graphs "
+            "(paper §7: weighted is the hard case)"
+        ),
+    )
+    write_artifact("ablation_weighted", text)
+    export_csv(rows, RESULTS_DIR / "ablation_weighted.csv")
+
+    by_setting = {row["setting"]: row for row in rows}
+    # the pipeline runs end to end on weighted graphs ...
+    assert by_setting["weighted"]["win_rate"] >= 0.0
+    # ... and the unweighted case is at least as easy (paper's claim),
+    # with slack for evaluation noise
+    assert (
+        by_setting["unweighted"]["improvement_pp"]
+        >= by_setting["weighted"]["improvement_pp"] - 3.0
+    )

@@ -1,0 +1,87 @@
+"""Performance benchmarks of the core kernels.
+
+Not a paper artifact — these quantify the substrate costs that make the
+full pipeline feasible: QAOA expectation/gradient evaluation at the
+paper's largest size (15 qubits) and GNN forward/backward at batch
+scale. Useful for regression-testing the kernels.
+"""
+
+import numpy as np
+
+from repro.gnn.batching import GraphBatch
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.generators import random_regular_graph
+from repro.nn.losses import mse_loss
+from repro.nn.tensor import Tensor
+from repro.qaoa.simulator import QAOASimulator
+
+from benchmarks.conftest import BENCH_SEED
+
+
+def test_perf_expectation_15_qubits(benchmark):
+    graph = random_regular_graph(15, 4, rng=BENCH_SEED)
+    simulator = QAOASimulator(graph)
+    gammas = np.array([0.5, 0.8])
+    betas = np.array([0.3, 0.2])
+    value = benchmark(simulator.expectation, gammas, betas)
+    assert 0.0 < value < graph.num_edges
+
+
+def test_perf_gradient_15_qubits(benchmark):
+    graph = random_regular_graph(15, 4, rng=BENCH_SEED)
+    simulator = QAOASimulator(graph)
+    gammas = np.array([0.5, 0.8])
+    betas = np.array([0.3, 0.2])
+    energy, grad_gamma, grad_beta = benchmark(
+        simulator.expectation_and_gradient, gammas, betas
+    )
+    assert grad_gamma.shape == (2,)
+
+
+def test_perf_brute_force_15_nodes(benchmark):
+    from repro.maxcut.bruteforce import brute_force_maxcut
+
+    graph = random_regular_graph(15, 4, rng=BENCH_SEED)
+    solution = benchmark(brute_force_maxcut, graph)
+    assert solution.optimal
+
+
+def test_perf_gnn_forward_batch(benchmark):
+    graphs = [
+        random_regular_graph(10, 3, rng=BENCH_SEED + i) for i in range(32)
+    ]
+    model = QAOAParameterPredictor(arch="gin", p=1, rng=BENCH_SEED)
+    model.eval()
+    batch = GraphBatch.from_graphs(graphs)
+
+    from repro.nn.tensor import no_grad
+
+    def forward():
+        with no_grad():
+            return model(batch)
+
+    output = benchmark(forward)
+    assert output.shape == (32, 2)
+
+
+def test_perf_gnn_train_step(benchmark):
+    graphs = [
+        random_regular_graph(10, 3, rng=BENCH_SEED + i) for i in range(32)
+    ]
+    model = QAOAParameterPredictor(arch="gin", p=1, rng=BENCH_SEED)
+    batch = GraphBatch.from_graphs(graphs)
+    targets = Tensor(np.tile([0.6, 0.3], (32, 1)))
+
+    from repro.nn.optim import Adam
+
+    optimizer = Adam(model.parameters(), 1e-3)
+
+    def step():
+        optimizer.zero_grad()
+        loss = mse_loss(model(batch), targets)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

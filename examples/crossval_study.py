@@ -1,0 +1,60 @@
+"""Cross-validated architecture comparison with split error bars.
+
+The paper's Table 1 comes from one train/test split. At small dataset
+scales a lucky split can flip the GAT/GCN/GIN/GraphSAGE ranking, so
+this example reruns the comparison with k-fold cross-validation and
+reports per-fold spread — the honest version of Table 1.
+
+Run:  python examples/crossval_study.py
+"""
+
+from repro.data.generation import GenerationConfig, generate_dataset
+from repro.data.pruning import selective_data_pruning
+from repro.pipeline.crossval import cross_validate_architectures
+from repro.pipeline.training import TrainingConfig
+
+
+def main() -> None:
+    print("labeling 80 graphs ...")
+    dataset = generate_dataset(
+        GenerationConfig(
+            num_graphs=80, min_nodes=4, max_nodes=10, optimizer_iters=60,
+            seed=21,
+        )
+    )
+    dataset, _ = selective_data_pruning(
+        dataset, threshold=0.7, selective_rate=0.7, rng=1
+    )
+
+    print("running 3-fold cross-validation over four architectures ...")
+    results = cross_validate_architectures(
+        dataset,
+        architectures=("gat", "gcn", "gin", "sage"),
+        folds=3,
+        training=TrainingConfig(epochs=40),
+        eval_optimizer_iters=15,
+        rng=5,
+    )
+
+    header = (
+        f"{'arch':<6} {'mean impr (pp)':>15} {'fold std':>9} "
+        f"{'per-fold':>28}"
+    )
+    print()
+    print(header)
+    print("-" * len(header))
+    for arch, result in results.items():
+        folds = ", ".join(f"{v:+.2f}" for v in result.fold_improvements)
+        print(
+            f"{arch:<6} {result.mean_improvement:>+15.2f} "
+            f"{result.std_improvement:>9.2f} {folds:>28}"
+        )
+    print(
+        "\nfold-to-fold spread on the order of the architecture gaps "
+        "explains why the paper's\nGAT/GCN/GIN ranking should be read "
+        "as 'all comparable' (its own Section 7 says so)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Data-quality study: Figures 2-4 and Selective Data Pruning (Sec 3.3).
+
+Generates a labeled dataset, renders its degree/size distributions
+(Figure 2) and approximation-ratio intervals by size and degree
+(Figures 3 and 4), then demonstrates what selective data pruning does
+to label quality at several selective rates.
+
+Run:  python examples/data_quality_study.py
+"""
+
+from repro.analysis.figures import render_histogram, render_intervals
+from repro.data.generation import GenerationConfig, generate_dataset
+from repro.data.pruning import selective_data_pruning
+from repro.data.stats import (
+    ar_by_degree,
+    ar_by_size,
+    degree_frequency,
+    low_quality_fraction,
+    size_frequency,
+)
+
+
+def main() -> None:
+    # A deliberately weak labeling budget (15 iterations) reproduces the
+    # paper's observation: single random-init optimization often stalls
+    # far from the optimum, leaving a low-AR tail in the dataset. (The
+    # paper's 500 gradient-free iterations behave like few exact-gradient
+    # Adam steps.)
+    print("labeling 120 graphs (weak single random-init optimization) ...")
+    dataset = generate_dataset(
+        GenerationConfig(
+            num_graphs=120, min_nodes=4, max_nodes=12, optimizer_iters=15,
+            seed=17,
+        )
+    )
+    graphs = dataset.graphs()
+
+    print()
+    print(render_histogram(degree_frequency(graphs), "Figure 2(a): degrees"))
+    print()
+    print(render_histogram(size_frequency(graphs), "Figure 2(b): sizes"))
+    print()
+    print(render_intervals(ar_by_size(dataset), "Figure 3: AR by size"))
+    print()
+    print(render_intervals(ar_by_degree(dataset), "Figure 4: AR by degree"))
+
+    fraction = low_quality_fraction(dataset, threshold=0.7)
+    print(f"\nfraction of labels below AR 0.7: {fraction:.1%}")
+
+    print("\nSelective Data Pruning (threshold 0.7):")
+    header = f"{'rate':>6} {'kept':>6} {'rescued':>8} {'mean AR':>8}"
+    print(header)
+    print("-" * len(header))
+    for rate in (0.0, 0.3, 0.5, 0.7, 1.0):
+        _, report = selective_data_pruning(
+            dataset, threshold=0.7, selective_rate=rate, rng=5
+        )
+        print(
+            f"{rate:>6.1f} {report.kept:>6d} {report.rescued:>8d} "
+            f"{report.mean_ar_after:>8.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Fixed-angle conjecture demo (Wurtz & Lykov; paper Section 3.3).
+
+Shows that one universal (gamma, beta) pair per degree gives
+near-optimal p=1 QAOA performance on *any* regular graph of that degree
+— no per-instance optimization — and compares three initializations on
+fresh instances: random, fixed-angle, and fully optimized.
+
+Run:  python examples/fixed_angles_demo.py
+"""
+
+import numpy as np
+
+from repro.graphs.generators import random_regular_graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.fixed_angles import lookup_fixed_angles
+from repro.qaoa.optimizers import AdamOptimizer
+from repro.qaoa.simulator import QAOASimulator
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    header = (
+        f"{'degree':>6} {'gamma*':>8} {'beta*':>8} "
+        f"{'random AR':>10} {'fixed AR':>9} {'optimized':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for degree in (3, 4, 5, 6, 7, 8):
+        entry = lookup_fixed_angles(degree, p=1)
+        num_nodes = 12 if (12 * degree) % 2 == 0 else 13
+        graph = random_regular_graph(num_nodes, degree, rng=int(rng.integers(1e6)))
+        problem = MaxCutProblem(graph)
+        simulator = QAOASimulator(problem)
+
+        random_ars = [
+            problem.approximation_ratio(
+                simulator.expectation(
+                    rng.uniform(0, 2 * np.pi, 1), rng.uniform(0, np.pi, 1)
+                )
+            )
+            for _ in range(10)
+        ]
+        fixed_ar = problem.approximation_ratio(
+            simulator.expectation(
+                np.asarray(entry.gammas), np.asarray(entry.betas)
+            )
+        )
+        optimized = AdamOptimizer().run(
+            simulator,
+            np.asarray(entry.gammas),
+            np.asarray(entry.betas),
+            max_iters=150,
+        )
+        optimized_ar = problem.approximation_ratio(optimized.expectation)
+        print(
+            f"{degree:>6d} {entry.gammas[0]:>8.4f} {entry.betas[0]:>8.4f} "
+            f"{np.mean(random_ars):>10.3f} {fixed_ar:>9.3f} "
+            f"{optimized_ar:>10.3f}"
+        )
+
+    print(
+        "\nfixed angles recover most of the fully-optimized ratio with "
+        "zero quantum-side optimization;\nper the paper, tables cover "
+        "degrees 3-11 only (~6% of the full dataset)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""QAOA beyond Max-Cut: Ising and QUBO problems.
+
+Related work notes the warm-start approach "can also be applied to
+other ... optimization problems". The library's QAOA simulator only
+needs a diagonal cost, so this example runs the identical machinery on:
+
+1. a random QUBO (converted exactly to Ising form),
+2. a transverse-field-free Ising instance with local fields,
+3. Max-Cut expressed as Ising (cross-checking the conversion).
+
+Run:  python examples/ising_qubo.py
+"""
+
+import numpy as np
+
+from repro.graphs.generators import random_regular_graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.hamiltonians import (
+    DiagonalProblem,
+    IsingModel,
+    QUBO,
+    maxcut_to_ising,
+)
+from repro.qaoa.optimizers import AdamOptimizer
+from repro.qaoa.simulator import QAOASimulator
+
+
+def solve(problem, label, p=2, iters=120, seed=0):
+    simulator = QAOASimulator(problem)
+    rng = np.random.default_rng(seed)
+    best = None
+    for _ in range(3):
+        result = AdamOptimizer().run(
+            simulator,
+            rng.uniform(0.1, 1.0, p),
+            rng.uniform(0.1, 0.6, p),
+            max_iters=iters,
+        )
+        if best is None or result.expectation > best.expectation:
+            best = result
+    optimum = problem.optimum()
+    ratio = problem.approximation_ratio(best.expectation)
+    print(
+        f"{label:<28} optimum {optimum.value:>8.3f}  "
+        f"QAOA <C> {best.expectation:>8.3f}  normalized ratio {ratio:.3f}"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. random QUBO
+    qubo = QUBO.from_matrix(rng.normal(size=(8, 8)))
+    solve(DiagonalProblem.from_qubo(qubo), "random QUBO (8 vars)")
+    ising_from_qubo = qubo.to_ising()
+    assert np.allclose(qubo.diagonal(), ising_from_qubo.diagonal())
+    print("  (QUBO -> Ising conversion verified exactly)")
+
+    # 2. Ising with local fields
+    fields = rng.normal(scale=0.5, size=8)
+    couplings = tuple(
+        (i, j, float(rng.normal()))
+        for i in range(8)
+        for j in range(i + 1, 8)
+        if rng.random() < 0.4
+    )
+    ising = IsingModel(8, tuple(float(h) for h in fields), couplings)
+    solve(DiagonalProblem.from_ising(ising), "random-field Ising (8 spins)")
+
+    # 3. Max-Cut as Ising, cross-checked against the native path
+    graph = random_regular_graph(8, 3, rng=1)
+    native = MaxCutProblem(graph)
+    as_ising = DiagonalProblem.from_ising(maxcut_to_ising(graph))
+    simulator_native = QAOASimulator(native)
+    simulator_ising = QAOASimulator(as_ising)
+    angles = (np.array([0.5, 0.8]), np.array([0.3, 0.2]))
+    native_value = simulator_native.expectation(*angles)
+    ising_value = simulator_ising.expectation(*angles)
+    print(
+        f"Max-Cut vs Ising encoding: <C> = {native_value:.6f} "
+        f"== {ising_value:.6f} (identical)"
+    )
+    solve(native, "Max-Cut (native, cubic n=8)")
+
+
+if __name__ == "__main__":
+    main()

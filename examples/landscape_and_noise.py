@@ -1,0 +1,100 @@
+"""Landscape multimodality and NISQ noise — why warm starts matter.
+
+Two diagnostics behind the paper's story:
+
+1. **Landscape**: grid the p=1 (gamma, beta) expectation surface of a
+   dense instance, count its local maxima, and show that a random start
+   frequently converges to an inferior mode — the root cause of the
+   paper's data-quality problem (Section 3.3).
+2. **Noise**: evaluate the same warm start under increasing
+   depolarizing noise, showing the advantage is in the *starting
+   point* and survives realistic error rates (the paper's Section 7
+   robustness question).
+
+Run:  python examples/landscape_and_noise.py
+"""
+
+import numpy as np
+
+from repro.graphs.generators import random_regular_graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.landscape import find_local_maxima, global_optimum_p1, grid_landscape
+from repro.qaoa.optimizers import AdamOptimizer
+from repro.qaoa.simulator import QAOASimulator
+from repro.quantum.noise import NoiseSpec, NoisyQAOASimulator
+
+
+def ascii_heatmap(grid, width_chars=" .:-=+*#%@"):
+    lo, hi = grid.values.min(), grid.values.max()
+    rows = []
+    for i in range(grid.values.shape[0]):
+        row = ""
+        for j in range(grid.values.shape[1]):
+            level = (grid.values[i, j] - lo) / (hi - lo + 1e-12)
+            row += width_chars[int(level * (len(width_chars) - 1))]
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    graph = random_regular_graph(10, 5, rng=3, name="dense10")
+    problem = MaxCutProblem(graph)
+    simulator = QAOASimulator(problem)
+
+    # --- 1. landscape ---
+    grid = grid_landscape(
+        simulator,
+        gamma_points=36,
+        beta_points=48,
+        gamma_range=(0.0, 2 * np.pi),
+        beta_range=(0.0, np.pi / 2),
+    )
+    maxima = find_local_maxima(grid)
+    print(f"p=1 landscape of {graph.name} (gamma down, beta across):")
+    print(ascii_heatmap(grid))
+    print(f"\ninterior local maxima found: {len(maxima)}")
+    top = maxima[0]
+    print(
+        f"best mode: gamma={top['gamma']:.3f} beta={top['beta']:.3f} "
+        f"AR={problem.approximation_ratio(top['value']):.3f}"
+    )
+
+    # random starts: where do they land?
+    rng = np.random.default_rng(0)
+    finals = []
+    for _ in range(20):
+        result = AdamOptimizer().run(
+            simulator,
+            rng.uniform(0, 2 * np.pi, 1),
+            rng.uniform(0, np.pi / 2, 1),
+            max_iters=60,
+        )
+        finals.append(problem.approximation_ratio(result.expectation))
+    finals = np.asarray(finals)
+    gammas, betas, best_value = global_optimum_p1(simulator)
+    best_ratio = problem.approximation_ratio(best_value)
+    print(
+        f"20 random starts: AR {finals.min():.3f}-{finals.max():.3f} "
+        f"(mean {finals.mean():.3f}); global optimum {best_ratio:.3f}"
+    )
+    stuck = (finals < best_ratio - 0.02).mean()
+    print(f"fraction of random starts stuck below the best mode: {stuck:.0%}")
+
+    # --- 2. noise ---
+    print("\nwarm start (global-optimum angles) under depolarizing noise:")
+    print(f"{'fidelity':>9} {'AR':>7}")
+    for fidelity in (1.0, 0.95, 0.9, 0.8, 0.6):
+        noisy = NoisyQAOASimulator(
+            problem, NoiseSpec(layer_fidelity=fidelity), rng=0
+        )
+        ratio = noisy.approximation_ratio(gammas, betas)
+        print(f"{fidelity:>9.2f} {ratio:>7.3f}")
+    print(
+        "\nnoise contracts the expectation toward the random-cut value "
+        "but never moves the\noptimal angles — which is why a good "
+        "initialization retains its value on NISQ hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Weighted Max-Cut (the paper's future-work case) + GW warm start.
+
+The paper's models target unweighted regular graphs and note that
+weighted graphs "are more common in real-world scenarios" as future
+work. This example exercises the library's weighted support end to end:
+
+1. weighted QAOA simulation and optimization,
+2. the Goemans-Williamson SDP baseline (Egger et al.'s warm-start
+   substrate) on the same instances,
+3. a GW-informed initialization compared with random initialization.
+
+Run:  python examples/weighted_graphs.py
+"""
+
+import numpy as np
+
+from repro.graphs.generators import fully_connected_weighted_graph
+from repro.maxcut.goemans_williamson import goemans_williamson
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.initialization import RandomInitialization, WarmStartInitialization
+from repro.qaoa.runner import QAOARunner
+
+
+def gw_informed_initialization(num_rounds: int = 30, rng_seed: int = 0):
+    """Initialize beta from the GW solution quality.
+
+    Heuristic: the better the classical relaxation already is, the
+    smaller the mixing angle we start with (we trust the cost landscape
+    more); gamma starts at a standard small value. This mirrors the
+    spirit of classical warm starts without biasing the state itself.
+    """
+
+    def predict(graph, p):
+        result = goemans_williamson(graph, num_rounds=num_rounds, rng=rng_seed)
+        problem = MaxCutProblem(graph)
+        quality = problem.approximation_ratio(result.solution.value)
+        gamma = np.full(p, 0.4)
+        beta = np.full(p, float(np.clip(0.6 * (1.0 - quality) + 0.1, 0.05, 0.6)))
+        return gamma, beta
+
+    return WarmStartInitialization(predict, name="gw_informed")
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    runner = QAOARunner(p=2, max_iters=40)
+    strategy = gw_informed_initialization()
+
+    header = (
+        f"{'n':>3} {'GW AR':>7} {'SDP bound':>10} "
+        f"{'random AR':>10} {'GW-init AR':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    random_scores = []
+    warm_scores = []
+    for index in range(5):
+        graph = fully_connected_weighted_graph(
+            8, rng=int(rng.integers(1e6)), name=f"w{index}"
+        )
+        problem = MaxCutProblem(graph)
+        gw = goemans_williamson(graph, rng=index)
+        gw_ratio = problem.approximation_ratio(gw.solution.value)
+
+        cold = runner.run(graph, RandomInitialization(), rng=index)
+        warm = runner.run(graph, strategy, rng=index)
+        random_scores.append(cold.approximation_ratio)
+        warm_scores.append(warm.approximation_ratio)
+        print(
+            f"{graph.num_nodes:>3d} {gw_ratio:>7.3f} "
+            f"{gw.sdp_value:>10.3f} {cold.approximation_ratio:>10.3f} "
+            f"{warm.approximation_ratio:>11.3f}"
+        )
+
+    print(
+        f"\nmean AR: random {np.mean(random_scores):.3f}, "
+        f"GW-informed {np.mean(warm_scores):.3f}"
+    )
+    print(
+        "note: GW rounding itself is a strong classical baseline "
+        "(0.878-approximation);\nQAOA at p=2 competes with it only on "
+        "small instances."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept for legacy editable installs offline)."""
+
+from setuptools import setup
+
+setup()

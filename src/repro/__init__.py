@@ -1,0 +1,33 @@
+"""repro — Graph learning for QAOA parameter prediction.
+
+A full reproduction of "Graph Learning for Parameter Prediction of
+Quantum Approximate Optimization Algorithm" (DAC 2024), built from
+scratch on numpy: a statevector QAOA simulator, a reverse-mode autograd
+neural-network framework, four GNN architectures (GCN, GAT, GIN,
+GraphSAGE), the dataset generation / pruning pipeline, and the
+warm-start evaluation harness.
+
+Subpackages
+-----------
+``repro.graphs``
+    Graph container, random generators, text-file IO, node features.
+``repro.maxcut``
+    Max-Cut problems: brute force, Goemans-Williamson, heuristics.
+``repro.quantum``
+    Gate library, circuit IR, dense statevector simulator.
+``repro.qaoa``
+    Fast QAOA simulator with exact gradients, optimizers, fixed angles,
+    initialization strategies, end-to-end runner.
+``repro.nn``
+    Autograd tensors, layers, losses, optimizers, LR schedulers.
+``repro.gnn``
+    Message-passing layers and the QAOA parameter predictor.
+``repro.data``
+    Dataset generation, labeling, pruning, splits, statistics.
+``repro.pipeline``
+    Model training and warm-start evaluation.
+``repro.analysis``
+    Table/figure builders for the paper's evaluation artifacts.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,41 @@
+"""Analysis: table formatting and figure-series builders."""
+
+from repro.analysis.tables import PAPER_TABLE1, format_rows, format_table1
+from repro.analysis.breakdown import (
+    hardest_instances,
+    improvement_by_degree,
+    improvement_by_size,
+)
+from repro.analysis.significance import (
+    SignificanceReport,
+    paired_significance,
+    significance_table,
+)
+from repro.analysis.figures import (
+    comparison_series,
+    export_csv,
+    histogram_series,
+    interval_series,
+    render_comparison,
+    render_histogram,
+    render_intervals,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "hardest_instances",
+    "improvement_by_degree",
+    "improvement_by_size",
+    "SignificanceReport",
+    "paired_significance",
+    "significance_table",
+    "format_rows",
+    "format_table1",
+    "comparison_series",
+    "export_csv",
+    "histogram_series",
+    "interval_series",
+    "render_comparison",
+    "render_histogram",
+    "render_intervals",
+]

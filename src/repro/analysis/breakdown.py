@@ -1,0 +1,64 @@
+"""Breakdowns of warm-start results by instance shape.
+
+Table 1 reports one mean per architecture; these helpers slice the same
+per-instance comparisons by graph size and by degree, revealing *where*
+the warm start earns its improvement (the paper's Figures 3/4 ask the
+analogous question about label quality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+
+def improvement_by_size(result) -> List[dict]:
+    """Mean improvement per graph size from an EvaluationResult."""
+    return _bucketed(result, key=lambda c: c.num_nodes, label="num_nodes")
+
+
+def improvement_by_degree(result) -> List[dict]:
+    """Mean improvement per degree from an EvaluationResult."""
+    return _bucketed(result, key=lambda c: c.degree, label="degree")
+
+
+def _bucketed(result, key, label: str) -> List[dict]:
+    buckets: Dict[int, List[float]] = {}
+    random_ars: Dict[int, List[float]] = {}
+    warm_ars: Dict[int, List[float]] = {}
+    for comparison in result.comparisons:
+        bucket = int(key(comparison))
+        buckets.setdefault(bucket, []).append(comparison.improvement)
+        random_ars.setdefault(bucket, []).append(comparison.random_ratio)
+        warm_ars.setdefault(bucket, []).append(comparison.strategy_ratio)
+    rows = []
+    for bucket in sorted(buckets):
+        values = np.asarray(buckets[bucket])
+        rows.append(
+            {
+                label: bucket,
+                "count": len(values),
+                "mean_improvement_pp": float(values.mean()),
+                "std_improvement_pp": float(values.std()),
+                "mean_random_ar": float(np.mean(random_ars[bucket])),
+                "mean_warm_ar": float(np.mean(warm_ars[bucket])),
+            }
+        )
+    return rows
+
+
+def hardest_instances(result, count: int = 5) -> List[dict]:
+    """The instances where the warm start did worst (for error analysis)."""
+    ranked = sorted(result.comparisons, key=lambda c: c.improvement)
+    return [
+        {
+            "graph": c.graph_name,
+            "num_nodes": c.num_nodes,
+            "degree": c.degree,
+            "improvement_pp": c.improvement,
+            "random_ar": c.random_ratio,
+            "warm_ar": c.strategy_ratio,
+        }
+        for c in ranked[:count]
+    ]

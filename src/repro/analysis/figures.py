@@ -1,0 +1,135 @@
+"""Figure-series builders and terminal rendering.
+
+Every figure in the paper is regenerated as a data series (suitable for
+CSV export / plotting) plus an ASCII rendering for terminal inspection:
+
+- Figure 2 (a, b): histograms — :func:`histogram_series`, ascii bars.
+- Figures 3, 4: AR interval-by-bucket — :func:`interval_series`.
+- Figure 5: per-test-graph AR lines for random vs GNN —
+  :func:`comparison_series`, :func:`render_comparison`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.data.stats import IntervalSummary
+
+# EvaluationResult is consumed duck-typed (see tables.py note).
+
+PathLike = Union[str, Path]
+
+
+def histogram_series(frequency: Dict[int, int]) -> List[dict]:
+    """Figure 2 series: one row per bucket ``{key, count}``."""
+    return [{"key": key, "count": count} for key, count in sorted(frequency.items())]
+
+
+def render_histogram(
+    frequency: Dict[int, int], title: str, width: int = 50
+) -> str:
+    """ASCII bar chart of a histogram."""
+    if not frequency:
+        return f"{title}\n(empty)"
+    peak = max(frequency.values())
+    lines = [title]
+    for key, count in sorted(frequency.items()):
+        bar = "#" * max(1, int(round(width * count / peak))) if count else ""
+        lines.append(f"{key:>4} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def interval_series(summaries: Sequence[IntervalSummary]) -> List[dict]:
+    """Figures 3/4 series: one row per bucket with the AR spread."""
+    return [
+        {
+            "key": s.key,
+            "count": s.count,
+            "min": s.minimum,
+            "q25": s.q25,
+            "median": s.median,
+            "q75": s.q75,
+            "max": s.maximum,
+            "mean": s.mean,
+        }
+        for s in summaries
+    ]
+
+
+def render_intervals(
+    summaries: Sequence[IntervalSummary], title: str, width: int = 50
+) -> str:
+    """ASCII box-style rendering of AR intervals per bucket (Figs 3/4)."""
+    lines = [title, f"{'key':>4} {'n':>5}  AR interval [0, 1]"]
+    for s in summaries:
+        lo = int(round(s.minimum * width))
+        hi = int(round(s.maximum * width))
+        med = int(round(s.median * width))
+        row = [" "] * (width + 1)
+        for i in range(lo, hi + 1):
+            row[i] = "-"
+        row[lo] = "|"
+        row[min(hi, width)] = "|"
+        row[min(med, width)] = "*"
+        lines.append(f"{s.key:>4} {s.count:>5}  {''.join(row)}")
+    lines.append(" " * 12 + "0" + " " * (width - 2) + "1")
+    return "\n".join(lines)
+
+
+def comparison_series(result: "EvaluationResult") -> List[dict]:
+    """Figure 5 series: per-test-graph random vs strategy final AR."""
+    return [
+        {
+            "index": index,
+            "graph": c.graph_name,
+            "num_nodes": c.num_nodes,
+            "degree": c.degree,
+            "random_ar": c.random_ratio,
+            "strategy_ar": c.strategy_ratio,
+            "improvement_pp": c.improvement,
+        }
+        for index, c in enumerate(result.comparisons)
+    ]
+
+
+def render_comparison(result: "EvaluationResult", width: int = 60) -> str:
+    """ASCII Figure-5 panel: one line per test graph, both ARs marked.
+
+    ``r`` marks the random-initialization AR, ``G`` the strategy AR; when
+    they collide ``=`` is shown.
+    """
+    lines = [
+        f"Figure 5 panel — {result.strategy_name} "
+        f"(mean improvement {result.mean_improvement:+.2f} pp)",
+        f"{'graph':>6}  AR in [0, 1]   (r = random, G = {result.strategy_name})",
+    ]
+    for index, c in enumerate(result.comparisons):
+        row = [" "] * (width + 1)
+        r_pos = int(round(np.clip(c.random_ratio, 0, 1) * width))
+        g_pos = int(round(np.clip(c.strategy_ratio, 0, 1) * width))
+        if r_pos == g_pos:
+            row[r_pos] = "="
+        else:
+            row[r_pos] = "r"
+            row[g_pos] = "G"
+        lines.append(f"{index:>6}  {''.join(row)}")
+    return "\n".join(lines)
+
+
+def export_csv(rows: Sequence[dict], path: PathLike) -> None:
+    """Write dict rows to a CSV file (stable column order)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = list(rows[0].keys())
+    with path.open("w") as handle:
+        handle.write(",".join(columns) + "\n")
+        for row in rows:
+            handle.write(
+                ",".join(str(row.get(col, "")) for col in columns) + "\n"
+            )

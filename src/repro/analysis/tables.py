@@ -1,0 +1,69 @@
+"""Table formatting — Table 1 and general result tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+# EvaluationResult instances are consumed duck-typed here; importing the
+# class would create a repro.analysis <-> repro.pipeline import cycle.
+
+#: The paper's Table 1, for side-by-side comparison in EXPERIMENTS.md.
+PAPER_TABLE1 = {
+    "gat": (3.28, 9.99),
+    "gcn": (3.65, 10.17),
+    "gin": (3.66, 9.97),
+    "sage": (2.86, 10.01),
+}
+
+
+def format_table1(results: Dict[str, "EvaluationResult"]) -> str:
+    """Render Table 1 (average improvement +/- std per architecture).
+
+    Includes the paper's reported numbers when the architecture key
+    matches, so reproduction drift is visible at a glance.
+    """
+    header = (
+        f"{'Method':<10} {'Improvement':>14} {'Paper':>14} "
+        f"{'WinRate':>8} {'N':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, result in results.items():
+        paper = PAPER_TABLE1.get(name.lower())
+        paper_text = f"{paper[0]:.2f} ± {paper[1]:.2f}" if paper else "—"
+        lines.append(
+            f"{name:<10} "
+            f"{result.mean_improvement:>7.2f} ± {result.std_improvement:<5.2f}"
+            f"{paper_text:>14} "
+            f"{result.win_rate():>8.2f} "
+            f"{len(result.comparisons):>5d}"
+        )
+    return "\n".join(lines)
+
+
+def format_rows(
+    rows: Sequence[dict], columns: Sequence[str], title: str = ""
+) -> str:
+    """Generic fixed-width table from dict rows."""
+    widths = {
+        col: max(len(col), *(len(_cell(row.get(col))) for row in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

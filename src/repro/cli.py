@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+Four subcommands mirror the pipeline stages so the reproduction can be
+driven without writing Python:
+
+- ``repro generate`` — sample + label a dataset, save it to JSON.
+- ``repro train`` — train one architecture on a saved dataset, save the
+  model state.
+- ``repro evaluate`` — warm-start evaluation of a saved model against
+  random initialization on a saved dataset's held-out split.
+- ``repro reproduce`` — the whole experiment (Table 1) in one shot.
+
+Example::
+
+    python -m repro.cli generate --num-graphs 100 --out dataset.json
+    python -m repro.cli reproduce --num-graphs 100 --test-size 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.tables import format_table1
+from repro.data.dataset import QAOADataset
+from repro.data.generation import GenerationConfig, generate_dataset
+from repro.data.splits import stratified_split
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.pipeline.evaluation import WarmStartEvaluator
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.training import Trainer, TrainingConfig
+from repro.utils.serialization import load_json, save_json
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser("generate", help="sample + label a dataset")
+    parser.add_argument("--num-graphs", type=int, default=150)
+    parser.add_argument("--min-nodes", type=int, default=4)
+    parser.add_argument("--max-nodes", type=int, default=12)
+    parser.add_argument("--p", type=int, default=1)
+    parser.add_argument("--iters", type=int, default=100)
+    parser.add_argument("--restarts", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, required=True)
+    parser.set_defaults(func=_cmd_generate)
+
+
+def _cmd_generate(args) -> int:
+    config = GenerationConfig(
+        num_graphs=args.num_graphs,
+        min_nodes=args.min_nodes,
+        max_nodes=args.max_nodes,
+        p=args.p,
+        optimizer_iters=args.iters,
+        restarts=args.restarts,
+        seed=args.seed,
+    )
+    dataset = generate_dataset(config)
+    dataset.save(args.out)
+    summary = dataset.summary()
+    print(
+        f"wrote {summary['count']} records to {args.out} "
+        f"(mean AR {summary['mean_ar']:.3f})"
+    )
+    return 0
+
+
+def _add_train(subparsers) -> None:
+    parser = subparsers.add_parser("train", help="train a predictor")
+    parser.add_argument("--dataset", type=Path, required=True)
+    parser.add_argument(
+        "--arch", choices=("gat", "gcn", "gin", "sage", "mean"), default="gin"
+    )
+    parser.add_argument("--epochs", type=int, default=100)
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument("--num-layers", type=int, default=2)
+    parser.add_argument("--dropout", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, required=True)
+    parser.set_defaults(func=_cmd_train)
+
+
+def _cmd_train(args) -> int:
+    dataset = QAOADataset.load(args.dataset)
+    model = QAOAParameterPredictor(
+        arch=args.arch,
+        p=dataset.depth(),
+        hidden_dim=args.hidden_dim,
+        num_layers=args.num_layers,
+        dropout=args.dropout,
+        rng=args.seed,
+    )
+    trainer = Trainer(
+        model, TrainingConfig(epochs=args.epochs, seed=args.seed)
+    )
+    history = trainer.fit(dataset)
+    state = {
+        "arch": args.arch,
+        "p": model.p,
+        "hidden_dim": args.hidden_dim,
+        "num_layers": args.num_layers,
+        "dropout": args.dropout,
+        "final_loss": history.final_loss,
+        "state": {k: v.tolist() for k, v in model.state_dict().items()},
+    }
+    save_json(state, args.out)
+    print(f"trained {args.arch}: final loss {history.final_loss:.5f} -> {args.out}")
+    return 0
+
+
+def load_model(path) -> QAOAParameterPredictor:
+    """Rebuild a predictor saved by ``repro train``."""
+    state = load_json(path)
+    model = QAOAParameterPredictor(
+        arch=state["arch"],
+        p=int(state["p"]),
+        hidden_dim=int(state["hidden_dim"]),
+        num_layers=int(state["num_layers"]),
+        dropout=float(state["dropout"]),
+        rng=0,
+    )
+    model.load_state_dict(
+        {k: np.asarray(v) for k, v in state["state"].items()}
+    )
+    model.eval()
+    return model
+
+
+def _add_evaluate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "evaluate", help="warm-start evaluation of a saved model"
+    )
+    parser.add_argument("--dataset", type=Path, required=True)
+    parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument("--test-size", type=int, default=30)
+    parser.add_argument("--eval-iters", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(func=_cmd_evaluate)
+
+
+def _cmd_evaluate(args) -> int:
+    dataset = QAOADataset.load(args.dataset)
+    model = load_model(args.model)
+    _, test = stratified_split(dataset, args.test_size, args.seed)
+    evaluator = WarmStartEvaluator(
+        p=model.p, optimizer_iters=args.eval_iters, rng=args.seed
+    )
+    result = evaluator.evaluate_model(test.graphs(), model)
+    print(format_table1({model.arch: result}))
+    return 0
+
+
+def _add_reproduce(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "reproduce", help="full experiment (Table 1) in one shot"
+    )
+    parser.add_argument("--num-graphs", type=int, default=150)
+    parser.add_argument("--test-size", type=int, default=30)
+    parser.add_argument("--epochs", type=int, default=60)
+    parser.add_argument("--label-iters", type=int, default=100)
+    parser.add_argument("--eval-iters", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.set_defaults(func=_cmd_reproduce)
+
+
+def _cmd_reproduce(args) -> int:
+    if args.paper_scale:
+        config = ExperimentConfig.paper_scale()
+    else:
+        config = ExperimentConfig(
+            generation=GenerationConfig(
+                num_graphs=args.num_graphs,
+                min_nodes=4,
+                max_nodes=12,
+                optimizer_iters=args.label_iters,
+            ),
+            training=TrainingConfig(epochs=args.epochs),
+            test_size=args.test_size,
+            eval_optimizer_iters=args.eval_iters,
+            seed=args.seed,
+        )
+    report = run_experiment(config)
+    print(format_table1(report.results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNN warm starts for QAOA (DAC 2024 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_train(subparsers)
+    _add_evaluate(subparsers)
+    _add_reproduce(subparsers)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

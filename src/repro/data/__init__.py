@@ -1,0 +1,53 @@
+"""Data pipeline: generation, labeling, pruning, splits, statistics."""
+
+from repro.data.dataset import QAOADataset, QAOARecord
+from repro.data.generation import (
+    GenerationConfig,
+    canonicalize_angles,
+    generate_dataset,
+    label_graph,
+    paper_scale_config,
+    sample_graphs,
+)
+from repro.data.pruning import (
+    PruningReport,
+    RelabelReport,
+    fixed_angle_relabel,
+    selective_data_pruning,
+)
+from repro.data.splits import kfold_indices, random_split, stratified_split
+from repro.data.augmentation import augment_by_permutation, permute_record
+from repro.data.stats import (
+    IntervalSummary,
+    ar_by_degree,
+    ar_by_size,
+    degree_frequency,
+    low_quality_fraction,
+    size_frequency,
+)
+
+__all__ = [
+    "QAOADataset",
+    "QAOARecord",
+    "GenerationConfig",
+    "canonicalize_angles",
+    "generate_dataset",
+    "label_graph",
+    "paper_scale_config",
+    "sample_graphs",
+    "PruningReport",
+    "RelabelReport",
+    "fixed_angle_relabel",
+    "selective_data_pruning",
+    "kfold_indices",
+    "random_split",
+    "stratified_split",
+    "augment_by_permutation",
+    "permute_record",
+    "IntervalSummary",
+    "ar_by_degree",
+    "ar_by_size",
+    "degree_frequency",
+    "low_quality_fraction",
+    "size_frequency",
+]

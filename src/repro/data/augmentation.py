@@ -1,0 +1,56 @@
+"""Dataset augmentation by node relabeling.
+
+The paper's node features include one-hot node ids, which ties a
+model's output to the (arbitrary) labeling of the training graphs.
+Permutation augmentation replicates each record under random node
+relabelings — the QAOA label is invariant, so the targets carry over —
+teaching the encoder label-invariance the cheap way. (A
+permutation-invariant feature set, ``feature_kind='structural'``, is
+the principled alternative; the ablation in
+``benchmarks/test_ablation_architecture.py`` uses the paper's one-hot
+setting.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.data.dataset import QAOADataset, QAOARecord
+from repro.exceptions import DatasetError
+from repro.graphs.transforms import relabel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def permute_record(record: QAOARecord, rng: RngLike = None) -> QAOARecord:
+    """One record with nodes randomly relabeled (same QAOA label).
+
+    Max-Cut value, optimal value and the optimal angles are invariant
+    under node permutation, so everything except the graph carries over
+    unchanged.
+    """
+    generator = ensure_rng(rng)
+    permutation = generator.permutation(record.graph.num_nodes)
+    permuted = relabel(record.graph, permutation)
+    if record.graph.name:
+        permuted = permuted.with_name(record.graph.name + "_perm")
+    return replace(record, graph=permuted)
+
+
+def augment_by_permutation(
+    dataset: QAOADataset,
+    copies: int = 1,
+    keep_original: bool = True,
+    rng: RngLike = None,
+) -> QAOADataset:
+    """Dataset with ``copies`` permuted replicas of every record."""
+    if copies < 1:
+        raise DatasetError("copies must be >= 1")
+    generator = ensure_rng(rng)
+    records: List[QAOARecord] = []
+    for record in dataset:
+        if keep_original:
+            records.append(record)
+        for _ in range(copies):
+            records.append(permute_record(record, generator))
+    return QAOADataset(records)

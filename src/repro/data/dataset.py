@@ -1,0 +1,193 @@
+"""Dataset container: labeled QAOA training instances.
+
+Each record pairs a graph with the QAOA parameters found by the labeling
+pipeline (paper Section 3.1), the resulting expectation, and the
+approximation ratio versus brute force — "an organized list comprising
+the graph structures along with important metadata like approximate
+ratio and values for the best cuts".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph
+from repro.graphs.io import graph_from_text, graph_to_text
+from repro.utils.serialization import load_json, save_json
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class QAOARecord:
+    """One labeled instance.
+
+    Attributes
+    ----------
+    graph:
+        The Max-Cut instance.
+    p:
+        Ansatz depth of the label.
+    gammas, betas:
+        Labeled (optimized or fixed-angle) parameters, length ``p``.
+    expectation:
+        QAOA expectation at the labeled parameters.
+    optimal_value:
+        Exact Max-Cut optimum.
+    approximation_ratio:
+        ``expectation / optimal_value``.
+    best_cut_value:
+        Best concrete cut associated with the run (sampled or optimal).
+    source:
+        Labeling provenance, e.g. ``"optimized"`` or ``"fixed_angle"``.
+    """
+
+    graph: Graph
+    p: int
+    gammas: tuple
+    betas: tuple
+    expectation: float
+    optimal_value: float
+    approximation_ratio: float
+    best_cut_value: float = 0.0
+    source: str = "optimized"
+
+    def target_vector(self) -> np.ndarray:
+        """Training target ``[gamma_1..gamma_p, beta_1..beta_p]``."""
+        return np.asarray(list(self.gammas) + list(self.betas), dtype=np.float64)
+
+    def with_label(
+        self,
+        gammas,
+        betas,
+        expectation: float,
+        approximation_ratio: float,
+        source: str,
+    ) -> "QAOARecord":
+        """Copy with a replacement label (used by fixed-angle relabeling)."""
+        return replace(
+            self,
+            gammas=tuple(float(g) for g in gammas),
+            betas=tuple(float(b) for b in betas),
+            expectation=float(expectation),
+            approximation_ratio=float(approximation_ratio),
+            source=source,
+        )
+
+
+class QAOADataset:
+    """An ordered collection of :class:`QAOARecord` with persistence."""
+
+    def __init__(self, records: Optional[Sequence[QAOARecord]] = None):
+        self.records: List[QAOARecord] = list(records) if records else []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QAOARecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return QAOADataset(self.records[index])
+        return self.records[index]
+
+    def append(self, record: QAOARecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def extend(self, records: Sequence[QAOARecord]) -> None:
+        """Add many records."""
+        self.records.extend(records)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def graphs(self) -> List[Graph]:
+        """All graphs in order."""
+        return [record.graph for record in self.records]
+
+    def targets(self) -> np.ndarray:
+        """Stacked target vectors, shape ``(len, 2p)``."""
+        if not self.records:
+            return np.zeros((0, 0))
+        return np.stack([record.target_vector() for record in self.records])
+
+    def approximation_ratios(self) -> np.ndarray:
+        """Approximation ratios, shape ``(len,)``."""
+        return np.asarray(
+            [record.approximation_ratio for record in self.records]
+        )
+
+    def depth(self) -> int:
+        """The common ansatz depth (raises on mixed depths)."""
+        depths = {record.p for record in self.records}
+        if len(depths) != 1:
+            raise DatasetError(f"mixed or missing depths: {sorted(depths)}")
+        return depths.pop()
+
+    def filter(self, predicate) -> "QAOADataset":
+        """New dataset with records satisfying ``predicate``."""
+        return QAOADataset([r for r in self.records if predicate(r)])
+
+    # ------------------------------------------------------------------
+    # Persistence (JSON with embedded graph text format)
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Write the dataset to a JSON file."""
+        payload = [
+            {
+                "graph": graph_to_text(record.graph),
+                "p": record.p,
+                "gammas": list(record.gammas),
+                "betas": list(record.betas),
+                "expectation": record.expectation,
+                "optimal_value": record.optimal_value,
+                "approximation_ratio": record.approximation_ratio,
+                "best_cut_value": record.best_cut_value,
+                "source": record.source,
+            }
+            for record in self.records
+        ]
+        save_json(payload, path)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "QAOADataset":
+        """Read a dataset written by :meth:`save`."""
+        payload = load_json(path)
+        if not isinstance(payload, list):
+            raise DatasetError(f"{path}: expected a JSON list")
+        records = []
+        for entry in payload:
+            records.append(
+                QAOARecord(
+                    graph=graph_from_text(entry["graph"]),
+                    p=int(entry["p"]),
+                    gammas=tuple(entry["gammas"]),
+                    betas=tuple(entry["betas"]),
+                    expectation=float(entry["expectation"]),
+                    optimal_value=float(entry["optimal_value"]),
+                    approximation_ratio=float(entry["approximation_ratio"]),
+                    best_cut_value=float(entry.get("best_cut_value", 0.0)),
+                    source=str(entry.get("source", "optimized")),
+                )
+            )
+        return cls(records)
+
+    def summary(self) -> dict:
+        """Aggregate statistics used in logs and EXPERIMENTS.md."""
+        ratios = self.approximation_ratios()
+        sizes = [record.graph.num_nodes for record in self.records]
+        return {
+            "count": len(self.records),
+            "mean_ar": float(ratios.mean()) if len(ratios) else 0.0,
+            "min_ar": float(ratios.min()) if len(ratios) else 0.0,
+            "max_ar": float(ratios.max()) if len(ratios) else 0.0,
+            "min_nodes": min(sizes) if sizes else 0,
+            "max_nodes": max(sizes) if sizes else 0,
+        }

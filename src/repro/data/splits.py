@@ -1,0 +1,81 @@
+"""Train/test splitting.
+
+The paper "set[s] aside 100 test graphs with different degrees and graph
+sizes". :func:`stratified_split` balances the held-out set across
+(size, degree) strata so the test set spans the design space the way
+the paper describes; :func:`random_split` is the plain alternative.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import QAOADataset
+from repro.exceptions import DatasetError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def random_split(
+    dataset: QAOADataset, test_size: int, rng: RngLike = None
+) -> Tuple[QAOADataset, QAOADataset]:
+    """Uniform random split into (train, test) with ``test_size`` held out."""
+    if not 0 < test_size < len(dataset):
+        raise DatasetError(
+            f"test_size {test_size} invalid for dataset of {len(dataset)}"
+        )
+    generator = ensure_rng(rng)
+    order = generator.permutation(len(dataset))
+    test_idx = set(int(i) for i in order[:test_size])
+    train = [r for i, r in enumerate(dataset) if i not in test_idx]
+    test = [r for i, r in enumerate(dataset) if i in test_idx]
+    return QAOADataset(train), QAOADataset(test)
+
+
+def stratified_split(
+    dataset: QAOADataset, test_size: int, rng: RngLike = None
+) -> Tuple[QAOADataset, QAOADataset]:
+    """Split holding out a test set balanced across (size, degree) strata.
+
+    Round-robins over strata, taking one random record per stratum per
+    pass until ``test_size`` are held out, so every populated
+    (num_nodes, max_degree) combination is represented when possible.
+    """
+    if not 0 < test_size < len(dataset):
+        raise DatasetError(
+            f"test_size {test_size} invalid for dataset of {len(dataset)}"
+        )
+    generator = ensure_rng(rng)
+    strata: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+    for index, record in enumerate(dataset):
+        key = (record.graph.num_nodes, record.graph.max_degree())
+        strata[key].append(index)
+    for indices in strata.values():
+        generator.shuffle(indices)
+    test_idx: List[int] = []
+    keys = sorted(strata.keys())
+    while len(test_idx) < test_size:
+        progressed = False
+        for key in keys:
+            if strata[key] and len(test_idx) < test_size:
+                test_idx.append(strata[key].pop())
+                progressed = True
+        if not progressed:
+            break
+    test_set = set(test_idx)
+    train = [r for i, r in enumerate(dataset) if i not in test_set]
+    test = [r for i, r in enumerate(dataset) if i in test_set]
+    return QAOADataset(train), QAOADataset(test)
+
+
+def kfold_indices(
+    count: int, folds: int, rng: RngLike = None
+) -> List[np.ndarray]:
+    """Shuffled index arrays for k-fold cross-validation."""
+    if folds < 2 or folds > count:
+        raise DatasetError(f"cannot make {folds} folds from {count} items")
+    generator = ensure_rng(rng)
+    order = generator.permutation(count)
+    return [np.sort(chunk) for chunk in np.array_split(order, folds)]

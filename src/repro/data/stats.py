@@ -1,0 +1,103 @@
+"""Dataset distribution statistics (Figures 2, 3 and 4).
+
+- :func:`degree_frequency` / :func:`size_frequency` — the histograms of
+  Figure 2 (a) and (b).
+- :func:`ar_by_size` / :func:`ar_by_degree` — the "possible
+  approximation ratio" interval summaries of Figures 3 and 4: for each
+  graph-size (resp. degree) bucket, the spread of achieved approximation
+  ratios (min / quartiles / max / mean), which is how the paper
+  visualizes label quality.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.dataset import QAOADataset
+from repro.graphs.graph import Graph
+
+
+def degree_frequency(graphs: Sequence[Graph]) -> Dict[int, int]:
+    """Histogram of per-node degrees across all graphs (Figure 2a)."""
+    counter: Counter = Counter()
+    for graph in graphs:
+        counter.update(int(d) for d in graph.degrees())
+    return dict(sorted(counter.items()))
+
+
+def size_frequency(graphs: Sequence[Graph]) -> Dict[int, int]:
+    """Histogram of graph sizes (Figure 2b)."""
+    counter = Counter(graph.num_nodes for graph in graphs)
+    return dict(sorted(counter.items()))
+
+
+@dataclass(frozen=True)
+class IntervalSummary:
+    """Spread of approximation ratios within one bucket."""
+
+    key: int
+    count: int
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def from_values(cls, key: int, values: np.ndarray) -> "IntervalSummary":
+        """Build the five-number-plus-mean summary of ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        return cls(
+            key=key,
+            count=len(values),
+            minimum=float(values.min()),
+            q25=float(np.percentile(values, 25)),
+            median=float(np.median(values)),
+            q75=float(np.percentile(values, 75)),
+            maximum=float(values.max()),
+            mean=float(values.mean()),
+        )
+
+
+def ar_by_size(dataset: QAOADataset) -> List[IntervalSummary]:
+    """Approximation-ratio interval per graph size (Figure 3)."""
+    buckets: Dict[int, List[float]] = {}
+    for record in dataset:
+        buckets.setdefault(record.graph.num_nodes, []).append(
+            record.approximation_ratio
+        )
+    return [
+        IntervalSummary.from_values(size, np.asarray(values))
+        for size, values in sorted(buckets.items())
+    ]
+
+
+def ar_by_degree(dataset: QAOADataset) -> List[IntervalSummary]:
+    """Approximation-ratio interval per (regular) degree (Figure 4).
+
+    Irregular graphs are bucketed by their maximum degree, matching how
+    the paper's regular-graph dataset is indexed.
+    """
+    buckets: Dict[int, List[float]] = {}
+    for record in dataset:
+        degree = record.graph.regular_degree()
+        if degree is None:
+            degree = record.graph.max_degree()
+        buckets.setdefault(degree, []).append(record.approximation_ratio)
+    return [
+        IntervalSummary.from_values(degree, np.asarray(values))
+        for degree, values in sorted(buckets.items())
+    ]
+
+
+def low_quality_fraction(dataset: QAOADataset, threshold: float = 0.7) -> float:
+    """Fraction of records below the AR threshold (the paper's ~50% story)."""
+    ratios = dataset.approximation_ratios()
+    if len(ratios) == 0:
+        return 0.0
+    return float((ratios < threshold).mean())

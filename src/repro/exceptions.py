@@ -1,0 +1,37 @@
+"""Library-wide exception hierarchy.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch one base class at an API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or graph arguments."""
+
+
+class GraphFormatError(GraphError):
+    """Malformed graph text-file content."""
+
+
+class CircuitError(ReproError):
+    """Invalid quantum circuit construction or simulation request."""
+
+
+class OptimizationError(ReproError):
+    """A classical optimizer failed or was configured inconsistently."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation, storage or filtering failure."""
+
+
+class ModelError(ReproError):
+    """Neural-network construction or shape mismatch."""
+
+
+class FixedAngleLookupError(ReproError):
+    """No fixed-angle entry exists for the requested (degree, depth)."""

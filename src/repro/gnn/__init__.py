@@ -1,0 +1,36 @@
+"""GNN core: batching, message-passing layers, pooling, predictor."""
+
+from repro.gnn.batching import GraphBatch
+from repro.gnn.layers import GATConv, GCNConv, GINConv, MeanConv, SAGEConv
+from repro.gnn.pooling import max_pool, mean_pool, readout, sum_pool
+from repro.gnn.predictor import (
+    ARCHITECTURES,
+    GNNEncoder,
+    QAOAParameterPredictor,
+)
+from repro.gnn.baselines import (
+    BucketMedianPredictor,
+    DegreeStatsPredictor,
+    MeanPredictor,
+    graph_statistics,
+)
+
+__all__ = [
+    "GraphBatch",
+    "GATConv",
+    "GCNConv",
+    "GINConv",
+    "MeanConv",
+    "SAGEConv",
+    "max_pool",
+    "mean_pool",
+    "readout",
+    "sum_pool",
+    "ARCHITECTURES",
+    "GNNEncoder",
+    "QAOAParameterPredictor",
+    "BucketMedianPredictor",
+    "DegreeStatsPredictor",
+    "MeanPredictor",
+    "graph_statistics",
+]

@@ -1,0 +1,217 @@
+"""Structure-free prediction baselines.
+
+To show that the GNNs' message passing earns its keep, these baselines
+predict QAOA parameters from *aggregate* graph statistics only:
+
+- :class:`MeanPredictor` — always predicts the training-set mean
+  parameters (the strongest possible constant).
+- :class:`BucketMedianPredictor` — a train-free per-(size, degree)
+  median lookup table with nearest-bucket fallback.
+- :class:`DegreeStatsPredictor` — an MLP on a fixed vector of graph
+  statistics (size, degree moments, edge density); no message passing.
+
+All expose the same ``predict_angles`` / ``as_initialization``
+interface as :class:`repro.gnn.predictor.QAOAParameterPredictor`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import QAOADataset
+from repro.exceptions import DatasetError, ModelError
+from repro.graphs.graph import Graph
+from repro.nn.layers import MLP
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import RngLike, ensure_rng
+
+STATS_DIM = 7
+
+
+def graph_statistics(graph: Graph) -> np.ndarray:
+    """Fixed-length aggregate feature vector (no structure)."""
+    degrees = graph.degrees().astype(np.float64)
+    n = graph.num_nodes
+    max_possible = n * (n - 1) / 2.0
+    return np.array(
+        [
+            n,
+            graph.num_edges,
+            degrees.mean() if n else 0.0,
+            degrees.std() if n else 0.0,
+            degrees.max() if n else 0.0,
+            graph.num_edges / max_possible if max_possible else 0.0,
+            graph.total_weight,
+        ],
+        dtype=np.float64,
+    )
+
+
+class MeanPredictor:
+    """Predicts the training-set mean parameters for every graph."""
+
+    name = "mean_baseline"
+
+    def __init__(self):
+        self._mean: np.ndarray = None
+        self.p: int = None
+
+    def fit(self, dataset: QAOADataset) -> "MeanPredictor":
+        """Store the mean target vector."""
+        if len(dataset) == 0:
+            raise DatasetError("empty dataset")
+        self._mean = dataset.targets().mean(axis=0)
+        self.p = dataset.depth()
+        return self
+
+    def predict_angles(self, graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+        """The constant prediction."""
+        if self._mean is None:
+            raise ModelError("fit() first")
+        return self._mean[: self.p].copy(), self._mean[self.p:].copy()
+
+    def as_initialization(self):
+        """Adapter for the QAOA runner."""
+        from repro.qaoa.initialization import WarmStartInitialization
+
+        def predict(graph, p):
+            if p != self.p:
+                raise ModelError(f"baseline fitted at p={self.p}")
+            return self.predict_angles(graph)
+
+        return WarmStartInitialization(predict, name=self.name)
+
+
+class BucketMedianPredictor:
+    """Train-free parameter transfer: per-(size, degree) median lookup.
+
+    Stores the coordinate-wise median target of every (num_nodes,
+    max_degree) bucket in the training set; prediction looks the bucket
+    up, falling back to the nearest bucket by (size, degree) distance,
+    then to the global median. This is the "lookup table" warm start a
+    practitioner would build without any learning — the floor any
+    learned model must beat.
+    """
+
+    name = "bucket_median"
+
+    def __init__(self):
+        self.p: int = None
+        self._buckets: dict = None
+        self._global: np.ndarray = None
+
+    def fit(self, dataset: QAOADataset) -> "BucketMedianPredictor":
+        """Compute per-bucket medians."""
+        if len(dataset) == 0:
+            raise DatasetError("empty dataset")
+        self.p = dataset.depth()
+        grouped: dict = {}
+        for record in dataset:
+            key = (record.graph.num_nodes, record.graph.max_degree())
+            grouped.setdefault(key, []).append(record.target_vector())
+        self._buckets = {
+            key: np.median(np.stack(vectors), axis=0)
+            for key, vectors in grouped.items()
+        }
+        self._global = np.median(dataset.targets(), axis=0)
+        return self
+
+    def predict_angles(self, graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+        """Bucket lookup with nearest-bucket fallback."""
+        if self._buckets is None:
+            raise ModelError("fit() first")
+        key = (graph.num_nodes, graph.max_degree())
+        if key in self._buckets:
+            vector = self._buckets[key]
+        elif self._buckets:
+            nearest = min(
+                self._buckets,
+                key=lambda k: (k[0] - key[0]) ** 2 + (k[1] - key[1]) ** 2,
+            )
+            vector = self._buckets[nearest]
+        else:
+            vector = self._global
+        return vector[: self.p].copy(), vector[self.p:].copy()
+
+    def as_initialization(self):
+        """Adapter for the QAOA runner."""
+        from repro.qaoa.initialization import WarmStartInitialization
+
+        def predict(graph, p):
+            if p != self.p:
+                raise ModelError(f"baseline fitted at p={self.p}")
+            return self.predict_angles(graph)
+
+        return WarmStartInitialization(predict, name=self.name)
+
+
+class DegreeStatsPredictor:
+    """MLP regression on aggregate graph statistics (no message passing)."""
+
+    name = "stats_baseline"
+
+    def __init__(
+        self,
+        hidden_dim: int = 32,
+        epochs: int = 200,
+        learning_rate: float = 1e-2,
+        rng: RngLike = None,
+    ):
+        self._rng = ensure_rng(rng)
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.p: int = None
+        self._mlp: MLP = None
+        self._feature_mean: np.ndarray = None
+        self._feature_std: np.ndarray = None
+
+    def fit(self, dataset: QAOADataset) -> "DegreeStatsPredictor":
+        """Train the MLP on (statistics, target) pairs."""
+        if len(dataset) == 0:
+            raise DatasetError("empty dataset")
+        self.p = dataset.depth()
+        features = np.stack(
+            [graph_statistics(record.graph) for record in dataset]
+        )
+        self._feature_mean = features.mean(axis=0)
+        self._feature_std = np.maximum(features.std(axis=0), 1e-9)
+        normalized = (features - self._feature_mean) / self._feature_std
+        targets = Tensor(dataset.targets())
+        self._mlp = MLP(
+            [STATS_DIM, self.hidden_dim, 2 * self.p], rng=self._rng
+        )
+        optimizer = Adam(self._mlp.parameters(), self.learning_rate)
+        inputs = Tensor(normalized)
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            loss = mse_loss(self._mlp(inputs), targets)
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def predict_angles(self, graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+        """Predict from the graph's aggregate statistics."""
+        if self._mlp is None:
+            raise ModelError("fit() first")
+        features = (
+            graph_statistics(graph) - self._feature_mean
+        ) / self._feature_std
+        with no_grad():
+            output = self._mlp(Tensor(features[None, :])).data[0]
+        return output[: self.p].copy(), output[self.p:].copy()
+
+    def as_initialization(self):
+        """Adapter for the QAOA runner."""
+        from repro.qaoa.initialization import WarmStartInitialization
+
+        def predict(graph, p):
+            if p != self.p:
+                raise ModelError(f"baseline fitted at p={self.p}")
+            return self.predict_angles(graph)
+
+        return WarmStartInitialization(predict, name=self.name)

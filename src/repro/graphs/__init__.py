@@ -1,0 +1,67 @@
+"""Graph substrate: container, generators, IO and node features."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    feasible_regular_degrees,
+    fully_connected_weighted_graph,
+    random_connected_graph,
+    random_regular_graph,
+    random_weighted_graph,
+    regular_graph_family,
+    sample_dataset_graph,
+)
+from repro.graphs.io import (
+    graph_from_text,
+    graph_to_text,
+    load_graph,
+    load_graphs,
+    save_graph,
+    save_graphs,
+)
+from repro.graphs.transforms import (
+    complement,
+    disjoint_union,
+    line_graph,
+    line_graph_features,
+    relabel,
+)
+from repro.graphs.features import (
+    PAPER_INPUT_DIM,
+    build_features,
+    degree_onehot_features,
+    degree_plus_onehot_features,
+    feature_dim,
+    onehot_id_features,
+    structural_features,
+)
+
+__all__ = [
+    "Graph",
+    "erdos_renyi_graph",
+    "feasible_regular_degrees",
+    "fully_connected_weighted_graph",
+    "random_connected_graph",
+    "random_regular_graph",
+    "random_weighted_graph",
+    "regular_graph_family",
+    "sample_dataset_graph",
+    "graph_from_text",
+    "graph_to_text",
+    "load_graph",
+    "load_graphs",
+    "save_graph",
+    "save_graphs",
+    "complement",
+    "disjoint_union",
+    "line_graph",
+    "line_graph_features",
+    "relabel",
+    "PAPER_INPUT_DIM",
+    "build_features",
+    "degree_onehot_features",
+    "degree_plus_onehot_features",
+    "feature_dim",
+    "onehot_id_features",
+    "structural_features",
+]

@@ -1,0 +1,121 @@
+"""Node feature construction for the GNN encoders.
+
+The paper: "We compute node degrees and one-hot encoding of node IDs as
+node features" with "input dimension ... 15" (the maximum graph size).
+Prepending a degree column would give dimension 16, so to honor the
+stated input dimension the default encoding writes the degree into the
+node's own one-hot slot: ``x[v] = degree(v) * e_v``, zero-padded to
+``max_nodes`` = 15. The plain one-hot, the 16-dim concatenation, and a
+permutation-invariant structural variant are also provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+PAPER_INPUT_DIM = 15
+
+
+def onehot_id_features(graph: Graph, max_nodes: int = PAPER_INPUT_DIM) -> np.ndarray:
+    """One-hot node-id features, zero-padded to ``max_nodes`` columns."""
+    _check_size(graph, max_nodes)
+    features = np.zeros((graph.num_nodes, max_nodes), dtype=np.float64)
+    features[np.arange(graph.num_nodes), np.arange(graph.num_nodes)] = 1.0
+    return features
+
+
+def degree_onehot_features(
+    graph: Graph, max_nodes: int = PAPER_INPUT_DIM
+) -> np.ndarray:
+    """Paper-default features: degree written into the node's one-hot slot.
+
+    Shape ``(num_nodes, max_nodes)``; row ``v`` is ``degree(v) * e_v``.
+    This matches the paper's input dimension of 15 while encoding both the
+    node degree and its identity.
+    """
+    _check_size(graph, max_nodes)
+    features = np.zeros((graph.num_nodes, max_nodes), dtype=np.float64)
+    degrees = graph.degrees().astype(np.float64)
+    features[np.arange(graph.num_nodes), np.arange(graph.num_nodes)] = degrees
+    return features
+
+
+def degree_plus_onehot_features(
+    graph: Graph, max_nodes: int = PAPER_INPUT_DIM
+) -> np.ndarray:
+    """Degree column concatenated with one-hot ids: shape ``(n, max_nodes+1)``."""
+    _check_size(graph, max_nodes)
+    degrees = graph.degrees().astype(np.float64)[:, None]
+    return np.concatenate([degrees, onehot_id_features(graph, max_nodes)], axis=1)
+
+
+def structural_features(graph: Graph) -> np.ndarray:
+    """Permutation-invariant structural features (generalization studies).
+
+    Columns: degree, normalized degree, clustering-style triangle count,
+    mean neighbor degree, weighted degree. Shape ``(n, 5)``.
+    """
+    degrees = graph.degrees().astype(np.float64)
+    adj = graph.adjacency_matrix()
+    binary = (adj > 0).astype(np.float64)
+    triangles = np.diag(binary @ binary @ binary) / 2.0
+    neighbor_sum = binary @ degrees
+    mean_neighbor_degree = np.divide(
+        neighbor_sum,
+        np.maximum(degrees, 1.0),
+        out=np.zeros_like(neighbor_sum),
+        where=degrees > 0,
+    )
+    weighted_degree = adj.sum(axis=1)
+    max_degree = max(graph.num_nodes - 1, 1)
+    return np.stack(
+        [
+            degrees,
+            degrees / max_degree,
+            triangles,
+            mean_neighbor_degree,
+            weighted_degree,
+        ],
+        axis=1,
+    )
+
+
+def build_features(
+    graph: Graph, kind: str = "degree_onehot", max_nodes: int = PAPER_INPUT_DIM
+) -> np.ndarray:
+    """Dispatch feature construction by name.
+
+    ``kind`` is one of ``degree_onehot`` (paper default), ``onehot``,
+    ``degree_plus_onehot`` or ``structural``.
+    """
+    if kind == "degree_onehot":
+        return degree_onehot_features(graph, max_nodes)
+    if kind == "onehot":
+        return onehot_id_features(graph, max_nodes)
+    if kind == "degree_plus_onehot":
+        return degree_plus_onehot_features(graph, max_nodes)
+    if kind == "structural":
+        return structural_features(graph)
+    raise GraphError(f"unknown feature kind {kind!r}")
+
+
+def feature_dim(kind: str = "degree_onehot", max_nodes: int = PAPER_INPUT_DIM) -> int:
+    """Input dimension produced by :func:`build_features` for ``kind``."""
+    if kind in ("degree_onehot", "onehot"):
+        return max_nodes
+    if kind == "degree_plus_onehot":
+        return max_nodes + 1
+    if kind == "structural":
+        return 5
+    raise GraphError(f"unknown feature kind {kind!r}")
+
+
+def _check_size(graph: Graph, max_nodes: int) -> None:
+    if graph.num_nodes > max_nodes:
+        raise GraphError(
+            f"graph has {graph.num_nodes} nodes but features are capped at "
+            f"{max_nodes}; raise max_nodes"
+        )

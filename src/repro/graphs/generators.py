@@ -1,0 +1,221 @@
+"""Random graph generators for dataset construction.
+
+The paper's dataset is "synthetic regular graphs ... nodes ranging from 2
+to 15" with degrees 2-14 (Fig. 2). :func:`random_regular_graph` is the
+workhorse; the other generators support the examples, the weighted-graph
+future-work experiments, and robustness tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def random_regular_graph(
+    num_nodes: int,
+    degree: int,
+    rng: RngLike = None,
+    max_tries: int = 200,
+    name: str = "",
+) -> Graph:
+    """Sample a random ``degree``-regular simple graph on ``num_nodes`` nodes.
+
+    Uses the pairing (configuration) model with rejection of self loops
+    and multi-edges, restarting until a simple graph is found. Requires
+    ``num_nodes * degree`` even and ``degree < num_nodes``. Dense degrees
+    (``degree > (n - 1) / 2``) are sampled as the complement of a sparse
+    regular graph, where rejection sampling would otherwise stall (the
+    extreme case ``degree = n - 1`` has a unique graph, K_n).
+    """
+    if degree < 0:
+        raise GraphError(f"degree must be nonnegative, got {degree}")
+    if degree >= num_nodes:
+        raise GraphError(
+            f"degree {degree} impossible with {num_nodes} nodes (need degree < n)"
+        )
+    if (num_nodes * degree) % 2 != 0:
+        raise GraphError(
+            f"no {degree}-regular graph on {num_nodes} nodes (odd stub count)"
+        )
+    if degree == 0:
+        return Graph(num_nodes, (), name=name)
+    if degree == num_nodes - 1:
+        return Graph.complete(num_nodes, name=name)
+    if degree > (num_nodes - 1) / 2:
+        sparse = random_regular_graph(
+            num_nodes, num_nodes - 1 - degree, rng, max_tries
+        )
+        present = set(sparse.edges)
+        edges = tuple(
+            (u, v)
+            for u in range(num_nodes)
+            for v in range(u + 1, num_nodes)
+            if (u, v) not in present
+        )
+        return Graph(num_nodes, edges, name=name)
+
+    generator = ensure_rng(rng)
+    stubs = np.repeat(np.arange(num_nodes), degree)
+    for _ in range(max_tries):
+        generator.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        edges = set()
+        ok = True
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v:
+                ok = False
+                break
+            key = (min(u, v), max(u, v))
+            if key in edges:
+                ok = False
+                break
+            edges.add(key)
+        if ok:
+            return Graph(num_nodes, tuple(sorted(edges)), name=name)
+    # Dense mid-range degrees defeat plain rejection; fall back to the
+    # McKay-Wormald-style sampler in networkx, seeded from our stream.
+    import networkx as nx
+
+    seed = int(generator.integers(0, 2**31 - 1))
+    nx_graph = nx.random_regular_graph(degree, num_nodes, seed=seed)
+    return Graph.from_networkx(nx_graph, name=name)
+
+
+def feasible_regular_degrees(num_nodes: int) -> List[int]:
+    """Degrees d >= 2 for which a d-regular simple graph on n nodes exists."""
+    return [
+        degree
+        for degree in range(2, num_nodes)
+        if (num_nodes * degree) % 2 == 0
+    ]
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    rng: RngLike = None,
+    name: str = "",
+) -> Graph:
+    """Sample a G(n, p) graph."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(f"edge probability {edge_probability} not in [0, 1]")
+    generator = ensure_rng(rng)
+    edges = []
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if generator.random() < edge_probability:
+                edges.append((u, v))
+    return Graph(num_nodes, tuple(edges), name=name)
+
+
+def random_connected_graph(
+    num_nodes: int,
+    extra_edge_probability: float = 0.3,
+    rng: RngLike = None,
+    name: str = "",
+) -> Graph:
+    """A random spanning tree plus independent extra edges (always connected)."""
+    generator = ensure_rng(rng)
+    edges = set()
+    # Random spanning tree via random attachment.
+    order = generator.permutation(num_nodes)
+    for index in range(1, num_nodes):
+        u = int(order[index])
+        v = int(order[generator.integers(0, index)])
+        edges.add((min(u, v), max(u, v)))
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if (u, v) not in edges and generator.random() < extra_edge_probability:
+                edges.add((u, v))
+    return Graph(num_nodes, tuple(sorted(edges)), name=name)
+
+
+def random_weighted_graph(
+    num_nodes: int,
+    edge_probability: float = 0.5,
+    weight_range: Tuple[float, float] = (0.1, 2.0),
+    rng: RngLike = None,
+    name: str = "",
+) -> Graph:
+    """G(n, p) with uniform random edge weights (paper's future-work case)."""
+    generator = ensure_rng(rng)
+    base = erdos_renyi_graph(num_nodes, edge_probability, generator, name)
+    low, high = weight_range
+    if low > high:
+        raise GraphError(f"weight range {weight_range} inverted")
+    weights = generator.uniform(low, high, size=base.num_edges)
+    return base.with_weights(weights)
+
+
+def fully_connected_weighted_graph(
+    num_nodes: int,
+    weight_range: Tuple[float, float] = (0.0, 1.0),
+    rng: RngLike = None,
+    name: str = "",
+) -> Graph:
+    """Complete graph with random weights (Egger et al. warm-start setting)."""
+    generator = ensure_rng(rng)
+    base = Graph.complete(num_nodes, name=name)
+    low, high = weight_range
+    weights = generator.uniform(low, high, size=base.num_edges)
+    return base.with_weights(weights)
+
+
+def sample_dataset_graph(
+    rng: RngLike = None,
+    min_nodes: int = 3,
+    max_nodes: int = 15,
+    name: str = "",
+) -> Graph:
+    """Sample one regular graph matching the paper's dataset distribution.
+
+    Graph size is uniform in ``[min_nodes, max_nodes]``; degree is uniform
+    over the feasible regular degrees (2 .. n-1 with even stub count).
+    """
+    generator = ensure_rng(rng)
+    for _ in range(100):
+        num_nodes = int(generator.integers(min_nodes, max_nodes + 1))
+        degrees = feasible_regular_degrees(num_nodes)
+        if not degrees:
+            continue
+        degree = int(degrees[generator.integers(0, len(degrees))])
+        try:
+            return random_regular_graph(num_nodes, degree, generator, name=name)
+        except GraphError:
+            continue
+    raise GraphError("could not sample a dataset graph")
+
+
+def regular_graph_family(
+    num_nodes_list: Sequence[int],
+    degree: int,
+    count_per_size: int = 1,
+    rng: RngLike = None,
+) -> List[Graph]:
+    """Sample ``count_per_size`` ``degree``-regular graphs per listed size.
+
+    Sizes where the degree is infeasible are skipped silently, which makes
+    sweep construction convenient.
+    """
+    generator = ensure_rng(rng)
+    graphs: List[Graph] = []
+    for num_nodes in num_nodes_list:
+        if degree >= num_nodes or (num_nodes * degree) % 2 != 0:
+            continue
+        for index in range(count_per_size):
+            graphs.append(
+                random_regular_graph(
+                    num_nodes,
+                    degree,
+                    generator,
+                    name=f"reg_n{num_nodes}_d{degree}_{index}",
+                )
+            )
+    return graphs

@@ -1,0 +1,256 @@
+"""Lightweight weighted-graph container used throughout the library.
+
+The paper works on undirected simple graphs with 2-15 nodes (regular
+graphs for the dataset; weighted graphs appear as future work). We keep a
+small immutable representation that is cheap to hash into datasets and
+easy to convert to/from :mod:`networkx` when generators need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An undirected graph with optional edge weights.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of vertices; nodes are labeled ``0 .. num_nodes - 1``.
+    edges:
+        Tuple of ``(u, v)`` pairs with ``u < v`` (canonical order), no
+        duplicates and no self loops.
+    weights:
+        Tuple of floats parallel to ``edges``. Unweighted graphs use 1.0.
+    name:
+        Optional identifier carried through datasets and result tables.
+    """
+
+    num_nodes: int
+    edges: Tuple[Tuple[int, int], ...]
+    weights: Tuple[float, ...] = field(default=())
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise GraphError(f"graph needs at least one node, got {self.num_nodes}")
+        canonical: List[Tuple[int, int]] = []
+        seen = set()
+        for edge in self.edges:
+            if len(edge) != 2:
+                raise GraphError(f"edge {edge!r} is not a pair")
+            u, v = int(edge[0]), int(edge[1])
+            if u == v:
+                raise GraphError(f"self loop on node {u}")
+            if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+                raise GraphError(
+                    f"edge ({u}, {v}) out of range for {self.num_nodes} nodes"
+                )
+            if u > v:
+                u, v = v, u
+            if (u, v) in seen:
+                raise GraphError(f"duplicate edge ({u}, {v})")
+            seen.add((u, v))
+            canonical.append((u, v))
+        object.__setattr__(self, "edges", tuple(canonical))
+        if self.weights:
+            if len(self.weights) != len(self.edges):
+                raise GraphError(
+                    f"{len(self.weights)} weights for {len(self.edges)} edges"
+                )
+            object.__setattr__(
+                self, "weights", tuple(float(w) for w in self.weights)
+            )
+        else:
+            object.__setattr__(self, "weights", tuple(1.0 for _ in self.edges))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Sequence[int]],
+        weights: Optional[Iterable[float]] = None,
+        name: str = "",
+    ) -> "Graph":
+        """Build a graph from an edge iterable (weights optional)."""
+        edge_tuple = tuple((int(u), int(v)) for u, v in edges)
+        weight_tuple = tuple(weights) if weights is not None else ()
+        return cls(num_nodes, edge_tuple, weight_tuple, name)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, name: str = "") -> "Graph":
+        """Convert a :class:`networkx.Graph`; node labels must be 0..n-1."""
+        nodes = sorted(nx_graph.nodes())
+        if nodes != list(range(len(nodes))):
+            mapping = {node: index for index, node in enumerate(nodes)}
+        else:
+            mapping = {node: node for node in nodes}
+        edges = []
+        weights = []
+        for u, v, data in nx_graph.edges(data=True):
+            edges.append((mapping[u], mapping[v]))
+            weights.append(float(data.get("weight", 1.0)))
+        return cls(len(nodes), tuple(edges), tuple(weights), name)
+
+    @classmethod
+    def complete(cls, num_nodes: int, name: str = "") -> "Graph":
+        """The complete graph K_n."""
+        edges = tuple(
+            (u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)
+        )
+        return cls(num_nodes, edges, name=name)
+
+    @classmethod
+    def cycle(cls, num_nodes: int, name: str = "") -> "Graph":
+        """The cycle graph C_n (n >= 3)."""
+        if num_nodes < 3:
+            raise GraphError("cycle needs at least 3 nodes")
+        edges = tuple((i, (i + 1) % num_nodes) for i in range(num_nodes))
+        return cls(num_nodes, edges, name=name)
+
+    @classmethod
+    def path(cls, num_nodes: int, name: str = "") -> "Graph":
+        """The path graph P_n."""
+        edges = tuple((i, i + 1) for i in range(num_nodes - 1))
+        return cls(num_nodes, edges, name=name)
+
+    @classmethod
+    def star(cls, num_nodes: int, name: str = "") -> "Graph":
+        """The star graph with node 0 as hub."""
+        if num_nodes < 2:
+            raise GraphError("star needs at least 2 nodes")
+        edges = tuple((0, i) for i in range(1, num_nodes))
+        return cls(num_nodes, edges, name=name)
+
+    # ------------------------------------------------------------------
+    # Views and derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    @property
+    def is_weighted(self) -> bool:
+        """True if any edge weight differs from 1.0."""
+        return any(w != 1.0 for w in self.weights)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(sum(self.weights))
+
+    def degrees(self) -> np.ndarray:
+        """Unweighted node degrees as an int array of length ``num_nodes``."""
+        degree = np.zeros(self.num_nodes, dtype=np.int64)
+        for u, v in self.edges:
+            degree[u] += 1
+            degree[v] += 1
+        return degree
+
+    def max_degree(self) -> int:
+        """Largest node degree (0 for edgeless graphs)."""
+        if not self.edges:
+            return 0
+        return int(self.degrees().max())
+
+    def is_regular(self) -> bool:
+        """True if all nodes share the same degree."""
+        degree = self.degrees()
+        return bool((degree == degree[0]).all())
+
+    def regular_degree(self) -> Optional[int]:
+        """The common degree if the graph is regular, else ``None``."""
+        degree = self.degrees()
+        if (degree == degree[0]).all():
+            return int(degree[0])
+        return None
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense weighted adjacency matrix of shape (n, n)."""
+        adj = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
+        for (u, v), w in zip(self.edges, self.weights):
+            adj[u, v] = w
+            adj[v, u] = w
+        return adj
+
+    def edge_array(self) -> np.ndarray:
+        """Edges as an int array of shape (num_edges, 2)."""
+        if not self.edges:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.asarray(self.edges, dtype=np.int64)
+
+    def weight_array(self) -> np.ndarray:
+        """Edge weights as a float array of shape (num_edges,)."""
+        return np.asarray(self.weights, dtype=np.float64)
+
+    def neighbors(self, node: int) -> List[int]:
+        """Sorted neighbor list of ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range")
+        result = []
+        for u, v in self.edges:
+            if u == node:
+                result.append(v)
+            elif v == node:
+                result.append(u)
+        return sorted(result)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the undirected edge (u, v) exists."""
+        if u > v:
+            u, v = v, u
+        return (u, v) in set(self.edges)
+
+    def with_weights(self, weights: Iterable[float]) -> "Graph":
+        """Copy of this graph with new edge weights."""
+        return Graph(self.num_nodes, self.edges, tuple(weights), self.name)
+
+    def with_name(self, name: str) -> "Graph":
+        """Copy of this graph with a new name."""
+        return Graph(self.num_nodes, self.edges, self.weights, name)
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` with ``weight`` attributes."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self.num_nodes))
+        for (u, v), w in zip(self.edges, self.weights):
+            nx_graph.add_edge(u, v, weight=w)
+        return nx_graph
+
+    def is_connected(self) -> bool:
+        """True if the graph is connected (single node counts as connected)."""
+        if self.num_nodes == 1:
+            return True
+        adjacency: Dict[int, List[int]] = {i: [] for i in range(self.num_nodes)}
+        for u, v in self.edges:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        seen = {0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for other in adjacency[node]:
+                if other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        return len(seen) == self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" name={self.name!r}" if self.name else ""
+        return (
+            f"Graph(n={self.num_nodes}, m={self.num_edges}, "
+            f"weighted={self.is_weighted}{label})"
+        )

@@ -1,0 +1,123 @@
+"""Text-file graph storage.
+
+The paper stores "each graph ... in a text file, which is then inputted
+into the QAOA algorithm". We use a simple line-oriented format:
+
+.. code-block:: text
+
+    # optional comment lines
+    nodes <n>
+    edge <u> <v> [weight]
+    ...
+
+plus helpers for reading/writing whole directories of graphs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def graph_to_text(graph: Graph) -> str:
+    """Serialize ``graph`` to the text format."""
+    lines = []
+    if graph.name:
+        lines.append(f"# name: {graph.name}")
+    lines.append(f"nodes {graph.num_nodes}")
+    for (u, v), w in zip(graph.edges, graph.weights):
+        if w == 1.0:
+            lines.append(f"edge {u} {v}")
+        else:
+            lines.append(f"edge {u} {v} {w!r}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_text(text: str, name: str = "") -> Graph:
+    """Parse a graph from the text format (inverse of :func:`graph_to_text`)."""
+    num_nodes = None
+    edges = []
+    weights = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# name:") and not name:
+                name = line[len("# name:"):].strip()
+            continue
+        parts = line.split()
+        if parts[0] == "nodes":
+            if num_nodes is not None:
+                raise GraphFormatError(f"line {line_number}: duplicate 'nodes'")
+            if len(parts) != 2:
+                raise GraphFormatError(f"line {line_number}: malformed 'nodes'")
+            try:
+                num_nodes = int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"line {line_number}: bad node count {parts[1]!r}"
+                ) from exc
+        elif parts[0] == "edge":
+            if len(parts) not in (3, 4):
+                raise GraphFormatError(f"line {line_number}: malformed 'edge'")
+            try:
+                u, v = int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"line {line_number}: bad edge endpoints"
+                ) from exc
+            weight = 1.0
+            if len(parts) == 4:
+                try:
+                    weight = float(parts[3])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"line {line_number}: bad weight {parts[3]!r}"
+                    ) from exc
+            edges.append((u, v))
+            weights.append(weight)
+        else:
+            raise GraphFormatError(
+                f"line {line_number}: unknown directive {parts[0]!r}"
+            )
+    if num_nodes is None:
+        raise GraphFormatError("missing 'nodes' line")
+    return Graph(num_nodes, tuple(edges), tuple(weights), name)
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write one graph to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(graph_to_text(graph))
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Read one graph from ``path``; the file stem becomes the default name."""
+    path = Path(path)
+    return graph_from_text(path.read_text(), name=path.stem)
+
+
+def save_graphs(graphs: List[Graph], directory: PathLike) -> List[Path]:
+    """Write each graph to ``directory/<name or graph_i>.graph``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index, graph in enumerate(graphs):
+        stem = graph.name if graph.name else f"graph_{index:05d}"
+        path = directory / f"{stem}.graph"
+        save_graph(graph, path)
+        paths.append(path)
+    return paths
+
+
+def load_graphs(directory: PathLike) -> List[Graph]:
+    """Read every ``*.graph`` file in ``directory`` (sorted by filename)."""
+    directory = Path(directory)
+    return [load_graph(path) for path in sorted(directory.glob("*.graph"))]

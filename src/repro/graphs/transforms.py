@@ -1,0 +1,92 @@
+"""Graph transforms: line graphs, complements, disjoint unions.
+
+The closest related work (Jain et al. 2022) warm-starts QAOA with a
+*line graph* neural network; :func:`line_graph` provides the transform
+so that encoder variant can be reproduced. The others support
+robustness tests and dataset augmentation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+def line_graph(graph: Graph) -> Graph:
+    """The line graph L(G): a node per edge, adjacency = shared endpoint.
+
+    Node ``i`` of L(G) corresponds to ``graph.edges[i]``; the weight of
+    an L(G) node's original edge is NOT carried (L(G) is unweighted) —
+    use :func:`line_graph_features` for that information.
+    """
+    if graph.num_edges == 0:
+        raise GraphError("line graph of an edgeless graph is empty")
+    edges = []
+    for i in range(graph.num_edges):
+        u1, v1 = graph.edges[i]
+        for j in range(i + 1, graph.num_edges):
+            u2, v2 = graph.edges[j]
+            if len({u1, v1} & {u2, v2}) == 1:
+                edges.append((i, j))
+    return Graph(
+        graph.num_edges,
+        tuple(edges),
+        name=f"L({graph.name})" if graph.name else "",
+    )
+
+
+def line_graph_features(graph: Graph):
+    """Per-line-graph-node features: [weight, deg(u), deg(v)].
+
+    Ordered like ``graph.edges`` (= node order of :func:`line_graph`).
+    """
+    import numpy as np
+
+    degrees = graph.degrees()
+    rows = []
+    for (u, v), w in zip(graph.edges, graph.weights):
+        rows.append([w, float(degrees[u]), float(degrees[v])])
+    return np.asarray(rows, dtype=np.float64)
+
+
+def complement(graph: Graph) -> Graph:
+    """The complement graph (unweighted)."""
+    present = set(graph.edges)
+    edges = tuple(
+        (u, v)
+        for u in range(graph.num_nodes)
+        for v in range(u + 1, graph.num_nodes)
+        if (u, v) not in present
+    )
+    return Graph(
+        graph.num_nodes,
+        edges,
+        name=f"co({graph.name})" if graph.name else "",
+    )
+
+
+def disjoint_union(graphs: Sequence[Graph], name: str = "") -> Graph:
+    """Disjoint union with node offsets (weights preserved)."""
+    if not graphs:
+        raise GraphError("union of nothing")
+    edges: List[Tuple[int, int]] = []
+    weights: List[float] = []
+    offset = 0
+    for graph in graphs:
+        for (u, v), w in zip(graph.edges, graph.weights):
+            edges.append((u + offset, v + offset))
+            weights.append(w)
+        offset += graph.num_nodes
+    return Graph(offset, tuple(edges), tuple(weights), name)
+
+
+def relabel(graph: Graph, permutation: Sequence[int]) -> Graph:
+    """Apply a node permutation: new label of node ``i`` is
+    ``permutation[i]``. Weights follow their edges."""
+    perm = list(int(p) for p in permutation)
+    if sorted(perm) != list(range(graph.num_nodes)):
+        raise GraphError("not a permutation of the node set")
+    edges = tuple((perm[u], perm[v]) for u, v in graph.edges)
+    return Graph(graph.num_nodes, edges, graph.weights, graph.name)

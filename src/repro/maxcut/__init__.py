@@ -1,0 +1,39 @@
+"""Max-Cut substrate: problem wrapper, exact and heuristic solvers."""
+
+from repro.maxcut.problem import (
+    MaxCutProblem,
+    MaxCutSolution,
+    all_cut_values,
+    assignment_to_bits,
+    cut_value,
+)
+from repro.maxcut.bruteforce import (
+    brute_force_maxcut,
+    brute_force_maxcut_chunked,
+    count_optimal_cuts,
+)
+from repro.maxcut.greedy import greedy_maxcut, local_search_maxcut, random_cut
+from repro.maxcut.goemans_williamson import (
+    GWResult,
+    goemans_williamson,
+    round_embedding,
+    solve_lowrank_sdp,
+)
+
+__all__ = [
+    "MaxCutProblem",
+    "MaxCutSolution",
+    "all_cut_values",
+    "assignment_to_bits",
+    "cut_value",
+    "brute_force_maxcut",
+    "brute_force_maxcut_chunked",
+    "count_optimal_cuts",
+    "greedy_maxcut",
+    "local_search_maxcut",
+    "random_cut",
+    "GWResult",
+    "goemans_williamson",
+    "round_embedding",
+    "solve_lowrank_sdp",
+]

@@ -1,0 +1,60 @@
+"""Exact Max-Cut solvers.
+
+The paper grades every QAOA run against "the optimal solutions derived
+from a brute-force search approach". For the paper's sizes (n <= 15) the
+vectorized enumeration in :func:`brute_force_maxcut` is instantaneous; a
+low-memory chunked variant covers slightly larger instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.maxcut.problem import MaxCutSolution, all_cut_values
+
+
+def brute_force_maxcut(graph: Graph) -> MaxCutSolution:
+    """Enumerate all 2^n cuts and return the optimum (n <= 26)."""
+    values = all_cut_values(graph)
+    best = int(values.argmax())
+    return MaxCutSolution(assignment=best, value=float(values[best]), optimal=True)
+
+
+def brute_force_maxcut_chunked(
+    graph: Graph, chunk_bits: int = 20
+) -> MaxCutSolution:
+    """Brute force with bounded memory: scan bitstrings in 2^chunk_bits blocks.
+
+    Exists for instances past the dense-diagonal budget; identical result
+    to :func:`brute_force_maxcut`.
+    """
+    n = graph.num_nodes
+    if n > 32:
+        raise GraphError(f"chunked brute force infeasible for n={n}")
+    edges = graph.edge_array()
+    weights = graph.weight_array()
+    chunk = 1 << min(chunk_bits, n)
+    best_value = -np.inf
+    best_state = 0
+    for start in range(0, 1 << n, chunk):
+        states = np.arange(start, min(start + chunk, 1 << n), dtype=np.int64)
+        values = np.zeros(states.shape[0], dtype=np.float64)
+        for (u, v), w in zip(edges, weights):
+            values += w * (((states >> int(u)) & 1) ^ ((states >> int(v)) & 1))
+        index = int(values.argmax())
+        if values[index] > best_value:
+            best_value = float(values[index])
+            best_state = int(states[index])
+    return MaxCutSolution(assignment=best_state, value=best_value, optimal=True)
+
+
+def count_optimal_cuts(graph: Graph) -> int:
+    """Number of bitstrings achieving the optimal cut value.
+
+    Always even for graphs with edges (complementing a cut preserves its
+    value), which is a useful invariant for tests.
+    """
+    values = all_cut_values(graph)
+    return int((values == values.max()).sum())

@@ -1,0 +1,151 @@
+"""Max-Cut problem wrapper and cut-value machinery.
+
+A cut is an assignment of each node to one of two sides. We encode
+assignments as bitstrings (integers) or as 0/1 numpy vectors. The cut
+value is the total weight of edges whose endpoints land on opposite
+sides; the *approximation ratio* of a cut (or of a QAOA expectation) is
+its value divided by the optimal cut value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+Assignment = Union[int, Sequence[int], np.ndarray]
+
+
+def assignment_to_bits(assignment: Assignment, num_nodes: int) -> np.ndarray:
+    """Normalize an assignment to a 0/1 vector of length ``num_nodes``.
+
+    Integers are interpreted as bitstrings with node ``i`` at bit ``i``.
+    """
+    if isinstance(assignment, (int, np.integer)):
+        value = int(assignment)
+        if not 0 <= value < (1 << num_nodes):
+            raise GraphError(
+                f"bitstring {value} out of range for {num_nodes} nodes"
+            )
+        return (value >> np.arange(num_nodes)) & 1
+    bits = np.asarray(assignment, dtype=np.int64)
+    if bits.shape != (num_nodes,):
+        raise GraphError(
+            f"assignment shape {bits.shape} != ({num_nodes},)"
+        )
+    if not np.isin(bits, (0, 1)).all():
+        raise GraphError("assignment entries must be 0 or 1")
+    return bits
+
+
+def cut_value(graph: Graph, assignment: Assignment) -> float:
+    """Total weight of edges crossing the cut defined by ``assignment``."""
+    bits = assignment_to_bits(assignment, graph.num_nodes)
+    if graph.num_edges == 0:
+        return 0.0
+    edges = graph.edge_array()
+    crossing = bits[edges[:, 0]] != bits[edges[:, 1]]
+    return float(graph.weight_array()[crossing].sum())
+
+
+def all_cut_values(graph: Graph) -> np.ndarray:
+    """Cut value of every bitstring ``0 .. 2^n - 1``, vectorized.
+
+    This is the diagonal of the Max-Cut cost Hamiltonian in the
+    computational basis and the core primitive for both brute force and
+    the fast QAOA simulator. Memory is ``O(2^n)`` floats.
+    """
+    n = graph.num_nodes
+    if n > 26:
+        raise GraphError(f"all_cut_values infeasible for n={n} (> 26)")
+    values = np.zeros(1 << n, dtype=np.float64)
+    if graph.num_edges == 0:
+        return values
+    states = np.arange(1 << n, dtype=np.int64)
+    for (u, v), w in zip(graph.edges, graph.weights):
+        bits_u = (states >> u) & 1
+        bits_v = (states >> v) & 1
+        values += w * (bits_u ^ bits_v)
+    return values
+
+
+@dataclass(frozen=True)
+class MaxCutSolution:
+    """An exact or approximate Max-Cut solution.
+
+    Attributes
+    ----------
+    assignment:
+        Best bitstring found (node ``i`` at bit ``i``).
+    value:
+        Cut value of ``assignment``.
+    optimal:
+        True when the solver guarantees global optimality.
+    """
+
+    assignment: int
+    value: float
+    optimal: bool = False
+
+    def bits(self, num_nodes: int) -> np.ndarray:
+        """The assignment as a 0/1 vector."""
+        return assignment_to_bits(self.assignment, num_nodes)
+
+
+class MaxCutProblem:
+    """A Max-Cut instance with cached optimum and cost diagonal.
+
+    Wraps a :class:`Graph` and memoizes the expensive quantities every
+    downstream consumer needs: the full cut-value diagonal (for the QAOA
+    simulator) and the exact optimum (for approximation ratios).
+    """
+
+    def __init__(self, graph: Graph):
+        if graph.num_nodes < 1:
+            raise GraphError("empty graph")
+        self.graph = graph
+        self._diagonal: Optional[np.ndarray] = None
+        self._optimum: Optional[MaxCutSolution] = None
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (= qubits for QAOA)."""
+        return self.graph.num_nodes
+
+    def cost_diagonal(self) -> np.ndarray:
+        """Cached :func:`all_cut_values` for this instance."""
+        if self._diagonal is None:
+            self._diagonal = all_cut_values(self.graph)
+        return self._diagonal
+
+    def optimum(self) -> MaxCutSolution:
+        """Exact optimum by vectorized brute force (cached)."""
+        if self._optimum is None:
+            diagonal = self.cost_diagonal()
+            best = int(diagonal.argmax())
+            self._optimum = MaxCutSolution(
+                assignment=best, value=float(diagonal[best]), optimal=True
+            )
+        return self._optimum
+
+    def max_cut_value(self) -> float:
+        """Optimal cut value."""
+        return self.optimum().value
+
+    def cut_value(self, assignment: Assignment) -> float:
+        """Cut value of an arbitrary assignment."""
+        return cut_value(self.graph, assignment)
+
+    def approximation_ratio(self, value: float) -> float:
+        """``value / optimum`` (1.0 when the graph has no edges)."""
+        optimum = self.max_cut_value()
+        if optimum <= 0.0:
+            return 1.0
+        return float(value) / optimum
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaxCutProblem({self.graph!r})"

@@ -1,0 +1,30 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, gain: float = 1.0, rng: RngLike = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform init for a ``(fan_in, fan_out)`` weight."""
+    generator = ensure_rng(rng)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, rng: RngLike = None
+) -> np.ndarray:
+    """He/Kaiming uniform init (ReLU gain) for a ``(fan_in, fan_out)`` weight."""
+    generator = ensure_rng(rng)
+    bound = np.sqrt(6.0 / fan_in)
+    return generator.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zero array (bias init)."""
+    return np.zeros(shape, dtype=np.float64)

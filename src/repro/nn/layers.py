@@ -1,0 +1,146 @@
+"""Dense layers and containers: Linear, Dropout, activations, MLP."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Xavier-initialized ``W``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ModelError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform(in_features, out_features, rng=rng)
+        )
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ModelError(
+                f"Linear expected {self.in_features} input features, "
+                f"got {x.shape[-1]}"
+            )
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode only.
+
+    The paper uses ``dropout ratio 0.5 during training`` on the GNN
+    embeddings.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: RngLike = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ModelError(f"dropout rate {rate} not in [0, 1)")
+        self.rate = rate
+        self._rng = ensure_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    """ReLU activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    """LeakyReLU activation module."""
+
+    def __init__(self, negative_slope: float = 0.2):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    """Tanh activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Sigmoid activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU between hidden layers.
+
+    ``dims = [in, h1, ..., out]``; the final layer is linear (no
+    activation) so the network can regress unbounded QAOA angles.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        dropout: float = 0.0,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ModelError("MLP needs at least input and output dims")
+        generator = ensure_rng(rng)
+        self.layers: List[Module] = []
+        for i in range(len(dims) - 1):
+            self.layers.append(Linear(dims[i], dims[i + 1], rng=generator))
+            if i < len(dims) - 2:
+                self.layers.append(ReLU())
+                if dropout > 0:
+                    self.layers.append(Dropout(dropout, rng=generator))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,42 @@
+"""Regression losses for parameter prediction."""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelError
+from repro.nn.tensor import Tensor, _as_tensor
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = _as_tensor(target)
+    _check_shapes(prediction, target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    target = _as_tensor(target)
+    _check_shapes(prediction, target)
+    return (prediction - target.detach()).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    from repro.nn.tensor import where
+
+    target = _as_tensor(target)
+    _check_shapes(prediction, target)
+    diff = prediction - target.detach()
+    abs_diff = diff.abs()
+    quadratic = diff * diff * 0.5
+    linear = abs_diff * delta - 0.5 * delta * delta
+    return where(abs_diff.data <= delta, quadratic, linear).mean()
+
+
+def _check_shapes(prediction: Tensor, target: Tensor) -> None:
+    if prediction.shape != target.shape:
+        raise ModelError(
+            f"loss shape mismatch: prediction {prediction.shape} "
+            f"vs target {target.shape}"
+        )

@@ -1,0 +1,111 @@
+"""Gradient-descent optimizers for model parameters.
+
+The paper trains with Adam; SGD exists as a baseline and for tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm. Parameters without gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise OptimizationError("max_norm must be positive")
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base: holds parameters, steps on their ``.grad`` fields."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float):
+        if learning_rate <= 0:
+            raise OptimizationError("learning rate must be positive")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise OptimizationError("optimizer got no parameters")
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update (override)."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+    ):
+        super().__init__(parameters, learning_rate)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.learning_rate * param.grad
+            param.data = param.data + velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the paper's model optimizer."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        learning_rate: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, learning_rate)
+        self.beta1, self.beta2 = betas
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
+            m_hat = self._m[i] / (1 - self.beta1**t)
+            v_hat = self._v[i] / (1 - self.beta2**t)
+            param.data = param.data - self.learning_rate * m_hat / (
+                np.sqrt(v_hat) + self.epsilon
+            )

@@ -1,0 +1,95 @@
+"""Learning-rate schedulers.
+
+The paper: "ReduceLROnPlateau as scheduler to monitor the training loss
+and reduces the learning rate when there is no improvements for a
+defined number of epochs ... scheduler mode to min, factor to 5,
+patience to 5 and minimum learning rate to 1e-5". PyTorch requires
+``factor < 1``, so "factor 5" is read as dividing the rate by 5
+(factor = 0.2); :class:`ReduceLROnPlateau` accepts either convention
+and normalizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.nn.optim import Optimizer
+
+
+class ReduceLROnPlateau:
+    """Shrink the learning rate when a monitored metric stops improving."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        mode: str = "min",
+        factor: float = 0.2,
+        patience: int = 5,
+        min_lr: float = 1e-5,
+        threshold: float = 1e-4,
+    ):
+        if mode not in ("min", "max"):
+            raise OptimizationError(f"mode must be 'min' or 'max', got {mode!r}")
+        if factor <= 0:
+            raise OptimizationError("factor must be positive")
+        if factor >= 1.0:
+            # Accept the paper's "factor to 5" phrasing: divide by it.
+            factor = 1.0 / factor
+        self.optimizer = optimizer
+        self.mode = mode
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self.best = np.inf if mode == "min" else -np.inf
+        self.num_bad_epochs = 0
+        self.num_reductions = 0
+
+    @property
+    def learning_rate(self) -> float:
+        """Current learning rate of the wrapped optimizer."""
+        return self.optimizer.learning_rate
+
+    def step(self, metric: float) -> bool:
+        """Record one epoch's metric; returns True if the LR was reduced."""
+        metric = float(metric)
+        if self._improved(metric):
+            self.best = metric
+            self.num_bad_epochs = 0
+            return False
+        self.num_bad_epochs += 1
+        if self.num_bad_epochs > self.patience:
+            new_rate = max(
+                self.optimizer.learning_rate * self.factor, self.min_lr
+            )
+            reduced = new_rate < self.optimizer.learning_rate
+            self.optimizer.learning_rate = new_rate
+            self.num_bad_epochs = 0
+            if reduced:
+                self.num_reductions += 1
+            return reduced
+        return False
+
+    def _improved(self, metric: float) -> bool:
+        if self.mode == "min":
+            return metric < self.best - self.threshold
+        return metric > self.best + self.threshold
+
+
+class StepLR:
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise OptimizationError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch."""
+        self.epoch += 1
+        if self.epoch % self.step_size == 0:
+            self.optimizer.learning_rate *= self.gamma

@@ -1,0 +1,130 @@
+"""Indexed gather/scatter (segment) operations with autograd.
+
+These are the message-passing primitives: ``gather`` pulls node rows out
+along edges, the ``segment_*`` reductions push edge messages back into
+nodes, and ``segment_softmax`` normalizes attention scores per
+destination node (GAT). All operate on 2-D tensors ``(items, features)``
+with a 1-D int index mapping items to segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.tensor import Tensor, _as_tensor
+
+
+def _check_index(index: np.ndarray, num_items: int) -> np.ndarray:
+    index = np.asarray(index, dtype=np.int64)
+    if index.ndim != 1:
+        raise ModelError(f"index must be 1-D, got shape {index.shape}")
+    if index.shape[0] != num_items:
+        raise ModelError(
+            f"index length {index.shape[0]} != item count {num_items}"
+        )
+    if index.size and index.min() < 0:
+        raise ModelError("negative segment index")
+    return index
+
+
+def gather(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows: ``out[i] = x[index[i]]``; backward scatter-adds."""
+    x = _as_tensor(x)
+    index = np.asarray(index, dtype=np.int64)
+    if index.ndim != 1:
+        raise ModelError("gather index must be 1-D")
+    if index.size and index.max() >= x.shape[0]:
+        raise ModelError("gather index out of range")
+    x_shape = x.data.shape
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros(x_shape, dtype=np.float64)
+        np.add.at(full, index, grad)
+        x._accumulate(full)
+
+    return Tensor._make(x.data[index], (x,), backward)
+
+
+def segment_sum(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows into segments: ``out[s] = sum_{i: index[i]=s} x[i]``."""
+    x = _as_tensor(x)
+    index = _check_index(index, x.shape[0])
+    if index.size and index.max() >= num_segments:
+        raise ModelError("segment index exceeds num_segments")
+    out = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
+    np.add.at(out, index, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[index])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def segment_mean(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Mean rows per segment; empty segments yield zeros."""
+    x = _as_tensor(x)
+    index = _check_index(index, x.shape[0])
+    counts = np.bincount(index, minlength=num_segments).astype(np.float64)
+    safe = np.maximum(counts, 1.0)
+    shape = (num_segments,) + (1,) * (x.data.ndim - 1)
+    total = segment_sum(x, index, num_segments)
+    return total * Tensor(1.0 / safe.reshape(shape))
+
+
+def segment_max(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Max rows per segment (GraphSAGE pooling); empty segments yield zeros.
+
+    The gradient splits equally among elements tied at the segment max —
+    a valid subgradient that keeps the op deterministic.
+    """
+    x = _as_tensor(x)
+    index = _check_index(index, x.shape[0])
+    if index.size and index.max() >= num_segments:
+        raise ModelError("segment index exceeds num_segments")
+    feature_shape = x.data.shape[1:]
+    out = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out, index, x.data)
+    empty = np.isinf(out)
+    out = np.where(empty, 0.0, out)
+    x_data = x.data
+
+    def backward(grad: np.ndarray) -> None:
+        mask = (x_data == out[index]).astype(np.float64)
+        tie_count = np.zeros((num_segments,) + feature_shape, dtype=np.float64)
+        np.add.at(tie_count, index, mask)
+        tie_count = np.maximum(tie_count, 1.0)
+        x._accumulate(mask * grad[index] / tie_count[index])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def segment_softmax(scores: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of ``scores`` within each segment (GAT attention weights).
+
+    Numerically stabilized by subtracting the per-segment max as a
+    *constant* shift — softmax is shift-invariant per segment, so the
+    gradient stays exact.
+    """
+    scores = _as_tensor(scores)
+    index = _check_index(index, scores.shape[0])
+    feature_shape = scores.data.shape[1:]
+    max_per_segment = np.full(
+        (num_segments,) + feature_shape, -np.inf, dtype=np.float64
+    )
+    np.maximum.at(max_per_segment, index, scores.data)
+    max_per_segment = np.where(
+        np.isinf(max_per_segment), 0.0, max_per_segment
+    )
+    shifted = scores - Tensor(max_per_segment[index])
+    exps = shifted.exp()
+    denom = segment_sum(exps, index, num_segments)
+    # Clamp empty-segment denominators (no incoming edges) to 1.
+    denom_safe = denom + Tensor((denom.data == 0.0).astype(np.float64))
+    return exps * gather(denom_safe ** -1.0, index)
+
+
+def segment_count(index: np.ndarray, num_segments: int) -> np.ndarray:
+    """Number of items per segment (plain numpy; not differentiable)."""
+    index = np.asarray(index, dtype=np.int64)
+    return np.bincount(index, minlength=num_segments).astype(np.float64)

@@ -1,0 +1,532 @@
+"""Reverse-mode autograd on numpy arrays.
+
+This is the substrate that replaces PyTorch for this reproduction: a
+:class:`Tensor` wrapping a float64 numpy array, recording the operations
+applied to it, and computing exact gradients with :meth:`Tensor.backward`.
+The op set is exactly what the GNN stack needs — dense algebra,
+activations, reductions, indexed gather/scatter — nothing speculative.
+
+Gradient checks for every op live in ``tests/test_nn_tensor.py``
+(hypothesis-driven finite-difference comparisons).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+class Tensor:
+    """A numpy array with reverse-mode automatic differentiation.
+
+    Attributes
+    ----------
+    data:
+        The underlying float64 array.
+    grad:
+        Accumulated gradient (same shape as ``data``) after
+        :meth:`backward`; ``None`` before.
+    requires_grad:
+        Whether gradients flow into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total element count."""
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """A defensive copy of the underlying array."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        """The scalar value (raises if not 1-element)."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise(
+            ModelError(f"item() on tensor of size {self.data.size}")
+        )
+
+    def detach(self) -> "Tensor":
+        """A view of the data cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        out.requires_grad = requires
+        if requires:
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (scalar outputs expect the default).
+        """
+        if not self.requires_grad:
+            raise ModelError("backward() on a tensor without requires_grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise ModelError(
+                    "backward() without an explicit gradient requires a "
+                    "scalar output"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(
+                grad.data if isinstance(grad, Tensor) else grad,
+                dtype=np.float64,
+            )
+            if grad.shape != self.data.shape:
+                raise ModelError(
+                    f"gradient shape {grad.shape} != output shape {self.data.shape}"
+                )
+
+        order: List[Tensor] = []
+        seen: Set[int] = set()
+
+        def topo(node: "Tensor") -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                topo(parent)
+            order.append(node)
+
+        topo(self)
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(-grad)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other_data)
+            other._accumulate(grad * self_data)
+
+        return Tensor._make(self_data * other_data, (self, other), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other_data)
+            other._accumulate(-grad * self_data / other_data**2)
+
+        return Tensor._make(self_data / other_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise ModelError("only scalar exponents are supported")
+        self_data = self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self_data ** (exponent - 1))
+
+        return Tensor._make(self_data**exponent, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+        self_data, other_data = self.data, other.data
+        if self_data.ndim != 2 or other_data.ndim != 2:
+            raise ModelError("matmul supports 2-D tensors only")
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad @ other_data.T)
+            other._accumulate(self_data.T @ grad)
+
+        return Tensor._make(self_data @ other_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        result = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * result)
+
+        return Tensor._make(result, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural log."""
+        self_data = self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self_data)
+
+        return Tensor._make(np.log(self_data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        result = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / (2.0 * result))
+
+        return Tensor._make(result, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise tanh."""
+        result = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - result**2))
+
+        return Tensor._make(result, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        result = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * result * (1.0 - result))
+
+        return Tensor._make(result, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Elementwise ReLU."""
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        """Elementwise LeakyReLU (GAT's attention nonlinearity)."""
+        mask = self.data > 0
+        slope_grad = np.where(mask, 1.0, negative_slope)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * slope_grad)
+
+        return Tensor._make(
+            np.where(mask, self.data, negative_slope * self.data),
+            (self,),
+            backward,
+        )
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (sign subgradient at 0 is 0)."""
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when None)."""
+        self_shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = _expand_reduced(grad, self_shape, axis, keepdims)
+            self._accumulate(expanded)
+
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis``."""
+        self_shape = self.data.shape
+        count = (
+            self.data.size
+            if axis is None
+            else np.prod([self_shape[a] for a in _normalize_axes(axis, self.ndim)])
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = _expand_reduced(grad, self_shape, axis, keepdims)
+            self._accumulate(expanded / count)
+
+        return Tensor._make(
+            self.data.mean(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Max over ``axis``; gradient splits equally among ties."""
+        self_data = self.data
+        self_shape = self_data.shape
+        result = self_data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded_max = _expand_reduced(
+                result if keepdims else np.asarray(result),
+                self_shape,
+                axis,
+                keepdims,
+            )
+            mask = (self_data == expanded_max).astype(np.float64)
+            tie_count = mask.sum(axis=axis, keepdims=True)
+            expanded_grad = _expand_reduced(grad, self_shape, axis, keepdims)
+            self._accumulate(expanded_grad * mask / tie_count)
+
+        return Tensor._make(result, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """Reshape (accepts a tuple or varargs)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        self_shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self_shape))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        """2-D transpose."""
+        if self.ndim != 2:
+            raise ModelError("transpose supports 2-D tensors only")
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.T)
+
+        return Tensor._make(self.data.T, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        """Alias for :meth:`transpose`."""
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        self_shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros(self_shape, dtype=np.float64)
+            np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        return Tensor._make(self.data[key], (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (return plain bool arrays; not differentiable)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _raw(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _raw(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _raw(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _raw(other)
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [_as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [_as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise select: ``condition ? a : b`` (condition not differentiable)."""
+    a = _as_tensor(a)
+    b = _as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * condition)
+        b._accumulate(grad * ~condition)
+
+    return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
+
+
+def _as_tensor(value: ArrayLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _raw(value: ArrayLike) -> np.ndarray:
+    return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+def _raise(error: Exception):
+    raise error
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce a broadcast gradient back to ``shape``."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _normalize_axes(axis, ndim: int) -> Tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, (int, np.integer)):
+        axis = (int(axis),)
+    return tuple(a % ndim for a in axis)
+
+
+def _expand_reduced(
+    grad: np.ndarray, shape: Tuple[int, ...], axis, keepdims: bool
+) -> np.ndarray:
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    grad = np.asarray(grad, dtype=np.float64)
+    if axis is None:
+        return np.broadcast_to(grad.reshape((1,) * len(shape)), shape).copy()
+    axes = _normalize_axes(axis, len(shape))
+    if not keepdims:
+        for a in sorted(axes):
+            grad = np.expand_dims(grad, axis=a)
+    return np.broadcast_to(grad, shape).copy()

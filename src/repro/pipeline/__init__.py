@@ -1,0 +1,55 @@
+"""Training and evaluation pipeline."""
+
+from repro.pipeline.training import (
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    train_predictor,
+)
+from repro.pipeline.evaluation import (
+    EvaluationResult,
+    WarmStartComparison,
+    WarmStartEvaluator,
+)
+from repro.pipeline.experiment import (
+    ExperimentConfig,
+    ExperimentReport,
+    run_experiment,
+)
+from repro.pipeline.crossval import (
+    CrossValResult,
+    cross_validate,
+    cross_validate_architectures,
+)
+from repro.pipeline.convergence import (
+    ConvergenceAnalyzer,
+    ConvergenceComparison,
+    ConvergenceReport,
+    iterations_to_threshold,
+)
+from repro.pipeline.reporting import (
+    render_markdown_report,
+    write_markdown_report,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_predictor",
+    "EvaluationResult",
+    "WarmStartComparison",
+    "WarmStartEvaluator",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "run_experiment",
+    "CrossValResult",
+    "cross_validate",
+    "cross_validate_architectures",
+    "ConvergenceAnalyzer",
+    "ConvergenceComparison",
+    "ConvergenceReport",
+    "iterations_to_threshold",
+    "render_markdown_report",
+    "write_markdown_report",
+]

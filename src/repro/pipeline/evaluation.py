@@ -1,0 +1,204 @@
+"""Warm-start evaluation: GNN initialization vs random initialization.
+
+Reproduces the paper's experiment (Section 4): for each held-out test
+graph, run QAOA once from a random initialization and once from the
+model's predicted parameters under the same optimizer budget, and
+compare the achieved approximation ratios. The headline quantity is the
+per-graph *improvement* in percentage points,
+``100 * (AR_gnn - AR_random)``, whose mean and standard deviation across
+the test set form Table 1; the per-graph traces form Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.graph import Graph
+from repro.qaoa.initialization import (
+    InitializationStrategy,
+    RandomInitialization,
+)
+from repro.qaoa.runner import QAOARunner
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class WarmStartComparison:
+    """Per-graph outcome of the random-vs-strategy comparison.
+
+    Attributes
+    ----------
+    graph_name:
+        Instance identifier.
+    num_nodes, degree:
+        Instance shape (degree = regular degree or max degree).
+    random_ratio, strategy_ratio:
+        Final approximation ratios from each initialization.
+    random_initial_ratio, strategy_initial_ratio:
+        Ratios *before* optimization (initialization quality itself).
+    improvement:
+        ``100 * (strategy_ratio - random_ratio)`` percentage points.
+    """
+
+    graph_name: str
+    num_nodes: int
+    degree: int
+    random_ratio: float
+    strategy_ratio: float
+    random_initial_ratio: float
+    strategy_initial_ratio: float
+
+    @property
+    def improvement(self) -> float:
+        """Improvement over random init, in percentage points."""
+        return 100.0 * (self.strategy_ratio - self.random_ratio)
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregate of a full test-set evaluation (one Table 1 cell).
+
+    ``comparisons`` carries the per-graph traces used by Figure 5.
+    """
+
+    strategy_name: str
+    comparisons: List[WarmStartComparison] = field(default_factory=list)
+
+    @property
+    def improvements(self) -> np.ndarray:
+        """Per-graph improvements in percentage points."""
+        return np.asarray([c.improvement for c in self.comparisons])
+
+    @property
+    def mean_improvement(self) -> float:
+        """Mean improvement (Table 1 value)."""
+        return float(self.improvements.mean()) if self.comparisons else 0.0
+
+    @property
+    def std_improvement(self) -> float:
+        """Standard deviation of the improvement (Table 1 +/-)."""
+        return float(self.improvements.std()) if self.comparisons else 0.0
+
+    @property
+    def random_ratios(self) -> np.ndarray:
+        """Per-graph final AR from random initialization (Fig 5 orange)."""
+        return np.asarray([c.random_ratio for c in self.comparisons])
+
+    @property
+    def strategy_ratios(self) -> np.ndarray:
+        """Per-graph final AR from the strategy (Fig 5 blue)."""
+        return np.asarray([c.strategy_ratio for c in self.comparisons])
+
+    def win_rate(self) -> float:
+        """Fraction of test graphs where the strategy is at least as good."""
+        if not self.comparisons:
+            return 0.0
+        return float((self.improvements >= 0.0).mean())
+
+    def summary(self) -> Dict[str, float]:
+        """Dict form for tables and JSON export."""
+        return {
+            "strategy": self.strategy_name,
+            "mean_improvement": self.mean_improvement,
+            "std_improvement": self.std_improvement,
+            "win_rate": self.win_rate(),
+            "mean_random_ar": float(self.random_ratios.mean()),
+            "mean_strategy_ar": float(self.strategy_ratios.mean()),
+            "std_random_ar": float(self.random_ratios.std()),
+            "std_strategy_ar": float(self.strategy_ratios.std()),
+            "count": len(self.comparisons),
+        }
+
+
+class WarmStartEvaluator:
+    """Runs the paired random-vs-strategy comparison over test graphs.
+
+    The *same* optimizer budget is used on both arms; the random arm's
+    initial angles are drawn independently per graph from the shared RNG
+    stream, so comparisons are paired but unbiased.
+    """
+
+    def __init__(
+        self,
+        p: int = 1,
+        optimizer_iters: int = 60,
+        learning_rate: float = 0.05,
+        rng: RngLike = None,
+    ):
+        from repro.qaoa.optimizers import AdamOptimizer
+
+        self.p = p
+        self.runner = QAOARunner(
+            p=p,
+            optimizer=AdamOptimizer(learning_rate=learning_rate),
+            max_iters=optimizer_iters,
+        )
+        self._rng = ensure_rng(rng)
+
+    def evaluate_strategy(
+        self,
+        graphs: Sequence[Graph],
+        strategy: InitializationStrategy,
+        strategy_name: Optional[str] = None,
+    ) -> EvaluationResult:
+        """Compare ``strategy`` against random init on every graph."""
+        if not graphs:
+            raise DatasetError("no test graphs")
+        name = strategy_name if strategy_name else strategy.name
+        result = EvaluationResult(strategy_name=name)
+        random_strategy = RandomInitialization()
+        for graph in graphs:
+            random_outcome = self.runner.run(
+                graph, random_strategy, spawn_rng(self._rng)
+            )
+            strategy_outcome = self.runner.run(
+                graph, strategy, spawn_rng(self._rng)
+            )
+            degree = graph.regular_degree()
+            if degree is None:
+                degree = graph.max_degree()
+            result.comparisons.append(
+                WarmStartComparison(
+                    graph_name=graph.name,
+                    num_nodes=graph.num_nodes,
+                    degree=degree,
+                    random_ratio=random_outcome.approximation_ratio,
+                    strategy_ratio=strategy_outcome.approximation_ratio,
+                    random_initial_ratio=(
+                        random_outcome.initial_approximation_ratio
+                    ),
+                    strategy_initial_ratio=(
+                        strategy_outcome.initial_approximation_ratio
+                    ),
+                )
+            )
+        return result
+
+    def evaluate_model(
+        self,
+        graphs: Sequence[Graph],
+        model: QAOAParameterPredictor,
+        strategy_name: Optional[str] = None,
+    ) -> EvaluationResult:
+        """Compare a trained predictor against random init."""
+        name = strategy_name if strategy_name else f"gnn_{model.arch}"
+        return self.evaluate_strategy(graphs, model.as_initialization(), name)
+
+    def evaluate_models(
+        self,
+        graphs: Sequence[Graph],
+        models: Dict[str, QAOAParameterPredictor],
+    ) -> Dict[str, EvaluationResult]:
+        """Evaluate several models (the four-architecture comparison)."""
+        return {
+            name: self.evaluate_model(graphs, model, name)
+            for name, model in models.items()
+        }

@@ -1,0 +1,89 @@
+"""Closed-form p=1 QAOA Max-Cut expectation (test oracle).
+
+Wang, Hadfield, Jiang & Rieffel (PRA 97, 022304, 2018) give the exact
+depth-1 expectation of each edge operator ``C_uv = (1 - Z_u Z_v)/2`` for
+unweighted graphs::
+
+    <C_uv> = 1/2
+           + (sin(4 beta) sin(gamma) / 4) (cos^d(gamma) + cos^e(gamma))
+           - (sin^2(2 beta) / 4) cos^(d+e-2f)(gamma) (1 - cos^f(2 gamma))
+
+where ``d = deg(u) - 1``, ``e = deg(v) - 1`` and ``f`` is the number of
+triangles through the edge (common neighbors of u and v). Summing over
+edges gives the total expectation — an independent oracle used to verify
+the statevector simulator, and the source of the p=1 fixed-angle closed
+form for regular graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+def p1_edge_expectation(
+    gamma: float, beta: float, deg_u: int, deg_v: int, triangles: int
+) -> float:
+    """Depth-1 expectation of one edge's cut operator (unweighted)."""
+    d = deg_u - 1
+    e = deg_v - 1
+    f = triangles
+    if d < 0 or e < 0 or f < 0:
+        raise GraphError("degrees must be >= 1 and triangles >= 0")
+    term_single = (
+        0.25
+        * np.sin(4.0 * beta)
+        * np.sin(gamma)
+        * (np.cos(gamma) ** d + np.cos(gamma) ** e)
+    )
+    term_pair = (
+        0.25
+        * np.sin(2.0 * beta) ** 2
+        * np.cos(gamma) ** (d + e - 2 * f)
+        * (1.0 - np.cos(2.0 * gamma) ** f)
+    )
+    return float(0.5 + term_single - term_pair)
+
+
+def p1_expectation(graph: Graph, gamma: float, beta: float) -> float:
+    """Exact depth-1 QAOA expectation ``<C>`` for an unweighted graph."""
+    if graph.is_weighted:
+        raise GraphError("closed form only applies to unweighted graphs")
+    degrees = graph.degrees()
+    adjacency = (graph.adjacency_matrix() > 0).astype(np.int64)
+    total = 0.0
+    for u, v in graph.edges:
+        triangles = int((adjacency[u] & adjacency[v]).sum())
+        total += p1_edge_expectation(
+            gamma, beta, int(degrees[u]), int(degrees[v]), triangles
+        )
+    return total
+
+
+def p1_regular_triangle_free_expectation(
+    gamma: float, beta: float, degree: int, num_edges: int
+) -> float:
+    """Depth-1 ``<C>`` for a triangle-free d-regular graph (f = 0)."""
+    per_edge = p1_edge_expectation(gamma, beta, degree, degree, 0)
+    return per_edge * num_edges
+
+
+def p1_optimal_angles_regular(degree: int) -> tuple:
+    """Optimal (gamma, beta) for p=1 on triangle-free d-regular graphs.
+
+    With ``f = 0`` the edge expectation reduces to
+    ``1/2 + sin(4 beta) sin(gamma) cos^(d-1)(gamma) / 2``; the maximum
+    sits at ``beta = pi/8`` and ``gamma = arctan(1 / sqrt(d - 1))``
+    (``gamma = pi/2`` for d = 1, which cuts an isolated edge exactly).
+    These are the degree-d entries of the fixed-angle conjecture at p=1.
+    """
+    if degree < 1:
+        raise GraphError(f"degree must be >= 1, got {degree}")
+    beta = np.pi / 8.0
+    if degree == 1:
+        gamma = np.pi / 2.0
+    else:
+        gamma = float(np.arctan(1.0 / np.sqrt(degree - 1.0)))
+    return gamma, beta

@@ -1,0 +1,283 @@
+"""Diagonal cost Hamiltonians beyond Max-Cut: Ising and QUBO.
+
+Related work applies the same warm-start machinery "to other random
+rounding schemes and optimization problems" (Egger et al.). The QAOA
+simulator only needs a diagonal cost, so this module generalizes the
+problem layer: Ising models ``C(z) = sum_i h_i s_i + sum_ij J_ij s_i
+s_j`` (spins ``s = 1 - 2 z``), QUBO ``C(x) = x^T Q x``, and lossless
+conversions between them and Max-Cut.
+
+All objectives are MAXIMIZED, matching the Max-Cut convention used
+throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.maxcut.problem import MaxCutSolution
+
+
+@dataclass(frozen=True)
+class IsingModel:
+    """An Ising cost on n spins (maximization convention).
+
+    ``C(s) = sum_i h[i] s_i + sum_{i<j} J[(i, j)] s_i s_j + offset``
+    with spins ``s_i in {+1, -1}``; basis state ``z`` maps to
+    ``s_i = 1 - 2 z_i`` (bit 0 -> spin +1).
+    """
+
+    num_spins: int
+    h: Tuple[float, ...]
+    couplings: Tuple[Tuple[int, int, float], ...]
+    offset: float = 0.0
+
+    def __post_init__(self):
+        if self.num_spins < 1:
+            raise GraphError("need at least one spin")
+        if len(self.h) != self.num_spins:
+            raise GraphError(
+                f"{len(self.h)} fields for {self.num_spins} spins"
+            )
+        seen = set()
+        for i, j, _ in self.couplings:
+            if not (0 <= i < self.num_spins and 0 <= j < self.num_spins):
+                raise GraphError(f"coupling ({i},{j}) out of range")
+            if i == j:
+                raise GraphError(f"self-coupling on spin {i}")
+            key = (min(i, j), max(i, j))
+            if key in seen:
+                raise GraphError(f"duplicate coupling {key}")
+            seen.add(key)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        h: np.ndarray,
+        J: np.ndarray,
+        offset: float = 0.0,
+    ) -> "IsingModel":
+        """Build from a field vector and a symmetric coupling matrix."""
+        h = np.asarray(h, dtype=np.float64)
+        J = np.asarray(J, dtype=np.float64)
+        n = h.shape[0]
+        if J.shape != (n, n):
+            raise GraphError(f"J shape {J.shape} != ({n}, {n})")
+        if not np.allclose(J, J.T):
+            raise GraphError("J must be symmetric")
+        couplings = tuple(
+            (i, j, float(J[i, j]))
+            for i in range(n)
+            for j in range(i + 1, n)
+            if J[i, j] != 0.0
+        )
+        return cls(n, tuple(float(x) for x in h), couplings, float(offset))
+
+    def diagonal(self) -> np.ndarray:
+        """Cost of every basis state, shape (2^n,) — feeds the simulator."""
+        n = self.num_spins
+        if n > 26:
+            raise GraphError(f"diagonal infeasible for n={n}")
+        states = np.arange(1 << n, dtype=np.int64)
+        spins = 1.0 - 2.0 * ((states[:, None] >> np.arange(n)) & 1)
+        values = spins @ np.asarray(self.h) + self.offset
+        for i, j, weight in self.couplings:
+            values = values + weight * spins[:, i] * spins[:, j]
+        return values
+
+    def value(self, assignment: int) -> float:
+        """Cost of one basis state."""
+        if not 0 <= assignment < (1 << self.num_spins):
+            raise GraphError("assignment out of range")
+        bits = (assignment >> np.arange(self.num_spins)) & 1
+        spins = 1.0 - 2.0 * bits
+        total = float(np.dot(spins, self.h)) + self.offset
+        for i, j, weight in self.couplings:
+            total += weight * spins[i] * spins[j]
+        return total
+
+    def optimum(self) -> MaxCutSolution:
+        """Exact maximum by enumeration."""
+        diagonal = self.diagonal()
+        best = int(diagonal.argmax())
+        return MaxCutSolution(
+            assignment=best, value=float(diagonal[best]), optimal=True
+        )
+
+
+@dataclass(frozen=True)
+class QUBO:
+    """A QUBO cost ``C(x) = x^T Q x`` over binary x (maximization)."""
+
+    Q: Tuple[Tuple[float, ...], ...]
+
+    def __post_init__(self):
+        n = len(self.Q)
+        for row in self.Q:
+            if len(row) != n:
+                raise GraphError("Q must be square")
+
+    @classmethod
+    def from_matrix(cls, Q: np.ndarray) -> "QUBO":
+        """Build from any square matrix (symmetrized internally)."""
+        Q = np.asarray(Q, dtype=np.float64)
+        if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+            raise GraphError("Q must be square")
+        symmetric = (Q + Q.T) / 2.0
+        return cls(tuple(tuple(float(v) for v in row) for row in symmetric))
+
+    @property
+    def num_variables(self) -> int:
+        """Number of binary variables."""
+        return len(self.Q)
+
+    def matrix(self) -> np.ndarray:
+        """Q as a numpy array."""
+        return np.asarray(self.Q, dtype=np.float64)
+
+    def value(self, assignment: int) -> float:
+        """Objective of one bitstring."""
+        n = self.num_variables
+        if not 0 <= assignment < (1 << n):
+            raise GraphError("assignment out of range")
+        x = ((assignment >> np.arange(n)) & 1).astype(np.float64)
+        return float(x @ self.matrix() @ x)
+
+    def diagonal(self) -> np.ndarray:
+        """Objective of every bitstring, shape (2^n,)."""
+        n = self.num_variables
+        if n > 26:
+            raise GraphError(f"diagonal infeasible for n={n}")
+        states = np.arange(1 << n, dtype=np.int64)
+        bits = ((states[:, None] >> np.arange(n)) & 1).astype(np.float64)
+        Q = self.matrix()
+        return np.einsum("si,ij,sj->s", bits, Q, bits)
+
+    def to_ising(self) -> IsingModel:
+        """Exact conversion: substitute ``x_i = (1 - s_i) / 2``.
+
+        ``x_i x_j = (1 - s_i - s_j + s_i s_j) / 4`` and
+        ``x_i^2 = x_i = (1 - s_i) / 2``.
+        """
+        Q = self.matrix()
+        n = self.num_variables
+        h = np.zeros(n)
+        J = np.zeros((n, n))
+        offset = 0.0
+        for i in range(n):
+            offset += Q[i, i] / 2.0
+            h[i] -= Q[i, i] / 2.0
+            for j in range(i + 1, n):
+                q = Q[i, j] + Q[j, i]
+                offset += q / 4.0
+                h[i] -= q / 4.0
+                h[j] -= q / 4.0
+                J[i, j] += q / 4.0
+                J[j, i] += q / 4.0
+        return IsingModel.from_arrays(h, J, offset)
+
+    def optimum(self) -> MaxCutSolution:
+        """Exact maximum by enumeration."""
+        diagonal = self.diagonal()
+        best = int(diagonal.argmax())
+        return MaxCutSolution(
+            assignment=best, value=float(diagonal[best]), optimal=True
+        )
+
+
+def maxcut_to_ising(graph: Graph) -> IsingModel:
+    """Max-Cut as an Ising maximization.
+
+    ``cut(z) = sum_(u,v) w (1 - s_u s_v) / 2`` — fields are zero,
+    couplings ``-w/2``, offset ``total_weight / 2``.
+    """
+    couplings = tuple(
+        (u, v, -w / 2.0) for (u, v), w in zip(graph.edges, graph.weights)
+    )
+    return IsingModel(
+        graph.num_nodes,
+        tuple(0.0 for _ in range(graph.num_nodes)),
+        couplings,
+        graph.total_weight / 2.0,
+    )
+
+
+def ising_to_maxcut(model: IsingModel) -> Tuple[Graph, float, float]:
+    """Zero-field Ising as weighted Max-Cut: returns (graph, scale, shift).
+
+    For a zero-field model, ``C(s) = shift + scale * cut`` with
+    ``scale = -2`` per unit coupling... concretely:
+    ``sum J_ij s_i s_j = sum J_ij (1 - 2 [edge cut])``, so
+    ``C = (sum J_ij + offset) - 2 * sum_over_cut_edges J_ij``.
+    The returned graph carries weights ``-2 J_ij`` so that
+    ``C(z) = shift + cut_value(graph, z)`` exactly (weights may be
+    negative). Raises for models with fields.
+    """
+    if any(value != 0.0 for value in model.h):
+        raise GraphError("only zero-field Ising maps to Max-Cut")
+    edges = tuple((i, j) for i, j, _ in model.couplings)
+    weights = tuple(-2.0 * w for _, _, w in model.couplings)
+    graph = Graph(model.num_spins, edges, weights)
+    shift = model.offset + sum(w for _, _, w in model.couplings)
+    return graph, 1.0, shift
+
+
+class DiagonalProblem:
+    """Adapter exposing any diagonal cost through the MaxCutProblem API.
+
+    Lets :class:`repro.qaoa.simulator.QAOASimulator` run QAOA on Ising
+    and QUBO instances unchanged: the simulator only touches
+    ``cost_diagonal``, ``max_cut_value`` and ``approximation_ratio``.
+    """
+
+    def __init__(self, diagonal: np.ndarray, num_qubits: Optional[int] = None):
+        diagonal = np.asarray(diagonal, dtype=np.float64)
+        size = diagonal.shape[0]
+        if num_qubits is None:
+            num_qubits = int(np.log2(size))
+        if (1 << num_qubits) != size:
+            raise GraphError(f"diagonal length {size} is not a power of two")
+        self.num_nodes = num_qubits
+        self._diagonal = diagonal
+
+    @classmethod
+    def from_ising(cls, model: IsingModel) -> "DiagonalProblem":
+        """Wrap an Ising model."""
+        return cls(model.diagonal(), model.num_spins)
+
+    @classmethod
+    def from_qubo(cls, qubo: QUBO) -> "DiagonalProblem":
+        """Wrap a QUBO."""
+        return cls(qubo.diagonal(), qubo.num_variables)
+
+    def cost_diagonal(self) -> np.ndarray:
+        """The diagonal (simulator hook)."""
+        return self._diagonal
+
+    def max_cut_value(self) -> float:
+        """Exact maximum of the diagonal."""
+        return float(self._diagonal.max())
+
+    def optimum(self) -> MaxCutSolution:
+        """Exact argmax of the diagonal."""
+        best = int(self._diagonal.argmax())
+        return MaxCutSolution(
+            assignment=best, value=float(self._diagonal[best]), optimal=True
+        )
+
+    def approximation_ratio(self, value: float) -> float:
+        """Ratio against the best diagonal entry.
+
+        Normalized by the diagonal's span so it stays meaningful when
+        entries are negative: ``(value - min) / (max - min)``.
+        """
+        lo = float(self._diagonal.min())
+        hi = float(self._diagonal.max())
+        if hi <= lo:
+            return 1.0
+        return (float(value) - lo) / (hi - lo)

@@ -1,0 +1,143 @@
+"""QAOA parameter-initialization strategies.
+
+The paper's experiment compares *random initialization* against the
+*GNN warm start*. This module defines the common interface plus the
+classical strategies; the GNN strategy lives in
+:mod:`repro.pipeline.evaluation` (it needs a trained model).
+
+Parameter ranges follow the usual Max-Cut conventions: ``gamma`` in
+``[0, 2 pi)`` (the cost diagonal is integer-valued for unweighted
+graphs, so 2 pi-periodic) and ``beta`` in ``[0, pi)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.graphs.graph import Graph
+from repro.qaoa.fixed_angles import FixedAngleTable, default_table
+from repro.utils.rng import RngLike, ensure_rng
+
+GAMMA_RANGE: Tuple[float, float] = (0.0, 2.0 * np.pi)
+BETA_RANGE: Tuple[float, float] = (0.0, np.pi)
+
+
+class InitializationStrategy:
+    """Interface: produce ``(gammas, betas)`` of depth ``p`` for a graph."""
+
+    name = "base"
+
+    def initial_parameters(
+        self, graph: Graph, p: int, rng: RngLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return initial ``(gammas, betas)`` arrays of length ``p``."""
+        raise NotImplementedError
+
+
+class RandomInitialization(InitializationStrategy):
+    """Uniform random angles — the paper's baseline."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        gamma_range: Tuple[float, float] = GAMMA_RANGE,
+        beta_range: Tuple[float, float] = BETA_RANGE,
+    ):
+        if gamma_range[0] >= gamma_range[1] or beta_range[0] >= beta_range[1]:
+            raise OptimizationError("empty initialization range")
+        self.gamma_range = gamma_range
+        self.beta_range = beta_range
+
+    def initial_parameters(self, graph, p, rng=None):
+        generator = ensure_rng(rng)
+        gammas = generator.uniform(*self.gamma_range, size=p)
+        betas = generator.uniform(*self.beta_range, size=p)
+        return gammas, betas
+
+
+class ConstantInitialization(InitializationStrategy):
+    """Fixed constant angles replicated across layers (sanity baseline)."""
+
+    name = "constant"
+
+    def __init__(self, gamma: float = 0.5, beta: float = 0.25):
+        self.gamma = gamma
+        self.beta = beta
+
+    def initial_parameters(self, graph, p, rng=None):
+        return np.full(p, self.gamma), np.full(p, self.beta)
+
+
+class LinearRampInitialization(InitializationStrategy):
+    """Annealing-inspired linear ramp: gamma ramps up, beta ramps down.
+
+    A strong classical heuristic (Zhou et al. 2020) included as an extra
+    reference point beyond the paper's random baseline.
+    """
+
+    name = "linear_ramp"
+
+    def __init__(self, gamma_max: float = 0.8, beta_max: float = 0.6):
+        self.gamma_max = gamma_max
+        self.beta_max = beta_max
+
+    def initial_parameters(self, graph, p, rng=None):
+        steps = (np.arange(p) + 1.0) / (p + 1.0)
+        gammas = self.gamma_max * steps
+        betas = self.beta_max * (1.0 - steps)
+        return gammas, betas
+
+
+class FixedAngleInitialization(InitializationStrategy):
+    """Fixed-angle-conjecture angles for regular graphs.
+
+    Falls back to the provided strategy (default: random) when the graph
+    is irregular or its degree lies outside the table's coverage —
+    matching the paper's observation that the tables cover only ~6% of
+    the dataset.
+    """
+
+    name = "fixed_angle"
+
+    def __init__(
+        self,
+        table: Optional[FixedAngleTable] = None,
+        fallback: Optional[InitializationStrategy] = None,
+    ):
+        self.table = table if table is not None else default_table()
+        self.fallback = fallback if fallback is not None else RandomInitialization()
+
+    def initial_parameters(self, graph, p, rng=None):
+        degree = graph.regular_degree()
+        if degree is not None and self.table.covers(degree, p):
+            entry = self.table.lookup(degree, p)
+            return np.asarray(entry.gammas), np.asarray(entry.betas)
+        return self.fallback.initial_parameters(graph, p, rng)
+
+
+class WarmStartInitialization(InitializationStrategy):
+    """Adapter wrapping any ``graph, p -> (gammas, betas)`` callable.
+
+    Used to plug the trained GNN predictor (or the GW-based heuristics)
+    into code written against the strategy interface.
+    """
+
+    name = "warm_start"
+
+    def __init__(self, predict_fn, name: str = "warm_start"):
+        self.predict_fn = predict_fn
+        self.name = name
+
+    def initial_parameters(self, graph, p, rng=None):
+        gammas, betas = self.predict_fn(graph, p)
+        gammas = np.atleast_1d(np.asarray(gammas, dtype=np.float64))
+        betas = np.atleast_1d(np.asarray(betas, dtype=np.float64))
+        if len(gammas) != p or len(betas) != p:
+            raise OptimizationError(
+                f"warm-start callable returned depth {len(gammas)}, wanted {p}"
+            )
+        return gammas, betas

@@ -1,0 +1,120 @@
+"""Depth-extension heuristics: INTERP and FOURIER (Zhou et al. 2020).
+
+Once good depth-p parameters are known (from a GNN, fixed angles or a
+previous optimization), these heuristics produce strong depth-(p+1)
+starting points — the standard way QAOA practitioners climb in depth
+without re-solving from scratch. They compose naturally with the
+paper's warm start: predict p=1 angles with the GNN, then extend.
+
+INTERP (Zhou et al., PRX 10, 021067, Eq. B1): the new schedule linearly
+interpolates the old one,
+
+    theta'_k = ((k - 1) / p) * theta_{k-1} + ((p - k + 1) / p) * theta_k
+
+for k = 1..p+1 with theta_0 = theta_{p+1} = 0.
+
+FOURIER: parameterize the schedule by its discrete sine (gamma) /
+cosine (beta) coefficients; extending depth keeps the coefficients and
+re-renders the schedule, preserving its smooth shape.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+
+
+def interp_extend(
+    gammas: np.ndarray, betas: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Extend a depth-p schedule to depth p+1 by linear interpolation."""
+    gammas = np.atleast_1d(np.asarray(gammas, dtype=np.float64))
+    betas = np.atleast_1d(np.asarray(betas, dtype=np.float64))
+    if gammas.shape != betas.shape or gammas.ndim != 1 or len(gammas) == 0:
+        raise OptimizationError("need equal-length 1-D schedules")
+    return _interp_one(gammas), _interp_one(betas)
+
+
+def _interp_one(theta: np.ndarray) -> np.ndarray:
+    p = len(theta)
+    padded = np.concatenate([[0.0], theta, [0.0]])
+    extended = np.zeros(p + 1)
+    for k in range(1, p + 2):
+        extended[k - 1] = (
+            (k - 1) / p * padded[k - 1] + (p - k + 1) / p * padded[k]
+        )
+    return extended
+
+
+def interp_to_depth(
+    gammas: np.ndarray, betas: np.ndarray, target_p: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Repeatedly INTERP-extend until the schedule has ``target_p`` layers."""
+    gammas = np.atleast_1d(np.asarray(gammas, dtype=np.float64))
+    betas = np.atleast_1d(np.asarray(betas, dtype=np.float64))
+    if target_p < len(gammas):
+        raise OptimizationError(
+            f"cannot shrink schedule from {len(gammas)} to {target_p}"
+        )
+    while len(gammas) < target_p:
+        gammas, betas = interp_extend(gammas, betas)
+    return gammas, betas
+
+
+def fourier_coefficients(
+    gammas: np.ndarray, betas: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Schedule -> (u, v) Fourier coefficients (Zhou et al. Eq. 8).
+
+    ``gamma_k = sum_m u_m sin((m - 1/2)(k - 1/2) pi / p)`` and
+    ``beta_k = sum_m v_m cos((m - 1/2)(k - 1/2) pi / p)``; with q = p
+    coefficients the transform is exactly invertible.
+    """
+    gammas = np.atleast_1d(np.asarray(gammas, dtype=np.float64))
+    betas = np.atleast_1d(np.asarray(betas, dtype=np.float64))
+    if gammas.shape != betas.shape or len(gammas) == 0:
+        raise OptimizationError("need equal-length 1-D schedules")
+    p = len(gammas)
+    sine = _sine_basis(p, p)
+    cosine = _cosine_basis(p, p)
+    u = np.linalg.solve(sine, gammas)
+    v = np.linalg.solve(cosine, betas)
+    return u, v
+
+
+def fourier_schedule(
+    u: np.ndarray, v: np.ndarray, p: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(u, v) coefficients -> a depth-p schedule."""
+    u = np.atleast_1d(np.asarray(u, dtype=np.float64))
+    v = np.atleast_1d(np.asarray(v, dtype=np.float64))
+    if u.shape != v.shape or len(u) == 0:
+        raise OptimizationError("need equal-length coefficient vectors")
+    if p < 1:
+        raise OptimizationError("depth must be >= 1")
+    gammas = _sine_basis(p, len(u)) @ u
+    betas = _cosine_basis(p, len(v)) @ v
+    return gammas, betas
+
+
+def fourier_extend(
+    gammas: np.ndarray, betas: np.ndarray, target_p: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Extend a schedule to ``target_p`` layers via its Fourier shape."""
+    u, v = fourier_coefficients(gammas, betas)
+    return fourier_schedule(u, v, target_p)
+
+
+def _sine_basis(p: int, q: int) -> np.ndarray:
+    k = np.arange(1, p + 1)[:, None] - 0.5
+    m = np.arange(1, q + 1)[None, :] - 0.5
+    return np.sin(m * k * np.pi / p)
+
+
+def _cosine_basis(p: int, q: int) -> np.ndarray:
+    k = np.arange(1, p + 1)[:, None] - 0.5
+    m = np.arange(1, q + 1)[None, :] - 0.5
+    return np.cos(m * k * np.pi / p)

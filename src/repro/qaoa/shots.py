@@ -1,0 +1,69 @@
+"""Shot-based (sampled) expectation estimation.
+
+On hardware, ``<C>`` is estimated from a finite number of measurement
+shots, so the optimizer sees a noisy objective. This estimator wraps
+the exact simulator's output distribution with Born-rule sampling and
+plugs into the gradient-free optimizers (SPSA is the intended partner —
+its two-evaluation iteration is designed for exactly this noise).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.qaoa.simulator import QAOASimulator
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class ShotBasedSimulator:
+    """Estimates the QAOA expectation from ``shots`` samples.
+
+    Exposes the ``expectation`` / ``approximation_ratio`` subset of the
+    :class:`QAOASimulator` interface; gradient-based optimizers should
+    keep using the exact simulator (``expectation_and_gradient`` is
+    deliberately absent — parameter-shift from samples is out of scope).
+    """
+
+    def __init__(
+        self,
+        problem,
+        shots: int = 1024,
+        rng: RngLike = None,
+    ):
+        if shots < 1:
+            raise CircuitError("shots must be positive")
+        self.ideal = QAOASimulator(problem)
+        self.problem = self.ideal.problem
+        self.num_qubits = self.ideal.num_qubits
+        self.shots = shots
+        self._rng = ensure_rng(rng)
+
+    def expectation(self, gammas, betas) -> float:
+        """Sample-mean estimate of ``<C>``."""
+        state = self.ideal.state(gammas, betas)
+        samples = state.sample(self.shots, self._rng)
+        diagonal = self.problem.cost_diagonal()
+        return float(diagonal[samples].mean())
+
+    def expectation_with_error(self, gammas, betas) -> Tuple[float, float]:
+        """(estimate, standard error) of the sampled expectation."""
+        state = self.ideal.state(gammas, betas)
+        samples = state.sample(self.shots, self._rng)
+        values = self.problem.cost_diagonal()[samples]
+        stderr = float(values.std(ddof=1) / np.sqrt(self.shots)) if (
+            self.shots > 1
+        ) else float("inf")
+        return float(values.mean()), stderr
+
+    def approximation_ratio(self, gammas, betas) -> float:
+        """Sampled expectation over the exact optimum."""
+        return self.problem.approximation_ratio(
+            self.expectation(gammas, betas)
+        )
+
+    def exact_expectation(self, gammas, betas) -> float:
+        """The underlying noiseless value (for tests and diagnostics)."""
+        return self.ideal.expectation(gammas, betas)

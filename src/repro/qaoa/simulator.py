@@ -1,0 +1,191 @@
+"""Fast Max-Cut QAOA simulator with exact adjoint gradients.
+
+Conventions
+-----------
+Cost Hamiltonian ``C = sum_(u,v) w_uv (1 - Z_u Z_v) / 2`` — diagonal in
+the computational basis with entries equal to the cut value of each
+bitstring, so *maximizing* ``<C>`` maximizes the expected cut. The depth-p
+ansatz is::
+
+    |psi(gamma, beta)> = U_B(beta_p) U_C(gamma_p) ... U_B(beta_1) U_C(gamma_1) |+>^n
+
+with ``U_C(g) = exp(-i g C)`` (elementwise complex phase on the cached
+cut-value diagonal) and ``U_B(b) = exp(-i b B)``, ``B = sum_q X_q``
+(``RX(2b)`` on every qubit). Because ``C`` is diagonal, a depth-p
+evaluation costs ``O(p (n + 1) 2^n)`` — exact and fast for n <= 15.
+
+Gradients are computed by the adjoint (reverse-mode) method: one extra
+backward sweep gives all ``2p`` partial derivatives exactly, which is
+what lets the labeling pipeline run hundreds of optimizer iterations per
+graph at dataset scale.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.graphs.graph import Graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.quantum.statevector import Statevector
+
+
+class QAOASimulator:
+    """Simulator bound to one Max-Cut instance.
+
+    Parameters are passed as two arrays ``gammas`` and ``betas`` of equal
+    length ``p``. The simulator caches the cost diagonal on the wrapped
+    :class:`MaxCutProblem`, so repeated evaluations are cheap.
+    """
+
+    def __init__(self, problem):
+        if isinstance(problem, Graph):
+            problem = MaxCutProblem(problem)
+        self.problem: MaxCutProblem = problem
+        self.num_qubits = problem.num_nodes
+        self._diagonal = problem.cost_diagonal()
+
+    # ------------------------------------------------------------------
+    # Forward evaluation
+    # ------------------------------------------------------------------
+    def state(self, gammas: np.ndarray, betas: np.ndarray) -> Statevector:
+        """The QAOA state ``|psi(gamma, beta)>``."""
+        gammas, betas = self._check_params(gammas, betas)
+        psi = _plus_amplitudes(self.num_qubits)
+        for gamma, beta in zip(gammas, betas):
+            psi = psi * np.exp(-1j * gamma * self._diagonal)
+            psi = _apply_mixer(psi, self.num_qubits, beta)
+        return Statevector(self.num_qubits, psi)
+
+    def expectation(self, gammas: np.ndarray, betas: np.ndarray) -> float:
+        """``<psi| C |psi>`` — the expected cut value."""
+        state = self.state(gammas, betas)
+        return float(
+            np.real(np.vdot(state.data, self._diagonal * state.data))
+        )
+
+    def approximation_ratio(
+        self, gammas: np.ndarray, betas: np.ndarray
+    ) -> float:
+        """Expected cut divided by the exact optimum."""
+        return self.problem.approximation_ratio(self.expectation(gammas, betas))
+
+    def sample_cut(
+        self, gammas: np.ndarray, betas: np.ndarray, shots: int = 1024, rng=None
+    ) -> Tuple[int, float]:
+        """Sample the state and return the best cut seen: (bitstring, value)."""
+        state = self.state(gammas, betas)
+        samples = state.sample(shots, rng)
+        values = self._diagonal[samples]
+        best = int(np.argmax(values))
+        return int(samples[best]), float(values[best])
+
+    # ------------------------------------------------------------------
+    # Exact gradients (adjoint method)
+    # ------------------------------------------------------------------
+    def expectation_and_gradient(
+        self, gammas: np.ndarray, betas: np.ndarray
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        """Expectation and exact ``(dE/dgamma, dE/dbeta)`` in one pass.
+
+        Forward pass stores the per-layer states; the backward pass
+        propagates the adjoint state ``lambda = V_k^dag C |psi_p>`` and
+        reads off ``dE/dtheta_k = 2 Re <lambda_k| (-i G_k) |psi_k>``
+        where ``G_k`` is the layer generator (``C`` or ``B``).
+        """
+        gammas, betas = self._check_params(gammas, betas)
+        p = len(gammas)
+        n = self.num_qubits
+        diag = self._diagonal
+
+        psi = _plus_amplitudes(n)
+        for gamma, beta in zip(gammas, betas):
+            psi = psi * np.exp(-1j * gamma * diag)
+            psi = _apply_mixer(psi, n, beta)
+
+        energy = float(np.real(np.vdot(psi, diag * psi)))
+        lam = diag * psi
+        grad_gamma = np.zeros(p, dtype=np.float64)
+        grad_beta = np.zeros(p, dtype=np.float64)
+
+        for k in range(p - 1, -1, -1):
+            # psi currently equals psi_k (state after layer k).
+            # dE/dbeta_k = 2 Re <lam | -i B psi_k> = 2 Im <lam | B psi_k>
+            b_psi = _apply_sum_x(psi, n)
+            grad_beta[k] = 2.0 * float(np.imag(np.vdot(lam, b_psi)))
+            # Undo the mixer on both vectors -> phi_k = U_C(gamma_k) psi_{k-1}
+            psi = _apply_mixer(psi, n, -betas[k])
+            lam = _apply_mixer(lam, n, -betas[k])
+            # dE/dgamma_k = 2 Re <lam' | -i C phi_k> = 2 Im <lam' | C phi_k>
+            grad_gamma[k] = 2.0 * float(np.imag(np.vdot(lam, diag * psi)))
+            # Undo the phase separator -> psi_{k-1}
+            phase = np.exp(1j * gammas[k] * diag)
+            psi = psi * phase
+            lam = lam * phase
+
+        return energy, grad_gamma, grad_beta
+
+    def gradient_finite_difference(
+        self, gammas: np.ndarray, betas: np.ndarray, eps: float = 1e-6
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Central finite-difference gradient (test oracle for the adjoint)."""
+        gammas, betas = self._check_params(gammas, betas)
+        grad_gamma = np.zeros_like(gammas)
+        grad_beta = np.zeros_like(betas)
+        for i in range(len(gammas)):
+            up, down = gammas.copy(), gammas.copy()
+            up[i] += eps
+            down[i] -= eps
+            grad_gamma[i] = (
+                self.expectation(up, betas) - self.expectation(down, betas)
+            ) / (2 * eps)
+        for i in range(len(betas)):
+            up, down = betas.copy(), betas.copy()
+            up[i] += eps
+            down[i] -= eps
+            grad_beta[i] = (
+                self.expectation(gammas, up) - self.expectation(gammas, down)
+            ) / (2 * eps)
+        return grad_gamma, grad_beta
+
+    # ------------------------------------------------------------------
+    def _check_params(
+        self, gammas, betas
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        gammas = np.atleast_1d(np.asarray(gammas, dtype=np.float64))
+        betas = np.atleast_1d(np.asarray(betas, dtype=np.float64))
+        if gammas.ndim != 1 or betas.ndim != 1:
+            raise CircuitError("gammas and betas must be 1-D")
+        if gammas.shape != betas.shape:
+            raise CircuitError(
+                f"gamma/beta length mismatch: {gammas.shape} vs {betas.shape}"
+            )
+        if len(gammas) == 0:
+            raise CircuitError("depth p must be at least 1")
+        return gammas, betas
+
+
+def _plus_amplitudes(num_qubits: int) -> np.ndarray:
+    dim = 1 << num_qubits
+    return np.full(dim, 1.0 / np.sqrt(dim), dtype=np.complex128)
+
+
+def _apply_mixer(psi: np.ndarray, num_qubits: int, beta: float) -> np.ndarray:
+    """Apply ``exp(-i beta X_q)`` on every qubit (RX(2 beta) each)."""
+    c = np.cos(beta)
+    s = np.sin(beta)
+    tensor = psi.reshape((2,) * num_qubits)
+    for axis in range(num_qubits):
+        tensor = c * tensor - 1j * s * np.flip(tensor, axis=axis)
+    return np.ascontiguousarray(tensor).reshape(-1)
+
+
+def _apply_sum_x(psi: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Apply the mixer generator ``B = sum_q X_q`` to the amplitudes."""
+    tensor = psi.reshape((2,) * num_qubits)
+    total = np.zeros_like(tensor)
+    for axis in range(num_qubits):
+        total = total + np.flip(tensor, axis=axis)
+    return total.reshape(-1)

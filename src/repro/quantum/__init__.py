@@ -1,0 +1,24 @@
+"""Quantum substrate: gate library, circuit IR, statevector simulator."""
+
+from repro.quantum.statevector import Statevector
+from repro.quantum.circuit import Circuit, Instruction
+from repro.quantum.noise import (
+    GlobalDepolarizingModel,
+    NoiseSpec,
+    NoisyQAOASimulator,
+    PauliTrajectoryModel,
+    apply_readout_error,
+)
+from repro.quantum import gates
+
+__all__ = [
+    "Statevector",
+    "Circuit",
+    "Instruction",
+    "GlobalDepolarizingModel",
+    "NoiseSpec",
+    "NoisyQAOASimulator",
+    "PauliTrajectoryModel",
+    "apply_readout_error",
+    "gates",
+]

@@ -1,0 +1,192 @@
+"""Minimal gate-level circuit IR.
+
+The fast QAOA path never materializes circuits, but a small circuit
+representation is needed to (a) cross-check the fast simulator against a
+plain gate-by-gate simulation and (b) report quantum resource costs
+(gate counts, depth) the way the paper's motivation section reasons
+about NISQ budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum import gates
+from repro.quantum.statevector import Statevector
+
+_SINGLE_FIXED: Dict[str, np.ndarray] = {
+    "h": gates.H,
+    "x": gates.X,
+    "y": gates.Y,
+    "z": gates.Z,
+    "s": gates.S,
+    "t": gates.T,
+}
+_SINGLE_PARAM: Dict[str, Callable[[float], np.ndarray]] = {
+    "rx": gates.rx,
+    "ry": gates.ry,
+    "rz": gates.rz,
+    "p": gates.phase,
+}
+_TWO_FIXED: Dict[str, np.ndarray] = {
+    "cnot": gates.CNOT,
+    "cz": gates.CZ,
+    "swap": gates.SWAP,
+}
+_TWO_PARAM: Dict[str, Callable[[float], np.ndarray]] = {
+    "rzz": gates.rzz,
+    "rxx": gates.rxx,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate: name, target qubits, optional rotation angle."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    angle: Optional[float] = None
+
+    def matrix(self) -> np.ndarray:
+        """The gate's unitary matrix."""
+        if self.name in _SINGLE_FIXED:
+            return _SINGLE_FIXED[self.name]
+        if self.name in _TWO_FIXED:
+            return _TWO_FIXED[self.name]
+        if self.name in _SINGLE_PARAM:
+            return _SINGLE_PARAM[self.name](self._angle())
+        if self.name in _TWO_PARAM:
+            return _TWO_PARAM[self.name](self._angle())
+        raise CircuitError(f"unknown gate {self.name!r}")
+
+    def _angle(self) -> float:
+        if self.angle is None:
+            raise CircuitError(f"gate {self.name!r} requires an angle")
+        return self.angle
+
+
+class Circuit:
+    """An ordered list of gates on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise CircuitError("need at least one qubit")
+        self.num_qubits = num_qubits
+        self.instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Builders (chainable)
+    # ------------------------------------------------------------------
+    def add(
+        self, name: str, qubits: Sequence[int], angle: Optional[float] = None
+    ) -> "Circuit":
+        """Append a gate after validating its name and qubit indices."""
+        name = name.lower()
+        qubits = tuple(int(q) for q in qubits)
+        expected = self._arity(name)
+        if len(qubits) != expected:
+            raise CircuitError(
+                f"gate {name!r} takes {expected} qubits, got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubits {qubits}")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(f"qubit {q} out of range")
+        parametric = name in _SINGLE_PARAM or name in _TWO_PARAM
+        if parametric and angle is None:
+            raise CircuitError(f"gate {name!r} requires an angle")
+        if not parametric and angle is not None:
+            raise CircuitError(f"gate {name!r} takes no angle")
+        self.instructions.append(Instruction(name, qubits, angle))
+        return self
+
+    def h(self, q: int) -> "Circuit":
+        """Hadamard."""
+        return self.add("h", (q,))
+
+    def x(self, q: int) -> "Circuit":
+        """Pauli X."""
+        return self.add("x", (q,))
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        """X rotation."""
+        return self.add("rx", (q,), theta)
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        """Y rotation."""
+        return self.add("ry", (q,), theta)
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        """Z rotation."""
+        return self.add("rz", (q,), theta)
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        """CNOT; local convention places ``control`` as qubit index 1."""
+        return self.add("cnot", (target, control))
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        """Controlled-Z (symmetric)."""
+        return self.add("cz", (a, b))
+
+    def rzz(self, theta: float, a: int, b: int) -> "Circuit":
+        """ZZ rotation (symmetric)."""
+        return self.add("rzz", (a, b), theta)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        """Total gate count."""
+        return len(self.instructions)
+
+    def gate_counts(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        counts: Dict[str, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.name] = counts.get(instruction.name, 0) + 1
+        return counts
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of two-qubit gates (the dominant NISQ cost)."""
+        return sum(1 for ins in self.instructions if len(ins.qubits) == 2)
+
+    def depth(self) -> int:
+        """Circuit depth under the as-soon-as-possible schedule."""
+        frontier = [0] * self.num_qubits
+        for instruction in self.instructions:
+            level = max(frontier[q] for q in instruction.qubits) + 1
+            for q in instruction.qubits:
+                frontier[q] = level
+        return max(frontier) if frontier else 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, state: Optional[Statevector] = None) -> Statevector:
+        """Simulate on ``state`` (default ``|0...0>``) and return the result."""
+        if state is None:
+            state = Statevector.zero_state(self.num_qubits)
+        elif state.num_qubits != self.num_qubits:
+            raise CircuitError("statevector size mismatch")
+        else:
+            state = state.copy()
+        for instruction in self.instructions:
+            state.apply_gate(instruction.matrix(), instruction.qubits)
+        return state
+
+    @staticmethod
+    def _arity(name: str) -> int:
+        if name in _SINGLE_FIXED or name in _SINGLE_PARAM:
+            return 1
+        if name in _TWO_FIXED or name in _TWO_PARAM:
+            return 2
+        raise CircuitError(f"unknown gate {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Circuit(num_qubits={self.num_qubits}, num_gates={self.num_gates})"

@@ -1,0 +1,93 @@
+"""Gate matrix library for the statevector simulator.
+
+All matrices are returned as complex128 numpy arrays in the computational
+basis, little-endian qubit ordering (qubit ``i`` is bit ``i`` of the
+basis-state index).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SQRT2_INV = 1.0 / np.sqrt(2.0)
+
+I2 = np.eye(2, dtype=np.complex128)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) * SQRT2_INV
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=np.complex128)
+
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+    dtype=np.complex128,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex128)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+    dtype=np.complex128,
+)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about X: ``exp(-i theta X / 2)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about Y: ``exp(-i theta Y / 2)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about Z: ``exp(-i theta Z / 2)``."""
+    phase = np.exp(-1j * theta / 2.0)
+    return np.array([[phase, 0], [0, np.conj(phase)]], dtype=np.complex128)
+
+
+def rzz(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation: ``exp(-i theta Z(x)Z / 2)`` (diagonal)."""
+    phase = np.exp(-1j * theta / 2.0)
+    return np.diag([phase, np.conj(phase), np.conj(phase), phase]).astype(
+        np.complex128
+    )
+
+
+def rxx(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation: ``exp(-i theta X(x)X / 2)``."""
+    c = np.cos(theta / 2.0)
+    s = -1j * np.sin(theta / 2.0)
+    matrix = np.zeros((4, 4), dtype=np.complex128)
+    matrix[0, 0] = matrix[1, 1] = matrix[2, 2] = matrix[3, 3] = c
+    matrix[0, 3] = matrix[3, 0] = s
+    matrix[1, 2] = matrix[2, 1] = s
+    return matrix
+
+
+def phase(lam: float) -> np.ndarray:
+    """Phase gate ``diag(1, e^{i lam})``."""
+    return np.diag([1.0, np.exp(1j * lam)]).astype(np.complex128)
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary in the standard U3 parameterization."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """True if ``matrix`` is unitary to tolerance ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0], dtype=np.complex128)
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))

@@ -1,0 +1,193 @@
+"""Dense statevector simulator.
+
+Little-endian convention: qubit ``q`` is bit ``q`` of the basis-state
+index, so ``|q1 q0> = |01>`` is index 1 when qubit 0 is ``1``. Gate
+application reshapes the state into a rank-n tensor and contracts the
+gate over the target axes; for the sizes in this paper (n <= 15) this is
+fast and exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Statevector:
+    """A normalized pure state on ``num_qubits`` qubits.
+
+    The amplitude array is owned by the instance and mutated in place by
+    gate application; use :meth:`copy` to branch.
+    """
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        if num_qubits < 1:
+            raise CircuitError(f"need at least 1 qubit, got {num_qubits}")
+        if num_qubits > 24:
+            raise CircuitError(f"n={num_qubits} exceeds dense-simulation budget")
+        self.num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if data is None:
+            self.data = np.zeros(dim, dtype=np.complex128)
+            self.data[0] = 1.0
+        else:
+            data = np.asarray(data, dtype=np.complex128)
+            if data.shape != (dim,):
+                raise CircuitError(
+                    f"statevector shape {data.shape} != ({dim},)"
+                )
+            self.data = data.copy()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """``|0...0>``."""
+        return cls(num_qubits)
+
+    @classmethod
+    def plus_state(cls, num_qubits: int) -> "Statevector":
+        """Uniform superposition ``|+>^n`` — the QAOA initial state."""
+        dim = 1 << num_qubits
+        data = np.full(dim, 1.0 / np.sqrt(dim), dtype=np.complex128)
+        return cls(num_qubits, data)
+
+    @classmethod
+    def basis_state(cls, num_qubits: int, index: int) -> "Statevector":
+        """Computational basis state ``|index>``."""
+        dim = 1 << num_qubits
+        if not 0 <= index < dim:
+            raise CircuitError(f"basis index {index} out of range")
+        data = np.zeros(dim, dtype=np.complex128)
+        data[index] = 1.0
+        return cls(num_qubits, data)
+
+    def copy(self) -> "Statevector":
+        """Deep copy."""
+        return Statevector(self.num_qubits, self.data)
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+    def apply_gate(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a ``2^k x 2^k`` unitary to the listed qubits, in place.
+
+        ``qubits[0]`` is the least-significant qubit of the gate's local
+        index (matching the little-endian global convention).
+        """
+        qubits = [int(q) for q in qubits]
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (1 << k, 1 << k):
+            raise CircuitError(
+                f"gate on {k} qubits must be {1 << k}x{1 << k}, "
+                f"got {matrix.shape}"
+            )
+        if len(set(qubits)) != k:
+            raise CircuitError(f"duplicate qubits in {qubits}")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(f"qubit {q} out of range")
+
+        n = self.num_qubits
+        tensor = self.data.reshape((2,) * n)
+        # numpy axis 0 corresponds to the MOST significant qubit n-1.
+        axes = [n - 1 - q for q in qubits]
+        # Move target axes to the front, most-significant gate qubit first.
+        order = axes[::-1] + [a for a in range(n) if a not in axes]
+        moved = np.transpose(tensor, order).reshape(1 << k, -1)
+        result = matrix @ moved
+        restored = result.reshape((2,) * n)
+        inverse = np.argsort(order)
+        self.data = np.ascontiguousarray(
+            np.transpose(restored, inverse)
+        ).reshape(-1)
+
+    def apply_diagonal(self, diagonal: np.ndarray) -> None:
+        """Multiply elementwise by a full 2^n diagonal operator."""
+        diagonal = np.asarray(diagonal)
+        if diagonal.shape != self.data.shape:
+            raise CircuitError(
+                f"diagonal shape {diagonal.shape} != {self.data.shape}"
+            )
+        self.data = self.data * diagonal
+
+    def apply_rx_all(self, theta: float) -> None:
+        """Apply ``RX(theta)`` to every qubit (the QAOA mixer layer).
+
+        Specialized fast path: per qubit the update is
+        ``psi' = cos(t/2) psi - i sin(t/2) X_q psi`` where ``X_q psi`` is
+        an axis flip of the state tensor.
+        """
+        c = np.cos(theta / 2.0)
+        s = np.sin(theta / 2.0)
+        tensor = self.data.reshape((2,) * self.num_qubits)
+        for axis in range(self.num_qubits):
+            tensor = c * tensor - 1j * s * np.flip(tensor, axis=axis)
+        self.data = np.ascontiguousarray(tensor).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Measurement and expectations
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Born-rule probabilities over the computational basis."""
+        return np.abs(self.data) ** 2
+
+    def norm(self) -> float:
+        """L2 norm of the amplitude vector."""
+        return float(np.linalg.norm(self.data))
+
+    def normalize(self) -> None:
+        """Rescale to unit norm (raises on the zero vector)."""
+        norm = self.norm()
+        if norm == 0.0:
+            raise CircuitError("cannot normalize the zero state")
+        self.data /= norm
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """``<psi| D |psi>`` for a real diagonal observable ``D``."""
+        diagonal = np.asarray(diagonal, dtype=np.float64)
+        if diagonal.shape != self.data.shape:
+            raise CircuitError("diagonal length mismatch")
+        return float(np.real(np.vdot(self.data, diagonal * self.data)))
+
+    def inner(self, other: "Statevector") -> complex:
+        """``<self|other>``."""
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("qubit-count mismatch")
+        return complex(np.vdot(self.data, other.data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """``|<self|other>|^2``."""
+        return float(abs(self.inner(other)) ** 2)
+
+    def sample(
+        self, shots: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Sample ``shots`` basis-state indices from the Born distribution."""
+        if shots < 1:
+            raise CircuitError(f"shots must be positive, got {shots}")
+        generator = ensure_rng(rng)
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        return generator.choice(len(probs), size=shots, p=probs)
+
+    def sample_counts(
+        self, shots: int, rng: RngLike = None
+    ) -> dict:
+        """Histogram of :meth:`sample` as ``{basis_index: count}``."""
+        samples = self.sample(shots, rng)
+        indices, counts = np.unique(samples, return_counts=True)
+        return {int(i): int(c) for i, c in zip(indices, counts)}
+
+    def most_probable(self) -> int:
+        """Basis index with the largest probability."""
+        return int(np.argmax(self.probabilities()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Statevector(num_qubits={self.num_qubits})"

@@ -1,0 +1,7 @@
+"""Shared utilities: seeded RNG plumbing, logging, serialization."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.serialization import load_json, save_json
+from repro.utils.logging import get_logger
+
+__all__ = ["ensure_rng", "spawn_rng", "load_json", "save_json", "get_logger"]

@@ -1,0 +1,20 @@
+"""Minimal logging setup shared across the library."""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a library logger; handlers are configured once per process."""
+    logger = logging.getLogger(name)
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        root.propagate = False
+    return logger

@@ -1,0 +1,42 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts an optional ``rng``
+argument. These helpers normalize what callers may pass (``None``, an int
+seed, or an existing :class:`numpy.random.Generator`) into a Generator, and
+derive independent child generators for subcomponents so that experiments
+are reproducible end to end from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` yields a fresh nondeterministic generator, an ``int`` seeds a
+    new generator, and an existing generator is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    if isinstance(rng, np.random.Generator):
+        return rng
+    raise TypeError(f"cannot interpret {type(rng).__name__} as an RNG")
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used to hand separate streams to subcomponents (dataset generation,
+    model init, optimizer noise) so that adding randomness in one place
+    does not perturb the others.
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,40 @@
+"""JSON serialization helpers tolerant of numpy scalar/array values."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    """JSON encoder that downcasts numpy scalars and arrays to builtins."""
+
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(data: Any, path: PathLike, indent: int = 2) -> None:
+    """Write ``data`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(data, handle, cls=_NumpyEncoder, indent=indent)
+
+
+def load_json(path: PathLike) -> Any:
+    """Read JSON content from ``path``."""
+    with Path(path).open() as handle:
+        return json.load(handle)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import QAOADataset
+from repro.data.generation import GenerationConfig, generate_dataset
+from repro.graphs.graph import Graph
+from repro.graphs.generators import random_regular_graph
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle():
+    """K3 — the smallest graph with a triangle."""
+    return Graph(3, ((0, 1), (1, 2), (0, 2)), name="triangle")
+
+
+@pytest.fixture
+def square():
+    """C4 — bipartite, max cut = 4."""
+    return Graph.cycle(4, name="square")
+
+
+@pytest.fixture
+def petersen_like():
+    """A 3-regular graph on 10 nodes."""
+    return random_regular_graph(10, 3, rng=42, name="cubic10")
+
+
+@pytest.fixture
+def weighted_triangle():
+    """K3 with distinct weights."""
+    return Graph(3, ((0, 1), (1, 2), (0, 2)), (1.0, 2.0, 3.0), name="wk3")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 24-graph labeled dataset shared across pipeline tests."""
+    config = GenerationConfig(
+        num_graphs=24, min_nodes=4, max_nodes=8, optimizer_iters=30, seed=99
+    )
+    return generate_dataset(config)

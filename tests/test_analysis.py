@@ -1,0 +1,115 @@
+"""Tests for table formatting and figure-series builders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    comparison_series,
+    export_csv,
+    histogram_series,
+    interval_series,
+    render_comparison,
+    render_histogram,
+    render_intervals,
+)
+from repro.analysis.tables import PAPER_TABLE1, format_rows, format_table1
+from repro.data.stats import IntervalSummary
+from repro.pipeline.evaluation import EvaluationResult, WarmStartComparison
+
+
+def make_result(name="gcn", improvements=(5.0, -2.0, 3.0)):
+    result = EvaluationResult(strategy_name=name)
+    for i, delta in enumerate(improvements):
+        result.comparisons.append(
+            WarmStartComparison(
+                graph_name=f"g{i}",
+                num_nodes=6,
+                degree=3,
+                random_ratio=0.7,
+                strategy_ratio=0.7 + delta / 100.0,
+                random_initial_ratio=0.5,
+                strategy_initial_ratio=0.55,
+            )
+        )
+    return result
+
+
+class TestTables:
+    def test_paper_reference_values(self):
+        assert PAPER_TABLE1["gin"] == (3.66, 9.97)
+        assert PAPER_TABLE1["sage"] == (2.86, 10.01)
+
+    def test_format_table1_contains_rows(self):
+        text = format_table1({"gcn": make_result("gcn")})
+        assert "gcn" in text
+        assert "3.65 ± 10.17" in text  # paper column
+        assert "2.00" in text  # our mean improvement
+
+    def test_format_table1_unknown_arch(self):
+        text = format_table1({"custom": make_result("custom")})
+        assert "—" in text
+
+    def test_format_rows_generic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": None}]
+        text = format_rows(rows, ["a", "b"], title="T")
+        assert text.startswith("T")
+        assert "10" in text
+        assert "—" in text
+
+
+class TestFigureSeries:
+    def test_histogram_series_sorted(self):
+        series = histogram_series({5: 2, 3: 7})
+        assert series[0] == {"key": 3, "count": 7}
+
+    def test_render_histogram(self):
+        text = render_histogram({3: 10, 4: 5}, "Degrees")
+        assert "Degrees" in text
+        assert "#" in text
+        assert "10" in text
+
+    def test_render_histogram_empty(self):
+        assert "(empty)" in render_histogram({}, "x")
+
+    def test_interval_series(self):
+        summary = IntervalSummary.from_values(4, np.array([0.5, 0.7, 0.9]))
+        series = interval_series([summary])
+        assert series[0]["key"] == 4
+        assert series[0]["min"] == 0.5
+        assert series[0]["max"] == 0.9
+
+    def test_render_intervals(self):
+        summary = IntervalSummary.from_values(4, np.array([0.5, 0.7, 0.9]))
+        text = render_intervals([summary], "AR by size")
+        assert "AR by size" in text
+        assert "|" in text
+
+    def test_comparison_series(self):
+        series = comparison_series(make_result())
+        assert len(series) == 3
+        assert series[0]["improvement_pp"] == pytest.approx(5.0)
+        assert series[0]["random_ar"] == 0.7
+
+    def test_render_comparison(self):
+        text = render_comparison(make_result())
+        assert "gcn" in text
+        assert "r" in text and "G" in text
+
+    def test_render_comparison_collision_marker(self):
+        result = make_result(improvements=(0.0,))
+        assert "=" in render_comparison(result)
+
+
+class TestCsvExport:
+    def test_export_and_content(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = tmp_path / "out" / "rows.csv"
+        export_csv(rows, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert len(lines) == 3
+
+    def test_export_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_csv([], tmp_path / "e.csv")

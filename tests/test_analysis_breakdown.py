@@ -1,0 +1,67 @@
+"""Tests for result breakdowns by instance shape."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    hardest_instances,
+    improvement_by_degree,
+    improvement_by_size,
+)
+from repro.pipeline.evaluation import EvaluationResult, WarmStartComparison
+
+
+def make_mixed_result():
+    result = EvaluationResult(strategy_name="gin")
+    specs = [
+        ("a", 6, 3, 0.70, 0.80),
+        ("b", 6, 3, 0.70, 0.72),
+        ("c", 8, 3, 0.70, 0.65),
+        ("d", 8, 5, 0.60, 0.70),
+    ]
+    for name, n, d, random_ar, warm_ar in specs:
+        result.comparisons.append(
+            WarmStartComparison(
+                graph_name=name,
+                num_nodes=n,
+                degree=d,
+                random_ratio=random_ar,
+                strategy_ratio=warm_ar,
+                random_initial_ratio=0.5,
+                strategy_initial_ratio=0.55,
+            )
+        )
+    return result
+
+
+class TestBreakdowns:
+    def test_by_size_buckets(self):
+        rows = improvement_by_size(make_mixed_result())
+        assert [row["num_nodes"] for row in rows] == [6, 8]
+        assert rows[0]["count"] == 2
+        assert rows[0]["mean_improvement_pp"] == pytest.approx(6.0)
+
+    def test_by_degree_buckets(self):
+        rows = improvement_by_degree(make_mixed_result())
+        assert [row["degree"] for row in rows] == [3, 5]
+        assert rows[1]["count"] == 1
+        assert rows[1]["mean_improvement_pp"] == pytest.approx(10.0)
+
+    def test_mean_ars_per_bucket(self):
+        rows = improvement_by_size(make_mixed_result())
+        assert rows[0]["mean_random_ar"] == pytest.approx(0.70)
+        assert rows[0]["mean_warm_ar"] == pytest.approx(0.76)
+
+    def test_hardest_instances_sorted(self):
+        hardest = hardest_instances(make_mixed_result(), count=2)
+        assert hardest[0]["graph"] == "c"  # the only regression (-5pp)
+        assert hardest[0]["improvement_pp"] == pytest.approx(-5.0)
+        assert len(hardest) == 2
+
+    def test_hardest_count_clamped(self):
+        hardest = hardest_instances(make_mixed_result(), count=10)
+        assert len(hardest) == 4
+
+    def test_empty_result(self):
+        empty = EvaluationResult(strategy_name="x")
+        assert improvement_by_size(empty) == []
+        assert hardest_instances(empty) == []

@@ -1,0 +1,79 @@
+"""Tests for paired significance testing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.significance import (
+    SignificanceReport,
+    paired_significance,
+    significance_table,
+)
+
+from tests.test_analysis import make_result
+
+
+class TestPairedSignificance:
+    def test_clear_positive_effect(self):
+        rng = np.random.default_rng(0)
+        improvements = rng.normal(5.0, 1.0, size=50)
+        report = paired_significance(improvements)
+        assert report.mean == pytest.approx(5.0, abs=0.5)
+        assert report.t_pvalue < 1e-6
+        assert report.wilcoxon_pvalue < 1e-6
+        assert report.sign_test_pvalue < 1e-6
+        assert report.significant()
+
+    def test_null_effect_not_significant(self):
+        rng = np.random.default_rng(1)
+        improvements = rng.normal(0.0, 10.0, size=50)
+        report = paired_significance(improvements)
+        assert report.t_pvalue > 0.05
+        assert not report.significant()
+
+    def test_small_effect_large_spread(self):
+        # the paper's regime: mean ~3, std ~10, n=100 -> borderline
+        rng = np.random.default_rng(2)
+        improvements = rng.normal(3.0, 10.0, size=100)
+        report = paired_significance(improvements)
+        assert 0.0 < report.t_pvalue < 0.2
+
+    def test_requires_two_values(self):
+        with pytest.raises(ValueError):
+            paired_significance([1.0])
+
+    def test_all_zero_differences(self):
+        report = paired_significance([0.0, 0.0, 0.0])
+        assert np.isnan(report.wilcoxon_pvalue)
+        assert np.isnan(report.sign_test_pvalue)
+        assert not report.significant()
+
+    def test_n_recorded(self):
+        report = paired_significance([1.0, 2.0, 3.0])
+        assert report.n == 3
+
+
+class TestSignificanceTable:
+    def test_rows_per_strategy(self):
+        results = {
+            "gcn": make_result("gcn", improvements=(5.0, 4.0, 6.0, 5.5)),
+            "gin": make_result("gin", improvements=(0.1, -0.1, 0.2, -0.2)),
+        }
+        rows = significance_table(results)
+        assert len(rows) == 2
+        by_name = {row["strategy"]: row for row in rows}
+        assert by_name["gcn"]["significant_5pct"]
+        assert not by_name["gin"]["significant_5pct"]
+
+    def test_columns(self):
+        rows = significance_table(
+            {"x": make_result("x", improvements=(1.0, 2.0, 3.0))}
+        )
+        assert set(rows[0]) == {
+            "strategy",
+            "mean_pp",
+            "t_pvalue",
+            "wilcoxon_pvalue",
+            "sign_pvalue",
+            "significant_5pct",
+            "n",
+        }

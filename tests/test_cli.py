@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_model, main
+from repro.data.dataset import QAOADataset
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(
+            ["generate", "--out", "x.json"]
+        )
+        assert args.num_graphs == 150
+        assert args.command == "generate"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestEndToEnd:
+    def test_generate_train_evaluate_roundtrip(self, tmp_path, capsys):
+        dataset_path = tmp_path / "ds.json"
+        model_path = tmp_path / "model.json"
+
+        code = main(
+            [
+                "generate",
+                "--num-graphs", "16",
+                "--min-nodes", "4",
+                "--max-nodes", "7",
+                "--iters", "15",
+                "--seed", "1",
+                "--out", str(dataset_path),
+            ]
+        )
+        assert code == 0
+        assert dataset_path.exists()
+        dataset = QAOADataset.load(dataset_path)
+        assert len(dataset) == 16
+
+        code = main(
+            [
+                "train",
+                "--dataset", str(dataset_path),
+                "--arch", "gcn",
+                "--epochs", "3",
+                "--seed", "1",
+                "--out", str(model_path),
+            ]
+        )
+        assert code == 0
+        model = load_model(model_path)
+        assert model.arch == "gcn"
+        assert not model.training
+
+        code = main(
+            [
+                "evaluate",
+                "--dataset", str(dataset_path),
+                "--model", str(model_path),
+                "--test-size", "4",
+                "--eval-iters", "3",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gcn" in out
+        assert "Improvement" in out
+
+    def test_saved_model_predictions_stable(self, tmp_path):
+        dataset_path = tmp_path / "ds.json"
+        model_path = tmp_path / "model.json"
+        main(
+            [
+                "generate", "--num-graphs", "10", "--min-nodes", "4",
+                "--max-nodes", "6", "--iters", "10", "--seed", "2",
+                "--out", str(dataset_path),
+            ]
+        )
+        main(
+            [
+                "train", "--dataset", str(dataset_path), "--arch", "gin",
+                "--epochs", "2", "--seed", "2", "--out", str(model_path),
+            ]
+        )
+        model_a = load_model(model_path)
+        model_b = load_model(model_path)
+        dataset = QAOADataset.load(dataset_path)
+        graph = dataset[0].graph
+        np.testing.assert_allclose(
+            model_a.predict([graph]), model_b.predict([graph])
+        )
+
+    def test_reproduce_small(self, capsys):
+        code = main(
+            [
+                "reproduce",
+                "--num-graphs", "16",
+                "--test-size", "4",
+                "--epochs", "3",
+                "--label-iters", "10",
+                "--eval-iters", "3",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Improvement" in out

@@ -1,0 +1,83 @@
+"""Tests for permutation augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.augmentation import augment_by_permutation, permute_record
+from repro.data.dataset import QAOADataset
+from repro.exceptions import DatasetError
+from repro.maxcut.bruteforce import brute_force_maxcut
+from repro.qaoa.simulator import QAOASimulator
+
+from tests.test_data_dataset import make_record
+
+
+def _with_name(record):
+    from dataclasses import replace
+
+    return replace(record, graph=record.graph.with_name("g"))
+
+
+class TestPermuteRecord:
+    def test_label_invariant(self):
+        record = make_record(num_nodes=6)
+        permuted = permute_record(record, rng=0)
+        assert permuted.gammas == record.gammas
+        assert permuted.betas == record.betas
+        assert permuted.approximation_ratio == record.approximation_ratio
+
+    def test_graph_isomorphic(self):
+        record = make_record(num_nodes=6)
+        permuted = permute_record(record, rng=0)
+        assert permuted.graph.num_edges == record.graph.num_edges
+        assert sorted(permuted.graph.degrees()) == sorted(
+            record.graph.degrees()
+        )
+        assert brute_force_maxcut(permuted.graph).value == (
+            brute_force_maxcut(record.graph).value
+        )
+
+    def test_expectation_truly_invariant(self):
+        # the physical check: QAOA expectation at the label angles is
+        # identical on the permuted graph
+        record = make_record(num_nodes=6)
+        permuted = permute_record(record, rng=1)
+        original = QAOASimulator(record.graph).expectation(
+            np.asarray(record.gammas), np.asarray(record.betas)
+        )
+        relabeled = QAOASimulator(permuted.graph).expectation(
+            np.asarray(permuted.gammas), np.asarray(permuted.betas)
+        )
+        assert original == pytest.approx(relabeled)
+
+    def test_name_suffix(self):
+        record = make_record()
+        named = permute_record(
+            record if record.graph.name else _with_name(record), rng=0
+        )
+        assert named.graph.name.endswith("_perm")
+
+
+class TestAugment:
+    def test_counts(self):
+        dataset = QAOADataset([make_record(), make_record()])
+        augmented = augment_by_permutation(dataset, copies=2, rng=0)
+        assert len(augmented) == 6  # 2 originals + 4 replicas
+
+    def test_drop_originals(self):
+        dataset = QAOADataset([_with_name(make_record())])
+        augmented = augment_by_permutation(
+            dataset, copies=3, keep_original=False, rng=0
+        )
+        assert len(augmented) == 3
+        assert all(r.graph.name.endswith("_perm") for r in augmented)
+
+    def test_invalid_copies(self):
+        with pytest.raises(DatasetError):
+            augment_by_permutation(QAOADataset([make_record()]), copies=0)
+
+    def test_deterministic(self):
+        dataset = QAOADataset([make_record(num_nodes=7)])
+        a = augment_by_permutation(dataset, copies=1, rng=5)
+        b = augment_by_permutation(dataset, copies=1, rng=5)
+        assert a[1].graph.edges == b[1].graph.edges

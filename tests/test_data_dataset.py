@@ -1,0 +1,104 @@
+"""Tests for QAOADataset and QAOARecord."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import QAOADataset, QAOARecord
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph
+
+
+def make_record(ratio=0.8, p=1, num_nodes=4, source="optimized"):
+    graph = Graph.cycle(num_nodes) if num_nodes >= 3 else Graph(2, ((0, 1),))
+    return QAOARecord(
+        graph=graph,
+        p=p,
+        gammas=tuple([0.5] * p),
+        betas=tuple([0.25] * p),
+        expectation=ratio * 4.0,
+        optimal_value=4.0,
+        approximation_ratio=ratio,
+        best_cut_value=4.0,
+        source=source,
+    )
+
+
+class TestRecord:
+    def test_target_vector_order(self):
+        record = make_record(p=2)
+        np.testing.assert_allclose(
+            record.target_vector(), [0.5, 0.5, 0.25, 0.25]
+        )
+
+    def test_with_label(self):
+        record = make_record()
+        updated = record.with_label([1.0], [0.5], 3.6, 0.9, "fixed_angle")
+        assert updated.gammas == (1.0,)
+        assert updated.source == "fixed_angle"
+        assert record.source == "optimized"  # original unchanged
+
+    def test_frozen(self):
+        record = make_record()
+        with pytest.raises(AttributeError):
+            record.p = 3
+
+
+class TestDataset:
+    def test_container_protocol(self):
+        dataset = QAOADataset([make_record(), make_record(0.5)])
+        assert len(dataset) == 2
+        assert dataset[0].approximation_ratio == 0.8
+        assert len(list(dataset)) == 2
+        assert len(dataset[0:1]) == 1
+
+    def test_append_extend(self):
+        dataset = QAOADataset()
+        dataset.append(make_record())
+        dataset.extend([make_record(), make_record()])
+        assert len(dataset) == 3
+
+    def test_targets_shape(self):
+        dataset = QAOADataset([make_record(p=2), make_record(p=2)])
+        assert dataset.targets().shape == (2, 4)
+
+    def test_depth_consistent(self):
+        dataset = QAOADataset([make_record(p=2), make_record(p=2)])
+        assert dataset.depth() == 2
+
+    def test_depth_mixed_raises(self):
+        dataset = QAOADataset([make_record(p=1), make_record(p=2)])
+        with pytest.raises(DatasetError):
+            dataset.depth()
+
+    def test_filter(self):
+        dataset = QAOADataset([make_record(0.9), make_record(0.4)])
+        good = dataset.filter(lambda r: r.approximation_ratio > 0.5)
+        assert len(good) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        dataset = QAOADataset(
+            [make_record(0.8, p=2), make_record(0.6, p=2, source="fixed_angle")]
+        )
+        path = tmp_path / "ds.json"
+        dataset.save(path)
+        loaded = QAOADataset.load(path)
+        assert len(loaded) == 2
+        assert loaded[0].gammas == dataset[0].gammas
+        assert loaded[1].source == "fixed_angle"
+        assert loaded[0].graph.edges == dataset[0].graph.edges
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(DatasetError):
+            QAOADataset.load(path)
+
+    def test_summary(self):
+        dataset = QAOADataset([make_record(0.8), make_record(0.6)])
+        summary = dataset.summary()
+        assert summary["count"] == 2
+        assert summary["mean_ar"] == pytest.approx(0.7)
+        assert summary["min_ar"] == 0.6
+
+    def test_empty_summary(self):
+        assert QAOADataset().summary()["count"] == 0

@@ -1,0 +1,157 @@
+"""Tests for Selective Data Pruning and fixed-angle relabeling."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import QAOADataset
+from repro.data.pruning import fixed_angle_relabel, selective_data_pruning
+from repro.exceptions import DatasetError
+from repro.qaoa.fixed_angles import FixedAngleTable
+
+from tests.test_data_dataset import make_record
+
+
+@pytest.fixture
+def mixed_dataset():
+    """10 good (AR 0.9) + 10 bad (AR 0.5) records."""
+    return QAOADataset(
+        [make_record(0.9) for _ in range(10)]
+        + [make_record(0.5) for _ in range(10)]
+    )
+
+
+class TestSelectiveDataPruning:
+    def test_hard_threshold(self, mixed_dataset):
+        pruned, report = selective_data_pruning(
+            mixed_dataset, threshold=0.7, selective_rate=0.0, rng=0
+        )
+        assert len(pruned) == 10
+        assert report.pruned == 10
+        assert report.below_threshold == 10
+        assert report.rescued == 0
+        assert report.mean_ar_after > report.mean_ar_before
+
+    def test_selective_rate_one_keeps_everything(self, mixed_dataset):
+        pruned, report = selective_data_pruning(
+            mixed_dataset, threshold=0.7, selective_rate=1.0, rng=0
+        )
+        assert len(pruned) == 20
+        assert report.rescued == 10
+
+    def test_selective_rate_partial(self, mixed_dataset):
+        pruned, report = selective_data_pruning(
+            mixed_dataset, threshold=0.7, selective_rate=0.5, rng=1
+        )
+        assert 10 <= len(pruned) <= 20
+        assert report.rescued == len(pruned) - 10
+        # statistical sanity over many seeds: about half rescued
+        rescued = [
+            selective_data_pruning(mixed_dataset, 0.7, 0.5, rng=s)[1].rescued
+            for s in range(40)
+        ]
+        assert 3 <= np.mean(rescued) <= 7
+
+    def test_threshold_zero_keeps_all(self, mixed_dataset):
+        pruned, report = selective_data_pruning(mixed_dataset, threshold=0.0)
+        assert len(pruned) == 20
+        assert report.below_threshold == 0
+
+    def test_invalid_arguments(self, mixed_dataset):
+        with pytest.raises(DatasetError):
+            selective_data_pruning(mixed_dataset, threshold=1.5)
+        with pytest.raises(DatasetError):
+            selective_data_pruning(mixed_dataset, selective_rate=-0.1)
+
+    def test_deterministic_with_seed(self, mixed_dataset):
+        a, _ = selective_data_pruning(mixed_dataset, 0.7, 0.5, rng=9)
+        b, _ = selective_data_pruning(mixed_dataset, 0.7, 0.5, rng=9)
+        assert len(a) == len(b)
+
+    def test_boundary_record_kept(self):
+        dataset = QAOADataset([make_record(0.7)])
+        pruned, _ = selective_data_pruning(dataset, threshold=0.7)
+        assert len(pruned) == 1  # >= threshold is kept
+
+
+class TestFixedAngleRelabel:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return FixedAngleTable(
+            ensemble_size=2, ensemble_nodes=8, optimizer_iters=30, restarts=1,
+            rng=4,
+        )
+
+    def test_relabels_bad_covered_records(self, table):
+        from repro.graphs.generators import random_regular_graph
+        from repro.data.dataset import QAOARecord
+        from repro.maxcut.problem import MaxCutProblem
+
+        graph = random_regular_graph(8, 3, rng=0)
+        optimum = MaxCutProblem(graph).max_cut_value()
+        bad = QAOARecord(
+            graph=graph,
+            p=1,
+            gammas=(0.01,),
+            betas=(0.01,),
+            expectation=optimum * 0.5,
+            optimal_value=optimum,
+            approximation_ratio=0.5,
+        )
+        relabeled, report = fixed_angle_relabel(QAOADataset([bad]), table)
+        assert report.eligible == 1
+        assert report.relabeled == 1
+        assert relabeled[0].source == "fixed_angle"
+        assert relabeled[0].approximation_ratio > 0.5
+
+    def test_keeps_good_labels(self, table):
+        from repro.graphs.generators import random_regular_graph
+        from repro.data.dataset import QAOARecord
+        from repro.maxcut.problem import MaxCutProblem
+
+        graph = random_regular_graph(8, 3, rng=1)
+        optimum = MaxCutProblem(graph).max_cut_value()
+        good = QAOARecord(
+            graph=graph,
+            p=1,
+            gammas=(0.6,),
+            betas=(0.4,),
+            expectation=optimum * 0.99,
+            optimal_value=optimum,
+            approximation_ratio=0.99,
+        )
+        relabeled, report = fixed_angle_relabel(QAOADataset([good]), table)
+        assert report.relabeled == 0
+        assert relabeled[0].source == "optimized"
+
+    def test_uncovered_degree_skipped(self, table):
+        record = make_record()  # C4: 2-regular, below coverage window
+        relabeled, report = fixed_angle_relabel(QAOADataset([record]), table)
+        assert report.eligible == 0
+        assert relabeled[0].source == "optimized"
+
+    def test_coverage_fraction(self, table):
+        from repro.graphs.generators import random_regular_graph
+        from repro.data.dataset import QAOARecord
+        from repro.maxcut.problem import MaxCutProblem
+
+        covered_graph = random_regular_graph(8, 3, rng=2)
+        optimum = MaxCutProblem(covered_graph).max_cut_value()
+        covered = QAOARecord(
+            graph=covered_graph,
+            p=1,
+            gammas=(0.1,),
+            betas=(0.1,),
+            expectation=optimum * 0.5,
+            optimal_value=optimum,
+            approximation_ratio=0.5,
+        )
+        uncovered = make_record()
+        _, report = fixed_angle_relabel(
+            QAOADataset([covered, uncovered, uncovered]), table
+        )
+        assert report.coverage_fraction == pytest.approx(1 / 3)
+
+    def test_empty_dataset(self, table):
+        relabeled, report = fixed_angle_relabel(QAOADataset(), table)
+        assert len(relabeled) == 0
+        assert report.coverage_fraction == 0.0

@@ -1,0 +1,132 @@
+"""Tests for splitting and distribution statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import QAOADataset
+from repro.data.splits import kfold_indices, random_split, stratified_split
+from repro.data.stats import (
+    IntervalSummary,
+    ar_by_degree,
+    ar_by_size,
+    degree_frequency,
+    low_quality_fraction,
+    size_frequency,
+)
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph
+
+from tests.test_data_dataset import make_record
+
+
+@pytest.fixture
+def sized_dataset():
+    records = []
+    for num_nodes in (4, 5, 6):
+        for ratio in (0.5, 0.7, 0.9):
+            records.append(make_record(ratio=ratio, num_nodes=num_nodes))
+    return QAOADataset(records)
+
+
+class TestSplits:
+    def test_random_split_sizes(self, sized_dataset):
+        train, test = random_split(sized_dataset, 3, rng=0)
+        assert len(train) == 6
+        assert len(test) == 3
+
+    def test_random_split_partition(self, sized_dataset):
+        train, test = random_split(sized_dataset, 3, rng=0)
+        assert len(train) + len(test) == len(sized_dataset)
+
+    def test_random_split_invalid_size(self, sized_dataset):
+        with pytest.raises(DatasetError):
+            random_split(sized_dataset, 0)
+        with pytest.raises(DatasetError):
+            random_split(sized_dataset, 9)
+
+    def test_stratified_covers_strata(self, sized_dataset):
+        _, test = stratified_split(sized_dataset, 3, rng=0)
+        # one per (size, degree) stratum: sizes 4, 5, 6 all present
+        assert {r.graph.num_nodes for r in test} == {4, 5, 6}
+
+    def test_stratified_sizes(self, sized_dataset):
+        train, test = stratified_split(sized_dataset, 4, rng=1)
+        assert len(test) == 4
+        assert len(train) == 5
+
+    def test_stratified_deterministic(self, sized_dataset):
+        a = stratified_split(sized_dataset, 3, rng=7)[1]
+        b = stratified_split(sized_dataset, 3, rng=7)[1]
+        assert [r.graph.name for r in a] == [r.graph.name for r in b]
+
+    def test_kfold_partition(self):
+        folds = kfold_indices(10, 3, rng=0)
+        combined = np.concatenate(folds)
+        assert sorted(combined) == list(range(10))
+
+    def test_kfold_invalid(self):
+        with pytest.raises(DatasetError):
+            kfold_indices(3, 5)
+        with pytest.raises(DatasetError):
+            kfold_indices(10, 1)
+
+
+class TestFrequencies:
+    def test_degree_frequency(self, triangle, square):
+        freq = degree_frequency([triangle, square])
+        assert freq == {2: 7}
+
+    def test_size_frequency(self, triangle, square):
+        freq = size_frequency([triangle, square, square])
+        assert freq == {3: 1, 4: 2}
+
+    def test_mixed_degrees(self):
+        freq = degree_frequency([Graph.star(4)])
+        assert freq == {1: 3, 3: 1}
+
+
+class TestIntervals:
+    def test_interval_summary_values(self):
+        summary = IntervalSummary.from_values(5, np.array([0.2, 0.4, 0.6, 0.8]))
+        assert summary.key == 5
+        assert summary.count == 4
+        assert summary.minimum == 0.2
+        assert summary.maximum == 0.8
+        assert summary.mean == pytest.approx(0.5)
+        assert summary.median == pytest.approx(0.5)
+
+    def test_ar_by_size_buckets(self, sized_dataset):
+        summaries = ar_by_size(sized_dataset)
+        assert [s.key for s in summaries] == [4, 5, 6]
+        for summary in summaries:
+            assert summary.count == 3
+            assert summary.minimum == pytest.approx(0.5)
+            assert summary.maximum == pytest.approx(0.9)
+
+    def test_ar_by_degree_regular(self, sized_dataset):
+        summaries = ar_by_degree(sized_dataset)
+        assert [s.key for s in summaries] == [2]  # all cycles are 2-regular
+        assert summaries[0].count == 9
+
+    def test_ar_by_degree_irregular_uses_max(self):
+        from repro.data.dataset import QAOARecord
+
+        star = Graph.star(5)
+        record = QAOARecord(
+            graph=star,
+            p=1,
+            gammas=(0.1,),
+            betas=(0.1,),
+            expectation=2.0,
+            optimal_value=4.0,
+            approximation_ratio=0.5,
+        )
+        summaries = ar_by_degree(QAOADataset([record]))
+        assert summaries[0].key == 4
+
+    def test_low_quality_fraction(self, sized_dataset):
+        # 3 of 9 records have AR 0.5 < 0.7
+        assert low_quality_fraction(sized_dataset, 0.7) == pytest.approx(1 / 3)
+
+    def test_low_quality_empty(self):
+        assert low_quality_fraction(QAOADataset()) == 0.0

@@ -1,0 +1,163 @@
+"""Tests for structure-free prediction baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import QAOADataset
+from repro.exceptions import DatasetError, ModelError
+from repro.gnn.baselines import (
+    BucketMedianPredictor,
+    DegreeStatsPredictor,
+    MeanPredictor,
+    graph_statistics,
+)
+from repro.graphs.graph import Graph
+
+from tests.test_data_dataset import make_record
+
+
+class TestGraphStatistics:
+    def test_vector_shape(self, petersen_like):
+        stats = graph_statistics(petersen_like)
+        assert stats.shape == (7,)
+
+    def test_values(self, triangle):
+        stats = graph_statistics(triangle)
+        assert stats[0] == 3  # nodes
+        assert stats[1] == 3  # edges
+        assert stats[2] == 2.0  # mean degree
+        assert stats[3] == 0.0  # degree std (regular)
+        assert stats[5] == 1.0  # density (complete)
+
+    def test_weighted_total(self, weighted_triangle):
+        assert graph_statistics(weighted_triangle)[6] == 6.0
+
+
+class TestMeanPredictor:
+    def test_predicts_training_mean(self):
+        dataset = QAOADataset([make_record(0.8), make_record(0.9)])
+        baseline = MeanPredictor().fit(dataset)
+        gammas, betas = baseline.predict_angles(Graph.cycle(5))
+        assert gammas[0] == pytest.approx(0.5)
+        assert betas[0] == pytest.approx(0.25)
+
+    def test_same_for_all_graphs(self):
+        dataset = QAOADataset([make_record()])
+        baseline = MeanPredictor().fit(dataset)
+        a = baseline.predict_angles(Graph.cycle(4))
+        b = baseline.predict_angles(Graph.complete(6))
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_requires_fit(self):
+        with pytest.raises(ModelError):
+            MeanPredictor().predict_angles(Graph.cycle(4))
+
+    def test_empty_dataset(self):
+        with pytest.raises(DatasetError):
+            MeanPredictor().fit(QAOADataset())
+
+    def test_as_initialization(self):
+        dataset = QAOADataset([make_record()])
+        strategy = MeanPredictor().fit(dataset).as_initialization()
+        gammas, betas = strategy.initial_parameters(Graph.cycle(4), 1)
+        assert gammas[0] == pytest.approx(0.5)
+        with pytest.raises(ModelError):
+            strategy.initial_parameters(Graph.cycle(4), 2)
+
+
+class TestBucketMedianPredictor:
+    def test_exact_bucket_lookup(self):
+        from repro.data.dataset import QAOARecord
+
+        records = []
+        for gamma in (0.4, 0.5, 0.6):
+            graph = Graph.cycle(6)
+            records.append(
+                QAOARecord(
+                    graph=graph, p=1, gammas=(gamma,), betas=(0.3,),
+                    expectation=4.0, optimal_value=6.0,
+                    approximation_ratio=0.67,
+                )
+            )
+        baseline = BucketMedianPredictor().fit(QAOADataset(records))
+        gammas, betas = baseline.predict_angles(Graph.cycle(6))
+        assert gammas[0] == pytest.approx(0.5)  # median
+        assert betas[0] == pytest.approx(0.3)
+
+    def test_nearest_bucket_fallback(self):
+        dataset = QAOADataset([make_record(num_nodes=4)])
+        baseline = BucketMedianPredictor().fit(dataset)
+        # unseen (8, 7) bucket falls back to the only bucket present
+        gammas, _ = baseline.predict_angles(Graph.complete(8))
+        assert gammas[0] == pytest.approx(0.5)
+
+    def test_requires_fit(self):
+        with pytest.raises(ModelError):
+            BucketMedianPredictor().predict_angles(Graph.cycle(4))
+
+    def test_empty_dataset(self):
+        with pytest.raises(DatasetError):
+            BucketMedianPredictor().fit(QAOADataset())
+
+    def test_as_initialization_depth_check(self):
+        dataset = QAOADataset([make_record()])
+        strategy = BucketMedianPredictor().fit(dataset).as_initialization()
+        with pytest.raises(ModelError):
+            strategy.initial_parameters(Graph.cycle(4), 3)
+
+
+class TestDegreeStatsPredictor:
+    def test_learns_degree_dependence(self):
+        # targets depend on degree: cycle records get (0.4, 0.2),
+        # complete-graph records get (1.2, 0.6) — the stats MLP must
+        # separate them
+        records = []
+        for _ in range(8):
+            cycle = make_record(num_nodes=6)
+            records.append(
+                cycle.with_label([0.4], [0.2], cycle.expectation,
+                                 cycle.approximation_ratio, "optimized")
+            )
+        from repro.data.dataset import QAOARecord
+
+        for _ in range(8):
+            graph = Graph.complete(6)
+            records.append(
+                QAOARecord(
+                    graph=graph,
+                    p=1,
+                    gammas=(1.2,),
+                    betas=(0.6,),
+                    expectation=5.0,
+                    optimal_value=9.0,
+                    approximation_ratio=0.55,
+                )
+            )
+        dataset = QAOADataset(records)
+        baseline = DegreeStatsPredictor(epochs=400, rng=0).fit(dataset)
+        cycle_g, _ = baseline.predict_angles(Graph.cycle(6))
+        complete_g, _ = baseline.predict_angles(Graph.complete(6))
+        assert abs(cycle_g[0] - 0.4) < 0.25
+        assert abs(complete_g[0] - 1.2) < 0.25
+
+    def test_requires_fit(self):
+        with pytest.raises(ModelError):
+            DegreeStatsPredictor().predict_angles(Graph.cycle(4))
+
+    def test_deterministic_after_fit(self, tiny_dataset):
+        baseline = DegreeStatsPredictor(epochs=20, rng=1).fit(tiny_dataset)
+        graph = tiny_dataset[0].graph
+        a = baseline.predict_angles(graph)
+        b = baseline.predict_angles(graph)
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_as_initialization(self, tiny_dataset):
+        strategy = (
+            DegreeStatsPredictor(epochs=10, rng=0)
+            .fit(tiny_dataset)
+            .as_initialization()
+        )
+        gammas, betas = strategy.initial_parameters(
+            tiny_dataset[0].graph, 1
+        )
+        assert gammas.shape == (1,)

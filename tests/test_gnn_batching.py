@@ -1,0 +1,79 @@
+"""Tests for GraphBatch construction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.gnn.batching import GraphBatch
+from repro.graphs.graph import Graph
+from repro.nn.tensor import Tensor
+
+
+class TestFromGraphs:
+    def test_single_graph(self, triangle):
+        batch = GraphBatch.from_graphs([triangle])
+        assert batch.num_graphs == 1
+        assert batch.num_nodes == 3
+        assert batch.num_edges == 6  # both directions
+        assert batch.x.shape == (3, 15)
+
+    def test_offsets_disjoint_union(self, triangle, square):
+        batch = GraphBatch.from_graphs([triangle, square])
+        assert batch.num_nodes == 7
+        assert batch.num_graphs == 2
+        # square's edges live in node range [3, 7)
+        second_edges = batch.edge_src[batch.edge_src >= 3]
+        assert (second_edges < 7).all()
+        np.testing.assert_array_equal(batch.node_graph, [0, 0, 0, 1, 1, 1, 1])
+
+    def test_degrees_match_graphs(self, triangle, square):
+        batch = GraphBatch.from_graphs([triangle, square])
+        np.testing.assert_allclose(batch.degrees(), [2, 2, 2, 2, 2, 2, 2])
+
+    def test_custom_features(self, triangle):
+        feats = np.arange(6.0).reshape(3, 2)
+        batch = GraphBatch.from_graphs([triangle], features=[feats])
+        np.testing.assert_allclose(batch.x.data, feats)
+
+    def test_feature_row_mismatch(self, triangle):
+        with pytest.raises(ModelError):
+            GraphBatch.from_graphs([triangle], features=[np.zeros((2, 4))])
+
+    def test_feature_list_length_mismatch(self, triangle, square):
+        with pytest.raises(ModelError):
+            GraphBatch.from_graphs([triangle, square], features=[np.zeros((3, 2))])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ModelError):
+            GraphBatch.from_graphs([])
+
+    def test_edge_weights_duplicated_both_directions(self, weighted_triangle):
+        batch = GraphBatch.from_graphs([weighted_triangle])
+        assert batch.edge_weight.shape == (6,)
+        assert sorted(batch.edge_weight) == [1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+
+    def test_edgeless_graph(self):
+        batch = GraphBatch.from_graphs([Graph(3, ())])
+        assert batch.num_edges == 0
+        assert batch.num_nodes == 3
+
+    def test_with_features_replaces(self, triangle):
+        batch = GraphBatch.from_graphs([triangle])
+        new = batch.with_features(Tensor(np.zeros((3, 4))))
+        assert new.x.shape == (3, 4)
+        assert new.edge_src is batch.edge_src
+
+    def test_feature_kind_forwarded(self, triangle):
+        batch = GraphBatch.from_graphs([triangle], feature_kind="structural")
+        assert batch.x.shape == (3, 5)
+
+    def test_validation_of_mismatched_arrays(self):
+        with pytest.raises(ModelError):
+            GraphBatch(
+                Tensor(np.zeros((2, 2))),
+                edge_src=np.array([0]),
+                edge_dst=np.array([0, 1]),
+                edge_weight=np.array([1.0]),
+                node_graph=np.array([0, 0]),
+                num_graphs=1,
+            )

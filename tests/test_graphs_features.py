@@ -1,0 +1,106 @@
+"""Tests for node feature construction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.features import (
+    PAPER_INPUT_DIM,
+    build_features,
+    degree_onehot_features,
+    degree_plus_onehot_features,
+    feature_dim,
+    onehot_id_features,
+    structural_features,
+)
+from repro.graphs.graph import Graph
+
+
+class TestOnehot:
+    def test_shape_padded(self, triangle):
+        feats = onehot_id_features(triangle)
+        assert feats.shape == (3, PAPER_INPUT_DIM)
+
+    def test_identity_block(self, triangle):
+        feats = onehot_id_features(triangle, max_nodes=5)
+        assert np.array_equal(feats[:, :3], np.eye(3))
+        assert feats[:, 3:].sum() == 0
+
+    def test_too_many_nodes(self):
+        with pytest.raises(GraphError, match="capped"):
+            onehot_id_features(Graph.complete(6), max_nodes=5)
+
+
+class TestDegreeOnehot:
+    def test_degree_in_slot(self, square):
+        feats = degree_onehot_features(square, max_nodes=6)
+        for v in range(4):
+            assert feats[v, v] == 2.0
+        assert feats.sum() == 8.0
+
+    def test_paper_input_dim(self, petersen_like):
+        feats = degree_onehot_features(petersen_like)
+        assert feats.shape[1] == 15
+
+    def test_irregular_degrees(self):
+        star = Graph.star(4)
+        feats = degree_onehot_features(star, max_nodes=4)
+        assert feats[0, 0] == 3.0
+        assert feats[1, 1] == 1.0
+
+
+class TestDegreePlusOnehot:
+    def test_shape(self, triangle):
+        feats = degree_plus_onehot_features(triangle, max_nodes=4)
+        assert feats.shape == (3, 5)
+        assert np.array_equal(feats[:, 0], [2, 2, 2])
+
+
+class TestStructural:
+    def test_shape(self, petersen_like):
+        assert structural_features(petersen_like).shape == (10, 5)
+
+    def test_triangle_counts(self, triangle):
+        feats = structural_features(triangle)
+        # every node of K3 is in exactly one triangle
+        assert np.allclose(feats[:, 2], 1.0)
+
+    def test_no_triangles_in_cycle(self, square):
+        feats = structural_features(square)
+        assert np.allclose(feats[:, 2], 0.0)
+
+    def test_mean_neighbor_degree_regular(self, petersen_like):
+        feats = structural_features(petersen_like)
+        assert np.allclose(feats[:, 3], 3.0)
+
+    def test_weighted_degree(self, weighted_triangle):
+        feats = structural_features(weighted_triangle)
+        assert np.isclose(feats[0, 4], 4.0)  # 1 + 3
+
+    def test_isolated_node_safe(self):
+        graph = Graph(3, ((0, 1),))
+        feats = structural_features(graph)
+        assert feats[2, 3] == 0.0  # no neighbors -> 0, not NaN
+        assert not np.isnan(feats).any()
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "kind,dim",
+        [
+            ("degree_onehot", 15),
+            ("onehot", 15),
+            ("degree_plus_onehot", 16),
+            ("structural", 5),
+        ],
+    )
+    def test_kinds_and_dims(self, triangle, kind, dim):
+        feats = build_features(triangle, kind)
+        assert feats.shape == (3, dim)
+        assert feature_dim(kind) == dim
+
+    def test_unknown_kind(self, triangle):
+        with pytest.raises(GraphError):
+            build_features(triangle, "bogus")
+        with pytest.raises(GraphError):
+            feature_dim("bogus")

@@ -1,0 +1,156 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_basic(self):
+        graph = Graph(3, ((0, 1), (1, 2)))
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.weights == (1.0, 1.0)
+
+    def test_edges_canonicalized(self):
+        graph = Graph(3, ((2, 0), (2, 1)))
+        assert graph.edges == ((0, 2), (1, 2))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self loop"):
+            Graph(3, ((1, 1),))
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph(3, ((0, 1), (1, 0)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError, match="out of range"):
+            Graph(3, ((0, 3),))
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(GraphError):
+            Graph(0, ())
+
+    def test_rejects_weight_count_mismatch(self):
+        with pytest.raises(GraphError, match="weights"):
+            Graph(3, ((0, 1), (1, 2)), (1.0,))
+
+    def test_single_node_no_edges(self):
+        graph = Graph(1, ())
+        assert graph.num_edges == 0
+        assert graph.is_connected()
+
+    def test_from_edges(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)], [0.5, 1.5])
+        assert graph.weights == (0.5, 1.5)
+
+    def test_immutability(self):
+        graph = Graph(3, ((0, 1),))
+        with pytest.raises(AttributeError):
+            graph.num_nodes = 5
+
+
+class TestNamedConstructors:
+    def test_complete(self):
+        k4 = Graph.complete(4)
+        assert k4.num_edges == 6
+        assert k4.is_regular()
+        assert k4.regular_degree() == 3
+
+    def test_cycle(self):
+        c5 = Graph.cycle(5)
+        assert c5.num_edges == 5
+        assert c5.regular_degree() == 2
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            Graph.cycle(2)
+
+    def test_path(self):
+        p4 = Graph.path(4)
+        assert p4.num_edges == 3
+        assert not p4.is_regular()
+
+    def test_star(self):
+        s5 = Graph.star(5)
+        assert s5.num_edges == 4
+        assert list(s5.degrees()) == [4, 1, 1, 1, 1]
+
+    def test_networkx_roundtrip(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 1, weight=2.0)
+        nx_graph.add_edge(1, 2)
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        back = graph.to_networkx()
+        assert back[0][1]["weight"] == 2.0
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("a", "b")
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.num_nodes == 2
+        assert graph.edges == ((0, 1),)
+
+
+class TestDerivedQuantities:
+    def test_degrees(self, triangle):
+        assert list(triangle.degrees()) == [2, 2, 2]
+
+    def test_max_degree_empty(self):
+        assert Graph(3, ()).max_degree() == 0
+
+    def test_regular_detection(self, triangle):
+        assert triangle.is_regular()
+        assert triangle.regular_degree() == 2
+        assert Graph.path(3).regular_degree() is None
+
+    def test_adjacency_symmetric(self, weighted_triangle):
+        adj = weighted_triangle.adjacency_matrix()
+        assert np.array_equal(adj, adj.T)
+        assert adj[0, 1] == 1.0
+        assert adj[1, 2] == 2.0
+        assert adj[0, 2] == 3.0
+
+    def test_edge_array_shape(self, triangle):
+        assert triangle.edge_array().shape == (3, 2)
+        assert Graph(2, ()).edge_array().shape == (0, 2)
+
+    def test_neighbors(self, square):
+        assert square.neighbors(0) == [1, 3]
+
+    def test_neighbors_out_of_range(self, square):
+        with pytest.raises(GraphError):
+            square.neighbors(9)
+
+    def test_has_edge(self, square):
+        assert square.has_edge(0, 1)
+        assert square.has_edge(1, 0)
+        assert not square.has_edge(0, 2)
+
+    def test_total_weight(self, weighted_triangle):
+        assert weighted_triangle.total_weight == 6.0
+
+    def test_is_weighted(self, triangle, weighted_triangle):
+        assert not triangle.is_weighted
+        assert weighted_triangle.is_weighted
+
+    def test_with_weights(self, triangle):
+        weighted = triangle.with_weights([2.0, 2.0, 2.0])
+        assert weighted.is_weighted
+        assert triangle.weights == (1.0, 1.0, 1.0)  # original untouched
+
+    def test_with_name(self, triangle):
+        assert triangle.with_name("t2").name == "t2"
+
+    def test_connectivity(self):
+        assert Graph.cycle(5).is_connected()
+        disconnected = Graph(4, ((0, 1), (2, 3)))
+        assert not disconnected.is_connected()

@@ -1,0 +1,98 @@
+"""Tests for the graph text-file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    graph_from_text,
+    graph_to_text,
+    load_graph,
+    load_graphs,
+    save_graph,
+    save_graphs,
+)
+from repro.graphs.generators import erdos_renyi_graph
+
+
+class TestTextFormat:
+    def test_roundtrip_unweighted(self, square):
+        assert graph_from_text(graph_to_text(square)).edges == square.edges
+
+    def test_roundtrip_weighted(self, weighted_triangle):
+        parsed = graph_from_text(graph_to_text(weighted_triangle))
+        assert parsed.weights == weighted_triangle.weights
+
+    def test_name_preserved(self, triangle):
+        parsed = graph_from_text(graph_to_text(triangle))
+        assert parsed.name == "triangle"
+
+    def test_explicit_name_wins(self, triangle):
+        parsed = graph_from_text(graph_to_text(triangle), name="other")
+        assert parsed.name == "other"
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# comment\n\nnodes 2\n# another\nedge 0 1\n"
+        parsed = graph_from_text(text)
+        assert parsed.num_edges == 1
+
+    def test_missing_nodes_line(self):
+        with pytest.raises(GraphFormatError, match="missing 'nodes'"):
+            graph_from_text("edge 0 1\n")
+
+    def test_duplicate_nodes_line(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            graph_from_text("nodes 2\nnodes 3\n")
+
+    def test_malformed_edge(self):
+        with pytest.raises(GraphFormatError, match="malformed"):
+            graph_from_text("nodes 2\nedge 0\n")
+
+    def test_bad_weight(self):
+        with pytest.raises(GraphFormatError, match="bad weight"):
+            graph_from_text("nodes 2\nedge 0 1 abc\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(GraphFormatError, match="unknown directive"):
+            graph_from_text("nodes 2\nvertex 0\n")
+
+    def test_bad_node_count(self):
+        with pytest.raises(GraphFormatError, match="bad node count"):
+            graph_from_text("nodes two\n")
+
+    @given(st.integers(2, 12), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, n, seed):
+        graph = erdos_renyi_graph(n, 0.5, rng=seed)
+        parsed = graph_from_text(graph_to_text(graph))
+        assert parsed.num_nodes == graph.num_nodes
+        assert parsed.edges == graph.edges
+        assert parsed.weights == graph.weights
+
+
+class TestFileIO:
+    def test_save_load_single(self, tmp_path, square):
+        path = tmp_path / "g" / "square.graph"
+        save_graph(square, path)
+        loaded = load_graph(path)
+        assert loaded.edges == square.edges
+
+    def test_stem_becomes_name(self, tmp_path):
+        graph = Graph(2, ((0, 1),))
+        path = tmp_path / "mygraph.graph"
+        save_graph(graph, path)
+        assert load_graph(path).name == "mygraph"
+
+    def test_save_load_directory(self, tmp_path, triangle, square):
+        paths = save_graphs([triangle, square], tmp_path)
+        assert len(paths) == 2
+        loaded = load_graphs(tmp_path)
+        assert {g.name for g in loaded} == {"triangle", "square"}
+
+    def test_unnamed_graphs_get_indices(self, tmp_path):
+        graphs = [Graph(2, ((0, 1),)), Graph(3, ((0, 2),))]
+        paths = save_graphs(graphs, tmp_path)
+        assert paths[0].stem == "graph_00000"
+        assert paths[1].stem == "graph_00001"

@@ -1,0 +1,109 @@
+"""Tests for graph transforms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.transforms import (
+    complement,
+    disjoint_union,
+    line_graph,
+    line_graph_features,
+    relabel,
+)
+from repro.maxcut.bruteforce import brute_force_maxcut
+
+
+class TestLineGraph:
+    def test_triangle_line_graph_is_triangle(self, triangle):
+        lg = line_graph(triangle)
+        assert lg.num_nodes == 3
+        assert lg.num_edges == 3  # K3 again
+
+    def test_path_line_graph_is_shorter_path(self):
+        lg = line_graph(Graph.path(4))  # P4 has 3 edges -> L = P3
+        assert lg.num_nodes == 3
+        assert lg.num_edges == 2
+
+    def test_star_line_graph_is_complete(self):
+        lg = line_graph(Graph.star(5))  # K1,4 -> L = K4
+        assert lg.num_nodes == 4
+        assert lg.num_edges == 6
+
+    def test_edge_count_formula(self, petersen_like):
+        # |E(L(G))| = sum_v C(deg v, 2)
+        lg = line_graph(petersen_like)
+        degrees = petersen_like.degrees()
+        expected = int(sum(d * (d - 1) // 2 for d in degrees))
+        assert lg.num_edges == expected
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(GraphError):
+            line_graph(Graph(3, ()))
+
+    def test_features_shape_and_content(self, weighted_triangle):
+        feats = line_graph_features(weighted_triangle)
+        assert feats.shape == (3, 3)
+        assert feats[0, 0] == 1.0  # weight of edge (0,1)
+        assert feats[1, 0] == 2.0
+
+    def test_name_propagated(self, triangle):
+        assert line_graph(triangle).name == "L(triangle)"
+
+
+class TestComplement:
+    def test_complete_complement_empty(self):
+        assert complement(Graph.complete(5)).num_edges == 0
+
+    def test_double_complement_identity(self, petersen_like):
+        back = complement(complement(petersen_like))
+        assert set(back.edges) == set(petersen_like.edges)
+
+    def test_edge_counts_sum(self, petersen_like):
+        n = petersen_like.num_nodes
+        co = complement(petersen_like)
+        assert petersen_like.num_edges + co.num_edges == n * (n - 1) // 2
+
+
+class TestDisjointUnion:
+    def test_counts(self, triangle, square):
+        union = disjoint_union([triangle, square])
+        assert union.num_nodes == 7
+        assert union.num_edges == 7
+
+    def test_weights_preserved(self, weighted_triangle, square):
+        union = disjoint_union([weighted_triangle, square])
+        assert union.weights[:3] == (1.0, 2.0, 3.0)
+
+    def test_maxcut_additive(self, triangle, square):
+        union = disjoint_union([triangle, square])
+        assert brute_force_maxcut(union).value == (
+            brute_force_maxcut(triangle).value
+            + brute_force_maxcut(square).value
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            disjoint_union([])
+
+
+class TestRelabel:
+    def test_degree_sequence_invariant(self, petersen_like):
+        perm = np.random.default_rng(0).permutation(10)
+        relabeled = relabel(petersen_like, perm)
+        assert sorted(relabeled.degrees()) == sorted(petersen_like.degrees())
+
+    def test_maxcut_invariant(self, petersen_like):
+        perm = np.random.default_rng(1).permutation(10)
+        relabeled = relabel(petersen_like, perm)
+        assert brute_force_maxcut(relabeled).value == (
+            brute_force_maxcut(petersen_like).value
+        )
+
+    def test_identity_permutation(self, square):
+        assert relabel(square, [0, 1, 2, 3]).edges == square.edges
+
+    def test_rejects_non_permutation(self, square):
+        with pytest.raises(GraphError):
+            relabel(square, [0, 0, 1, 2])

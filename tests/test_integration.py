@@ -1,0 +1,148 @@
+"""Cross-module integration tests: the full story, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import comparison_series, render_comparison
+from repro.analysis.tables import format_table1
+from repro.data.generation import GenerationConfig, generate_dataset
+from repro.data.pruning import selective_data_pruning
+from repro.data.splits import stratified_split
+from repro.data.stats import ar_by_size, degree_frequency, size_frequency
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.generators import random_regular_graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.pipeline.evaluation import WarmStartEvaluator
+from repro.pipeline.training import Trainer, TrainingConfig
+from repro.qaoa.analytic import p1_optimal_angles_regular
+from repro.qaoa.optimizers import AdamOptimizer
+from repro.qaoa.runner import QAOARunner
+from repro.qaoa.simulator import QAOASimulator
+
+
+class TestQuantumClassicalAgreement:
+    """The quantum stack agrees with classical ground truth."""
+
+    def test_qaoa_never_beats_brute_force(self):
+        for seed in range(5):
+            graph = random_regular_graph(8, 3, rng=seed)
+            problem = MaxCutProblem(graph)
+            outcome = QAOARunner(p=2, max_iters=80).run(graph, rng=seed)
+            assert outcome.expectation <= problem.max_cut_value() + 1e-9
+
+    def test_deeper_circuits_reach_higher_ratios(self):
+        graph = random_regular_graph(10, 3, rng=1)
+        simulator = QAOASimulator(graph)
+        optimizer = AdamOptimizer()
+        ratios = []
+        rng = np.random.default_rng(0)
+        for p in (1, 2, 3):
+            best = -np.inf
+            for _ in range(3):  # restarts to dodge local optima
+                result = optimizer.run(
+                    simulator,
+                    rng.uniform(0, 1, p),
+                    rng.uniform(0, 0.8, p),
+                    max_iters=150,
+                )
+                best = max(best, result.expectation)
+            ratios.append(best / MaxCutProblem(graph).max_cut_value())
+        assert ratios[1] >= ratios[0] - 0.01
+        assert ratios[2] >= ratios[1] - 0.01
+
+    def test_p1_optimum_matches_theory_on_cycle(self):
+        # C6 is 2-regular triangle-free: optimal p=1 ratio = 0.75 exactly
+        from repro.graphs.graph import Graph
+
+        graph = Graph.cycle(6)
+        gamma, beta = p1_optimal_angles_regular(2)
+        ratio = QAOASimulator(graph).approximation_ratio([gamma], [beta])
+        assert ratio == pytest.approx(0.75, abs=1e-9)
+
+
+class TestDatasetStory:
+    """Dataset generation reproduces the paper's distribution claims."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        config = GenerationConfig(
+            num_graphs=60, min_nodes=3, max_nodes=12, optimizer_iters=30,
+            seed=2024,
+        )
+        return generate_dataset(config)
+
+    def test_distributions_cover_ranges(self, dataset):
+        sizes = size_frequency(dataset.graphs())
+        degrees = degree_frequency(dataset.graphs())
+        assert min(sizes) >= 3 and max(sizes) <= 12
+        assert min(degrees) >= 2
+
+    def test_ar_by_size_has_spread(self, dataset):
+        summaries = ar_by_size(dataset)
+        assert any(s.maximum - s.minimum > 0.005 for s in summaries)
+
+    def test_pruning_raises_quality(self, dataset):
+        pruned, report = selective_data_pruning(
+            dataset, threshold=0.8, selective_rate=0.0
+        )
+        if report.pruned > 0:
+            assert report.mean_ar_after >= report.mean_ar_before
+
+
+class TestWarmStartStory:
+    """Trained GNN warm starts behave like the paper's Table 1/Figure 5."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = GenerationConfig(
+            num_graphs=48, min_nodes=4, max_nodes=10, optimizer_iters=60,
+            seed=7,
+        )
+        dataset = generate_dataset(config)
+        dataset, _ = selective_data_pruning(
+            dataset, threshold=0.7, selective_rate=0.5, rng=1
+        )
+        train, test = stratified_split(dataset, 10, rng=2)
+        model = QAOAParameterPredictor(arch="gin", p=1, rng=3)
+        Trainer(model, TrainingConfig(epochs=60, seed=3)).fit(train)
+        model.eval()
+        return model, test
+
+    def test_predictions_in_canonical_ranges(self, setup):
+        model, test = setup
+        for record in test:
+            gammas, betas = model.predict_angles(record.graph)
+            assert 0 <= gammas[0] <= 2 * np.pi
+            assert 0 <= betas[0] <= np.pi
+
+    def test_warmstart_positive_improvement_on_tight_budget(self, setup):
+        model, test = setup
+        evaluator = WarmStartEvaluator(p=1, optimizer_iters=15, rng=5)
+        result = evaluator.evaluate_model(test.graphs(), model)
+        # the paper's effect: positive mean improvement, majority wins
+        assert result.mean_improvement > -1.0
+        assert result.win_rate() >= 0.5
+
+    def test_gnn_initial_ratio_beats_random_initial(self, setup):
+        # before any optimization, predicted angles should start higher
+        model, test = setup
+        evaluator = WarmStartEvaluator(p=1, optimizer_iters=2, rng=6)
+        result = evaluator.evaluate_model(test.graphs(), model)
+        gnn_initial = np.mean(
+            [c.strategy_initial_ratio for c in result.comparisons]
+        )
+        random_initial = np.mean(
+            [c.random_initial_ratio for c in result.comparisons]
+        )
+        assert gnn_initial > random_initial
+
+    def test_figure5_and_table1_render(self, setup):
+        model, test = setup
+        evaluator = WarmStartEvaluator(p=1, optimizer_iters=10, rng=7)
+        result = evaluator.evaluate_model(test.graphs(), model, "gin")
+        series = comparison_series(result)
+        assert len(series) == len(test)
+        text = render_comparison(result)
+        assert "gin" in text
+        table = format_table1({"gin": result})
+        assert "gin" in table

@@ -1,0 +1,224 @@
+"""Tests for the Max-Cut substrate: problem, brute force, heuristics, GW."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators import erdos_renyi_graph, random_regular_graph
+from repro.maxcut.problem import (
+    MaxCutProblem,
+    all_cut_values,
+    assignment_to_bits,
+    cut_value,
+)
+from repro.maxcut.bruteforce import (
+    brute_force_maxcut,
+    brute_force_maxcut_chunked,
+    count_optimal_cuts,
+)
+from repro.maxcut.greedy import greedy_maxcut, local_search_maxcut, random_cut
+from repro.maxcut.goemans_williamson import (
+    goemans_williamson,
+    round_embedding,
+    solve_lowrank_sdp,
+)
+
+
+class TestAssignments:
+    def test_int_to_bits(self):
+        assert list(assignment_to_bits(5, 4)) == [1, 0, 1, 0]
+
+    def test_vector_passthrough(self):
+        assert list(assignment_to_bits([0, 1, 1], 3)) == [0, 1, 1]
+
+    def test_int_out_of_range(self):
+        with pytest.raises(GraphError):
+            assignment_to_bits(8, 3)
+
+    def test_vector_wrong_shape(self):
+        with pytest.raises(GraphError):
+            assignment_to_bits([0, 1], 3)
+
+    def test_vector_non_binary(self):
+        with pytest.raises(GraphError):
+            assignment_to_bits([0, 2, 1], 3)
+
+
+class TestCutValue:
+    def test_triangle_cuts(self, triangle):
+        assert cut_value(triangle, 0) == 0.0
+        assert cut_value(triangle, 1) == 2.0  # one node vs two
+        assert cut_value(triangle, 7) == 0.0  # all same side
+
+    def test_square_bipartition(self, square):
+        assert cut_value(square, 0b0101) == 4.0
+
+    def test_weighted(self, weighted_triangle):
+        # node 0 alone: edges (0,1) w=1 and (0,2) w=3 crossing
+        assert cut_value(weighted_triangle, 1) == 4.0
+
+    def test_edgeless(self):
+        assert cut_value(Graph(3, ()), 5) == 0.0
+
+    def test_complement_symmetry(self, petersen_like):
+        n = petersen_like.num_nodes
+        for z in (1, 37, 500):
+            complement = (~z) & ((1 << n) - 1)
+            assert cut_value(petersen_like, z) == cut_value(
+                petersen_like, complement
+            )
+
+
+class TestAllCutValues:
+    def test_length(self, triangle):
+        assert all_cut_values(triangle).shape == (8,)
+
+    def test_matches_scalar(self, petersen_like):
+        values = all_cut_values(petersen_like)
+        rng = np.random.default_rng(0)
+        for z in rng.integers(0, 1 << 10, size=20):
+            assert values[z] == cut_value(petersen_like, int(z))
+
+    def test_refuses_huge(self):
+        with pytest.raises(GraphError):
+            all_cut_values(Graph(27, ()))
+
+    @given(st.integers(2, 10), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_complement_symmetric(self, n, seed):
+        graph = erdos_renyi_graph(n, 0.5, rng=seed)
+        values = all_cut_values(graph)
+        indices = np.arange(1 << n)
+        complements = (~indices) & ((1 << n) - 1)
+        assert np.array_equal(values, values[complements])
+
+
+class TestBruteForce:
+    def test_triangle_optimum(self, triangle):
+        solution = brute_force_maxcut(triangle)
+        assert solution.value == 2.0
+        assert solution.optimal
+
+    def test_square_optimum(self, square):
+        assert brute_force_maxcut(square).value == 4.0
+
+    def test_bipartite_cuts_everything(self):
+        # C6 is bipartite: optimal cut = all 6 edges
+        assert brute_force_maxcut(Graph.cycle(6)).value == 6.0
+
+    def test_odd_cycle(self):
+        # C5: best cut = 4
+        assert brute_force_maxcut(Graph.cycle(5)).value == 4.0
+
+    def test_complete_graph(self):
+        # K4: best cut = 2*2 = 4
+        assert brute_force_maxcut(Graph.complete(4)).value == 4.0
+
+    def test_weighted(self, weighted_triangle):
+        # best: separate nodes to cut weights 2+3=5
+        assert brute_force_maxcut(weighted_triangle).value == 5.0
+
+    def test_chunked_matches_dense(self, petersen_like):
+        dense = brute_force_maxcut(petersen_like)
+        chunked = brute_force_maxcut_chunked(petersen_like, chunk_bits=6)
+        assert dense.value == chunked.value
+
+    def test_assignment_achieves_value(self, petersen_like):
+        solution = brute_force_maxcut(petersen_like)
+        assert cut_value(petersen_like, solution.assignment) == solution.value
+
+    def test_optimal_cut_count_even(self, petersen_like):
+        assert count_optimal_cuts(petersen_like) % 2 == 0
+
+    @given(st.integers(3, 9), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_brute_force_at_least_half_edges(self, n, seed):
+        graph = erdos_renyi_graph(n, 0.6, rng=seed)
+        # max cut >= m/2 for any graph (probabilistic argument)
+        assert brute_force_maxcut(graph).value >= graph.total_weight / 2.0
+
+
+class TestMaxCutProblem:
+    def test_caches_optimum(self, petersen_like):
+        problem = MaxCutProblem(petersen_like)
+        first = problem.optimum()
+        assert problem.optimum() is first
+
+    def test_approximation_ratio(self, square):
+        problem = MaxCutProblem(square)
+        assert problem.approximation_ratio(2.0) == 0.5
+        assert problem.approximation_ratio(4.0) == 1.0
+
+    def test_edgeless_ratio_is_one(self):
+        problem = MaxCutProblem(Graph(3, ()))
+        assert problem.approximation_ratio(0.0) == 1.0
+
+    def test_cost_diagonal_cached(self, triangle):
+        problem = MaxCutProblem(triangle)
+        assert problem.cost_diagonal() is problem.cost_diagonal()
+
+
+class TestHeuristics:
+    def test_greedy_reasonable(self, petersen_like):
+        solution = greedy_maxcut(petersen_like)
+        optimum = brute_force_maxcut(petersen_like).value
+        assert solution.value >= petersen_like.total_weight / 2.0
+        assert solution.value <= optimum
+
+    def test_local_search_half_guarantee(self):
+        for seed in range(5):
+            graph = erdos_renyi_graph(10, 0.5, rng=seed)
+            solution = local_search_maxcut(graph, rng=seed)
+            assert solution.value >= graph.total_weight / 2.0
+
+    def test_local_search_from_given_start(self, square):
+        solution = local_search_maxcut(square, start=np.array([0, 0, 0, 0]))
+        assert solution.value == 4.0  # flips to the bipartition
+
+    def test_random_cut_valid(self, petersen_like):
+        solution = random_cut(petersen_like, rng=0)
+        assert 0 <= solution.value <= brute_force_maxcut(petersen_like).value
+
+    def test_greedy_achieves_claimed_value(self, petersen_like):
+        solution = greedy_maxcut(petersen_like)
+        assert cut_value(petersen_like, solution.assignment) == solution.value
+
+
+class TestGoemansWilliamson:
+    def test_sdp_upper_bounds_optimum(self, petersen_like):
+        result = goemans_williamson(petersen_like, rng=0)
+        optimum = brute_force_maxcut(petersen_like).value
+        assert result.sdp_value >= optimum - 1e-6
+
+    def test_rounding_878_guarantee_loose(self, petersen_like):
+        result = goemans_williamson(petersen_like, num_rounds=100, rng=0)
+        optimum = brute_force_maxcut(petersen_like).value
+        # best-of-100 rounding should comfortably exceed 0.8 opt here
+        assert result.solution.value >= 0.8 * optimum
+
+    def test_embedding_rows_unit(self, square):
+        embedding = solve_lowrank_sdp(square, rng=0)
+        norms = np.linalg.norm(embedding, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_bipartite_sdp_tight(self, square):
+        # for bipartite graphs the SDP is tight: value = m
+        result = goemans_williamson(square, rng=0)
+        assert result.sdp_value >= 4.0 - 1e-4
+        assert result.solution.value == 4.0
+
+    def test_round_embedding_with_antipodal_vectors(self, square):
+        # a perfect embedding: opposite vectors for the two sides
+        embedding = np.array(
+            [[1.0, 0.0], [-1.0, 0.0], [1.0, 0.0], [-1.0, 0.0]]
+        )
+        solution = round_embedding(square, embedding, num_rounds=5, rng=0)
+        assert solution.value == 4.0
+
+    def test_weighted_graph(self, weighted_triangle):
+        result = goemans_williamson(weighted_triangle, rng=0)
+        assert result.solution.value <= 5.0 + 1e-9
+        assert result.sdp_value >= result.solution.value - 1e-6

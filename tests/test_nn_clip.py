@@ -1,0 +1,52 @@
+"""Tests for gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.nn.module import Parameter
+from repro.nn.optim import clip_grad_norm
+
+
+class TestClipGradNorm:
+    def _params_with_grads(self, *grads):
+        params = []
+        for grad in grads:
+            param = Parameter(np.zeros_like(np.asarray(grad, dtype=float)))
+            param.grad = np.asarray(grad, dtype=np.float64)
+            params.append(param)
+        return params
+
+    def test_no_clip_under_threshold(self):
+        params = self._params_with_grads([3.0, 4.0])  # norm 5
+        returned = clip_grad_norm(params, max_norm=10.0)
+        assert returned == pytest.approx(5.0)
+        np.testing.assert_allclose(params[0].grad, [3.0, 4.0])
+
+    def test_clips_to_max_norm(self):
+        params = self._params_with_grads([3.0, 4.0])  # norm 5
+        clip_grad_norm(params, max_norm=1.0)
+        assert np.linalg.norm(params[0].grad) == pytest.approx(1.0, rel=1e-6)
+        # direction preserved
+        np.testing.assert_allclose(
+            params[0].grad / np.linalg.norm(params[0].grad), [0.6, 0.8]
+        )
+
+    def test_global_norm_across_parameters(self):
+        params = self._params_with_grads([3.0], [4.0])  # global norm 5
+        returned = clip_grad_norm(params, max_norm=2.5)
+        assert returned == pytest.approx(5.0)
+        total = np.sqrt(
+            sum(float((p.grad**2).sum()) for p in params)
+        )
+        assert total == pytest.approx(2.5, rel=1e-6)
+
+    def test_skips_gradless_parameters(self):
+        param = Parameter(np.zeros(2))
+        returned = clip_grad_norm([param], max_norm=1.0)
+        assert returned == 0.0
+        assert param.grad is None
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(OptimizationError):
+            clip_grad_norm([], max_norm=0.0)

@@ -1,0 +1,295 @@
+"""Tests for Module, layers, optimizers, schedulers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, OptimizationError
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import huber_loss, mae_loss, mse_loss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.schedulers import ReduceLROnPlateau, StepLR
+from repro.nn.tensor import Tensor
+
+
+class TestModule:
+    def test_named_parameters_recursive(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(2, 3, rng=0)
+                self.blocks = [Linear(3, 3, rng=1), Linear(3, 1, rng=2)]
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "fc.weight" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+        assert net.num_parameters() == (2 * 3 + 3) + (3 * 3 + 3) + (3 * 1 + 1)
+
+    def test_train_eval_recursive(self):
+        seq = Sequential(Linear(2, 2, rng=0), Dropout(0.5))
+        seq.eval()
+        assert not seq.modules[1].training
+        seq.train()
+        assert seq.modules[1].training
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=0)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 2, rng=0)
+        b = Linear(3, 2, rng=1)
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_validates_names(self):
+        layer = Linear(2, 2, rng=0)
+        with pytest.raises(ModelError, match="mismatch"):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_validates_shapes(self):
+        layer = Linear(2, 2, rng=0)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ModelError, match="shape"):
+            layer.load_state_dict(state)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_input_dim_checked(self):
+        layer = Linear(4, 3, rng=0)
+        with pytest.raises(ModelError):
+            layer(Tensor(np.ones((5, 5))))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ModelError):
+            Linear(0, 3)
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng=0)
+        loss = (layer(Tensor(np.ones((4, 3)))) ** 2.0).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        drop = Dropout(0.5, rng=0)
+        drop.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_scales_in_train(self):
+        drop = Dropout(0.5, rng=0)
+        out = drop(Tensor(np.ones((100, 100)))).data
+        # surviving activations are scaled by 1/keep = 2
+        assert set(np.unique(out)) <= {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_zero_rate_identity(self):
+        drop = Dropout(0.0)
+        x = Tensor(np.ones((3, 3)))
+        assert drop(x) is x
+
+    def test_invalid_rate(self):
+        with pytest.raises(ModelError):
+            Dropout(1.0)
+
+
+class TestActivationModules:
+    @pytest.mark.parametrize(
+        "module,fn",
+        [
+            (ReLU(), lambda v: np.maximum(v, 0)),
+            (Tanh(), np.tanh),
+            (Sigmoid(), lambda v: 1 / (1 + np.exp(-v))),
+        ],
+    )
+    def test_matches_numpy(self, module, fn):
+        data = np.linspace(-2, 2, 7)
+        np.testing.assert_allclose(module(Tensor(data)).data, fn(data))
+
+    def test_leaky_relu_slope(self):
+        module = LeakyReLU(0.1)
+        out = module(Tensor(np.array([-10.0, 10.0])))
+        np.testing.assert_allclose(out.data, [-1.0, 10.0])
+
+
+class TestMLP:
+    def test_structure(self):
+        mlp = MLP([4, 8, 8, 2], dropout=0.5, rng=0)
+        # 3 Linear + 2 ReLU + 2 Dropout
+        assert len(mlp.layers) == 7
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ModelError):
+            MLP([4])
+
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP([3, 16, 1], rng=rng)
+        optimizer = Adam(mlp.parameters(), 0.01)
+        X = rng.normal(size=(128, 3))
+        Y = (X @ np.array([[1.0], [-2.0], [0.5]]))
+        for _ in range(400):
+            optimizer.zero_grad()
+            loss = mse_loss(mlp(Tensor(X)), Tensor(Y))
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.01
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer_cls, **kwargs):
+        param = Parameter(np.array([10.0]))
+        optimizer = optimizer_cls([param], **kwargs)
+        for _ in range(200):
+            optimizer.zero_grad()
+            (param * param).sum().backward()
+            optimizer.step()
+        return abs(param.data[0])
+
+    def test_sgd_converges(self):
+        assert self._quadratic_step(SGD, learning_rate=0.1) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_step(SGD, learning_rate=0.05, momentum=0.9) < 1e-2
+
+    def test_adam_converges(self):
+        assert self._quadratic_step(Adam, learning_rate=0.3) < 1e-2
+
+    def test_adam_weight_decay_shrinks(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], learning_rate=0.01, weight_decay=1.0)
+        for _ in range(100):
+            optimizer.zero_grad()
+            (param * 0.0).sum().backward()  # zero loss gradient
+            optimizer.step()
+        assert abs(param.data[0]) < 1.0
+
+    def test_requires_parameters(self):
+        with pytest.raises(OptimizationError):
+            Adam([], learning_rate=0.01)
+
+    def test_requires_positive_lr(self):
+        with pytest.raises(OptimizationError):
+            SGD([Parameter(np.ones(1))], learning_rate=0.0)
+
+    def test_skips_parameters_without_grad(self):
+        a, b = Parameter(np.ones(1)), Parameter(np.ones(1))
+        optimizer = SGD([a, b], learning_rate=0.1)
+        (a * 2.0).sum().backward()
+        optimizer.step()
+        assert b.data[0] == 1.0
+        assert a.data[0] != 1.0
+
+
+class TestSchedulers:
+    def _make(self, **kwargs):
+        optimizer = SGD([Parameter(np.ones(1))], learning_rate=1.0)
+        return optimizer, ReduceLROnPlateau(optimizer, **kwargs)
+
+    def test_reduces_after_patience(self):
+        optimizer, scheduler = self._make(patience=2, factor=0.5)
+        scheduler.step(1.0)  # best
+        for _ in range(2):
+            assert not scheduler.step(1.0)  # no improvement, within patience
+        assert scheduler.step(1.0)  # exceeds patience -> reduce
+        assert optimizer.learning_rate == 0.5
+
+    def test_improvement_resets_patience(self):
+        optimizer, scheduler = self._make(patience=2, factor=0.5)
+        scheduler.step(1.0)
+        scheduler.step(1.0)
+        scheduler.step(0.5)  # improvement
+        scheduler.step(0.5)
+        scheduler.step(0.5)
+        assert optimizer.learning_rate == 1.0  # not yet reduced
+
+    def test_min_lr_floor(self):
+        optimizer, scheduler = self._make(patience=0, factor=0.1, min_lr=0.05)
+        scheduler.step(1.0)
+        for _ in range(5):
+            scheduler.step(1.0)
+        assert optimizer.learning_rate == pytest.approx(0.05)
+
+    def test_paper_factor_5_normalized(self):
+        _, scheduler = self._make(factor=5.0)
+        assert scheduler.factor == pytest.approx(0.2)
+
+    def test_max_mode(self):
+        optimizer, scheduler = self._make(mode="max", patience=0, factor=0.5)
+        scheduler.step(1.0)
+        scheduler.step(2.0)  # improvement in max mode
+        assert optimizer.learning_rate == 1.0
+        scheduler.step(1.5)  # worse -> reduce (patience 0)
+        assert optimizer.learning_rate == 0.5
+
+    def test_invalid_mode(self):
+        optimizer = SGD([Parameter(np.ones(1))], learning_rate=1.0)
+        with pytest.raises(OptimizationError):
+            ReduceLROnPlateau(optimizer, mode="bogus")
+
+    def test_step_lr(self):
+        optimizer = SGD([Parameter(np.ones(1))], learning_rate=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        scheduler.step()
+        assert optimizer.learning_rate == 1.0
+        scheduler.step()
+        assert optimizer.learning_rate == pytest.approx(0.1)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        target = np.array([[0.0, 0.0]])
+        assert mse_loss(pred, target).item() == pytest.approx(2.5)
+
+    def test_mae_value(self):
+        pred = Tensor(np.array([[1.0, -2.0]]))
+        assert mae_loss(pred, np.zeros((1, 2))).item() == pytest.approx(1.5)
+
+    def test_huber_quadratic_region(self):
+        pred = Tensor(np.array([[0.5]]))
+        assert huber_loss(pred, np.zeros((1, 1))).item() == pytest.approx(0.125)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([[3.0]]))
+        assert huber_loss(pred, np.zeros((1, 1))).item() == pytest.approx(2.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            mse_loss(Tensor(np.ones((2, 2))), np.ones((2, 3)))
+
+    def test_target_never_gets_grad(self):
+        pred = Tensor(np.ones((2, 2)), requires_grad=True)
+        target = Tensor(np.zeros((2, 2)), requires_grad=True)
+        mse_loss(pred, target).backward()
+        assert target.grad is None
+        assert pred.grad is not None

@@ -1,0 +1,121 @@
+"""Tests for convergence-speed analysis."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graphs.generators import random_regular_graph
+from repro.pipeline.convergence import (
+    ConvergenceAnalyzer,
+    ConvergenceComparison,
+    ConvergenceReport,
+    iterations_to_threshold,
+)
+from repro.qaoa.analytic import p1_optimal_angles_regular
+from repro.qaoa.initialization import ConstantInitialization
+
+
+class TestIterationsToThreshold:
+    def test_finds_first_crossing(self):
+        assert iterations_to_threshold([0.1, 0.5, 0.9, 0.95], 0.9) == 3
+
+    def test_none_when_never_reached(self):
+        assert iterations_to_threshold([0.1, 0.2], 0.9) is None
+
+    def test_immediate(self):
+        assert iterations_to_threshold([1.0], 0.9) == 1
+
+    def test_empty_history(self):
+        assert iterations_to_threshold([], 0.5) is None
+
+
+class TestComparison:
+    def test_saved_iterations(self):
+        comparison = ConvergenceComparison(
+            graph_name="g",
+            target_ratio=0.9,
+            random_iterations=40,
+            warm_iterations=10,
+            budget=100,
+        )
+        assert comparison.saved_iterations() == 30
+
+    def test_nonreaching_counts_as_budget(self):
+        comparison = ConvergenceComparison(
+            graph_name="g",
+            target_ratio=0.9,
+            random_iterations=None,
+            warm_iterations=10,
+            budget=100,
+        )
+        assert comparison.saved_iterations() == 90
+
+
+class TestReport:
+    def test_aggregates(self):
+        report = ConvergenceReport(target_ratio=0.9, budget=50)
+        report.comparisons.append(
+            ConvergenceComparison("a", 0.9, 30, 10, 50)
+        )
+        report.comparisons.append(
+            ConvergenceComparison("b", 0.9, None, 20, 50)
+        )
+        assert report.mean_saved_iterations == pytest.approx(25.0)
+        assert report.reach_rate("random") == 0.5
+        assert report.reach_rate("warm") == 1.0
+
+    def test_unknown_arm(self):
+        report = ConvergenceReport(target_ratio=0.9, budget=50)
+        report.comparisons.append(
+            ConvergenceComparison("a", 0.9, 1, 1, 50)
+        )
+        with pytest.raises(DatasetError):
+            report.reach_rate("bogus")
+
+    def test_summary_keys(self):
+        report = ConvergenceReport(target_ratio=0.9, budget=50)
+        assert set(report.summary()) == {
+            "target_ratio",
+            "budget",
+            "mean_saved_iterations",
+            "random_reach_rate",
+            "warm_reach_rate",
+            "count",
+        }
+
+
+class TestAnalyzer:
+    @pytest.fixture(scope="class")
+    def graphs(self):
+        return [random_regular_graph(8, 3, rng=i) for i in range(4)]
+
+    def test_oracle_warmstart_saves_iterations(self, graphs):
+        # starting at the closed-form optimum must reach the target in
+        # very few iterations; random starts need more on average
+        gamma, beta = p1_optimal_angles_regular(3)
+        analyzer = ConvergenceAnalyzer(
+            p=1, budget=80, target_ratio=0.95, rng=0
+        )
+        report = analyzer.compare(
+            graphs, ConstantInitialization(gamma, beta)
+        )
+        assert report.mean_saved_iterations >= 0
+        assert report.reach_rate("warm") >= report.reach_rate("random") - 0.26
+
+    def test_validation(self, graphs):
+        with pytest.raises(DatasetError):
+            ConvergenceAnalyzer(target_ratio=1.5)
+        analyzer = ConvergenceAnalyzer(rng=0)
+        with pytest.raises(DatasetError):
+            analyzer.compare([], ConstantInitialization())
+
+    def test_deterministic(self, graphs):
+        def run():
+            analyzer = ConvergenceAnalyzer(
+                p=1, budget=30, target_ratio=0.9, rng=9
+            )
+            return analyzer.compare(
+                graphs[:2], ConstantInitialization(0.6, 0.39)
+            ).mean_saved_iterations
+
+        assert run() == pytest.approx(run())

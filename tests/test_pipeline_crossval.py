@@ -1,0 +1,63 @@
+"""Tests for k-fold cross-validated evaluation."""
+
+import pytest
+
+from repro.data.dataset import QAOADataset
+from repro.exceptions import DatasetError
+from repro.pipeline.crossval import cross_validate, cross_validate_architectures
+from repro.pipeline.training import TrainingConfig
+
+
+class TestCrossValidate:
+    def test_fold_count(self, tiny_dataset):
+        result = cross_validate(
+            tiny_dataset,
+            arch="gcn",
+            folds=3,
+            training=TrainingConfig(epochs=5),
+            eval_optimizer_iters=5,
+            rng=0,
+        )
+        assert len(result.fold_improvements) == 3
+        assert len(result.fold_win_rates) == 3
+        assert result.arch == "gcn"
+
+    def test_aggregates(self, tiny_dataset):
+        result = cross_validate(
+            tiny_dataset,
+            arch="gcn",
+            folds=3,
+            training=TrainingConfig(epochs=5),
+            eval_optimizer_iters=5,
+            rng=0,
+        )
+        assert -100 < result.mean_improvement < 100
+        assert result.std_improvement >= 0
+
+    def test_too_few_records(self):
+        with pytest.raises(DatasetError):
+            cross_validate(QAOADataset(), folds=4)
+
+    def test_deterministic(self, tiny_dataset):
+        def run():
+            return cross_validate(
+                tiny_dataset,
+                arch="gcn",
+                folds=2,
+                training=TrainingConfig(epochs=3),
+                eval_optimizer_iters=3,
+                rng=7,
+            ).fold_improvements
+
+        assert run() == pytest.approx(run())
+
+    def test_multiple_architectures(self, tiny_dataset):
+        results = cross_validate_architectures(
+            tiny_dataset,
+            architectures=("gcn", "sage"),
+            folds=2,
+            training=TrainingConfig(epochs=3),
+            eval_optimizer_iters=3,
+            rng=0,
+        )
+        assert set(results) == {"gcn", "sage"}

@@ -1,0 +1,138 @@
+"""Tests for the warm-start evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.generators import random_regular_graph
+from repro.pipeline.evaluation import (
+    EvaluationResult,
+    WarmStartComparison,
+    WarmStartEvaluator,
+)
+from repro.qaoa.initialization import (
+    ConstantInitialization,
+    RandomInitialization,
+)
+
+
+@pytest.fixture(scope="module")
+def test_graphs():
+    return [random_regular_graph(8, 3, rng=i, name=f"t{i}") for i in range(6)]
+
+
+class TestComparison:
+    def test_improvement_sign(self):
+        comparison = WarmStartComparison(
+            graph_name="g",
+            num_nodes=5,
+            degree=2,
+            random_ratio=0.7,
+            strategy_ratio=0.8,
+            random_initial_ratio=0.5,
+            strategy_initial_ratio=0.6,
+        )
+        assert comparison.improvement == pytest.approx(10.0)
+
+
+class TestEvaluationResult:
+    def _result(self, improvements):
+        result = EvaluationResult(strategy_name="x")
+        for i, delta in enumerate(improvements):
+            result.comparisons.append(
+                WarmStartComparison(
+                    graph_name=f"g{i}",
+                    num_nodes=5,
+                    degree=2,
+                    random_ratio=0.7,
+                    strategy_ratio=0.7 + delta / 100.0,
+                    random_initial_ratio=0.5,
+                    strategy_initial_ratio=0.5,
+                )
+            )
+        return result
+
+    def test_mean_std(self):
+        result = self._result([10.0, -10.0, 10.0, 10.0])
+        assert result.mean_improvement == pytest.approx(5.0)
+        assert result.std_improvement == pytest.approx(np.std([10, -10, 10, 10]))
+
+    def test_win_rate(self):
+        result = self._result([10.0, -10.0, 0.0, 10.0])
+        assert result.win_rate() == pytest.approx(0.75)
+
+    def test_summary_keys(self):
+        summary = self._result([1.0]).summary()
+        assert set(summary) >= {
+            "strategy",
+            "mean_improvement",
+            "std_improvement",
+            "win_rate",
+            "count",
+        }
+
+    def test_empty_result(self):
+        result = EvaluationResult(strategy_name="x")
+        assert result.mean_improvement == 0.0
+        assert result.win_rate() == 0.0
+
+
+class TestEvaluator:
+    def test_paired_comparison_fields(self, test_graphs):
+        evaluator = WarmStartEvaluator(p=1, optimizer_iters=20, rng=0)
+        result = evaluator.evaluate_strategy(
+            test_graphs, ConstantInitialization(0.6, 0.4), "const"
+        )
+        assert result.strategy_name == "const"
+        assert len(result.comparisons) == 6
+        for comparison in result.comparisons:
+            assert 0 <= comparison.random_ratio <= 1
+            assert 0 <= comparison.strategy_ratio <= 1
+            assert comparison.num_nodes == 8
+            assert comparison.degree == 3
+
+    def test_no_graphs_rejected(self):
+        evaluator = WarmStartEvaluator(rng=0)
+        with pytest.raises(DatasetError):
+            evaluator.evaluate_strategy([], RandomInitialization())
+
+    def test_good_warmstart_beats_random_on_tight_budget(self, test_graphs):
+        # with a tiny optimization budget, starting at the closed-form
+        # p=1 optimum must beat random starts on average
+        from repro.qaoa.analytic import p1_optimal_angles_regular
+
+        gamma, beta = p1_optimal_angles_regular(3)
+        evaluator = WarmStartEvaluator(p=1, optimizer_iters=5, rng=1)
+        result = evaluator.evaluate_strategy(
+            test_graphs, ConstantInitialization(gamma, beta), "oracle"
+        )
+        assert result.mean_improvement > 0
+
+    def test_evaluate_model(self, test_graphs):
+        model = QAOAParameterPredictor(arch="gcn", p=1, rng=0)
+        model.eval()
+        evaluator = WarmStartEvaluator(p=1, optimizer_iters=10, rng=2)
+        result = evaluator.evaluate_model(test_graphs, model)
+        assert result.strategy_name == "gnn_gcn"
+        assert len(result.comparisons) == len(test_graphs)
+
+    def test_evaluate_models_dict(self, test_graphs):
+        models = {
+            "gcn": QAOAParameterPredictor(arch="gcn", p=1, rng=0),
+            "gin": QAOAParameterPredictor(arch="gin", p=1, rng=1),
+        }
+        for model in models.values():
+            model.eval()
+        evaluator = WarmStartEvaluator(p=1, optimizer_iters=5, rng=3)
+        results = evaluator.evaluate_models(test_graphs, models)
+        assert set(results) == {"gcn", "gin"}
+
+    def test_deterministic_given_seed(self, test_graphs):
+        def run():
+            evaluator = WarmStartEvaluator(p=1, optimizer_iters=10, rng=11)
+            return evaluator.evaluate_strategy(
+                test_graphs, ConstantInitialization(0.5, 0.3), "c"
+            ).improvements
+
+        assert run() == pytest.approx(run())

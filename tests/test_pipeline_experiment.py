@@ -1,0 +1,61 @@
+"""Tests for the end-to-end experiment runner."""
+
+import pytest
+
+from repro.data.generation import GenerationConfig
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.training import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    config = ExperimentConfig(
+        generation=GenerationConfig(
+            num_graphs=24, min_nodes=4, max_nodes=8, optimizer_iters=25
+        ),
+        training=TrainingConfig(epochs=8),
+        architectures=("gcn", "gin"),
+        test_size=6,
+        eval_optimizer_iters=20,
+        prune_threshold=0.6,
+        selective_rate=0.5,
+        apply_fixed_angle_relabel=False,
+        seed=42,
+    )
+    return run_experiment(config)
+
+
+class TestRunExperiment:
+    def test_report_structure(self, small_report):
+        assert set(small_report.results) == {"gcn", "gin"}
+        assert set(small_report.training_losses) == {"gcn", "gin"}
+        assert small_report.dataset_summary["count"] == 24
+
+    def test_each_result_covers_test_set(self, small_report):
+        for result in small_report.results.values():
+            assert len(result.comparisons) == 6
+
+    def test_models_returned_in_eval_mode(self, small_report):
+        for model in small_report.models.values():
+            assert not model.training
+
+    def test_table1_rows(self, small_report):
+        table = small_report.table1()
+        for arch, row in table.items():
+            assert row["count"] == 6
+            assert "mean_improvement" in row
+            assert -100.0 <= row["mean_improvement"] <= 100.0
+
+    def test_pruning_report_present(self, small_report):
+        assert small_report.pruning_report is not None
+        assert small_report.pruning_report.kept == 24 - small_report.pruning_report.pruned
+
+    def test_relabel_skipped_when_disabled(self, small_report):
+        assert small_report.relabel_report is None
+
+    def test_paper_scale_config(self):
+        config = ExperimentConfig.paper_scale()
+        assert config.generation.num_graphs == 9598
+        assert config.test_size == 100
+        assert config.training.epochs == 100
+        assert set(config.architectures) == {"gat", "gcn", "gin", "sage"}

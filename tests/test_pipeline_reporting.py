@@ -1,0 +1,68 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.pipeline.experiment import ExperimentReport
+from repro.pipeline.reporting import render_markdown_report, write_markdown_report
+
+from tests.test_analysis import make_result
+
+
+@pytest.fixture
+def report():
+    return ExperimentReport(
+        dataset_summary={
+            "count": 50,
+            "mean_ar": 0.85,
+            "min_ar": 0.6,
+            "max_ar": 1.0,
+            "min_nodes": 4,
+            "max_nodes": 12,
+        },
+        pruning_report=None,
+        relabel_report=None,
+        results={"gcn": make_result("gcn"), "gin": make_result("gin")},
+        training_losses={"gcn": [1.0, 0.5, 0.2], "gin": [0.9, 0.4]},
+    )
+
+
+class TestRender:
+    def test_contains_sections(self, report):
+        text = render_markdown_report(report, title="My run")
+        assert text.startswith("# My run")
+        assert "## Dataset" in text
+        assert "## Table 1" in text
+        assert "## Training" in text
+        assert "## Per-instance results" in text
+
+    def test_table1_rows(self, report):
+        text = render_markdown_report(report)
+        assert "| gcn |" in text
+        assert "3.65 ± 10.17" in text  # paper reference for gcn
+
+    def test_training_curves(self, report):
+        text = render_markdown_report(report)
+        assert "1.0000 -> 0.2000 over 3 epochs" in text
+
+    def test_per_instance_rows(self, report):
+        text = render_markdown_report(report)
+        assert "| g0 | 6 | 3 |" in text
+
+    def test_repair_sections_when_present(self, report):
+        from repro.data.pruning import PruningReport, RelabelReport
+
+        report.pruning_report = PruningReport(
+            kept=40, pruned=10, below_threshold=12, rescued=2,
+            mean_ar_before=0.8, mean_ar_after=0.86,
+        )
+        report.relabel_report = RelabelReport(eligible=5, relabeled=2, total=50)
+        text = render_markdown_report(report)
+        assert "selective pruning: kept 40" in text
+        assert "fixed-angle relabeling: 5/50" in text
+
+
+class TestWrite:
+    def test_writes_file(self, report, tmp_path):
+        path = write_markdown_report(report, tmp_path / "sub" / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("#")

@@ -1,0 +1,111 @@
+"""Tests for the model training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import QAOADataset
+from repro.exceptions import DatasetError
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.pipeline.training import Trainer, TrainingConfig, train_predictor
+
+from tests.test_data_dataset import make_record
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_dataset):
+        model = QAOAParameterPredictor(arch="gcn", p=1, dropout=0.0, rng=0)
+        trainer = Trainer(model, TrainingConfig(epochs=25, seed=0))
+        history = trainer.fit(tiny_dataset)
+        assert len(history.losses) == 25
+        assert history.losses[-1] < history.losses[0]
+
+    def test_history_tracks_learning_rate(self, tiny_dataset):
+        model = QAOAParameterPredictor(arch="gcn", p=1, rng=0)
+        trainer = Trainer(model, TrainingConfig(epochs=5, seed=0))
+        history = trainer.fit(tiny_dataset)
+        assert len(history.learning_rates) == 5
+        assert history.learning_rates[0] == pytest.approx(1e-3)
+
+    def test_validation_losses_recorded(self, tiny_dataset):
+        model = QAOAParameterPredictor(arch="gcn", p=1, rng=0)
+        trainer = Trainer(model, TrainingConfig(epochs=3, seed=0))
+        history = trainer.fit(tiny_dataset, validation=tiny_dataset[:5])
+        assert len(history.validation_losses) == 3
+
+    def test_callback_invoked(self, tiny_dataset):
+        model = QAOAParameterPredictor(arch="gcn", p=1, rng=0)
+        trainer = Trainer(model, TrainingConfig(epochs=4, seed=0))
+        seen = []
+        trainer.fit(tiny_dataset, callback=lambda e, l: seen.append(e))
+        assert seen == [0, 1, 2, 3]
+
+    def test_empty_dataset_rejected(self):
+        model = QAOAParameterPredictor(arch="gcn", p=1, rng=0)
+        trainer = Trainer(model)
+        with pytest.raises(DatasetError):
+            trainer.fit(QAOADataset())
+
+    def test_depth_mismatch_rejected(self):
+        model = QAOAParameterPredictor(arch="gcn", p=2, rng=0)
+        trainer = Trainer(model)
+        with pytest.raises(DatasetError, match="depth"):
+            trainer.fit(QAOADataset([make_record(p=1)]))
+
+    def test_scheduler_reduces_on_plateau(self):
+        # identical graphs with conflicting targets: the loss has an
+        # irreducible floor, so it must plateau and the LR must drop
+        conflicting = [make_record(ratio=0.9) for _ in range(4)]
+        conflicting += [
+            r.with_label([2.0], [1.0], r.expectation, r.approximation_ratio,
+                         "optimized")
+            for r in conflicting
+        ]
+        dataset = QAOADataset(conflicting)
+        model = QAOAParameterPredictor(arch="gcn", p=1, dropout=0.0, rng=0)
+        config = TrainingConfig(epochs=80, scheduler_patience=3, seed=0)
+        trainer = Trainer(model, config)
+        history = trainer.fit(dataset)
+        assert history.learning_rates[-1] < history.learning_rates[0]
+
+    def test_min_lr_respected(self, tiny_dataset):
+        model = QAOAParameterPredictor(arch="gcn", p=1, rng=0)
+        config = TrainingConfig(epochs=40, scheduler_patience=0, seed=0)
+        trainer = Trainer(model, config)
+        history = trainer.fit(tiny_dataset)
+        assert history.learning_rates[-1] >= config.scheduler_min_lr - 1e-12
+
+    def test_evaluate_loss_eval_mode(self, tiny_dataset):
+        model = QAOAParameterPredictor(arch="gcn", p=1, dropout=0.5, rng=0)
+        trainer = Trainer(model, TrainingConfig(epochs=1, seed=0))
+        a = trainer.evaluate_loss(tiny_dataset)
+        b = trainer.evaluate_loss(tiny_dataset)
+        assert a == pytest.approx(b)  # dropout off -> deterministic
+
+    def test_deterministic_training(self, tiny_dataset):
+        def run():
+            model = QAOAParameterPredictor(arch="gcn", p=1, rng=3)
+            trainer = Trainer(model, TrainingConfig(epochs=5, seed=3))
+            return trainer.fit(tiny_dataset).losses
+
+        assert run() == pytest.approx(run())
+
+
+class TestTrainPredictor:
+    def test_one_call_convenience(self, tiny_dataset):
+        model = train_predictor(
+            tiny_dataset,
+            arch="sage",
+            config=TrainingConfig(epochs=5, seed=0),
+            rng=0,
+        )
+        assert model.arch == "sage"
+        assert not model.training  # returned in eval mode
+        gammas, betas = model.predict_angles(tiny_dataset[0].graph)
+        assert gammas.shape == (1,)
+
+    def test_depth_inferred_from_dataset(self):
+        dataset = QAOADataset([make_record(p=2) for _ in range(6)])
+        model = train_predictor(
+            dataset, arch="gcn", config=TrainingConfig(epochs=2, seed=0), rng=0
+        )
+        assert model.p == 2

@@ -1,0 +1,191 @@
+"""Cross-module property-based tests: the invariants that hold the
+reproduction together, checked on randomized inputs with hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generation import canonicalize_angles
+from repro.graphs.generators import erdos_renyi_graph, random_regular_graph
+from repro.graphs.graph import Graph
+from repro.graphs.transforms import relabel
+from repro.maxcut.problem import MaxCutProblem, all_cut_values
+from repro.qaoa.analytic import p1_expectation
+from repro.qaoa.simulator import QAOASimulator
+
+
+graph_strategy = st.builds(
+    lambda n, seed: erdos_renyi_graph(n, 0.5, rng=seed),
+    st.integers(3, 9),
+    st.integers(0, 10**6),
+)
+
+
+class TestCutInvariants:
+    @given(graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_cut_values_bounded_by_total_weight(self, graph):
+        values = all_cut_values(graph)
+        assert values.min() >= 0.0
+        assert values.max() <= graph.total_weight + 1e-9
+
+    @given(graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_mean_cut_is_half_total_weight(self, graph):
+        # E_z[cut(z)] over uniform z = w(G)/2 — each edge cut w.p. 1/2
+        values = all_cut_values(graph)
+        assert values.mean() == pytest.approx(graph.total_weight / 2.0)
+
+    @given(graph_strategy, st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_maxcut_invariant_under_relabeling(self, graph, seed):
+        permutation = np.random.default_rng(seed).permutation(
+            graph.num_nodes
+        )
+        relabeled = relabel(graph, permutation)
+        assert all_cut_values(relabeled).max() == pytest.approx(
+            all_cut_values(graph).max()
+        )
+
+
+class TestQAOAInvariants:
+    @given(
+        graph_strategy,
+        st.floats(-3.0, 3.0),
+        st.floats(-1.5, 1.5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_expectation_within_spectrum(self, graph, gamma, beta):
+        if graph.num_edges == 0:
+            return
+        simulator = QAOASimulator(graph)
+        value = simulator.expectation([gamma], [beta])
+        values = all_cut_values(graph)
+        assert values.min() - 1e-9 <= value <= values.max() + 1e-9
+
+    @given(graph_strategy, st.floats(0.1, 3.0), st.floats(0.1, 1.4))
+    @settings(max_examples=15, deadline=None)
+    def test_state_stays_normalized(self, graph, gamma, beta):
+        if graph.num_edges == 0:
+            return
+        state = QAOASimulator(graph).state([gamma, gamma / 2], [beta, beta / 3])
+        assert state.norm() == pytest.approx(1.0)
+
+    @given(
+        st.integers(4, 10),
+        st.integers(0, 10**6),
+        st.floats(-2.0, 2.0),
+        st.floats(-1.0, 1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_analytic_p1_matches_simulator(self, n, seed, gamma, beta):
+        graph = erdos_renyi_graph(n, 0.4, rng=seed)
+        expected = (
+            QAOASimulator(graph).expectation([gamma], [beta])
+            if graph.num_edges
+            else 0.0
+        )
+        assert p1_expectation(graph, gamma, beta) == pytest.approx(
+            expected, abs=1e-8
+        )
+
+    @given(
+        graph_strategy,
+        st.floats(-6.0, 6.0),
+        st.floats(-3.0, 3.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_canonicalization_preserves_expectation(self, graph, gamma, beta):
+        if graph.num_edges == 0:
+            return
+        simulator = QAOASimulator(graph)
+        canon_g, canon_b = canonicalize_angles([gamma], [beta])
+        assert simulator.expectation([gamma], [beta]) == pytest.approx(
+            simulator.expectation(canon_g, canon_b), abs=1e-9
+        )
+        assert 0 <= canon_g[0] <= np.pi
+        assert 0 <= canon_b[0] < np.pi / 2
+
+    @given(
+        st.integers(4, 10),
+        st.integers(0, 10**6),
+        st.floats(0.1, 2.0),
+        st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_expectation_invariant_under_relabeling(
+        self, n, seed, gamma, beta
+    ):
+        graph = erdos_renyi_graph(n, 0.5, rng=seed)
+        if graph.num_edges == 0:
+            return
+        permutation = np.random.default_rng(seed).permutation(n)
+        relabeled = relabel(graph, permutation)
+        assert QAOASimulator(graph).expectation(
+            [gamma], [beta]
+        ) == pytest.approx(
+            QAOASimulator(relabeled).expectation([gamma], [beta])
+        )
+
+
+class TestGradientInvariants:
+    @given(st.integers(4, 8), st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_gradient_vanishes_at_stationary_beta(self, n, seed):
+        # beta = pi/4: U_B is a product of RX(pi/2)... not stationary in
+        # general; but beta gradient at gamma=0 always vanishes because
+        # |+> is a mixer eigenstate
+        graph = erdos_renyi_graph(n, 0.5, rng=seed)
+        if graph.num_edges == 0:
+            return
+        simulator = QAOASimulator(graph)
+        rng = np.random.default_rng(seed)
+        beta = rng.uniform(0, np.pi / 2)
+        _, _, grad_beta = simulator.expectation_and_gradient([0.0], [beta])
+        assert abs(grad_beta[0]) < 1e-10
+
+    @given(st.integers(4, 8), st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_gradient_antisymmetric_under_time_reversal(self, n, seed):
+        # E(-g, -b) = E(g, b) implies grad(-g, -b) = -grad(g, b)
+        graph = erdos_renyi_graph(n, 0.5, rng=seed)
+        if graph.num_edges == 0:
+            return
+        simulator = QAOASimulator(graph)
+        rng = np.random.default_rng(seed)
+        gamma, beta = rng.uniform(0.1, 1.5), rng.uniform(0.1, 0.7)
+        _, gg, gb = simulator.expectation_and_gradient([gamma], [beta])
+        _, gg_neg, gb_neg = simulator.expectation_and_gradient(
+            [-gamma], [-beta]
+        )
+        assert gg_neg[0] == pytest.approx(-gg[0], abs=1e-9)
+        assert gb_neg[0] == pytest.approx(-gb[0], abs=1e-9)
+
+
+class TestGNNInvariants:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_predictor_permutation_stability_structural_features(self, seed):
+        # with permutation-invariant features, predictions are exactly
+        # invariant under node relabeling
+        from repro.gnn.batching import GraphBatch
+        from repro.gnn.predictor import QAOAParameterPredictor
+        from repro.nn.tensor import no_grad
+
+        rng = np.random.default_rng(seed)
+        graph = random_regular_graph(8, 3, rng=seed)
+        permutation = rng.permutation(8)
+        relabeled = relabel(graph, permutation)
+        model = QAOAParameterPredictor(
+            arch="gcn", p=1, in_dim=5, rng=seed
+        )
+        model.eval()
+        with no_grad():
+            out_a = model(
+                GraphBatch.from_graphs([graph], feature_kind="structural")
+            ).data
+            out_b = model(
+                GraphBatch.from_graphs([relabeled], feature_kind="structural")
+            ).data
+        np.testing.assert_allclose(out_a, out_b, atol=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for the closed-form p=1 expectation oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators import erdos_renyi_graph, random_regular_graph
+from repro.qaoa.analytic import (
+    p1_edge_expectation,
+    p1_expectation,
+    p1_optimal_angles_regular,
+    p1_regular_triangle_free_expectation,
+)
+from repro.qaoa.simulator import QAOASimulator
+
+
+class TestClosedForm:
+    @given(
+        st.floats(-2.0, 2.0),
+        st.floats(-1.5, 1.5),
+        st.integers(2, 10),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_simulator(self, gamma, beta, n, seed):
+        graph = erdos_renyi_graph(n, 0.5, rng=seed)
+        simulated = QAOASimulator(graph).expectation([gamma], [beta]) if graph.num_edges else 0.0
+        analytic = p1_expectation(graph, gamma, beta)
+        assert analytic == pytest.approx(simulated, abs=1e-9)
+
+    def test_triangle_graph(self, triangle):
+        gamma, beta = 0.7, 0.3
+        assert p1_expectation(triangle, gamma, beta) == pytest.approx(
+            QAOASimulator(triangle).expectation([gamma], [beta])
+        )
+
+    def test_rejects_weighted(self, weighted_triangle):
+        with pytest.raises(GraphError):
+            p1_expectation(weighted_triangle, 0.3, 0.2)
+
+    def test_zero_angles_half(self, petersen_like):
+        assert p1_expectation(petersen_like, 0.0, 0.0) == pytest.approx(
+            petersen_like.num_edges / 2.0
+        )
+
+    def test_edge_expectation_range(self):
+        # expectation of a single edge operator lies in [0, 1]
+        for gamma in np.linspace(0, 2 * np.pi, 7):
+            for beta in np.linspace(0, np.pi, 5):
+                value = p1_edge_expectation(gamma, beta, 3, 3, 1)
+                assert -1e-9 <= value <= 1.0 + 1e-9
+
+    def test_invalid_degrees(self):
+        with pytest.raises(GraphError):
+            p1_edge_expectation(0.1, 0.1, 0, 3, 0)
+
+
+class TestRegularTriangleFree:
+    def test_matches_general_formula(self):
+        graph = Graph.cycle(6)  # 2-regular, triangle-free
+        gamma, beta = 0.5, 0.25
+        total = p1_regular_triangle_free_expectation(gamma, beta, 2, 6)
+        assert total == pytest.approx(p1_expectation(graph, gamma, beta))
+
+    def test_optimal_angles_are_stationary(self):
+        # the closed-form optimum should beat nearby angles on a
+        # triangle-free regular graph
+        degree = 3
+        graph = random_regular_graph(12, degree, rng=3)
+        # ensure triangle-free assumption approximately holds: use the
+        # closed-form per-edge value directly instead
+        gamma_star, beta_star = p1_optimal_angles_regular(degree)
+        best = p1_edge_expectation(gamma_star, beta_star, degree, degree, 0)
+        for d_gamma in (-0.05, 0.05):
+            for d_beta in (-0.05, 0.05):
+                other = p1_edge_expectation(
+                    gamma_star + d_gamma, beta_star + d_beta, degree, degree, 0
+                )
+                assert other <= best + 1e-12
+
+    @pytest.mark.parametrize("degree", [2, 3, 4, 5, 8, 11])
+    def test_optimal_value_formula(self, degree):
+        # at the optimum: 1/2 + 1/(2 sqrt(...)): known d-regular p=1 value
+        gamma, beta = p1_optimal_angles_regular(degree)
+        value = p1_edge_expectation(gamma, beta, degree, degree, 0)
+        d = degree - 1
+        expected = 0.5 + 0.5 * np.sqrt(1.0 / d) * (d / (d + 1)) ** ((d + 1) / 2) if d > 0 else 1.0
+        assert value == pytest.approx(expected, rel=1e-9)
+
+    def test_degree_one(self):
+        gamma, beta = p1_optimal_angles_regular(1)
+        # single edge: optimum cuts it with certainty at p=1
+        assert p1_edge_expectation(gamma, beta, 1, 1, 0) == pytest.approx(1.0)
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(GraphError):
+            p1_optimal_angles_regular(0)

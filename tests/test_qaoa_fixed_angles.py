@@ -1,0 +1,99 @@
+"""Tests for the fixed-angle table."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FixedAngleLookupError
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.graph import Graph
+from repro.qaoa.analytic import p1_optimal_angles_regular
+from repro.qaoa.fixed_angles import (
+    MAX_COVERED_DEGREE,
+    MIN_COVERED_DEGREE,
+    FixedAngleTable,
+    fixed_angles_for_graph,
+    lookup_fixed_angles,
+)
+from repro.qaoa.simulator import QAOASimulator
+
+
+@pytest.fixture(scope="module")
+def table():
+    # small ensembles keep the transfer-angle optimization fast in tests
+    return FixedAngleTable(
+        ensemble_size=3, ensemble_nodes=8, optimizer_iters=60, restarts=2, rng=1
+    )
+
+
+class TestCoverage:
+    def test_window(self, table):
+        assert table.covers(3)
+        assert table.covers(11)
+        assert not table.covers(2)
+        assert not table.covers(12)
+
+    def test_lookup_outside_raises(self, table):
+        with pytest.raises(FixedAngleLookupError):
+            table.lookup(2)
+        with pytest.raises(FixedAngleLookupError):
+            table.lookup(14)
+
+    def test_constants_match_paper_statement(self):
+        assert MIN_COVERED_DEGREE == 3
+        assert MAX_COVERED_DEGREE == 11
+
+
+class TestP1Entries:
+    def test_p1_matches_closed_form(self, table):
+        entry = table.lookup(3, p=1)
+        gamma, beta = p1_optimal_angles_regular(3)
+        assert entry.gammas[0] == pytest.approx(gamma)
+        assert entry.betas[0] == pytest.approx(beta)
+
+    def test_p1_mean_ratio_reasonable(self, table):
+        entry = table.lookup(3, p=1)
+        # fixed-angle conjecture: cubic graphs achieve ~0.69+ at p=1
+        assert entry.mean_ratio > 0.6
+
+    def test_cached(self, table):
+        assert table.lookup(3, p=1) is table.lookup(3, p=1)
+
+
+class TestTransferAngles:
+    def test_p2_beats_p1_on_ensemble(self, table):
+        p1 = table.lookup(3, p=1)
+        p2 = table.lookup(3, p=2)
+        assert p2.mean_ratio >= p1.mean_ratio - 0.02
+        assert len(p2.gammas) == 2
+
+    def test_transfer_angles_generalize(self, table):
+        # angles optimized on the ensemble should beat random angles on a
+        # fresh graph of the same degree
+        entry = table.lookup(3, p=2)
+        graph = random_regular_graph(10, 3, rng=77)
+        simulator = QAOASimulator(graph)
+        fixed = simulator.approximation_ratio(
+            np.asarray(entry.gammas), np.asarray(entry.betas)
+        )
+        rng = np.random.default_rng(5)
+        random_ratios = [
+            simulator.approximation_ratio(
+                rng.uniform(0, 2 * np.pi, 2), rng.uniform(0, np.pi, 2)
+            )
+            for _ in range(10)
+        ]
+        assert fixed > np.mean(random_ratios)
+
+
+class TestGraphLookup:
+    def test_for_regular_graph(self, petersen_like):
+        entry = fixed_angles_for_graph(petersen_like, p=1)
+        assert entry.degree == 3
+
+    def test_rejects_irregular(self):
+        with pytest.raises(FixedAngleLookupError, match="regular"):
+            fixed_angles_for_graph(Graph.star(5), p=1)
+
+    def test_module_level_lookup(self):
+        entry = lookup_fixed_angles(3, p=1)
+        assert entry.p == 1

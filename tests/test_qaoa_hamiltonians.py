@@ -1,0 +1,189 @@
+"""Tests for Ising / QUBO diagonal Hamiltonians."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators import random_weighted_graph
+from repro.maxcut.problem import MaxCutProblem, all_cut_values
+from repro.qaoa.hamiltonians import (
+    DiagonalProblem,
+    IsingModel,
+    QUBO,
+    ising_to_maxcut,
+    maxcut_to_ising,
+)
+from repro.qaoa.simulator import QAOASimulator
+
+
+class TestIsingModel:
+    def test_single_spin_field(self):
+        model = IsingModel(1, (2.0,), ())
+        # state 0 -> spin +1 -> value +2; state 1 -> spin -1 -> value -2
+        assert model.value(0) == 2.0
+        assert model.value(1) == -2.0
+
+    def test_coupling_sign(self):
+        model = IsingModel(2, (0.0, 0.0), ((0, 1, 1.0),))
+        assert model.value(0b00) == 1.0  # aligned spins
+        assert model.value(0b01) == -1.0  # anti-aligned
+
+    def test_diagonal_matches_value(self):
+        model = IsingModel(
+            3, (0.5, -1.0, 0.2), ((0, 1, 1.0), (1, 2, -0.7)), offset=0.3
+        )
+        diagonal = model.diagonal()
+        for z in range(8):
+            assert diagonal[z] == pytest.approx(model.value(z))
+
+    def test_from_arrays(self):
+        h = np.array([1.0, 0.0])
+        J = np.array([[0.0, 0.5], [0.5, 0.0]])
+        model = IsingModel.from_arrays(h, J)
+        assert model.couplings == ((0, 1, 0.5),)
+
+    def test_from_arrays_rejects_asymmetric(self):
+        with pytest.raises(GraphError):
+            IsingModel.from_arrays(
+                np.zeros(2), np.array([[0.0, 1.0], [0.0, 0.0]])
+            )
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            IsingModel(2, (0.0,), ())
+        with pytest.raises(GraphError):
+            IsingModel(2, (0.0, 0.0), ((0, 0, 1.0),))
+        with pytest.raises(GraphError):
+            IsingModel(2, (0.0, 0.0), ((0, 1, 1.0), (1, 0, 2.0)))
+
+    def test_optimum(self):
+        model = IsingModel(2, (0.0, 0.0), ((0, 1, -1.0),))
+        solution = model.optimum()
+        assert solution.value == 1.0  # anti-aligned wins
+        assert solution.optimal
+
+
+class TestQUBO:
+    def test_value(self):
+        qubo = QUBO.from_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        # symmetrized: Q = [[1,1],[1,3]]
+        assert qubo.value(0b00) == 0.0
+        assert qubo.value(0b01) == 1.0  # x0 = 1
+        assert qubo.value(0b10) == 3.0
+        assert qubo.value(0b11) == pytest.approx(1 + 3 + 2 * 1)
+
+    def test_diagonal_matches_value(self):
+        rng = np.random.default_rng(0)
+        qubo = QUBO.from_matrix(rng.normal(size=(4, 4)))
+        diagonal = qubo.diagonal()
+        for z in range(16):
+            assert diagonal[z] == pytest.approx(qubo.value(z))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(GraphError):
+            QUBO.from_matrix(np.ones((2, 3)))
+
+    @given(st.integers(0, 10**6), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_qubo_ising_equivalence(self, seed, n):
+        rng = np.random.default_rng(seed)
+        qubo = QUBO.from_matrix(rng.normal(size=(n, n)))
+        ising = qubo.to_ising()
+        np.testing.assert_allclose(
+            qubo.diagonal(), ising.diagonal(), atol=1e-10
+        )
+
+    def test_optimum_consistency(self):
+        rng = np.random.default_rng(5)
+        qubo = QUBO.from_matrix(rng.normal(size=(5, 5)))
+        assert qubo.optimum().value == pytest.approx(
+            qubo.to_ising().optimum().value
+        )
+
+
+class TestConversions:
+    def test_maxcut_to_ising_exact(self, petersen_like):
+        model = maxcut_to_ising(petersen_like)
+        np.testing.assert_allclose(
+            model.diagonal(), all_cut_values(petersen_like), atol=1e-10
+        )
+
+    def test_maxcut_to_ising_weighted(self):
+        graph = random_weighted_graph(6, 0.6, rng=1)
+        model = maxcut_to_ising(graph)
+        np.testing.assert_allclose(
+            model.diagonal(), all_cut_values(graph), atol=1e-10
+        )
+
+    def test_ising_to_maxcut_roundtrip(self):
+        model = IsingModel(
+            4, (0.0,) * 4, ((0, 1, 0.5), (1, 2, -1.0), (2, 3, 0.25))
+        )
+        graph, scale, shift = ising_to_maxcut(model)
+        cuts = all_cut_values(graph)
+        np.testing.assert_allclose(
+            model.diagonal(), shift + scale * cuts, atol=1e-10
+        )
+
+    def test_ising_to_maxcut_rejects_fields(self):
+        model = IsingModel(2, (1.0, 0.0), ((0, 1, 1.0),))
+        with pytest.raises(GraphError):
+            ising_to_maxcut(model)
+
+
+class TestDiagonalProblem:
+    def test_simulator_accepts_ising(self):
+        model = IsingModel(
+            4, (0.3, -0.2, 0.0, 0.1), ((0, 1, 1.0), (2, 3, -0.5))
+        )
+        problem = DiagonalProblem.from_ising(model)
+        simulator = QAOASimulator(problem)
+        value = simulator.expectation([0.4], [0.3])
+        assert model.diagonal().min() - 1e-9 <= value <= (
+            model.diagonal().max() + 1e-9
+        )
+
+    def test_simulator_gradients_on_ising(self):
+        model = IsingModel(4, (0.3, -0.2, 0.0, 0.1), ((0, 1, 1.0),))
+        simulator = QAOASimulator(DiagonalProblem.from_ising(model))
+        gammas, betas = np.array([0.5]), np.array([0.3])
+        _, gg, gb = simulator.expectation_and_gradient(gammas, betas)
+        fg, fb = simulator.gradient_finite_difference(gammas, betas)
+        np.testing.assert_allclose(gg, fg, atol=1e-6)
+        np.testing.assert_allclose(gb, fb, atol=1e-6)
+
+    def test_optimization_on_qubo(self):
+        from repro.qaoa.optimizers import AdamOptimizer
+
+        rng = np.random.default_rng(2)
+        qubo = QUBO.from_matrix(rng.normal(size=(5, 5)))
+        problem = DiagonalProblem.from_qubo(qubo)
+        simulator = QAOASimulator(problem)
+        start = simulator.expectation([0.1], [0.1])
+        result = AdamOptimizer().run(
+            simulator, np.array([0.1]), np.array([0.1]), max_iters=80
+        )
+        assert result.expectation >= start
+
+    def test_normalized_ratio(self):
+        problem = DiagonalProblem(np.array([-2.0, 0.0, 6.0, 2.0]), 2)
+        assert problem.approximation_ratio(6.0) == pytest.approx(1.0)
+        assert problem.approximation_ratio(-2.0) == pytest.approx(0.0)
+        assert problem.approximation_ratio(2.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(GraphError):
+            DiagonalProblem(np.zeros(5))
+
+    def test_matches_maxcut_problem(self, petersen_like):
+        # DiagonalProblem wrapping the cut diagonal == MaxCutProblem path
+        maxcut = MaxCutProblem(petersen_like)
+        diag = DiagonalProblem(all_cut_values(petersen_like))
+        sim_a = QAOASimulator(maxcut)
+        sim_b = QAOASimulator(diag)
+        assert sim_a.expectation([0.5], [0.3]) == pytest.approx(
+            sim_b.expectation([0.5], [0.3])
+        )

@@ -1,0 +1,102 @@
+"""Tests for initialization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.graphs.graph import Graph
+from repro.qaoa.initialization import (
+    BETA_RANGE,
+    GAMMA_RANGE,
+    ConstantInitialization,
+    FixedAngleInitialization,
+    LinearRampInitialization,
+    RandomInitialization,
+    WarmStartInitialization,
+)
+from repro.qaoa.fixed_angles import FixedAngleTable
+
+
+class TestRandom:
+    def test_within_ranges(self, petersen_like):
+        strategy = RandomInitialization()
+        gammas, betas = strategy.initial_parameters(petersen_like, 3, rng=0)
+        assert len(gammas) == len(betas) == 3
+        assert ((gammas >= GAMMA_RANGE[0]) & (gammas < GAMMA_RANGE[1])).all()
+        assert ((betas >= BETA_RANGE[0]) & (betas < BETA_RANGE[1])).all()
+
+    def test_deterministic_with_seed(self, petersen_like):
+        strategy = RandomInitialization()
+        a = strategy.initial_parameters(petersen_like, 2, rng=9)
+        b = strategy.initial_parameters(petersen_like, 2, rng=9)
+        assert np.array_equal(a[0], b[0])
+
+    def test_custom_ranges(self, petersen_like):
+        strategy = RandomInitialization((0.0, 0.1), (0.0, 0.05))
+        gammas, betas = strategy.initial_parameters(petersen_like, 5, rng=0)
+        assert gammas.max() < 0.1
+        assert betas.max() < 0.05
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(OptimizationError):
+            RandomInitialization((1.0, 1.0), (0.0, 1.0))
+
+
+class TestConstantAndRamp:
+    def test_constant(self, petersen_like):
+        gammas, betas = ConstantInitialization(0.7, 0.3).initial_parameters(
+            petersen_like, 4
+        )
+        assert np.allclose(gammas, 0.7)
+        assert np.allclose(betas, 0.3)
+
+    def test_linear_ramp_shapes(self, petersen_like):
+        gammas, betas = LinearRampInitialization().initial_parameters(
+            petersen_like, 4
+        )
+        assert (np.diff(gammas) > 0).all()  # gamma ramps up
+        assert (np.diff(betas) < 0).all()  # beta ramps down
+
+
+class TestFixedAngle:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return FixedAngleTable(
+            ensemble_size=2, ensemble_nodes=8, optimizer_iters=30, restarts=1,
+            rng=2,
+        )
+
+    def test_uses_table_for_covered(self, petersen_like, table):
+        strategy = FixedAngleInitialization(table)
+        gammas, betas = strategy.initial_parameters(petersen_like, 1, rng=0)
+        entry = table.lookup(3, 1)
+        assert gammas[0] == pytest.approx(entry.gammas[0])
+        assert betas[0] == pytest.approx(entry.betas[0])
+
+    def test_falls_back_for_uncovered_degree(self, table):
+        cycle = Graph.cycle(6)  # 2-regular: below coverage
+        strategy = FixedAngleInitialization(table)
+        gammas, betas = strategy.initial_parameters(cycle, 1, rng=0)
+        assert len(gammas) == 1  # fallback random worked
+
+    def test_falls_back_for_irregular(self, table):
+        strategy = FixedAngleInitialization(table)
+        gammas, _ = strategy.initial_parameters(Graph.star(5), 1, rng=0)
+        assert len(gammas) == 1
+
+
+class TestWarmStart:
+    def test_wraps_callable(self, petersen_like):
+        strategy = WarmStartInitialization(
+            lambda graph, p: (np.full(p, 0.5), np.full(p, 0.25)), name="x"
+        )
+        gammas, betas = strategy.initial_parameters(petersen_like, 2)
+        assert np.allclose(gammas, 0.5)
+        assert strategy.name == "x"
+
+    def test_depth_mismatch_raises(self, petersen_like):
+        strategy = WarmStartInitialization(
+            lambda graph, p: (np.zeros(1), np.zeros(1))
+        )
+        with pytest.raises(OptimizationError):
+            strategy.initial_parameters(petersen_like, 2)

@@ -1,0 +1,129 @@
+"""Tests for INTERP / FOURIER depth-extension heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.graphs.generators import random_regular_graph
+from repro.qaoa.interp import (
+    fourier_coefficients,
+    fourier_extend,
+    fourier_schedule,
+    interp_extend,
+    interp_to_depth,
+)
+from repro.qaoa.optimizers import AdamOptimizer
+from repro.qaoa.simulator import QAOASimulator
+
+
+class TestInterp:
+    def test_depth_increases_by_one(self):
+        gammas, betas = interp_extend([0.5], [0.3])
+        assert len(gammas) == 2
+        assert len(betas) == 2
+
+    def test_p1_to_p2_values(self):
+        # p=1: theta' = [(0*0 + 1*t), (1*t + 0*0)] = [t, t]
+        gammas, betas = interp_extend([0.6], [0.2])
+        np.testing.assert_allclose(gammas, [0.6, 0.6])
+        np.testing.assert_allclose(betas, [0.2, 0.2])
+
+    def test_monotone_ramp_preserved(self):
+        # an increasing schedule stays (weakly) increasing under INTERP
+        gammas, betas = interp_extend([0.2, 0.4, 0.6], [0.6, 0.4, 0.2])
+        assert (np.diff(gammas) >= -1e-12).all()
+        assert (np.diff(betas) <= 1e-12).all()
+
+    def test_interp_to_depth(self):
+        gammas, betas = interp_to_depth([0.5], [0.3], target_p=4)
+        assert len(gammas) == 4
+
+    def test_interp_to_depth_noop(self):
+        gammas, betas = interp_to_depth([0.5, 0.6], [0.3, 0.1], target_p=2)
+        np.testing.assert_allclose(gammas, [0.5, 0.6])
+
+    def test_cannot_shrink(self):
+        with pytest.raises(OptimizationError):
+            interp_to_depth([0.5, 0.6], [0.3, 0.1], target_p=1)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            interp_extend([0.5, 0.6], [0.3])
+
+    def test_extension_keeps_quality(self):
+        # INTERP from optimized p=2 should start p=3 above the p=2 value
+        # ... at least not catastrophically below it
+        graph = random_regular_graph(10, 3, rng=4)
+        simulator = QAOASimulator(graph)
+        optimized = AdamOptimizer().run(
+            simulator,
+            np.array([0.4, 0.7]),
+            np.array([0.4, 0.2]),
+            max_iters=150,
+        )
+        gammas3, betas3 = interp_extend(optimized.gammas, optimized.betas)
+        extended_value = simulator.expectation(gammas3, betas3)
+        assert extended_value >= 0.9 * optimized.expectation
+
+    def test_interp_beats_random_p3_start(self):
+        graph = random_regular_graph(10, 3, rng=5)
+        simulator = QAOASimulator(graph)
+        optimized = AdamOptimizer().run(
+            simulator, np.array([0.5]), np.array([0.3]), max_iters=100
+        )
+        gammas3, betas3 = interp_to_depth(
+            optimized.gammas, optimized.betas, 3
+        )
+        interp_value = simulator.expectation(gammas3, betas3)
+        rng = np.random.default_rng(0)
+        random_values = [
+            simulator.expectation(
+                rng.uniform(0, 2 * np.pi, 3), rng.uniform(0, np.pi / 2, 3)
+            )
+            for _ in range(10)
+        ]
+        assert interp_value > np.mean(random_values)
+
+
+class TestFourier:
+    def test_roundtrip_exact(self):
+        gammas = np.array([0.2, 0.5, 0.7])
+        betas = np.array([0.6, 0.4, 0.1])
+        u, v = fourier_coefficients(gammas, betas)
+        back_g, back_b = fourier_schedule(u, v, 3)
+        np.testing.assert_allclose(back_g, gammas, atol=1e-10)
+        np.testing.assert_allclose(back_b, betas, atol=1e-10)
+
+    def test_extend_shape(self):
+        gammas, betas = fourier_extend([0.3, 0.5], [0.4, 0.2], target_p=5)
+        assert len(gammas) == 5
+        assert len(betas) == 5
+
+    def test_extend_smooth_schedule(self):
+        # a linear-ramp-like schedule stays smooth after extension
+        gammas, betas = fourier_extend(
+            [0.2, 0.4, 0.6], [0.6, 0.4, 0.2], target_p=6
+        )
+        assert np.abs(np.diff(gammas, 2)).max() < 0.5
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            fourier_schedule([0.1], [0.2, 0.3], 2)
+        with pytest.raises(OptimizationError):
+            fourier_schedule([0.1], [0.2], 0)
+
+    def test_extension_keeps_quality(self):
+        graph = random_regular_graph(8, 3, rng=6)
+        simulator = QAOASimulator(graph)
+        optimized = AdamOptimizer().run(
+            simulator,
+            np.array([0.4, 0.7]),
+            np.array([0.4, 0.2]),
+            max_iters=150,
+        )
+        gammas3, betas3 = fourier_extend(
+            optimized.gammas, optimized.betas, 3
+        )
+        assert simulator.expectation(gammas3, betas3) >= (
+            0.85 * optimized.expectation
+        )

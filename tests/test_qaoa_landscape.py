@@ -1,0 +1,109 @@
+"""Tests for landscape analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.graphs.graph import Graph
+from repro.graphs.generators import random_regular_graph
+from repro.qaoa.landscape import (
+    find_local_maxima,
+    global_optimum_p1,
+    gradient_variance,
+    grid_landscape,
+)
+from repro.qaoa.analytic import p1_optimal_angles_regular
+from repro.qaoa.simulator import QAOASimulator
+
+
+@pytest.fixture(scope="module")
+def cycle_simulator():
+    return QAOASimulator(Graph.cycle(8))
+
+
+class TestGridLandscape:
+    def test_shape(self, cycle_simulator):
+        grid = grid_landscape(cycle_simulator, gamma_points=10, beta_points=6)
+        assert grid.values.shape == (10, 6)
+        assert grid.gammas.shape == (10,)
+
+    def test_corner_values(self, cycle_simulator):
+        grid = grid_landscape(cycle_simulator, gamma_points=8, beta_points=8)
+        # gamma = beta = 0 corner: the |+> state, half the edges
+        assert grid.values[0, 0] == pytest.approx(4.0)
+
+    def test_best_is_argmax(self, cycle_simulator):
+        grid = grid_landscape(cycle_simulator, gamma_points=12, beta_points=8)
+        gamma, beta, value = grid.best()
+        assert value == pytest.approx(grid.values.max())
+        assert cycle_simulator.expectation([gamma], [beta]) == pytest.approx(
+            value
+        )
+
+    def test_validation(self, cycle_simulator):
+        with pytest.raises(OptimizationError):
+            grid_landscape(cycle_simulator, gamma_points=1)
+
+
+class TestLocalMaxima:
+    def test_finds_the_known_optimum(self, cycle_simulator):
+        grid = grid_landscape(cycle_simulator, gamma_points=40, beta_points=24)
+        maxima = find_local_maxima(grid)
+        assert maxima  # at least one interior maximum
+        gamma_star, beta_star = p1_optimal_angles_regular(2)
+        best = maxima[0]
+        assert best["gamma"] == pytest.approx(gamma_star, abs=0.15)
+        assert best["beta"] == pytest.approx(beta_star, abs=0.15)
+
+    def test_sorted_descending(self, cycle_simulator):
+        grid = grid_landscape(cycle_simulator, gamma_points=30, beta_points=16)
+        maxima = find_local_maxima(grid)
+        values = [m["value"] for m in maxima]
+        assert values == sorted(values, reverse=True)
+
+    def test_multimodality_detected(self):
+        # denser graphs typically show several interior maxima — the
+        # paper's "complex optimization landscape"
+        graph = random_regular_graph(10, 5, rng=3)
+        grid = grid_landscape(
+            QAOASimulator(graph), gamma_points=40, beta_points=24,
+            gamma_range=(0.0, 2 * np.pi), beta_range=(0.0, np.pi / 2),
+        )
+        maxima = find_local_maxima(grid)
+        assert len(maxima) >= 2
+
+
+class TestGlobalOptimum:
+    def test_beats_plain_single_start(self):
+        graph = random_regular_graph(10, 4, rng=9)
+        simulator = QAOASimulator(graph)
+        from repro.qaoa.optimizers import AdamOptimizer
+
+        single = AdamOptimizer().run(
+            simulator, np.array([2.8]), np.array([1.4]), max_iters=150
+        )
+        gammas, betas, value = global_optimum_p1(simulator)
+        assert value >= single.expectation - 1e-6
+
+    def test_matches_closed_form_on_cycle(self, cycle_simulator):
+        _, _, value = global_optimum_p1(cycle_simulator)
+        # C8 p=1 optimum: 0.75 per edge * 8 edges
+        assert value == pytest.approx(6.0, abs=1e-4)
+
+
+class TestGradientVariance:
+    def test_statistics_keys(self, cycle_simulator):
+        stats = gradient_variance(cycle_simulator, p=1, samples=16, rng=0)
+        assert set(stats) == {
+            "mean_norm", "var_norm", "max_norm", "fraction_tiny"
+        }
+        assert stats["mean_norm"] > 0
+
+    def test_shallow_circuits_not_barren(self, cycle_simulator):
+        stats = gradient_variance(cycle_simulator, p=1, samples=32, rng=1)
+        assert stats["fraction_tiny"] < 0.5
+
+    def test_deterministic(self, cycle_simulator):
+        a = gradient_variance(cycle_simulator, samples=8, rng=5)
+        b = gradient_variance(cycle_simulator, samples=8, rng=5)
+        assert a == b

@@ -1,0 +1,133 @@
+"""Tests for QAOA parameter optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.graphs.generators import random_regular_graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.analytic import p1_optimal_angles_regular
+from repro.qaoa.optimizers import (
+    AdamOptimizer,
+    GradientDescentOptimizer,
+    SPSAOptimizer,
+    scipy_optimize,
+)
+from repro.qaoa.simulator import QAOASimulator
+
+
+@pytest.fixture
+def simulator(petersen_like):
+    return QAOASimulator(petersen_like)
+
+
+class TestAdam:
+    def test_improves_expectation(self, simulator):
+        start = simulator.expectation([0.3], [0.2])
+        result = AdamOptimizer().run(
+            simulator, np.array([0.3]), np.array([0.2]), max_iters=100
+        )
+        assert result.expectation > start
+
+    def test_history_recorded(self, simulator):
+        result = AdamOptimizer().run(
+            simulator, np.array([0.3]), np.array([0.2]), max_iters=50
+        )
+        assert len(result.history) == 50
+        assert result.iterations == 50
+
+    def test_early_stopping(self, simulator):
+        result = AdamOptimizer().run(
+            simulator,
+            np.array([0.3]),
+            np.array([0.2]),
+            max_iters=500,
+            tol=1e-10,
+        )
+        assert result.iterations < 500
+
+    def test_best_params_returned(self, simulator):
+        result = AdamOptimizer().run(
+            simulator, np.array([0.3]), np.array([0.2]), max_iters=80
+        )
+        assert simulator.expectation(result.gammas, result.betas) == (
+            pytest.approx(result.expectation)
+        )
+
+    def test_reaches_near_closed_form_p1(self):
+        # Optimizing p=1 on a near-triangle-free cubic graph should land
+        # close to the closed-form per-edge value.
+        graph = random_regular_graph(12, 3, rng=8)
+        simulator = QAOASimulator(graph)
+        result = AdamOptimizer(learning_rate=0.05).run(
+            simulator, np.array([0.5]), np.array([0.3]), max_iters=300
+        )
+        gamma_star, beta_star = p1_optimal_angles_regular(3)
+        reference = simulator.expectation([gamma_star], [beta_star])
+        assert result.expectation >= reference - 0.05 * reference
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(OptimizationError):
+            AdamOptimizer(learning_rate=0.0)
+
+    def test_multi_layer(self, simulator):
+        result = AdamOptimizer().run(
+            simulator,
+            np.array([0.3, 0.5]),
+            np.array([0.2, 0.1]),
+            max_iters=120,
+        )
+        p1 = AdamOptimizer().run(
+            simulator, np.array([0.3]), np.array([0.2]), max_iters=120
+        )
+        # depth 2 should do at least as well as depth 1 (up to tolerance)
+        assert result.expectation >= p1.expectation - 0.05
+
+
+class TestGradientDescent:
+    def test_monotone_improvement_tendency(self, simulator):
+        result = GradientDescentOptimizer(learning_rate=0.01).run(
+            simulator, np.array([0.3]), np.array([0.2]), max_iters=100
+        )
+        assert result.history[-1] > result.history[0]
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(OptimizationError):
+            GradientDescentOptimizer(learning_rate=-1.0)
+
+
+class TestSPSA:
+    def test_improves_from_bad_start(self, simulator):
+        baseline = simulator.expectation([0.05], [0.05])
+        result = SPSAOptimizer(rng=0).run(
+            simulator, np.array([0.05]), np.array([0.05]), max_iters=200
+        )
+        assert result.expectation > baseline
+
+    def test_deterministic_with_seed(self, simulator):
+        a = SPSAOptimizer(rng=7).run(
+            simulator, np.array([0.3]), np.array([0.2]), max_iters=50
+        )
+        b = SPSAOptimizer(rng=7).run(
+            simulator, np.array([0.3]), np.array([0.2]), max_iters=50
+        )
+        assert np.allclose(a.gammas, b.gammas)
+
+
+class TestScipy:
+    @pytest.mark.parametrize("method", ["L-BFGS-B", "Nelder-Mead", "COBYLA"])
+    def test_methods_improve(self, simulator, method):
+        start = simulator.expectation([0.3], [0.2])
+        result = scipy_optimize(
+            simulator, np.array([0.3]), np.array([0.2]), method=method
+        )
+        assert result.expectation >= start - 1e-9
+
+    def test_lbfgs_matches_adam_quality(self, simulator):
+        lbfgs = scipy_optimize(
+            simulator, np.array([0.4]), np.array([0.25]), method="L-BFGS-B"
+        )
+        adam = AdamOptimizer().run(
+            simulator, np.array([0.4]), np.array([0.25]), max_iters=300
+        )
+        assert abs(lbfgs.expectation - adam.expectation) < 0.2

@@ -1,0 +1,92 @@
+"""Tests for the QAOA runner and the gate-level ansatz utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.qaoa.ansatz import build_qaoa_circuit, qaoa_resource_counts
+from repro.qaoa.initialization import ConstantInitialization, RandomInitialization
+from repro.qaoa.optimizers import AdamOptimizer
+from repro.qaoa.runner import QAOARunner
+
+
+class TestAnsatz:
+    def test_gate_counts(self, petersen_like):
+        p = 2
+        circuit = build_qaoa_circuit(
+            petersen_like, np.full(p, 0.1), np.full(p, 0.2)
+        )
+        counts = circuit.gate_counts()
+        assert counts["h"] == 10
+        assert counts["rzz"] == p * petersen_like.num_edges
+        assert counts["rx"] == p * 10
+
+    def test_resource_counts(self, petersen_like):
+        resources = qaoa_resource_counts(petersen_like, p=3)
+        assert resources["num_qubits"] == 10
+        assert resources["rzz_gates"] == 3 * petersen_like.num_edges
+        assert resources["cnot_equivalent"] == 2 * resources["rzz_gates"]
+        assert resources["depth"] >= 3
+
+    def test_resource_counts_bad_depth(self, petersen_like):
+        with pytest.raises(CircuitError):
+            qaoa_resource_counts(petersen_like, p=0)
+
+    def test_mismatched_params(self, triangle):
+        with pytest.raises(CircuitError):
+            build_qaoa_circuit(triangle, [0.1, 0.2], [0.3])
+
+
+class TestRunner:
+    def test_outcome_fields(self, petersen_like):
+        runner = QAOARunner(p=1, max_iters=40)
+        outcome = runner.run(petersen_like, rng=0)
+        assert outcome.p == 1
+        assert 0.0 <= outcome.approximation_ratio <= 1.0
+        assert outcome.optimal_value > 0
+        assert outcome.iterations == 40
+        assert len(outcome.history) == 40
+        assert outcome.graph_name == "cubic10"
+
+    def test_optimization_improves_over_initial(self, petersen_like):
+        runner = QAOARunner(p=1, max_iters=80)
+        outcome = runner.run(petersen_like, rng=1)
+        assert outcome.approximation_ratio >= outcome.initial_approximation_ratio
+
+    def test_constant_init_recorded(self, petersen_like):
+        runner = QAOARunner(p=1, max_iters=5)
+        outcome = runner.run(
+            petersen_like, ConstantInitialization(0.7, 0.3), rng=0
+        )
+        assert outcome.initial_gammas[0] == pytest.approx(0.7)
+        assert outcome.initial_betas[0] == pytest.approx(0.3)
+
+    def test_shots_sampling(self, petersen_like):
+        runner = QAOARunner(p=1, max_iters=30, shots=256)
+        outcome = runner.run(petersen_like, rng=0)
+        assert outcome.best_sampled_cut is not None
+        assert outcome.best_sampled_cut <= outcome.optimal_value
+
+    def test_no_shots_by_default(self, petersen_like):
+        outcome = QAOARunner(p=1, max_iters=5).run(petersen_like, rng=0)
+        assert outcome.best_sampled_cut is None
+
+    def test_run_many(self, petersen_like, square):
+        runner = QAOARunner(p=1, max_iters=10)
+        outcomes = runner.run_many([petersen_like, square], rng=0)
+        assert len(outcomes) == 2
+        assert outcomes[1].optimal_value == 4.0
+
+    def test_custom_optimizer(self, petersen_like):
+        runner = QAOARunner(
+            p=1, optimizer=AdamOptimizer(learning_rate=0.1), max_iters=30
+        )
+        outcome = runner.run(petersen_like, RandomInitialization(), rng=2)
+        assert outcome.expectation > 0
+
+    def test_deterministic_given_seed(self, petersen_like):
+        runner = QAOARunner(p=1, max_iters=20)
+        a = runner.run(petersen_like, rng=5)
+        b = runner.run(petersen_like, rng=5)
+        assert a.approximation_ratio == pytest.approx(b.approximation_ratio)
+        assert np.allclose(a.gammas, b.gammas)

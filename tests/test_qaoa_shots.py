@@ -1,0 +1,56 @@
+"""Tests for shot-based expectation estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.qaoa.optimizers import SPSAOptimizer
+from repro.qaoa.shots import ShotBasedSimulator
+
+
+class TestShotBasedSimulator:
+    def test_estimate_near_exact(self, petersen_like):
+        simulator = ShotBasedSimulator(petersen_like, shots=8192, rng=0)
+        gammas, betas = [0.5], [0.3]
+        estimate = simulator.expectation(gammas, betas)
+        exact = simulator.exact_expectation(gammas, betas)
+        assert abs(estimate - exact) < 0.3
+
+    def test_error_bar_calibrated(self, petersen_like):
+        simulator = ShotBasedSimulator(petersen_like, shots=4096, rng=1)
+        gammas, betas = [0.5], [0.3]
+        estimate, stderr = simulator.expectation_with_error(gammas, betas)
+        exact = simulator.exact_expectation(gammas, betas)
+        assert abs(estimate - exact) < 5 * stderr
+        assert stderr > 0
+
+    def test_more_shots_lower_error(self, petersen_like):
+        few = ShotBasedSimulator(petersen_like, shots=64, rng=2)
+        many = ShotBasedSimulator(petersen_like, shots=4096, rng=2)
+        _, err_few = few.expectation_with_error([0.5], [0.3])
+        _, err_many = many.expectation_with_error([0.5], [0.3])
+        assert err_many < err_few
+
+    def test_estimates_vary_between_calls(self, petersen_like):
+        simulator = ShotBasedSimulator(petersen_like, shots=32, rng=3)
+        a = simulator.expectation([0.5], [0.3])
+        b = simulator.expectation([0.5], [0.3])
+        assert a != b  # sampling noise, not a cached value
+
+    def test_invalid_shots(self, petersen_like):
+        with pytest.raises(CircuitError):
+            ShotBasedSimulator(petersen_like, shots=0)
+
+    def test_spsa_optimizes_through_shot_noise(self, petersen_like):
+        simulator = ShotBasedSimulator(petersen_like, shots=512, rng=4)
+        exact_start = simulator.exact_expectation([0.1], [0.1])
+        result = SPSAOptimizer(rng=5).run(
+            simulator, np.array([0.1]), np.array([0.1]), max_iters=150
+        )
+        exact_end = simulator.exact_expectation(result.gammas, result.betas)
+        assert exact_end > exact_start
+
+    def test_ratio_uses_exact_optimum(self, petersen_like):
+        simulator = ShotBasedSimulator(petersen_like, shots=2048, rng=6)
+        ratio = simulator.approximation_ratio([0.5], [0.3])
+        assert 0.0 < ratio <= 1.05  # sampling noise can nudge above 1

@@ -1,0 +1,228 @@
+"""Tests for the quantum substrate: gates, statevector, circuit IR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.quantum import gates
+from repro.quantum.circuit import Circuit
+from repro.quantum.statevector import Statevector
+
+
+class TestGates:
+    @pytest.mark.parametrize(
+        "matrix",
+        [gates.I2, gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.T,
+         gates.CNOT, gates.CZ, gates.SWAP],
+    )
+    def test_fixed_gates_unitary(self, matrix):
+        assert gates.is_unitary(matrix)
+
+    @given(st.floats(-10, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_rotations_unitary(self, theta):
+        for factory in (gates.rx, gates.ry, gates.rz, gates.rzz, gates.rxx,
+                        gates.phase):
+            assert gates.is_unitary(factory(theta))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert np.allclose(gates.rx(np.pi), -1j * gates.X)
+
+    def test_rz_zero_is_identity(self):
+        assert np.allclose(gates.rz(0.0), gates.I2)
+
+    def test_u3_covers_hadamard(self):
+        h = gates.u3(np.pi / 2, 0.0, np.pi)
+        # H up to global phase
+        ratio = h[0, 0] / gates.H[0, 0]
+        assert np.allclose(h, ratio * gates.H)
+
+    def test_rzz_diagonal(self):
+        matrix = gates.rzz(0.7)
+        assert np.allclose(matrix, np.diag(np.diag(matrix)))
+
+    def test_is_unitary_rejects_nonsquare(self):
+        assert not gates.is_unitary(np.ones((2, 3)))
+
+    def test_is_unitary_rejects_singular(self):
+        assert not gates.is_unitary(np.zeros((2, 2)))
+
+
+class TestStatevector:
+    def test_zero_state(self):
+        state = Statevector.zero_state(3)
+        assert state.data[0] == 1.0
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_plus_state_uniform(self):
+        state = Statevector.plus_state(3)
+        assert np.allclose(state.probabilities(), 1 / 8)
+
+    def test_basis_state(self):
+        state = Statevector.basis_state(2, 3)
+        assert state.data[3] == 1.0
+
+    def test_basis_state_range(self):
+        with pytest.raises(CircuitError):
+            Statevector.basis_state(2, 4)
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(CircuitError):
+            Statevector(0)
+
+    def test_rejects_giant(self):
+        with pytest.raises(CircuitError):
+            Statevector(25)
+
+    def test_x_gate_flips(self):
+        state = Statevector.zero_state(2)
+        state.apply_gate(gates.X, [0])
+        assert state.data[1] == 1.0  # little-endian: qubit 0 = bit 0
+
+    def test_x_on_high_qubit(self):
+        state = Statevector.zero_state(2)
+        state.apply_gate(gates.X, [1])
+        assert state.data[2] == 1.0
+
+    def test_h_creates_superposition(self):
+        state = Statevector.zero_state(1)
+        state.apply_gate(gates.H, [0])
+        assert np.allclose(state.data, [1 / np.sqrt(2)] * 2)
+
+    def test_cnot_control_convention(self):
+        # qubits=(target, control): local index bit1 = control
+        state = Statevector.basis_state(2, 0b10)  # qubit1 = 1
+        state.apply_gate(gates.CNOT, [0, 1])
+        assert abs(state.data[0b11]) == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        state = Statevector.zero_state(2)
+        state.apply_gate(gates.H, [0])
+        state.apply_gate(gates.CNOT, [1, 0])  # target 1, control 0
+        probs = state.probabilities()
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx(0.5)
+
+    def test_gate_shape_validation(self):
+        state = Statevector.zero_state(2)
+        with pytest.raises(CircuitError):
+            state.apply_gate(np.eye(2), [0, 1])
+
+    def test_duplicate_qubits_rejected(self):
+        state = Statevector.zero_state(2)
+        with pytest.raises(CircuitError):
+            state.apply_gate(gates.CNOT, [0, 0])
+
+    def test_apply_diagonal(self):
+        state = Statevector.plus_state(2)
+        state.apply_diagonal(np.exp(1j * np.arange(4)))
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_apply_rx_all_matches_gatewise(self):
+        theta = 0.37
+        fast = Statevector.plus_state(3)
+        fast.apply_rx_all(theta)
+        slow = Statevector.plus_state(3)
+        for q in range(3):
+            slow.apply_gate(gates.rx(theta), [q])
+        assert np.allclose(fast.data, slow.data)
+
+    def test_expectation_diagonal(self):
+        state = Statevector.plus_state(2)
+        diagonal = np.array([0.0, 1.0, 2.0, 3.0])
+        assert state.expectation_diagonal(diagonal) == pytest.approx(1.5)
+
+    def test_inner_and_fidelity(self):
+        a = Statevector.zero_state(2)
+        b = Statevector.plus_state(2)
+        assert a.fidelity(b) == pytest.approx(0.25)
+        assert a.inner(a) == pytest.approx(1.0)
+
+    def test_sampling_distribution(self):
+        state = Statevector.basis_state(3, 5)
+        samples = state.sample(100, rng=0)
+        assert (samples == 5).all()
+
+    def test_sample_counts(self):
+        state = Statevector.plus_state(1)
+        counts = state.sample_counts(1000, rng=0)
+        assert set(counts) == {0, 1}
+        assert abs(counts[0] - 500) < 100
+
+    def test_normalize(self):
+        state = Statevector(1, np.array([2.0, 0.0]))
+        state.normalize()
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        state = Statevector(1, np.array([1.0, 0.0]))
+        state.data[:] = 0
+        with pytest.raises(CircuitError):
+            state.normalize()
+
+    @given(st.integers(1, 5), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_unitarity_preserves_norm(self, n, seed):
+        rng = np.random.default_rng(seed)
+        state = Statevector.plus_state(n)
+        for _ in range(3):
+            q = int(rng.integers(0, n))
+            state.apply_gate(gates.rx(rng.uniform(-np.pi, np.pi)), [q])
+            state.apply_gate(gates.rz(rng.uniform(-np.pi, np.pi)), [q])
+        assert state.norm() == pytest.approx(1.0)
+
+
+class TestCircuit:
+    def test_build_and_count(self):
+        circuit = Circuit(3).h(0).h(1).cnot(0, 1).rzz(0.3, 1, 2)
+        assert circuit.num_gates == 4
+        assert circuit.two_qubit_gate_count() == 2
+        assert circuit.gate_counts()["h"] == 2
+
+    def test_depth(self):
+        circuit = Circuit(2).h(0).h(1)  # parallel
+        assert circuit.depth() == 1
+        circuit.cnot(0, 1)
+        assert circuit.depth() == 2
+
+    def test_run_bell(self):
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        state = circuit.run()
+        assert state.probabilities()[0b00] == pytest.approx(0.5)
+        assert state.probabilities()[0b11] == pytest.approx(0.5)
+
+    def test_run_does_not_mutate_input(self):
+        initial = Statevector.zero_state(1)
+        Circuit(1).x(0).run(initial)
+        assert initial.data[0] == 1.0
+
+    def test_angle_required(self):
+        with pytest.raises(CircuitError, match="angle"):
+            Circuit(1).add("rx", (0,))
+
+    def test_angle_rejected_for_fixed(self):
+        with pytest.raises(CircuitError, match="no angle"):
+            Circuit(1).add("h", (0,), angle=0.5)
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError, match="unknown gate"):
+            Circuit(1).add("foo", (0,))
+
+    def test_qubit_range_checked(self):
+        with pytest.raises(CircuitError, match="out of range"):
+            Circuit(2).h(5)
+
+    def test_wrong_arity(self):
+        with pytest.raises(CircuitError, match="takes 2 qubits"):
+            Circuit(2).add("cnot", (0,))
+
+    def test_state_size_mismatch(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).run(Statevector.zero_state(3))
+
+    def test_cz_symmetric(self):
+        a = Circuit(2).h(0).h(1).cz(0, 1).run()
+        b = Circuit(2).h(0).h(1).cz(1, 0).run()
+        assert np.allclose(a.data, b.data)

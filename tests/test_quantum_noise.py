@@ -1,0 +1,200 @@
+"""Tests for the NISQ noise models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.graphs.generators import random_regular_graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.simulator import QAOASimulator
+from repro.quantum.noise import (
+    GlobalDepolarizingModel,
+    NoiseSpec,
+    NoisyQAOASimulator,
+    PauliTrajectoryModel,
+    apply_readout_error,
+)
+
+
+@pytest.fixture
+def simulator(petersen_like):
+    return QAOASimulator(petersen_like)
+
+
+class TestNoiseSpec:
+    def test_defaults_noiseless(self):
+        spec = NoiseSpec()
+        assert spec.layer_fidelity == 1.0
+        assert spec.readout_error == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"layer_fidelity": 1.5},
+            {"layer_fidelity": -0.1},
+            {"qubit_error_rate": 2.0},
+            {"readout_error": 0.6},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(CircuitError):
+            NoiseSpec(**kwargs)
+
+
+class TestGlobalDepolarizing:
+    def test_perfect_fidelity_is_ideal(self, simulator):
+        model = GlobalDepolarizingModel(simulator, 1.0)
+        gammas, betas = [0.5], [0.3]
+        assert model.expectation(gammas, betas) == pytest.approx(
+            simulator.expectation(gammas, betas)
+        )
+
+    def test_zero_fidelity_gives_mixed_value(self, simulator, petersen_like):
+        model = GlobalDepolarizingModel(simulator, 0.0)
+        mixed = petersen_like.num_edges / 2.0  # mean cut over all strings
+        assert model.expectation([0.5], [0.3]) == pytest.approx(mixed)
+
+    def test_contraction_monotone_in_fidelity(self, simulator):
+        gammas, betas = [0.6], [0.35]
+        ideal = simulator.expectation(gammas, betas)
+        mixed = float(simulator.problem.cost_diagonal().mean())
+        values = [
+            GlobalDepolarizingModel(simulator, f).expectation(gammas, betas)
+            for f in (0.5, 0.8, 0.95)
+        ]
+        if ideal > mixed:
+            assert values[0] < values[1] < values[2] <= ideal + 1e-12
+
+    def test_depth_compounds(self, simulator):
+        # same angles replicated at p=2 decay by F^2 toward mixed
+        model = GlobalDepolarizingModel(simulator, 0.9)
+        mixed = float(simulator.problem.cost_diagonal().mean())
+        ideal_p2 = simulator.expectation([0.4, 0.4], [0.2, 0.2])
+        expected = 0.81 * ideal_p2 + 0.19 * mixed
+        assert model.expectation([0.4, 0.4], [0.2, 0.2]) == pytest.approx(
+            expected
+        )
+
+    def test_invalid_fidelity(self, simulator):
+        with pytest.raises(CircuitError):
+            GlobalDepolarizingModel(simulator, 1.2)
+
+
+class TestPauliTrajectory:
+    def test_zero_rate_exact(self, simulator):
+        model = PauliTrajectoryModel(simulator, 0.0, trajectories=4, rng=0)
+        gammas, betas = [0.5], [0.3]
+        assert model.expectation(gammas, betas) == pytest.approx(
+            simulator.expectation(gammas, betas)
+        )
+
+    def test_noise_degrades_good_angles(self, simulator):
+        # at well-optimized angles noise should pull toward the mixed value
+        from repro.qaoa.analytic import p1_optimal_angles_regular
+
+        gamma, beta = p1_optimal_angles_regular(3)
+        ideal = simulator.expectation([gamma], [beta])
+        model = PauliTrajectoryModel(
+            simulator, 0.2, trajectories=200, rng=1
+        )
+        noisy = model.expectation([gamma], [beta])
+        assert noisy < ideal
+
+    def test_trajectory_average_matches_analytic_ballpark(self, simulator):
+        # single-qubit depolarizing with rate r per qubit behaves like a
+        # global fidelity of roughly (1 - r)^n for small r; check the
+        # trajectory model lands in a loose band around the analytic model
+        rate = 0.05
+        gammas, betas = [0.6], [0.35]
+        trajectory = PauliTrajectoryModel(
+            simulator, rate, trajectories=400, rng=2
+        ).expectation(gammas, betas)
+        analytic = GlobalDepolarizingModel(
+            simulator, (1 - rate) ** simulator.num_qubits
+        ).expectation(gammas, betas)
+        ideal = simulator.expectation(gammas, betas)
+        mixed = float(simulator.problem.cost_diagonal().mean())
+        assert min(analytic, mixed) - 0.5 <= trajectory <= ideal + 0.1
+
+    def test_validation(self, simulator):
+        with pytest.raises(CircuitError):
+            PauliTrajectoryModel(simulator, 1.5)
+        with pytest.raises(CircuitError):
+            PauliTrajectoryModel(simulator, 0.1, trajectories=0)
+
+    def test_deterministic_with_seed(self, simulator):
+        a = PauliTrajectoryModel(simulator, 0.1, trajectories=20, rng=3)
+        b = PauliTrajectoryModel(simulator, 0.1, trajectories=20, rng=3)
+        assert a.expectation([0.5], [0.3]) == pytest.approx(
+            b.expectation([0.5], [0.3])
+        )
+
+
+class TestReadoutError:
+    def test_zero_probability_identity(self):
+        samples = np.array([0, 5, 7])
+        out = apply_readout_error(samples, 3, 0.0, rng=0)
+        assert np.array_equal(out, samples)
+
+    def test_flips_bounded_by_qubits(self):
+        samples = np.zeros(1000, dtype=np.int64)
+        out = apply_readout_error(samples, 4, 0.5, rng=0)
+        assert out.max() < 16
+
+    def test_flip_rate_statistics(self):
+        samples = np.zeros(4000, dtype=np.int64)
+        out = apply_readout_error(samples, 1, 0.25, rng=1)
+        assert abs((out == 1).mean() - 0.25) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            apply_readout_error(np.zeros(1, dtype=np.int64), 1, 0.9)
+
+    def test_does_not_mutate_input(self):
+        samples = np.array([0, 0, 0])
+        apply_readout_error(samples, 2, 0.5, rng=0)
+        assert samples.sum() == 0
+
+
+class TestNoisyQAOASimulator:
+    def test_noiseless_spec_matches_ideal(self, petersen_like):
+        noisy = NoisyQAOASimulator(petersen_like, NoiseSpec(), rng=0)
+        ideal = QAOASimulator(petersen_like)
+        assert noisy.expectation([0.5], [0.3]) == pytest.approx(
+            ideal.expectation([0.5], [0.3])
+        )
+
+    def test_gradient_scaled_by_survival(self, petersen_like):
+        spec = NoiseSpec(layer_fidelity=0.8)
+        noisy = NoisyQAOASimulator(petersen_like, spec, rng=0)
+        ideal = QAOASimulator(petersen_like)
+        _, ng, nb = noisy.expectation_and_gradient([0.5], [0.3])
+        _, ig, ib = ideal.expectation_and_gradient([0.5], [0.3])
+        assert ng == pytest.approx(0.8 * ig)
+        assert nb == pytest.approx(0.8 * ib)
+
+    def test_gradient_consistent_with_expectation(self, petersen_like):
+        spec = NoiseSpec(layer_fidelity=0.85)
+        noisy = NoisyQAOASimulator(petersen_like, spec, rng=0)
+        value, _, _ = noisy.expectation_and_gradient([0.5], [0.3])
+        assert value == pytest.approx(noisy.expectation([0.5], [0.3]))
+
+    def test_optimizable_under_noise(self, petersen_like):
+        # the noisy simulator plugs into the standard optimizer
+        from repro.qaoa.optimizers import AdamOptimizer
+
+        spec = NoiseSpec(layer_fidelity=0.9)
+        noisy = NoisyQAOASimulator(petersen_like, spec, rng=0)
+        start = noisy.expectation([0.3], [0.2])
+        result = AdamOptimizer().run(
+            noisy, np.array([0.3]), np.array([0.2]), max_iters=60
+        )
+        assert result.expectation > start
+
+    def test_sample_cut_with_readout_noise(self, petersen_like):
+        spec = NoiseSpec(readout_error=0.2)
+        noisy = NoisyQAOASimulator(petersen_like, spec, rng=0)
+        bitstring, value = noisy.sample_cut([0.5], [0.3], shots=128, rng=1)
+        problem = MaxCutProblem(petersen_like)
+        assert value <= problem.max_cut_value()
+        assert 0 <= bitstring < (1 << 10)

@@ -1,0 +1,96 @@
+"""Tests for repro.utils: RNG plumbing and serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.serialization import load_json, save_json
+from repro.utils.logging import get_logger
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRng:
+    def test_spawn_is_deterministic_given_parent(self):
+        a = spawn_rng(ensure_rng(11)).random(4)
+        b = spawn_rng(ensure_rng(11)).random(4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_independent_of_parent_consumption(self):
+        parent = ensure_rng(11)
+        child = spawn_rng(parent)
+        first = child.random()
+        parent.random(100)
+        assert first == first  # child already derived; no interference
+
+    def test_two_spawns_differ(self):
+        parent = ensure_rng(11)
+        a = spawn_rng(parent).random(4)
+        b = spawn_rng(parent).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestSerialization:
+    def test_roundtrip_builtin(self, tmp_path):
+        data = {"a": 1, "b": [1.5, "x"], "c": None}
+        path = tmp_path / "sub" / "data.json"
+        save_json(data, path)
+        assert load_json(path) == data
+
+    def test_numpy_scalars_and_arrays(self, tmp_path):
+        data = {
+            "i": np.int64(3),
+            "f": np.float64(2.5),
+            "b": np.bool_(True),
+            "arr": np.arange(3),
+        }
+        path = tmp_path / "np.json"
+        save_json(data, path)
+        loaded = load_json(path)
+        assert loaded == {"i": 3, "f": 2.5, "b": True, "arr": [0, 1, 2]}
+
+    def test_raises_on_unserializable(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json({"x": object()}, tmp_path / "bad.json")
+
+    def test_output_is_valid_json(self, tmp_path):
+        path = tmp_path / "v.json"
+        save_json([1, 2, 3], path)
+        assert json.loads(path.read_text()) == [1, 2, 3]
+
+
+class TestLogging:
+    def test_logger_namespaced(self):
+        logger = get_logger("repro.test")
+        assert logger.name == "repro.test"
+
+    def test_root_handler_installed_once(self):
+        get_logger("repro.a")
+        get_logger("repro.b")
+        import logging
+
+        assert len(logging.getLogger("repro").handlers) == 1
