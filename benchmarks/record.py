@@ -1,0 +1,54 @@
+"""Record a benchmark trajectory entry: ``python -m benchmarks.record``.
+
+Thin wrapper over :mod:`repro.benchmarking` (also exposed as
+``repro bench`` in the CLI). Runs the simulator-kernel before/after
+benchmarks and the labeling-throughput comparison, then appends one
+entry to the ``BENCH_1.json`` trajectory at the repository root.
+
+Examples::
+
+    PYTHONPATH=src python -m benchmarks.record
+    PYTHONPATH=src python -m benchmarks.record --graphs 50 --skip-labeling
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.benchmarking import DEFAULT_BENCH_PATH, format_entry, run_benchmarks
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append a kernel/labeling benchmark entry to BENCH_1.json"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / DEFAULT_BENCH_PATH
+    )
+    parser.add_argument("--graphs", type=int, default=200)
+    parser.add_argument("--backends", type=str, default="serial,process")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--kernel-repeats", type=int, default=10)
+    parser.add_argument("--skip-labeling", action="store_true")
+    args = parser.parse_args(argv)
+    entry = run_benchmarks(
+        path=args.out,
+        labeling_graphs=args.graphs,
+        backends=tuple(
+            name.strip() for name in args.backends.split(",") if name.strip()
+        ),
+        workers=args.workers,
+        kernel_repeats=args.kernel_repeats,
+        skip_labeling=args.skip_labeling,
+    )
+    print(format_entry(entry))
+    print(f"appended run {entry['run']} to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

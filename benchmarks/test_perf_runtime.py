@@ -1,0 +1,64 @@
+"""Runtime benchmarks: labeling throughput and kernel before/after.
+
+All tests here are ``perf``-marked — they are excluded from the fast
+suite (``-m "not perf"``) and exist to (a) verify the parallel runtime's
+bit-identity guarantee at benchmark scale and (b) append honest
+before/after numbers to the ``BENCH_1.json`` trajectory at the repo
+root, which future PRs regress against.
+
+The speedup assertions are gated on the machine's core count: a
+single-core container cannot show wall-clock wins from process
+parallelism, but the bit-identity and bookkeeping checks still run.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarking import (
+    append_bench_entry,
+    bench_gradient_kernel,
+    bench_labeling,
+    bench_mixer_kernel,
+    labeling_benchmark_config,
+)
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_1.json"
+
+
+def test_perf_kernel_before_after():
+    """Optimized kernels beat the reference kernels; record the numbers."""
+    gradient = bench_gradient_kernel(num_qubits=15, p=2, repeats=10)
+    mixer = bench_mixer_kernel(num_qubits=15, repeats=10)
+    append_bench_entry(
+        BENCH_PATH,
+        {
+            "gradient_kernel_n15_p2": gradient,
+            "mixer_kernel_n15": mixer,
+        },
+    )
+    assert gradient["speedup"] > 1.05, (
+        f"expectation_and_gradient regressed: {gradient['speedup']:.2f}x"
+    )
+    assert mixer["speedup"] > 1.05, (
+        f"mixer kernel regressed: {mixer['speedup']:.2f}x"
+    )
+
+
+def test_perf_labeling_parallel_200_graphs():
+    """Process-backend labeling: bit-identical to serial, speedup recorded."""
+    config = labeling_benchmark_config(num_graphs=200)
+    results = bench_labeling(config, backends=("serial", "process"))
+    append_bench_entry(BENCH_PATH, {"labeling": results})
+    process = results["backends"]["process"]
+    assert process["bit_identical_to_serial"] is True
+    assert process["speedup_vs_serial"] > 0.0
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert process["speedup_vs_serial"] >= 2.0, (
+            f"process backend only {process['speedup_vs_serial']:.2f}x "
+            f"on {cores} cores"
+        )

@@ -7,6 +7,7 @@ scale. Useful for regression-testing the kernels.
 """
 
 import numpy as np
+import pytest
 
 from repro.gnn.batching import GraphBatch
 from repro.gnn.predictor import QAOAParameterPredictor
@@ -16,6 +17,8 @@ from repro.nn.tensor import Tensor
 from repro.qaoa.simulator import QAOASimulator
 
 from benchmarks.conftest import BENCH_SEED
+
+pytestmark = pytest.mark.perf
 
 
 def test_perf_expectation_15_qubits(benchmark):

@@ -26,6 +26,9 @@ Subpackages
     Dataset generation, labeling, pruning, splits, statistics.
 ``repro.pipeline``
     Model training and warm-start evaluation.
+``repro.runtime``
+    Parallel execution runtime (serial/thread/process backends) with
+    deterministic per-task seeding and throughput reporting.
 ``repro.analysis``
     Table/figure builders for the paper's evaluation artifacts.
 """

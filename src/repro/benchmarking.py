@@ -1,0 +1,354 @@
+"""Performance benchmarks with machine-readable trajectory output.
+
+Two benchmark families quantify the hot paths this repo optimizes:
+
+- **Kernel benchmarks** — the QAOA simulator's mixer and adjoint
+  gradient at the paper's largest size (n=15, p=2), timed twice: once
+  through the original ``np.flip``-based reference kernels ("before")
+  and once through the optimized grouped-gemm kernels ("after").
+  Both run in the same process on the same machine, so the recorded
+  speedup is an honest like-for-like comparison.
+- **Labeling benchmarks** — end-to-end ``generate_dataset`` throughput
+  per runtime backend on one shared config, asserting along the way
+  that every backend produces bit-identical records.
+
+Results append to a ``BENCH_*.json`` *trajectory*: a JSON list with one
+entry per run (timestamp, machine info, metrics), so successive PRs can
+regress against the history instead of a single overwritten number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.generation import GenerationConfig, generate_dataset
+from repro.graphs.generators import random_regular_graph
+from repro.qaoa.simulator import (
+    QAOASimulator,
+    _apply_mixer_into,
+    _apply_mixer_reference,
+    _apply_sum_x_reference,
+    _plus_amplitudes,
+)
+from repro.runtime import ParallelExecutor, default_worker_count
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+PathLike = Union[str, Path]
+
+#: Default trajectory file, at the repository root by convention.
+DEFAULT_BENCH_PATH = "BENCH_1.json"
+
+BENCH_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Timing primitives
+# ----------------------------------------------------------------------
+def time_callable(fn, repeats: int = 10, warmup: int = 1) -> Dict[str, float]:
+    """Best/mean wall time of ``fn()`` over ``repeats`` runs, in seconds."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    best = min(samples)
+    mean = sum(samples) / len(samples)
+    return {
+        "best_s": best,
+        "mean_s": mean,
+        "ops_per_second": 1.0 / mean if mean > 0 else 0.0,
+        "repeats": repeats,
+    }
+
+
+def _reference_expectation_and_gradient(
+    diagonal: np.ndarray,
+    num_qubits: int,
+    gammas: np.ndarray,
+    betas: np.ndarray,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """The seed repo's adjoint-gradient loop on the reference kernels.
+
+    Kept verbatim (allocation-per-step ``np.flip`` kernels) as the
+    "before" arm of the kernel benchmark.
+    """
+    p = len(gammas)
+    psi = _plus_amplitudes(num_qubits)
+    for gamma, beta in zip(gammas, betas):
+        psi = psi * np.exp(-1j * gamma * diagonal)
+        psi = _apply_mixer_reference(psi, num_qubits, beta)
+    energy = float(np.real(np.vdot(psi, diagonal * psi)))
+    lam = diagonal * psi
+    grad_gamma = np.zeros(p, dtype=np.float64)
+    grad_beta = np.zeros(p, dtype=np.float64)
+    for k in range(p - 1, -1, -1):
+        b_psi = _apply_sum_x_reference(psi, num_qubits)
+        grad_beta[k] = 2.0 * float(np.imag(np.vdot(lam, b_psi)))
+        psi = _apply_mixer_reference(psi, num_qubits, -betas[k])
+        lam = _apply_mixer_reference(lam, num_qubits, -betas[k])
+        grad_gamma[k] = 2.0 * float(np.imag(np.vdot(lam, diagonal * psi)))
+        phase = np.exp(1j * gammas[k] * diagonal)
+        psi = psi * phase
+        lam = lam * phase
+    return energy, grad_gamma, grad_beta
+
+
+# ----------------------------------------------------------------------
+# Kernel benchmarks
+# ----------------------------------------------------------------------
+def bench_mixer_kernel(
+    num_qubits: int = 15, repeats: int = 10, seed: int = 0
+) -> Dict[str, object]:
+    """Reference vs optimized full-layer mixer application."""
+    rng = np.random.default_rng(seed)
+    dim = 1 << num_qubits
+    psi = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    psi /= np.linalg.norm(psi)
+    beta = 0.37
+    scratch = np.empty(dim, dtype=np.complex128)
+    buffer = np.empty(dim, dtype=np.complex128)
+
+    def run_reference():
+        return _apply_mixer_reference(psi, num_qubits, beta)
+
+    def run_optimized():
+        return _apply_mixer_into(psi, buffer, num_qubits, beta, scratch)
+
+    before = time_callable(run_reference, repeats=repeats)
+    after = time_callable(run_optimized, repeats=repeats)
+    return {
+        "num_qubits": num_qubits,
+        "before": before,
+        "after": after,
+        "speedup": before["mean_s"] / after["mean_s"]
+        if after["mean_s"] > 0
+        else float("inf"),
+    }
+
+
+def bench_gradient_kernel(
+    num_qubits: int = 15,
+    p: int = 2,
+    degree: int = 4,
+    repeats: int = 10,
+    seed: int = 20240305,
+) -> Dict[str, object]:
+    """Reference vs optimized ``expectation_and_gradient`` at (n, p)."""
+    graph = random_regular_graph(num_qubits, degree, rng=seed)
+    simulator = QAOASimulator(graph)
+    diagonal = simulator.problem.cost_diagonal()
+    gammas = np.array([0.5, 0.8] * ((p + 1) // 2))[:p]
+    betas = np.array([0.3, 0.2] * ((p + 1) // 2))[:p]
+
+    def run_reference():
+        return _reference_expectation_and_gradient(
+            diagonal, num_qubits, gammas, betas
+        )
+
+    def run_optimized():
+        return simulator.expectation_and_gradient(gammas, betas)
+
+    e_ref, gg_ref, gb_ref = run_reference()
+    e_opt, gg_opt, gb_opt = run_optimized()
+    if not (
+        np.isclose(e_ref, e_opt)
+        and np.allclose(gg_ref, gg_opt)
+        and np.allclose(gb_ref, gb_opt)
+    ):
+        raise AssertionError("optimized gradient disagrees with reference")
+
+    before = time_callable(run_reference, repeats=repeats)
+    after = time_callable(run_optimized, repeats=repeats)
+    return {
+        "num_qubits": num_qubits,
+        "p": p,
+        "before": before,
+        "after": after,
+        "speedup": before["mean_s"] / after["mean_s"]
+        if after["mean_s"] > 0
+        else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Labeling throughput benchmarks
+# ----------------------------------------------------------------------
+def labeling_benchmark_config(
+    num_graphs: int = 200, seed: int = 20240305
+) -> GenerationConfig:
+    """The shared config for labeling-throughput comparisons."""
+    return GenerationConfig(
+        num_graphs=num_graphs,
+        min_nodes=4,
+        max_nodes=10,
+        optimizer_iters=40,
+        seed=seed,
+        progress_every=0,
+    )
+
+
+def bench_labeling(
+    config: Optional[GenerationConfig] = None,
+    backends: Iterable[str] = ("serial", "process"),
+    workers: Optional[int] = None,
+    verify_identical: bool = True,
+) -> Dict[str, object]:
+    """End-to-end ``generate_dataset`` wall time per backend.
+
+    Runs the same config through every backend, records wall time and
+    graphs/sec, computes speedup vs the serial run, and (by default)
+    asserts that every backend's records are bit-identical to serial's.
+    """
+    if config is None:
+        config = labeling_benchmark_config()
+    results: Dict[str, object] = {
+        "num_graphs": config.num_graphs,
+        "optimizer_iters": config.optimizer_iters,
+        "node_range": [config.min_nodes, config.max_nodes],
+        "backends": {},
+    }
+    reference_targets = None
+    serial_wall = None
+    for backend in backends:
+        worker_count = (
+            workers if workers is not None else default_worker_count(backend)
+        )
+        executor = ParallelExecutor(
+            backend=backend, max_workers=worker_count, report_every=0
+        )
+        start = time.perf_counter()
+        dataset = generate_dataset(config, executor=executor)
+        wall = time.perf_counter() - start
+        targets = np.asarray(dataset.targets())
+        identical = None
+        if reference_targets is None:
+            reference_targets = targets
+        elif verify_identical:
+            identical = bool(np.array_equal(reference_targets, targets))
+            if not identical:
+                raise AssertionError(
+                    f"backend {backend!r} produced records that differ "
+                    "from the serial reference"
+                )
+        if backend == "serial":
+            serial_wall = wall
+        entry = {
+            "workers": executor.max_workers,
+            "wall_time_s": wall,
+            "graphs_per_second": config.num_graphs / wall if wall > 0 else 0.0,
+            "bit_identical_to_serial": identical,
+        }
+        results["backends"][backend] = entry
+        logger.info(
+            "labeling backend=%s workers=%d: %.2fs (%.1f graphs/s)",
+            backend,
+            executor.max_workers,
+            wall,
+            entry["graphs_per_second"],
+        )
+    if serial_wall is not None:
+        for backend, entry in results["backends"].items():
+            entry["speedup_vs_serial"] = (
+                serial_wall / entry["wall_time_s"]
+                if entry["wall_time_s"] > 0
+                else float("inf")
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Trajectory persistence
+# ----------------------------------------------------------------------
+def load_trajectory(path: PathLike) -> List[dict]:
+    """The existing benchmark trajectory (empty list if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    loaded = json.loads(path.read_text())
+    if not isinstance(loaded, list):
+        raise ValueError(f"{path} does not hold a benchmark trajectory list")
+    return loaded
+
+
+def append_bench_entry(path: PathLike, results: Dict[str, object]) -> dict:
+    """Append one run entry to the ``BENCH_*.json`` trajectory at ``path``."""
+    path = Path(path)
+    trajectory = load_trajectory(path)
+    entry = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "run": len(trajectory),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+    trajectory.append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return entry
+
+
+def run_benchmarks(
+    path: PathLike = DEFAULT_BENCH_PATH,
+    labeling_graphs: int = 200,
+    backends: Iterable[str] = ("serial", "process"),
+    workers: Optional[int] = None,
+    kernel_repeats: int = 10,
+    skip_labeling: bool = False,
+) -> dict:
+    """Run the kernel (and optionally labeling) benchmarks and append
+    one entry to the trajectory at ``path``. Returns the new entry."""
+    results: Dict[str, object] = {
+        "gradient_kernel_n15_p2": bench_gradient_kernel(
+            repeats=kernel_repeats
+        ),
+        "mixer_kernel_n15": bench_mixer_kernel(repeats=kernel_repeats),
+    }
+    if not skip_labeling:
+        results["labeling"] = bench_labeling(
+            labeling_benchmark_config(num_graphs=labeling_graphs),
+            backends=backends,
+            workers=workers,
+        )
+    return append_bench_entry(path, results)
+
+
+def format_entry(entry: dict) -> str:
+    """Human-readable one-screen summary of a trajectory entry."""
+    lines = [f"benchmark run {entry['run']} @ {entry['timestamp']}"]
+    results = entry["results"]
+    for key in ("gradient_kernel_n15_p2", "mixer_kernel_n15"):
+        if key in results:
+            item = results[key]
+            lines.append(
+                f"  {key}: before {item['before']['mean_s'] * 1e3:.2f} ms"
+                f" -> after {item['after']['mean_s'] * 1e3:.2f} ms"
+                f" ({item['speedup']:.2f}x)"
+            )
+    labeling = results.get("labeling")
+    if labeling:
+        for backend, stats in labeling["backends"].items():
+            speedup = stats.get("speedup_vs_serial")
+            suffix = f", {speedup:.2f}x vs serial" if speedup else ""
+            lines.append(
+                f"  labeling[{backend}] workers={stats['workers']}: "
+                f"{stats['wall_time_s']:.2f}s "
+                f"({stats['graphs_per_second']:.1f} graphs/s{suffix})"
+            )
+    return "\n".join(lines)

@@ -1,19 +1,26 @@
 """Command-line interface.
 
-Four subcommands mirror the pipeline stages so the reproduction can be
+Five subcommands mirror the pipeline stages so the reproduction can be
 driven without writing Python:
 
-- ``repro generate`` — sample + label a dataset, save it to JSON.
+- ``repro generate`` — sample + label a dataset, save it to JSON
+  (``--backend process --workers N`` parallelizes labeling with
+  bit-identical output).
 - ``repro train`` — train one architecture on a saved dataset, save the
   model state.
 - ``repro evaluate`` — warm-start evaluation of a saved model against
   random initialization on a saved dataset's held-out split.
 - ``repro reproduce`` — the whole experiment (Table 1) in one shot.
+- ``repro bench`` — run the kernel / labeling benchmarks and append an
+  entry to the ``BENCH_*.json`` trajectory.
 
 Example::
 
     python -m repro.cli generate --num-graphs 100 --out dataset.json
+    python -m repro.cli generate --num-graphs 1000 --backend process \\
+        --workers 8 --out dataset.json
     python -m repro.cli reproduce --num-graphs 100 --test-size 20
+    python -m repro.cli bench --out BENCH_1.json --graphs 200
 """
 
 from __future__ import annotations
@@ -44,6 +51,18 @@ def _add_generate(subparsers) -> None:
     parser.add_argument("--iters", type=int, default=100)
     parser.add_argument("--restarts", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="labeling fan-out backend (output is identical across backends)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for parallel backends (default: all cores)",
+    )
     parser.add_argument("--out", type=Path, required=True)
     parser.set_defaults(func=_cmd_generate)
 
@@ -57,6 +76,8 @@ def _cmd_generate(args) -> int:
         optimizer_iters=args.iters,
         restarts=args.restarts,
         seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
     )
     dataset = generate_dataset(config)
     dataset.save(args.out)
@@ -188,6 +209,47 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _add_bench(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="run kernel/labeling benchmarks, append to a BENCH_*.json",
+    )
+    parser.add_argument("--out", type=Path, default=Path("BENCH_1.json"))
+    parser.add_argument(
+        "--graphs", type=int, default=200,
+        help="dataset size for the labeling benchmark",
+    )
+    parser.add_argument(
+        "--backends", type=str, default="serial,process",
+        help="comma-separated backends for the labeling benchmark",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--kernel-repeats", type=int, default=10)
+    parser.add_argument(
+        "--skip-labeling", action="store_true",
+        help="only run the (fast) kernel benchmarks",
+    )
+    parser.set_defaults(func=_cmd_bench)
+
+
+def _cmd_bench(args) -> int:
+    from repro.benchmarking import format_entry, run_benchmarks
+
+    entry = run_benchmarks(
+        path=args.out,
+        labeling_graphs=args.graphs,
+        backends=tuple(
+            name.strip() for name in args.backends.split(",") if name.strip()
+        ),
+        workers=args.workers,
+        kernel_repeats=args.kernel_repeats,
+        skip_labeling=args.skip_labeling,
+    )
+    print(format_entry(entry))
+    print(f"appended run {entry['run']} to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level CLI parser."""
     parser = argparse.ArgumentParser(
@@ -199,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train(subparsers)
     _add_evaluate(subparsers)
     _add_reproduce(subparsers)
+    _add_bench(subparsers)
     return parser
 
 

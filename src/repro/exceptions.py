@@ -35,3 +35,16 @@ class ModelError(ReproError):
 
 class FixedAngleLookupError(ReproError):
     """No fixed-angle entry exists for the requested (degree, depth)."""
+
+
+class ExecutionError(ReproError):
+    """One or more tasks failed inside the parallel execution runtime.
+
+    Carries the list of :class:`repro.runtime.executor.TaskFailure`
+    records on ``failures`` so callers can surface the offending task
+    labels in domain-specific errors.
+    """
+
+    def __init__(self, message: str, failures=None):
+        super().__init__(message)
+        self.failures = list(failures) if failures is not None else []

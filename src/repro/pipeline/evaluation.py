@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import DatasetError
+from repro.exceptions import DatasetError, ExecutionError
 from repro.gnn.predictor import QAOAParameterPredictor
 from repro.graphs.graph import Graph
 from repro.qaoa.initialization import (
@@ -24,8 +24,9 @@ from repro.qaoa.initialization import (
     RandomInitialization,
 )
 from repro.qaoa.runner import QAOARunner
+from repro.runtime import ParallelExecutor, derive_task_seeds, task_rng
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 logger = get_logger(__name__)
 
@@ -118,12 +119,43 @@ class EvaluationResult:
         }
 
 
+def _comparison_task(payload) -> WarmStartComparison:
+    """Run the paired random-vs-strategy comparison on one graph.
+
+    Module-level (tuple payload) so the process backend can pickle it.
+    The two per-arm seeds are pre-derived in graph order, so any backend
+    reproduces the serial comparison bit for bit.
+    """
+    runner, graph, random_strategy, strategy, seed_random, seed_strategy = (
+        payload
+    )
+    random_outcome = runner.run(graph, random_strategy, task_rng(seed_random))
+    strategy_outcome = runner.run(graph, strategy, task_rng(seed_strategy))
+    degree = graph.regular_degree()
+    if degree is None:
+        degree = graph.max_degree()
+    return WarmStartComparison(
+        graph_name=graph.name,
+        num_nodes=graph.num_nodes,
+        degree=degree,
+        random_ratio=random_outcome.approximation_ratio,
+        strategy_ratio=strategy_outcome.approximation_ratio,
+        random_initial_ratio=random_outcome.initial_approximation_ratio,
+        strategy_initial_ratio=strategy_outcome.initial_approximation_ratio,
+    )
+
+
 class WarmStartEvaluator:
     """Runs the paired random-vs-strategy comparison over test graphs.
 
     The *same* optimizer budget is used on both arms; the random arm's
     initial angles are drawn independently per graph from the shared RNG
     stream, so comparisons are paired but unbiased.
+
+    ``executor`` fans the per-graph comparisons out through the parallel
+    runtime (default: serial). Per-arm seeds are derived from the
+    evaluator RNG in graph order before dispatch, so results are
+    identical across backends and to the historical serial loop.
     """
 
     def __init__(
@@ -132,6 +164,7 @@ class WarmStartEvaluator:
         optimizer_iters: int = 60,
         learning_rate: float = 0.05,
         rng: RngLike = None,
+        executor: Optional[ParallelExecutor] = None,
     ):
         from repro.qaoa.optimizers import AdamOptimizer
 
@@ -142,6 +175,9 @@ class WarmStartEvaluator:
             max_iters=optimizer_iters,
         )
         self._rng = ensure_rng(rng)
+        self.executor = (
+            executor if executor is not None else ParallelExecutor()
+        )
 
     def evaluate_strategy(
         self,
@@ -155,31 +191,32 @@ class WarmStartEvaluator:
         name = strategy_name if strategy_name else strategy.name
         result = EvaluationResult(strategy_name=name)
         random_strategy = RandomInitialization()
-        for graph in graphs:
-            random_outcome = self.runner.run(
-                graph, random_strategy, spawn_rng(self._rng)
+        # Two seeds per graph, drawn in the same order the serial loop
+        # used to call spawn_rng: (random arm, strategy arm) per graph.
+        seeds = derive_task_seeds(self._rng, 2 * len(graphs))
+        payloads = [
+            (
+                self.runner,
+                graph,
+                random_strategy,
+                strategy,
+                seeds[2 * i],
+                seeds[2 * i + 1],
             )
-            strategy_outcome = self.runner.run(
-                graph, strategy, spawn_rng(self._rng)
+            for i, graph in enumerate(graphs)
+        ]
+        try:
+            comparisons = self.executor.map(
+                _comparison_task,
+                payloads,
+                labels=[graph.name for graph in graphs],
             )
-            degree = graph.regular_degree()
-            if degree is None:
-                degree = graph.max_degree()
-            result.comparisons.append(
-                WarmStartComparison(
-                    graph_name=graph.name,
-                    num_nodes=graph.num_nodes,
-                    degree=degree,
-                    random_ratio=random_outcome.approximation_ratio,
-                    strategy_ratio=strategy_outcome.approximation_ratio,
-                    random_initial_ratio=(
-                        random_outcome.initial_approximation_ratio
-                    ),
-                    strategy_initial_ratio=(
-                        strategy_outcome.initial_approximation_ratio
-                    ),
-                )
-            )
+        except ExecutionError as exc:
+            names = ", ".join(failure.label for failure in exc.failures[:5])
+            raise DatasetError(
+                f"evaluation failed for {len(exc.failures)} graph(s): {names}"
+            ) from exc
+        result.comparisons.extend(comparisons)
         return result
 
     def evaluate_model(

@@ -24,7 +24,12 @@ class Statevector:
     gate application; use :meth:`copy` to branch.
     """
 
-    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+    def __init__(
+        self,
+        num_qubits: int,
+        data: Optional[np.ndarray] = None,
+        copy: bool = True,
+    ):
         if num_qubits < 1:
             raise CircuitError(f"need at least 1 qubit, got {num_qubits}")
         if num_qubits > 24:
@@ -35,12 +40,19 @@ class Statevector:
             self.data = np.zeros(dim, dtype=np.complex128)
             self.data[0] = 1.0
         else:
-            data = np.asarray(data, dtype=np.complex128)
-            if data.shape != (dim,):
+            array = np.asarray(data, dtype=np.complex128)
+            if array.shape != (dim,):
                 raise CircuitError(
-                    f"statevector shape {data.shape} != ({dim},)"
+                    f"statevector shape {array.shape} != ({dim},)"
                 )
-            self.data = data.copy()
+            # ``copy=False`` lets hot paths hand over a freshly built
+            # amplitude array without a redundant defensive copy; the
+            # caller must not mutate it afterwards. When ``asarray``
+            # already converted (dtype/layout change), the array is
+            # private and never needs a second copy.
+            if copy and array is data:
+                array = array.copy()
+            self.data = array
 
     # ------------------------------------------------------------------
     # Constructors
@@ -68,8 +80,8 @@ class Statevector:
         return cls(num_qubits, data)
 
     def copy(self) -> "Statevector":
-        """Deep copy."""
-        return Statevector(self.num_qubits, self.data)
+        """Deep copy (exactly one amplitude-array copy)."""
+        return Statevector(self.num_qubits, self.data.copy(), copy=False)
 
     # ------------------------------------------------------------------
     # Gate application

@@ -1,0 +1,21 @@
+"""Parallel execution runtime shared by the pipeline hot paths."""
+
+from repro.runtime.executor import (
+    BACKENDS,
+    ParallelExecutor,
+    TaskFailure,
+    default_worker_count,
+)
+from repro.runtime.progress import ProgressReporter, ThroughputStats
+from repro.runtime.seeding import derive_task_seeds, task_rng
+
+__all__ = [
+    "BACKENDS",
+    "ParallelExecutor",
+    "TaskFailure",
+    "default_worker_count",
+    "ProgressReporter",
+    "ThroughputStats",
+    "derive_task_seeds",
+    "task_rng",
+]

@@ -1,0 +1,273 @@
+"""Parallel execution runtime: serial / thread / process backends.
+
+:class:`ParallelExecutor` is the one fan-out primitive the pipeline hot
+paths (dataset labeling, warm-start evaluation, benchmarks) share. It
+provides:
+
+- **Backends.** ``serial`` (a plain loop — the reference semantics),
+  ``thread`` (``ThreadPoolExecutor`` — cheap, shares memory, wins when
+  the task releases the GIL or is I/O bound), and ``process``
+  (``ProcessPoolExecutor`` — true CPU parallelism; task functions and
+  arguments must be picklable module-level callables).
+- **Chunked dispatch.** Tasks are grouped into chunks to amortize
+  submission and IPC overhead; results are always returned in input
+  order regardless of completion order.
+- **Determinism.** The executor itself introduces no randomness; pair
+  it with :func:`repro.runtime.seeding.derive_task_seeds` so each task
+  owns an independent RNG stream and parallel output is bit-identical
+  to serial.
+- **Error capture.** Worker exceptions are caught per task, retried up
+  to ``retries`` extra attempts, and either raised as one aggregated
+  :class:`~repro.exceptions.ExecutionError` (``error_mode="raise"``) or
+  returned in-place as :class:`TaskFailure` records
+  (``error_mode="collect"``).
+- **Reporting.** Every ``map`` records wall time and throughput in
+  ``last_report`` (a :class:`~repro.runtime.progress.ThroughputStats`)
+  for the benchmark trajectories.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExecutionError
+from repro.runtime.progress import ProgressReporter, ThroughputStats
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget.
+
+    Attributes
+    ----------
+    index:
+        Position of the task in the input sequence.
+    label:
+        Human-readable task label (e.g. a graph name).
+    attempts:
+        Number of attempts made (``1 + retries``).
+    error:
+        ``repr`` of the final exception.
+    traceback:
+        Formatted traceback of the final exception.
+    """
+
+    index: int
+    label: str
+    attempts: int
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"{self.label} (task {self.index}): {self.error}"
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    chunk: Sequence[Tuple[int, str, Any]],
+    retries: int,
+) -> List[Tuple[int, bool, Any]]:
+    """Run one chunk of ``(index, label, item)`` tasks in this worker.
+
+    Module-level so the process backend can pickle it. Returns
+    ``(index, ok, result_or_TaskFailure)`` triples.
+    """
+    out: List[Tuple[int, bool, Any]] = []
+    for index, label, item in chunk:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                out.append((index, True, fn(item)))
+                break
+            except Exception as exc:  # noqa: BLE001 — captured per task
+                if attempts <= retries:
+                    continue
+                out.append(
+                    (
+                        index,
+                        False,
+                        TaskFailure(
+                            index=index,
+                            label=label,
+                            attempts=attempts,
+                            error=repr(exc),
+                            traceback=traceback.format_exc(),
+                        ),
+                    )
+                )
+                break
+    return out
+
+
+def default_worker_count(backend: str) -> int:
+    """Sensible worker default: all cores for pools, 1 for serial."""
+    if backend == "serial":
+        return 1
+    return max(1, os.cpu_count() or 1)
+
+
+class ParallelExecutor:
+    """Ordered, chunked, fault-capturing map over a task list.
+
+    Parameters
+    ----------
+    backend:
+        One of ``"serial"``, ``"thread"``, ``"process"``.
+    max_workers:
+        Pool size; defaults to the machine's core count (1 for serial).
+    chunk_size:
+        Tasks per dispatch unit. Defaults to ``ceil(n / (4 * workers))``
+        so each worker sees ~4 chunks — small enough to balance load,
+        large enough to amortize IPC.
+    retries:
+        Extra attempts per task before it is recorded as failed.
+    error_mode:
+        ``"raise"`` aggregates failures into one
+        :class:`~repro.exceptions.ExecutionError` after the run;
+        ``"collect"`` leaves :class:`TaskFailure` records in the result
+        list at the failing positions.
+    report_every:
+        Log a progress line every N completions (0 disables).
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        retries: int = 0,
+        error_mode: str = "raise",
+        report_every: int = 0,
+    ):
+        if backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if error_mode not in ("raise", "collect"):
+            raise ExecutionError(
+                f"unknown error_mode {error_mode!r}; "
+                "expected 'raise' or 'collect'"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ExecutionError("max_workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ExecutionError("chunk_size must be >= 1")
+        if retries < 0:
+            raise ExecutionError("retries must be >= 0")
+        self.backend = backend
+        self.max_workers = (
+            int(max_workers)
+            if max_workers is not None
+            else default_worker_count(backend)
+        )
+        self.chunk_size = chunk_size
+        self.retries = int(retries)
+        self.error_mode = error_mode
+        self.report_every = int(report_every)
+        self.last_report: ThroughputStats = ThroughputStats()
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        labels: Optional[Sequence[str]] = None,
+        on_progress: Optional[Callable[[int, int], None]] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        ``labels`` (parallel to ``items``) name tasks in error reports.
+        With the process backend, ``fn`` and the items must be
+        picklable. Returns one result per item; failing positions hold
+        :class:`TaskFailure` records when ``error_mode="collect"``.
+        """
+        items = list(items)
+        n = len(items)
+        if labels is None:
+            labels = [f"task-{i}" for i in range(n)]
+        else:
+            labels = [str(label) for label in labels]
+            if len(labels) != n:
+                raise ExecutionError(
+                    f"labels length {len(labels)} != items length {n}"
+                )
+        reporter = ProgressReporter(
+            total_tasks=n,
+            report_every=self.report_every,
+            on_progress=on_progress,
+        )
+        reporter.start()
+        results: List[Any] = [None] * n
+        failures: List[TaskFailure] = []
+
+        def consume(chunk_output: List[Tuple[int, bool, Any]]) -> None:
+            for index, ok, value in chunk_output:
+                results[index] = value
+                if not ok:
+                    failures.append(value)
+                reporter.task_done(failed=not ok)
+
+        chunks = self._chunk([(i, labels[i], items[i]) for i in range(n)])
+        if self.backend == "serial" or n == 0 or self.max_workers == 1:
+            for chunk in chunks:
+                consume(_run_chunk(fn, chunk, self.retries))
+        else:
+            pool_cls = (
+                ThreadPoolExecutor
+                if self.backend == "thread"
+                else ProcessPoolExecutor
+            )
+            with pool_cls(max_workers=self.max_workers) as pool:
+                pending = {
+                    pool.submit(_run_chunk, fn, chunk, self.retries)
+                    for chunk in chunks
+                }
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        consume(future.result())
+
+        self.last_report = reporter.stats()
+        if failures and self.error_mode == "raise":
+            failures.sort(key=lambda f: f.index)
+            summary = "; ".join(str(f) for f in failures[:5])
+            if len(failures) > 5:
+                summary += f"; ... ({len(failures) - 5} more)"
+            raise ExecutionError(
+                f"{len(failures)}/{n} tasks failed: {summary}",
+                failures=failures,
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _chunk(
+        self, tasks: List[Tuple[int, str, Any]]
+    ) -> List[List[Tuple[int, str, Any]]]:
+        n = len(tasks)
+        if n == 0:
+            return []
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-n // (4 * self.max_workers)))
+        return [tasks[i : i + size] for i in range(0, n, size)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelExecutor(backend={self.backend!r}, "
+            f"max_workers={self.max_workers})"
+        )

@@ -1,0 +1,46 @@
+"""Deterministic per-task RNG seeding for parallel execution.
+
+The labeling and evaluation pipelines used to thread a single
+:class:`numpy.random.Generator` through a serial loop, which makes the
+output depend on iteration *order* — a property that cannot survive a
+parallel fan-out. These helpers replace the shared stream with a list of
+independent child seeds derived up front from the parent generator (the
+same derivation :func:`repro.utils.rng.spawn_rng` performs, applied once
+per task). Each task then builds its own generator from its seed, so
+
+- serial and parallel execution see exactly the same per-task streams,
+  making parallel output bit-identical to serial, and
+- task ``i``'s randomness is independent of how many draws task ``j``
+  performs, so adding randomness to one task never perturbs another.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Upper bound (exclusive) for derived seeds — matches ``spawn_rng``.
+_SEED_BOUND = 2**63 - 1
+
+
+def derive_task_seeds(rng: RngLike, num_tasks: int) -> List[int]:
+    """Draw ``num_tasks`` independent child seeds from ``rng``.
+
+    The draws consume the parent stream in task order, exactly as a
+    serial loop of ``spawn_rng`` calls would, so switching an existing
+    serial pipeline to pre-derived seeds preserves its output.
+    """
+    if num_tasks < 0:
+        raise ValueError(f"num_tasks must be >= 0, got {num_tasks}")
+    generator = ensure_rng(rng)
+    return [
+        int(generator.integers(0, _SEED_BOUND)) for _ in range(num_tasks)
+    ]
+
+
+def task_rng(seed: int) -> np.random.Generator:
+    """The per-task generator for a seed from :func:`derive_task_seeds`."""
+    return np.random.default_rng(int(seed))

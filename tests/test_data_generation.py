@@ -13,6 +13,7 @@ from repro.data.generation import (
 )
 from repro.exceptions import DatasetError
 from repro.qaoa.simulator import QAOASimulator
+from repro.runtime import ParallelExecutor
 
 
 class TestCanonicalize:
@@ -92,6 +93,11 @@ class TestSampleGraphs:
             sample_graphs(GenerationConfig(num_graphs=0))
         with pytest.raises(DatasetError):
             sample_graphs(GenerationConfig(min_nodes=1))
+
+    def test_min_nodes_above_max_nodes_raises(self):
+        # without validation this config loops forever
+        with pytest.raises(DatasetError, match="min_nodes"):
+            sample_graphs(GenerationConfig(min_nodes=9, max_nodes=5))
 
     def test_weighted_config(self):
         config = GenerationConfig(
@@ -173,3 +179,67 @@ class TestGenerateDataset:
         assert config.optimizer_iters == 500
         assert config.min_nodes == 2
         assert config.max_nodes == 15
+
+
+class TestParallelGeneration:
+    CONFIG = dict(
+        num_graphs=6, min_nodes=4, max_nodes=6, optimizer_iters=8, seed=11
+    )
+
+    def _targets(self, dataset):
+        return np.asarray(dataset.targets())
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_thread_backend_bit_identical(self, workers):
+        config = GenerationConfig(**self.CONFIG)
+        serial = generate_dataset(config)
+        parallel = generate_dataset(
+            config,
+            executor=ParallelExecutor(backend="thread", max_workers=workers),
+        )
+        assert np.array_equal(self._targets(serial), self._targets(parallel))
+        assert [r.graph.name for r in serial] == [
+            r.graph.name for r in parallel
+        ]
+        assert [r.expectation for r in serial] == [
+            r.expectation for r in parallel
+        ]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_process_backend_bit_identical(self, workers):
+        config = GenerationConfig(**self.CONFIG)
+        serial = generate_dataset(config)
+        parallel = generate_dataset(
+            config,
+            executor=ParallelExecutor(backend="process", max_workers=workers),
+        )
+        assert np.array_equal(self._targets(serial), self._targets(parallel))
+
+    def test_config_backend_field_used(self):
+        config = GenerationConfig(**self.CONFIG)
+        via_field = GenerationConfig(
+            **self.CONFIG, backend="thread", workers=2
+        )
+        assert np.array_equal(
+            self._targets(generate_dataset(config)),
+            self._targets(generate_dataset(via_field)),
+        )
+
+    def test_worker_exception_surfaces_graph_name(self, monkeypatch):
+        import repro.data.generation as generation_module
+
+        original = generation_module.label_graph
+
+        def exploding(graph, **kwargs):
+            if graph.name.startswith("g00002"):
+                raise RuntimeError("boom")
+            return original(graph, **kwargs)
+
+        monkeypatch.setattr(generation_module, "label_graph", exploding)
+        config = GenerationConfig(**self.CONFIG)
+        with pytest.raises(DatasetError, match="g00002") as excinfo:
+            generate_dataset(
+                config,
+                executor=ParallelExecutor(backend="thread", max_workers=2),
+            )
+        assert "labeling failed" in str(excinfo.value)

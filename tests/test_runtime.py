@@ -1,0 +1,173 @@
+"""Tests for the parallel execution runtime."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.runtime import (
+    BACKENDS,
+    ParallelExecutor,
+    TaskFailure,
+    default_worker_count,
+    derive_task_seeds,
+    task_rng,
+)
+from repro.utils.rng import spawn_rng
+
+
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+class TestSeeding:
+    def test_matches_spawn_rng_stream(self):
+        parent_a = np.random.default_rng(42)
+        parent_b = np.random.default_rng(42)
+        seeds = derive_task_seeds(parent_a, 5)
+        spawned = [spawn_rng(parent_b) for _ in range(5)]
+        for seed, reference in zip(seeds, spawned):
+            assert task_rng(seed).integers(0, 1 << 30) == reference.integers(
+                0, 1 << 30
+            )
+
+    def test_deterministic(self):
+        assert derive_task_seeds(7, 4) == derive_task_seeds(7, 4)
+
+    def test_independent_of_task_count_prefix(self):
+        assert derive_task_seeds(7, 8)[:4] == derive_task_seeds(7, 4)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            derive_task_seeds(0, -1)
+
+
+class TestExecutorBasics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_map_preserves_order(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=2)
+        assert executor.map(_square, list(range(20))) == [
+            i * i for i in range(20)
+        ]
+
+    def test_empty_input(self):
+        executor = ParallelExecutor()
+        assert executor.map(_square, []) == []
+        assert executor.last_report.total_tasks == 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 50])
+    def test_chunk_sizes(self, chunk_size):
+        executor = ParallelExecutor(
+            backend="thread", max_workers=3, chunk_size=chunk_size
+        )
+        assert executor.map(_square, list(range(10))) == [
+            i * i for i in range(10)
+        ]
+
+    def test_report_populated(self):
+        executor = ParallelExecutor()
+        executor.map(_square, list(range(12)))
+        report = executor.last_report
+        assert report.total_tasks == 12
+        assert report.completed == 12
+        assert report.failed == 0
+        assert report.tasks_per_second > 0
+        assert set(report.as_dict()) == {
+            "total_tasks",
+            "completed",
+            "failed",
+            "wall_time",
+            "tasks_per_second",
+        }
+
+    def test_on_progress_callback(self):
+        seen = []
+        executor = ParallelExecutor()
+        executor.map(
+            _square, [1, 2, 3], on_progress=lambda done, total: seen.append(
+                (done, total)
+            )
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ExecutionError):
+            ParallelExecutor(backend="gpu")
+        with pytest.raises(ExecutionError):
+            ParallelExecutor(error_mode="ignore")
+        with pytest.raises(ExecutionError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ExecutionError):
+            ParallelExecutor(chunk_size=0)
+        with pytest.raises(ExecutionError):
+            ParallelExecutor(retries=-1)
+
+    def test_label_length_mismatch(self):
+        executor = ParallelExecutor()
+        with pytest.raises(ExecutionError):
+            executor.map(_square, [1, 2], labels=["only-one"])
+
+    def test_default_worker_count(self):
+        assert default_worker_count("serial") == 1
+        assert default_worker_count("process") >= 1
+
+
+class TestErrorHandling:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_raise_mode_aggregates_with_labels(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=2)
+        with pytest.raises(ExecutionError) as excinfo:
+            executor.map(
+                _fail_on_three,
+                [1, 2, 3, 4],
+                labels=["a", "b", "bad-task", "d"],
+            )
+        failures = excinfo.value.failures
+        assert len(failures) == 1
+        assert failures[0].label == "bad-task"
+        assert failures[0].index == 2
+        assert "ValueError" in failures[0].error
+        assert "bad-task" in str(excinfo.value)
+
+    def test_collect_mode_returns_failures_in_place(self):
+        executor = ParallelExecutor(error_mode="collect")
+        results = executor.map(_fail_on_three, [1, 3, 5])
+        assert results[0] == 1
+        assert isinstance(results[1], TaskFailure)
+        assert results[2] == 5
+        assert executor.last_report.failed == 1
+        assert executor.last_report.completed == 2
+
+    def test_retries_recover_transient_failures(self):
+        attempts = {}
+
+        def flaky(x):
+            attempts[x] = attempts.get(x, 0) + 1
+            if attempts[x] == 1:
+                raise RuntimeError("transient")
+            return x
+
+        executor = ParallelExecutor(retries=1)
+        assert executor.map(flaky, [1, 2, 3]) == [1, 2, 3]
+        assert all(count == 2 for count in attempts.values())
+
+    def test_retries_exhausted_records_attempts(self):
+        executor = ParallelExecutor(retries=2, error_mode="collect")
+        results = executor.map(_fail_on_three, [3])
+        assert isinstance(results[0], TaskFailure)
+        assert results[0].attempts == 3
+
+
+class TestProcessBackend:
+    def test_map_matches_serial(self):
+        serial = ParallelExecutor().map(_square, list(range(10)))
+        parallel = ParallelExecutor(backend="process", max_workers=2).map(
+            _square, list(range(10))
+        )
+        assert serial == parallel
