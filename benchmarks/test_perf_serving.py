@@ -1,0 +1,46 @@
+"""Serving benchmarks: cache and micro-batching under concurrent load.
+
+``perf``-marked like the other runtime benchmarks — excluded from the
+fast suite and run via ``repro bench`` / ``pytest -m perf``. Appends the
+serving throughput numbers to the ``BENCH_1.json`` trajectory so future
+PRs can regress cache hit rate, batch occupancy, and latency.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarking import append_bench_entry, bench_serving
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_1.json"
+
+
+def test_perf_serving_cache_and_batching():
+    """Warm phase beats cold, cache hits are exact, batches coalesce."""
+    results = bench_serving(num_graphs=64, threads=8)
+    append_bench_entry(BENCH_PATH, {"serving": results})
+
+    # Every warm request is an isomorphic copy of a cold one: the WL
+    # cache must answer all of them (hit rate >= warm / total = 1/2;
+    # chance WL-collisions between cold graphs can only raise it).
+    assert results["cache_hit_rate"] >= 0.5, results
+
+    # Cache hits skip the model forward entirely, so the warm phase must
+    # be strictly faster than the cold phase.
+    assert (
+        results["warm"]["requests_per_second"]
+        > results["cold"]["requests_per_second"]
+    ), results
+
+    # Concurrent clients must actually coalesce into shared forwards.
+    assert results["batch_occupancy_mean"] > 1.0, results
+
+    # Every answer (cold forwards and cached repeats alike) traces back
+    # to the model, never the fallback chain: 64 cold + 64 warm.
+    assert results["sources"] == {"model": 128}, results
+
+    # Latency sanity: percentile ordering holds.
+    latency = results["latency"]
+    assert latency["p50_ms"] <= latency["p90_ms"] <= latency["p99_ms"]

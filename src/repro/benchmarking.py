@@ -11,6 +11,11 @@ Two benchmark families quantify the hot paths this repo optimizes:
 - **Labeling benchmarks** — end-to-end ``generate_dataset`` throughput
   per runtime backend on one shared config, asserting along the way
   that every backend produces bit-identical records.
+- **Serving benchmarks** — the online prediction service under
+  concurrent load: cold throughput (every request a cache miss through
+  the micro-batched model path), warm throughput (isomorphic repeats
+  answered by the WL-canonical cache), hit rate, batch occupancy, and
+  latency percentiles.
 
 Results append to a ``BENCH_*.json`` *trajectory*: a JSON list with one
 entry per run (timestamp, machine info, metrics), so successive PRs can
@@ -29,7 +34,8 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.data.generation import GenerationConfig, generate_dataset
-from repro.graphs.generators import random_regular_graph
+from repro.graphs.generators import random_connected_graph, random_regular_graph
+from repro.graphs.graph import Graph
 from repro.qaoa.simulator import (
     QAOASimulator,
     _apply_mixer_into,
@@ -39,6 +45,7 @@ from repro.qaoa.simulator import (
 )
 from repro.runtime import ParallelExecutor, default_worker_count
 from repro.utils.logging import get_logger
+from repro.utils.serialization import atomic_write_text
 
 logger = get_logger(__name__)
 
@@ -270,6 +277,86 @@ def bench_labeling(
 
 
 # ----------------------------------------------------------------------
+# Serving benchmarks
+# ----------------------------------------------------------------------
+def bench_serving(
+    num_graphs: int = 32,
+    threads: int = 8,
+    seed: int = 20240305,
+) -> Dict[str, object]:
+    """Prediction-service throughput, cold (model) and warm (cache).
+
+    Drives a :class:`~repro.serving.service.PredictionService` holding a
+    small deterministic GIN model with ``threads`` concurrent clients:
+
+    - **cold** — ``num_graphs`` distinct graphs, every one a cache miss
+      answered through the micro-batched model forward;
+    - **warm** — a relabeled (isomorphic) copy of each graph, every one
+      a WL-canonical cache hit.
+
+    Records wall time and requests/sec for both phases, the final cache
+    hit rate, the micro-batcher's mean batch occupancy, and the service
+    latency percentiles.
+    """
+    from repro.gnn.predictor import QAOAParameterPredictor
+    from repro.serving import PredictionService, ServingConfig
+
+    rng = np.random.default_rng(seed)
+    # Irregular graphs: same-size regular graphs share a WL hash (by
+    # design), which would make the "cold" phase partly warm.
+    graphs = [
+        random_connected_graph(
+            int(rng.integers(6, 13)), rng=int(rng.integers(0, 2**31))
+        )
+        for _ in range(num_graphs)
+    ]
+    isomorphic = []
+    for graph in graphs:
+        perm = rng.permutation(graph.num_nodes)
+        edges = [(int(perm[u]), int(perm[v])) for u, v in graph.edges]
+        isomorphic.append(Graph.from_edges(graph.num_nodes, edges))
+
+    model = QAOAParameterPredictor(arch="gin", p=1, hidden_dim=16, rng=seed)
+    model.eval()
+    clients = ParallelExecutor(
+        backend="thread", max_workers=threads, chunk_size=1, report_every=0
+    )
+    with PredictionService(
+        model=model, config=ServingConfig(max_wait_ms=1.0)
+    ) as service:
+        start = time.perf_counter()
+        clients.map(service.predict, graphs)
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        clients.map(service.predict, isomorphic)
+        warm_wall = time.perf_counter() - start
+        snapshot = service.metrics_snapshot()
+
+    batcher = snapshot.get("batcher", {}).get("default", {})
+    return {
+        "num_graphs": num_graphs,
+        "threads": threads,
+        "cold": {
+            "wall_time_s": cold_wall,
+            "requests_per_second": num_graphs / cold_wall
+            if cold_wall > 0
+            else 0.0,
+        },
+        "warm": {
+            "wall_time_s": warm_wall,
+            "requests_per_second": num_graphs / warm_wall
+            if warm_wall > 0
+            else 0.0,
+        },
+        "cache_hit_rate": snapshot["cache"]["hit_rate"],
+        "batch_occupancy_mean": batcher.get("mean_occupancy", 0.0),
+        "batches": batcher.get("batches", 0),
+        "sources": snapshot["sources"],
+        "latency": snapshot["latency"],
+    }
+
+
+# ----------------------------------------------------------------------
 # Trajectory persistence
 # ----------------------------------------------------------------------
 def load_trajectory(path: PathLike) -> List[dict]:
@@ -300,7 +387,7 @@ def append_bench_entry(path: PathLike, results: Dict[str, object]) -> dict:
         "results": results,
     }
     trajectory.append(entry)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(trajectory, indent=2) + "\n")
     return entry
 
 
@@ -311,9 +398,12 @@ def run_benchmarks(
     workers: Optional[int] = None,
     kernel_repeats: int = 10,
     skip_labeling: bool = False,
+    skip_serving: bool = False,
+    serving_graphs: int = 32,
 ) -> dict:
-    """Run the kernel (and optionally labeling) benchmarks and append
-    one entry to the trajectory at ``path``. Returns the new entry."""
+    """Run the kernel (and optionally labeling/serving) benchmarks and
+    append one entry to the trajectory at ``path``. Returns the new
+    entry."""
     results: Dict[str, object] = {
         "gradient_kernel_n15_p2": bench_gradient_kernel(
             repeats=kernel_repeats
@@ -326,6 +416,8 @@ def run_benchmarks(
             backends=backends,
             workers=workers,
         )
+    if not skip_serving:
+        results["serving"] = bench_serving(num_graphs=serving_graphs)
     return append_bench_entry(path, results)
 
 
@@ -351,4 +443,12 @@ def format_entry(entry: dict) -> str:
                 f"{stats['wall_time_s']:.2f}s "
                 f"({stats['graphs_per_second']:.1f} graphs/s{suffix})"
             )
+    serving = results.get("serving")
+    if serving:
+        lines.append(
+            f"  serving: cold {serving['cold']['requests_per_second']:.1f} req/s"
+            f" -> warm {serving['warm']['requests_per_second']:.1f} req/s"
+            f" (hit rate {serving['cache_hit_rate']:.2f},"
+            f" mean batch {serving['batch_occupancy_mean']:.1f})"
+        )
     return "\n".join(lines)

@@ -1,24 +1,28 @@
 """Command-line interface.
 
-Five subcommands mirror the pipeline stages so the reproduction can be
-driven without writing Python:
+Seven subcommands cover the offline pipeline and the online service:
 
 - ``repro generate`` — sample + label a dataset, save it to JSON
   (``--backend process --workers N`` parallelizes labeling with
   bit-identical output).
-- ``repro train`` — train one architecture on a saved dataset, save the
-  model state.
+- ``repro train`` — train one architecture on a saved dataset, save a
+  versioned model checkpoint.
 - ``repro evaluate`` — warm-start evaluation of a saved model against
   random initialization on a saved dataset's held-out split.
 - ``repro reproduce`` — the whole experiment (Table 1) in one shot.
-- ``repro bench`` — run the kernel / labeling benchmarks and append an
-  entry to the ``BENCH_*.json`` trajectory.
+- ``repro serve`` — HTTP prediction service from a checkpoint
+  (isomorphism-aware cache, micro-batching, fallback chain).
+- ``repro predict`` — one-shot prediction for a single graph, printed
+  as JSON.
+- ``repro bench`` — run the kernel / labeling / serving benchmarks and
+  append an entry to the ``BENCH_*.json`` trajectory.
 
 Example::
 
     python -m repro.cli generate --num-graphs 100 --out dataset.json
-    python -m repro.cli generate --num-graphs 1000 --backend process \\
-        --workers 8 --out dataset.json
+    python -m repro.cli train --dataset dataset.json --out model.json
+    python -m repro.cli serve --model model.json --port 8000
+    python -m repro.cli predict --model model.json --edges 0-1,1-2,2-0
     python -m repro.cli reproduce --num-graphs 100 --test-size 20
     python -m repro.cli bench --out BENCH_1.json --graphs 200
 """
@@ -26,20 +30,21 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-
-import numpy as np
 
 from repro.analysis.tables import format_table1
 from repro.data.dataset import QAOADataset
 from repro.data.generation import GenerationConfig, generate_dataset
 from repro.data.splits import stratified_split
 from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.graph import Graph
+from repro.graphs.io import load_graph
 from repro.pipeline.evaluation import WarmStartEvaluator
 from repro.pipeline.experiment import ExperimentConfig, run_experiment
 from repro.pipeline.training import Trainer, TrainingConfig
-from repro.utils.serialization import load_json, save_json
+from repro.serving.registry import load_checkpoint, save_checkpoint
 
 
 def _add_generate(subparsers) -> None:
@@ -118,36 +123,19 @@ def _cmd_train(args) -> int:
         model, TrainingConfig(epochs=args.epochs, seed=args.seed)
     )
     history = trainer.fit(dataset)
-    state = {
-        "arch": args.arch,
-        "p": model.p,
-        "hidden_dim": args.hidden_dim,
-        "num_layers": args.num_layers,
-        "dropout": args.dropout,
-        "final_loss": history.final_loss,
-        "state": {k: v.tolist() for k, v in model.state_dict().items()},
-    }
-    save_json(state, args.out)
+    save_checkpoint(model, args.out, final_loss=history.final_loss)
     print(f"trained {args.arch}: final loss {history.final_loss:.5f} -> {args.out}")
     return 0
 
 
 def load_model(path) -> QAOAParameterPredictor:
-    """Rebuild a predictor saved by ``repro train``."""
-    state = load_json(path)
-    model = QAOAParameterPredictor(
-        arch=state["arch"],
-        p=int(state["p"]),
-        hidden_dim=int(state["hidden_dim"]),
-        num_layers=int(state["num_layers"]),
-        dropout=float(state["dropout"]),
-        rng=0,
-    )
-    model.load_state_dict(
-        {k: np.asarray(v) for k, v in state["state"].items()}
-    )
-    model.eval()
-    return model
+    """Rebuild a predictor saved by ``repro train``.
+
+    Thin alias of :func:`repro.serving.registry.load_checkpoint`, which
+    validates the checkpoint schema (``format_version`` included) and
+    raises :class:`~repro.exceptions.ModelError` on anything corrupt.
+    """
+    return load_checkpoint(path)
 
 
 def _add_evaluate(subparsers) -> None:
@@ -209,6 +197,123 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="HTTP prediction service from a checkpoint"
+    )
+    parser.add_argument(
+        "--model", type=Path, default=None,
+        help="checkpoint from `repro train` (omit to serve fallbacks only)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument("--cache-size", type=int, default=4096)
+    parser.add_argument(
+        "--cache-ttl", type=float, default=None,
+        help="seconds before a cached prediction expires (default: never)",
+    )
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="threads for chunked batch forwards (1 = single-threaded)",
+    )
+    parser.add_argument(
+        "--no-batching", action="store_true",
+        help="answer each request with its own forward pass",
+    )
+    parser.add_argument(
+        "--p", type=int, default=1,
+        help="fallback circuit depth when serving without a model",
+    )
+    parser.set_defaults(func=_cmd_serve)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import (
+        PredictionService,
+        ServingConfig,
+        ServingHTTPServer,
+    )
+
+    config = ServingConfig(
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        batching=not args.no_batching,
+        default_p=args.p,
+    )
+    model = load_model(args.model) if args.model is not None else None
+    service = PredictionService(model=model, config=config)
+    server = ServingHTTPServer(service, host=args.host, port=args.port)
+    print(f"serving on http://{server.address[0]}:{server.port}")
+    server.serve_forever()
+    return 0
+
+
+def _parse_edge_spec(spec: str, num_nodes) -> Graph:
+    """``"0-1,1-2,2-0"`` -> a Graph (node count inferred if omitted)."""
+    edges = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        u, _, v = token.partition("-")
+        edges.append((int(u), int(v)))
+    if not edges:
+        raise SystemExit(f"no edges in {spec!r}")
+    if num_nodes is None:
+        num_nodes = max(max(u, v) for u, v in edges) + 1
+    return Graph.from_edges(int(num_nodes), edges)
+
+
+def _add_predict(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "predict", help="one-shot warm-start prediction for a graph"
+    )
+    parser.add_argument(
+        "--model", type=Path, default=None,
+        help="checkpoint from `repro train` (omit for fallbacks only)",
+    )
+    parser.add_argument(
+        "--graph", type=Path, default=None,
+        help="text-format graph file (see repro.graphs.io)",
+    )
+    parser.add_argument(
+        "--edges", type=str, default=None,
+        help='inline edge list like "0-1,1-2,2-0"',
+    )
+    parser.add_argument(
+        "--num-nodes", type=int, default=None,
+        help="node count for --edges (default: max endpoint + 1)",
+    )
+    parser.add_argument(
+        "--p", type=int, default=1,
+        help="fallback circuit depth when predicting without a model",
+    )
+    parser.set_defaults(func=_cmd_predict)
+
+
+def _cmd_predict(args) -> int:
+    from repro.serving import PredictionService, ServingConfig
+
+    if (args.graph is None) == (args.edges is None):
+        raise SystemExit("predict needs exactly one of --graph / --edges")
+    graph = (
+        load_graph(args.graph)
+        if args.graph is not None
+        else _parse_edge_spec(args.edges, args.num_nodes)
+    )
+    model = load_model(args.model) if args.model is not None else None
+    config = ServingConfig(batching=False, default_p=args.p)
+    with PredictionService(model=model, config=config) as service:
+        result = service.predict(graph)
+    print(json.dumps(result.to_dict(), indent=2))
+    return 0
+
+
 def _add_bench(subparsers) -> None:
     parser = subparsers.add_parser(
         "bench",
@@ -227,7 +332,15 @@ def _add_bench(subparsers) -> None:
     parser.add_argument("--kernel-repeats", type=int, default=10)
     parser.add_argument(
         "--skip-labeling", action="store_true",
-        help="only run the (fast) kernel benchmarks",
+        help="skip the (slow) labeling benchmark",
+    )
+    parser.add_argument(
+        "--skip-serving", action="store_true",
+        help="skip the serving-throughput benchmark",
+    )
+    parser.add_argument(
+        "--serving-graphs", type=int, default=32,
+        help="request count per phase of the serving benchmark",
     )
     parser.set_defaults(func=_cmd_bench)
 
@@ -244,6 +357,8 @@ def _cmd_bench(args) -> int:
         workers=args.workers,
         kernel_repeats=args.kernel_repeats,
         skip_labeling=args.skip_labeling,
+        skip_serving=args.skip_serving,
+        serving_graphs=args.serving_graphs,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
@@ -261,6 +376,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train(subparsers)
     _add_evaluate(subparsers)
     _add_reproduce(subparsers)
+    _add_serve(subparsers)
+    _add_predict(subparsers)
     _add_bench(subparsers)
     return parser
 

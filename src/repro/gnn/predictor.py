@@ -21,7 +21,7 @@ from repro.gnn.pooling import readout
 from repro.graphs.graph import Graph
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, batch_invariant, no_grad
 from repro.utils.rng import RngLike, ensure_rng
 
 ARCHITECTURES = ("gcn", "gat", "gin", "sage", "mean")
@@ -143,14 +143,19 @@ class QAOAParameterPredictor(Module):
     # Inference conveniences
     # ------------------------------------------------------------------
     def predict(self, graphs: Sequence[Graph]) -> np.ndarray:
-        """Predict parameters for graphs; returns shape ``(len, 2p)``."""
+        """Predict parameters for graphs; returns shape ``(len, 2p)``.
+
+        Runs under :func:`~repro.nn.tensor.batch_invariant`, so each
+        graph's row is bit-identical no matter which other graphs share
+        the batch — the contract the serving micro-batcher relies on.
+        """
         was_training = self.training
         self.eval()
         try:
             batch = GraphBatch.from_graphs(
                 graphs, feature_kind="degree_onehot", max_nodes=self.in_dim
             )
-            with no_grad():
+            with no_grad(), batch_invariant():
                 output = self.forward(batch)
             return output.data.copy()
         finally:

@@ -19,6 +19,12 @@ from repro.graphs.io import (
     save_graph,
     save_graphs,
 )
+from repro.graphs.canonical import (
+    WL_HASH_VERSION,
+    wl_canonical_hash,
+    wl_color_classes,
+    wl_indistinguishable,
+)
 from repro.graphs.transforms import (
     complement,
     disjoint_union,
@@ -52,6 +58,10 @@ __all__ = [
     "load_graphs",
     "save_graph",
     "save_graphs",
+    "WL_HASH_VERSION",
+    "wl_canonical_hash",
+    "wl_color_classes",
+    "wl_indistinguishable",
     "complement",
     "disjoint_union",
     "line_graph",

@@ -22,6 +22,7 @@ from repro.exceptions import ModelError
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
 
 _GRAD_ENABLED = True
+_BATCH_INVARIANT = False
 
 
 @contextlib.contextmanager
@@ -39,6 +40,46 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Whether operations currently record the autograd graph."""
     return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def batch_invariant():
+    """Context manager selecting batch-invariant matmul kernels.
+
+    BLAS gemm picks different blocking (and therefore different rounding)
+    depending on the row count, so row ``i`` of ``A @ W`` can differ in
+    the last ulp between a 1-row and an N-row ``A``. Inside this context
+    matmuls run through :func:`rowwise_matmul`, whose per-row result is
+    independent of every other row — the property the serving layer needs
+    so micro-batched inference is bit-identical to single-request
+    inference regardless of how requests were coalesced.
+    """
+    global _BATCH_INVARIANT
+    previous = _BATCH_INVARIANT
+    _BATCH_INVARIANT = True
+    try:
+        yield
+    finally:
+        _BATCH_INVARIANT = previous
+
+
+def is_batch_invariant() -> bool:
+    """Whether matmuls currently use the batch-invariant kernel."""
+    return _BATCH_INVARIANT
+
+
+def rowwise_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` via k-ordered outer-product accumulation.
+
+    Each output row is built by the same fixed-order sequence of fused
+    multiply-adds no matter how many rows ``a`` has, so results for a row
+    never depend on the rest of the batch. Intended for the small inner
+    dimensions of inference (k <= 64); training keeps BLAS gemm.
+    """
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.float64)
+    for k in range(b.shape[0]):
+        out += a[:, k, None] * b[k]
+    return out
 
 
 class Tensor:
@@ -254,7 +295,12 @@ class Tensor:
             self._accumulate(grad @ other_data.T)
             other._accumulate(self_data.T @ grad)
 
-        return Tensor._make(self_data @ other_data, (self, other), backward)
+        product = (
+            rowwise_matmul(self_data, other_data)
+            if _BATCH_INVARIANT
+            else self_data @ other_data
+        )
+        return Tensor._make(product, (self, other), backward)
 
     # ------------------------------------------------------------------
     # Elementwise functions

@@ -1,0 +1,233 @@
+"""Micro-batching request queue for online inference.
+
+Concurrent prediction requests are coalesced into a single
+:class:`~repro.gnn.batching.GraphBatch` forward pass: the dispatcher
+thread drains up to ``max_batch_size`` queued graphs, waiting at most
+``max_wait_ms`` after the first arrival so a lone request is never
+stalled behind an empty queue. Large drained batches can additionally be
+split across a :class:`~repro.runtime.ParallelExecutor` (thread backend
+— the workers share the model) to overlap forward passes.
+
+Because model inference runs under batch-invariant kernels
+(:func:`repro.nn.tensor.batch_invariant`), the response for a request is
+bit-identical no matter which other requests happened to share its
+batch, how the batch was chunked across workers, or whether it ran
+unbatched — coalescing is purely a throughput decision.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+from repro.runtime import ParallelExecutor
+
+
+class BatchingError(ReproError):
+    """Invalid micro-batcher configuration or a failed request."""
+
+
+class PendingPrediction:
+    """Handle for one submitted request; ``result()`` blocks until done."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self.batch_size: Optional[int] = None
+
+    def _resolve(self, value: np.ndarray, batch_size: int) -> None:
+        self._value = value
+        self.batch_size = batch_size
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        """Whether a result (or error) is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """The prediction row ``(2p,)``; re-raises worker errors."""
+        if not self._event.wait(timeout):
+            raise BatchingError("timed out waiting for a batched prediction")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into shared forward passes.
+
+    Parameters
+    ----------
+    forward_fn:
+        ``graphs -> (len(graphs), 2p)`` array; typically
+        ``model.predict``.
+    max_batch_size:
+        Most graphs dispatched in one forward pass.
+    max_wait_ms:
+        How long the dispatcher holds the first queued request open for
+        companions before running a partial batch.
+    executor:
+        Optional :class:`ParallelExecutor` (thread backend) used to split
+        a drained batch into concurrent chunk forwards.
+    chunk_size:
+        Graphs per executor chunk (default: even split across workers,
+        minimum 4 per chunk).
+    """
+
+    def __init__(
+        self,
+        forward_fn: Callable[[Sequence[Graph]], np.ndarray],
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        executor: Optional[ParallelExecutor] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if max_batch_size < 1:
+            raise BatchingError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise BatchingError("max_wait_ms must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise BatchingError("chunk_size must be >= 1")
+        self.forward_fn = forward_fn
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.executor = executor
+        self.chunk_size = chunk_size
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        self._queue: List[PendingPrediction] = []
+        self._closed = False
+        self.num_requests = 0
+        self.num_batches = 0
+        self.total_batched = 0
+        self.max_occupancy = 0
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-microbatcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, graph: Graph) -> PendingPrediction:
+        """Queue one graph; returns a handle resolved by the dispatcher."""
+        pending = PendingPrediction(graph)
+        with self._has_work:
+            if self._closed:
+                raise BatchingError("micro-batcher is closed")
+            self._queue.append(pending)
+            self.num_requests += 1
+            self._has_work.notify_all()
+        return pending
+
+    def predict(
+        self, graph: Graph, timeout: Optional[float] = 30.0
+    ) -> np.ndarray:
+        """Blocking convenience: submit and wait for the row."""
+        return self.submit(graph).result(timeout)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain the queue, and join the thread."""
+        with self._has_work:
+            if self._closed:
+                return
+            self._closed = True
+            self._has_work.notify_all()
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _next_batch(self) -> Optional[List[PendingPrediction]]:
+        with self._has_work:
+            while not self._queue and not self._closed:
+                self._has_work.wait()
+            if not self._queue:
+                return None  # closed and drained
+            # Hold the first request open briefly so companions can join.
+            deadline = time.monotonic() + self.max_wait_s
+            while (
+                len(self._queue) < self.max_batch_size and not self._closed
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._has_work.wait(remaining):
+                    break
+            batch = self._queue[: self.max_batch_size]
+            del self._queue[: self.max_batch_size]
+            self.num_batches += 1
+            self.total_batched += len(batch)
+            self.max_occupancy = max(self.max_occupancy, len(batch))
+            return batch
+
+    def _run_batch(self, batch: List[PendingPrediction]) -> None:
+        graphs = [pending.graph for pending in batch]
+        try:
+            outputs = self._forward(graphs)
+            outputs = np.asarray(outputs)
+            if outputs.shape[0] != len(graphs):
+                raise BatchingError(
+                    f"forward returned {outputs.shape[0]} rows for "
+                    f"{len(graphs)} graphs"
+                )
+        except BaseException as exc:  # noqa: BLE001 — fanned out per request
+            for pending in batch:
+                pending._fail(exc)
+            return
+        for pending, row in zip(batch, outputs):
+            pending._resolve(row, len(batch))
+
+    def _forward(self, graphs: List[Graph]) -> np.ndarray:
+        if self.executor is None or len(graphs) <= 1:
+            return self.forward_fn(graphs)
+        size = self.chunk_size
+        if size is None:
+            size = max(4, -(-len(graphs) // self.executor.max_workers))
+        if size >= len(graphs):
+            return self.forward_fn(graphs)
+        chunks = [
+            graphs[i : i + size] for i in range(0, len(graphs), size)
+        ]
+        parts = self.executor.map(self.forward_fn, chunks)
+        return np.concatenate(parts, axis=0)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Occupancy counters for the metrics endpoint."""
+        with self._lock:
+            return {
+                "requests": self.num_requests,
+                "batches": self.num_batches,
+                "mean_occupancy": (
+                    self.total_batched / self.num_batches
+                    if self.num_batches
+                    else 0.0
+                ),
+                "max_occupancy": self.max_occupancy,
+                "max_batch_size": self.max_batch_size,
+                "max_wait_ms": self.max_wait_s * 1000.0,
+                "queued": len(self._queue),
+            }

@@ -1,0 +1,125 @@
+"""Graceful-degradation chain for prediction requests.
+
+The service answers *every* request: when the GNN cannot be used — no
+model loaded, graph larger than the feature cap, or a mid-flight model
+failure — the request walks a deterministic chain of classical
+initializers, and the response is tagged with the source that produced
+it:
+
+1. ``fixed_angle`` — Wurtz-Lykov fixed angles for regular graphs with a
+   covered degree (:mod:`repro.qaoa.fixed_angles`).
+2. ``analytic`` — at ``p = 1`` the closed-form optimum for the graph's
+   rounded mean degree (:func:`repro.qaoa.analytic
+   .p1_optimal_angles_regular`); at deeper ``p`` the annealing-inspired
+   linear ramp.
+3. ``random`` — uniform angles seeded from the graph's WL hash, so even
+   the last resort is reproducible per isomorphism class.
+
+The ``model`` source tag itself is applied by the service; this module
+only covers the classical tail of the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import FixedAngleLookupError
+from repro.graphs.canonical import wl_canonical_hash
+from repro.graphs.graph import Graph
+from repro.qaoa.analytic import p1_optimal_angles_regular
+from repro.qaoa.fixed_angles import FixedAngleTable, default_table
+from repro.qaoa.initialization import (
+    LinearRampInitialization,
+    RandomInitialization,
+)
+
+SOURCE_MODEL = "model"
+SOURCE_FIXED_ANGLE = "fixed_angle"
+SOURCE_ANALYTIC = "analytic"
+SOURCE_RANDOM = "random"
+
+#: Chain order after the model itself.
+FALLBACK_ORDER = (SOURCE_FIXED_ANGLE, SOURCE_ANALYTIC, SOURCE_RANDOM)
+
+
+@dataclass(frozen=True)
+class FallbackResult:
+    """Angles plus the provenance tag of whichever rung produced them."""
+
+    gammas: Tuple[float, ...]
+    betas: Tuple[float, ...]
+    source: str
+
+
+class FallbackChain:
+    """Ordered classical initializers behind the model.
+
+    Parameters
+    ----------
+    p:
+        Ansatz depth every result must have.
+    table:
+        Fixed-angle table (defaults to the process-wide shared one).
+    """
+
+    def __init__(self, p: int, table: Optional[FixedAngleTable] = None):
+        if p < 1:
+            raise ValueError(f"depth p must be >= 1, got {p}")
+        self.p = int(p)
+        self.table = table if table is not None else default_table()
+        self._ramp = LinearRampInitialization()
+        self._random = RandomInitialization()
+
+    def resolve(self, graph: Graph) -> FallbackResult:
+        """Walk the chain; always returns a depth-``p`` result."""
+        result = self.try_fixed_angle(graph)
+        if result is not None:
+            return result
+        result = self.try_analytic(graph)
+        if result is not None:
+            return result
+        return self.random(graph)
+
+    # ------------------------------------------------------------------
+    # Individual rungs (public so tests can probe ordering)
+    # ------------------------------------------------------------------
+    def try_fixed_angle(self, graph: Graph) -> Optional[FallbackResult]:
+        """Fixed-angle rung; ``None`` if irregular or degree uncovered."""
+        degree = graph.regular_degree()
+        if degree is None or not self.table.covers(degree, self.p):
+            return None
+        try:
+            entry = self.table.lookup(degree, self.p)
+        except FixedAngleLookupError:
+            return None
+        return FallbackResult(entry.gammas, entry.betas, SOURCE_FIXED_ANGLE)
+
+    def try_analytic(self, graph: Graph) -> Optional[FallbackResult]:
+        """Closed-form / linear-ramp rung; ``None`` for edgeless graphs."""
+        if graph.num_edges == 0:
+            return None
+        if self.p == 1:
+            mean_degree = 2.0 * graph.num_edges / graph.num_nodes
+            effective = max(1, int(round(mean_degree)))
+            gamma, beta = p1_optimal_angles_regular(effective)
+            return FallbackResult((gamma,), (beta,), SOURCE_ANALYTIC)
+        gammas, betas = self._ramp.initial_parameters(graph, self.p)
+        return FallbackResult(
+            tuple(float(g) for g in gammas),
+            tuple(float(b) for b in betas),
+            SOURCE_ANALYTIC,
+        )
+
+    def random(self, graph: Graph) -> FallbackResult:
+        """Last resort: uniform angles, seeded by the graph's WL hash."""
+        seed = int(wl_canonical_hash(graph)[:16], 16)
+        rng = np.random.default_rng(seed)
+        gammas, betas = self._random.initial_parameters(graph, self.p, rng)
+        return FallbackResult(
+            tuple(float(g) for g in gammas),
+            tuple(float(b) for b in betas),
+            SOURCE_RANDOM,
+        )

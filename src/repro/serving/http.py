@@ -1,0 +1,190 @@
+"""Stdlib HTTP front-end for the prediction service.
+
+A deliberately dependency-free JSON API on ``http.server``:
+
+- ``POST /predict`` — body ``{"num_nodes": n, "edges": [[u, v], ...],
+  "weights": [...]?}`` or ``{"graph": "<text format>"}``; responds with
+  ``{"gammas": [...], "betas": [...], "p": ..., "source": ...,
+  "cached": ..., "latency_ms": ...}``.
+- ``GET /metrics`` — the service metrics snapshot.
+- ``GET /healthz`` — model + config health payload.
+
+The server is a ``ThreadingHTTPServer``, so concurrent requests hit the
+service from separate threads and get coalesced by the micro-batcher —
+the HTTP layer adds no queuing of its own.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+from repro.graphs.io import graph_from_text
+from repro.serving.service import PredictionService
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+MAX_REQUEST_BYTES = 1 << 20  # 1 MiB is orders beyond any 15-node graph
+
+
+def graph_from_payload(payload: dict) -> Graph:
+    """Build a graph from a /predict request body.
+
+    Accepts either the edge-list form (``num_nodes`` + ``edges`` [+
+    ``weights``]) or the text form (``graph``). Raises
+    :class:`ReproError` subclasses on malformed structure, ``KeyError``/
+    ``TypeError`` never escape to the handler.
+    """
+    if not isinstance(payload, dict):
+        raise ReproError("request body must be a JSON object")
+    if "graph" in payload:
+        if not isinstance(payload["graph"], str):
+            raise ReproError("'graph' must be a text-format string")
+        return graph_from_text(payload["graph"])
+    if "num_nodes" not in payload or "edges" not in payload:
+        raise ReproError(
+            "request needs 'num_nodes' + 'edges' (or a 'graph' text block)"
+        )
+    try:
+        num_nodes = int(payload["num_nodes"])
+        edges = [(int(u), int(v)) for u, v in payload["edges"]]
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"malformed graph payload: {exc}") from exc
+    weights = payload.get("weights")
+    if weights is not None:
+        try:
+            weights = tuple(float(w) for w in weights)
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"malformed weights: {exc}") from exc
+    return Graph.from_edges(
+        num_nodes, edges, weights, name=str(payload.get("name", ""))
+    )
+
+
+def _make_handler(service: PredictionService):
+    class ServingHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # ------------------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 — http.server API
+            if self.path == "/metrics":
+                self._send(200, service.metrics_snapshot())
+            elif self.path == "/healthz":
+                self._send(200, service.describe())
+            else:
+                self._send(404, {"error": f"no route {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 — http.server API
+            if self.path != "/predict":
+                self._send(404, {"error": f"no route {self.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0 or length > MAX_REQUEST_BYTES:
+                self._send(
+                    400,
+                    {"error": f"body length {length} outside (0, {MAX_REQUEST_BYTES}]"},
+                )
+                return
+            body = self.rfile.read(length)
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                self._send(400, {"error": f"invalid JSON: {exc}"})
+                return
+            try:
+                graph = graph_from_payload(payload)
+                model_name = payload.get("model") if isinstance(payload, dict) else None
+                result = service.predict(graph, model_name=model_name)
+            except ReproError as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            except Exception as exc:  # noqa: BLE001 — last-ditch 500
+                logger.exception("unhandled serving error")
+                self._send(500, {"error": f"internal error: {exc!r}"})
+                return
+            self._send(200, result.to_dict())
+
+        # ------------------------------------------------------------------
+        def _send(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+            logger.debug("http: " + fmt, *args)
+
+    return ServingHandler
+
+
+class ServingHTTPServer:
+    """Lifecycle wrapper around ``ThreadingHTTPServer`` + service.
+
+    ``port=0`` binds an ephemeral port (``server.port`` reports the real
+    one), which is what the tests use.
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+    ):
+        self.service = service
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(service)
+        )
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        """Bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        """Block serving requests (the ``repro serve`` foreground path)."""
+        logger.info("serving on http://%s:%d", *self.address)
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            self.close()
+
+    def start_background(self) -> "ServingHTTPServer":
+        """Serve from a daemon thread (tests and embedded use)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serving-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the listener and the service's batchers."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "ServingHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,99 @@
+"""Serving metrics: latency percentiles, source counts, throughput.
+
+:class:`ServingMetrics` is the service's per-request sink. Latencies go
+into a bounded ring buffer (newest ``window`` samples) so percentile
+queries stay O(window) regardless of uptime; counters are cumulative.
+The snapshot format is JSON-safe and is what both the ``/metrics`` HTTP
+endpoint and the benchmark trajectory (``repro bench``) record.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Dict, Optional
+
+import numpy as np
+
+DEFAULT_WINDOW = 4096
+
+
+class ServingMetrics:
+    """Thread-safe request metrics for the prediction service."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=int(window))
+        self._sources: Counter = Counter()
+        self._started_at = time.monotonic()
+        self.requests = 0
+        self.cache_hits = 0
+        self.errors = 0
+
+    def record_request(
+        self, latency_s: float, source: str, cached: bool
+    ) -> None:
+        """Record one answered request."""
+        with self._lock:
+            self.requests += 1
+            self._latencies.append(float(latency_s))
+            self._sources[source] += 1
+            if cached:
+                self.cache_hits += 1
+
+    def record_error(self) -> None:
+        """Record one failed request."""
+        with self._lock:
+            self.errors += 1
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p90/p99/max over the sliding window, in milliseconds."""
+        with self._lock:
+            samples = np.asarray(self._latencies, dtype=np.float64)
+        if samples.size == 0:
+            return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        p50, p90, p99 = np.percentile(samples, [50.0, 90.0, 99.0]) * 1e3
+        return {
+            "p50_ms": float(p50),
+            "p90_ms": float(p90),
+            "p99_ms": float(p99),
+            "max_ms": float(samples.max() * 1e3),
+        }
+
+    def snapshot(
+        self,
+        cache_stats: Optional[dict] = None,
+        batcher_stats: Optional[dict] = None,
+        models: Optional[list] = None,
+    ) -> dict:
+        """JSON-safe aggregate, optionally embedding collaborator stats."""
+        with self._lock:
+            uptime = time.monotonic() - self._started_at
+            requests = self.requests
+            sources = dict(self._sources)
+            cache_hits = self.cache_hits
+            errors = self.errors
+        result = {
+            "uptime_s": uptime,
+            "requests": requests,
+            "requests_per_second": requests / uptime if uptime > 0 else 0.0,
+            "errors": errors,
+            "cache_hits": cache_hits,
+            "sources": sources,
+            "fallback_requests": sum(
+                count
+                for source, count in sources.items()
+                if source != "model"
+            ),
+            "latency": self.latency_percentiles(),
+        }
+        if cache_stats is not None:
+            result["cache"] = cache_stats
+        if batcher_stats is not None:
+            result["batcher"] = batcher_stats
+        if models is not None:
+            result["models"] = models
+        return result

@@ -1,0 +1,242 @@
+"""Checkpoint loading and the serving model registry.
+
+``repro train`` writes a JSON checkpoint; this module owns that format:
+:func:`build_checkpoint_state` produces it, :func:`load_checkpoint`
+rebuilds a :class:`~repro.gnn.predictor.QAOAParameterPredictor` from it
+with *validation at every step* — schema version, required keys,
+architecture, hyperparameter types, and state-dict shapes — raising
+:class:`~repro.exceptions.ModelError` with an actionable message instead
+of surfacing a ``KeyError`` from deep inside model construction.
+
+:class:`ModelRegistry` holds the loaded models for the prediction
+service, keyed by name, with a stable content fingerprint per model so
+cache entries never survive a checkpoint swap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.gnn.predictor import ARCHITECTURES, QAOAParameterPredictor
+from repro.utils.serialization import load_json, save_json
+
+PathLike = Union[str, Path]
+
+#: Version of the ``repro train`` checkpoint JSON layout. Bump on any
+#: incompatible change; :func:`load_checkpoint` accepts only this value.
+CHECKPOINT_FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = (
+    "format_version",
+    "arch",
+    "p",
+    "hidden_dim",
+    "num_layers",
+    "dropout",
+    "state",
+)
+
+
+def build_checkpoint_state(
+    model: QAOAParameterPredictor,
+    final_loss: Optional[float] = None,
+) -> dict:
+    """The JSON-serializable checkpoint payload for ``model``."""
+    state = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "arch": model.arch,
+        "p": model.p,
+        "hidden_dim": model.encoder.out_dim,
+        "num_layers": len(model.encoder.layers),
+        "dropout": model.encoder.dropouts[0].rate,
+        "state": {k: v.tolist() for k, v in model.state_dict().items()},
+    }
+    if final_loss is not None:
+        state["final_loss"] = float(final_loss)
+    return state
+
+
+def save_checkpoint(
+    model: QAOAParameterPredictor,
+    path: PathLike,
+    final_loss: Optional[float] = None,
+) -> None:
+    """Write ``model`` as a versioned checkpoint (atomic JSON)."""
+    save_json(build_checkpoint_state(model, final_loss), path)
+
+
+def validate_checkpoint_state(state: object, origin: str = "checkpoint") -> dict:
+    """Check a parsed checkpoint payload; return it typed, or raise.
+
+    ``origin`` names the source (usually a path) in error messages.
+    """
+    if not isinstance(state, dict):
+        raise ModelError(
+            f"{origin}: expected a JSON object, got {type(state).__name__}"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in state]
+    if missing:
+        hint = (
+            " (no 'format_version': this looks like a pre-versioning "
+            "checkpoint — retrain with the current `repro train`)"
+            if "format_version" in missing
+            else ""
+        )
+        raise ModelError(
+            f"{origin}: missing checkpoint keys {missing}{hint}"
+        )
+    version = state["format_version"]
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ModelError(
+            f"{origin}: checkpoint format_version {version!r} is not "
+            f"supported (this build reads version "
+            f"{CHECKPOINT_FORMAT_VERSION}); re-export the model"
+        )
+    if state["arch"] not in ARCHITECTURES:
+        raise ModelError(
+            f"{origin}: unknown architecture {state['arch']!r}; "
+            f"expected one of {ARCHITECTURES}"
+        )
+    if not isinstance(state["state"], dict):
+        raise ModelError(f"{origin}: 'state' must be a parameter mapping")
+    return state
+
+
+def load_checkpoint(path: PathLike) -> QAOAParameterPredictor:
+    """Rebuild a predictor from a ``repro train`` checkpoint file.
+
+    Every failure mode — unreadable file, malformed JSON, schema or
+    shape mismatch — surfaces as :class:`ModelError` naming the file.
+    """
+    path = Path(path)
+    try:
+        state = load_json(path)
+    except FileNotFoundError:
+        raise ModelError(f"checkpoint {path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise ModelError(
+            f"checkpoint {path} is not valid JSON ({exc}); the file may "
+            "be truncated or corrupt"
+        ) from exc
+    state = validate_checkpoint_state(state, origin=str(path))
+    try:
+        model = QAOAParameterPredictor(
+            arch=state["arch"],
+            p=int(state["p"]),
+            hidden_dim=int(state["hidden_dim"]),
+            num_layers=int(state["num_layers"]),
+            dropout=float(state["dropout"]),
+            rng=0,
+        )
+        model.load_state_dict(
+            {k: np.asarray(v) for k, v in state["state"].items()}
+        )
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"checkpoint {path}: bad field value ({exc})") from exc
+    except ModelError as exc:
+        raise ModelError(f"checkpoint {path}: {exc}") from exc
+    model.eval()
+    return model
+
+
+def model_fingerprint(model: QAOAParameterPredictor) -> str:
+    """Content hash of a model: architecture, depth, and all weights.
+
+    Used as the model half of prediction-cache keys, so swapping in a
+    retrained checkpoint invalidates every cached prediction.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{model.arch}|p={model.p}|in={model.in_dim}".encode())
+    for name, value in sorted(model.state_dict().items()):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    return digest.hexdigest()[:16]
+
+
+class RegisteredModel:
+    """A named model plus the metadata the service reports."""
+
+    def __init__(
+        self,
+        name: str,
+        model: QAOAParameterPredictor,
+        source: str = "<memory>",
+    ):
+        self.name = name
+        self.model = model
+        self.source = source
+        self.fingerprint = model_fingerprint(model)
+
+    def describe(self) -> dict:
+        """JSON-safe metadata (for /healthz and /metrics)."""
+        return {
+            "name": self.name,
+            "arch": self.model.arch,
+            "p": self.model.p,
+            "max_nodes": self.model.in_dim,
+            "num_parameters": self.model.num_parameters(),
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+        }
+
+
+class ModelRegistry:
+    """Named collection of loaded predictors for the serving layer.
+
+    The first model registered becomes the default; ``load`` validates
+    checkpoints through :func:`load_checkpoint`.
+    """
+
+    def __init__(self):
+        self._models: Dict[str, RegisteredModel] = {}
+        self._default: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def names(self) -> List[str]:
+        """Registered model names in insertion order."""
+        return list(self._models)
+
+    def register(
+        self,
+        name: str,
+        model: QAOAParameterPredictor,
+        source: str = "<memory>",
+    ) -> RegisteredModel:
+        """Add (or replace) a model under ``name``."""
+        entry = RegisteredModel(name, model, source)
+        self._models[name] = entry
+        if self._default is None:
+            self._default = name
+        return entry
+
+    def load(self, name: str, path: PathLike) -> RegisteredModel:
+        """Load a checkpoint file and register it under ``name``."""
+        model = load_checkpoint(path)
+        return self.register(name, model, source=str(path))
+
+    def get(self, name: Optional[str] = None) -> RegisteredModel:
+        """Look up a model by name (default model when ``name`` is None)."""
+        if name is None:
+            if self._default is None:
+                raise ModelError("registry is empty; no default model")
+            name = self._default
+        if name not in self._models:
+            raise ModelError(
+                f"no model named {name!r}; registered: {self.names() or 'none'}"
+            )
+        return self._models[name]
+
+    def describe(self) -> List[dict]:
+        """Metadata for every registered model."""
+        return [entry.describe() for entry in self._models.values()]

@@ -1,0 +1,260 @@
+"""The online prediction service: warm-start angles for any graph.
+
+:class:`PredictionService` is the composition root of the serving
+subsystem. A request walks:
+
+1. **Cache** — WL-canonical key under the model fingerprint; a hit
+   returns the stored angles (isomorphic copies included).
+2. **Model** — if a model is registered and the graph fits its feature
+   cap, the request joins the micro-batch queue and is answered by a
+   shared forward pass.
+3. **Fallback chain** — fixed-angle table, analytic closed form, seeded
+   random — when there is no usable model or the model path fails.
+
+Every answer is tagged with its source, cached, and measured.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.graph import Graph
+from repro.qaoa.fixed_angles import FixedAngleTable
+from repro.runtime import ParallelExecutor
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import PredictionCache, cache_key
+from repro.serving.fallbacks import SOURCE_MODEL, FallbackChain
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import ModelRegistry, RegisteredModel
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs for cache, batching, and fallback behavior."""
+
+    cache_size: int = 4096
+    cache_ttl_s: Optional[float] = None
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    workers: int = 1
+    batching: bool = True
+    request_timeout_s: float = 30.0
+    default_p: int = 1  # fallback depth when no model is registered
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """One answered request."""
+
+    gammas: Tuple[float, ...]
+    betas: Tuple[float, ...]
+    p: int
+    source: str
+    cached: bool
+    latency_s: float
+    cache_key: str = field(repr=False, default="")
+
+    def to_dict(self) -> dict:
+        """JSON-safe response payload."""
+        return {
+            "gammas": list(self.gammas),
+            "betas": list(self.betas),
+            "p": self.p,
+            "source": self.source,
+            "cached": self.cached,
+            "latency_ms": self.latency_s * 1e3,
+        }
+
+
+class PredictionService:
+    """Registry + cache + micro-batcher + fallbacks behind one call.
+
+    Construct with either a bare ``model`` (registered as ``"default"``)
+    or a pre-populated :class:`ModelRegistry`; with neither, every
+    request is served by the fallback chain at ``config.default_p``.
+    """
+
+    def __init__(
+        self,
+        model: Optional[QAOAParameterPredictor] = None,
+        registry: Optional[ModelRegistry] = None,
+        config: Optional[ServingConfig] = None,
+        fixed_angle_table: Optional[FixedAngleTable] = None,
+    ):
+        self.config = config if config is not None else ServingConfig()
+        self.registry = registry if registry is not None else ModelRegistry()
+        if model is not None:
+            self.registry.register("default", model)
+        self.cache = PredictionCache(
+            max_size=self.config.cache_size, ttl_s=self.config.cache_ttl_s
+        )
+        self.metrics = ServingMetrics()
+        self._executor = (
+            ParallelExecutor(backend="thread", max_workers=self.config.workers)
+            if self.config.workers > 1
+            else None
+        )
+        self._batchers: Dict[str, MicroBatcher] = {}
+        self._batcher_lock = threading.Lock()
+        self._fallbacks: Dict[int, FallbackChain] = {}
+        self._fixed_angle_table = fixed_angle_table
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop every micro-batcher."""
+        self._closed = True
+        for batcher in self._batchers.values():
+            batcher.close()
+        self._batchers.clear()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self, graph: Graph, model_name: Optional[str] = None
+    ) -> PredictionResult:
+        """Warm-start ``(gammas, betas)`` for ``graph``, from the best
+        available source. Never raises for an unsupported graph — the
+        fallback chain always answers."""
+        start = time.perf_counter()
+        try:
+            result = self._predict_inner(graph, model_name, start)
+        except Exception:
+            self.metrics.record_error()
+            raise
+        self.metrics.record_request(result.latency_s, result.source, result.cached)
+        return result
+
+    def _predict_inner(
+        self, graph: Graph, model_name: Optional[str], start: float
+    ) -> PredictionResult:
+        entry = self._entry(model_name)
+        p = entry.model.p if entry is not None else self.config.default_p
+        key = cache_key(
+            graph,
+            entry.fingerprint if entry is not None else f"fallback-p{p}",
+        )
+        hit = self.cache.get(key)
+        if hit is not None:
+            gammas, betas, source = hit
+            return PredictionResult(
+                gammas, betas, p, source, True,
+                time.perf_counter() - start, key,
+            )
+
+        gammas = betas = None
+        source = None
+        if entry is not None and self._model_supports(entry, graph):
+            try:
+                row = self._model_row(entry, graph)
+                gammas = tuple(float(g) for g in row[:p])
+                betas = tuple(float(b) for b in row[p:])
+                source = SOURCE_MODEL
+            except ReproError as exc:
+                logger.warning(
+                    "model path failed for graph n=%d (%s); falling back",
+                    graph.num_nodes,
+                    exc,
+                )
+        if source is None:
+            fallback = self._fallback_chain(p).resolve(graph)
+            gammas, betas, source = (
+                fallback.gammas, fallback.betas, fallback.source,
+            )
+        self.cache.put(key, (gammas, betas, source))
+        return PredictionResult(
+            gammas, betas, p, source, False,
+            time.perf_counter() - start, key,
+        )
+
+    def predict_angles(
+        self, graph: Graph, model_name: Optional[str] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array convenience mirroring the predictor's interface."""
+        result = self.predict(graph, model_name)
+        return np.asarray(result.gammas), np.asarray(result.betas)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _entry(self, model_name: Optional[str]) -> Optional[RegisteredModel]:
+        if model_name is None and len(self.registry) == 0:
+            return None
+        return self.registry.get(model_name)
+
+    @staticmethod
+    def _model_supports(entry: RegisteredModel, graph: Graph) -> bool:
+        """Inside the model's feature cap (graphs beyond it fall back)."""
+        return graph.num_nodes <= entry.model.in_dim
+
+    def _model_row(self, entry: RegisteredModel, graph: Graph) -> np.ndarray:
+        if not self.config.batching:
+            return entry.model.predict([graph])[0]
+        with self._batcher_lock:
+            batcher = self._batchers.get(entry.name)
+            if batcher is None:
+                batcher = MicroBatcher(
+                    entry.model.predict,
+                    max_batch_size=self.config.max_batch_size,
+                    max_wait_ms=self.config.max_wait_ms,
+                    executor=self._executor,
+                )
+                self._batchers[entry.name] = batcher
+        return batcher.predict(graph, timeout=self.config.request_timeout_s)
+
+    def _fallback_chain(self, p: int) -> FallbackChain:
+        chain = self._fallbacks.get(p)
+        if chain is None:
+            chain = FallbackChain(p, table=self._fixed_angle_table)
+            self._fallbacks[p] = chain
+        return chain
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Aggregate service metrics (the /metrics payload)."""
+        batcher_stats = {
+            name: batcher.stats()
+            for name, batcher in self._batchers.items()
+        }
+        return self.metrics.snapshot(
+            cache_stats=self.cache.stats(),
+            batcher_stats=batcher_stats or None,
+            models=self.registry.describe(),
+        )
+
+    def describe(self) -> dict:
+        """Health payload: models plus the live config."""
+        return {
+            "status": "ok",
+            "models": self.registry.describe(),
+            "config": {
+                "cache_size": self.config.cache_size,
+                "cache_ttl_s": self.config.cache_ttl_s,
+                "max_batch_size": self.config.max_batch_size,
+                "max_wait_ms": self.config.max_wait_ms,
+                "workers": self.config.workers,
+                "batching": self.config.batching,
+                "default_p": self.config.default_p,
+            },
+        }

@@ -1,14 +1,41 @@
-"""JSON serialization helpers tolerant of numpy scalar/array values."""
+"""JSON serialization helpers tolerant of numpy scalar/array values.
+
+Writes are atomic: content goes to a temporary file in the destination
+directory and is moved into place with :func:`os.replace`, so an
+interrupted ``generate``/``train`` can never leave a truncated JSON
+behind — the old file (or no file) survives intact.
+"""
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Union
 
 import numpy as np
 
 PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as temp_file:
+            temp_file.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
 
 
 class _NumpyEncoder(json.JSONEncoder):
@@ -27,11 +54,14 @@ class _NumpyEncoder(json.JSONEncoder):
 
 
 def save_json(data: Any, path: PathLike, indent: int = 2) -> None:
-    """Write ``data`` to ``path`` as JSON, creating parent directories."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
-        json.dump(data, handle, cls=_NumpyEncoder, indent=indent)
+    """Write ``data`` to ``path`` as JSON, atomically.
+
+    Serialization happens before anything touches ``path``, so an
+    encoding error (or a crash mid-write) leaves any existing file
+    untouched.
+    """
+    text = json.dumps(data, cls=_NumpyEncoder, indent=indent)
+    atomic_write_text(path, text)
 
 
 def load_json(path: PathLike) -> Any:

@@ -1,10 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, load_model, main
 from repro.data.dataset import QAOADataset
+from repro.exceptions import ModelError
 
 
 class TestParser:
@@ -22,6 +25,11 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
+
+    def test_serve_and_predict_registered(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve"]).command == "serve"
+        assert parser.parse_args(["predict"]).command == "predict"
 
 
 class TestEndToEnd:
@@ -98,6 +106,63 @@ class TestEndToEnd:
         np.testing.assert_allclose(
             model_a.predict([graph]), model_b.predict([graph])
         )
+
+    def test_predict_with_model(self, tmp_path, capsys):
+        dataset_path = tmp_path / "ds.json"
+        model_path = tmp_path / "model.json"
+        main(
+            [
+                "generate", "--num-graphs", "8", "--min-nodes", "4",
+                "--max-nodes", "6", "--iters", "8", "--seed", "5",
+                "--out", str(dataset_path),
+            ]
+        )
+        main(
+            [
+                "train", "--dataset", str(dataset_path), "--arch", "gin",
+                "--epochs", "2", "--seed", "5", "--out", str(model_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "predict", "--model", str(model_path),
+                "--edges", "0-1,1-2,2-3,3-0",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "model"
+        assert len(payload["gammas"]) == 1
+
+    def test_predict_without_model_uses_fallback(self, capsys):
+        code = main(["predict", "--edges", "0-1,1-2,2-0"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] in ("fixed_angle", "analytic", "random")
+
+    def test_evaluate_rejects_unversioned_checkpoint(self, tmp_path, capsys):
+        dataset_path = tmp_path / "ds.json"
+        model_path = tmp_path / "old-model.json"
+        main(
+            [
+                "generate", "--num-graphs", "8", "--min-nodes", "4",
+                "--max-nodes", "6", "--iters", "8", "--seed", "6",
+                "--out", str(dataset_path),
+            ]
+        )
+        # A pre-versioning checkpoint: valid JSON, no format_version.
+        model_path.write_text(json.dumps({"arch": "gin", "p": 1}))
+        with pytest.raises(ModelError, match="format_version"):
+            main(
+                [
+                    "evaluate",
+                    "--dataset", str(dataset_path),
+                    "--model", str(model_path),
+                    "--test-size", "2",
+                    "--eval-iters", "2",
+                ]
+            )
 
     def test_reproduce_small(self, capsys):
         code = main(

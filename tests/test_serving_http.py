@@ -1,0 +1,184 @@
+"""End-to-end tests for the HTTP serving front-end."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.graph import Graph
+from repro.graphs.io import graph_to_text
+from repro.serving import (
+    PredictionService,
+    ServingConfig,
+    ServingHTTPServer,
+    graph_from_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """A live server on an ephemeral port, shared across this module."""
+    model = QAOAParameterPredictor(arch="gcn", p=1, hidden_dim=16, rng=3)
+    model.eval()
+    service = PredictionService(
+        model=model, config=ServingConfig(max_wait_ms=1.0)
+    )
+    with ServingHTTPServer(service, port=0).start_background() as running:
+        yield running
+
+
+def get(server, route):
+    url = f"http://127.0.0.1:{server.port}{route}"
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, json.load(response)
+
+
+def post(server, route, payload):
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{route}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+class TestGraphFromPayload:
+    def test_edge_list_form(self):
+        graph = graph_from_payload(
+            {"num_nodes": 3, "edges": [[0, 1], [1, 2]]}
+        )
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_weighted_edge_list(self):
+        graph = graph_from_payload(
+            {
+                "num_nodes": 3,
+                "edges": [[0, 1], [1, 2]],
+                "weights": [2.0, 0.5],
+            }
+        )
+        assert graph.weights == (2.0, 0.5)
+
+    def test_text_form(self, triangle):
+        graph = graph_from_payload({"graph": graph_to_text(triangle)})
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_missing_keys_raises_repro_error(self):
+        with pytest.raises(ReproError, match="num_nodes"):
+            graph_from_payload({"edges": [[0, 1]]})
+
+    def test_malformed_edges_raise_repro_error(self):
+        with pytest.raises(ReproError, match="malformed"):
+            graph_from_payload({"num_nodes": 2, "edges": [["x", "y"]]})
+
+    def test_non_object_raises_repro_error(self):
+        with pytest.raises(ReproError, match="JSON object"):
+            graph_from_payload([1, 2, 3])
+
+
+class TestHTTPEndpoints:
+    def test_predict_round_trip(self, server):
+        status, body = post(
+            server,
+            "/predict",
+            {"num_nodes": 4, "edges": [[0, 1], [1, 2], [2, 3], [3, 0]]},
+        )
+        assert status == 200
+        assert body["source"] == "model"
+        assert len(body["gammas"]) == 1
+        assert len(body["betas"]) == 1
+        assert body["latency_ms"] >= 0
+
+    def test_isomorphic_repeat_is_cached(self, server):
+        edges = [[0, 1], [1, 2], [2, 3], [3, 4], [4, 0], [0, 2]]
+        _, first = post(server, "/predict", {"num_nodes": 5, "edges": edges})
+        relabeled = [[(u + 2) % 5, (v + 2) % 5] for u, v in edges]
+        _, second = post(
+            server, "/predict", {"num_nodes": 5, "edges": relabeled}
+        )
+        assert second["cached"]
+        assert second["gammas"] == first["gammas"]
+        assert second["betas"] == first["betas"]
+
+    def test_oversized_graph_falls_back(self, server):
+        n = 25  # beyond the model's 15-node feature cap
+        edges = [[i, (i + 1) % n] for i in range(n)]
+        status, body = post(
+            server, "/predict", {"num_nodes": n, "edges": edges}
+        )
+        assert status == 200
+        assert body["source"] in ("fixed_angle", "analytic", "random")
+
+    def test_bad_payload_is_400_with_message(self, server):
+        status, body = post(server, "/predict", {"edges": [[0, 1]]})
+        assert status == 400
+        assert "num_nodes" in body["error"]
+
+    def test_invalid_json_is_400(self, server):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/predict",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_is_404(self, server):
+        status, body = post(server, "/frobnicate", {})
+        assert status in (400, 404)
+
+    def test_metrics_endpoint(self, server):
+        post(server, "/predict", {"num_nodes": 3, "edges": [[0, 1], [1, 2]]})
+        status, body = get(server, "/metrics")
+        assert status == 200
+        assert body["requests"] >= 1
+        assert "latency" in body
+        assert "cache" in body
+
+    def test_healthz_endpoint(self, server):
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["models"][0]["arch"] == "gcn"
+        assert body["config"]["max_batch_size"] == 32
+
+    def test_ephemeral_port_reported(self, server):
+        assert server.port > 0
+
+
+class TestCLIServePieces:
+    def test_parse_edge_spec(self):
+        from repro.cli import _parse_edge_spec
+
+        graph = _parse_edge_spec("0-1,1-2,2-0", None)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+        explicit = _parse_edge_spec("0-1", 5)
+        assert explicit.num_nodes == 5
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.command == "serve"
+        assert args.max_batch_size == 32
+        assert args.cache_size == 4096
+
+    def test_predict_requires_graph_or_edges(self):
+        from repro.cli import build_parser, main
+
+        args = build_parser().parse_args(["predict"])
+        assert args.command == "predict"
+        with pytest.raises(SystemExit):
+            main(["predict"])

@@ -1,12 +1,13 @@
 """Tests for repro.utils: RNG plumbing and serialization."""
 
 import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.utils.rng import ensure_rng, spawn_rng
-from repro.utils.serialization import load_json, save_json
+from repro.utils.serialization import atomic_write_text, load_json, save_json
 from repro.utils.logging import get_logger
 
 
@@ -81,6 +82,41 @@ class TestSerialization:
         path = tmp_path / "v.json"
         save_json([1, 2, 3], path)
         assert json.loads(path.read_text()) == [1, 2, 3]
+
+
+class TestAtomicWrites:
+    def test_atomic_write_text_roundtrip(self, tmp_path):
+        path = tmp_path / "file.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrite_replaces_content(self, tmp_path):
+        path = tmp_path / "file.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "file.txt"
+        atomic_write_text(path, "data")
+        assert os.listdir(tmp_path) == ["file.txt"]
+
+    def test_failed_encode_leaves_existing_file_intact(self, tmp_path):
+        """An unserializable payload must not clobber the previous save."""
+        path = tmp_path / "data.json"
+        save_json({"ok": 1}, path)
+        with pytest.raises(TypeError):
+            save_json({"bad": object()}, path)
+        assert load_json(path) == {"ok": 1}
+        assert os.listdir(tmp_path) == ["data.json"]
+
+    def test_dataset_save_is_atomic(self, tmp_path, tiny_dataset):
+        """Dataset.save never leaves a truncated file on disk."""
+        path = tmp_path / "ds.json"
+        tiny_dataset.save(path)
+        reloaded_summary = json.loads(path.read_text())
+        assert isinstance(reloaded_summary, (list, dict))
+        assert os.listdir(tmp_path) == ["ds.json"]
 
 
 class TestLogging:
