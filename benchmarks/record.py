@@ -2,8 +2,10 @@
 
 Thin wrapper over :mod:`repro.benchmarking` (also exposed as
 ``repro bench`` in the CLI). Runs the simulator-kernel before/after
-benchmarks and the labeling-throughput comparison, then appends one
-entry to the ``BENCH_1.json`` trajectory at the repository root.
+benchmarks, the labeling-throughput comparison, and the
+training-throughput arms, then appends entries to the ``BENCH_1.json``
+(kernels/labeling/serving) and ``BENCH_2.json`` (training)
+trajectories at the repository root.
 
 Examples::
 
@@ -17,14 +19,19 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.benchmarking import DEFAULT_BENCH_PATH, format_entry, run_benchmarks
+from repro.benchmarking import (
+    DEFAULT_BENCH_PATH,
+    DEFAULT_TRAINING_BENCH_PATH,
+    format_entry,
+    run_benchmarks,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="append a kernel/labeling benchmark entry to BENCH_1.json"
+        description="append benchmark entries to BENCH_1.json / BENCH_2.json"
     )
     parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / DEFAULT_BENCH_PATH
@@ -34,6 +41,14 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--kernel-repeats", type=int, default=10)
     parser.add_argument("--skip-labeling", action="store_true")
+    parser.add_argument("--skip-training", action="store_true")
+    parser.add_argument(
+        "--training-out",
+        type=Path,
+        default=REPO_ROOT / DEFAULT_TRAINING_BENCH_PATH,
+    )
+    parser.add_argument("--training-graphs", type=int, default=128)
+    parser.add_argument("--training-epochs", type=int, default=8)
     args = parser.parse_args(argv)
     entry = run_benchmarks(
         path=args.out,
@@ -44,9 +59,15 @@ def main(argv=None) -> int:
         workers=args.workers,
         kernel_repeats=args.kernel_repeats,
         skip_labeling=args.skip_labeling,
+        skip_training=args.skip_training,
+        training_path=args.training_out,
+        training_graphs=args.training_graphs,
+        training_epochs=args.training_epochs,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
+    if not args.skip_training:
+        print(f"appended training benchmark to {args.training_out}")
     return 0
 
 

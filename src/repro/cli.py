@@ -6,7 +6,9 @@ Seven subcommands cover the offline pipeline and the online service:
   (``--backend process --workers N`` parallelizes labeling with
   bit-identical output).
 - ``repro train`` — train one architecture on a saved dataset, save a
-  versioned model checkpoint.
+  versioned model checkpoint (``--profile`` prints the per-phase
+  wall-time report; ``--no-batch-cache`` / ``--fast-kernels`` toggle
+  the cached-batch and CSR-kernel paths).
 - ``repro evaluate`` — warm-start evaluation of a saved model against
   random initialization on a saved dataset's held-out split.
 - ``repro reproduce`` — the whole experiment (Table 1) in one shot.
@@ -14,8 +16,9 @@ Seven subcommands cover the offline pipeline and the online service:
   (isomorphism-aware cache, micro-batching, fallback chain).
 - ``repro predict`` — one-shot prediction for a single graph, printed
   as JSON.
-- ``repro bench`` — run the kernel / labeling / serving benchmarks and
-  append an entry to the ``BENCH_*.json`` trajectory.
+- ``repro bench`` — run the kernel / labeling / serving / training
+  benchmarks; kernel results append to ``BENCH_1.json``, training
+  throughput to ``BENCH_2.json``.
 
 Example::
 
@@ -105,6 +108,18 @@ def _add_train(subparsers) -> None:
     parser.add_argument("--num-layers", type=int, default=2)
     parser.add_argument("--dropout", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase wall-time report after training",
+    )
+    parser.add_argument(
+        "--no-batch-cache", action="store_true",
+        help="rebuild every mini-batch from raw graphs (the seed loop)",
+    )
+    parser.add_argument(
+        "--fast-kernels", action="store_true",
+        help="CSR reduceat segment kernels (last-ulp numerics, faster)",
+    )
     parser.add_argument("--out", type=Path, required=True)
     parser.set_defaults(func=_cmd_train)
 
@@ -120,11 +135,20 @@ def _cmd_train(args) -> int:
         rng=args.seed,
     )
     trainer = Trainer(
-        model, TrainingConfig(epochs=args.epochs, seed=args.seed)
+        model,
+        TrainingConfig(
+            epochs=args.epochs,
+            seed=args.seed,
+            compile_batches=not args.no_batch_cache,
+            csr_kernels=args.fast_kernels,
+            profile=args.profile,
+        ),
     )
     history = trainer.fit(dataset)
     save_checkpoint(model, args.out, final_loss=history.final_loss)
     print(f"trained {args.arch}: final loss {history.final_loss:.5f} -> {args.out}")
+    if args.profile:
+        print(trainer.profiler.format_report())
     return 0
 
 
@@ -342,6 +366,22 @@ def _add_bench(subparsers) -> None:
         "--serving-graphs", type=int, default=32,
         help="request count per phase of the serving benchmark",
     )
+    parser.add_argument(
+        "--skip-training", action="store_true",
+        help="skip the training-throughput benchmark",
+    )
+    parser.add_argument(
+        "--training-out", type=Path, default=Path("BENCH_2.json"),
+        help="trajectory file for the training benchmark",
+    )
+    parser.add_argument(
+        "--training-graphs", type=int, default=128,
+        help="dataset size for the training benchmark",
+    )
+    parser.add_argument(
+        "--training-epochs", type=int, default=8,
+        help="epochs per arm of the training benchmark",
+    )
     parser.set_defaults(func=_cmd_bench)
 
 
@@ -359,9 +399,15 @@ def _cmd_bench(args) -> int:
         skip_labeling=args.skip_labeling,
         skip_serving=args.skip_serving,
         serving_graphs=args.serving_graphs,
+        skip_training=args.skip_training,
+        training_path=args.training_out,
+        training_graphs=args.training_graphs,
+        training_epochs=args.training_epochs,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
+    if not args.skip_training:
+        print(f"appended training benchmark to {args.training_out}")
     return 0
 
 

@@ -1,6 +1,7 @@
 """Data pipeline: generation, labeling, pruning, splits, statistics."""
 
 from repro.data.dataset import QAOADataset, QAOARecord
+from repro.data.compiled import CompiledDataset
 from repro.data.generation import (
     GenerationConfig,
     canonicalize_angles,
@@ -29,6 +30,7 @@ from repro.data.stats import (
 __all__ = [
     "QAOADataset",
     "QAOARecord",
+    "CompiledDataset",
     "GenerationConfig",
     "canonicalize_angles",
     "generate_dataset",

@@ -1,0 +1,167 @@
+"""Compiled training dataset: per-graph arrays materialized once.
+
+The seed training loop rebuilt every :class:`~repro.gnn.batching.GraphBatch`
+from raw :class:`~repro.graphs.graph.Graph` objects on every mini-batch
+of every epoch — recomputing node features, re-walking Python edge
+lists, and restacking target vectors ~``epochs * ceil(N / batch_size)``
+times. :class:`CompiledDataset` does that work exactly once: node
+features, directed-edge arrays (both orientations, in
+``GraphBatch.from_graphs`` order), and the target matrix are
+materialized up front, and every shuffled mini-batch is assembled by
+cheap index slicing and integer offsetting.
+
+Assembly is **bit-identical** to ``GraphBatch.from_graphs`` on the same
+graphs: features are the same float64 arrays, edge offsets are exact
+integer adds, and targets are row-slices of the same stacked matrix.
+The trainer's determinism tests assert this end to end.
+
+With ``build_plans=True`` every assembled batch additionally carries
+:class:`~repro.gnn.batching.BatchPlans`, switching the GNN layers onto
+the CSR ``reduceat`` segment kernels (fast, equivalence-tested, but not
+bitwise identical for float sums — see :mod:`repro.nn.segment`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.dataset import QAOADataset, QAOARecord
+from repro.exceptions import DatasetError, ModelError
+from repro.gnn.batching import GraphBatch
+from repro.graphs.features import build_features
+from repro.nn.tensor import Tensor
+
+
+class CompiledDataset:
+    """Immutable, batch-ready compilation of a labeled dataset.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`QAOADataset` or sequence of :class:`QAOARecord`.
+    feature_kind, max_nodes:
+        Forwarded to :func:`repro.graphs.features.build_features`;
+        must match what the model expects (``model.in_dim``).
+    build_plans:
+        When true, every batch carries CSR segment plans
+        (:meth:`GraphBatch.build_plans`) so the GNN layers use the
+        ``reduceat`` kernels.
+    """
+
+    def __init__(
+        self,
+        dataset: Union[QAOADataset, Sequence[QAOARecord]],
+        feature_kind: str = "degree_onehot",
+        max_nodes: int = 15,
+        build_plans: bool = False,
+    ):
+        records = list(dataset)
+        if not records:
+            raise DatasetError("cannot compile an empty dataset")
+        self.feature_kind = feature_kind
+        self.max_nodes = int(max_nodes)
+        self.build_plans = bool(build_plans)
+        self._features: List[np.ndarray] = []
+        self._src: List[np.ndarray] = []
+        self._dst: List[np.ndarray] = []
+        self._weight: List[np.ndarray] = []
+        node_counts = []
+        for record in records:
+            graph = record.graph
+            self._features.append(
+                build_features(graph, feature_kind, max_nodes)
+            )
+            edges = graph.edge_array()
+            w = graph.weight_array()
+            # Both orientations, forward block then reverse block —
+            # exactly the concatenation order of GraphBatch.from_graphs.
+            self._src.append(np.concatenate([edges[:, 0], edges[:, 1]]))
+            self._dst.append(np.concatenate([edges[:, 1], edges[:, 0]]))
+            self._weight.append(np.concatenate([w, w]))
+            node_counts.append(graph.num_nodes)
+        self._node_counts = np.asarray(node_counts, dtype=np.int64)
+        self._targets = np.stack(
+            [record.target_vector() for record in records]
+        )
+        self._full_batch: Optional[GraphBatch] = None
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    @property
+    def num_graphs(self) -> int:
+        """Number of compiled graphs."""
+        return len(self._features)
+
+    @property
+    def target_dim(self) -> int:
+        """Width of the target matrix (``2p``)."""
+        return int(self._targets.shape[1])
+
+    def targets(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Target rows for ``indices`` (all rows when ``None``)."""
+        if indices is None:
+            return self._targets
+        return self._targets[np.asarray(indices, dtype=np.intp)]
+
+    def batch(self, indices: Sequence[int]) -> GraphBatch:
+        """Assemble a :class:`GraphBatch` for the given graph indices.
+
+        Bit-identical to ``GraphBatch.from_graphs`` over the same
+        graphs in the same order.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size == 0:
+            raise ModelError("empty batch")
+        counts = self._node_counts[indices]
+        offsets = np.zeros(indices.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        xs = [self._features[i] for i in indices]
+        srcs = [self._src[i] + off for i, off in zip(indices, offsets)]
+        dsts = [self._dst[i] + off for i, off in zip(indices, offsets)]
+        weights = [self._weight[i] for i in indices]
+        edge_src = np.concatenate(srcs)
+        edge_dst = np.concatenate(dsts)
+        edge_weight = np.concatenate(weights)
+        if self.build_plans:
+            # CSR mode: stable-sorting edges by destination makes the
+            # dst segment index non-decreasing, so the hot reduceat
+            # reductions run without a per-call permutation copy. The
+            # summation reorder this implies is exactly the documented
+            # last-ulp tolerance of the CSR mode (never active on the
+            # bit-identical default path).
+            order = np.argsort(edge_dst, kind="stable")
+            edge_src = edge_src[order]
+            edge_dst = edge_dst[order]
+            edge_weight = edge_weight[order]
+        batch = GraphBatch(
+            x=Tensor(np.concatenate(xs, axis=0)),
+            edge_src=edge_src,
+            edge_dst=edge_dst,
+            edge_weight=edge_weight,
+            node_graph=np.repeat(
+                np.arange(indices.size, dtype=np.int64), counts
+            ),
+            num_graphs=int(indices.size),
+        )
+        if self.build_plans:
+            batch.build_plans()
+        return batch
+
+    def batch_and_targets(
+        self, indices: Sequence[int]
+    ) -> Tuple[GraphBatch, Tensor]:
+        """One training step's inputs: ``(GraphBatch, target Tensor)``."""
+        return self.batch(indices), Tensor(self.targets(indices))
+
+    def full_batch(self) -> GraphBatch:
+        """The whole dataset as one batch, built once and memoized.
+
+        Used for validation-loss evaluation, which the seed trainer
+        rebuilt from scratch on every epoch.
+        """
+        if self._full_batch is None:
+            self._full_batch = self.batch(np.arange(len(self)))
+        return self._full_batch

@@ -48,18 +48,22 @@ class GCNConv(Module):
 
     def forward(self, x: Tensor, batch: GraphBatch) -> Tensor:
         n = batch.num_nodes
+        plans = batch.plans
         # A~ = A + I: append self loops.
         src = np.concatenate([batch.edge_src, np.arange(n)])
         dst = np.concatenate([batch.edge_dst, np.arange(n)])
         weight = np.concatenate([batch.edge_weight, np.ones(n)])
-        degree = np.zeros(n, dtype=np.float64)
-        np.add.at(degree, dst, weight)
+        # bincount accumulates in item order — bitwise identical to the
+        # former np.add.at loop, at a fraction of the cost.
+        degree = np.bincount(dst, weights=weight, minlength=n)
         inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
         coefficient = weight * inv_sqrt[src] * inv_sqrt[dst]
 
         transformed = self.linear(x)
-        messages = gather(transformed, src) * Tensor(coefficient[:, None])
-        return segment_sum(messages, dst, n)
+        messages = gather(
+            transformed, src, plan=plans and plans.src_loop
+        ) * Tensor(coefficient[:, None])
+        return segment_sum(messages, dst, n, plan=plans and plans.dst_loop)
 
 
 class GATConv(Module):
@@ -98,6 +102,9 @@ class GATConv(Module):
 
     def forward(self, x: Tensor, batch: GraphBatch) -> Tensor:
         n = batch.num_nodes
+        plans = batch.plans
+        src_plan = plans and plans.src_loop
+        dst_plan = plans and plans.dst_loop
         src = np.concatenate([batch.edge_src, np.arange(n)])
         dst = np.concatenate([batch.edge_dst, np.arange(n)])
 
@@ -109,14 +116,15 @@ class GATConv(Module):
         alpha_dst = (reshaped * self.att_dst.reshape(1, self.num_heads, self.head_dim)).sum(axis=2)
 
         scores = (
-            gather(alpha_src, src) + gather(alpha_dst, dst)
+            gather(alpha_src, src, plan=src_plan)
+            + gather(alpha_dst, dst, plan=dst_plan)
         ).leaky_relu(self.negative_slope)  # (edges, heads)
-        attention = segment_softmax(scores, dst, n)  # normalized per dst
+        attention = segment_softmax(scores, dst, n, plan=dst_plan)
 
-        messages = gather(reshaped, src) * attention.reshape(
+        messages = gather(reshaped, src, plan=src_plan) * attention.reshape(
             len(src), self.num_heads, 1
         )
-        aggregated = segment_sum(messages, dst, n)
+        aggregated = segment_sum(messages, dst, n, plan=dst_plan)
         return aggregated.reshape(n, self.num_heads * self.head_dim) + self.bias
 
 
@@ -139,8 +147,12 @@ class GINConv(Module):
         self.eps = Parameter(np.zeros(1)) if learn_eps else None
 
     def forward(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        plans = batch.plans
         neighbor_sum = segment_sum(
-            gather(x, batch.edge_src), batch.edge_dst, batch.num_nodes
+            gather(x, batch.edge_src, plan=plans and plans.src),
+            batch.edge_dst,
+            batch.num_nodes,
+            plan=plans and plans.dst,
         )
         if self.eps is not None:
             combined = x * (self.eps + 1.0) + neighbor_sum
@@ -159,9 +171,15 @@ class SAGEConv(Module):
         self.combine = Linear(2 * in_features, out_features, rng=generator)
 
     def forward(self, x: Tensor, batch: GraphBatch) -> Tensor:
-        pooled_messages = self.pool(gather(x, batch.edge_src)).relu()
+        plans = batch.plans
+        pooled_messages = self.pool(
+            gather(x, batch.edge_src, plan=plans and plans.src)
+        ).relu()
         aggregated = segment_max(
-            pooled_messages, batch.edge_dst, batch.num_nodes
+            pooled_messages,
+            batch.edge_dst,
+            batch.num_nodes,
+            plan=plans and plans.dst,
         )
         return self.combine(concat([x, aggregated], axis=1))
 
@@ -174,7 +192,11 @@ class MeanConv(Module):
         self.linear = Linear(2 * in_features, out_features, rng=rng)
 
     def forward(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        plans = batch.plans
         aggregated = segment_mean(
-            gather(x, batch.edge_src), batch.edge_dst, batch.num_nodes
+            gather(x, batch.edge_src, plan=plans and plans.src),
+            batch.edge_dst,
+            batch.num_nodes,
+            plan=plans and plans.dst,
         )
         return self.linear(concat([x, aggregated], axis=1))

@@ -12,10 +12,12 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
-from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.optim import SGD, Adam, GradClipper, Optimizer, clip_grad_norm
 from repro.nn.schedulers import ReduceLROnPlateau, StepLR
 from repro.nn.losses import huber_loss, mae_loss, mse_loss
 from repro.nn.segment import (
+    SegmentPlan,
+    reference_scatter,
     gather,
     segment_count,
     segment_max,
@@ -44,8 +46,11 @@ __all__ = [
     "Tanh",
     "SGD",
     "Adam",
+    "GradClipper",
     "Optimizer",
     "clip_grad_norm",
+    "SegmentPlan",
+    "reference_scatter",
     "ReduceLROnPlateau",
     "StepLR",
     "huber_loss",

@@ -1,6 +1,13 @@
 """Gradient-descent optimizers for model parameters.
 
 The paper trains with Adam; SGD exists as a baseline and for tests.
+
+The Adam step and gradient clipping are allocation-free on the hot
+path: :class:`Adam` updates its moments and the parameters in place
+through preallocated scratch buffers, and :class:`GradClipper` squares
+gradients into reusable buffers. Both are bitwise identical to the
+naive allocating formulas (every elementwise operation runs in the
+same order on the same values), which the optimizer tests assert.
 """
 
 from __future__ import annotations
@@ -17,18 +24,76 @@ def clip_grad_norm(parameters, max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is <= ``max_norm``.
 
     Returns the pre-clip norm. Parameters without gradients are skipped.
+    For repeated clipping of the same parameter list (a training loop),
+    :class:`GradClipper` does the same math without per-step
+    allocations.
     """
     if max_norm <= 0:
         raise OptimizationError("max_norm must be positive")
+    parameters = list(parameters)
     grads = [p.grad for p in parameters if p.grad is not None]
     if not grads:
         return 0.0
     total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
     if total > max_norm:
         scale = max_norm / (total + 1e-12)
-        for grad in grads:
-            grad *= scale
+        _scale_grads_in_place(parameters, scale)
     return total
+
+
+def _scale_grads_in_place(parameters, scale: float) -> None:
+    """Scale each parameter's gradient exactly once.
+
+    Gradient arrays can be shared between parameters or non-writeable
+    views (autograd accumulates without copying), so scaling dedups by
+    array identity and falls back to an out-of-place multiply when the
+    array cannot be written.
+    """
+    seen = set()
+    for param in parameters:
+        grad = param.grad
+        if grad is None or id(grad) in seen:
+            continue
+        seen.add(id(grad))
+        if grad.flags.writeable:
+            grad *= scale
+        else:
+            param.grad = grad * scale
+
+
+class GradClipper:
+    """Buffer-reusing global-norm gradient clipper.
+
+    Bitwise identical to :func:`clip_grad_norm` — the squared-gradient
+    buffer replaces the ``g**2`` temporary but the per-parameter sums
+    and their accumulation order are unchanged.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter], max_norm: float):
+        if max_norm <= 0:
+            raise OptimizationError("max_norm must be positive")
+        self.parameters: List[Parameter] = list(parameters)
+        self.max_norm = max_norm
+        self._squares = [np.empty_like(p.data) for p in self.parameters]
+
+    def __call__(self) -> float:
+        """Clip in place; returns the pre-clip global norm."""
+        total = 0.0
+        any_grad = False
+        for param, square in zip(self.parameters, self._squares):
+            grad = param.grad
+            if grad is None:
+                continue
+            np.multiply(grad, grad, out=square)
+            total += float(square.sum())
+            any_grad = True
+        if not any_grad:
+            return 0.0
+        total = float(np.sqrt(total))
+        if total > self.max_norm:
+            scale = self.max_norm / (total + 1e-12)
+            _scale_grads_in_place(self.parameters, scale)
+        return total
 
 
 class Optimizer:
@@ -75,7 +140,15 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) — the paper's model optimizer."""
+    """Adam (Kingma & Ba) — the paper's model optimizer.
+
+    The update runs entirely in preallocated buffers: two scratch
+    arrays per parameter replace the six temporaries the textbook
+    formula allocates each step, and the parameter array itself is
+    updated in place. Every elementwise operation happens in the same
+    order on the same values as the allocating formula, so the
+    resulting weights are bitwise identical (asserted by tests).
+    """
 
     def __init__(
         self,
@@ -92,20 +165,43 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch_a = [np.empty_like(p.data) for p in self.parameters]
+        self._scratch_b = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         t = self._step_count
+        beta1, beta2 = self.beta1, self.beta2
+        bias1 = 1 - beta1**t
+        bias2 = 1 - beta2**t
         for i, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
             grad = param.grad
+            m, v = self._m[i], self._v[i]
+            a, b = self._scratch_a[i], self._scratch_b[i]
             if self.weight_decay > 0:
-                grad = grad + self.weight_decay * param.data
-            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
-            m_hat = self._m[i] / (1 - self.beta1**t)
-            v_hat = self._v[i] / (1 - self.beta2**t)
-            param.data = param.data - self.learning_rate * m_hat / (
-                np.sqrt(v_hat) + self.epsilon
-            )
+                # grad = grad + weight_decay * param (into scratch b,
+                # which is free until the m_hat stage).
+                np.multiply(param.data, self.weight_decay, out=b)
+                np.add(grad, b, out=b)
+                grad = b
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(m, beta1, out=m)
+            np.multiply(grad, 1 - beta1, out=a)
+            np.add(m, a, out=m)
+            # v = beta2 * v + (1 - beta2) * grad**2
+            np.multiply(v, beta2, out=v)
+            np.multiply(grad, grad, out=a)
+            np.multiply(a, 1 - beta2, out=a)
+            np.add(v, a, out=v)
+            # denom = sqrt(v / bias2) + epsilon   (scratch a)
+            np.divide(v, bias2, out=a)
+            np.sqrt(a, out=a)
+            np.add(a, self.epsilon, out=a)
+            # update = learning_rate * (m / bias1) / denom  (scratch b;
+            # grad no longer aliases b past this point)
+            np.divide(m, bias1, out=b)
+            np.multiply(b, self.learning_rate, out=b)
+            np.divide(b, a, out=b)
+            np.subtract(param.data, b, out=param.data)

@@ -5,14 +5,64 @@ along edges, the ``segment_*`` reductions push edge messages back into
 nodes, and ``segment_softmax`` normalizes attention scores per
 destination node (GAT). All operate on 2-D tensors ``(items, features)``
 with a 1-D int index mapping items to segments.
+
+Three execution paths exist for the scatter-add at the heart of every
+sum reduction:
+
+- the **bincount path** (default): the scatter is flattened to one
+  ``np.bincount(weights=...)`` call. ``bincount`` accumulates weights
+  sequentially in item order — exactly ``np.add.at``'s order — so it is
+  **bitwise identical** to the seed kernels while running several times
+  faster (``ufunc.at`` dispatches per element);
+- the **reference path**: the seed repo's literal ``np.add.at`` /
+  ``np.maximum.at`` kernels, kept (like the simulator's
+  ``_apply_mixer_reference``) as the ground truth for equivalence tests
+  and as the "before" arm of the training benchmark — enabled via the
+  :func:`reference_scatter` context manager;
+- the **CSR path**: a :class:`SegmentPlan` precomputed once per cached
+  batch stable-sorts the index, records per-segment boundaries, and
+  reduces with ``np.add.reduceat`` / ``np.maximum.reduceat``; indices
+  that are already sorted (pooling's ``node_graph``, compile-time
+  sorted edges) skip the permutation entirely.
+
+``maximum.reduceat`` is bitwise identical to ``maximum.at`` (max is
+exact), but ``add.reduceat`` uses pairwise summation while ``add.at``
+accumulates sequentially, so float sums can differ in the last ulp.
+The CSR path is therefore *opt-in*: callers pass ``plan=`` explicitly
+(the trainer gates it behind ``TrainingConfig.csr_kernels``), and
+equivalence is covered by dedicated tests. All paths compose with the
+batch-invariant matmul mode in :mod:`repro.nn.tensor` — segment ops
+never touch gemm.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import ModelError
 from repro.nn.tensor import Tensor, _as_tensor
+
+_REFERENCE_SCATTER = False
+
+
+@contextmanager
+def reference_scatter():
+    """Run plan-less scatter-adds through the seed ``np.add.at`` kernel.
+
+    The bincount scatter is bitwise identical to ``np.add.at``, so this
+    changes speed, never values. Benchmarks use it as the honest
+    "before" arm; tests use it to assert that identity.
+    """
+    global _REFERENCE_SCATTER
+    previous = _REFERENCE_SCATTER
+    _REFERENCE_SCATTER = True
+    try:
+        yield
+    finally:
+        _REFERENCE_SCATTER = previous
 
 
 def _check_index(index: np.ndarray, num_items: int) -> np.ndarray:
@@ -28,32 +78,184 @@ def _check_index(index: np.ndarray, num_items: int) -> np.ndarray:
     return index
 
 
-def gather(x: Tensor, index: np.ndarray) -> Tensor:
-    """Select rows: ``out[i] = x[index[i]]``; backward scatter-adds."""
+class SegmentPlan:
+    """Precomputed CSR layout for a fixed ``(index, num_segments)`` pair.
+
+    Stable-sorting the index once exposes each segment as a contiguous
+    run, so every subsequent reduction is a ``reduceat`` over
+    precomputed boundaries instead of an item-by-item ``ufunc.at``.
+    Already-sorted indices (e.g. ``node_graph``, or edge arrays sorted
+    at compile time) skip the permutation entirely.
+
+    Attributes
+    ----------
+    index:
+        The original (unsorted) segment index, int64.
+    num_segments:
+        Total segment count, including empty segments.
+    is_sorted:
+        Whether ``index`` was already non-decreasing.
+    perm:
+        Stable argsort of ``index`` (``None`` when already sorted).
+        Stability preserves the within-segment item order, which keeps
+        the summation order per segment identical to the scatter path
+        (up to ``reduceat``'s pairwise blocking).
+    counts:
+        Items per segment, shape ``(num_segments,)``.
+    """
+
+    __slots__ = (
+        "index",
+        "num_segments",
+        "num_items",
+        "is_sorted",
+        "perm",
+        "counts",
+        "_nonempty",
+        "_reduce_starts",
+    )
+
+    def __init__(self, index: np.ndarray, num_segments: int):
+        index = np.asarray(index, dtype=np.int64)
+        if index.ndim != 1:
+            raise ModelError(f"index must be 1-D, got shape {index.shape}")
+        num_segments = int(num_segments)
+        if num_segments < 0:
+            raise ModelError("num_segments must be non-negative")
+        if index.size:
+            if index.min() < 0:
+                raise ModelError("negative segment index")
+            if index.max() >= num_segments:
+                raise ModelError("segment index exceeds num_segments")
+        self.index = index
+        self.num_segments = num_segments
+        self.num_items = int(index.shape[0])
+        self.is_sorted = (
+            bool(np.all(index[1:] >= index[:-1])) if index.size else True
+        )
+        self.perm: Optional[np.ndarray] = (
+            None if self.is_sorted else np.argsort(index, kind="stable")
+        )
+        sorted_index = index if self.perm is None else index[self.perm]
+        self.counts = np.bincount(index, minlength=num_segments)
+        self._nonempty = np.flatnonzero(self.counts)
+        self._reduce_starts = np.searchsorted(sorted_index, self._nonempty)
+
+    def _ordered(self, data: np.ndarray) -> np.ndarray:
+        return data if self.perm is None else data[self.perm]
+
+    def sum_into(self, data: np.ndarray) -> np.ndarray:
+        """Segment sums of ``data`` rows, shape ``(num_segments, ...)``."""
+        out = np.zeros(
+            (self.num_segments,) + data.shape[1:], dtype=np.float64
+        )
+        if self._nonempty.size:
+            out[self._nonempty] = np.add.reduceat(
+                self._ordered(data), self._reduce_starts, axis=0
+            )
+        return out
+
+    def max_into(self, data: np.ndarray) -> np.ndarray:
+        """Segment maxima of ``data`` rows; empty segments are ``-inf``."""
+        out = np.full(
+            (self.num_segments,) + data.shape[1:], -np.inf, dtype=np.float64
+        )
+        if self._nonempty.size:
+            out[self._nonempty] = np.maximum.reduceat(
+                self._ordered(data), self._reduce_starts, axis=0
+            )
+        return out
+
+    def matches(self, num_items: int, num_segments: int) -> bool:
+        """Cheap shape compatibility check against a call site."""
+        return (
+            self.num_items == int(num_items)
+            and self.num_segments == int(num_segments)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SegmentPlan(items={self.num_items}, "
+            f"segments={self.num_segments}, sorted={self.is_sorted})"
+        )
+
+
+def _check_plan(
+    plan: Optional[SegmentPlan], num_items: int, num_segments: int
+) -> Optional[SegmentPlan]:
+    if plan is not None and not plan.matches(num_items, num_segments):
+        raise ModelError(
+            f"segment plan ({plan.num_items} items, "
+            f"{plan.num_segments} segments) does not match call site "
+            f"({num_items} items, {num_segments} segments)"
+        )
+    return plan
+
+
+def _scatter_add(
+    shape: tuple,
+    index: np.ndarray,
+    values: np.ndarray,
+    plan: Optional[SegmentPlan],
+) -> np.ndarray:
+    """Dense scatter-add: ``out[index[i]] += values[i]`` along axis 0."""
+    if plan is not None:
+        return plan.sum_into(values)
+    if _REFERENCE_SCATTER:
+        out = np.zeros(shape, dtype=np.float64)
+        np.add.at(out, index, values)
+        return out
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 1:
+        return np.bincount(index, weights=values, minlength=shape[0])
+    # Flatten trailing dims into independent bins: bincount accumulates
+    # weights in item order, matching np.add.at bit for bit.
+    cols = int(np.prod(shape[1:]))
+    flat_index = (index[:, None] * cols + np.arange(cols)).ravel()
+    return np.bincount(
+        flat_index, weights=values.reshape(-1), minlength=shape[0] * cols
+    ).reshape(shape)
+
+
+def gather(
+    x: Tensor, index: np.ndarray, plan: Optional[SegmentPlan] = None
+) -> Tensor:
+    """Select rows: ``out[i] = x[index[i]]``; backward scatter-adds.
+
+    ``plan`` (a :class:`SegmentPlan` over ``index`` with
+    ``num_segments == x.shape[0]``) accelerates the backward
+    scatter-add via the CSR path.
+    """
     x = _as_tensor(x)
     index = np.asarray(index, dtype=np.int64)
     if index.ndim != 1:
         raise ModelError("gather index must be 1-D")
     if index.size and index.max() >= x.shape[0]:
         raise ModelError("gather index out of range")
+    _check_plan(plan, index.shape[0], x.shape[0])
     x_shape = x.data.shape
 
     def backward(grad: np.ndarray) -> None:
-        full = np.zeros(x_shape, dtype=np.float64)
-        np.add.at(full, index, grad)
-        x._accumulate(full)
+        x._accumulate(_scatter_add(x_shape, index, grad, plan))
 
     return Tensor._make(x.data[index], (x,), backward)
 
 
-def segment_sum(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(
+    x: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Sum rows into segments: ``out[s] = sum_{i: index[i]=s} x[i]``."""
     x = _as_tensor(x)
     index = _check_index(index, x.shape[0])
     if index.size and index.max() >= num_segments:
         raise ModelError("segment index exceeds num_segments")
-    out = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
-    np.add.at(out, index, x.data)
+    _check_plan(plan, x.shape[0], num_segments)
+    out = _scatter_add(
+        (num_segments,) + x.data.shape[1:], index, x.data, plan
+    )
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad[index])
@@ -61,45 +263,73 @@ def segment_sum(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     return Tensor._make(out, (x,), backward)
 
 
-def segment_mean(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(
+    x: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Mean rows per segment; empty segments yield zeros."""
     x = _as_tensor(x)
     index = _check_index(index, x.shape[0])
-    counts = np.bincount(index, minlength=num_segments).astype(np.float64)
+    if plan is not None:
+        _check_plan(plan, x.shape[0], num_segments)
+        counts = plan.counts.astype(np.float64)
+    else:
+        counts = np.bincount(index, minlength=num_segments).astype(np.float64)
     safe = np.maximum(counts, 1.0)
     shape = (num_segments,) + (1,) * (x.data.ndim - 1)
-    total = segment_sum(x, index, num_segments)
+    total = segment_sum(x, index, num_segments, plan=plan)
     return total * Tensor(1.0 / safe.reshape(shape))
 
 
-def segment_max(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_max(
+    x: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Max rows per segment (GraphSAGE pooling); empty segments yield zeros.
 
     The gradient splits equally among elements tied at the segment max —
-    a valid subgradient that keeps the op deterministic.
+    a valid subgradient that keeps the op deterministic. Max is exact
+    arithmetic, so the CSR path is bitwise identical to the scatter
+    path here (tie counts are small-integer sums, also exact).
     """
     x = _as_tensor(x)
     index = _check_index(index, x.shape[0])
     if index.size and index.max() >= num_segments:
         raise ModelError("segment index exceeds num_segments")
+    _check_plan(plan, x.shape[0], num_segments)
     feature_shape = x.data.shape[1:]
-    out = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
-    np.maximum.at(out, index, x.data)
+    if plan is not None:
+        out = plan.max_into(x.data)
+    else:
+        out = np.full(
+            (num_segments,) + feature_shape, -np.inf, dtype=np.float64
+        )
+        np.maximum.at(out, index, x.data)
     empty = np.isinf(out)
     out = np.where(empty, 0.0, out)
     x_data = x.data
 
     def backward(grad: np.ndarray) -> None:
         mask = (x_data == out[index]).astype(np.float64)
-        tie_count = np.zeros((num_segments,) + feature_shape, dtype=np.float64)
-        np.add.at(tie_count, index, mask)
+        tie_count = _scatter_add(
+            (num_segments,) + feature_shape, index, mask, plan
+        )
         tie_count = np.maximum(tie_count, 1.0)
         x._accumulate(mask * grad[index] / tie_count[index])
 
     return Tensor._make(out, (x,), backward)
 
 
-def segment_softmax(scores: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(
+    scores: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Softmax of ``scores`` within each segment (GAT attention weights).
 
     Numerically stabilized by subtracting the per-segment max as a
@@ -108,20 +338,24 @@ def segment_softmax(scores: Tensor, index: np.ndarray, num_segments: int) -> Ten
     """
     scores = _as_tensor(scores)
     index = _check_index(index, scores.shape[0])
+    _check_plan(plan, scores.shape[0], num_segments)
     feature_shape = scores.data.shape[1:]
-    max_per_segment = np.full(
-        (num_segments,) + feature_shape, -np.inf, dtype=np.float64
-    )
-    np.maximum.at(max_per_segment, index, scores.data)
+    if plan is not None:
+        max_per_segment = plan.max_into(scores.data)
+    else:
+        max_per_segment = np.full(
+            (num_segments,) + feature_shape, -np.inf, dtype=np.float64
+        )
+        np.maximum.at(max_per_segment, index, scores.data)
     max_per_segment = np.where(
         np.isinf(max_per_segment), 0.0, max_per_segment
     )
     shifted = scores - Tensor(max_per_segment[index])
     exps = shifted.exp()
-    denom = segment_sum(exps, index, num_segments)
+    denom = segment_sum(exps, index, num_segments, plan=plan)
     # Clamp empty-segment denominators (no incoming edges) to 1.
     denom_safe = denom + Tensor((denom.data == 0.0).astype(np.float64))
-    return exps * gather(denom_safe ** -1.0, index)
+    return exps * gather(denom_safe ** -1.0, index, plan=plan)
 
 
 def segment_count(index: np.ndarray, num_segments: int) -> np.ndarray:

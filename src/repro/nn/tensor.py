@@ -167,10 +167,13 @@ class Tensor:
         grad = np.asarray(grad, dtype=np.float64)
         if grad.shape != self.data.shape:
             grad = _unbroadcast(grad, self.data.shape)
-        if self.grad is None:
-            self.grad = grad.copy()
-        else:
-            self.grad = self.grad + grad
+        # No defensive copy: backward closures hand over arrays they do
+        # not reuse, and accumulation allocates (`self.grad + grad`)
+        # rather than mutating, so aliasing a pass-through gradient is
+        # safe. Consumers that mutate gradients in place (the clippers
+        # in repro.nn.optim) dedup by array identity and fall back to
+        # an out-of-place scale for non-writeable views.
+        self.grad = grad if self.grad is None else self.grad + grad
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -190,7 +193,9 @@ class Tensor:
                 )
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(
+            # Copy: the seed gradient may be caller-owned, and
+            # _accumulate no longer copies.
+            grad = np.array(
                 grad.data if isinstance(grad, Tensor) else grad,
                 dtype=np.float64,
             )

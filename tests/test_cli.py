@@ -179,3 +179,70 @@ class TestEndToEnd:
         assert code == 0
         out = capsys.readouterr().out
         assert "Improvement" in out
+
+
+class TestTrainingFlags:
+    def test_train_performance_flags_registered(self):
+        base = ["train", "--dataset", "ds.json", "--out", "model.json"]
+        args = build_parser().parse_args(
+            base + ["--profile", "--no-batch-cache", "--fast-kernels"]
+        )
+        assert args.profile and args.no_batch_cache and args.fast_kernels
+        defaults = build_parser().parse_args(base)
+        assert not defaults.profile
+        assert not defaults.no_batch_cache
+        assert not defaults.fast_kernels
+
+    def test_bench_training_flags_registered(self):
+        args = build_parser().parse_args(
+            [
+                "bench", "--skip-training", "--training-graphs", "48",
+                "--training-epochs", "4",
+            ]
+        )
+        assert args.skip_training
+        assert args.training_graphs == 48
+        assert args.training_epochs == 4
+
+    def test_train_profile_prints_report(self, tmp_path, capsys):
+        dataset_path = tmp_path / "ds.json"
+        model_path = tmp_path / "model.json"
+        main(
+            [
+                "generate", "--num-graphs", "10", "--min-nodes", "4",
+                "--max-nodes", "6", "--iters", "8", "--seed", "7",
+                "--out", str(dataset_path),
+            ]
+        )
+        code = main(
+            [
+                "train", "--dataset", str(dataset_path), "--arch", "gin",
+                "--epochs", "2", "--seed", "7", "--profile",
+                "--out", str(model_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "training profile" in out
+        assert "forward" in out
+        assert "backward" in out
+
+    def test_train_fast_kernels_roundtrip(self, tmp_path):
+        dataset_path = tmp_path / "ds.json"
+        model_path = tmp_path / "model.json"
+        main(
+            [
+                "generate", "--num-graphs", "10", "--min-nodes", "4",
+                "--max-nodes", "6", "--iters", "8", "--seed", "9",
+                "--out", str(dataset_path),
+            ]
+        )
+        code = main(
+            [
+                "train", "--dataset", str(dataset_path), "--arch", "gin",
+                "--epochs", "2", "--seed", "9", "--fast-kernels",
+                "--out", str(model_path),
+            ]
+        )
+        assert code == 0
+        assert load_model(model_path).arch == "gin"

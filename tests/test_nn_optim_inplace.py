@@ -1,0 +1,150 @@
+"""In-place Adam and GradClipper vs their allocating references.
+
+The optimizer overhaul replaces the textbook allocating formulas with
+preallocated-buffer updates. The contract is **bitwise identity**:
+every elementwise operation runs in the same order on the same values.
+These tests pin that against naive reimplementations, plus the
+alias-safety rules the no-copy autograd introduced (shared gradient
+arrays are scaled once; non-writeable views are replaced, not mutated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam, GradClipper, clip_grad_norm
+
+
+def _params(rng, shapes):
+    params = []
+    for shape in shapes:
+        p = Parameter(rng.normal(size=shape))
+        p.grad = rng.normal(size=shape)
+        params.append(p)
+    return params
+
+
+def _naive_adam_step(params, state, lr, betas, eps, weight_decay):
+    """Textbook Adam with fresh allocations everywhere."""
+    beta1, beta2 = betas
+    state["t"] += 1
+    t = state["t"]
+    for i, p in enumerate(params):
+        if p.grad is None:
+            continue
+        grad = p.grad
+        if weight_decay > 0:
+            grad = grad + weight_decay * p.data
+        state["m"][i] = beta1 * state["m"][i] + (1 - beta1) * grad
+        state["v"][i] = beta2 * state["v"][i] + (1 - beta2) * (grad * grad)
+        m_hat = state["m"][i] / (1 - beta1**t)
+        v_hat = state["v"][i] / (1 - beta2**t)
+        p.data = p.data - lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class TestAdamBitwise:
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    def test_matches_naive_reference_over_steps(self, weight_decay):
+        rng = np.random.default_rng(4)
+        shapes = [(5, 3), (3,), (2, 2)]
+        fast = _params(np.random.default_rng(4), shapes)
+        slow = _params(np.random.default_rng(4), shapes)
+        optimizer = Adam(
+            fast, learning_rate=1e-2, weight_decay=weight_decay
+        )
+        state = {
+            "t": 0,
+            "m": [np.zeros_like(p.data) for p in slow],
+            "v": [np.zeros_like(p.data) for p in slow],
+        }
+        for step in range(5):
+            grads = [rng.normal(size=s) for s in shapes]
+            for p_fast, p_slow, g in zip(fast, slow, grads):
+                p_fast.grad = g.copy()
+                p_slow.grad = g.copy()
+            optimizer.step()
+            _naive_adam_step(
+                slow, state, 1e-2, (0.9, 0.999), 1e-8, weight_decay
+            )
+            for p_fast, p_slow in zip(fast, slow):
+                assert np.array_equal(p_fast.data, p_slow.data), step
+
+    def test_skips_gradless_parameters(self):
+        rng = np.random.default_rng(1)
+        params = _params(rng, [(3,), (3,)])
+        params[1].grad = None
+        frozen = params[1].data.copy()
+        Adam(params, learning_rate=0.1).step()
+        assert np.array_equal(params[1].data, frozen)
+        assert not np.array_equal(
+            params[0].data, params[0].data * 0
+        )
+
+
+class TestGradClipperBitwise:
+    def test_matches_clip_grad_norm(self):
+        shapes = [(4, 4), (7,), (2, 3)]
+        fast = _params(np.random.default_rng(8), shapes)
+        slow = _params(np.random.default_rng(8), shapes)
+        for p in fast + slow:
+            p.grad *= 10.0  # ensure clipping triggers
+        clipper = GradClipper(fast, max_norm=1.0)
+        norm_fast = clipper()
+        norm_slow = clip_grad_norm(slow, max_norm=1.0)
+        assert norm_fast == norm_slow
+        for p_fast, p_slow in zip(fast, slow):
+            assert np.array_equal(p_fast.grad, p_slow.grad)
+
+    def test_no_clip_below_threshold(self):
+        params = _params(np.random.default_rng(2), [(3,)])
+        params[0].grad = np.array([0.1, 0.0, 0.0])
+        before = params[0].grad.copy()
+        GradClipper(params, max_norm=5.0)()
+        assert np.array_equal(params[0].grad, before)
+
+    def test_reusable_across_steps(self):
+        params = _params(np.random.default_rng(3), [(4,)])
+        clipper = GradClipper(params, max_norm=1.0)
+        params[0].grad = np.full(4, 10.0)
+        first = clipper()
+        params[0].grad = np.full(4, 10.0)
+        second = clipper()
+        assert first == second
+
+
+class TestAliasSafety:
+    """No-copy autograd means gradients can be shared or be views."""
+
+    def test_shared_gradient_scaled_once(self):
+        shared = np.full(3, 10.0)
+        a, b = Parameter(np.zeros(3)), Parameter(np.zeros(3))
+        a.grad = shared
+        b.grad = shared
+        total = clip_grad_norm([a, b], max_norm=1.0)
+        # Norm counts both parameters' gradients...
+        assert total == pytest.approx(np.sqrt(2 * 3 * 100.0))
+        # ...but the shared array is scaled exactly once.
+        expected = 10.0 * (1.0 / (total + 1e-12))
+        np.testing.assert_allclose(a.grad, np.full(3, expected))
+        assert a.grad is b.grad
+
+    def test_shared_gradient_with_clipper(self):
+        shared = np.full(3, 10.0)
+        a, b = Parameter(np.zeros(3)), Parameter(np.zeros(3))
+        clipper = GradClipper([a, b], max_norm=1.0)
+        a.grad = shared
+        b.grad = shared
+        total = clipper()
+        expected = 10.0 * (1.0 / (total + 1e-12))
+        np.testing.assert_allclose(a.grad, np.full(3, expected))
+
+    def test_non_writeable_gradient_replaced(self):
+        p = Parameter(np.zeros((2, 3)))
+        view = np.broadcast_to(np.full(3, 10.0), (2, 3))
+        assert not view.flags.writeable
+        p.grad = view
+        clip_grad_norm([p], max_norm=1.0)
+        assert p.grad is not view
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-9)

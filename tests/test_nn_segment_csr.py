@@ -1,0 +1,201 @@
+"""CSR segment kernels vs the scatter reference, bit for bit or in ulp.
+
+The contract under test (see ``repro.nn.segment``):
+
+- the default bincount scatter is **bitwise identical** to the seed
+  ``np.add.at`` kernel (same accumulation order);
+- ``SegmentPlan`` reductions (``reduceat``) match the reference within
+  float tolerance for sums and **bitwise** for maxima;
+- both hold through the backward pass and under ``batch_invariant()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn.segment import (
+    SegmentPlan,
+    _scatter_add,
+    gather,
+    reference_scatter,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+from repro.nn.tensor import Tensor, batch_invariant
+
+
+def _random_case(seed, items, segments, features=4):
+    rng = np.random.default_rng(seed)
+    index = rng.integers(0, segments, size=items).astype(np.int64)
+    data = rng.normal(size=(items, features))
+    return index, data
+
+
+def _run_op(op, data, index, segments, plan):
+    x = Tensor(data, requires_grad=True)
+    out = op(x, index, segments, plan=plan)
+    upstream = np.cos(np.arange(out.data.size, dtype=np.float64)).reshape(
+        out.data.shape
+    )
+    (out * Tensor(upstream)).sum().backward()
+    return out.data, x.grad
+
+
+INDEX_CASES = [
+    (0, 40, 7),     # random many-to-few
+    (1, 40, 60),    # guaranteed empty segments
+    (2, 1, 3),      # single item
+    (3, 12, 1),     # single segment (single-node-graph pooling)
+]
+
+
+class TestBincountScatter:
+    @pytest.mark.parametrize("seed,items,segments", INDEX_CASES)
+    def test_bitwise_identical_to_add_at(self, seed, items, segments):
+        index, data = _random_case(seed, items, segments)
+        shape = (segments, data.shape[1])
+        fast = _scatter_add(shape, index, data, plan=None)
+        with reference_scatter():
+            ref = _scatter_add(shape, index, data, plan=None)
+        assert np.array_equal(fast, ref)
+
+    def test_bitwise_identical_1d(self):
+        index, data = _random_case(5, 30, 6, features=1)
+        values = data[:, 0]
+        fast = _scatter_add((6,), index, values, plan=None)
+        with reference_scatter():
+            ref = _scatter_add((6,), index, values, plan=None)
+        assert np.array_equal(fast, ref)
+
+    def test_zero_items(self):
+        out = _scatter_add(
+            (4, 3), np.zeros(0, dtype=np.int64), np.zeros((0, 3)), plan=None
+        )
+        assert np.array_equal(out, np.zeros((4, 3)))
+
+
+class TestSegmentPlan:
+    def test_sorted_index_skips_permutation(self):
+        plan = SegmentPlan(np.array([0, 0, 1, 2, 2, 2]), 4)
+        assert plan.is_sorted and plan.perm is None
+        assert list(plan.counts) == [2, 1, 3, 0]
+
+    def test_unsorted_index_gets_stable_perm(self):
+        index = np.array([2, 0, 1, 0, 2])
+        plan = SegmentPlan(index, 3)
+        assert not plan.is_sorted
+        assert np.array_equal(index[plan.perm], np.sort(index))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SegmentPlan(np.array([[0, 1]]), 2)  # not 1-D
+        with pytest.raises(ModelError):
+            SegmentPlan(np.array([-1, 0]), 2)  # negative
+        with pytest.raises(ModelError):
+            SegmentPlan(np.array([0, 5]), 2)  # out of range
+
+    def test_mismatched_plan_rejected_at_call_site(self):
+        plan = SegmentPlan(np.array([0, 1, 1]), 2)
+        x = Tensor(np.ones((4, 2)), requires_grad=True)
+        with pytest.raises(ModelError):
+            segment_sum(x, np.array([0, 1, 1, 0]), 2, plan=plan)
+
+    def test_empty_index(self):
+        plan = SegmentPlan(np.zeros(0, dtype=np.int64), 3)
+        out = plan.sum_into(np.zeros((0, 2)))
+        assert np.array_equal(out, np.zeros((3, 2)))
+
+
+class TestCsrEquivalence:
+    """Plan path vs reference path, forward and backward."""
+
+    @pytest.mark.parametrize("seed,items,segments", INDEX_CASES)
+    @pytest.mark.parametrize("op", [segment_sum, segment_mean])
+    def test_sum_ops(self, op, seed, items, segments):
+        index, data = _random_case(seed, items, segments)
+        plan = SegmentPlan(index, segments)
+        out_csr, grad_csr = _run_op(op, data, index, segments, plan)
+        with reference_scatter():
+            out_ref, grad_ref = _run_op(op, data, index, segments, None)
+        np.testing.assert_allclose(out_csr, out_ref, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(grad_csr, grad_ref, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("seed,items,segments", INDEX_CASES)
+    def test_segment_max_bitwise(self, seed, items, segments):
+        index, data = _random_case(seed, items, segments)
+        plan = SegmentPlan(index, segments)
+        out_csr, grad_csr = _run_op(segment_max, data, index, segments, plan)
+        with reference_scatter():
+            out_ref, grad_ref = _run_op(
+                segment_max, data, index, segments, None
+            )
+        # Max is exact arithmetic: the CSR path must match bit for bit.
+        assert np.array_equal(out_csr, out_ref)
+        assert np.array_equal(grad_csr, grad_ref)
+
+    @pytest.mark.parametrize("seed,items,segments", INDEX_CASES)
+    def test_segment_softmax(self, seed, items, segments):
+        index, data = _random_case(seed, items, segments, features=2)
+        plan = SegmentPlan(index, segments)
+        out_csr, grad_csr = _run_op(
+            segment_softmax, data, index, segments, plan
+        )
+        with reference_scatter():
+            out_ref, grad_ref = _run_op(
+                segment_softmax, data, index, segments, None
+            )
+        np.testing.assert_allclose(out_csr, out_ref, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(grad_csr, grad_ref, rtol=1e-12, atol=1e-12)
+
+    def test_gather_backward_uses_plan(self):
+        index, data = _random_case(9, 20, 8)
+        node_x = np.random.default_rng(9).normal(size=(8, 4))
+        plan = SegmentPlan(index, 8)
+
+        def run(use_plan):
+            x = Tensor(node_x, requires_grad=True)
+            out = gather(x, index, plan=plan if use_plan else None)
+            (out * Tensor(data)).sum().backward()
+            return x.grad
+
+        np.testing.assert_allclose(
+            run(True), run(False), rtol=1e-12, atol=1e-12
+        )
+
+    def test_zero_edge_graph(self):
+        """Zero-edge graphs: empty index, all segments empty."""
+        index = np.zeros(0, dtype=np.int64)
+        plan = SegmentPlan(index, 5)
+        x = Tensor(np.zeros((0, 3)), requires_grad=True)
+        out = segment_sum(x, index, 5, plan=plan)
+        assert np.array_equal(out.data, np.zeros((5, 3)))
+        out2 = segment_max(Tensor(np.zeros((0, 3))), index, 5, plan=plan)
+        assert np.array_equal(out2.data, np.zeros((5, 3)))
+
+    def test_single_node_graph(self):
+        """One node, one self-ish edge: degenerate but valid."""
+        index = np.zeros(1, dtype=np.int64)
+        data = np.array([[2.5, -1.0]])
+        plan = SegmentPlan(index, 1)
+        out = segment_mean(Tensor(data), index, 1, plan=plan)
+        with reference_scatter():
+            ref = segment_mean(Tensor(data), index, 1)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_composes_with_batch_invariant(self):
+        index, data = _random_case(11, 30, 6)
+        plan = SegmentPlan(index, 6)
+        with batch_invariant():
+            out_csr, grad_csr = _run_op(
+                segment_sum, data, index, 6, plan
+            )
+            with reference_scatter():
+                out_ref, grad_ref = _run_op(
+                    segment_sum, data, index, 6, None
+                )
+        np.testing.assert_allclose(out_csr, out_ref, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(grad_csr, grad_ref, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,121 @@
+"""TrainingProfiler accounting, report schema, and the null profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiling import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA_VERSION,
+    TrainingProfiler,
+)
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def profiler(clock):
+    return TrainingProfiler(clock=clock)
+
+
+class TestAccumulation:
+    def test_phase_accumulates_across_calls(self, profiler, clock):
+        for _ in range(3):
+            with profiler.phase("forward"):
+                clock.advance(0.5)
+        stats = profiler.report()["phases"]["forward"]
+        assert stats["total_s"] == pytest.approx(1.5)
+        assert stats["calls"] == 3
+        assert stats["mean_s"] == pytest.approx(0.5)
+
+    def test_phase_records_even_on_exception(self, profiler, clock):
+        with pytest.raises(RuntimeError):
+            with profiler.phase("backward"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        stats = profiler.report()["phases"]["backward"]
+        assert stats["total_s"] == pytest.approx(1.0)
+        assert stats["calls"] == 1
+
+    def test_add_records_premeasured_time(self, profiler):
+        profiler.add("compile", 0.25)
+        profiler.add("compile", 0.75)
+        stats = profiler.report()["phases"]["compile"]
+        assert stats["total_s"] == pytest.approx(1.0)
+        assert stats["calls"] == 2
+
+    def test_phases_report_in_first_use_order(self, profiler, clock):
+        for name in ("compile", "forward", "backward", "forward"):
+            with profiler.phase(name):
+                clock.advance(0.1)
+        assert list(profiler.report()["phases"]) == [
+            "compile",
+            "forward",
+            "backward",
+        ]
+
+
+class TestReportSchema:
+    def test_schema_and_totals(self, profiler, clock):
+        with profiler.phase("forward"):
+            clock.advance(2.0)
+        clock.advance(1.0)  # unaccounted wall time
+        report = profiler.report()
+        assert report["schema"] == PROFILE_SCHEMA_VERSION
+        assert report["total_s"] == pytest.approx(3.0)
+        assert report["accounted_s"] == pytest.approx(2.0)
+
+    def test_shares_sum_to_one(self, profiler, clock):
+        for name, seconds in (("a", 1.0), ("b", 3.0)):
+            with profiler.phase(name):
+                clock.advance(seconds)
+        phases = profiler.report()["phases"]
+        assert phases["a"]["share"] == pytest.approx(0.25)
+        assert phases["b"]["share"] == pytest.approx(0.75)
+        assert sum(s["share"] for s in phases.values()) == pytest.approx(1.0)
+
+    def test_empty_profiler_report(self, profiler):
+        report = profiler.report()
+        assert report["phases"] == {}
+        assert report["accounted_s"] == 0.0
+
+    def test_enabled_flag(self, profiler):
+        assert profiler.enabled is True
+        assert NULL_PROFILER.enabled is False
+
+
+class TestFormatReport:
+    def test_contains_phase_rows(self, profiler, clock):
+        with profiler.phase("optimizer"):
+            clock.advance(0.004)
+        text = profiler.format_report()
+        assert "training profile" in text
+        assert "optimizer" in text
+        assert "4.0ms" in text
+
+    def test_null_profiler_format(self):
+        assert NULL_PROFILER.format_report() == "profiling disabled"
+
+
+class TestNullProfiler:
+    def test_noop_interface(self):
+        with NULL_PROFILER.phase("anything"):
+            pass
+        NULL_PROFILER.add("anything", 1.0)
+        assert NULL_PROFILER.report() is None
