@@ -2,25 +2,29 @@
 
 Thin wrapper over :mod:`repro.benchmarking` (also exposed as
 ``repro bench`` in the CLI). Runs the simulator-kernel before/after
-benchmarks, the labeling-throughput comparison, and the
-training-throughput arms, then appends entries to the ``BENCH_1.json``
-(kernels/labeling/serving) and ``BENCH_2.json`` (training)
-trajectories at the repository root.
+benchmarks, the labeling-throughput comparison, the training-throughput
+arms, and the evaluation-sweep arms, then appends entries to the
+``BENCH_1.json`` (kernels/labeling/serving), ``BENCH_2.json``
+(training), and ``BENCH_3.json`` (evaluation) trajectories at the
+repository root.
 
 Examples::
 
     PYTHONPATH=src python -m benchmarks.record
     PYTHONPATH=src python -m benchmarks.record --graphs 50 --skip-labeling
+    PYTHONPATH=src python -m benchmarks.record --validate-evaluation BENCH_3.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.benchmarking import (
     DEFAULT_BENCH_PATH,
+    DEFAULT_EVALUATION_BENCH_PATH,
     DEFAULT_TRAINING_BENCH_PATH,
     format_entry,
     run_benchmarks,
@@ -29,9 +33,34 @@ from repro.benchmarking import (
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def validate_evaluation_trajectory(path: Path) -> dict:
+    """Assert the ``BENCH_3.json`` trajectory at ``path`` is well formed.
+
+    Checks the newest entry: schema version, both engine arms with
+    positive best wall times, the equivalence guarantee recorded on the
+    batched arm, and a finite speedup. Returns the validated entry.
+    """
+    entries = json.loads(Path(path).read_text())
+    assert entries, f"{path} holds an empty trajectory"
+    entry = entries[-1]
+    assert entry["schema"] == 1, entry
+    results = entry["results"]["evaluation"]
+    arms = results["arms"]
+    for name in ("serial", "batched"):
+        arm = arms[name]
+        assert arm["best_wall_s"] > 0, (name, arm)
+        assert arm["graphs_per_second"] > 0, (name, arm)
+    assert arms["batched"]["max_abs_diff_vs_serial"] <= 1e-10, arms
+    assert results["speedup"] > 0, results
+    return entry
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="append benchmark entries to BENCH_1.json / BENCH_2.json"
+        description=(
+            "append benchmark entries to BENCH_1.json / BENCH_2.json / "
+            "BENCH_3.json"
+        )
     )
     parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / DEFAULT_BENCH_PATH
@@ -41,6 +70,7 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--kernel-repeats", type=int, default=10)
     parser.add_argument("--skip-labeling", action="store_true")
+    parser.add_argument("--skip-serving", action="store_true")
     parser.add_argument("--skip-training", action="store_true")
     parser.add_argument(
         "--training-out",
@@ -49,7 +79,30 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--training-graphs", type=int, default=128)
     parser.add_argument("--training-epochs", type=int, default=8)
+    parser.add_argument("--skip-evaluation", action="store_true")
+    parser.add_argument(
+        "--evaluation-out",
+        type=Path,
+        default=REPO_ROOT / DEFAULT_EVALUATION_BENCH_PATH,
+    )
+    parser.add_argument("--evaluation-graphs", type=int, default=100)
+    parser.add_argument("--evaluation-iters", type=int, default=60)
+    parser.add_argument(
+        "--validate-evaluation",
+        type=Path,
+        default=None,
+        metavar="BENCH_3_PATH",
+        help="validate an existing evaluation trajectory and exit",
+    )
     args = parser.parse_args(argv)
+    if args.validate_evaluation is not None:
+        entry = validate_evaluation_trajectory(args.validate_evaluation)
+        speedup = entry["results"]["evaluation"]["speedup"]
+        print(
+            f"{args.validate_evaluation} ok: run {entry['run']}, "
+            f"batched speedup {speedup:.2f}x"
+        )
+        return 0
     entry = run_benchmarks(
         path=args.out,
         labeling_graphs=args.graphs,
@@ -59,15 +112,22 @@ def main(argv=None) -> int:
         workers=args.workers,
         kernel_repeats=args.kernel_repeats,
         skip_labeling=args.skip_labeling,
+        skip_serving=args.skip_serving,
         skip_training=args.skip_training,
         training_path=args.training_out,
         training_graphs=args.training_graphs,
         training_epochs=args.training_epochs,
+        skip_evaluation=args.skip_evaluation,
+        evaluation_path=args.evaluation_out,
+        evaluation_graphs=args.evaluation_graphs,
+        evaluation_iters=args.evaluation_iters,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
     if not args.skip_training:
         print(f"appended training benchmark to {args.training_out}")
+    if not args.skip_evaluation:
+        print(f"appended evaluation benchmark to {args.evaluation_out}")
     return 0
 
 

@@ -23,6 +23,12 @@ Two benchmark families quantify the hot paths this repo optimizes:
   losses, asserted in-process), and the cached + CSR-kernel path
   (equivalence-tested losses). Recorded to its own trajectory,
   ``BENCH_2.json``, with the per-phase profiler breakdown of each arm.
+- **Evaluation benchmarks** — full warm-start sweep throughput on the
+  reference workload (100 mixed-size graphs, p=2) in two arms: the
+  serial per-graph engine ("serial") and the size-bucketed lock-step
+  engine ("batched", :mod:`repro.qaoa.batched`), with every per-graph
+  approximation ratio equivalence-checked between arms. Recorded to
+  its own trajectory, ``BENCH_3.json``.
 
 Results append to a ``BENCH_*.json`` *trajectory*: a JSON list with one
 entry per run (timestamp, machine info, metrics), so successive PRs can
@@ -64,6 +70,9 @@ DEFAULT_BENCH_PATH = "BENCH_1.json"
 #: Training-throughput trajectory (separate file: the training arms are
 #: a different benchmark family with their own before/after story).
 DEFAULT_TRAINING_BENCH_PATH = "BENCH_2.json"
+
+#: Evaluation-sweep trajectory (serial vs batched warm-start engine).
+DEFAULT_EVALUATION_BENCH_PATH = "BENCH_3.json"
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -530,6 +539,136 @@ def bench_training(
 
 
 # ----------------------------------------------------------------------
+# Evaluation throughput benchmarks
+# ----------------------------------------------------------------------
+def evaluation_benchmark_graphs(
+    num_graphs: int = 100, seed: int = 20240305
+) -> List[Graph]:
+    """Reference evaluation workload: mixed-size connected graphs.
+
+    Sizes 6–12 nodes, the paper's small-graph band — mixed sizes on
+    purpose, so the batched engine has to bucket rather than getting one
+    uniform ``(K, 2^n)`` block for free.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        random_connected_graph(
+            int(rng.integers(6, 13)),
+            rng=int(rng.integers(0, 2**31)),
+            name=f"eval-{i}",
+        )
+        for i in range(num_graphs)
+    ]
+
+
+def bench_evaluation(
+    num_graphs: int = 100,
+    p: int = 2,
+    optimizer_iters: int = 60,
+    max_bucket: int = 64,
+    seed: int = 20240305,
+    repeats: int = 1,
+    verify: bool = True,
+    verify_tol: float = 1e-10,
+) -> Dict[str, object]:
+    """Warm-start sweep throughput: serial engine vs batched engine.
+
+    Both arms run the full paired comparison (random init vs an
+    untrained GIN predictor's warm start) over the same graphs with the
+    same evaluator seed, so they perform the same experiment. With
+    ``verify`` (default), every per-graph approximation ratio (final
+    and initial, both arms of the comparison) must agree between the
+    engines to within ``verify_tol`` — in practice they agree to a few
+    ulp — so the recorded speedup is a like-for-like comparison.
+    """
+    from repro.gnn.predictor import QAOAParameterPredictor
+    from repro.pipeline.evaluation import WarmStartEvaluator
+    from repro.profiling import EvaluationProfiler
+
+    graphs = evaluation_benchmark_graphs(num_graphs=num_graphs, seed=seed)
+    model = QAOAParameterPredictor(arch="gin", p=p, hidden_dim=16, rng=seed)
+    model.eval()
+    strategy = model.as_initialization()
+
+    def sweep(batched: bool, profiler):
+        evaluator = WarmStartEvaluator(
+            p=p,
+            optimizer_iters=optimizer_iters,
+            rng=seed,
+            batched=batched,
+            max_bucket=max_bucket,
+            profiler=profiler,
+        )
+        return evaluator.evaluate_strategy(graphs, strategy, "gnn_warm")
+
+    arms: Dict[str, object] = {}
+    results: Dict[str, object] = {}
+    for name, batched in (("serial", False), ("batched", True)):
+        samples = []
+        result = None
+        profiler = None
+        for _ in range(repeats):
+            profiler = EvaluationProfiler()
+            start = time.perf_counter()
+            result = sweep(batched, profiler)
+            samples.append(time.perf_counter() - start)
+        results[name] = result
+        best = min(samples)
+        mean = sum(samples) / len(samples)
+        arms[name] = {
+            "wall_time_s": mean,
+            "best_wall_s": best,
+            # Best run is the noise-robust statistic (cf.
+            # ``time_callable``): background load only slows a sweep.
+            "graphs_per_second": num_graphs / best if best > 0 else 0.0,
+            "repeats": repeats,
+            "profile": profiler.report() if profiler is not None else None,
+        }
+        logger.info(
+            "evaluation arm=%s: %.2fs (%.1f graphs/s)",
+            name,
+            best,
+            arms[name]["graphs_per_second"],
+        )
+
+    max_abs_diff = None
+    if verify:
+        diffs = []
+        for a, b in zip(
+            results["serial"].comparisons, results["batched"].comparisons
+        ):
+            diffs.extend(
+                (
+                    abs(a.random_ratio - b.random_ratio),
+                    abs(a.strategy_ratio - b.strategy_ratio),
+                    abs(a.random_initial_ratio - b.random_initial_ratio),
+                    abs(a.strategy_initial_ratio - b.strategy_initial_ratio),
+                )
+            )
+        max_abs_diff = max(diffs)
+        if max_abs_diff > verify_tol:
+            raise AssertionError(
+                f"batched evaluation diverged from serial: max per-graph "
+                f"ratio difference {max_abs_diff:.3e} > {verify_tol:.0e}"
+            )
+        arms["batched"]["max_abs_diff_vs_serial"] = max_abs_diff
+
+    serial_best = arms["serial"]["best_wall_s"]
+    batched_best = arms["batched"]["best_wall_s"]
+    speedup = serial_best / batched_best if batched_best > 0 else float("inf")
+    arms["batched"]["speedup_vs_serial"] = speedup
+    logger.info("evaluation batched speedup: %.2fx", speedup)
+    return {
+        "num_graphs": num_graphs,
+        "p": p,
+        "optimizer_iters": optimizer_iters,
+        "max_bucket": max_bucket,
+        "arms": arms,
+        "speedup": speedup,
+    }
+
+
+# ----------------------------------------------------------------------
 # Trajectory persistence
 # ----------------------------------------------------------------------
 def load_trajectory(path: PathLike) -> List[dict]:
@@ -578,13 +717,20 @@ def run_benchmarks(
     training_graphs: int = 128,
     training_epochs: int = 8,
     training_batch_size: int = 32,
+    skip_evaluation: bool = False,
+    evaluation_path: PathLike = DEFAULT_EVALUATION_BENCH_PATH,
+    evaluation_graphs: int = 100,
+    evaluation_p: int = 2,
+    evaluation_iters: int = 60,
 ) -> dict:
-    """Run the kernel (and optionally labeling/serving/training)
-    benchmarks. Kernel/labeling/serving results append one entry to the
-    trajectory at ``path``; the training benchmark appends its own entry
-    to ``training_path`` (``BENCH_2.json``). Returns the ``path`` entry,
-    with the training results merged into its ``results`` in memory (not
-    on disk) so callers can render one summary."""
+    """Run the kernel (and optionally labeling/serving/training/
+    evaluation) benchmarks. Kernel/labeling/serving results append one
+    entry to the trajectory at ``path``; the training and evaluation
+    benchmarks append their own entries to ``training_path``
+    (``BENCH_2.json``) and ``evaluation_path`` (``BENCH_3.json``).
+    Returns the ``path`` entry, with the training and evaluation results
+    merged into its ``results`` in memory (not on disk) so callers can
+    render one summary."""
     results: Dict[str, object] = {
         "gradient_kernel_n15_p2": bench_gradient_kernel(
             repeats=kernel_repeats
@@ -607,9 +753,19 @@ def run_benchmarks(
             epochs=training_epochs,
         )
         append_bench_entry(training_path, {"training": training_results})
+    evaluation_results = None
+    if not skip_evaluation:
+        evaluation_results = bench_evaluation(
+            num_graphs=evaluation_graphs,
+            p=evaluation_p,
+            optimizer_iters=evaluation_iters,
+        )
+        append_bench_entry(evaluation_path, {"evaluation": evaluation_results})
     entry = append_bench_entry(path, results)
     if training_results is not None:
         entry["results"]["training"] = training_results
+    if evaluation_results is not None:
+        entry["results"]["evaluation"] = evaluation_results
     return entry
 
 
@@ -654,5 +810,17 @@ def format_entry(entry: dict) -> str:
                 f"  training[{name}]: "
                 f"{stats['mean_epoch_s'] * 1e3:.1f} ms/epoch, "
                 f"{stats['epochs_per_second']:.1f} epochs/s{suffix}"
+            )
+    evaluation = results.get("evaluation")
+    if evaluation:
+        arms = evaluation["arms"]
+        for name in ("serial", "batched"):
+            stats = arms[name]
+            speedup = stats.get("speedup_vs_serial")
+            suffix = f" ({speedup:.2f}x vs serial)" if speedup else ""
+            lines.append(
+                f"  evaluation[{name}]: "
+                f"{stats['best_wall_s']:.2f}s, "
+                f"{stats['graphs_per_second']:.1f} graphs/s{suffix}"
             )
     return "\n".join(lines)

@@ -10,15 +10,19 @@ Seven subcommands cover the offline pipeline and the online service:
   wall-time report; ``--no-batch-cache`` / ``--fast-kernels`` toggle
   the cached-batch and CSR-kernel paths).
 - ``repro evaluate`` — warm-start evaluation of a saved model against
-  random initialization on a saved dataset's held-out split.
+  random initialization on a saved dataset's held-out split
+  (``--batched`` runs the size-bucketed lock-step engine — identical
+  numbers, much faster on many-graph sweeps; ``--profile`` prints the
+  per-phase wall-time report).
 - ``repro reproduce`` — the whole experiment (Table 1) in one shot.
 - ``repro serve`` — HTTP prediction service from a checkpoint
   (isomorphism-aware cache, micro-batching, fallback chain).
 - ``repro predict`` — one-shot prediction for a single graph, printed
   as JSON.
-- ``repro bench`` — run the kernel / labeling / serving / training
-  benchmarks; kernel results append to ``BENCH_1.json``, training
-  throughput to ``BENCH_2.json``.
+- ``repro bench`` — run the kernel / labeling / serving / training /
+  evaluation benchmarks; kernel results append to ``BENCH_1.json``,
+  training throughput to ``BENCH_2.json``, evaluation-sweep throughput
+  to ``BENCH_3.json``.
 
 Example::
 
@@ -171,18 +175,40 @@ def _add_evaluate(subparsers) -> None:
     parser.add_argument("--test-size", type=int, default=30)
     parser.add_argument("--eval-iters", type=int, default=15)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--batched", action="store_true",
+        help="size-bucketed lock-step engine (identical numbers, faster)",
+    )
+    parser.add_argument(
+        "--max-bucket", type=int, default=64,
+        help="batched engine: max instance rows per statevector stack",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase wall-time report after evaluating",
+    )
     parser.set_defaults(func=_cmd_evaluate)
 
 
 def _cmd_evaluate(args) -> int:
+    from repro.profiling import NULL_PROFILER, EvaluationProfiler
+
     dataset = QAOADataset.load(args.dataset)
     model = load_model(args.model)
     _, test = stratified_split(dataset, args.test_size, args.seed)
+    profiler = EvaluationProfiler() if args.profile else NULL_PROFILER
     evaluator = WarmStartEvaluator(
-        p=model.p, optimizer_iters=args.eval_iters, rng=args.seed
+        p=model.p,
+        optimizer_iters=args.eval_iters,
+        rng=args.seed,
+        batched=args.batched,
+        max_bucket=args.max_bucket,
+        profiler=profiler,
     )
     result = evaluator.evaluate_model(test.graphs(), model)
     print(format_table1({model.arch: result}))
+    if args.profile:
+        print(profiler.format_report())
     return 0
 
 
@@ -382,6 +408,22 @@ def _add_bench(subparsers) -> None:
         "--training-epochs", type=int, default=8,
         help="epochs per arm of the training benchmark",
     )
+    parser.add_argument(
+        "--skip-evaluation", action="store_true",
+        help="skip the evaluation-sweep benchmark",
+    )
+    parser.add_argument(
+        "--evaluation-out", type=Path, default=Path("BENCH_3.json"),
+        help="trajectory file for the evaluation benchmark",
+    )
+    parser.add_argument(
+        "--evaluation-graphs", type=int, default=100,
+        help="test-set size for the evaluation benchmark",
+    )
+    parser.add_argument(
+        "--evaluation-iters", type=int, default=60,
+        help="optimizer iterations per arm of the evaluation benchmark",
+    )
     parser.set_defaults(func=_cmd_bench)
 
 
@@ -403,11 +445,17 @@ def _cmd_bench(args) -> int:
         training_path=args.training_out,
         training_graphs=args.training_graphs,
         training_epochs=args.training_epochs,
+        skip_evaluation=args.skip_evaluation,
+        evaluation_path=args.evaluation_out,
+        evaluation_graphs=args.evaluation_graphs,
+        evaluation_iters=args.evaluation_iters,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
     if not args.skip_training:
         print(f"appended training benchmark to {args.training_out}")
+    if not args.skip_evaluation:
+        print(f"appended evaluation benchmark to {args.evaluation_out}")
     return 0
 
 

@@ -7,6 +7,7 @@ from repro.maxcut.problem import (
     assignment_to_bits,
     cut_value,
 )
+from repro.maxcut.cache import ProblemCache, graph_signature
 from repro.maxcut.bruteforce import (
     brute_force_maxcut,
     brute_force_maxcut_chunked,
@@ -26,6 +27,8 @@ __all__ = [
     "all_cut_values",
     "assignment_to_bits",
     "cut_value",
+    "ProblemCache",
+    "graph_signature",
     "brute_force_maxcut",
     "brute_force_maxcut_chunked",
     "count_optimal_cuts",

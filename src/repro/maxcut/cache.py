@@ -1,0 +1,147 @@
+"""Shared :class:`MaxCutProblem` cache for evaluation sweeps.
+
+The warm-start experiment solves the *same* Max-Cut instance many times:
+once per arm of a :class:`~repro.pipeline.evaluation.WarmStartComparison`
+(random vs. warm start) and once per architecture in the
+four-architecture comparison. Each solve only needs two expensive,
+instance-level artifacts — the ``2^n`` cut-value diagonal and the
+brute-force optimum — and both are pure functions of the graph, so they
+belong in a cache shared across the whole sweep rather than being
+recomputed per run.
+
+Entries are bucketed by the 1-WL canonical hash
+(:func:`repro.graphs.canonical.wl_canonical_hash`), the same
+isomorphism-class key the serving cache uses, so sweep statistics can
+report how many distinct structure classes a test set contains. Within
+a bucket, entries are guarded by the *exact* labeled structure
+``(num_nodes, edges, weights)``: the cut-value diagonal indexes
+bitstrings by node label, so it is **not** invariant under relabeling
+(and 1-WL cannot even separate all non-isomorphic regular graphs), which
+means two WL-equal graphs may only share a bucket, never an entry. The
+cache is therefore semantically exact — a hit returns a problem whose
+diagonal and optimum are bit-identical to a freshly built one.
+
+The cache is thread-safe (the evaluation executor's ``thread`` backend
+shares one instance across workers). Pickling drops the lock and the
+cached entries: a process-backend worker starts with an empty cache
+rather than paying to serialize megabytes of diagonals per task.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.graphs.canonical import wl_canonical_hash
+from repro.graphs.graph import Graph
+from repro.maxcut.problem import MaxCutProblem
+
+#: Exact structural identity of a labeled graph (name excluded).
+GraphSignature = Tuple[int, Tuple[Tuple[int, int], ...], Tuple[float, ...]]
+
+
+def graph_signature(graph: Graph) -> GraphSignature:
+    """Structural key for a graph: node count, edges, weights.
+
+    Ignores ``name`` — two differently named but structurally identical
+    graphs share one Max-Cut instance.
+    """
+    return (graph.num_nodes, graph.edges, graph.weights)
+
+
+class ProblemCache:
+    """LRU cache of :class:`MaxCutProblem` instances.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached problems (LRU eviction); ``None`` means
+        unbounded — at evaluation scale (hundreds of graphs, n <= 15)
+        the diagonals total a few megabytes.
+
+    ``get`` returns the *same* problem object for structurally identical
+    graphs, so its memoized diagonal and optimum are computed once and
+    shared by every consumer (both comparison arms, all architectures,
+    repeated ``run_many`` graphs).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        # (wl_hash, signature) -> problem, in LRU order (oldest first).
+        self._entries: "OrderedDict[Tuple[str, GraphSignature], MaxCutProblem]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, graph: Graph) -> MaxCutProblem:
+        """The cached problem for ``graph`` (built on first request)."""
+        key = (wl_canonical_hash(graph), graph_signature(graph))
+        with self._lock:
+            problem = self._entries.get(key)
+            if problem is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return problem
+            self.misses += 1
+        # Build outside the lock: diagonal construction is the expensive
+        # part and must not serialize the thread backend. A racing miss
+        # on the same key builds twice; the first insert wins.
+        problem = MaxCutProblem(graph)
+        problem.cost_diagonal()
+        problem.optimum()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = problem
+            if (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)
+        return problem
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters plus entry and WL-class counts."""
+        with self._lock:
+            entries = len(self._entries)
+            classes = len({wl for wl, _ in self._entries})
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "entries": entries,
+            "wl_classes": classes,
+        }
+
+    # -- pickling: process-backend workers get a fresh, unlocked cache --
+    def __getstate__(self) -> dict:
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(max_entries=state["max_entries"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProblemCache(entries={len(self)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

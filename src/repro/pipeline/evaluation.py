@@ -7,18 +7,35 @@ compare the achieved approximation ratios. The headline quantity is the
 per-graph *improvement* in percentage points,
 ``100 * (AR_gnn - AR_random)``, whose mean and standard deviation across
 the test set form Table 1; the per-graph traces form Figure 5.
+
+Two execution engines run the same experiment:
+
+* the **serial** engine runs one paired comparison per task (optionally
+  fanned out through :class:`~repro.runtime.ParallelExecutor`);
+* the **batched** engine buckets test graphs by node count, stacks both
+  arms of every graph in a bucket into one ``(K, 2^n)`` statevector
+  block, and drives all K instances through the full ansatz, adjoint
+  gradient, and a lock-step optimizer per sweep
+  (:mod:`repro.qaoa.batched`). Per-arm seeds are derived identically,
+  and the batched kernels compute the same per-instance quantities on
+  a cheaper op schedule, so per-graph results agree with the serial
+  engine to a few ulp (tests pin the divergence below ``1e-10``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import DatasetError, ExecutionError
 from repro.gnn.predictor import QAOAParameterPredictor
 from repro.graphs.graph import Graph
+from repro.maxcut.cache import ProblemCache
+from repro.maxcut.problem import MaxCutProblem
+from repro.profiling import NULL_PROFILER
+from repro.qaoa.batched import BatchedAdamOptimizer, BatchedQAOASimulator
 from repro.qaoa.initialization import (
     InitializationStrategy,
     RandomInitialization,
@@ -89,6 +106,19 @@ class EvaluationResult:
         return float(self.improvements.std()) if self.comparisons else 0.0
 
     @property
+    def sem_improvement(self) -> float:
+        """Standard error of the mean improvement.
+
+        Sample standard deviation (``ddof=1``) over ``sqrt(count)``;
+        0.0 when fewer than two comparisons exist (the sample standard
+        deviation is undefined for a single observation).
+        """
+        n = len(self.comparisons)
+        if n < 2:
+            return 0.0
+        return float(self.improvements.std(ddof=1) / np.sqrt(n))
+
+    @property
     def random_ratios(self) -> np.ndarray:
         """Per-graph final AR from random initialization (Fig 5 orange)."""
         return np.asarray([c.random_ratio for c in self.comparisons])
@@ -105,18 +135,36 @@ class EvaluationResult:
         return float((self.improvements >= 0.0).mean())
 
     def summary(self) -> Dict[str, float]:
-        """Dict form for tables and JSON export."""
+        """Dict form for tables and JSON export.
+
+        Safe on an empty result: all aggregates report 0.0 rather than
+        dividing by a zero-length array.
+        """
+        empty = not self.comparisons
         return {
             "strategy": self.strategy_name,
             "mean_improvement": self.mean_improvement,
             "std_improvement": self.std_improvement,
+            "sem_improvement": self.sem_improvement,
             "win_rate": self.win_rate(),
-            "mean_random_ar": float(self.random_ratios.mean()),
-            "mean_strategy_ar": float(self.strategy_ratios.mean()),
-            "std_random_ar": float(self.random_ratios.std()),
-            "std_strategy_ar": float(self.strategy_ratios.std()),
+            "mean_random_ar": 0.0 if empty else float(self.random_ratios.mean()),
+            "mean_strategy_ar": (
+                0.0 if empty else float(self.strategy_ratios.mean())
+            ),
+            "std_random_ar": 0.0 if empty else float(self.random_ratios.std()),
+            "std_strategy_ar": (
+                0.0 if empty else float(self.strategy_ratios.std())
+            ),
             "count": len(self.comparisons),
         }
+
+
+def _graph_degree(graph: Graph) -> int:
+    """Regular degree if the graph is regular, else max degree."""
+    degree = graph.regular_degree()
+    if degree is None:
+        degree = graph.max_degree()
+    return degree
 
 
 def _comparison_task(payload) -> WarmStartComparison:
@@ -124,25 +172,125 @@ def _comparison_task(payload) -> WarmStartComparison:
 
     Module-level (tuple payload) so the process backend can pickle it.
     The two per-arm seeds are pre-derived in graph order, so any backend
-    reproduces the serial comparison bit for bit.
+    reproduces the serial comparison bit for bit. Both arms share one
+    simulator, so the cost diagonal, brute-force optimum, and simulator
+    workspaces are built once per graph instead of once per arm.
     """
     runner, graph, random_strategy, strategy, seed_random, seed_strategy = (
         payload
     )
-    random_outcome = runner.run(graph, random_strategy, task_rng(seed_random))
-    strategy_outcome = runner.run(graph, strategy, task_rng(seed_strategy))
-    degree = graph.regular_degree()
-    if degree is None:
-        degree = graph.max_degree()
+    simulator = runner.simulator_for(graph)
+    random_outcome = runner.run(
+        graph, random_strategy, task_rng(seed_random), simulator=simulator
+    )
+    strategy_outcome = runner.run(
+        graph, strategy, task_rng(seed_strategy), simulator=simulator
+    )
     return WarmStartComparison(
         graph_name=graph.name,
         num_nodes=graph.num_nodes,
-        degree=degree,
+        degree=_graph_degree(graph),
         random_ratio=random_outcome.approximation_ratio,
         strategy_ratio=strategy_outcome.approximation_ratio,
         random_initial_ratio=random_outcome.initial_approximation_ratio,
         strategy_initial_ratio=strategy_outcome.initial_approximation_ratio,
     )
+
+
+#: One graph's slot in a bucket: (graph, random-arm seed, strategy-arm seed).
+_BucketEntry = Tuple[Graph, int, int]
+
+
+def _bucket_task(payload) -> List[WarmStartComparison]:
+    """Run one size bucket through the batched engine.
+
+    Each graph contributes two adjacent instance rows — ``2j`` for the
+    random arm and ``2j + 1`` for the strategy arm — to a single
+    ``(K, 2^n)`` statevector stack, and all ``K`` instances march
+    through the lock-step optimizer together. Initial parameters are
+    drawn from ``task_rng(seed)`` exactly as the serial
+    :meth:`QAOARunner.run` would, and the batched kernels compute the
+    same per-instance quantities as the serial simulator (on a cheaper
+    op schedule), so the returned comparisons agree with the serial
+    engine's to a few ulp.
+    """
+    (
+        entries,
+        random_strategy,
+        strategy,
+        p,
+        optimizer,
+        max_iters,
+        tol,
+        cache,
+    ) = payload
+    problems: List[MaxCutProblem] = []
+    gamma_rows: List[np.ndarray] = []
+    beta_rows: List[np.ndarray] = []
+    for graph, seed_random, seed_strategy in entries:
+        problem = cache.get(graph) if cache is not None else MaxCutProblem(graph)
+        for arm_strategy, seed in (
+            (random_strategy, seed_random),
+            (strategy, seed_strategy),
+        ):
+            gammas0, betas0 = arm_strategy.initial_parameters(
+                graph, p, task_rng(seed)
+            )
+            problems.append(problem)
+            gamma_rows.append(np.asarray(gammas0, dtype=np.float64))
+            beta_rows.append(np.asarray(betas0, dtype=np.float64))
+    simulator = BatchedQAOASimulator(problems)
+    gammas = np.stack(gamma_rows)
+    betas = np.stack(beta_rows)
+    initial = simulator.expectations(gammas, betas)
+    result = optimizer.run(
+        simulator, gammas, betas, max_iters=max_iters, tol=tol
+    )
+    comparisons = []
+    for j, (graph, _, _) in enumerate(entries):
+        problem = problems[2 * j]
+        comparisons.append(
+            WarmStartComparison(
+                graph_name=graph.name,
+                num_nodes=graph.num_nodes,
+                degree=_graph_degree(graph),
+                random_ratio=problem.approximation_ratio(
+                    float(result.expectations[2 * j])
+                ),
+                strategy_ratio=problem.approximation_ratio(
+                    float(result.expectations[2 * j + 1])
+                ),
+                random_initial_ratio=problem.approximation_ratio(
+                    float(initial[2 * j])
+                ),
+                strategy_initial_ratio=problem.approximation_ratio(
+                    float(initial[2 * j + 1])
+                ),
+            )
+        )
+    return comparisons
+
+
+def _size_buckets(
+    graphs: Sequence[Graph], max_bucket: int
+) -> List[List[int]]:
+    """Graph indices grouped by node count, chunked to the bucket cap.
+
+    ``max_bucket`` caps the *instance rows* per batch; each graph
+    contributes two rows (one per arm), so chunks hold at most
+    ``max(1, max_bucket // 2)`` graphs. Order within a bucket follows
+    the input order, so seeds line up with the serial engine.
+    """
+    by_size: Dict[int, List[int]] = {}
+    for index, graph in enumerate(graphs):
+        by_size.setdefault(graph.num_nodes, []).append(index)
+    chunk = max(1, max_bucket // 2)
+    buckets = []
+    for size in sorted(by_size):
+        indices = by_size[size]
+        for start in range(0, len(indices), chunk):
+            buckets.append(indices[start : start + chunk])
+    return buckets
 
 
 class WarmStartEvaluator:
@@ -152,10 +300,32 @@ class WarmStartEvaluator:
     initial angles are drawn independently per graph from the shared RNG
     stream, so comparisons are paired but unbiased.
 
-    ``executor`` fans the per-graph comparisons out through the parallel
-    runtime (default: serial). Per-arm seeds are derived from the
-    evaluator RNG in graph order before dispatch, so results are
-    identical across backends and to the historical serial loop.
+    ``executor`` fans the per-graph comparisons (serial engine) or
+    per-bucket blocks (batched engine) out through the parallel runtime
+    (default: serial). Per-arm seeds are derived from the evaluator RNG
+    in graph order before dispatch, so results are bit-identical across
+    backends, match the historical serial loop, and agree between the
+    serial and batched engines to a few ulp.
+
+    Parameters
+    ----------
+    batched:
+        Use the batched engine: bucket test graphs by node count and
+        simulate every instance in a bucket in lock step
+        (:mod:`repro.qaoa.batched`). Agrees with the serial engine
+        within ``1e-10`` per graph; much faster on many-graph sweeps.
+    max_bucket:
+        Batched engine only — maximum instance rows per ``(K, 2^n)``
+        stack. Each graph contributes two rows.
+    problem_cache:
+        Shared :class:`~repro.maxcut.cache.ProblemCache`; defaults to a
+        fresh cache, so both arms of every comparison (and structurally
+        repeated graphs) share one cost diagonal and brute-force
+        optimum. Under the process backend the cache pickles to empty
+        and deduplicates within each worker task only.
+    profiler:
+        Optional :class:`~repro.profiling.PhaseProfiler`; records
+        ``prepare`` / ``optimize`` / ``aggregate`` phases per sweep.
     """
 
     def __init__(
@@ -165,19 +335,39 @@ class WarmStartEvaluator:
         learning_rate: float = 0.05,
         rng: RngLike = None,
         executor: Optional[ParallelExecutor] = None,
+        batched: bool = False,
+        max_bucket: int = 64,
+        problem_cache: Optional[ProblemCache] = None,
+        profiler=NULL_PROFILER,
     ):
         from repro.qaoa.optimizers import AdamOptimizer
 
+        if max_bucket < 2:
+            raise ValueError(
+                f"max_bucket must be >= 2 (one graph = two rows), "
+                f"got {max_bucket}"
+            )
         self.p = p
+        self.optimizer_iters = int(optimizer_iters)
+        self.problem_cache = (
+            problem_cache if problem_cache is not None else ProblemCache()
+        )
         self.runner = QAOARunner(
             p=p,
             optimizer=AdamOptimizer(learning_rate=learning_rate),
             max_iters=optimizer_iters,
+            problem_cache=self.problem_cache,
+        )
+        self.batched = bool(batched)
+        self.max_bucket = int(max_bucket)
+        self._batched_optimizer = BatchedAdamOptimizer(
+            learning_rate=learning_rate
         )
         self._rng = ensure_rng(rng)
         self.executor = (
             executor if executor is not None else ParallelExecutor()
         )
+        self.profiler = profiler
 
     def evaluate_strategy(
         self,
@@ -193,7 +383,30 @@ class WarmStartEvaluator:
         random_strategy = RandomInitialization()
         # Two seeds per graph, drawn in the same order the serial loop
         # used to call spawn_rng: (random arm, strategy arm) per graph.
-        seeds = derive_task_seeds(self._rng, 2 * len(graphs))
+        # Both engines consume the evaluator RNG identically, so
+        # switching engines cannot change which experiment runs.
+        with self.profiler.phase("prepare"):
+            seeds = derive_task_seeds(self._rng, 2 * len(graphs))
+        if self.batched:
+            comparisons = self._evaluate_batched(
+                graphs, random_strategy, strategy, seeds
+            )
+        else:
+            comparisons = self._evaluate_serial(
+                graphs, random_strategy, strategy, seeds
+            )
+        with self.profiler.phase("aggregate"):
+            result.comparisons.extend(comparisons)
+        return result
+
+    def _evaluate_serial(
+        self,
+        graphs: Sequence[Graph],
+        random_strategy: InitializationStrategy,
+        strategy: InitializationStrategy,
+        seeds: Sequence[int],
+    ) -> List[WarmStartComparison]:
+        """One task per graph; both arms inside the task."""
         payloads = [
             (
                 self.runner,
@@ -206,18 +419,66 @@ class WarmStartEvaluator:
             for i, graph in enumerate(graphs)
         ]
         try:
-            comparisons = self.executor.map(
-                _comparison_task,
-                payloads,
-                labels=[graph.name for graph in graphs],
-            )
+            with self.profiler.phase("optimize"):
+                return self.executor.map(
+                    _comparison_task,
+                    payloads,
+                    labels=[graph.name for graph in graphs],
+                )
         except ExecutionError as exc:
             names = ", ".join(failure.label for failure in exc.failures[:5])
             raise DatasetError(
                 f"evaluation failed for {len(exc.failures)} graph(s): {names}"
             ) from exc
-        result.comparisons.extend(comparisons)
-        return result
+
+    def _evaluate_batched(
+        self,
+        graphs: Sequence[Graph],
+        random_strategy: InitializationStrategy,
+        strategy: InitializationStrategy,
+        seeds: Sequence[int],
+    ) -> List[WarmStartComparison]:
+        """One task per size bucket; all instances in lock step."""
+        with self.profiler.phase("prepare"):
+            buckets = _size_buckets(graphs, self.max_bucket)
+            payloads = []
+            labels = []
+            for bucket in buckets:
+                entries: List[_BucketEntry] = [
+                    (graphs[i], seeds[2 * i], seeds[2 * i + 1])
+                    for i in bucket
+                ]
+                payloads.append(
+                    (
+                        entries,
+                        random_strategy,
+                        strategy,
+                        self.p,
+                        self._batched_optimizer,
+                        self.optimizer_iters,
+                        self.runner.tol,
+                        self.problem_cache,
+                    )
+                )
+                labels.append(
+                    f"n={graphs[bucket[0]].num_nodes} x{len(bucket)}"
+                )
+        try:
+            with self.profiler.phase("optimize"):
+                results = self.executor.map(
+                    _bucket_task, payloads, labels=labels
+                )
+        except ExecutionError as exc:
+            names = ", ".join(failure.label for failure in exc.failures[:5])
+            raise DatasetError(
+                f"evaluation failed for {len(exc.failures)} bucket(s): {names}"
+            ) from exc
+        # Scatter bucket results back to the input graph order.
+        comparisons: List[Optional[WarmStartComparison]] = [None] * len(graphs)
+        for bucket, bucket_result in zip(buckets, results):
+            for index, comparison in zip(bucket, bucket_result):
+                comparisons[index] = comparison
+        return comparisons  # type: ignore[return-value]
 
     def evaluate_model(
         self,

@@ -1,11 +1,13 @@
-"""Lightweight per-phase wall-time profiling for the training loop.
+"""Lightweight per-phase wall-time profiling for hot loops.
 
-A :class:`TrainingProfiler` accumulates wall time into named phases
-(batch assembly / forward / backward / optimizer step / …) through a
-context manager, then renders a machine-readable report and a
-one-screen table. The :data:`NULL_PROFILER` singleton implements the
-same interface as no-ops, so the trainer's hot loop pays a single
-attribute lookup when profiling is off.
+A :class:`PhaseProfiler` accumulates wall time into named phases
+through a context manager, then renders a machine-readable report and a
+one-screen table. :class:`TrainingProfiler` (batch assembly / forward /
+backward / optimizer step / …) and :class:`EvaluationProfiler`
+(bucketing / simulate / aggregate) are thin subclasses that only fix
+the report title. The :data:`NULL_PROFILER` singleton implements the
+same interface as no-ops, so hot loops pay a single attribute lookup
+when profiling is off.
 
 Example::
 
@@ -25,19 +27,26 @@ from typing import Callable, Dict, Optional
 PROFILE_SCHEMA_VERSION = 1
 
 
-class TrainingProfiler:
+class PhaseProfiler:
     """Accumulates wall time per named phase.
 
     Parameters
     ----------
     clock:
         Monotonic time source returning seconds; injectable for tests.
+    title:
+        Heading used by :meth:`format_report`.
     """
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        title: str = "profile",
+    ):
         self._clock = clock
+        self._title = title
         self._start = clock()
         # Insertion-ordered: phases report in first-use order.
         self._totals: Dict[str, float] = {}
@@ -88,7 +97,7 @@ class TrainingProfiler:
         """One-screen human-readable table of the report."""
         report = self.report()
         lines = [
-            f"training profile ({report['total_s']:.3f}s wall, "
+            f"{self._title} ({report['total_s']:.3f}s wall, "
             f"{report['accounted_s']:.3f}s accounted)",
             f"  {'phase':<16} {'total':>10} {'calls':>8} "
             f"{'mean':>10} {'share':>7}",
@@ -102,8 +111,22 @@ class TrainingProfiler:
         return "\n".join(lines)
 
 
+class TrainingProfiler(PhaseProfiler):
+    """Per-phase profiler for the GNN training loop."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        super().__init__(clock=clock, title="training profile")
+
+
+class EvaluationProfiler(PhaseProfiler):
+    """Per-phase profiler for the warm-start evaluation sweep."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        super().__init__(clock=clock, title="evaluation profile")
+
+
 class _NullProfiler:
-    """No-op stand-in with the :class:`TrainingProfiler` interface."""
+    """No-op stand-in with the :class:`PhaseProfiler` interface."""
 
     enabled = False
     __slots__ = ()

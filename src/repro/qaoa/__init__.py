@@ -1,6 +1,12 @@
 """QAOA core: simulator, gradients, optimizers, initialization, runner."""
 
 from repro.qaoa.simulator import QAOASimulator
+from repro.qaoa.batched import (
+    BatchedAdamOptimizer,
+    BatchedGradientDescentOptimizer,
+    BatchedOptimizationResult,
+    BatchedQAOASimulator,
+)
 from repro.qaoa.ansatz import build_qaoa_circuit, qaoa_resource_counts
 from repro.qaoa.analytic import (
     p1_edge_expectation,
@@ -58,6 +64,10 @@ from repro.qaoa.interp import (
 
 __all__ = [
     "QAOASimulator",
+    "BatchedAdamOptimizer",
+    "BatchedGradientDescentOptimizer",
+    "BatchedOptimizationResult",
+    "BatchedQAOASimulator",
     "build_qaoa_circuit",
     "qaoa_resource_counts",
     "p1_edge_expectation",

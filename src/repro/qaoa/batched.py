@@ -1,0 +1,777 @@
+"""Batched multi-instance QAOA simulation with lock-step optimizers.
+
+The warm-start evaluation runs hundreds of *independent* scalar QAOA
+optimizations — two arms per held-out graph, repeated per architecture —
+and at evaluation sizes (n = 4..15, dims 16..32768) each numpy call in
+the serial simulator touches so little data that dispatch overhead
+dominates. This module batches all instances of one qubit count into a
+single ``(K, 2^n)`` amplitude stack and runs the full ansatz plus the
+exact adjoint gradient for all ``K`` instances per sweep:
+
+- the **cost phase** ``exp(-i gamma C)`` is a per-row elementwise
+  multiply against a stacked ``(K, 2^n)`` phase table. Cut values are
+  small non-negative integers for the benchmark graphs, so the phases
+  are gathered from a tiny per-row table of ``exp(-i gamma_k * v)``
+  (one transcendental per *distinct cut value* instead of one per
+  amplitude); non-integral diagonals fall back to a dense ``exp``.
+  Forward-pass phases are cached so the adjoint sweep undoes them by
+  conjugation instead of fresh evaluations;
+- the **mixer** ``RX(2 beta)^(tensor n)`` mirrors the serial kernel's
+  group decomposition — the lowest ``_GROUP_BITS`` qubits contract
+  through one stacked right-gemm (``(K, m, 2^g) @ (K, 2^g, 2^g)``),
+  the highest group through a stacked left-gemm, and any middle qubits
+  through batch-broadcast butterflies — with the per-instance group
+  matrices built by batched Kronecker doubling. The backward sweep
+  reuses the cached forward matrices: ``RX(-2 beta)^(tensor g)`` is
+  their elementwise conjugate;
+- the **generator** ``B = sum_q X_q`` splits the same way: one
+  right-gemm for the low group, one left-gemm for the high group, and
+  bit-flip slice adds for any middle qubits.
+
+Numerical contract
+------------------
+Per instance, every batched kernel computes the same quantities as the
+serial :class:`~repro.qaoa.simulator.QAOASimulator` with the same
+float64/complex128 precision but a cheaper operation schedule
+(Kronecker-doubled matrices, phase-table gathers, conjugate-shared
+backward factors), so results agree with the serial path to a few ulp —
+the equivalence tests in ``tests/test_qaoa_batched.py`` and the
+evaluation benchmark pin the divergence of full optimization
+trajectories below ``1e-10``.
+
+On top sit **lock-step optimizers**: :class:`BatchedAdamOptimizer` and
+:class:`BatchedGradientDescentOptimizer` advance a ``(K, 2p)`` parameter
+block one iteration at a time with per-instance histories, best-iterate
+tracking and per-instance early stopping — the vectorized twins of
+:class:`~repro.qaoa.optimizers.AdamOptimizer` and
+:class:`~repro.qaoa.optimizers.GradientDescentOptimizer`.
+
+Like the serial simulator, a :class:`BatchedQAOASimulator` owns all of
+its workspaces and is NOT safe for concurrent use from multiple threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import CircuitError, OptimizationError
+from repro.graphs.graph import Graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.simulator import _GROUP_BITS, _sum_x_group_matrix
+
+#: Widest integer cost diagonal served from a phase-gather table. Cut
+#: values are bounded by the edge count, so evaluation-size graphs stay
+#: far below this; the cap only guards table memory for huge inputs.
+_PHASE_TABLE_MAX = 1 << 16
+
+
+# ----------------------------------------------------------------------
+# Batched kernels
+# ----------------------------------------------------------------------
+def _batched_rx_group_matrices(
+    k: int, betas: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """``RX(2 beta_i)^(tensor k)`` for every instance: ``(K, 2^k, 2^k)``.
+
+    Entry ``[i, r, c] = cos(beta_i)^(k-h) (-i sin(beta_i))^h`` with
+    ``h = popcount(r xor c)``, built by Kronecker doubling: seed the
+    2x2 ``RX`` block, then repeatedly expand ``M -> [[c M, -is M],
+    [-is M, c M]]`` in place inside ``out``'s top-left corner. All
+    writes are contiguous SIMD multiplies — far cheaper than gathering
+    ``2^k * 2^k`` popcount-indexed powers per instance.
+    """
+    betas = np.asarray(betas, dtype=np.float64)
+    batch = betas.shape[0]
+    size = 1 << k
+    if out is None:
+        out = np.empty((batch, size, size), dtype=np.complex128)
+    c = np.cos(betas)
+    ms = -1j * np.sin(betas)
+    seed = out[:, :2, :2]
+    seed[:, 0, 0] = c
+    seed[:, 1, 1] = c
+    seed[:, 0, 1] = ms
+    seed[:, 1, 0] = ms
+    cb = c[:, None, None]
+    msb = ms[:, None, None]
+    d = 2
+    while d < size:
+        m = out[:, :d, :d]
+        np.multiply(m, msb, out=out[:, :d, d : 2 * d])
+        out[:, d : 2 * d, :d] = out[:, :d, d : 2 * d]
+        np.multiply(m, cb, out=out[:, d : 2 * d, d : 2 * d])
+        m *= cb
+        d <<= 1
+    return out
+
+
+def _batched_mixer_into(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_qubits: int,
+    betas: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+    butterfly_work: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    low_groups: Optional[np.ndarray] = None,
+    high_groups: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Write ``exp(-i betas[i] B) src[i]`` into ``dst[i]`` for a stack.
+
+    ``src`` and ``dst`` are contiguous ``(K, 2^n)`` complex arrays
+    (``src`` preserved). The decomposition mirrors the serial
+    ``_apply_mixer_into``: the lowest ``min(_GROUP_BITS, n)`` qubits
+    contract through one stacked right-gemm, the highest
+    ``min(_GROUP_BITS, n - low)`` through one stacked left-gemm, and
+    any middle qubits through batch-broadcast butterflies on
+    ``scratch``. The per-instance group matrices (``low_groups`` /
+    ``high_groups``) may be supplied — callers cache these across the
+    two adjoint states and conjugate them for the backward sweep —
+    else they are built from ``betas``.
+    """
+    n = num_qubits
+    batch = src.shape[0]
+    if n <= _GROUP_BITS:
+        if low_groups is None:
+            low_groups = _batched_rx_group_matrices(n, betas)
+        np.matmul(
+            src.reshape(batch, 1, -1),
+            low_groups,
+            out=dst.reshape(batch, 1, -1),
+        )
+        return dst
+    low = _GROUP_BITS
+    high = min(_GROUP_BITS, n - low)
+    if low_groups is None:
+        low_groups = _batched_rx_group_matrices(low, betas)
+    if high_groups is None:
+        # Equal group widths share one matrix (RX tensor powers depend
+        # only on the width and the angle).
+        high_groups = (
+            low_groups
+            if high == low
+            else _batched_rx_group_matrices(high, betas)
+        )
+    if scratch is None:
+        scratch = np.empty_like(src)
+    np.matmul(
+        src.reshape(batch, -1, 1 << low),
+        low_groups,
+        out=scratch.reshape(batch, -1, 1 << low),
+    )
+    if n > low + high:
+        if butterfly_work is None:
+            half = src.shape[1] >> 1
+            butterfly_work = (
+                np.empty((batch, half), dtype=np.complex128),
+                np.empty((batch, half), dtype=np.complex128),
+            )
+        betas = np.asarray(betas, dtype=np.float64)
+        c = np.cos(betas).reshape(batch, 1, 1)
+        ms = (-1j * np.sin(betas)).reshape(batch, 1, 1)
+        wa, wb = butterfly_work
+        for q in range(low, n - high):
+            block = 1 << q
+            view = scratch.reshape(batch, -1, 2, block)
+            a = view[:, :, 0, :]
+            b = view[:, :, 1, :]
+            shaped_wa = wa.reshape(a.shape)
+            shaped_wb = wb.reshape(b.shape)
+            np.multiply(a, ms, out=shaped_wa)  # wa = -i s a_old
+            a *= c
+            np.multiply(b, ms, out=shaped_wb)  # wb = -i s b_old
+            a += shaped_wb                     # a = c a_old - i s b_old
+            b *= c
+            b += shaped_wa                     # b = c b_old - i s a_old
+    np.matmul(
+        high_groups,
+        scratch.reshape(batch, 1 << high, -1),
+        out=dst.reshape(batch, 1 << high, -1),
+    )
+    return dst
+
+
+def _batched_sum_x_into(
+    psi: np.ndarray,
+    num_qubits: int,
+    out: np.ndarray,
+    work: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Write ``(sum_q X_q) psi[i]`` into ``out[i]``; ``psi`` preserved.
+
+    Splits like the mixer: the low group through one stacked right-gemm
+    against the shared (real, cached) ``sum_x`` group matrix, the high
+    group through one stacked left-gemm accumulated via ``work``, and
+    any middle qubits through bit-flip slice adds.
+    """
+    n = num_qubits
+    batch = psi.shape[0]
+    low = min(_GROUP_BITS, n)
+    group = _sum_x_group_matrix(low)
+    np.matmul(
+        psi.reshape(batch, -1, 1 << low),
+        group,
+        out=out.reshape(batch, -1, 1 << low),
+    )
+    if n <= low:
+        return out
+    high = min(_GROUP_BITS, n - low)
+    for q in range(low, n - high):
+        block = 1 << q
+        view = psi.reshape(batch, -1, 2, block)
+        target = out.reshape(batch, -1, 2, block)
+        target[:, :, 0, :] += view[:, :, 1, :]
+        target[:, :, 1, :] += view[:, :, 0, :]
+    if work is None:
+        work = np.empty_like(psi)
+    np.matmul(
+        _sum_x_group_matrix(high),
+        psi.reshape(batch, 1 << high, -1),
+        out=work.reshape(batch, 1 << high, -1),
+    )
+    out += work
+    return out
+
+
+def _row_vdot(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out[i] = <a[i] | b[i]>`` row by row.
+
+    A Python loop over ``np.vdot`` on contiguous rows — each reduction
+    is the same BLAS ``zdotc`` call the serial simulator makes. The
+    loop costs K tiny calls against the K-fold larger kernel launches
+    it sits between.
+    """
+    for i in range(a.shape[0]):
+        out[i] = np.vdot(a[i], b[i])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batched simulator
+# ----------------------------------------------------------------------
+class BatchedQAOASimulator:
+    """Exact QAOA simulator over a stack of same-size Max-Cut instances.
+
+    Parameters
+    ----------
+    problems:
+        :class:`MaxCutProblem` instances (or raw :class:`Graph` objects)
+        that all share one node count. Problems may repeat — e.g. the
+        random and warm arm of one graph occupy two rows backed by the
+        same cached problem.
+
+    Parameters to every method are ``(K, p)`` arrays: row ``i`` holds
+    instance ``i``'s angles. All workspaces are owned by the instance,
+    so repeated evaluations — the lock-step optimizer loop — are
+    allocation-free.
+    """
+
+    def __init__(self, problems: Sequence[Union[MaxCutProblem, Graph]]):
+        if len(problems) == 0:
+            raise CircuitError("batched simulator needs at least one instance")
+        resolved = [
+            MaxCutProblem(p) if isinstance(p, Graph) else p for p in problems
+        ]
+        n = resolved[0].num_nodes
+        for problem in resolved:
+            if problem.num_nodes != n:
+                raise CircuitError(
+                    "batched instances must share one node count: "
+                    f"got {problem.num_nodes} and {n}"
+                )
+        self.problems: List[MaxCutProblem] = resolved
+        self.num_qubits = n
+        self.num_instances = batch = len(resolved)
+        dim = 1 << n
+        self._diagonals = np.empty((batch, dim), dtype=np.float64)
+        for i, problem in enumerate(resolved):
+            self._diagonals[i] = problem.cost_diagonal()
+        # Integral diagonals (every unweighted Max-Cut instance) are
+        # served by a per-row phase-table gather: exp(-i gamma_k v) for
+        # each distinct cut value v, then a fancy-index broadcast. This
+        # is bit-identical to the dense exp — the same products reach
+        # the same exp calls — at a fraction of the transcendental work.
+        self._diag_int: Optional[np.ndarray] = None
+        if np.all(self._diagonals >= 0) and np.all(
+            self._diagonals == np.rint(self._diagonals)
+        ):
+            max_value = int(self._diagonals.max())
+            if max_value < _PHASE_TABLE_MAX:
+                self._diag_int = self._diagonals.astype(np.intp)
+                self._phase_values = np.arange(
+                    max_value + 1, dtype=np.float64
+                )
+                self._gather_rows = np.arange(batch)[:, None]
+        self._plus = np.full(
+            (batch, dim), 1.0 / np.sqrt(dim), dtype=np.complex128
+        )
+        self._phase = np.empty((batch, dim), dtype=np.complex128)
+        self._work = np.empty((batch, dim), dtype=np.complex128)
+        self._psi = np.empty((batch, dim), dtype=np.complex128)
+        self._psi_alt = np.empty((batch, dim), dtype=np.complex128)
+        self._lam = np.empty((batch, dim), dtype=np.complex128)
+        self._lam_alt = np.empty((batch, dim), dtype=np.complex128)
+        self._row = np.empty(batch, dtype=np.complex128)
+        low = min(_GROUP_BITS, n)
+        high = min(_GROUP_BITS, n - low) if n > low else 0
+        self._low_bits = low
+        self._high_bits = high
+        self._low_tmp = np.empty(
+            (batch, 1 << low, 1 << low), dtype=np.complex128
+        )
+        # When the high group is as wide as the low one (n = 2 groups)
+        # the two matrices coincide, so no second build is needed.
+        self._shared_groups = high == low
+        self._high_tmp = (
+            np.empty((batch, 1 << high, 1 << high), dtype=np.complex128)
+            if high and not self._shared_groups
+            else None
+        )
+        # The two-gemm mixer stages through a scratch stack; sum_x
+        # accumulates its high-group gemm through another.
+        self._scratch = (
+            np.empty((batch, dim), dtype=np.complex128) if high else None
+        )
+        self._sum_x_work = (
+            np.empty((batch, dim), dtype=np.complex128) if high else None
+        )
+        # Per-layer forward caches for the adjoint sweep (phases and
+        # group matrices), sized on first gradient call for depth p.
+        self._phase_stack: Optional[np.ndarray] = None
+        self._low_stack: Optional[np.ndarray] = None
+        self._high_stack: Optional[np.ndarray] = None
+        # Butterfly temporaries are exercised only when middle qubits
+        # sit between the low and high gemm groups (n > 2 groups).
+        self._butterfly: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if n > low + high:
+            half = dim >> 1
+            self._butterfly = (
+                np.empty((batch, half), dtype=np.complex128),
+                np.empty((batch, half), dtype=np.complex128),
+            )
+
+    # ------------------------------------------------------------------
+    def expectations(
+        self, gammas: np.ndarray, betas: np.ndarray
+    ) -> np.ndarray:
+        """``<psi_i| C_i |psi_i>`` for every instance — shape ``(K,)``."""
+        gammas, betas = self._check_params(gammas, betas)
+        psi = self._evolve(gammas, betas)
+        np.multiply(self._diagonals, psi, out=self._work)
+        _row_vdot(psi, self._work, self._row)
+        return self._row.real.copy()
+
+    def approximation_ratios(
+        self, gammas: np.ndarray, betas: np.ndarray
+    ) -> np.ndarray:
+        """Per-instance expected cut divided by the exact optimum."""
+        energies = self.expectations(gammas, betas)
+        return np.array(
+            [
+                problem.approximation_ratio(energy)
+                for problem, energy in zip(self.problems, energies)
+            ]
+        )
+
+    def expectations_and_gradients(
+        self, gammas: np.ndarray, betas: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Energies plus exact adjoint gradients for the whole stack.
+
+        Returns ``(energies (K,), dE/dgamma (K, p), dE/dbeta (K, p))``;
+        per instance, the same reverse sweep as the serial
+        ``expectation_and_gradient``. The forward pass caches each
+        layer's phase array and mixer group matrices; the backward
+        sweep consumes them by conjugation (``exp(+i gamma C)`` is the
+        conjugate of the cached ``exp(-i gamma C)``, ``RX(-2 beta)`` the
+        conjugate of the cached ``RX(2 beta)``), halving the transcen-
+        dental work per iteration.
+        """
+        gammas, betas = self._check_params(gammas, betas)
+        p = gammas.shape[1]
+        n = self.num_qubits
+        diag = self._diagonals
+        batch = self.num_instances
+        dim = diag.shape[1]
+        low = self._low_bits
+        high = self._high_bits
+        if self._phase_stack is None or self._phase_stack.shape[0] < p:
+            self._phase_stack = np.empty(
+                (p, batch, dim), dtype=np.complex128
+            )
+            self._low_stack = np.empty(
+                (p, batch, 1 << low, 1 << low), dtype=np.complex128
+            )
+            self._high_stack = (
+                np.empty(
+                    (p, batch, 1 << high, 1 << high), dtype=np.complex128
+                )
+                if high and not self._shared_groups
+                else None
+            )
+        phases = self._phase_stack
+        low_stack = self._low_stack
+        high_stack = self._high_stack
+
+        # Forward pass, caching per-layer phases and group matrices.
+        cur, nxt = self._psi, self._psi_alt
+        np.copyto(cur, self._plus)
+        for k in range(p):
+            ph = self._phases_into(gammas[:, k], phases[k])
+            cur *= ph
+            low_groups = _batched_rx_group_matrices(
+                low, betas[:, k], out=low_stack[k]
+            )
+            if self._shared_groups:
+                high_groups = low_groups
+            elif high:
+                high_groups = _batched_rx_group_matrices(
+                    high, betas[:, k], out=high_stack[k]
+                )
+            else:
+                high_groups = None
+            _batched_mixer_into(
+                cur, nxt, n, betas[:, k], self._scratch, self._butterfly,
+                low_groups=low_groups, high_groups=high_groups,
+            )
+            cur, nxt = nxt, cur
+        psi, psi_alt = cur, nxt
+
+        lam = self._lam
+        lam_alt = self._lam_alt
+        row = self._row
+        np.multiply(diag, psi, out=lam)
+        _row_vdot(psi, lam, row)
+        energies = row.real.copy()
+        grad_gamma = np.zeros((batch, p), dtype=np.float64)
+        grad_beta = np.zeros((batch, p), dtype=np.float64)
+        work = self._work
+
+        for k in range(p - 1, -1, -1):
+            # psi currently equals psi_k (state after layer k).
+            _batched_sum_x_into(psi, n, work, self._sum_x_work)
+            _row_vdot(lam, work, row)
+            grad_beta[:, k] = 2.0 * row.imag
+            # Undo the mixer on both vectors: the inverse group
+            # matrices are the conjugate of the cached forward ones.
+            inv_low = np.conjugate(low_stack[k], out=low_stack[k])
+            if self._shared_groups:
+                inv_high = inv_low
+            elif high:
+                inv_high = np.conjugate(high_stack[k], out=high_stack[k])
+            else:
+                inv_high = None
+            _batched_mixer_into(
+                psi, psi_alt, n, -betas[:, k], self._scratch,
+                self._butterfly, low_groups=inv_low, high_groups=inv_high,
+            )
+            psi, psi_alt = psi_alt, psi
+            _batched_mixer_into(
+                lam, lam_alt, n, -betas[:, k], self._scratch,
+                self._butterfly, low_groups=inv_low, high_groups=inv_high,
+            )
+            lam, lam_alt = lam_alt, lam
+            np.multiply(diag, psi, out=work)
+            _row_vdot(lam, work, row)
+            grad_gamma[:, k] = 2.0 * row.imag
+            # Undo the phase separator: conjugate of the cached phase.
+            ph = np.conjugate(phases[k], out=phases[k])
+            psi *= ph
+            lam *= ph
+
+        return energies, grad_gamma, grad_beta
+
+    # ------------------------------------------------------------------
+    def _phases_into(
+        self, gammas_k: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Write ``exp(-i gammas_k[i] C_i)`` into ``out[i]``.
+
+        Integral diagonals gather from a ``(K, max_cut+1)`` table of
+        per-row value phases (bit-identical to the dense path — the
+        same ``(-i gamma) * value`` products feed the same ``exp``);
+        anything else computes the dense elementwise ``exp``.
+        """
+        if self._diag_int is not None:
+            table = np.exp(
+                (-1j * gammas_k)[:, None] * self._phase_values[None, :]
+            )
+            out[...] = table[self._gather_rows, self._diag_int]
+        else:
+            np.multiply(
+                self._diagonals, (-1j * gammas_k)[:, None], out=out
+            )
+            np.exp(out, out=out)
+        return out
+
+    def _evolve(self, gammas: np.ndarray, betas: np.ndarray) -> np.ndarray:
+        """Evolve the ``|+>`` stack through the depth-p ansatz.
+
+        Ping-pongs the ``_psi``/``_psi_alt`` workspaces; the returned
+        buffer is invalidated by the next evaluation.
+        """
+        cur, nxt = self._psi, self._psi_alt
+        np.copyto(cur, self._plus)
+        high = self._high_bits
+        for k in range(gammas.shape[1]):
+            cur *= self._phases_into(gammas[:, k], self._phase)
+            low_groups = _batched_rx_group_matrices(
+                self._low_bits, betas[:, k], out=self._low_tmp
+            )
+            if self._shared_groups:
+                high_groups = low_groups
+            elif high:
+                high_groups = _batched_rx_group_matrices(
+                    high, betas[:, k], out=self._high_tmp
+                )
+            else:
+                high_groups = None
+            _batched_mixer_into(
+                cur, nxt, self.num_qubits, betas[:, k], self._scratch,
+                self._butterfly, low_groups=low_groups,
+                high_groups=high_groups,
+            )
+            cur, nxt = nxt, cur
+        return cur
+
+    def _check_params(
+        self, gammas, betas
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        gammas = np.asarray(gammas, dtype=np.float64)
+        betas = np.asarray(betas, dtype=np.float64)
+        if gammas.ndim != 2 or betas.ndim != 2:
+            raise CircuitError(
+                "batched gammas and betas must be (num_instances, p) arrays"
+            )
+        if gammas.shape != betas.shape:
+            raise CircuitError(
+                f"gamma/beta shape mismatch: {gammas.shape} vs {betas.shape}"
+            )
+        if gammas.shape[0] != self.num_instances:
+            raise CircuitError(
+                f"parameter stack has {gammas.shape[0]} rows for "
+                f"{self.num_instances} instances"
+            )
+        if gammas.shape[1] == 0:
+            raise CircuitError("depth p must be at least 1")
+        return gammas, betas
+
+
+# ----------------------------------------------------------------------
+# Lock-step optimizers
+# ----------------------------------------------------------------------
+@dataclass
+class BatchedOptimizationResult:
+    """Per-instance outcome of a lock-step optimization.
+
+    Attributes
+    ----------
+    gammas, betas:
+        ``(K, p)`` parameter stacks (best iterate for Adam, final
+        iterate for plain gradient descent — matching the serial
+        optimizers).
+    expectations:
+        ``(K,)`` expectation at the returned parameters.
+    histories:
+        Per-instance expectation trace, one list per instance.
+    iterations:
+        ``(K,)`` iterations executed per instance (instances stop
+        independently when ``tol`` is set).
+    """
+
+    gammas: np.ndarray
+    betas: np.ndarray
+    expectations: np.ndarray
+    histories: List[List[float]] = field(default_factory=list)
+    iterations: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+
+def _stack_histories(
+    trace: List[np.ndarray], iterations: np.ndarray
+) -> List[List[float]]:
+    """Split a per-iteration ``(K,)`` value trace into per-row lists.
+
+    Row ``i`` keeps its first ``iterations[i]`` entries — instances that
+    stopped early (per-row ``tol``) record nothing past their stop.
+    """
+    if not trace:
+        return [[] for _ in range(len(iterations))]
+    stacked = np.stack(trace, axis=0)
+    return [
+        [float(v) for v in stacked[: iterations[i], i]]
+        for i in range(stacked.shape[1])
+    ]
+
+
+class BatchedAdamOptimizer:
+    """Lock-step Adam ascent over a ``(K, 2p)`` parameter block.
+
+    Per instance this performs exactly the serial
+    :class:`~repro.qaoa.optimizers.AdamOptimizer` iteration — same
+    moment updates, bias correction, best-iterate tracking and final
+    re-evaluation — advanced for all instances in one vectorized step
+    per iteration. With ``tol`` set, instances freeze independently once
+    their per-iteration improvement drops below it (the batch keeps
+    sweeping until every row has stopped).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise OptimizationError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+
+    def run(
+        self,
+        simulator: BatchedQAOASimulator,
+        gammas: np.ndarray,
+        betas: np.ndarray,
+        max_iters: int = 500,
+        tol: float = 0.0,
+    ) -> BatchedOptimizationResult:
+        """Maximize every instance's expectation from its own start."""
+        gammas = np.array(gammas, dtype=np.float64, copy=True)
+        betas = np.array(betas, dtype=np.float64, copy=True)
+        if gammas.ndim != 2:
+            raise OptimizationError("batched parameters must be (K, p)")
+        batch, p = gammas.shape
+        m = np.zeros((batch, 2 * p))
+        v = np.zeros((batch, 2 * p))
+        trace: List[np.ndarray] = []
+        best_value = np.full(batch, -np.inf)
+        best_gammas = gammas.copy()
+        best_betas = betas.copy()
+        previous = np.zeros(batch)
+        have_previous = np.zeros(batch, dtype=bool)
+        active = np.ones(batch, dtype=bool)
+        iterations = np.zeros(batch, dtype=np.int64)
+        for step in range(1, max_iters + 1):
+            value, grad_gamma, grad_beta = (
+                simulator.expectations_and_gradients(gammas, betas)
+            )
+            trace.append(value)
+            iterations[active] = step
+            improved = active & (value > best_value)
+            best_value[improved] = value[improved]
+            best_gammas[improved] = gammas[improved]
+            best_betas[improved] = betas[improved]
+            gradient = np.concatenate([grad_gamma, grad_beta], axis=1)
+            # Full-width moment math (cheap: (K, 2p)), masked writeback
+            # so frozen rows keep their stopped state exactly.
+            m_new = self.beta1 * m + (1 - self.beta1) * gradient
+            v_new = self.beta2 * v + (1 - self.beta2) * gradient**2
+            m_hat = m_new / (1 - self.beta1**step)
+            v_hat = v_new / (1 - self.beta2**step)
+            update = (
+                self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            )
+            if active.all():
+                m, v = m_new, v_new
+                gammas = gammas + update[:, :p]
+                betas = betas + update[:, p:]
+            else:
+                m[active] = m_new[active]
+                v[active] = v_new[active]
+                gammas[active] += update[active, :p]
+                betas[active] += update[active, p:]
+            if tol > 0:
+                stopped = (
+                    active
+                    & have_previous
+                    & (np.abs(value - previous) < tol)
+                )
+                active &= ~stopped
+                if not active.any():
+                    break
+            previous = value
+            have_previous |= True
+        final_value = simulator.expectations(gammas, betas)
+        better = final_value > best_value
+        best_value[better] = final_value[better]
+        best_gammas[better] = gammas[better]
+        best_betas[better] = betas[better]
+        return BatchedOptimizationResult(
+            gammas=best_gammas,
+            betas=best_betas,
+            expectations=best_value,
+            histories=_stack_histories(trace, iterations),
+            iterations=iterations,
+        )
+
+
+class BatchedGradientDescentOptimizer:
+    """Lock-step plain gradient ascent with a fixed step size.
+
+    The vectorized twin of
+    :class:`~repro.qaoa.optimizers.GradientDescentOptimizer`: returns
+    the *final* iterate (no best tracking), with per-instance early
+    stopping under ``tol``.
+    """
+
+    def __init__(self, learning_rate: float = 0.05):
+        if learning_rate <= 0:
+            raise OptimizationError("learning rate must be positive")
+        self.learning_rate = learning_rate
+
+    def run(
+        self,
+        simulator: BatchedQAOASimulator,
+        gammas: np.ndarray,
+        betas: np.ndarray,
+        max_iters: int = 500,
+        tol: float = 0.0,
+    ) -> BatchedOptimizationResult:
+        """Maximize every instance's expectation from its own start."""
+        gammas = np.array(gammas, dtype=np.float64, copy=True)
+        betas = np.array(betas, dtype=np.float64, copy=True)
+        if gammas.ndim != 2:
+            raise OptimizationError("batched parameters must be (K, p)")
+        batch = gammas.shape[0]
+        trace: List[np.ndarray] = []
+        previous = np.zeros(batch)
+        have_previous = np.zeros(batch, dtype=bool)
+        active = np.ones(batch, dtype=bool)
+        iterations = np.zeros(batch, dtype=np.int64)
+        for step in range(max_iters):
+            value, grad_gamma, grad_beta = (
+                simulator.expectations_and_gradients(gammas, betas)
+            )
+            trace.append(value)
+            iterations[active] = step + 1
+            if active.all():
+                gammas = gammas + self.learning_rate * grad_gamma
+                betas = betas + self.learning_rate * grad_beta
+            else:
+                gammas[active] += self.learning_rate * grad_gamma[active]
+                betas[active] += self.learning_rate * grad_beta[active]
+            if tol > 0:
+                stopped = (
+                    active
+                    & have_previous
+                    & (np.abs(value - previous) < tol)
+                )
+                active &= ~stopped
+                if not active.any():
+                    break
+            previous = value
+            have_previous |= True
+        final_value = simulator.expectations(gammas, betas)
+        return BatchedOptimizationResult(
+            gammas=gammas,
+            betas=betas,
+            expectations=final_value,
+            histories=_stack_histories(trace, iterations),
+            iterations=iterations,
+        )

@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.maxcut.cache import ProblemCache
 from repro.maxcut.problem import MaxCutProblem
 from repro.qaoa.initialization import InitializationStrategy, RandomInitialization
 from repro.qaoa.optimizers import AdamOptimizer, OptimizationResult
@@ -83,6 +84,11 @@ class QAOARunner:
     shots:
         If > 0, additionally sample the final state and record the best
         sampled cut.
+    problem_cache:
+        Optional :class:`~repro.maxcut.cache.ProblemCache`; when set,
+        structurally identical graphs share one
+        :class:`MaxCutProblem` (cost diagonal and brute-force optimum
+        computed once) across runs.
     """
 
     def __init__(
@@ -92,25 +98,48 @@ class QAOARunner:
         max_iters: int = 500,
         tol: float = 0.0,
         shots: int = 0,
+        problem_cache: Optional[ProblemCache] = None,
     ):
         self.p = int(p)
         self.optimizer = optimizer if optimizer is not None else AdamOptimizer()
         self.max_iters = int(max_iters)
         self.tol = float(tol)
         self.shots = int(shots)
+        self.problem_cache = problem_cache
+
+    def simulator_for(self, graph: Graph) -> QAOASimulator:
+        """A simulator bound to ``graph``'s (possibly cached) problem.
+
+        Callers running the same graph repeatedly — both arms of a
+        warm-start comparison, random restarts — should build this once
+        and pass it to every :meth:`run` call so the cost diagonal,
+        brute-force optimum, and simulator workspaces are shared.
+        """
+        if self.problem_cache is not None:
+            problem = self.problem_cache.get(graph)
+        else:
+            problem = MaxCutProblem(graph)
+        return QAOASimulator(problem)
 
     def run(
         self,
         graph: Graph,
         initialization: Optional[InitializationStrategy] = None,
         rng: RngLike = None,
+        simulator: Optional[QAOASimulator] = None,
     ) -> QAOAOutcome:
-        """Run the full pipeline on one graph."""
+        """Run the full pipeline on one graph.
+
+        ``simulator`` (from :meth:`simulator_for`) lets repeat runs on
+        one graph reuse the problem's cached diagonal/optimum and the
+        simulator's workspaces instead of rebuilding them per run.
+        """
         generator = ensure_rng(rng)
         if initialization is None:
             initialization = RandomInitialization()
-        problem = MaxCutProblem(graph)
-        simulator = QAOASimulator(problem)
+        if simulator is None:
+            simulator = self.simulator_for(graph)
+        problem = simulator.problem
         gammas0, betas0 = initialization.initial_parameters(
             graph, self.p, generator
         )
@@ -148,6 +177,21 @@ class QAOARunner:
         initialization: Optional[InitializationStrategy] = None,
         rng: RngLike = None,
     ) -> List[QAOAOutcome]:
-        """Run the pipeline over a list of graphs with one RNG stream."""
+        """Run the pipeline over a list of graphs with one RNG stream.
+
+        Repeated graph objects (e.g. restart sweeps) share one simulator
+        — the problem's diagonal/optimum and the evaluation workspaces
+        are built once per distinct graph, not once per run.
+        """
         generator = ensure_rng(rng)
-        return [self.run(graph, initialization, generator) for graph in graphs]
+        simulators = {}
+        outcomes = []
+        for graph in graphs:
+            simulator = simulators.get(id(graph))
+            if simulator is None:
+                simulator = self.simulator_for(graph)
+                simulators[id(graph)] = simulator
+            outcomes.append(
+                self.run(graph, initialization, generator, simulator=simulator)
+            )
+        return outcomes

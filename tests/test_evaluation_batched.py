@@ -1,0 +1,182 @@
+"""Batched warm-start evaluation engine vs the serial engine.
+
+The batched engine must run the *same experiment* as the serial one —
+identical seed derivation, hence identical initial angles per arm — and
+agree on every per-graph ratio within ``1e-10`` (the numerical contract
+of :mod:`repro.qaoa.batched`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.maxcut.cache import ProblemCache
+from repro.pipeline.evaluation import (
+    EvaluationResult,
+    WarmStartComparison,
+    WarmStartEvaluator,
+    _size_buckets,
+)
+from repro.profiling import EvaluationProfiler
+from repro.qaoa.initialization import ConstantInitialization
+from repro.runtime import ParallelExecutor
+
+TOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def mixed_graphs():
+    # Sizes 5..8, two graphs each, interleaved so bucketing has to
+    # scatter results back to input order.
+    graphs = []
+    for i in range(8):
+        size = 5 + (i % 4)
+        graphs.append(
+            random_connected_graph(size, rng=31 + i, name=f"m{i}")
+        )
+    return graphs
+
+
+def _evaluate(graphs, batched, seed=123, **kwargs):
+    evaluator = WarmStartEvaluator(
+        p=1, optimizer_iters=12, rng=seed, batched=batched, **kwargs
+    )
+    return evaluator.evaluate_strategy(
+        graphs, ConstantInitialization(0.6, 0.4), "const"
+    )
+
+
+def _assert_engines_agree(serial, batched):
+    assert len(serial.comparisons) == len(batched.comparisons)
+    for a, b in zip(serial.comparisons, batched.comparisons):
+        assert a.graph_name == b.graph_name
+        assert abs(a.random_ratio - b.random_ratio) < TOL
+        assert abs(a.strategy_ratio - b.strategy_ratio) < TOL
+        assert abs(a.random_initial_ratio - b.random_initial_ratio) < TOL
+        assert abs(a.strategy_initial_ratio - b.strategy_initial_ratio) < TOL
+
+
+class TestSizeBuckets:
+    def test_groups_by_node_count(self):
+        graphs = [
+            random_connected_graph(n, rng=n, name=f"g{i}")
+            for i, n in enumerate([5, 6, 5, 7, 6, 5])
+        ]
+        buckets = _size_buckets(graphs, max_bucket=64)
+        # One bucket per distinct size, preserving input order inside.
+        assert sorted(map(tuple, buckets)) == [(0, 2, 5), (1, 4), (3,)]
+
+    def test_bucket_cap_counts_rows_not_graphs(self):
+        graphs = [
+            random_connected_graph(5, rng=i, name=f"g{i}") for i in range(5)
+        ]
+        # max_bucket=4 rows -> 2 graphs per bucket.
+        buckets = _size_buckets(graphs, max_bucket=4)
+        assert [len(b) for b in buckets] == [2, 2, 1]
+
+    def test_minimum_one_graph_per_bucket(self):
+        graphs = [
+            random_connected_graph(5, rng=i, name=f"g{i}") for i in range(2)
+        ]
+        assert [len(b) for b in _size_buckets(graphs, 2)] == [1, 1]
+
+
+class TestBatchedEvaluator:
+    def test_matches_serial_on_mixed_sizes(self, mixed_graphs):
+        serial = _evaluate(mixed_graphs, batched=False)
+        batched = _evaluate(mixed_graphs, batched=True)
+        _assert_engines_agree(serial, batched)
+
+    def test_bucket_splitting_does_not_change_results(self, mixed_graphs):
+        # max_bucket=2 degenerates to one graph per stack (K=2 rows);
+        # results must not depend on the split.
+        whole = _evaluate(mixed_graphs, batched=True, max_bucket=64)
+        split = _evaluate(mixed_graphs, batched=True, max_bucket=2)
+        _assert_engines_agree(whole, split)
+
+    def test_single_graph_test_set(self):
+        graph = [random_connected_graph(6, rng=1, name="solo")]
+        serial = _evaluate(graph, batched=False)
+        batched = _evaluate(graph, batched=True)
+        _assert_engines_agree(serial, batched)
+
+    def test_thread_backend_matches(self, mixed_graphs):
+        serial = _evaluate(mixed_graphs, batched=True)
+        threaded = _evaluate(
+            mixed_graphs,
+            batched=True,
+            executor=ParallelExecutor(backend="thread", max_workers=2),
+        )
+        _assert_engines_agree(serial, threaded)
+
+    def test_max_bucket_validation(self):
+        with pytest.raises(ValueError, match="max_bucket"):
+            WarmStartEvaluator(batched=True, max_bucket=1)
+
+    def test_problem_cache_shared_across_sweeps(self, mixed_graphs):
+        # Within a sweep both arms share one simulator (a single cache
+        # lookup per graph); a second sweep over the same graphs — the
+        # multi-architecture comparison — must hit for every graph.
+        cache = ProblemCache()
+        _evaluate(mixed_graphs, batched=False, problem_cache=cache)
+        assert cache.misses == len(mixed_graphs)
+        assert cache.hits == 0
+        _evaluate(mixed_graphs, batched=False, problem_cache=cache)
+        assert cache.misses == len(mixed_graphs)
+        assert cache.hits == len(mixed_graphs)
+
+    def test_problem_cache_shared_between_engines(self, mixed_graphs):
+        # The batched engine resolves problems through the same cache.
+        cache = ProblemCache()
+        _evaluate(mixed_graphs, batched=False, problem_cache=cache)
+        _evaluate(mixed_graphs, batched=True, problem_cache=cache)
+        assert cache.misses == len(mixed_graphs)
+        assert cache.hits >= len(mixed_graphs)
+
+    def test_profiler_records_phases(self, mixed_graphs):
+        profiler = EvaluationProfiler()
+        _evaluate(mixed_graphs, batched=True, profiler=profiler)
+        phases = profiler.report()["phases"]
+        assert {"prepare", "optimize", "aggregate"} <= set(phases)
+        assert "evaluation profile" in profiler.format_report()
+
+
+class TestEvaluationResultStatistics:
+    def _result(self, improvements):
+        result = EvaluationResult(strategy_name="x")
+        for i, delta in enumerate(improvements):
+            result.comparisons.append(
+                WarmStartComparison(
+                    graph_name=f"g{i}",
+                    num_nodes=5,
+                    degree=2,
+                    random_ratio=0.7,
+                    strategy_ratio=0.7 + delta / 100.0,
+                    random_initial_ratio=0.5,
+                    strategy_initial_ratio=0.5,
+                )
+            )
+        return result
+
+    def test_sem_matches_definition(self):
+        values = [10.0, -10.0, 10.0, 6.0]
+        result = self._result(values)
+        expected = np.std(values, ddof=1) / np.sqrt(len(values))
+        assert result.sem_improvement == pytest.approx(expected)
+
+    def test_sem_zero_below_two_samples(self):
+        assert self._result([]).sem_improvement == 0.0
+        assert self._result([5.0]).sem_improvement == 0.0
+
+    def test_empty_summary_is_all_zeros(self):
+        summary = self._result([]).summary()
+        assert summary["count"] == 0
+        for key, value in summary.items():
+            if key not in ("strategy", "count"):
+                assert value == 0.0, (key, value)
+
+    def test_summary_includes_sem(self):
+        summary = self._result([1.0, 3.0]).summary()
+        assert summary["sem_improvement"] == pytest.approx(
+            np.std([1.0, 3.0], ddof=1) / np.sqrt(2)
+        )

@@ -1,0 +1,150 @@
+"""Tests for the shared Max-Cut problem cache."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.maxcut.cache import ProblemCache, graph_signature
+
+
+def _path_graph(name="p"):
+    return Graph(3, ((0, 1), (1, 2)), name=name)
+
+
+def _relabeled_path(name="q"):
+    # Isomorphic to the path (same 1-WL hash) but with node 0 as the
+    # center — a different labeled structure, hence a different
+    # cost diagonal.
+    return Graph(3, ((0, 1), (0, 2)), name=name)
+
+
+class TestSignature:
+    def test_name_excluded(self):
+        assert graph_signature(_path_graph("a")) == graph_signature(
+            _path_graph("b")
+        )
+
+    def test_structure_included(self):
+        assert graph_signature(_path_graph()) != graph_signature(
+            _relabeled_path()
+        )
+
+
+class TestProblemCache:
+    def test_hit_returns_same_object(self):
+        cache = ProblemCache()
+        first = cache.get(_path_graph("a"))
+        second = cache.get(_path_graph("b"))
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_cached_problem_matches_fresh(self):
+        cache = ProblemCache()
+        graph = _path_graph()
+        cached = cache.get(graph)
+        from repro.maxcut.problem import MaxCutProblem
+
+        fresh = MaxCutProblem(graph)
+        np.testing.assert_array_equal(
+            cached.cost_diagonal(), fresh.cost_diagonal()
+        )
+        assert cached.optimum() == fresh.optimum()
+
+    def test_wl_equal_graphs_get_distinct_entries(self):
+        # Same isomorphism class, different labeling: the diagonal is
+        # label-dependent, so the cache must keep both.
+        cache = ProblemCache()
+        a = cache.get(_path_graph())
+        b = cache.get(_relabeled_path())
+        assert a is not b
+        assert cache.hits == 0
+        assert cache.misses == 2
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["wl_classes"] == 1
+
+    def test_lru_eviction(self):
+        cache = ProblemCache(max_entries=2)
+        g1 = Graph(3, ((0, 1),), name="g1")
+        g2 = Graph(3, ((1, 2),), name="g2")
+        g3 = Graph(3, ((0, 2),), name="g3")
+        cache.get(g1)
+        cache.get(g2)
+        cache.get(g1)  # refresh g1 -> g2 is now oldest
+        cache.get(g3)  # evicts g2
+        assert len(cache) == 2
+        misses = cache.misses
+        cache.get(g2)  # miss (was evicted); re-inserting evicts g1
+        assert cache.misses == misses + 1
+        hits = cache.hits
+        cache.get(g3)
+        assert cache.hits == hits + 1  # g3 survived both evictions
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemCache(max_entries=0)
+
+    def test_stats_shape(self):
+        cache = ProblemCache()
+        cache.get(_path_graph())
+        cache.get(_path_graph())
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["entries"] == 1
+        assert stats["wl_classes"] == 1
+
+    def test_empty_stats(self):
+        stats = ProblemCache().stats()
+        assert stats["hit_rate"] == 0.0
+        assert stats["entries"] == 0
+
+    def test_clear(self):
+        cache = ProblemCache()
+        cache.get(_path_graph())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_pickles_to_empty(self):
+        # Process-backend workers must not pay to serialize diagonals.
+        cache = ProblemCache(max_entries=8)
+        cache.get(_path_graph())
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 0
+        assert clone.max_entries == 8
+        assert clone.hits == 0
+        # The clone still works as a cache.
+        clone.get(_path_graph())
+        assert len(clone) == 1
+
+    def test_thread_safety(self):
+        cache = ProblemCache()
+        graphs = [Graph(4, ((0, 1), (1, 2), (2, 3)), name=f"t{i}") for i in range(4)]
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    for graph in graphs:
+                        cache.get(graph)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # All names share one structure -> a single entry, and every
+        # call is accounted as a hit or a miss.
+        assert len(cache) == 1
+        assert cache.hits + cache.misses == 8 * 50 * 4

@@ -1,0 +1,268 @@
+"""Batched simulator and lock-step optimizers vs the serial engine.
+
+The batched kernels compute the same per-instance quantities as the
+serial :class:`QAOASimulator` on a cheaper operation schedule, so every
+test here asserts agreement within ``TOL = 1e-10`` — the evaluation
+engine's numerical contract — on forward values, adjoint gradients, and
+full optimization trajectories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError, OptimizationError
+from repro.graphs.generators import (
+    random_connected_graph,
+    random_weighted_graph,
+)
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.batched import (
+    BatchedAdamOptimizer,
+    BatchedGradientDescentOptimizer,
+    BatchedQAOASimulator,
+    _batched_mixer_into,
+    _batched_rx_group_matrices,
+    _batched_sum_x_into,
+)
+from repro.qaoa.optimizers import AdamOptimizer, GradientDescentOptimizer
+from repro.qaoa.simulator import (
+    QAOASimulator,
+    _apply_mixer,
+    _apply_sum_x,
+    _rx_group_matrix,
+)
+
+TOL = 1e-10
+
+
+def _problems(num_nodes, count, seed=0):
+    return [
+        MaxCutProblem(random_connected_graph(num_nodes, rng=seed + i))
+        for i in range(count)
+    ]
+
+
+def _params(rng, batch, p):
+    return rng.uniform(0.0, 2.0, (batch, p)), rng.uniform(0.0, 1.0, (batch, p))
+
+
+class TestBatchedKernels:
+    @pytest.mark.parametrize("k", [1, 2, 4, 6])
+    def test_group_matrices_match_serial(self, k):
+        betas = np.array([0.0, 0.3, -0.7, 1.9])
+        stack = _batched_rx_group_matrices(k, betas)
+        for i, beta in enumerate(betas):
+            np.testing.assert_allclose(
+                stack[i], _rx_group_matrix(k, beta), atol=TOL, rtol=0.0
+            )
+
+    @pytest.mark.parametrize("n", [1, 3, 6, 7, 9, 12, 13])
+    def test_mixer_matches_serial(self, n):
+        # n <= 6 is the single-gemm path, 7..12 the two-gemm path, and
+        # 13 exercises the middle-qubit butterflies between the groups.
+        rng = np.random.default_rng(n)
+        batch, dim = 3, 1 << n
+        src = rng.normal(size=(batch, dim)) + 1j * rng.normal(
+            size=(batch, dim)
+        )
+        src = np.ascontiguousarray(src)
+        dst = np.empty_like(src)
+        betas = rng.uniform(-1.0, 1.0, batch)
+        _batched_mixer_into(src, dst, n, betas)
+        for i, beta in enumerate(betas):
+            np.testing.assert_allclose(
+                dst[i], _apply_mixer(src[i], n, beta), atol=TOL, rtol=0.0
+            )
+
+    @pytest.mark.parametrize("n", [1, 4, 6, 8, 13])
+    def test_sum_x_matches_serial(self, n):
+        rng = np.random.default_rng(n)
+        batch, dim = 3, 1 << n
+        src = rng.normal(size=(batch, dim)) + 1j * rng.normal(
+            size=(batch, dim)
+        )
+        src = np.ascontiguousarray(src)
+        out = np.empty_like(src)
+        _batched_sum_x_into(src, n, out)
+        for i in range(batch):
+            np.testing.assert_allclose(
+                out[i], _apply_sum_x(src[i], n), atol=TOL, rtol=0.0
+            )
+
+
+class TestBatchedSimulator:
+    @pytest.mark.parametrize("n", [2, 4, 6, 7, 8, 12])
+    def test_forward_and_gradient_match_serial(self, n):
+        problems = _problems(n, 4, seed=10 * n)
+        batched = BatchedQAOASimulator(problems)
+        gammas, betas = _params(np.random.default_rng(n), 4, 2)
+        energies, grad_gamma, grad_beta = batched.expectations_and_gradients(
+            gammas, betas
+        )
+        values = batched.expectations(gammas, betas)
+        ratios = batched.approximation_ratios(gammas, betas)
+        for i, problem in enumerate(problems):
+            serial = QAOASimulator(problem)
+            e, gg, gb = serial.expectation_and_gradient(gammas[i], betas[i])
+            assert abs(energies[i] - e) < TOL
+            assert abs(values[i] - serial.expectation(gammas[i], betas[i])) < TOL
+            np.testing.assert_allclose(grad_gamma[i], gg, atol=TOL, rtol=0.0)
+            np.testing.assert_allclose(grad_beta[i], gb, atol=TOL, rtol=0.0)
+            assert ratios[i] == pytest.approx(
+                problem.approximation_ratio(e), abs=TOL
+            )
+
+    def test_middle_butterfly_path_matches_serial(self):
+        # n = 13 puts one qubit between the low and high gemm groups.
+        problems = _problems(13, 2, seed=77)
+        batched = BatchedQAOASimulator(problems)
+        gammas, betas = _params(np.random.default_rng(13), 2, 1)
+        energies, grad_gamma, grad_beta = batched.expectations_and_gradients(
+            gammas, betas
+        )
+        for i, problem in enumerate(problems):
+            e, gg, gb = QAOASimulator(problem).expectation_and_gradient(
+                gammas[i], betas[i]
+            )
+            assert abs(energies[i] - e) < TOL
+            np.testing.assert_allclose(grad_gamma[i], gg, atol=TOL, rtol=0.0)
+            np.testing.assert_allclose(grad_beta[i], gb, atol=TOL, rtol=0.0)
+
+    def test_single_instance_stack(self):
+        # K = 1 — the degenerate bucket a unique graph size produces.
+        problems = _problems(6, 1, seed=3)
+        batched = BatchedQAOASimulator(problems)
+        gammas, betas = _params(np.random.default_rng(1), 1, 2)
+        energies, _, _ = batched.expectations_and_gradients(gammas, betas)
+        e, _, _ = QAOASimulator(problems[0]).expectation_and_gradient(
+            gammas[0], betas[0]
+        )
+        assert abs(energies[0] - e) < TOL
+
+    def test_weighted_graphs_use_dense_phase_fallback(self):
+        # Non-integral diagonals cannot use the phase-gather table; the
+        # dense-exp fallback must agree with serial just the same.
+        problems = [
+            MaxCutProblem(random_weighted_graph(7, rng=i)) for i in range(3)
+        ]
+        batched = BatchedQAOASimulator(problems)
+        assert batched._diag_int is None
+        gammas, betas = _params(np.random.default_rng(5), 3, 2)
+        energies, grad_gamma, grad_beta = batched.expectations_and_gradients(
+            gammas, betas
+        )
+        for i, problem in enumerate(problems):
+            e, gg, gb = QAOASimulator(problem).expectation_and_gradient(
+                gammas[i], betas[i]
+            )
+            assert abs(energies[i] - e) < TOL
+            np.testing.assert_allclose(grad_gamma[i], gg, atol=TOL, rtol=0.0)
+            np.testing.assert_allclose(grad_beta[i], gb, atol=TOL, rtol=0.0)
+
+    def test_unweighted_graphs_use_phase_table(self):
+        batched = BatchedQAOASimulator(_problems(6, 2))
+        assert batched._diag_int is not None
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(CircuitError, match="share one node count"):
+            BatchedQAOASimulator(
+                [_problems(5, 1)[0], _problems(6, 1)[0]]
+            )
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(CircuitError, match="at least one"):
+            BatchedQAOASimulator([])
+
+    def test_bad_parameter_shapes_rejected(self):
+        batched = BatchedQAOASimulator(_problems(5, 2))
+        with pytest.raises(CircuitError):
+            batched.expectations(np.zeros(2), np.zeros(2))  # 1-D
+        with pytest.raises(CircuitError):
+            batched.expectations(np.zeros((2, 1)), np.zeros((2, 2)))
+        with pytest.raises(CircuitError):
+            batched.expectations(np.zeros((3, 1)), np.zeros((3, 1)))  # K=2
+        with pytest.raises(CircuitError):
+            batched.expectations(np.zeros((2, 0)), np.zeros((2, 0)))
+
+    def test_accepts_raw_graphs(self):
+        graphs = [random_connected_graph(5, rng=i) for i in range(2)]
+        batched = BatchedQAOASimulator(graphs)
+        assert all(
+            isinstance(p, MaxCutProblem) for p in batched.problems
+        )
+
+
+class TestLockStepOptimizers:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10])
+    def test_adam_trace_matches_serial(self, n):
+        problems = _problems(n, 3, seed=n)
+        batched_sim = BatchedQAOASimulator(problems)
+        gammas, betas = _params(np.random.default_rng(n), 3, 2)
+        result = BatchedAdamOptimizer(learning_rate=0.05).run(
+            batched_sim, gammas, betas, max_iters=40
+        )
+        for i, problem in enumerate(problems):
+            serial = AdamOptimizer(learning_rate=0.05).run(
+                QAOASimulator(problem), gammas[i], betas[i], max_iters=40
+            )
+            assert abs(result.expectations[i] - serial.expectation) < TOL
+            np.testing.assert_allclose(
+                result.gammas[i], serial.gammas, atol=TOL, rtol=0.0
+            )
+            np.testing.assert_allclose(
+                result.betas[i], serial.betas, atol=TOL, rtol=0.0
+            )
+            np.testing.assert_allclose(
+                result.histories[i], serial.history, atol=TOL, rtol=0.0
+            )
+
+    def test_gradient_descent_trace_matches_serial(self):
+        problems = _problems(6, 3, seed=21)
+        batched_sim = BatchedQAOASimulator(problems)
+        gammas, betas = _params(np.random.default_rng(2), 3, 1)
+        result = BatchedGradientDescentOptimizer(learning_rate=0.02).run(
+            batched_sim, gammas, betas, max_iters=30
+        )
+        for i, problem in enumerate(problems):
+            serial = GradientDescentOptimizer(learning_rate=0.02).run(
+                QAOASimulator(problem), gammas[i], betas[i], max_iters=30
+            )
+            assert abs(result.expectations[i] - serial.expectation) < TOL
+            np.testing.assert_allclose(
+                result.histories[i], serial.history, atol=TOL, rtol=0.0
+            )
+
+    def test_tolerance_stops_rows_independently(self):
+        problems = _problems(6, 4, seed=8)
+        batched_sim = BatchedQAOASimulator(problems)
+        gammas, betas = _params(np.random.default_rng(9), 4, 1)
+        result = BatchedAdamOptimizer(learning_rate=0.05).run(
+            batched_sim, gammas, betas, max_iters=200, tol=1e-6
+        )
+        for i, problem in enumerate(problems):
+            serial = AdamOptimizer(learning_rate=0.05).run(
+                QAOASimulator(problem),
+                gammas[i],
+                betas[i],
+                max_iters=200,
+                tol=1e-6,
+            )
+            # Identical stopping decision and identical trace per row.
+            assert result.iterations[i] == len(serial.history)
+            assert abs(result.expectations[i] - serial.expectation) < TOL
+            np.testing.assert_allclose(
+                result.histories[i], serial.history, atol=TOL, rtol=0.0
+            )
+
+    def test_bad_learning_rate_rejected(self):
+        with pytest.raises(OptimizationError):
+            BatchedAdamOptimizer(learning_rate=0.0)
+        with pytest.raises(OptimizationError):
+            BatchedGradientDescentOptimizer(learning_rate=-1.0)
+
+    def test_bad_parameter_rank_rejected(self):
+        batched_sim = BatchedQAOASimulator(_problems(5, 2))
+        with pytest.raises(OptimizationError):
+            BatchedAdamOptimizer().run(
+                batched_sim, np.zeros(2), np.zeros(2)
+            )
