@@ -232,12 +232,16 @@ def bench_labeling(
     backends: Iterable[str] = ("serial", "process"),
     workers: Optional[int] = None,
     verify_identical: bool = True,
+    fault_tolerance_arm: bool = True,
 ) -> Dict[str, object]:
     """End-to-end ``generate_dataset`` wall time per backend.
 
     Runs the same config through every backend, records wall time and
     graphs/sec, computes speedup vs the serial run, and (by default)
     asserts that every backend's records are bit-identical to serial's.
+    With ``fault_tolerance_arm`` a final run injects one deterministic
+    failure into every task and retries it, asserting the retried run
+    is still bit-identical and recording the retry overhead.
     """
     if config is None:
         config = labeling_benchmark_config()
@@ -293,6 +297,37 @@ def bench_labeling(
                 if entry["wall_time_s"] > 0
                 else float("inf")
             )
+    if fault_tolerance_arm and reference_targets is not None:
+        from repro.runtime import FaultInjector
+
+        executor = ParallelExecutor(
+            backend="serial", retries=1,
+            fault_injector=FaultInjector(failure_rate=1.0),
+        )
+        start = time.perf_counter()
+        dataset = generate_dataset(config, executor=executor)
+        wall = time.perf_counter() - start
+        identical = bool(
+            np.array_equal(reference_targets, np.asarray(dataset.targets()))
+        )
+        if verify_identical and not identical:
+            raise AssertionError(
+                "fault-injected retried run produced records that differ "
+                "from the fault-free reference"
+            )
+        stats = executor.last_report.as_dict()
+        results["fault_tolerance"] = {
+            "wall_time_s": wall,
+            "retried": stats["retried"],
+            "failed": stats["failed"],
+            "bit_identical_to_reference": identical,
+        }
+        logger.info(
+            "labeling fault-tolerance arm: %.2fs, %d retries, identical=%s",
+            wall,
+            stats["retried"],
+            identical,
+        )
     return results
 
 

@@ -4,7 +4,10 @@ Seven subcommands cover the offline pipeline and the online service:
 
 - ``repro generate`` — sample + label a dataset, save it to JSON
   (``--backend process --workers N`` parallelizes labeling with
-  bit-identical output).
+  bit-identical output; ``--checkpoint DIR`` makes progress durable and
+  ``--resume DIR`` restarts an interrupted run, still bit-identical;
+  ``--retries/--backoff-base/--task-timeout/--deadline`` tolerate flaky
+  or hung workers).
 - ``repro train`` — train one architecture on a saved dataset, save a
   versioned model checkpoint (``--profile`` prints the per-phase
   wall-time report; ``--no-batch-cache`` / ``--fast-kernels`` toggle
@@ -75,23 +78,101 @@ def _add_generate(subparsers) -> None:
         default=None,
         help="worker count for parallel backends (default: all cores)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="extra labeling attempts per graph before the run fails",
+    )
+    parser.add_argument(
+        "--backoff-base", type=float, default=0.0,
+        help="seconds before the first retry of a failed graph "
+        "(exponential thereafter, deterministic jitter)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="wall-clock budget per labeling attempt in seconds",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="overall labeling deadline in seconds",
+    )
+    parser.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="directory for durable labeling progress (shards + manifest); "
+        "an interrupted run restarts from it via --resume",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=32,
+        help="graphs per checkpoint shard",
+    )
+    parser.add_argument(
+        "--resume", type=Path, default=None, metavar="DIR",
+        help="resume an interrupted labeling run from its checkpoint "
+        "directory (generation settings are restored from the manifest; "
+        "output is bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--inject-failure-rate", type=float, default=0.0,
+        help="TESTING: deterministically fail this fraction of labeling "
+        "tasks once each (prove the retry path; pair with --retries)",
+    )
     parser.add_argument("--out", type=Path, required=True)
     parser.set_defaults(func=_cmd_generate)
 
 
 def _cmd_generate(args) -> int:
-    config = GenerationConfig(
-        num_graphs=args.num_graphs,
-        min_nodes=args.min_nodes,
-        max_nodes=args.max_nodes,
-        p=args.p,
-        optimizer_iters=args.iters,
-        restarts=args.restarts,
-        seed=args.seed,
-        backend=args.backend,
-        workers=args.workers,
+    from dataclasses import replace
+
+    from repro.data.checkpoint import LabelingCheckpoint
+    from repro.data.generation import config_from_manifest
+    from repro.runtime import FaultInjector
+
+    if args.resume is not None and args.checkpoint is not None:
+        raise SystemExit("pass --checkpoint for a fresh run OR --resume, not both")
+    if args.resume is not None:
+        # The manifest is the source of truth for everything that shapes
+        # the output; only execution knobs come from the command line.
+        checkpoint = LabelingCheckpoint(args.resume)
+        config = replace(
+            config_from_manifest(checkpoint.load_manifest()),
+            backend=args.backend,
+            workers=args.workers,
+            retries=args.retries,
+            backoff_base_s=args.backoff_base,
+            task_timeout_s=args.task_timeout,
+            deadline_s=args.deadline,
+        )
+        resume = True
+    else:
+        checkpoint = (
+            LabelingCheckpoint(args.checkpoint)
+            if args.checkpoint is not None
+            else None
+        )
+        config = GenerationConfig(
+            num_graphs=args.num_graphs,
+            min_nodes=args.min_nodes,
+            max_nodes=args.max_nodes,
+            p=args.p,
+            optimizer_iters=args.iters,
+            restarts=args.restarts,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+            retries=args.retries,
+            backoff_base_s=args.backoff_base,
+            task_timeout_s=args.task_timeout,
+            deadline_s=args.deadline,
+            checkpoint_every=args.checkpoint_every,
+        )
+        resume = False
+    injector = (
+        FaultInjector(failure_rate=args.inject_failure_rate)
+        if args.inject_failure_rate > 0.0
+        else None
     )
-    dataset = generate_dataset(config)
+    dataset = generate_dataset(
+        config, checkpoint=checkpoint, resume=resume, fault_injector=injector
+    )
     dataset.save(args.out)
     summary = dataset.summary()
     print(
@@ -276,6 +357,23 @@ def _add_serve(subparsers) -> None:
         "--p", type=int, default=1,
         help="fallback circuit depth when serving without a model",
     )
+    parser.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="model-path deadline per request in seconds (past it the "
+        "request is answered by the fallback chain)",
+    )
+    parser.add_argument(
+        "--model-retries", type=int, default=0,
+        help="in-request retries of the model path before falling back",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive model failures that trip the circuit breaker",
+    )
+    parser.add_argument(
+        "--breaker-reset", type=float, default=30.0,
+        help="seconds a tripped breaker waits before probing the model",
+    )
     parser.set_defaults(func=_cmd_serve)
 
 
@@ -294,6 +392,10 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         batching=not args.no_batching,
         default_p=args.p,
+        request_timeout_s=args.request_timeout,
+        model_retries=args.model_retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
     )
     model = load_model(args.model) if args.model is not None else None
     service = PredictionService(model=model, config=config)

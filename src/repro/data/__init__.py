@@ -1,10 +1,17 @@
 """Data pipeline: generation, labeling, pruning, splits, statistics."""
 
-from repro.data.dataset import QAOADataset, QAOARecord
+from repro.data.dataset import (
+    QAOADataset,
+    QAOARecord,
+    record_from_payload,
+    record_to_payload,
+)
 from repro.data.compiled import CompiledDataset
+from repro.data.checkpoint import LabelingCheckpoint
 from repro.data.generation import (
     GenerationConfig,
     canonicalize_angles,
+    config_from_manifest,
     generate_dataset,
     label_graph,
     paper_scale_config,
@@ -30,9 +37,13 @@ from repro.data.stats import (
 __all__ = [
     "QAOADataset",
     "QAOARecord",
+    "record_from_payload",
+    "record_to_payload",
     "CompiledDataset",
+    "LabelingCheckpoint",
     "GenerationConfig",
     "canonicalize_angles",
+    "config_from_manifest",
     "generate_dataset",
     "label_graph",
     "paper_scale_config",

@@ -1,0 +1,230 @@
+"""Checkpoint/resume for the labeling pipeline.
+
+A full-scale labeling run (the paper's dataset is ~9.6k graphs, each a
+500-iteration QAOA optimization) is hours of fan-out — exactly the kind
+of job a flaky worker or an interrupted machine should not be able to
+send back to square one. :class:`LabelingCheckpoint` persists progress
+as it happens:
+
+- ``manifest.json`` — the run's identity: a fingerprint of every
+  configuration field that affects the output, the full configuration
+  (so ``repro generate --resume <dir>`` needs no repeated flags), the
+  task count, and the index list of every completed shard.
+- ``shards/shard_XXXXX.json`` — the labeled records of one contiguous
+  block of task indices, in the exact payload schema of
+  :meth:`~repro.data.dataset.QAOADataset.save`.
+
+Every write is atomic (:func:`~repro.utils.serialization.save_json`:
+same-directory temp file + ``os.replace``), and the manifest is updated
+only *after* its shard is durably on disk — so a kill at any instant
+leaves either a complete shard or no shard, never a torn one. Because
+per-task RNG streams are derived up front
+(:func:`repro.runtime.seeding.derive_task_seeds`), a resumed run labels
+the remaining graphs with exactly the streams the uninterrupted run
+would have used, and the final dataset is byte-identical.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.data.dataset import QAOARecord, record_from_payload
+from repro.exceptions import CheckpointError
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json
+
+logger = get_logger(__name__)
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+SHARDS_DIR = "shards"
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def shard_name(shard_id: int) -> str:
+    """Stable on-disk name for one shard."""
+    return f"shard_{shard_id:05d}.json"
+
+
+class LabelingCheckpoint:
+    """One labeling run's durable progress directory."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.shards_dir = self.directory / SHARDS_DIR
+        self.manifest_path = self.directory / MANIFEST_NAME
+
+    # ------------------------------------------------------------------
+    # Manifest lifecycle
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        """Whether a manifest is already on disk."""
+        return self.manifest_path.is_file()
+
+    def initialize(
+        self,
+        fingerprint: dict,
+        config: dict,
+        total_tasks: int,
+        shard_size: int,
+    ) -> None:
+        """Start a fresh run: write the manifest before any labeling.
+
+        Refuses to clobber an existing checkpoint of a *different* run
+        (same-fingerprint re-initialization keeps completed shards, so
+        an accidental fresh start over a compatible directory degrades
+        to a resume rather than losing work).
+        """
+        if shard_size < 1:
+            raise CheckpointError("shard_size must be >= 1")
+        if self.exists():
+            manifest = self.load_manifest()
+            if manifest["fingerprint"] != fingerprint:
+                raise CheckpointError(
+                    f"{self.directory} already holds a checkpoint for a "
+                    "different generation config; choose a fresh "
+                    "directory or pass --resume with matching settings"
+                )
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        save_json(
+            {
+                "format_version": CHECKPOINT_FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "config": config,
+                "total_tasks": int(total_tasks),
+                "shard_size": int(shard_size),
+                "shards": {},
+            },
+            self.manifest_path,
+        )
+
+    def load_manifest(self) -> dict:
+        """Read and structurally validate the manifest."""
+        if not self.exists():
+            raise CheckpointError(
+                f"no checkpoint manifest at {self.manifest_path}"
+            )
+        try:
+            manifest = load_json(self.manifest_path)
+        except ValueError as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest {self.manifest_path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise CheckpointError(
+                f"{self.manifest_path}: expected a JSON object"
+            )
+        version = manifest.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint format_version {version!r} "
+                f"(expected {CHECKPOINT_FORMAT_VERSION})"
+            )
+        for key in ("fingerprint", "config", "total_tasks", "shards"):
+            if key not in manifest:
+                raise CheckpointError(
+                    f"checkpoint manifest missing {key!r}"
+                )
+        return manifest
+
+    def validate(self, fingerprint: dict, total_tasks: int) -> dict:
+        """Check the on-disk run matches the requested one; return the
+        manifest."""
+        manifest = self.load_manifest()
+        if manifest["fingerprint"] != fingerprint:
+            mismatched = sorted(
+                key
+                for key in set(manifest["fingerprint"]) | set(fingerprint)
+                if manifest["fingerprint"].get(key) != fingerprint.get(key)
+            )
+            raise CheckpointError(
+                f"checkpoint at {self.directory} was written by a "
+                f"different generation config (mismatched: {mismatched})"
+            )
+        if int(manifest["total_tasks"]) != int(total_tasks):
+            raise CheckpointError(
+                f"checkpoint expects {manifest['total_tasks']} tasks, "
+                f"run has {total_tasks}"
+            )
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Shards
+    # ------------------------------------------------------------------
+    def completed_indices(self) -> List[int]:
+        """Task indices covered by durably written shards."""
+        manifest = self.load_manifest()
+        indices: List[int] = []
+        for shard_indices in manifest["shards"].values():
+            indices.extend(int(i) for i in shard_indices)
+        return sorted(indices)
+
+    def write_shard(
+        self,
+        shard_id: int,
+        indices: Sequence[int],
+        payloads: Sequence[dict],
+    ) -> None:
+        """Durably record one completed block of tasks.
+
+        The shard file lands first (atomic), then the manifest is
+        rewritten to include it — the commit point. A crash between the
+        two writes leaves an orphan shard file that is simply rewritten
+        (identically, thanks to deterministic labeling) on resume.
+        """
+        if len(indices) != len(payloads):
+            raise CheckpointError(
+                f"shard {shard_id}: {len(indices)} indices vs "
+                f"{len(payloads)} payloads"
+            )
+        name = shard_name(shard_id)
+        existing = self.load_manifest()["shards"].get(name)
+        if existing is not None and [int(i) for i in existing] != [
+            int(i) for i in indices
+        ]:
+            raise CheckpointError(
+                f"shard {name} already committed with different indices "
+                "(was the checkpoint resumed with a different shard size?)"
+            )
+        save_json(
+            {
+                "shard_id": int(shard_id),
+                "indices": [int(i) for i in indices],
+                "records": list(payloads),
+            },
+            self.shards_dir / name,
+        )
+        manifest = self.load_manifest()
+        manifest["shards"][name] = [int(i) for i in indices]
+        save_json(manifest, self.manifest_path)
+
+    def load_records(self) -> Dict[int, QAOARecord]:
+        """All completed records, keyed by task index."""
+        manifest = self.load_manifest()
+        records: Dict[int, QAOARecord] = {}
+        for name, shard_indices in sorted(manifest["shards"].items()):
+            path = self.shards_dir / name
+            try:
+                shard = load_json(path)
+            except (OSError, ValueError) as exc:
+                raise CheckpointError(
+                    f"unreadable checkpoint shard {path}: {exc}"
+                ) from exc
+            indices = [int(i) for i in shard.get("indices", ())]
+            payloads = shard.get("records", ())
+            if indices != [int(i) for i in shard_indices] or len(
+                payloads
+            ) != len(indices):
+                raise CheckpointError(
+                    f"checkpoint shard {path} disagrees with the manifest"
+                )
+            for index, payload in zip(indices, payloads):
+                records[index] = record_from_payload(payload)
+        return records
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LabelingCheckpoint({str(self.directory)!r})"

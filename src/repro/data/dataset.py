@@ -80,6 +80,44 @@ class QAOARecord:
         )
 
 
+def record_to_payload(record: QAOARecord) -> dict:
+    """JSON-safe payload for one record (the on-disk schema).
+
+    Shared by :meth:`QAOADataset.save` and the labeling checkpoint
+    shards, so a dataset assembled from checkpointed records serializes
+    byte-identically to one written in a single uninterrupted run.
+    """
+    return {
+        "graph": graph_to_text(record.graph),
+        "p": record.p,
+        "gammas": list(record.gammas),
+        "betas": list(record.betas),
+        "expectation": record.expectation,
+        "optimal_value": record.optimal_value,
+        "approximation_ratio": record.approximation_ratio,
+        "best_cut_value": record.best_cut_value,
+        "source": record.source,
+    }
+
+
+def record_from_payload(entry: dict) -> QAOARecord:
+    """Inverse of :func:`record_to_payload`."""
+    try:
+        return QAOARecord(
+            graph=graph_from_text(entry["graph"]),
+            p=int(entry["p"]),
+            gammas=tuple(entry["gammas"]),
+            betas=tuple(entry["betas"]),
+            expectation=float(entry["expectation"]),
+            optimal_value=float(entry["optimal_value"]),
+            approximation_ratio=float(entry["approximation_ratio"]),
+            best_cut_value=float(entry.get("best_cut_value", 0.0)),
+            source=str(entry.get("source", "optimized")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"malformed record payload: {exc}") from exc
+
+
 class QAOADataset:
     """An ordered collection of :class:`QAOARecord` with persistence."""
 
@@ -140,21 +178,7 @@ class QAOADataset:
     # ------------------------------------------------------------------
     def save(self, path: PathLike) -> None:
         """Write the dataset to a JSON file."""
-        payload = [
-            {
-                "graph": graph_to_text(record.graph),
-                "p": record.p,
-                "gammas": list(record.gammas),
-                "betas": list(record.betas),
-                "expectation": record.expectation,
-                "optimal_value": record.optimal_value,
-                "approximation_ratio": record.approximation_ratio,
-                "best_cut_value": record.best_cut_value,
-                "source": record.source,
-            }
-            for record in self.records
-        ]
-        save_json(payload, path)
+        save_json([record_to_payload(record) for record in self.records], path)
 
     @classmethod
     def load(cls, path: PathLike) -> "QAOADataset":
@@ -162,22 +186,7 @@ class QAOADataset:
         payload = load_json(path)
         if not isinstance(payload, list):
             raise DatasetError(f"{path}: expected a JSON list")
-        records = []
-        for entry in payload:
-            records.append(
-                QAOARecord(
-                    graph=graph_from_text(entry["graph"]),
-                    p=int(entry["p"]),
-                    gammas=tuple(entry["gammas"]),
-                    betas=tuple(entry["betas"]),
-                    expectation=float(entry["expectation"]),
-                    optimal_value=float(entry["optimal_value"]),
-                    approximation_ratio=float(entry["approximation_ratio"]),
-                    best_cut_value=float(entry.get("best_cut_value", 0.0)),
-                    source=str(entry.get("source", "optimized")),
-                )
-            )
-        return cls(records)
+        return cls([record_from_payload(entry) for entry in payload])
 
     def summary(self) -> dict:
         """Aggregate statistics used in logs and EXPERIMENTS.md."""

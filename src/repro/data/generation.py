@@ -15,13 +15,19 @@ target manifold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from collections import defaultdict
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.data.dataset import QAOADataset, QAOARecord
-from repro.exceptions import DatasetError, ExecutionError
+from repro.data.checkpoint import LabelingCheckpoint
+from repro.data.dataset import (
+    QAOADataset,
+    QAOARecord,
+    record_to_payload,
+)
+from repro.exceptions import DatasetError, ExecutionError, GraphError
 from repro.graphs.generators import (
     feasible_regular_degrees,
     random_regular_graph,
@@ -31,7 +37,13 @@ from repro.maxcut.problem import MaxCutProblem
 from repro.qaoa.initialization import InitializationStrategy, RandomInitialization
 from repro.qaoa.optimizers import AdamOptimizer
 from repro.qaoa.simulator import QAOASimulator
-from repro.runtime import ParallelExecutor, derive_task_seeds, task_rng
+from repro.runtime import (
+    FaultInjector,
+    ParallelExecutor,
+    RetryPolicy,
+    derive_task_seeds,
+    task_rng,
+)
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 
@@ -150,6 +162,59 @@ class GenerationConfig:
     workers: Optional[int] = None
     #: Log a progress line every N labeled graphs (0 disables).
     progress_every: int = 100
+    #: Consecutive infeasible graph draws tolerated before sampling is
+    #: declared stuck (see :func:`sample_graphs`).
+    max_resample_attempts: int = 100
+    #: Extra labeling attempts per graph before the run fails.
+    retries: int = 0
+    #: Backoff before the first labeling retry (0 retries immediately).
+    #: Jitter is deterministic per task, so retried runs stay
+    #: bit-reproducible.
+    backoff_base_s: float = 0.0
+    #: Wall-clock budget per labeling attempt (None = unbounded).
+    task_timeout_s: Optional[float] = None
+    #: Overall labeling deadline in seconds (None = unbounded).
+    deadline_s: Optional[float] = None
+    #: Graphs per checkpoint shard when a checkpoint directory is used.
+    checkpoint_every: int = 32
+
+    def executor(
+        self, fault_injector: Optional[FaultInjector] = None
+    ) -> ParallelExecutor:
+        """The labeling executor implied by this config."""
+        return ParallelExecutor(
+            backend=self.backend,
+            max_workers=self.workers,
+            report_every=self.progress_every,
+            retry_policy=RetryPolicy(
+                retries=self.retries,
+                backoff_base_s=self.backoff_base_s,
+                jitter=0.1 if self.backoff_base_s > 0 else 0.0,
+                seed=self.seed if self.seed is not None else 0,
+            ),
+            task_timeout_s=self.task_timeout_s,
+            deadline_s=self.deadline_s,
+            fault_injector=fault_injector,
+        )
+
+    def fingerprint(self) -> dict:
+        """The fields that determine labeling output, for checkpoint
+        compatibility checks. Execution knobs (backend, workers,
+        timeouts) are deliberately excluded: resuming on a different
+        machine shape must still produce the same dataset."""
+        return {
+            "num_graphs": self.num_graphs,
+            "min_nodes": self.min_nodes,
+            "max_nodes": self.max_nodes,
+            "p": self.p,
+            "optimizer_iters": self.optimizer_iters,
+            "learning_rate": self.learning_rate,
+            "tol": self.tol,
+            "restarts": self.restarts,
+            "weighted": self.weighted,
+            "weight_range": list(self.weight_range),
+            "seed": self.seed,
+        }
 
 
 def sample_graphs(config: GenerationConfig, rng: RngLike = None) -> List[Graph]:
@@ -166,14 +231,28 @@ def sample_graphs(config: GenerationConfig, rng: RngLike = None) -> List[Graph]:
         raise DatasetError(
             f"min_nodes {config.min_nodes} > max_nodes {config.max_nodes}"
         )
+    if config.max_resample_attempts < 1:
+        raise DatasetError("max_resample_attempts must be >= 1")
     generator = ensure_rng(rng if rng is not None else config.seed)
     graphs: List[Graph] = []
+    failed_draws = 0
     while len(graphs) < config.num_graphs:
+        if failed_draws >= config.max_resample_attempts:
+            # An unbounded resample loop here used to spin forever on an
+            # infeasible config (e.g. min_nodes = max_nodes = 2, which
+            # has no regular degree >= 2) and, worse, swallowed genuine
+            # bugs via a bare except. Fail loudly instead.
+            raise DatasetError(
+                f"graph sampling stalled: {failed_draws} consecutive "
+                f"infeasible draws for nodes in "
+                f"[{config.min_nodes}, {config.max_nodes}]"
+            )
         num_nodes = int(
             generator.integers(config.min_nodes, config.max_nodes + 1)
         )
         degrees = feasible_regular_degrees(num_nodes)
         if not degrees:
+            failed_draws += 1
             continue
         degree = int(degrees[generator.integers(0, len(degrees))])
         try:
@@ -183,8 +262,10 @@ def sample_graphs(config: GenerationConfig, rng: RngLike = None) -> List[Graph]:
                 generator,
                 name=f"g{len(graphs):05d}_n{num_nodes}_d{degree}",
             )
-        except Exception:  # infeasible draw; resample
+        except GraphError:  # infeasible draw; resample
+            failed_draws += 1
             continue
+        failed_draws = 0
         if config.weighted:
             low, high = config.weight_range
             weights = generator.uniform(low, high, size=graph.num_edges)
@@ -275,29 +356,65 @@ def _label_task(payload) -> QAOARecord:
     )
 
 
+def config_from_manifest(manifest: dict) -> GenerationConfig:
+    """Rebuild the :class:`GenerationConfig` a checkpoint was started
+    with (``repro generate --resume`` needs no repeated flags)."""
+    payload = dict(manifest["config"])
+    known = {f for f in GenerationConfig.__dataclass_fields__}
+    unknown = set(payload) - known
+    if unknown:
+        raise DatasetError(
+            f"checkpoint config has unknown fields: {sorted(unknown)}"
+        )
+    if "weight_range" in payload:
+        payload["weight_range"] = tuple(payload["weight_range"])
+    return GenerationConfig(**payload)
+
+
+def _label_wave(
+    executor: ParallelExecutor,
+    payloads: List[tuple],
+    labels: List[str],
+) -> List[QAOARecord]:
+    """One executor fan-out, with failures renamed to DatasetError."""
+    try:
+        return executor.map(_label_task, payloads, labels=labels)
+    except ExecutionError as exc:
+        names = ", ".join(failure.label for failure in exc.failures[:5])
+        raise DatasetError(
+            f"labeling failed for {len(exc.failures)} graph(s): {names}"
+        ) from exc
+
+
 def generate_dataset(
     config: Optional[GenerationConfig] = None,
     rng: RngLike = None,
     executor: Optional[ParallelExecutor] = None,
+    checkpoint: Optional[Union[str, "LabelingCheckpoint"]] = None,
+    resume: bool = False,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> QAOADataset:
     """Full pipeline: sample graphs, label each, return the dataset.
 
     Labeling fans out through a :class:`~repro.runtime.ParallelExecutor`
-    (built from ``config.backend`` / ``config.workers`` unless one is
-    passed explicitly). Each graph gets an independent RNG stream derived
-    up front from the labeling seed, so every backend — serial included —
-    produces bit-identical records for the same seed. Worker failures
-    surface as :class:`~repro.exceptions.DatasetError` naming the
-    offending graphs.
+    (built from the config's backend/workers/retry/timeout knobs unless
+    one is passed explicitly). Each graph gets an independent RNG stream
+    derived up front from the labeling seed, so every backend — serial
+    included, retries included — produces bit-identical records for the
+    same seed. Worker failures surface as
+    :class:`~repro.exceptions.DatasetError` naming the offending graphs.
+
+    With ``checkpoint`` set (a directory path or
+    :class:`~repro.data.checkpoint.LabelingCheckpoint`), labeling runs
+    in shard-sized waves of ``config.checkpoint_every`` graphs, each
+    durably written before the next begins; ``resume=True`` requires an
+    existing compatible manifest, skips every completed graph, and
+    produces a dataset byte-identical to an uninterrupted run.
     """
     if config is None:
         config = GenerationConfig()
     if executor is None:
-        executor = ParallelExecutor(
-            backend=config.backend,
-            max_workers=config.workers,
-            report_every=config.progress_every,
-        )
+        executor = config.executor(fault_injector)
     generator = ensure_rng(rng if rng is not None else config.seed)
     graph_rng = spawn_rng(generator)
     label_rng = spawn_rng(generator)
@@ -315,28 +432,104 @@ def generate_dataset(
         )
         for graph, seed in zip(graphs, seeds)
     ]
-    try:
-        records = executor.map(
-            _label_task, payloads, labels=[graph.name for graph in graphs]
+    labels = [graph.name for graph in graphs]
+
+    if checkpoint is None:
+        records = _label_wave(executor, payloads, labels)
+    else:
+        records = _label_checkpointed(
+            config, executor, payloads, labels, checkpoint, resume
         )
-    except ExecutionError as exc:
-        names = ", ".join(failure.label for failure in exc.failures[:5])
-        raise DatasetError(
-            f"labeling failed for {len(exc.failures)} graph(s): {names}"
-        ) from exc
+
     dataset = QAOADataset()
     for record in records:
         dataset.append(record)
     stats = executor.last_report
     logger.info(
-        "labeled %d graphs in %.1fs (%.1f graphs/s, backend=%s, mean AR %.3f)",
+        "labeled %d graphs in %.1fs (%.1f graphs/s, backend=%s, "
+        "retried=%d, mean AR %.3f)",
         len(dataset),
         stats.wall_time,
         stats.tasks_per_second,
         executor.backend,
+        stats.retried,
         dataset.approximation_ratios().mean() if len(dataset) else 0.0,
     )
     return dataset
+
+
+def _wave_injector(
+    injector: Optional[FaultInjector], indices: List[int]
+) -> Optional[FaultInjector]:
+    """Remap a run-global fault injector onto one wave's local indices.
+
+    Checkpointed labeling fans out shard-sized waves, so the executor
+    sees wave-local task indices. The injector's selection is defined
+    over *global* indices (so a faulted task stays faulted regardless of
+    how the run is sharded or resumed); translate it per wave.
+    """
+    if injector is None:
+        return None
+    fails = {
+        local: injector.failing_attempts(global_index)
+        for local, global_index in enumerate(indices)
+        if injector.failing_attempts(global_index) > 0
+    }
+    if not fails:
+        return None
+    return FaultInjector(fail_tasks=fails, delay_s=injector.delay_s)
+
+
+def _label_checkpointed(
+    config: GenerationConfig,
+    executor: ParallelExecutor,
+    payloads: List[tuple],
+    labels: List[str],
+    checkpoint: Union[str, LabelingCheckpoint],
+    resume: bool,
+) -> List[QAOARecord]:
+    """Label through a checkpoint directory, in durable shard waves."""
+    ckpt = (
+        checkpoint
+        if isinstance(checkpoint, LabelingCheckpoint)
+        else LabelingCheckpoint(checkpoint)
+    )
+    fingerprint = config.fingerprint()
+    total = len(payloads)
+    if resume:
+        ckpt.validate(fingerprint, total)
+    else:
+        ckpt.initialize(
+            fingerprint, asdict(config), total, config.checkpoint_every
+        )
+    done: Dict[int, QAOARecord] = ckpt.load_records()
+    if resume and done:
+        logger.info(
+            "resuming labeling: %d/%d graphs already checkpointed",
+            len(done),
+            total,
+        )
+    pending = [i for i in range(total) if i not in done]
+    by_shard: Dict[int, List[int]] = defaultdict(list)
+    for index in pending:
+        by_shard[index // config.checkpoint_every].append(index)
+    base_injector = executor.fault_injector
+    try:
+        for shard_id in sorted(by_shard):
+            indices = by_shard[shard_id]
+            executor.fault_injector = _wave_injector(base_injector, indices)
+            records = _label_wave(
+                executor,
+                [payloads[i] for i in indices],
+                [labels[i] for i in indices],
+            )
+            ckpt.write_shard(
+                shard_id, indices, [record_to_payload(r) for r in records]
+            )
+            done.update(zip(indices, records))
+    finally:
+        executor.fault_injector = base_injector
+    return [done[i] for i in range(total)]
 
 
 def paper_scale_config(seed: Optional[int] = None) -> GenerationConfig:

@@ -48,3 +48,25 @@ class ExecutionError(ReproError):
     def __init__(self, message: str, failures=None):
         super().__init__(message)
         self.failures = list(failures) if failures is not None else []
+
+
+class TaskTimeout(ReproError):
+    """A single task exceeded its per-task wall-clock budget."""
+
+
+class DeadlineExceeded(ReproError):
+    """Work was cut short because the run's overall deadline expired."""
+
+
+class InjectedFault(ReproError):
+    """A failure raised on purpose by the deterministic fault injector.
+
+    Only the test/validation machinery
+    (:class:`repro.runtime.faults.FaultInjector`) raises this; seeing it
+    outside a fault-injection run is itself a bug.
+    """
+
+
+class CheckpointError(DatasetError):
+    """A labeling checkpoint directory is missing, corrupt, or belongs
+    to a different generation configuration."""

@@ -28,6 +28,7 @@ class ReduceLROnPlateau:
         patience: int = 5,
         min_lr: float = 1e-5,
         threshold: float = 1e-4,
+        eps: float = 1e-8,
     ):
         if mode not in ("min", "max"):
             raise OptimizationError(f"mode must be 'min' or 'max', got {mode!r}")
@@ -42,6 +43,7 @@ class ReduceLROnPlateau:
         self.patience = patience
         self.min_lr = min_lr
         self.threshold = threshold
+        self.eps = eps
         self.best = np.inf if mode == "min" else -np.inf
         self.num_bad_epochs = 0
         self.num_reductions = 0
@@ -52,7 +54,18 @@ class ReduceLROnPlateau:
         return self.optimizer.learning_rate
 
     def step(self, metric: float) -> bool:
-        """Record one epoch's metric; returns True if the LR was reduced."""
+        """Record one epoch's metric; returns True if the LR was reduced.
+
+        ``num_bad_epochs`` resets only when the metric improves or when
+        an *actual* reduction happens. With the LR already pinned at
+        ``min_lr`` no reduction is possible — the counter used to reset
+        anyway, silently re-arming the patience window so
+        ``num_reductions`` undercounted plateau events (and callers
+        watching it for early stopping saw a scheduler that appeared
+        healthy forever). As in PyTorch, a shrink smaller than ``eps``
+        (e.g. the float dust left by clamping ``lr * factor`` to
+        ``min_lr``) does not count as a reduction either.
+        """
         metric = float(metric)
         if self._improved(metric):
             self.best = metric
@@ -63,10 +76,10 @@ class ReduceLROnPlateau:
             new_rate = max(
                 self.optimizer.learning_rate * self.factor, self.min_lr
             )
-            reduced = new_rate < self.optimizer.learning_rate
-            self.optimizer.learning_rate = new_rate
-            self.num_bad_epochs = 0
+            reduced = self.optimizer.learning_rate - new_rate > self.eps
             if reduced:
+                self.optimizer.learning_rate = new_rate
+                self.num_bad_epochs = 0
                 self.num_reductions += 1
             return reduced
         return False

@@ -326,6 +326,11 @@ class WarmStartEvaluator:
     profiler:
         Optional :class:`~repro.profiling.PhaseProfiler`; records
         ``prepare`` / ``optimize`` / ``aggregate`` phases per sweep.
+    retries, task_timeout_s:
+        Fault tolerance for the default executor (ignored when an
+        ``executor`` is passed): extra attempts per comparison task and
+        a wall-clock budget per attempt. Retried tasks reuse their
+        pre-derived seeds, so results stay bit-identical.
     """
 
     def __init__(
@@ -339,6 +344,8 @@ class WarmStartEvaluator:
         max_bucket: int = 64,
         problem_cache: Optional[ProblemCache] = None,
         profiler=NULL_PROFILER,
+        retries: int = 0,
+        task_timeout_s: Optional[float] = None,
     ):
         from repro.qaoa.optimizers import AdamOptimizer
 
@@ -364,8 +371,15 @@ class WarmStartEvaluator:
             learning_rate=learning_rate
         )
         self._rng = ensure_rng(rng)
+        # Per-graph seeds are derived before dispatch, so retried
+        # evaluation tasks rerun with their original streams and the
+        # sweep stays bit-reproducible.
         self.executor = (
-            executor if executor is not None else ParallelExecutor()
+            executor
+            if executor is not None
+            else ParallelExecutor(
+                retries=retries, task_timeout_s=task_timeout_s
+            )
         )
         self.profiler = profiler
 

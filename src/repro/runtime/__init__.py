@@ -2,18 +2,34 @@
 
 from repro.runtime.executor import (
     BACKENDS,
+    FAILURE_DEADLINE,
+    FAILURE_ERROR,
+    FAILURE_TIMEOUT,
     ParallelExecutor,
     TaskFailure,
     default_worker_count,
+)
+from repro.runtime.faults import (
+    NO_RETRY,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
 )
 from repro.runtime.progress import ProgressReporter, ThroughputStats
 from repro.runtime.seeding import derive_task_seeds, task_rng
 
 __all__ = [
     "BACKENDS",
+    "FAILURE_DEADLINE",
+    "FAILURE_ERROR",
+    "FAILURE_TIMEOUT",
     "ParallelExecutor",
     "TaskFailure",
     "default_worker_count",
+    "NO_RETRY",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
     "ProgressReporter",
     "ThroughputStats",
     "derive_task_seeds",

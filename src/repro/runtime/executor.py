@@ -16,19 +16,27 @@ provides:
   it with :func:`repro.runtime.seeding.derive_task_seeds` so each task
   owns an independent RNG stream and parallel output is bit-identical
   to serial.
-- **Error capture.** Worker exceptions are caught per task, retried up
-  to ``retries`` extra attempts, and either raised as one aggregated
+- **Fault tolerance.** Worker exceptions are caught per task and
+  retried under a :class:`~repro.runtime.faults.RetryPolicy`
+  (exponential backoff with deterministic per-task jitter). Tasks can
+  carry a wall-clock budget (``task_timeout_s``) and the whole run an
+  overall ``deadline_s``; a :class:`~repro.runtime.faults.FaultInjector`
+  can deterministically force failures/delays for testing. Exhausted
+  tasks are either raised as one aggregated
   :class:`~repro.exceptions.ExecutionError` (``error_mode="raise"``) or
   returned in-place as :class:`TaskFailure` records
   (``error_mode="collect"``).
-- **Reporting.** Every ``map`` records wall time and throughput in
-  ``last_report`` (a :class:`~repro.runtime.progress.ThroughputStats`)
-  for the benchmark trajectories.
+- **Reporting.** Every ``map`` records wall time, throughput, retries,
+  and timeouts in ``last_report`` (a
+  :class:`~repro.runtime.progress.ThroughputStats`) for the benchmark
+  trajectories.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 import traceback
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -39,7 +47,8 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import ExecutionError
+from repro.exceptions import ExecutionError, TaskTimeout
+from repro.runtime.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.runtime.progress import ProgressReporter, ThroughputStats
 from repro.utils.logging import get_logger
 
@@ -47,10 +56,15 @@ logger = get_logger(__name__)
 
 BACKENDS = ("serial", "thread", "process")
 
+#: ``TaskFailure.kind`` values.
+FAILURE_ERROR = "error"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_DEADLINE = "deadline"
+
 
 @dataclass(frozen=True)
 class TaskFailure:
-    """One task that exhausted its retry budget.
+    """One task that exhausted its retry budget (or ran out of time).
 
     Attributes
     ----------
@@ -59,11 +73,16 @@ class TaskFailure:
     label:
         Human-readable task label (e.g. a graph name).
     attempts:
-        Number of attempts made (``1 + retries``).
+        Number of attempts made (0 when the overall deadline expired
+        before the task ever ran).
     error:
         ``repr`` of the final exception.
     traceback:
         Formatted traceback of the final exception.
+    kind:
+        ``"error"`` (the task raised), ``"timeout"`` (the final attempt
+        exceeded ``task_timeout_s``), or ``"deadline"`` (the run's
+        overall deadline expired before the task could finish).
     """
 
     index: int
@@ -71,32 +90,106 @@ class TaskFailure:
     attempts: int
     error: str
     traceback: str
+    kind: str = FAILURE_ERROR
 
     def __str__(self) -> str:
         return f"{self.label} (task {self.index}): {self.error}"
 
 
+def _call_with_timeout(
+    fn: Callable[[Any], Any], item: Any, timeout_s: Optional[float]
+) -> Any:
+    """Run ``fn(item)``, raising :class:`TaskTimeout` past ``timeout_s``.
+
+    The budgeted call runs in a daemon helper thread; on timeout the
+    runaway attempt keeps executing in the background (Python offers no
+    safe preemption) but its eventual result is discarded, and the task
+    is handed back to the retry machinery immediately.
+    """
+    if timeout_s is None:
+        return fn(item)
+    outcome: dict = {}
+
+    def runner() -> None:
+        try:
+            outcome["value"] = fn(item)
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            outcome["error"] = exc
+
+    worker = threading.Thread(
+        target=runner, name="repro-task-timeout", daemon=True
+    )
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise TaskTimeout(f"task exceeded its {timeout_s}s budget")
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+def _deadline_failure(index: int, label: str, attempts: int) -> TaskFailure:
+    return TaskFailure(
+        index=index,
+        label=label,
+        attempts=attempts,
+        error="DeadlineExceeded('overall deadline expired')",
+        traceback="",
+        kind=FAILURE_DEADLINE,
+    )
+
+
 def _run_chunk(
     fn: Callable[[Any], Any],
     chunk: Sequence[Tuple[int, str, Any]],
-    retries: int,
-) -> List[Tuple[int, bool, Any]]:
+    plan: FaultPlan,
+) -> List[Tuple[int, bool, Any, int]]:
     """Run one chunk of ``(index, label, item)`` tasks in this worker.
 
     Module-level so the process backend can pickle it. Returns
-    ``(index, ok, result_or_TaskFailure)`` triples.
+    ``(index, ok, result_or_TaskFailure, attempts)`` quadruples.
     """
-    out: List[Tuple[int, bool, Any]] = []
-    for index, label, item in chunk:
+    out: List[Tuple[int, bool, Any, int]] = []
+    for position, (index, label, item) in enumerate(chunk):
+        if plan.expired():
+            # Deadline hit mid-chunk: cut the remaining tasks without
+            # running them.
+            for rest_index, rest_label, _ in chunk[position:]:
+                out.append(
+                    (
+                        rest_index,
+                        False,
+                        _deadline_failure(rest_index, rest_label, 0),
+                        0,
+                    )
+                )
+            break
         attempts = 0
         while True:
             attempts += 1
             try:
-                out.append((index, True, fn(item)))
+                if plan.injector is not None:
+                    plan.injector.before_attempt(index, label, attempts)
+                out.append(
+                    (
+                        index,
+                        True,
+                        _call_with_timeout(fn, item, plan.task_timeout_s),
+                        attempts,
+                    )
+                )
                 break
             except Exception as exc:  # noqa: BLE001 — captured per task
-                if attempts <= retries:
-                    continue
+                timed_out = isinstance(exc, TaskTimeout)
+                if attempts <= plan.policy.retries and not plan.expired():
+                    delay = plan.policy.delay_s(index, attempts)
+                    if delay > 0.0:
+                        left = plan.time_left()
+                        if left is not None:
+                            delay = min(delay, max(0.0, left))
+                        time.sleep(delay)
+                    if not plan.expired():
+                        continue
                 out.append(
                     (
                         index,
@@ -107,7 +200,13 @@ def _run_chunk(
                             attempts=attempts,
                             error=repr(exc),
                             traceback=traceback.format_exc(),
+                            kind=(
+                                FAILURE_TIMEOUT
+                                if timed_out
+                                else FAILURE_ERROR
+                            ),
                         ),
+                        attempts,
                     )
                 )
                 break
@@ -122,7 +221,7 @@ def default_worker_count(backend: str) -> int:
 
 
 class ParallelExecutor:
-    """Ordered, chunked, fault-capturing map over a task list.
+    """Ordered, chunked, fault-tolerant map over a task list.
 
     Parameters
     ----------
@@ -136,11 +235,25 @@ class ParallelExecutor:
         large enough to amortize IPC.
     retries:
         Extra attempts per task before it is recorded as failed.
+        Shorthand for ``retry_policy=RetryPolicy(retries=...)``.
+    retry_policy:
+        Full :class:`~repro.runtime.faults.RetryPolicy` (backoff,
+        deterministic jitter). Overrides ``retries`` when given.
     error_mode:
         ``"raise"`` aggregates failures into one
         :class:`~repro.exceptions.ExecutionError` after the run;
         ``"collect"`` leaves :class:`TaskFailure` records in the result
         list at the failing positions.
+    task_timeout_s:
+        Per-attempt wall-clock budget; an attempt past it counts as a
+        (retryable) failure of kind ``"timeout"``.
+    deadline_s:
+        Overall budget for one ``map`` call. Tasks that cannot start
+        (or finish retrying) before it expires fail with kind
+        ``"deadline"``; already-running attempts are allowed to finish.
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` that
+        deterministically forces failures/delays (testing only).
     report_every:
         Log a progress line every N completions (0 disables).
     """
@@ -153,6 +266,10 @@ class ParallelExecutor:
         retries: int = 0,
         error_mode: str = "raise",
         report_every: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        task_timeout_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if backend not in BACKENDS:
             raise ExecutionError(
@@ -169,6 +286,10 @@ class ParallelExecutor:
             raise ExecutionError("chunk_size must be >= 1")
         if retries < 0:
             raise ExecutionError("retries must be >= 0")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ExecutionError("task_timeout_s must be positive")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ExecutionError("deadline_s must be positive")
         self.backend = backend
         self.max_workers = (
             int(max_workers)
@@ -176,10 +297,22 @@ class ParallelExecutor:
             else default_worker_count(backend)
         )
         self.chunk_size = chunk_size
-        self.retries = int(retries)
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(retries=int(retries))
+        )
         self.error_mode = error_mode
+        self.task_timeout_s = task_timeout_s
+        self.deadline_s = deadline_s
+        self.fault_injector = fault_injector
         self.report_every = int(report_every)
         self.last_report: ThroughputStats = ThroughputStats()
+
+    @property
+    def retries(self) -> int:
+        """Retry budget (from the policy) — kept for back-compat."""
+        return self.retry_policy.retries
 
     # ------------------------------------------------------------------
     def map(
@@ -206,6 +339,16 @@ class ParallelExecutor:
                 raise ExecutionError(
                     f"labels length {len(labels)} != items length {n}"
                 )
+        plan = FaultPlan(
+            policy=self.retry_policy,
+            injector=self.fault_injector,
+            task_timeout_s=self.task_timeout_s,
+            deadline=(
+                time.monotonic() + self.deadline_s
+                if self.deadline_s is not None
+                else None
+            ),
+        )
         reporter = ProgressReporter(
             total_tasks=n,
             report_every=self.report_every,
@@ -215,17 +358,21 @@ class ParallelExecutor:
         results: List[Any] = [None] * n
         failures: List[TaskFailure] = []
 
-        def consume(chunk_output: List[Tuple[int, bool, Any]]) -> None:
-            for index, ok, value in chunk_output:
+        def consume(chunk_output: List[Tuple[int, bool, Any, int]]) -> None:
+            for index, ok, value, attempts in chunk_output:
                 results[index] = value
                 if not ok:
                     failures.append(value)
-                reporter.task_done(failed=not ok)
+                reporter.task_done(
+                    failed=not ok,
+                    attempts=attempts,
+                    timed_out=not ok and value.kind == FAILURE_TIMEOUT,
+                )
 
         chunks = self._chunk([(i, labels[i], items[i]) for i in range(n)])
         if self.backend == "serial" or n == 0 or self.max_workers == 1:
             for chunk in chunks:
-                consume(_run_chunk(fn, chunk, self.retries))
+                consume(_run_chunk(fn, chunk, plan))
         else:
             pool_cls = (
                 ThreadPoolExecutor
@@ -234,12 +381,39 @@ class ParallelExecutor:
             )
             with pool_cls(max_workers=self.max_workers) as pool:
                 pending = {
-                    pool.submit(_run_chunk, fn, chunk, self.retries)
+                    pool.submit(_run_chunk, fn, chunk, plan): chunk
                     for chunk in chunks
                 }
                 while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    done, _ = wait(
+                        set(pending),
+                        timeout=plan.time_left(),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done and plan.expired():
+                        # Deadline expired with chunks still queued or
+                        # running: cancel what has not started; chunks
+                        # already running finish and cut their own
+                        # remaining tasks (the plan travels with them).
+                        for future in list(pending):
+                            if future.cancel():
+                                chunk = pending.pop(future)
+                                consume(
+                                    [
+                                        (
+                                            index,
+                                            False,
+                                            _deadline_failure(
+                                                index, label, 0
+                                            ),
+                                            0,
+                                        )
+                                        for index, label, _ in chunk
+                                    ]
+                                )
+                        continue
                     for future in done:
+                        pending.pop(future)
                         consume(future.result())
 
         self.last_report = reporter.stats()

@@ -1,0 +1,209 @@
+"""Deterministic fault tolerance primitives for the parallel runtime.
+
+Two pieces, both plain frozen dataclasses so the process backend can
+pickle them into workers:
+
+- :class:`RetryPolicy` — how failed attempts are retried: the retry
+  budget, exponential backoff, and *deterministic* jitter. The jitter
+  for task ``i``'s ``k``-th retry is drawn from a fresh generator seeded
+  by ``(policy.seed, i)``, so the schedule depends only on the policy
+  and the task index — never on thread timing, attempt interleaving, or
+  how much randomness the task itself consumed. Retried runs therefore
+  stay bit-reproducible.
+- :class:`FaultInjector` — deterministically injects worker failures
+  (:class:`~repro.exceptions.InjectedFault`) and delays, either for an
+  explicit set of task indices or for a pseudo-random fraction selected
+  by hashing ``(seed, index)``. The injector is how the test suite (and
+  the CI smoke job) proves the retry/backoff/checkpoint machinery works
+  without depending on real flaky hardware.
+
+Neither class keeps mutable state: every decision is a pure function of
+``(config, task index, attempt number)``, which is what makes the fault
+plan identical across the serial, thread, and process backends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExecutionError, InjectedFault
+
+#: Mixed into the injector's per-task hash so an injector and a retry
+#: policy sharing one seed still draw independent streams.
+_INJECTOR_STREAM = 0x5EED_FA17
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget plus a deterministic exponential-backoff schedule.
+
+    Attributes
+    ----------
+    retries:
+        Extra attempts per task after the first (0 disables retrying).
+    backoff_base_s:
+        Delay before the first retry; 0 retries immediately (the
+        pre-existing executor behavior).
+    backoff_multiplier:
+        Growth factor between consecutive retries.
+    backoff_max_s:
+        Ceiling applied to every delay, jitter included.
+    jitter:
+        Fractional jitter: the ``k``-th delay is scaled by
+        ``1 + jitter * u`` with ``u ~ U[0, 1)`` drawn from the task's
+        own seed stream (see :meth:`delay_s`).
+    seed:
+        Root of the per-task jitter streams. Same seed, same task index
+        -> same schedule, on every backend, every run.
+    """
+
+    retries: int = 0
+    backoff_base_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 60.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ExecutionError("retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ExecutionError("backoff_base_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ExecutionError("backoff_multiplier must be >= 1")
+        if self.backoff_max_s < 0:
+            raise ExecutionError("backoff_max_s must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ExecutionError("jitter must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def delay_s(self, index: int, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of task ``index``.
+
+        Pure function of ``(seed, index, attempt)``: the jitter stream
+        is re-derived on every call, so the value cannot depend on call
+        order or on any other task's draws.
+        """
+        if attempt < 1:
+            raise ExecutionError(f"attempt must be >= 1, got {attempt}")
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        delay = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        if self.jitter > 0.0:
+            rng = np.random.default_rng([self.seed, int(index)])
+            u = float(rng.random(attempt)[attempt - 1])
+            delay *= 1.0 + self.jitter * u
+        return min(delay, self.backoff_max_s)
+
+    def schedule(self, index: int) -> List[float]:
+        """The full delay schedule a task would see if every attempt
+        failed — one entry per retry."""
+        return [self.delay_s(index, k) for k in range(1, self.retries + 1)]
+
+
+#: The executor's default: no retries, no backoff.
+NO_RETRY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministically inject failures and delays into worker tasks.
+
+    The injector decides, per task index, how many leading attempts
+    fail (each raising :class:`~repro.exceptions.InjectedFault`) and how
+    long the task is artificially delayed. Selection is either explicit
+    (``fail_tasks`` maps index -> number of failing attempts) or
+    pseudo-random: a hash of ``(seed, index)`` picks ``failure_rate`` of
+    all tasks, each failing its first ``attempts_per_failure`` attempts.
+
+    With ``failure_rate=1.0, attempts_per_failure=1`` every task fails
+    exactly once — the acceptance configuration proving a retried
+    parallel run still matches serial output bit-for-bit.
+    """
+
+    fail_tasks: Optional[Dict[int, int]] = None
+    failure_rate: float = 0.0
+    attempts_per_failure: int = 1
+    delay_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ExecutionError("failure_rate must be in [0, 1]")
+        if self.attempts_per_failure < 1:
+            raise ExecutionError("attempts_per_failure must be >= 1")
+        if self.delay_s < 0:
+            raise ExecutionError("delay_s must be >= 0")
+        if self.fail_tasks is not None:
+            bad = {i: n for i, n in self.fail_tasks.items() if n < 0}
+            if bad:
+                raise ExecutionError(f"negative attempt counts: {bad}")
+
+    # ------------------------------------------------------------------
+    def failing_attempts(self, index: int) -> int:
+        """How many leading attempts of task ``index`` must fail."""
+        if self.fail_tasks is not None:
+            return int(self.fail_tasks.get(int(index), 0))
+        if self.failure_rate <= 0.0:
+            return 0
+        rng = np.random.default_rng(
+            [self.seed, _INJECTOR_STREAM, int(index)]
+        )
+        if float(rng.random()) < self.failure_rate:
+            return self.attempts_per_failure
+        return 0
+
+    def faulted_indices(self, num_tasks: int) -> Tuple[int, ...]:
+        """All indices in ``range(num_tasks)`` the injector will fault."""
+        return tuple(
+            i for i in range(num_tasks) if self.failing_attempts(i) > 0
+        )
+
+    def before_attempt(self, index: int, label: str, attempt: int) -> None:
+        """Executor hook: called at the top of every attempt.
+
+        Sleeps the injected delay (faulted tasks only), then raises
+        :class:`~repro.exceptions.InjectedFault` while the attempt is
+        within the task's failing prefix.
+        """
+        fails = self.failing_attempts(index)
+        if fails <= 0:
+            return
+        if self.delay_s > 0.0:
+            time.sleep(self.delay_s)
+        if attempt <= fails:
+            raise InjectedFault(
+                f"injected fault: task {index} ({label}), "
+                f"attempt {attempt}/{fails} forced to fail"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A resolved fault/retry configuration for one executor run.
+
+    Bundles what :func:`repro.runtime.executor._run_chunk` needs in a
+    single picklable value: the retry policy, the optional injector, the
+    per-task timeout, and the absolute monotonic deadline (``None`` when
+    unbounded).
+    """
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    injector: Optional[FaultInjector] = None
+    task_timeout_s: Optional[float] = None
+    deadline: Optional[float] = None
+
+    def time_left(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the overall deadline has passed."""
+        left = self.time_left()
+        return left is not None and left <= 0.0

@@ -26,6 +26,11 @@ class ThroughputStats:
     total_tasks, completed, failed:
         Task counts; ``completed`` includes tasks that eventually
         succeeded after retries, ``failed`` those that exhausted them.
+    retried:
+        Extra attempts beyond the first, summed over all tasks — the
+        price paid to the fault-tolerance machinery.
+    timed_out:
+        Tasks whose *final* attempt exceeded the per-task budget.
     wall_time:
         Seconds from first submission to last completion.
     tasks_per_second:
@@ -35,6 +40,8 @@ class ThroughputStats:
     total_tasks: int = 0
     completed: int = 0
     failed: int = 0
+    retried: int = 0
+    timed_out: int = 0
     wall_time: float = 0.0
 
     @property
@@ -49,6 +56,8 @@ class ThroughputStats:
             "total_tasks": self.total_tasks,
             "completed": self.completed,
             "failed": self.failed,
+            "retried": self.retried,
+            "timed_out": self.timed_out,
             "wall_time": self.wall_time,
             "tasks_per_second": self.tasks_per_second,
         }
@@ -68,6 +77,8 @@ class ProgressReporter:
     on_progress: Optional[Callable[[int, int], None]] = None
     _done: int = field(default=0, init=False)
     _failed: int = field(default=0, init=False)
+    _retried: int = field(default=0, init=False)
+    _timed_out: int = field(default=0, init=False)
     _start: Optional[float] = field(default=None, init=False)
     _elapsed: float = field(default=0.0, init=False)
 
@@ -75,11 +86,24 @@ class ProgressReporter:
         """Mark the beginning of the run."""
         self._start = time.perf_counter()
 
-    def task_done(self, failed: bool = False) -> None:
-        """Record one task completion (successful or failed)."""
+    def task_done(
+        self,
+        failed: bool = False,
+        attempts: int = 1,
+        timed_out: bool = False,
+    ) -> None:
+        """Record one task completion (successful or failed).
+
+        ``attempts`` is the number of attempts the task consumed (extra
+        ones count as retries); ``timed_out`` marks failures whose final
+        attempt blew the per-task budget.
+        """
         if self._start is None:
             self.start()
         self._done += 1
+        self._retried += max(0, attempts - 1)
+        if timed_out:
+            self._timed_out += 1
         if failed:
             self._failed += 1
         self._elapsed = time.perf_counter() - self._start
@@ -104,5 +128,7 @@ class ProgressReporter:
             total_tasks=self.total_tasks,
             completed=self._done - self._failed,
             failed=self._failed,
+            retried=self._retried,
+            timed_out=self._timed_out,
             wall_time=self._elapsed,
         )

@@ -9,6 +9,12 @@ architecture and guarantees.
 """
 
 from repro.serving.batcher import BatchingError, MicroBatcher, PendingPrediction
+from repro.serving.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
 from repro.serving.cache import CacheError, PredictionCache, cache_key
 from repro.serving.fallbacks import (
     FALLBACK_ORDER,
@@ -41,6 +47,10 @@ __all__ = [
     "BatchingError",
     "MicroBatcher",
     "PendingPrediction",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "CircuitBreaker",
     "CacheError",
     "PredictionCache",
     "cache_key",

@@ -1,0 +1,141 @@
+"""Circuit breaker for the model path of the prediction service.
+
+A tiny three-state (closed / open / half-open) breaker guarding the GNN
+forward path. Model calls that fail — exceptions *or* micro-batch
+timeouts — count as consecutive failures; at ``failure_threshold`` the
+breaker opens and the service stops paying the model's latency/failure
+cost, degrading every request straight to the classical fallback chain.
+After ``reset_timeout_s`` the breaker half-opens and admits a single
+probe request: success closes it, failure re-opens it for another full
+window.
+
+The clock is injectable (monotonic by default) so tests can march
+through open -> half-open -> closed transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_timeout_s:
+        Seconds the breaker stays open before admitting a probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ValueError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half_open when due."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the next model call may proceed.
+
+        In ``half_open`` exactly one caller wins the probe slot; the
+        rest are treated as open until the probe settles.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A model call succeeded: close and reset."""
+        with self._lock:
+            self._state = STATE_CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> bool:
+        """A model call failed; returns True when this failure trips
+        the breaker open (from closed or a failed half-open probe)."""
+        with self._lock:
+            self._advance()
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            should_open = (
+                self._state == STATE_HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            )
+            if should_open and self._state != STATE_OPEN:
+                self._state = STATE_OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+                return True
+            if self._state == STATE_OPEN:
+                # Failures reported while open (e.g. stragglers from
+                # requests admitted before the trip) extend the window.
+                self._opened_at = self._clock()
+            return False
+
+    def snapshot(self) -> dict:
+        """JSON-safe state for ``/metrics``."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+            }
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Open -> half-open once the reset window has elapsed.
+
+        Caller must hold the lock.
+        """
+        if (
+            self._state == STATE_OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probe_in_flight = False

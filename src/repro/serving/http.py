@@ -90,7 +90,16 @@ def _make_handler(service: PredictionService):
                     {"error": f"body length {length} outside (0, {MAX_REQUEST_BYTES}]"},
                 )
                 return
-            body = self.rfile.read(length)
+            try:
+                body = self.rfile.read(length)
+            except (BrokenPipeError, ConnectionResetError) as exc:
+                service.metrics.record_dropped_response()
+                self.close_connection = True
+                logger.warning(
+                    "client disconnected mid-request (%s); dropped",
+                    exc.__class__.__name__,
+                )
+                return
             try:
                 payload = json.loads(body)
             except json.JSONDecodeError as exc:
@@ -111,12 +120,28 @@ def _make_handler(service: PredictionService):
 
         # ------------------------------------------------------------------
         def _send(self, status: int, payload: dict) -> None:
+            """Write one JSON response, tolerating client disconnects.
+
+            A client that hangs up mid-response used to raise
+            ``BrokenPipeError`` out of the handler and stack-trace the
+            server thread; there is nobody left to answer, so log,
+            count it, and drop the connection instead.
+            """
             body = json.dumps(payload).encode()
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError) as exc:
+                service.metrics.record_dropped_response()
+                self.close_connection = True
+                logger.warning(
+                    "client %s disconnected mid-response (%s); dropped",
+                    getattr(self, "client_address", ("?",))[0],
+                    exc.__class__.__name__,
+                )
 
         def log_message(self, fmt: str, *args) -> None:  # noqa: A003
             logger.debug("http: " + fmt, *args)

@@ -32,6 +32,12 @@ class ServingMetrics:
         self.requests = 0
         self.cache_hits = 0
         self.errors = 0
+        self.model_failures = 0
+        self.model_retries = 0
+        self.timeouts = 0
+        self.breaker_trips = 0
+        self.breaker_rejections = 0
+        self.dropped_responses = 0
 
     def record_request(
         self, latency_s: float, source: str, cached: bool
@@ -48,6 +54,33 @@ class ServingMetrics:
         """Record one failed request."""
         with self._lock:
             self.errors += 1
+
+    def record_model_failure(self, timed_out: bool = False) -> None:
+        """One model-path attempt failed (rescued by the fallback chain)."""
+        with self._lock:
+            self.model_failures += 1
+            if timed_out:
+                self.timeouts += 1
+
+    def record_model_retry(self) -> None:
+        """One in-request retry of the model path."""
+        with self._lock:
+            self.model_retries += 1
+
+    def record_breaker_trip(self) -> None:
+        """The circuit breaker opened."""
+        with self._lock:
+            self.breaker_trips += 1
+
+    def record_breaker_rejection(self) -> None:
+        """A request skipped the model because the breaker was open."""
+        with self._lock:
+            self.breaker_rejections += 1
+
+    def record_dropped_response(self) -> None:
+        """A client disconnected before its response could be written."""
+        with self._lock:
+            self.dropped_responses += 1
 
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p90/p99/max over the sliding window, in milliseconds."""
@@ -68,6 +101,7 @@ class ServingMetrics:
         cache_stats: Optional[dict] = None,
         batcher_stats: Optional[dict] = None,
         models: Optional[list] = None,
+        breakers: Optional[dict] = None,
     ) -> dict:
         """JSON-safe aggregate, optionally embedding collaborator stats."""
         with self._lock:
@@ -76,6 +110,14 @@ class ServingMetrics:
             sources = dict(self._sources)
             cache_hits = self.cache_hits
             errors = self.errors
+            fault_tolerance = {
+                "model_failures": self.model_failures,
+                "model_retries": self.model_retries,
+                "timeouts": self.timeouts,
+                "breaker_trips": self.breaker_trips,
+                "breaker_rejections": self.breaker_rejections,
+                "dropped_responses": self.dropped_responses,
+            }
         result = {
             "uptime_s": uptime,
             "requests": requests,
@@ -88,6 +130,7 @@ class ServingMetrics:
                 for source, count in sources.items()
                 if source != "model"
             ),
+            "fault_tolerance": fault_tolerance,
             "latency": self.latency_percentiles(),
         }
         if cache_stats is not None:
@@ -96,4 +139,6 @@ class ServingMetrics:
             result["batcher"] = batcher_stats
         if models is not None:
             result["models"] = models
+        if breakers is not None:
+            result["breakers"] = breakers
         return result

@@ -19,16 +19,16 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ReproError
 from repro.gnn.predictor import QAOAParameterPredictor
 from repro.graphs.graph import Graph
 from repro.qaoa.fixed_angles import FixedAngleTable
 from repro.runtime import ParallelExecutor
-from repro.serving.batcher import MicroBatcher
+from repro.serving.batcher import BatchingError, MicroBatcher
+from repro.serving.breaker import CircuitBreaker
 from repro.serving.cache import PredictionCache, cache_key
 from repro.serving.fallbacks import SOURCE_MODEL, FallbackChain
 from repro.serving.metrics import ServingMetrics
@@ -40,7 +40,7 @@ logger = get_logger(__name__)
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """Knobs for cache, batching, and fallback behavior."""
+    """Knobs for cache, batching, fallback, and fault tolerance."""
 
     cache_size: int = 4096
     cache_ttl_s: Optional[float] = None
@@ -48,8 +48,17 @@ class ServingConfig:
     max_wait_ms: float = 2.0
     workers: int = 1
     batching: bool = True
+    #: Deadline for the model path of one request (micro-batch queueing
+    #: included); past it the request degrades to the fallback chain and
+    #: the breaker records a failure.
     request_timeout_s: float = 30.0
     default_p: int = 1  # fallback depth when no model is registered
+    #: In-request retries of the model path before falling back.
+    model_retries: int = 0
+    #: Consecutive model failures that trip the circuit breaker.
+    breaker_threshold: int = 5
+    #: Seconds a tripped breaker waits before a half-open probe.
+    breaker_reset_s: float = 30.0
 
 
 @dataclass(frozen=True)
@@ -90,6 +99,7 @@ class PredictionService:
         registry: Optional[ModelRegistry] = None,
         config: Optional[ServingConfig] = None,
         fixed_angle_table: Optional[FixedAngleTable] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.config = config if config is not None else ServingConfig()
         self.registry = registry if registry is not None else ModelRegistry()
@@ -108,6 +118,9 @@ class PredictionService:
         self._batcher_lock = threading.Lock()
         self._fallbacks: Dict[int, FallbackChain] = {}
         self._fixed_angle_table = fixed_angle_table
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._breaker_clock = clock
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -133,8 +146,16 @@ class PredictionService:
         self, graph: Graph, model_name: Optional[str] = None
     ) -> PredictionResult:
         """Warm-start ``(gammas, betas)`` for ``graph``, from the best
-        available source. Never raises for an unsupported graph — the
-        fallback chain always answers."""
+        available source.
+
+        Never raises for a structurally valid graph: every model-path
+        failure — unknown model name, forward-pass exception, micro-batch
+        timeout, tripped circuit breaker — degrades to the classical
+        fallback chain, which always answers. The only exceptions that
+        escape are for graphs the *fallback chain itself* cannot serve
+        (i.e. malformed input), and those are counted in
+        ``metrics.errors``.
+        """
         start = time.perf_counter()
         try:
             result = self._predict_inner(graph, model_name, start)
@@ -147,7 +168,16 @@ class PredictionService:
     def _predict_inner(
         self, graph: Graph, model_name: Optional[str], start: float
     ) -> PredictionResult:
-        entry = self._entry(model_name)
+        entry = None
+        try:
+            entry = self._entry(model_name)
+        except Exception as exc:  # noqa: BLE001 — degrade, never raise
+            logger.warning(
+                "model lookup %r failed (%s); serving from the fallback "
+                "chain",
+                model_name,
+                exc,
+            )
         p = entry.model.p if entry is not None else self.config.default_p
         key = cache_key(
             graph,
@@ -164,17 +194,11 @@ class PredictionService:
         gammas = betas = None
         source = None
         if entry is not None and self._model_supports(entry, graph):
-            try:
-                row = self._model_row(entry, graph)
+            row = self._guarded_model_row(entry, graph)
+            if row is not None:
                 gammas = tuple(float(g) for g in row[:p])
                 betas = tuple(float(b) for b in row[p:])
                 source = SOURCE_MODEL
-            except ReproError as exc:
-                logger.warning(
-                    "model path failed for graph n=%d (%s); falling back",
-                    graph.num_nodes,
-                    exc,
-                )
         if source is None:
             fallback = self._fallback_chain(p).resolve(graph)
             gammas, betas, source = (
@@ -185,6 +209,49 @@ class PredictionService:
             gammas, betas, p, source, False,
             time.perf_counter() - start, key,
         )
+
+    def _guarded_model_row(
+        self, entry: RegisteredModel, graph: Graph
+    ) -> Optional[np.ndarray]:
+        """The model forward, wrapped in breaker + retries + deadline.
+
+        Returns ``None`` whenever the model cannot answer — breaker
+        open, every attempt failed or timed out — so the caller walks
+        the fallback chain instead of raising.
+        """
+        breaker = self._breaker(entry.name)
+        if not breaker.allow():
+            self.metrics.record_breaker_rejection()
+            return None
+        attempts = 1 + max(0, int(self.config.model_retries))
+        for attempt in range(1, attempts + 1):
+            try:
+                row = self._model_row(entry, graph)
+            except Exception as exc:  # noqa: BLE001 — degrade, never raise
+                timed_out = isinstance(exc, BatchingError) and "timed out" in str(exc)
+                self.metrics.record_model_failure(timed_out=timed_out)
+                if breaker.record_failure():
+                    self.metrics.record_breaker_trip()
+                    logger.warning(
+                        "circuit breaker for model %r tripped after %d "
+                        "consecutive failures; serving fallbacks for %.1fs",
+                        entry.name,
+                        breaker.failure_threshold,
+                        breaker.reset_timeout_s,
+                    )
+                    return None
+                if attempt < attempts and breaker.allow():
+                    self.metrics.record_model_retry()
+                    continue
+                logger.warning(
+                    "model path failed for graph n=%d (%s); falling back",
+                    graph.num_nodes,
+                    exc,
+                )
+                return None
+            breaker.record_success()
+            return row
+        return None
 
     def predict_angles(
         self, graph: Graph, model_name: Optional[str] = None
@@ -228,6 +295,18 @@ class PredictionService:
             self._fallbacks[p] = chain
         return chain
 
+    def _breaker(self, model_name: str) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(model_name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_threshold,
+                    reset_timeout_s=self.config.breaker_reset_s,
+                    clock=self._breaker_clock,
+                )
+                self._breakers[model_name] = breaker
+            return breaker
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -237,10 +316,16 @@ class PredictionService:
             name: batcher.stats()
             for name, batcher in self._batchers.items()
         }
+        with self._breaker_lock:
+            breaker_stats = {
+                name: breaker.snapshot()
+                for name, breaker in self._breakers.items()
+            }
         return self.metrics.snapshot(
             cache_stats=self.cache.stats(),
             batcher_stats=batcher_stats or None,
             models=self.registry.describe(),
+            breakers=breaker_stats or None,
         )
 
     def describe(self) -> dict:
@@ -256,5 +341,9 @@ class PredictionService:
                 "workers": self.config.workers,
                 "batching": self.config.batching,
                 "default_p": self.config.default_p,
+                "request_timeout_s": self.config.request_timeout_s,
+                "model_retries": self.config.model_retries,
+                "breaker_threshold": self.config.breaker_threshold,
+                "breaker_reset_s": self.config.breaker_reset_s,
             },
         }

@@ -1,0 +1,277 @@
+"""Tests for labeling checkpoint/resume (`repro.data.checkpoint`).
+
+The core property: a labeling run that is interrupted (here, by an
+injector that fails a task harder than the retry budget) and then
+resumed produces a dataset byte-identical to an uninterrupted run —
+because shards commit atomically and per-task RNG streams are derived
+up front.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GenerationConfig,
+    LabelingCheckpoint,
+    QAOADataset,
+    config_from_manifest,
+    generate_dataset,
+    record_from_payload,
+    record_to_payload,
+    sample_graphs,
+)
+from repro.exceptions import CheckpointError, DatasetError
+from repro.runtime import FaultInjector
+
+
+CONFIG = GenerationConfig(
+    num_graphs=6,
+    min_nodes=3,
+    max_nodes=5,
+    optimizer_iters=4,
+    seed=11,
+    checkpoint_every=2,
+)
+
+
+def dataset_bytes(dataset: QAOADataset, path) -> bytes:
+    dataset.save(path)
+    return path.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# LabelingCheckpoint mechanics
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_initialize_and_reload(self, tmp_path):
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        assert not ckpt.exists()
+        ckpt.initialize({"seed": 1}, {"num_graphs": 4}, 4, 2)
+        assert ckpt.exists()
+        manifest = ckpt.load_manifest()
+        assert manifest["fingerprint"] == {"seed": 1}
+        assert manifest["total_tasks"] == 4
+        assert manifest["shards"] == {}
+        assert ckpt.completed_indices() == []
+
+    def test_initialize_refuses_foreign_checkpoint(self, tmp_path):
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        ckpt.initialize({"seed": 1}, {}, 4, 2)
+        with pytest.raises(CheckpointError, match="different generation"):
+            ckpt.initialize({"seed": 2}, {}, 4, 2)
+
+    def test_same_fingerprint_reinit_keeps_shards(self, tmp_path):
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        ckpt.initialize({"seed": 1}, {}, 4, 2)
+        record = generate_dataset(
+            GenerationConfig(
+                num_graphs=1, min_nodes=3, max_nodes=3,
+                optimizer_iters=2, seed=0,
+            )
+        ).records[0]
+        ckpt.write_shard(0, [0, 1], [record_to_payload(record)] * 2)
+        ckpt.initialize({"seed": 1}, {}, 4, 2)
+        assert ckpt.completed_indices() == [0, 1]
+
+    def test_validate_reports_mismatched_keys(self, tmp_path):
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        ckpt.initialize({"seed": 1, "p": 1}, {}, 4, 2)
+        with pytest.raises(CheckpointError, match=r"\['seed'\]"):
+            ckpt.validate({"seed": 2, "p": 1}, 4)
+        with pytest.raises(CheckpointError, match="tasks"):
+            ckpt.validate({"seed": 1, "p": 1}, 9)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            LabelingCheckpoint(tmp_path / "nope").load_manifest()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / "manifest.json").write_text('{"format_version"')
+        with pytest.raises(CheckpointError, match="corrupt"):
+            LabelingCheckpoint(directory).load_manifest()
+
+    def test_wrong_format_version_raises(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / "manifest.json").write_text(
+            json.dumps({"format_version": 99})
+        )
+        with pytest.raises(CheckpointError, match="format_version"):
+            LabelingCheckpoint(directory).load_manifest()
+
+    def test_shard_index_payload_mismatch_raises(self, tmp_path):
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        ckpt.initialize({"seed": 1}, {}, 4, 2)
+        with pytest.raises(CheckpointError, match="indices"):
+            ckpt.write_shard(0, [0, 1], [{}])
+
+    def test_recommitting_shard_with_other_indices_raises(self, tmp_path):
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        ckpt.initialize({"seed": 1}, {}, 8, 2)
+        dataset = generate_dataset(
+            GenerationConfig(
+                num_graphs=2, min_nodes=3, max_nodes=3,
+                optimizer_iters=2, seed=0,
+            )
+        )
+        payloads = [record_to_payload(r) for r in dataset.records]
+        ckpt.write_shard(0, [0, 1], payloads)
+        with pytest.raises(CheckpointError, match="different indices"):
+            ckpt.write_shard(0, [0, 1, 2], payloads + payloads[:1])
+
+    def test_tampered_shard_detected_on_load(self, tmp_path):
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        ckpt.initialize({"seed": 1}, {}, 2, 2)
+        dataset = generate_dataset(
+            GenerationConfig(
+                num_graphs=2, min_nodes=3, max_nodes=3,
+                optimizer_iters=2, seed=0,
+            )
+        )
+        ckpt.write_shard(
+            0, [0, 1], [record_to_payload(r) for r in dataset.records]
+        )
+        shard_path = ckpt.shards_dir / "shard_00000.json"
+        shard = json.loads(shard_path.read_text())
+        shard["indices"] = [0, 7]
+        shard_path.write_text(json.dumps(shard))
+        with pytest.raises(CheckpointError, match="disagrees"):
+            ckpt.load_records()
+
+
+# ----------------------------------------------------------------------
+# Record payload round-trip
+# ----------------------------------------------------------------------
+def test_record_payload_roundtrip_is_exact():
+    dataset = generate_dataset(CONFIG)
+    for record in dataset.records:
+        clone = record_from_payload(record_to_payload(record))
+        assert clone.gammas == record.gammas
+        assert clone.betas == record.betas
+        assert clone.expectation == record.expectation
+        assert clone.graph.edges == record.graph.edges
+
+
+# ----------------------------------------------------------------------
+# generate_dataset with checkpoints
+# ----------------------------------------------------------------------
+class TestCheckpointedGeneration:
+    def test_checkpointed_run_is_byte_identical_to_plain(self, tmp_path):
+        plain = generate_dataset(CONFIG)
+        checkpointed = generate_dataset(
+            CONFIG, checkpoint=tmp_path / "ckpt"
+        )
+        assert dataset_bytes(plain, tmp_path / "a.json") == dataset_bytes(
+            checkpointed, tmp_path / "b.json"
+        )
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        assert ckpt.completed_indices() == list(range(CONFIG.num_graphs))
+
+    def test_killed_run_resumes_byte_identical(self, tmp_path):
+        uninterrupted = generate_dataset(CONFIG)
+        # Simulate a mid-run crash: task 4 (third shard) fails harder
+        # than the retry budget, so shards 0 and 1 are durably written
+        # and the run dies before shard 2 commits.
+        with pytest.raises(DatasetError, match="labeling failed"):
+            generate_dataset(
+                CONFIG,
+                checkpoint=tmp_path / "ckpt",
+                fault_injector=FaultInjector(fail_tasks={4: 99}),
+            )
+        ckpt = LabelingCheckpoint(tmp_path / "ckpt")
+        assert ckpt.completed_indices() == [0, 1, 2, 3]
+        resumed = generate_dataset(
+            CONFIG, checkpoint=tmp_path / "ckpt", resume=True
+        )
+        assert dataset_bytes(
+            uninterrupted, tmp_path / "a.json"
+        ) == dataset_bytes(resumed, tmp_path / "b.json")
+
+    def test_resume_skips_completed_shards(self, tmp_path):
+        generate_dataset(CONFIG, checkpoint=tmp_path / "ckpt")
+        # A resume over a complete checkpoint must label nothing: an
+        # injector that would fail every task never fires.
+        resumed = generate_dataset(
+            CONFIG,
+            checkpoint=tmp_path / "ckpt",
+            resume=True,
+            fault_injector=FaultInjector(failure_rate=1.0),
+        )
+        assert len(resumed) == CONFIG.num_graphs
+
+    def test_resume_with_other_config_raises(self, tmp_path):
+        generate_dataset(CONFIG, checkpoint=tmp_path / "ckpt")
+        from dataclasses import replace
+
+        other = replace(CONFIG, seed=99)
+        with pytest.raises(CheckpointError, match="mismatched"):
+            generate_dataset(
+                other, checkpoint=tmp_path / "ckpt", resume=True
+            )
+
+    def test_resume_without_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            generate_dataset(
+                CONFIG, checkpoint=tmp_path / "missing", resume=True
+            )
+
+    def test_config_from_manifest_roundtrip(self, tmp_path):
+        generate_dataset(CONFIG, checkpoint=tmp_path / "ckpt")
+        manifest = LabelingCheckpoint(tmp_path / "ckpt").load_manifest()
+        assert config_from_manifest(manifest) == CONFIG
+
+    def test_config_from_manifest_rejects_unknown_fields(self):
+        with pytest.raises(DatasetError, match="unknown fields"):
+            config_from_manifest(
+                {"config": {"num_graphs": 2, "warp_factor": 9}}
+            )
+
+
+# ----------------------------------------------------------------------
+# Acceptance: injected faults + retries across backends
+# ----------------------------------------------------------------------
+class TestFaultedLabeling:
+    def test_one_failure_per_task_with_retry_matches_clean_serial(self):
+        from dataclasses import replace
+
+        clean = generate_dataset(CONFIG)
+        for backend in ("serial", "thread"):
+            config = replace(CONFIG, backend=backend, workers=2, retries=1)
+            faulted = generate_dataset(
+                config, fault_injector=FaultInjector(failure_rate=1.0)
+            )
+            np.testing.assert_array_equal(
+                np.asarray(clean.targets()), np.asarray(faulted.targets())
+            )
+
+    def test_failure_without_retry_names_graphs(self):
+        with pytest.raises(DatasetError, match="labeling failed"):
+            generate_dataset(
+                CONFIG, fault_injector=FaultInjector(fail_tasks={0: 1})
+            )
+
+
+# ----------------------------------------------------------------------
+# Satellite: bounded resampling in sample_graphs
+# ----------------------------------------------------------------------
+class TestResampleCap:
+    def test_infeasible_config_fails_loudly(self):
+        config = GenerationConfig(
+            num_graphs=1, min_nodes=2, max_nodes=2,
+            max_resample_attempts=10, seed=0,
+        )
+        with pytest.raises(DatasetError, match="stalled"):
+            sample_graphs(config)
+
+    def test_cap_validation(self):
+        config = GenerationConfig(num_graphs=1, max_resample_attempts=0)
+        with pytest.raises(DatasetError, match="max_resample_attempts"):
+            sample_graphs(config)
+
+    def test_feasible_config_unaffected_by_cap(self):
+        graphs = sample_graphs(CONFIG)
+        assert len(graphs) == CONFIG.num_graphs

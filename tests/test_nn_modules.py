@@ -243,6 +243,40 @@ class TestSchedulers:
         _, scheduler = self._make(factor=5.0)
         assert scheduler.factor == pytest.approx(0.2)
 
+    def test_pinned_min_lr_does_not_reset_bad_epochs(self):
+        # Regression: once the LR sat at min_lr, every patience expiry
+        # used to reset num_bad_epochs to 0 without reducing anything,
+        # so the scheduler silently cycled and num_reductions
+        # undercounted plateau events (PyTorch reduces only when
+        # old_lr - new_lr exceeds eps; a pinned LR never does).
+        optimizer, scheduler = self._make(
+            patience=1, factor=0.1, min_lr=0.5
+        )
+        scheduler.step(1.0)  # best
+        assert not scheduler.step(1.0)  # bad epoch 1, within patience
+        assert scheduler.step(1.0)  # bad epoch 2 -> reduce 1.0 -> 0.5
+        assert optimizer.learning_rate == pytest.approx(0.5)
+        assert scheduler.num_reductions == 1
+        # Pinned at min_lr: further plateau epochs must not count as
+        # reductions, and the bad-epoch counter must keep growing
+        # rather than silently re-arming.
+        for epoch in range(1, 4):
+            assert not scheduler.step(1.0)
+            assert scheduler.num_bad_epochs == epoch
+        assert optimizer.learning_rate == pytest.approx(0.5)
+        assert scheduler.num_reductions == 1
+
+    def test_num_reductions_counts_actual_reductions(self):
+        optimizer, scheduler = self._make(
+            patience=0, factor=0.1, min_lr=0.001
+        )
+        scheduler.step(1.0)
+        for _ in range(6):
+            scheduler.step(1.0)
+        # 1.0 -> 0.1 -> 0.01 -> 0.001 (pinned thereafter)
+        assert scheduler.num_reductions == 3
+        assert optimizer.learning_rate == pytest.approx(0.001)
+
     def test_max_mode(self):
         optimizer, scheduler = self._make(mode="max", patience=0, factor=0.5)
         scheduler.step(1.0)

@@ -82,9 +82,13 @@ class TestExecutorBasics:
             "total_tasks",
             "completed",
             "failed",
+            "retried",
+            "timed_out",
             "wall_time",
             "tasks_per_second",
         }
+        assert report.retried == 0
+        assert report.timed_out == 0
 
     def test_on_progress_callback(self):
         seen = []

@@ -1,0 +1,309 @@
+"""Tests for the fault-tolerant execution layer (`repro.runtime.faults`).
+
+Covers the deterministic retry/backoff schedule, the fault injector, and
+their integration with :class:`ParallelExecutor` across all three
+backends — including the acceptance property that an injector forcing
+one failure into every task, with one retry, still produces output
+bit-identical to a fault-free run.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError, InjectedFault, TaskTimeout
+from repro.runtime import (
+    FAILURE_DEADLINE,
+    FAILURE_ERROR,
+    FAILURE_TIMEOUT,
+    NO_RETRY,
+    FaultInjector,
+    FaultPlan,
+    ParallelExecutor,
+    RetryPolicy,
+    TaskFailure,
+)
+
+
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+def _sleepy(x):
+    time.sleep(x)
+    return x
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_defaults_do_not_retry(self):
+        assert NO_RETRY.retries == 0
+        assert NO_RETRY.schedule(0) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_multiplier": 0.5},
+            {"backoff_max_s": -1.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ExecutionError):
+            RetryPolicy(**kwargs)
+
+    def test_zero_base_means_immediate_retry(self):
+        policy = RetryPolicy(retries=3, backoff_base_s=0.0, jitter=0.5)
+        assert policy.schedule(7) == [0.0, 0.0, 0.0]
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            retries=3, backoff_base_s=1.0, backoff_multiplier=2.0
+        )
+        assert policy.schedule(0) == [1.0, 2.0, 4.0]
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(
+            retries=5, backoff_base_s=1.0, backoff_multiplier=10.0,
+            backoff_max_s=3.0,
+        )
+        assert max(policy.schedule(0)) == 3.0
+
+    def test_jitter_is_deterministic_per_task(self):
+        policy = RetryPolicy(
+            retries=4, backoff_base_s=0.5, jitter=0.3, seed=42
+        )
+        twin = RetryPolicy(
+            retries=4, backoff_base_s=0.5, jitter=0.3, seed=42
+        )
+        for index in range(6):
+            assert policy.schedule(index) == twin.schedule(index)
+
+    def test_jitter_is_call_order_independent(self):
+        policy = RetryPolicy(
+            retries=3, backoff_base_s=0.5, jitter=0.3, seed=1
+        )
+        forward = [policy.delay_s(5, k) for k in (1, 2, 3)]
+        backward = [policy.delay_s(5, k) for k in (3, 2, 1)][::-1]
+        assert forward == backward
+
+    def test_different_tasks_draw_different_jitter(self):
+        policy = RetryPolicy(
+            retries=1, backoff_base_s=1.0, jitter=1.0, seed=9
+        )
+        delays = {policy.delay_s(i, 1) for i in range(16)}
+        assert len(delays) > 1
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ExecutionError, match="attempt"):
+            RetryPolicy(retries=1, backoff_base_s=1.0).delay_s(0, 0)
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_explicit_fail_tasks(self):
+        injector = FaultInjector(fail_tasks={2: 1, 5: 3})
+        assert injector.failing_attempts(2) == 1
+        assert injector.failing_attempts(5) == 3
+        assert injector.failing_attempts(0) == 0
+        assert injector.faulted_indices(8) == (2, 5)
+
+    def test_rate_one_faults_every_task(self):
+        injector = FaultInjector(failure_rate=1.0)
+        assert injector.faulted_indices(10) == tuple(range(10))
+
+    def test_rate_zero_faults_nothing(self):
+        injector = FaultInjector(failure_rate=0.0)
+        assert injector.faulted_indices(10) == ()
+
+    def test_partial_rate_is_deterministic(self):
+        a = FaultInjector(failure_rate=0.5, seed=3)
+        b = FaultInjector(failure_rate=0.5, seed=3)
+        assert a.faulted_indices(64) == b.faulted_indices(64)
+        picked = len(a.faulted_indices(256))
+        assert 0 < picked < 256
+
+    def test_before_attempt_raises_within_failing_prefix(self):
+        injector = FaultInjector(fail_tasks={0: 2})
+        with pytest.raises(InjectedFault):
+            injector.before_attempt(0, "t", 1)
+        with pytest.raises(InjectedFault):
+            injector.before_attempt(0, "t", 2)
+        injector.before_attempt(0, "t", 3)  # past the prefix: no raise
+        injector.before_attempt(1, "t", 1)  # unfaulted task: no raise
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_rate": -0.1},
+            {"failure_rate": 1.1},
+            {"attempts_per_failure": 0},
+            {"delay_s": -1.0},
+            {"fail_tasks": {0: -1}},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ExecutionError):
+            FaultInjector(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_unbounded_plan_never_expires(self):
+        plan = FaultPlan()
+        assert plan.time_left() is None
+        assert not plan.expired()
+
+    def test_past_deadline_expires(self):
+        plan = FaultPlan(deadline=time.monotonic() - 1.0)
+        assert plan.expired()
+        assert plan.time_left() < 0
+
+
+# ----------------------------------------------------------------------
+# Executor integration
+# ----------------------------------------------------------------------
+class TestExecutorRetries:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_injected_failures_with_retry_match_fault_free_run(
+        self, backend
+    ):
+        items = list(range(12))
+        clean = ParallelExecutor(backend="serial").map(_square, items)
+        executor = ParallelExecutor(
+            backend=backend,
+            max_workers=2,
+            retries=1,
+            fault_injector=FaultInjector(failure_rate=1.0),
+        )
+        retried = executor.map(_square, items)
+        assert retried == clean
+        report = executor.last_report
+        assert report.retried == len(items)
+        assert report.failed == 0
+
+    def test_retry_counts_in_stats(self):
+        executor = ParallelExecutor(
+            retries=3,
+            fault_injector=FaultInjector(
+                fail_tasks={1: 2, 4: 1}
+            ),
+        )
+        results = executor.map(_square, list(range(6)))
+        assert results == [_square(i) for i in range(6)]
+        assert executor.last_report.retried == 3
+
+    def test_exhausted_retries_raise_aggregated_error(self):
+        executor = ParallelExecutor(
+            retries=1,
+            fault_injector=FaultInjector(fail_tasks={2: 5}),
+        )
+        with pytest.raises(ExecutionError, match="1/4 tasks failed"):
+            executor.map(_square, list(range(4)))
+
+    def test_collect_mode_records_attempts_and_kind(self):
+        executor = ParallelExecutor(
+            retries=2,
+            error_mode="collect",
+            fault_injector=FaultInjector(fail_tasks={1: 9}),
+        )
+        results = executor.map(_square, list(range(3)))
+        assert results[0] == 0 and results[2] == 4
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == FAILURE_ERROR
+        assert failure.attempts == 3  # 1 initial + 2 retries
+        assert "InjectedFault" in failure.error
+        assert executor.last_report.failed == 1
+        assert executor.last_report.retried == 2
+
+    def test_backoff_sleep_is_applied(self):
+        executor = ParallelExecutor(
+            retries=1,
+            retry_policy=RetryPolicy(retries=1, backoff_base_s=0.05),
+            fault_injector=FaultInjector(fail_tasks={0: 1}),
+        )
+        start = time.perf_counter()
+        assert executor.map(_square, [3]) == [9]
+        assert time.perf_counter() - start >= 0.05
+
+    def test_retry_shorthand_builds_policy(self):
+        executor = ParallelExecutor(retries=4)
+        assert executor.retries == 4
+        assert executor.retry_policy.retries == 4
+
+
+class TestTimeouts:
+    def test_slow_task_times_out(self):
+        executor = ParallelExecutor(
+            task_timeout_s=0.05, error_mode="collect"
+        )
+        results = executor.map(_sleepy, [0.0, 1.0])
+        assert results[0] == 0.0
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == FAILURE_TIMEOUT
+        assert "TaskTimeout" in failure.error
+        assert executor.last_report.timed_out == 1
+
+    def test_timeout_is_retryable(self):
+        calls = []
+
+        def flaky(x):
+            calls.append(x)
+            if len(calls) == 1:
+                time.sleep(1.0)
+            return x
+
+        executor = ParallelExecutor(task_timeout_s=0.05, retries=1)
+        assert executor.map(flaky, [7]) == [7]
+        assert len(calls) == 2
+        assert executor.last_report.retried == 1
+
+    def test_call_with_timeout_passes_fast_results(self):
+        from repro.runtime.executor import _call_with_timeout
+
+        assert _call_with_timeout(_square, 4, 5.0) == 16
+        assert _call_with_timeout(_square, 4, None) == 16
+        with pytest.raises(TaskTimeout):
+            _call_with_timeout(_sleepy, 0.5, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            ParallelExecutor(task_timeout_s=0.0)
+        with pytest.raises(ExecutionError):
+            ParallelExecutor(deadline_s=-1.0)
+
+
+class TestDeadline:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_expired_deadline_cuts_remaining_tasks(self, backend):
+        executor = ParallelExecutor(
+            backend=backend,
+            max_workers=2,
+            chunk_size=1,
+            deadline_s=0.15,
+            error_mode="collect",
+        )
+        results = executor.map(_sleepy, [0.2] * 6)
+        kinds = [
+            r.kind if isinstance(r, TaskFailure) else "ok" for r in results
+        ]
+        assert FAILURE_DEADLINE in kinds
+        assert executor.last_report.failed == kinds.count(FAILURE_DEADLINE)
+
+    def test_generous_deadline_changes_nothing(self):
+        executor = ParallelExecutor(deadline_s=60.0)
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert executor.last_report.failed == 0

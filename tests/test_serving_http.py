@@ -182,3 +182,70 @@ class TestCLIServePieces:
         assert args.command == "predict"
         with pytest.raises(SystemExit):
             main(["predict"])
+
+
+class TestClientDisconnects:
+    """Satellite: a client hanging up mid-response must not crash the
+    handler thread — the response is logged, counted, and dropped."""
+
+    def _bare_handler(self, service, wfile):
+        from repro.serving.http import _make_handler
+
+        handler_cls = _make_handler(service)
+        handler = object.__new__(handler_cls)
+        handler.wfile = wfile
+        handler.rfile = None
+        handler.request_version = "HTTP/1.1"
+        handler.requestline = "POST /predict HTTP/1.1"
+        handler.command = "POST"
+        handler.path = "/predict"
+        handler.client_address = ("127.0.0.1", 1234)
+        handler.close_connection = False
+        return handler
+
+    def test_broken_pipe_in_send_is_dropped_and_counted(self):
+        service = PredictionService(config=ServingConfig())
+
+        class BrokenWfile:
+            def write(self, data):
+                raise BrokenPipeError("client went away")
+
+            def flush(self):
+                pass
+
+        handler = self._bare_handler(service, BrokenWfile())
+        handler._send(200, {"ok": True})  # must not raise
+        assert service.metrics.dropped_responses == 1
+        assert handler.close_connection is True
+
+    def test_connection_reset_in_send_is_dropped_and_counted(self):
+        service = PredictionService(config=ServingConfig())
+
+        class ResetWfile:
+            def write(self, data):
+                raise ConnectionResetError("reset by peer")
+
+            def flush(self):
+                pass
+
+        handler = self._bare_handler(service, ResetWfile())
+        handler._send(500, {"error": "x"})
+        assert service.metrics.dropped_responses == 1
+
+    def test_intact_pipe_still_writes(self):
+        import io
+
+        service = PredictionService(config=ServingConfig())
+        buffer = io.BytesIO()
+        handler = self._bare_handler(service, buffer)
+        handler._send(200, {"ok": True})
+        written = buffer.getvalue()
+        assert b"200" in written
+        assert b'{"ok": true}' in written
+        assert service.metrics.dropped_responses == 0
+
+    def test_dropped_responses_surface_in_metrics_snapshot(self):
+        service = PredictionService(config=ServingConfig())
+        service.metrics.record_dropped_response()
+        snapshot = service.metrics_snapshot()
+        assert snapshot["fault_tolerance"]["dropped_responses"] == 1
