@@ -3,10 +3,10 @@
 Thin wrapper over :mod:`repro.benchmarking` (also exposed as
 ``repro bench`` in the CLI). Runs the simulator-kernel before/after
 benchmarks, the labeling-throughput comparison, the training-throughput
-arms, and the evaluation-sweep arms, then appends entries to the
-``BENCH_1.json`` (kernels/labeling/serving), ``BENCH_2.json``
-(training), and ``BENCH_3.json`` (evaluation) trajectories at the
-repository root.
+arms, the evaluation-sweep arms, and the lazy-engine fusion arms, then
+appends entries to the ``BENCH_1.json`` (kernels/labeling/serving),
+``BENCH_2.json`` (training), ``BENCH_3.json`` (evaluation), and
+``BENCH_4.json`` (tensor engine) trajectories at the repository root.
 
 Examples::
 
@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.benchmarking import (
     DEFAULT_BENCH_PATH,
     DEFAULT_EVALUATION_BENCH_PATH,
+    DEFAULT_FUSION_BENCH_PATH,
     DEFAULT_TRAINING_BENCH_PATH,
     format_entry,
     run_benchmarks,
@@ -59,7 +60,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=(
             "append benchmark entries to BENCH_1.json / BENCH_2.json / "
-            "BENCH_3.json"
+            "BENCH_3.json / BENCH_4.json"
         )
     )
     parser.add_argument(
@@ -87,6 +88,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--evaluation-graphs", type=int, default=100)
     parser.add_argument("--evaluation-iters", type=int, default=60)
+    parser.add_argument("--skip-fusion", action="store_true")
+    parser.add_argument(
+        "--fusion-out",
+        type=Path,
+        default=REPO_ROOT / DEFAULT_FUSION_BENCH_PATH,
+    )
+    parser.add_argument("--fusion-graphs", type=int, default=128)
+    parser.add_argument("--fusion-epochs", type=int, default=8)
+    parser.add_argument("--fusion-reps", type=int, default=3)
     parser.add_argument(
         "--validate-evaluation",
         type=Path,
@@ -121,6 +131,11 @@ def main(argv=None) -> int:
         evaluation_path=args.evaluation_out,
         evaluation_graphs=args.evaluation_graphs,
         evaluation_iters=args.evaluation_iters,
+        skip_fusion=args.skip_fusion,
+        fusion_path=args.fusion_out,
+        fusion_graphs=args.fusion_graphs,
+        fusion_epochs=args.fusion_epochs,
+        fusion_reps=args.fusion_reps,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
@@ -128,6 +143,8 @@ def main(argv=None) -> int:
         print(f"appended training benchmark to {args.training_out}")
     if not args.skip_evaluation:
         print(f"appended evaluation benchmark to {args.evaluation_out}")
+    if not args.skip_fusion:
+        print(f"appended engine benchmark to {args.fusion_out}")
     return 0
 
 

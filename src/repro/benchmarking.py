@@ -74,6 +74,9 @@ DEFAULT_TRAINING_BENCH_PATH = "BENCH_2.json"
 #: Evaluation-sweep trajectory (serial vs batched warm-start engine).
 DEFAULT_EVALUATION_BENCH_PATH = "BENCH_3.json"
 
+#: Fusion trajectory (lazy op-graph engine vs the eager oracle).
+DEFAULT_FUSION_BENCH_PATH = "BENCH_4.json"
+
 BENCH_SCHEMA_VERSION = 1
 
 
@@ -573,6 +576,242 @@ def bench_training(
     }
 
 
+def bench_fusion(
+    num_graphs: int = 128,
+    batch_size: int = 32,
+    epochs: int = 8,
+    arch: str = "gin",
+    seed: int = 20240305,
+    reps: int = 3,
+    verify: bool = True,
+    baseline_path: Optional[PathLike] = DEFAULT_TRAINING_BENCH_PATH,
+) -> Dict[str, object]:
+    """Epoch throughput of the lazy fused engine vs the eager oracle.
+
+    Both arms run the BENCH_2 ``cached`` workload — 128 graphs, batch
+    32, GIN, cached batch assembly (``compile_batches=True``), bincount
+    scatter kernels (``csr_kernels=False``) — with the same initial
+    weights and shuffling seed; the only difference is
+    ``TrainingConfig(engine=...)``. Measurement protocol:
+
+    - One shared :class:`~repro.data.compiled.CompiledDataset` serves
+      every fit, so all arms draw identical cached batches.
+    - A full-length lazy warmup fit runs first. Each fit reseeds the
+      shuffle rng, so the warmup visits exactly the batch shapes the
+      timed fits will — the timed lazy arm runs 100% plan-cache hits.
+    - The arms are interleaved ``reps`` times in one process and the
+      per-arm statistic is the best epoch across all reps (background
+      load only ever slows an epoch down), so the comparison shares
+      whatever noise the machine has.
+
+    The lazy arm records the engine counter deltas over its timed reps
+    (fused kernel count, recorded op count, plan hit/miss, peak
+    temporary bytes) plus a separate profiled fit whose per-phase
+    report carries the allocator accounting — so the trajectory shows
+    *why* the engine is fast, not just that it is.
+
+    ``baseline_path`` names a ``BENCH_2.json`` trajectory; when it
+    exists, the recorded ``cached`` arm of its latest training entry
+    becomes the cross-PR baseline and the headline
+    ``speedup_vs_bench2_cached`` is computed against it.
+
+    With ``verify`` (default), asserts in-process that the two arms'
+    loss traces are **bit-identical**: the lazy engine's contract is
+    the same bits as op-at-a-time numpy, not merely close ones.
+    """
+    from repro.data.compiled import CompiledDataset
+    from repro.gnn.predictor import QAOAParameterPredictor
+    from repro.nn.realize import counters as engine_counters
+    from repro.pipeline.training import Trainer, TrainingConfig
+
+    dataset = training_benchmark_dataset(num_graphs=num_graphs, seed=seed)
+    probe = QAOAParameterPredictor(arch=arch, p=dataset.depth(), rng=0)
+    shared = CompiledDataset(
+        list(dataset),
+        feature_kind="degree_onehot",
+        max_nodes=probe.in_dim,
+        build_plans=False,
+    )
+
+    def run_arm(engine: str, arm_epochs: int, profile: bool = False):
+        model = QAOAParameterPredictor(arch=arch, p=dataset.depth(), rng=0)
+        trainer = Trainer(
+            model,
+            TrainingConfig(
+                epochs=arm_epochs,
+                batch_size=batch_size,
+                seed=0,
+                compile_batches=True,
+                csr_kernels=False,
+                profile=profile,
+                engine=engine,
+            ),
+        )
+        return trainer.fit(dataset, compiled=shared)
+
+    # Warm plan cache, batch memo, allocator, and BLAS paths. The full
+    # lazy warmup matters: every fit replays the same seed-0 shuffle
+    # sequence, so after it the timed lazy fits compile nothing.
+    run_arm("lazy", arm_epochs=epochs)
+    run_arm("eager", arm_epochs=min(2, epochs))
+
+    epoch_times: Dict[str, List[float]] = {"eager": [], "lazy": []}
+    losses: Dict[str, List[float]] = {}
+    engine_counters.push_mark()
+    mark = engine_counters.snapshot()
+    lazy_counted = {key: 0 for key in (
+        "kernels", "ops", "views", "realizes",
+        "plan_hits", "plan_misses", "temp_bytes",
+    )}
+    for _ in range(max(1, reps)):
+        for name in ("eager", "lazy"):
+            if name == "lazy":
+                before = engine_counters.snapshot()
+            history = run_arm(name, epochs)
+            if name == "lazy":
+                now = engine_counters.snapshot()
+                for key in lazy_counted:
+                    lazy_counted[key] += now[key] - before[key]
+            epoch_times[name].extend(history.epoch_times)
+            losses[name] = list(history.losses)
+    peak_temp_bytes = engine_counters.pop_mark()
+    del mark
+
+    timed_reps = max(1, reps)
+    engine_stats = {
+        key: value // timed_reps for key, value in lazy_counted.items()
+    }
+    engine_stats["peak_temp_bytes"] = peak_temp_bytes
+    engine_stats["fusion_ratio"] = (
+        engine_stats["ops"] / engine_stats["kernels"]
+        if engine_stats["kernels"]
+        else 0.0
+    )
+
+    arms: Dict[str, object] = {}
+    for name in ("eager", "lazy"):
+        times = epoch_times[name]
+        best = min(times, default=0.0)
+        total = sum(times)
+        profiled = run_arm(name, epochs, profile=True)
+        arms[name] = {
+            "wall_time_s": total,
+            "mean_epoch_s": total / len(times) if times else 0.0,
+            # Best epoch is the noise-robust statistic (cf.
+            # ``time_callable``): background load only ever slows an
+            # epoch down, so the minimum is the honest per-arm cost.
+            "best_epoch_s": best,
+            "epochs_per_second": 1.0 / best if best > 0 else 0.0,
+            "timed_reps": timed_reps,
+            "final_loss": losses[name][-1] if losses.get(name) else 0.0,
+            "profile": profiled.profile,
+        }
+    arms["lazy"]["engine_counters"] = engine_stats
+
+    if verify:
+        if not np.array_equal(losses["eager"], losses["lazy"]):
+            raise AssertionError(
+                "lazy-engine loss trace is not bit-identical to the "
+                "eager oracle"
+            )
+        arms["lazy"]["bit_identical_to_eager"] = True
+
+    eager_epoch = arms["eager"]["best_epoch_s"]
+    lazy_epoch = arms["lazy"]["best_epoch_s"]
+    speedup = eager_epoch / lazy_epoch if lazy_epoch > 0 else float("inf")
+    arms["lazy"]["speedup_vs_eager"] = speedup
+
+    baseline = _bench2_cached_baseline(
+        baseline_path, num_graphs=num_graphs, batch_size=batch_size,
+        arch=arch,
+    )
+    speedup_vs_bench2 = None
+    if baseline is not None:
+        base_epoch = baseline.get("best_epoch_s") or 0.0
+        if base_epoch and lazy_epoch > 0:
+            speedup_vs_bench2 = base_epoch / lazy_epoch
+            arms["lazy"]["speedup_vs_bench2_cached"] = speedup_vs_bench2
+
+    stats = engine_stats
+    logger.info(
+        "fusion arm=lazy: %.1f epochs/s (%.2fx vs eager%s), "
+        "%d ops -> %d kernels (%.2f ops/kernel), peak temp %.1f MB",
+        arms["lazy"]["epochs_per_second"],
+        speedup,
+        (
+            f", {speedup_vs_bench2:.2f}x vs BENCH_2 cached"
+            if speedup_vs_bench2
+            else ""
+        ),
+        stats["ops"],
+        stats["kernels"],
+        stats["fusion_ratio"],
+        stats["peak_temp_bytes"] / 1e6,
+    )
+    results: Dict[str, object] = {
+        "num_graphs": num_graphs,
+        "batch_size": batch_size,
+        "epochs": epochs,
+        "reps": timed_reps,
+        "arch": arch,
+        "arms": arms,
+        # Headline: the default engine (lazy, fused, bit-identical
+        # losses) vs running the same training loop op-at-a-time.
+        "speedup": speedup,
+        "fused_kernels": stats["kernels"],
+        "recorded_ops": stats["ops"],
+        "peak_temp_bytes": stats["peak_temp_bytes"],
+    }
+    if baseline is not None:
+        results["bench2_cached_baseline"] = baseline
+    if speedup_vs_bench2 is not None:
+        results["speedup_vs_bench2_cached"] = speedup_vs_bench2
+    return results
+
+
+def _bench2_cached_baseline(
+    path: Optional[PathLike],
+    num_graphs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    arch: Optional[str] = None,
+) -> Optional[dict]:
+    """Latest recorded ``cached`` training arm from a BENCH_2 trajectory.
+
+    Only entries whose workload matches ``num_graphs``/``batch_size``/
+    ``arch`` (when given) qualify — a cross-PR throughput ratio is only
+    meaningful against the *same* training job. Returns
+    ``{"best_epoch_s", "epochs_per_second", "run", "timestamp"}`` or
+    ``None`` when the trajectory is missing or holds no matching entry
+    — the fusion benchmark then simply skips the cross-PR ratio.
+    """
+    if path is None or not Path(path).exists():
+        return None
+    try:
+        trajectory = load_trajectory(path)
+    except (ValueError, json.JSONDecodeError):
+        return None
+    for entry in reversed(trajectory):
+        training = entry.get("results", {}).get("training")
+        if not training:
+            continue
+        if num_graphs is not None and training.get("num_graphs") != num_graphs:
+            continue
+        if batch_size is not None and training.get("batch_size") != batch_size:
+            continue
+        if arch is not None and training.get("arch") != arch:
+            continue
+        cached = training.get("arms", {}).get("cached")
+        if not cached:
+            continue
+        return {
+            "best_epoch_s": cached.get("best_epoch_s"),
+            "epochs_per_second": cached.get("epochs_per_second"),
+            "run": entry.get("run"),
+            "timestamp": entry.get("timestamp"),
+        }
+    return None
+
+
 # ----------------------------------------------------------------------
 # Evaluation throughput benchmarks
 # ----------------------------------------------------------------------
@@ -757,15 +996,22 @@ def run_benchmarks(
     evaluation_graphs: int = 100,
     evaluation_p: int = 2,
     evaluation_iters: int = 60,
+    skip_fusion: bool = False,
+    fusion_path: PathLike = DEFAULT_FUSION_BENCH_PATH,
+    fusion_graphs: int = 128,
+    fusion_epochs: int = 8,
+    fusion_batch_size: int = 32,
+    fusion_reps: int = 3,
 ) -> dict:
     """Run the kernel (and optionally labeling/serving/training/
-    evaluation) benchmarks. Kernel/labeling/serving results append one
-    entry to the trajectory at ``path``; the training and evaluation
-    benchmarks append their own entries to ``training_path``
-    (``BENCH_2.json``) and ``evaluation_path`` (``BENCH_3.json``).
-    Returns the ``path`` entry, with the training and evaluation results
-    merged into its ``results`` in memory (not on disk) so callers can
-    render one summary."""
+    evaluation/fusion) benchmarks. Kernel/labeling/serving results
+    append one entry to the trajectory at ``path``; the training,
+    evaluation, and fusion benchmarks append their own entries to
+    ``training_path`` (``BENCH_2.json``), ``evaluation_path``
+    (``BENCH_3.json``), and ``fusion_path`` (``BENCH_4.json``).
+    Returns the ``path`` entry, with the training, evaluation, and
+    fusion results merged into its ``results`` in memory (not on disk)
+    so callers can render one summary."""
     results: Dict[str, object] = {
         "gradient_kernel_n15_p2": bench_gradient_kernel(
             repeats=kernel_repeats
@@ -796,11 +1042,23 @@ def run_benchmarks(
             optimizer_iters=evaluation_iters,
         )
         append_bench_entry(evaluation_path, {"evaluation": evaluation_results})
+    fusion_results = None
+    if not skip_fusion:
+        fusion_results = bench_fusion(
+            num_graphs=fusion_graphs,
+            batch_size=fusion_batch_size,
+            epochs=fusion_epochs,
+            reps=fusion_reps,
+            baseline_path=training_path,
+        )
+        append_bench_entry(fusion_path, {"fusion": fusion_results})
     entry = append_bench_entry(path, results)
     if training_results is not None:
         entry["results"]["training"] = training_results
     if evaluation_results is not None:
         entry["results"]["evaluation"] = evaluation_results
+    if fusion_results is not None:
+        entry["results"]["fusion"] = fusion_results
     return entry
 
 
@@ -845,6 +1103,28 @@ def format_entry(entry: dict) -> str:
                 f"  training[{name}]: "
                 f"{stats['mean_epoch_s'] * 1e3:.1f} ms/epoch, "
                 f"{stats['epochs_per_second']:.1f} epochs/s{suffix}"
+            )
+    fusion = results.get("fusion")
+    if fusion:
+        arms = fusion["arms"]
+        for name in ("eager", "lazy"):
+            stats = arms[name]
+            speedup = stats.get("speedup_vs_eager")
+            suffix = f" ({speedup:.2f}x vs eager)" if speedup else ""
+            lines.append(
+                f"  fusion[{name}]: "
+                f"{stats['mean_epoch_s'] * 1e3:.1f} ms/epoch, "
+                f"{stats['epochs_per_second']:.1f} epochs/s{suffix}"
+            )
+        lines.append(
+            f"  fusion[lazy] engine: {fusion['recorded_ops']} ops -> "
+            f"{fusion['fused_kernels']} kernels, peak temp "
+            f"{fusion['peak_temp_bytes'] / 1e6:.1f} MB"
+        )
+        bench2 = fusion.get("speedup_vs_bench2_cached")
+        if bench2:
+            lines.append(
+                f"  fusion[lazy] vs BENCH_2 cached arm: {bench2:.2f}x"
             )
     evaluation = results.get("evaluation")
     if evaluation:

@@ -23,9 +23,10 @@ Seven subcommands cover the offline pipeline and the online service:
 - ``repro predict`` — one-shot prediction for a single graph, printed
   as JSON.
 - ``repro bench`` — run the kernel / labeling / serving / training /
-  evaluation benchmarks; kernel results append to ``BENCH_1.json``,
-  training throughput to ``BENCH_2.json``, evaluation-sweep throughput
-  to ``BENCH_3.json``.
+  evaluation / engine benchmarks; kernel results append to
+  ``BENCH_1.json``, training throughput to ``BENCH_2.json``,
+  evaluation-sweep throughput to ``BENCH_3.json``, lazy-vs-eager
+  engine throughput to ``BENCH_4.json``.
 
 Example::
 
@@ -205,6 +206,11 @@ def _add_train(subparsers) -> None:
         "--fast-kernels", action="store_true",
         help="CSR reduceat segment kernels (last-ulp numerics, faster)",
     )
+    parser.add_argument(
+        "--engine", choices=("lazy", "eager"), default="lazy",
+        help="tensor engine: lazy fused kernels (default, bit-identical)"
+        " or the op-at-a-time eager oracle",
+    )
     parser.add_argument("--out", type=Path, required=True)
     parser.set_defaults(func=_cmd_train)
 
@@ -227,6 +233,7 @@ def _cmd_train(args) -> int:
             compile_batches=not args.no_batch_cache,
             csr_kernels=args.fast_kernels,
             profile=args.profile,
+            engine=args.engine,
         ),
     )
     history = trainer.fit(dataset)
@@ -526,6 +533,26 @@ def _add_bench(subparsers) -> None:
         "--evaluation-iters", type=int, default=60,
         help="optimizer iterations per arm of the evaluation benchmark",
     )
+    parser.add_argument(
+        "--skip-fusion", action="store_true",
+        help="skip the lazy-vs-eager engine benchmark",
+    )
+    parser.add_argument(
+        "--fusion-out", type=Path, default=Path("BENCH_4.json"),
+        help="trajectory file for the engine benchmark",
+    )
+    parser.add_argument(
+        "--fusion-graphs", type=int, default=128,
+        help="dataset size for the engine benchmark",
+    )
+    parser.add_argument(
+        "--fusion-epochs", type=int, default=8,
+        help="epochs per arm of the engine benchmark",
+    )
+    parser.add_argument(
+        "--fusion-reps", type=int, default=3,
+        help="interleaved timing reps per arm of the engine benchmark",
+    )
     parser.set_defaults(func=_cmd_bench)
 
 
@@ -551,6 +578,11 @@ def _cmd_bench(args) -> int:
         evaluation_path=args.evaluation_out,
         evaluation_graphs=args.evaluation_graphs,
         evaluation_iters=args.evaluation_iters,
+        skip_fusion=args.skip_fusion,
+        fusion_path=args.fusion_out,
+        fusion_graphs=args.fusion_graphs,
+        fusion_epochs=args.fusion_epochs,
+        fusion_reps=args.fusion_reps,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
@@ -558,6 +590,8 @@ def _cmd_bench(args) -> int:
         print(f"appended training benchmark to {args.training_out}")
     if not args.skip_evaluation:
         print(f"appended evaluation benchmark to {args.evaluation_out}")
+    if not args.skip_fusion:
+        print(f"appended engine benchmark to {args.fusion_out}")
     return 0
 
 

@@ -157,6 +157,9 @@ class QAOAParameterPredictor(Module):
             )
             with no_grad(), batch_invariant():
                 output = self.forward(batch)
+            # .data realizes outside the context; safe because the lazy
+            # engine captures the batch-invariant flag when each matmul
+            # is recorded, not when the graph runs.
             return output.data.copy()
         finally:
             if was_training:

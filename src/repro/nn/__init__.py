@@ -1,6 +1,15 @@
 """Neural-network substrate: autograd, layers, losses, optimizers."""
 
-from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+from repro.nn.tensor import (
+    Tensor,
+    concat,
+    eager,
+    is_grad_enabled,
+    is_lazy_enabled,
+    no_grad,
+    stack,
+    where,
+)
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import (
     MLP,
@@ -30,6 +39,8 @@ from repro.nn import init
 __all__ = [
     "Tensor",
     "concat",
+    "eager",
+    "is_lazy_enabled",
     "is_grad_enabled",
     "no_grad",
     "stack",

@@ -1,0 +1,36 @@
+"""Pluggable kernel backends for the lazy tensor engine.
+
+A backend turns individual :class:`~repro.nn.lazyir.LazyNode` ops into
+executable kernels; the scheduler in :mod:`repro.nn.realize` decides
+*grouping* (which ops share temporaries) and the backend decides
+*execution* (which library calls implement each op). The numpy
+reference backend is the only implementation today — its kernels replay
+the exact ufunc sequences of the eager path, which is what makes the
+bitwise-equivalence contract testable. The seam exists so a later PR
+can drop in e.g. a threaded tile backend without touching the IR or the
+scheduler: implement :func:`~repro.nn.backends.numpy_backend.build_instr`
+and :func:`~repro.nn.backends.numpy_backend.build_view` with the same
+signatures and register it here.
+"""
+
+from repro.nn.backends import numpy_backend
+
+_ACTIVE_BACKEND = numpy_backend
+
+
+def get_backend():
+    """The backend module used to compile kernels (numpy for now)."""
+    return _ACTIVE_BACKEND
+
+
+def set_backend(backend) -> None:
+    """Swap the kernel backend (the seam for future accelerators).
+
+    The backend must expose ``build_instr(node, loaders, out_index)``
+    and ``build_view(node)``. Swapping does not invalidate plans already
+    compiled by the previous backend; callers flip backends before any
+    realization (tests, benchmarks) or clear the plan cache explicitly
+    via :func:`repro.nn.realize.clear_plan_cache`.
+    """
+    global _ACTIVE_BACKEND
+    _ACTIVE_BACKEND = backend

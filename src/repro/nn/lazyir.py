@@ -1,0 +1,459 @@
+"""Typed op-IR for the lazy tensor engine.
+
+Tensor operators in :mod:`repro.nn.tensor` no longer compute when the
+lazy engine is active — they record a :class:`LazyNode` describing *what*
+to compute. A node is ``(op, srcs, arg, shape, dtype)``: ``op`` names a
+primitive from the table below, ``srcs`` are the input nodes, and
+``arg`` carries the structural payload (scalar constants, axes, frozen
+index keys, kernel-mode flags). Realization — walking a recorded graph,
+fusing it, and running kernels — lives in :mod:`repro.nn.realize`;
+the numpy kernels themselves in :mod:`repro.nn.backends.numpy_backend`.
+
+Design rules that make bitwise equivalence with the eager path possible:
+
+- **One node = one numpy call.** Composite tensor ops (``sigmoid``,
+  ``relu``, the backward formulas) are recorded as the exact sequence of
+  primitive calls the eager code performs, in the same order on the same
+  values. Kernels then replay that sequence — same ufunc, same operand
+  order, same scalar handling — so results match bit for bit.
+- **Views stay views.** ``transpose`` / ``reshape`` / basic-slice
+  ``getitem`` produce numpy views in the eager path; their IR nodes are
+  marked ``VIEW`` and realized as views too, so downstream reductions
+  see identically-strided inputs.
+- **Mode flags are captured at record time.** ``batch_invariant()`` and
+  ``reference_scatter()`` select kernels when the op is *recorded*, not
+  when the graph is realized — matching the eager path, where recording
+  and computing are the same moment. Serving may realize predictions
+  after its ``batch_invariant()`` block exits; the recorded flag keeps
+  the bit-identical micro-batching guarantee intact.
+
+Common subexpressions are deduplicated at record time through a
+hash-consing table keyed on ``(op, arg, src identities)``. The table is
+cleared at every realization: a realize is the sync point after which
+callers may mutate buffers in place (the Adam step writes ``param.data``
+with ``out=``), and a stale hit across that boundary would alias old
+values. Within one record window — a forward plus its backward — the
+table makes the backward formulas share forward nodes (``exp``'s
+gradient reuses the forward ``exp`` result) without any bookkeeping in
+the tensor layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+F8 = np.dtype(np.float64)
+B1 = np.dtype(np.bool_)
+
+# ---------------------------------------------------------------------------
+# Op kinds (drive fusion grouping in realize.py)
+# ---------------------------------------------------------------------------
+KIND_BUFFER = 0   #: concrete input array
+KIND_EW = 1       #: elementwise; fuses into elementwise/reduce consumers
+KIND_REDUCE = 2   #: axis reduction; fuses like elementwise
+KIND_VIEW = 3     #: stride trick; realized as a numpy view, never copied
+KIND_OPAQUE = 4   #: matmul / gather / scatter / concat; own kernel
+
+OP_KIND = {
+    "buffer": KIND_BUFFER,
+    # elementwise (one ufunc each)
+    "add": KIND_EW, "sub": KIND_EW, "mul": KIND_EW, "div": KIND_EW,
+    "pow": KIND_EW, "maximum": KIND_EW, "neg": KIND_EW, "exp": KIND_EW,
+    "log": KIND_EW, "sqrt": KIND_EW, "tanh": KIND_EW, "abs": KIND_EW,
+    "sign": KIND_EW, "eq": KIND_EW, "gt0": KIND_EW, "isinf": KIND_EW,
+    "not": KIND_EW, "cast": KIND_EW, "expand": KIND_EW, "where": KIND_EW,
+    # reductions
+    "sum": KIND_REDUCE, "mean": KIND_REDUCE, "max": KIND_REDUCE,
+    # views
+    "transpose": KIND_VIEW, "reshape": KIND_VIEW, "getitem": KIND_VIEW,
+    # opaque kernels
+    "matmul": KIND_OPAQUE, "matmul_nt": KIND_OPAQUE, "matmul_tn": KIND_OPAQUE,
+    "getitem_arr": KIND_OPAQUE, "getitem_obj": KIND_OPAQUE,
+    "putadd": KIND_OPAQUE, "scatter_add": KIND_OPAQUE,
+    "segmax_raw": KIND_OPAQUE, "concat": KIND_OPAQUE, "stack": KIND_OPAQUE,
+}
+
+#: Ops whose structural identity cannot be hashed (raw python index keys)
+#: or whose output shape depends on input *values* (boolean-mask
+#: indexing). Graphs containing one skip the plan cache and the CSE
+#: table — they compile fresh every realize.
+UNCACHEABLE_OPS = frozenset({"getitem_obj"})
+
+BOOL_OPS = frozenset({"eq", "gt0", "isinf", "not"})
+
+
+class LazyNode:
+    """One recorded operation (or concrete input buffer).
+
+    ``buffer`` is ``None`` until the node is realized; buffer nodes wrap
+    the caller's array directly (no copy), so in-place parameter updates
+    between steps are visible to the next recording automatically.
+    """
+
+    __slots__ = ("op", "srcs", "arg", "shape", "dtype", "buffer", "nocache")
+
+    def __init__(self, op, srcs, arg, shape, dtype, buffer=None,
+                 nocache=False):
+        self.op = op
+        self.srcs = srcs
+        self.arg = arg
+        self.shape = shape
+        self.dtype = dtype
+        self.buffer = buffer
+        self.nocache = nocache
+
+    @property
+    def kind(self) -> int:
+        return OP_KIND[self.op]
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape) if self.shape else 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "realized" if self.buffer is not None else "lazy"
+        return f"LazyNode({self.op}, shape={self.shape}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing (record-time CSE)
+# ---------------------------------------------------------------------------
+_CSE_TABLE: dict = {}
+
+
+def clear_cse_table() -> None:
+    """Drop the record-window CSE table (called by every realize)."""
+    _CSE_TABLE.clear()
+
+
+def _node(op, srcs, arg, shape, dtype, nocache=False) -> LazyNode:
+    """Create (or reuse via CSE) an op node.
+
+    The CSE key flattens source identities directly into the tuple
+    (arity keeps same-prefix keys distinct) — no inner tuple build on
+    the record hot path.
+    """
+    if nocache:
+        return LazyNode(op, srcs, arg, shape, dtype, nocache=True)
+    n = len(srcs)
+    if n == 1:
+        key = (op, arg, id(srcs[0]))
+    elif n == 2:
+        key = (op, arg, id(srcs[0]), id(srcs[1]))
+    else:
+        key = (op, arg, n) + tuple(id(s) for s in srcs)
+    hit = _CSE_TABLE.get(key)
+    if hit is not None:
+        return hit
+    out = LazyNode(op, srcs, arg, shape, dtype)
+    _CSE_TABLE[key] = out
+    return out
+
+
+def buffer(array: np.ndarray) -> LazyNode:
+    """Wrap a concrete array as a graph input (no copy)."""
+    return LazyNode("buffer", (), None, array.shape, array.dtype,
+                    buffer=array)
+
+
+# ---------------------------------------------------------------------------
+# Shape / dtype inference
+# ---------------------------------------------------------------------------
+def _broadcast(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    if a == b or not b:
+        return a
+    if not a:
+        return b
+    return np.broadcast_shapes(a, b)
+
+
+Scalar = Union[int, float]
+Operand = Union[LazyNode, Scalar]
+
+
+def alu(op: str, a: Operand, b: Operand) -> LazyNode:
+    """Binary elementwise node; either operand may be a python scalar.
+
+    Scalars are inlined into ``arg`` (``("sl", v)`` / ``("sr", v)``) so
+    they participate in the structural plan key instead of the runtime
+    buffer bindings — a different constant is a different plan, exactly
+    as a different op would be.
+    """
+    dtype = B1 if op in BOOL_OPS else F8
+    if isinstance(a, LazyNode):
+        if isinstance(b, LazyNode):
+            ash, bsh = a.shape, b.shape
+            return _node(op, (a, b), None,
+                         ash if ash == bsh else _broadcast(ash, bsh), dtype)
+        return _node(op, (a,), ("sr", float(b)), a.shape, dtype)
+    return _node(op, (b,), ("sl", float(a)), b.shape, dtype)
+
+
+def alu1(op: str, a: LazyNode) -> LazyNode:
+    """Unary elementwise node."""
+    return _node(op, (a,), None, a.shape,
+                 B1 if op in BOOL_OPS else F8)
+
+
+def cast_f8(a: LazyNode) -> LazyNode:
+    """``astype(np.float64)`` as an IR node."""
+    return _node("cast", (a,), None, a.shape, F8)
+
+
+def where_node(cond: LazyNode, a: Operand, b: Operand) -> LazyNode:
+    """``np.where`` node; value branches may be scalars."""
+    srcs = [cond]
+    shape = cond.shape
+    spec = []
+    for operand in (a, b):
+        if isinstance(operand, LazyNode):
+            srcs.append(operand)
+            shape = _broadcast(shape, operand.shape)
+            spec.append(None)
+        else:
+            spec.append(float(operand))
+    return _node("where", tuple(srcs), ("w", spec[0], spec[1]), shape, F8)
+
+
+def _freeze_axis(axis):
+    return tuple(axis) if isinstance(axis, (list, tuple)) else axis
+
+
+def reduced_shape(shape: Tuple[int, ...], axis, keepdims: bool):
+    """Output shape of a numpy reduction over ``axis``."""
+    if axis is None:
+        return (1,) * len(shape) if keepdims else ()
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    axes = {a % len(shape) for a in axes}
+    if keepdims:
+        return tuple(1 if i in axes else d for i, d in enumerate(shape))
+    return tuple(d for i, d in enumerate(shape) if i not in axes)
+
+
+def reduce_node(op: str, a: LazyNode, axis, keepdims: bool) -> LazyNode:
+    """Reduction node (``sum`` / ``mean`` / ``max``)."""
+    axis = _freeze_axis(axis)
+    return _node(op, (a,), (axis, bool(keepdims)),
+                 reduced_shape(a.shape, axis, keepdims), F8)
+
+
+def expand_node(a: LazyNode, reshape: Tuple[int, ...],
+                target: Tuple[int, ...]) -> LazyNode:
+    """Broadcast-copy a reduced gradient back to the pre-reduction shape.
+
+    Mirrors ``tensor._expand_reduced``: reshape (the ``expand_dims``
+    metadata), ``broadcast_to``, then a materializing copy.
+    """
+    return _node("expand", (a,), (tuple(reshape), tuple(target)), tuple(target),
+                 F8)
+
+
+def matmul_node(a: LazyNode, b: LazyNode, invariant: bool) -> LazyNode:
+    """2-D matrix product; ``invariant`` selects the rowwise kernel."""
+    return _node("matmul", (a, b), bool(invariant),
+                 (a.shape[0], b.shape[1]), F8)
+
+
+def matmul_nt(a: LazyNode, b: LazyNode) -> LazyNode:
+    """``a @ b.T`` (matmul backward wrt the left operand)."""
+    return _node("matmul_nt", (a, b), None, (a.shape[0], b.shape[0]), F8)
+
+
+def matmul_tn(a: LazyNode, b: LazyNode) -> LazyNode:
+    """``a.T @ b`` (matmul backward wrt the right operand)."""
+    return _node("matmul_tn", (a, b), None, (a.shape[1], b.shape[1]), F8)
+
+
+def transpose_node(a: LazyNode) -> LazyNode:
+    """2-D transpose (a view)."""
+    return _node("transpose", (a,), None, (a.shape[1], a.shape[0]), a.dtype)
+
+
+def reshape_node(a: LazyNode, shape: Tuple[int, ...]) -> LazyNode:
+    """Reshape to a fully-resolved shape (no ``-1``)."""
+    return _node("reshape", (a,), tuple(shape), tuple(shape), a.dtype)
+
+
+def resolve_reshape(old_shape: Tuple[int, ...], shape) -> Tuple[int, ...]:
+    """Resolve a user reshape spec (``-1`` allowed) against ``old_shape``."""
+    shape = tuple(int(d) for d in shape)
+    total = math.prod(old_shape) if old_shape else 1
+    if -1 in shape:
+        known = math.prod(d for d in shape if d != -1)
+        if shape.count(-1) > 1 or known == 0 or total % known:
+            raise ModelError(
+                f"cannot reshape {old_shape} into {shape}"
+            )
+        shape = tuple(total // known if d == -1 else d for d in shape)
+    new_total = math.prod(shape) if shape else 1
+    if new_total != total:
+        raise ModelError(
+            f"cannot reshape {old_shape} (size {total}) into {shape}"
+        )
+    return shape
+
+
+# ---------------------------------------------------------------------------
+# Indexing
+# ---------------------------------------------------------------------------
+def freeze_key(key):
+    """Turn a basic index key into a hashable structural token.
+
+    Returns ``None`` when the key is not basic (contains arrays or other
+    unhashable parts) — callers then fall back to the array /
+    uncacheable paths.
+    """
+    if isinstance(key, tuple):
+        parts = []
+        for part in key:
+            frozen = freeze_key(part)
+            if frozen is None:
+                return None
+            parts.append(frozen)
+        return ("t",) + tuple(parts)
+    if isinstance(key, slice):
+        for edge in (key.start, key.stop, key.step):
+            if edge is not None and not isinstance(edge, (int, np.integer)):
+                return None
+        return ("s", key.start, key.stop, key.step)
+    if isinstance(key, (int, np.integer)):
+        return ("i", int(key))
+    if key is None:
+        return ("n",)
+    if key is Ellipsis:
+        return ("e",)
+    return None
+
+
+def thaw_key(frozen):
+    """Invert :func:`freeze_key`."""
+    tag = frozen[0]
+    if tag == "t":
+        return tuple(thaw_key(part) for part in frozen[1:])
+    if tag == "s":
+        return slice(frozen[1], frozen[2], frozen[3])
+    if tag == "i":
+        return frozen[1]
+    if tag == "n":
+        return None
+    return Ellipsis
+
+
+def _dummy_shape(shape: Tuple[int, ...], key) -> Tuple[int, ...]:
+    """Shape of ``array[key]`` without allocating the array."""
+    probe = np.broadcast_to(np.empty((), dtype=np.float64), shape)
+    return probe[key].shape
+
+
+def getitem_node(a: LazyNode, key) -> LazyNode:
+    """Index node: basic keys become views, int arrays become gathers,
+    anything else an uncacheable opaque kernel."""
+    frozen = freeze_key(key)
+    if frozen is not None:
+        return _node("getitem", (a,), frozen, _dummy_shape(a.shape, key),
+                     a.dtype)
+    if isinstance(key, np.ndarray) and key.dtype != np.bool_:
+        idx = buffer(key)
+        return _node("getitem_arr", (a, idx), None,
+                     key.shape + a.shape[1:], a.dtype)
+    # Boolean masks (value-dependent shape) and exotic keys: compute the
+    # shape honestly and skip every cache.
+    shape = np.broadcast_to(np.empty((), dtype=np.float64), a.shape)[
+        np.asarray(key) if isinstance(key, list) else key
+    ].shape
+    return _node("getitem_obj", (a,), ("obj", key), shape, a.dtype,
+                 nocache=True)
+
+
+def putadd_node(grad: LazyNode, key, shape: Tuple[int, ...]) -> LazyNode:
+    """``zeros(shape); np.add.at(out, key, grad)`` — getitem backward."""
+    frozen = freeze_key(key)
+    if frozen is not None:
+        return _node("putadd", (grad,), ("basic", frozen, tuple(shape)),
+                     tuple(shape), F8)
+    if isinstance(key, np.ndarray) and key.dtype != np.bool_:
+        return _node("putadd", (grad, buffer(key)), ("arr", tuple(shape)),
+                     tuple(shape), F8)
+    return _node("putadd", (grad,), ("obj", key, tuple(shape)), tuple(shape),
+                 F8, nocache=True)
+
+
+# ---------------------------------------------------------------------------
+# Concatenation
+# ---------------------------------------------------------------------------
+def concat_node(parts: Sequence[LazyNode], axis: int) -> LazyNode:
+    shape = list(parts[0].shape)
+    shape[axis] = sum(p.shape[axis] for p in parts)
+    return _node("concat", tuple(parts), int(axis), tuple(shape), F8)
+
+
+def stack_node(parts: Sequence[LazyNode], axis: int) -> LazyNode:
+    base = list(parts[0].shape)
+    axis = int(axis)
+    insert_at = axis if axis >= 0 else axis + len(base) + 1
+    base.insert(insert_at, len(parts))
+    return _node("stack", tuple(parts), axis, tuple(base), F8)
+
+
+# ---------------------------------------------------------------------------
+# Segment ops (gather / scatter with optional CSR plans)
+# ---------------------------------------------------------------------------
+def gather_node(x: LazyNode, index: np.ndarray) -> LazyNode:
+    """Row gather ``x[index]`` with an int64 index buffer."""
+    idx = buffer(index)
+    return _node("getitem_arr", (x, idx), None, index.shape + x.shape[1:],
+                 x.dtype)
+
+
+def scatter_add_node(
+    values: LazyNode,
+    index: np.ndarray,
+    shape: Tuple[int, ...],
+    mode: str,
+    plan_arrays: Optional[Tuple[Optional[np.ndarray], np.ndarray, np.ndarray]]
+    = None,
+) -> LazyNode:
+    """Dense scatter-add node mirroring ``segment._scatter_add``.
+
+    ``mode`` is one of ``"ref"`` (seed ``np.add.at``), ``"bc"`` (flat
+    bincount), or ``"csr"`` (reduceat over ``plan_arrays = (perm|None,
+    nonempty, starts)``). The mode is part of the structural key, so
+    each path compiles to its own plan.
+    """
+    shape = tuple(shape)
+    if mode == "csr":
+        perm, nonempty, starts = plan_arrays
+        srcs = [values]
+        if perm is not None:
+            srcs.append(buffer(perm))
+        srcs.extend((buffer(nonempty), buffer(starts)))
+        return _node("scatter_add", tuple(srcs),
+                     ("csr", perm is not None, shape), shape, F8)
+    return _node("scatter_add", (values, buffer(index)), (mode, shape),
+                 shape, F8)
+
+
+def segment_max_raw_node(
+    values: LazyNode,
+    index: np.ndarray,
+    shape: Tuple[int, ...],
+    mode: str,
+    plan_arrays=None,
+) -> LazyNode:
+    """Segment max with ``-inf`` init (callers mask empties afterwards)."""
+    shape = tuple(shape)
+    if mode == "csr":
+        perm, nonempty, starts = plan_arrays
+        srcs = [values]
+        if perm is not None:
+            srcs.append(buffer(perm))
+        srcs.extend((buffer(nonempty), buffer(starts)))
+        return _node("segmax_raw", tuple(srcs),
+                     ("csr", perm is not None, shape), shape, F8)
+    return _node("segmax_raw", (values, buffer(index)), ("ref", shape),
+                 shape, F8)

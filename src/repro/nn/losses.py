@@ -31,7 +31,7 @@ def huber_loss(prediction: Tensor, target, delta: float = 1.0) -> Tensor:
     abs_diff = diff.abs()
     quadratic = diff * diff * 0.5
     linear = abs_diff * delta - 0.5 * delta * delta
-    return where(abs_diff.data <= delta, quadratic, linear).mean()
+    return where(abs_diff <= delta, quadratic, linear).mean()
 
 
 def _check_shapes(prediction: Tensor, target: Tensor) -> None:

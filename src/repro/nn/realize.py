@@ -1,0 +1,481 @@
+"""Scheduler for the lazy tensor engine: fuse, cache, execute.
+
+:func:`realize` turns recorded :class:`~repro.nn.lazyir.LazyNode`
+graphs into concrete buffers. The pipeline per call:
+
+1. **Walk** — deterministic post-order DFS from the requested targets,
+   stopping at realized buffers. Produces the node order, the input
+   list, and a structural key (ops, args, shapes of inputs, topology —
+   never values).
+2. **Fuse** — nodes are grouped into kernels. A group grows backwards
+   along single-consumer elementwise/reduce edges; group roots are the
+   targets, views, opaque kernels (matmul / gather / scatter / concat),
+   and any node with multiple consumers. One group = one fused kernel
+   over plan-owned temporaries, instead of one materialized array per
+   op as in the eager path.
+3. **Compile** — every node becomes one slot in a flat value list
+   ``V`` and one closure ``run(V)`` with its operand/output positions
+   baked in as integers. Non-escaping elementwise outputs get
+   *plan-owned* buffers, allocated once at compile time and shared by
+   lifetime (a buffer is recycled for a later node only after the last
+   reader of every view of it has run, and never for a node's own
+   operands). Views compile to stride tricks and are never copied —
+   the eager path returns views for transpose / reshape / basic
+   slicing, and materializing one could change how downstream
+   reductions buffer, breaking bitwise equivalence.
+4. **Cache** — compiled plans are memoized on the structural key, so
+   steady-state training steps skip compilation entirely. Graphs
+   containing value-dependent shapes (boolean-mask indexing) bypass
+   the cache. Cached plans keep their owned temporaries, so eviction
+   is bounded both by entry count and by total owned bytes.
+5. **Execute** — copy the plan's slot template (owned buffers sit at
+   their slots already), bind input buffers by topo position, allocate
+   fresh arrays only for *escaping* outputs (requested targets and
+   views into them — handed to the caller, never recycled), then run
+   the flat closure list. Steady-state cost is one list copy plus one
+   closure call per op: no loaders, no register files, no allocator
+   traffic.
+
+Realization is the sync boundary of the engine: the record-time CSE
+table is cleared here, because after a realize callers may legally
+mutate buffers in place (the Adam step updates ``param.data`` with
+``out=``) and a cross-boundary CSE hit could resurrect stale values.
+
+Engine activity is observable through :data:`counters` (kernel / op /
+realize counts, plan-cache hits, temporary-byte watermarks); the
+module registers itself as a counter source with
+:mod:`repro.profiling`, so ``repro train --profile`` attributes fused
+kernels and peak temporary bytes to each training phase.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import profiling
+from repro.nn.backends import get_backend
+from repro.nn.lazyir import (
+    KIND_EW,
+    KIND_REDUCE,
+    KIND_VIEW,
+    LazyNode,
+    clear_cse_table,
+)
+
+#: Maximum number of memoized plans (FIFO eviction).
+PLAN_CACHE_CAP = 256
+
+#: Total plan-owned temporary bytes kept across all cached plans;
+#: exceeding it evicts oldest plans first.
+PLAN_OWNED_BYTES_CAP = 128 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+class EngineCounters:
+    """Monotonic engine statistics plus a temporary-bytes watermark.
+
+    ``cur_bytes`` tracks the working set of the realize in flight
+    (plan-owned temporaries plus per-call result allocations);
+    ``peak_bytes`` is its high-water mark since the last
+    :meth:`push_mark`. Marks nest, so the profiler can attribute a peak
+    to each phase while an outer mark still observes the global peak.
+    """
+
+    def __init__(self):
+        self.kernels = 0
+        self.ops = 0
+        self.views = 0
+        self.realizes = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.temp_bytes = 0  # cumulative flow through realize calls
+        self.cur_bytes = 0
+        self.peak_bytes = 0
+        self._marks: List[int] = []
+
+    def grow(self, nbytes: int) -> None:
+        self.temp_bytes += nbytes
+        self.cur_bytes += nbytes
+        if self.cur_bytes > self.peak_bytes:
+            self.peak_bytes = self.cur_bytes
+
+    def shrink(self, nbytes: int) -> None:
+        self.cur_bytes -= nbytes
+
+    def push_mark(self) -> None:
+        self._marks.append(self.peak_bytes)
+        self.peak_bytes = self.cur_bytes
+
+    def pop_mark(self) -> int:
+        peak = self.peak_bytes
+        previous = self._marks.pop()
+        self.peak_bytes = max(previous, peak)
+        return peak
+
+    def snapshot(self) -> Dict[str, int]:
+        """Monotonic counters (no watermark state)."""
+        return {
+            "kernels": self.kernels,
+            "ops": self.ops,
+            "views": self.views,
+            "realizes": self.realizes,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "temp_bytes": self.temp_bytes,
+        }
+
+
+#: Process-wide engine counters (races under threads are benign:
+#: statistics may undercount, execution never depends on them).
+counters = EngineCounters()
+
+
+class _EngineCounterSource:
+    """Adapter feeding engine counters into :mod:`repro.profiling`."""
+
+    def begin(self):
+        counters.push_mark()
+        return counters.snapshot()
+
+    def end(self, token) -> Dict[str, int]:
+        now = counters.snapshot()
+        deltas = {
+            key: now[key] - token[key]
+            for key in ("kernels", "ops", "realizes", "temp_bytes")
+        }
+        deltas["peak_temp_bytes"] = counters.pop_mark()
+        return {key: value for key, value in deltas.items() if value}
+
+
+profiling.register_counter_source(_EngineCounterSource())
+
+
+# ---------------------------------------------------------------------------
+# Plan structure
+# ---------------------------------------------------------------------------
+class _Plan:
+    """A compiled graph: flat closures plus a prebound slot template.
+
+    ``template`` holds the plan-owned temporaries at their slots (and
+    ``None`` everywhere else); execution copies it, binds inputs, and
+    allocates only the escaping outputs. ``lock`` serializes execution
+    because owned buffers are shared mutable state — uncontended in the
+    training loop, but serving threads may race on a cached plan.
+    """
+
+    __slots__ = ("n_slots", "input_slots", "instrs", "template",
+                 "escape_alloc", "target_slots", "flow_bytes",
+                 "owned_bytes", "n_kernels", "n_ops", "n_views", "lock")
+
+    def __init__(self, n_slots, input_slots, instrs, template,
+                 escape_alloc, target_slots, flow_bytes, owned_bytes,
+                 n_kernels, n_ops, n_views):
+        self.n_slots = n_slots
+        self.input_slots = input_slots
+        self.instrs = instrs
+        self.template = template
+        self.escape_alloc = escape_alloc  # [(slot, shape, dtype)]
+        self.target_slots = target_slots
+        self.flow_bytes = flow_bytes      # working set per execution
+        self.owned_bytes = owned_bytes    # bytes held while cached
+        self.n_kernels = n_kernels
+        self.n_ops = n_ops
+        self.n_views = n_views
+        self.lock = threading.Lock()
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+_PLAN_CACHE: Dict[tuple, _Plan] = {}
+_PLAN_LOCK = threading.Lock()
+_OWNED_TOTAL = 0
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoized plans (tests, backend swaps)."""
+    global _OWNED_TOTAL
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+        _OWNED_TOTAL = 0
+
+
+def plan_cache_size() -> int:
+    return len(_PLAN_CACHE)
+
+
+def _cache_plan(key: tuple, plan: _Plan) -> None:
+    global _OWNED_TOTAL
+    with _PLAN_LOCK:
+        while _PLAN_CACHE and (
+            len(_PLAN_CACHE) >= PLAN_CACHE_CAP
+            or _OWNED_TOTAL + plan.owned_bytes > PLAN_OWNED_BYTES_CAP
+        ):
+            # dicts iterate in insertion order, so this is FIFO.
+            evicted = _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+            _OWNED_TOTAL -= evicted.owned_bytes
+        _PLAN_CACHE[key] = plan
+        _OWNED_TOTAL += plan.owned_bytes
+
+
+# ---------------------------------------------------------------------------
+# Graph walk
+# ---------------------------------------------------------------------------
+def _walk(targets: Sequence[LazyNode]):
+    """Deterministic post-order over unrealized nodes.
+
+    Returns ``(order, key, cacheable)`` where ``order`` includes input
+    nodes (realized or buffer) and ``key`` is the structural plan key.
+    """
+    seen = set()
+    order: List[LazyNode] = []
+    index: dict = {}
+    stack = [(t, False) for t in reversed(targets)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            index[id(node)] = len(order)
+            order.append(node)
+            continue
+        nid = id(node)
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.append((node, True))
+        if node.buffer is None:
+            for src in reversed(node.srcs):
+                stack.append((src, False))
+    cacheable = True
+    parts = []
+    append = parts.append
+    for node in order:
+        if node.buffer is not None:
+            append(("B", node.shape, node.dtype.str))
+            continue
+        if node.nocache:
+            cacheable = False
+        srcs = node.srcs
+        n = len(srcs)
+        # Source positions flatten into the part tuple; arity keeps
+        # same-prefix keys distinct.
+        if n == 1:
+            append((node.op, node.arg, index[id(srcs[0])]))
+        elif n == 2:
+            append((node.op, node.arg,
+                    index[id(srcs[0])], index[id(srcs[1])]))
+        else:
+            append((node.op, node.arg, n)
+                   + tuple(index[id(s)] for s in srcs))
+    key = (tuple(parts), tuple(index[id(t)] for t in targets))
+    return order, index, key, cacheable
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+def _nbytes(shape: Tuple[int, ...], dtype) -> int:
+    n = dtype.itemsize
+    for dim in shape:
+        n *= dim
+    return n
+
+
+def _compile(order: List[LazyNode], index, targets: Sequence[LazyNode]):
+    backend = get_backend()
+    n = len(order)
+    is_input = [node.buffer is not None for node in order]
+    target_idx = {index[id(t)] for t in targets}
+
+    consumers: List[List[int]] = [[] for _ in range(n)]
+    for i, node in enumerate(order):
+        if is_input[i]:
+            continue
+        for src in node.srcs:
+            consumers[index[id(src)]].append(i)
+
+    # --- fusion grouping (reverse topo: consumers are grouped first).
+    # Groups define the kernel boundaries reported by the counters; the
+    # executor runs one closure per op regardless, so grouping is
+    # bookkeeping, and the fusion *payoff* — one buffer per chain
+    # instead of one allocation per op — comes from lifetime-shared
+    # plan-owned buffers below.
+    group_of = [-1] * n
+    groups: List[List[int]] = []
+    for i in range(n - 1, -1, -1):
+        if is_input[i]:
+            continue
+        node = order[i]
+        kind = node.kind
+        cons = consumers[i]
+        if (
+            kind in (KIND_EW, KIND_REDUCE)
+            and i not in target_idx
+            and len(cons) == 1
+            and not is_input[cons[0]]
+            and order[cons[0]].kind in (KIND_EW, KIND_REDUCE)
+        ):
+            gid = group_of[cons[0]]
+            group_of[i] = gid
+            groups[gid].append(i)
+            continue
+        group_of[i] = len(groups)
+        groups.append([i])
+    n_kernels = n_ops = n_views = 0
+    for members in groups:
+        if order[members[0]].kind == KIND_VIEW:
+            n_views += 1
+        else:
+            n_kernels += 1
+            n_ops += len(members)
+
+    # --- ownership and lifetimes (a view charges the viewed buffer)
+    owner = list(range(n))
+    last_use = [-1] * n
+    for i, node in enumerate(order):
+        if is_input[i]:
+            continue
+        if node.kind == KIND_VIEW:
+            owner[i] = owner[index[id(node.srcs[0])]]
+        for src in node.srcs:
+            own = owner[index[id(src)]]
+            if last_use[own] < i:
+                last_use[own] = i
+    escapes = [False] * n
+    for t in target_idx:
+        escapes[owner[t]] = True
+        escapes[t] = True
+
+    # --- flat instructions + buffer assignment
+    instrs = []
+    template: List[Optional[np.ndarray]] = [None] * n
+    escape_alloc: List[Tuple[int, Tuple[int, ...], object]] = []
+    input_slots: List[int] = []
+    pools: Dict[Tuple, List[np.ndarray]] = {}
+    owned_ids = set()
+    flow_bytes = 0
+    owned_bytes = 0
+    for i, node in enumerate(order):
+        if is_input[i]:
+            input_slots.append(i)
+            continue
+        if node.kind == KIND_VIEW:
+            fn = backend.build_view(node)
+            si = index[id(node.srcs[0])]
+
+            def run(V, fn=fn, si=si, oi=i):
+                V[oi] = fn(V[si])
+
+            instrs.append(run)
+        else:
+            srcs = tuple(index[id(s)] for s in node.srcs)
+            run, mode = backend.build_instr(node, srcs, i)
+            instrs.append(run)
+            nbytes = _nbytes(node.shape, node.dtype)
+            if mode == "out":
+                if escapes[i]:
+                    escape_alloc.append((i, node.shape, node.dtype))
+                    flow_bytes += nbytes
+                else:
+                    pool = pools.get((node.shape, node.dtype.str))
+                    if pool:
+                        buf = pool.pop()
+                    else:
+                        buf = np.empty(node.shape, dtype=node.dtype)
+                    template[i] = buf
+                    if id(buf) not in owned_ids:
+                        owned_ids.add(id(buf))
+                        flow_bytes += buf.nbytes
+                        owned_bytes += buf.nbytes
+            else:
+                flow_bytes += nbytes  # per-call result allocation
+        # Recycle operand buffers whose last alias read just happened —
+        # after assigning this node's output, so an output buffer never
+        # aliases the node's own operands.
+        freed = set()
+        for src in node.srcs:
+            own = owner[index[id(src)]]
+            if (
+                own not in freed
+                and last_use[own] == i
+                and not escapes[own]
+                and template[own] is not None
+            ):
+                freed.add(own)
+                pools.setdefault(
+                    (order[own].shape, order[own].dtype.str), []
+                ).append(template[own])
+
+    return _Plan(
+        n_slots=n,
+        input_slots=input_slots,
+        instrs=instrs,
+        template=template,
+        escape_alloc=escape_alloc,
+        target_slots=[index[id(t)] for t in targets],
+        flow_bytes=flow_bytes,
+        owned_bytes=owned_bytes,
+        n_kernels=n_kernels,
+        n_ops=n_ops,
+        n_views=n_views,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+def realize(nodes: Sequence[LazyNode]) -> None:
+    """Force the given nodes to concrete buffers (no-op when realized).
+
+    Multiple targets share one plan, so a backward pass realizes the
+    loss and every leaf gradient in a single fused execution.
+    """
+    # Sync point: in-place mutation of realized buffers is legal after
+    # this returns, so record-time CSE must not span it.
+    clear_cse_table()
+
+    deduped: List[LazyNode] = []
+    seen = set()
+    for node in nodes:
+        if node.buffer is None and id(node) not in seen:
+            seen.add(id(node))
+            deduped.append(node)
+    if not deduped:
+        return
+
+    counters.realizes += 1
+    order, index, key, cacheable = _walk(deduped)
+
+    plan = None
+    if cacheable:
+        with _PLAN_LOCK:
+            plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        counters.plan_misses += 1
+        plan = _compile(order, index, deduped)
+        if cacheable:
+            _cache_plan(key, plan)
+    else:
+        counters.plan_hits += 1
+
+    counters.kernels += plan.n_kernels
+    counters.ops += plan.n_ops
+    counters.views += plan.n_views
+    counters.grow(plan.flow_bytes)
+
+    with plan.lock:
+        V = plan.template.copy()
+        for i in plan.input_slots:
+            V[i] = order[i].buffer
+        for i, shape, dtype in plan.escape_alloc:
+            V[i] = np.empty(shape, dtype=dtype)
+        for run in plan.instrs:
+            run(V)
+        for node, slot in zip(deduped, plan.target_slots):
+            node.buffer = V[slot]
+
+    counters.shrink(plan.flow_bytes)

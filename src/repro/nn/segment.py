@@ -43,7 +43,9 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ModelError
-from repro.nn.tensor import Tensor, _as_tensor
+from repro.nn import lazyir
+from repro.nn.backends.numpy_backend import flat_scatter_index
+from repro.nn.tensor import Tensor, _as_tensor, _lazy_result, is_lazy_enabled
 
 _REFERENCE_SCATTER = False
 
@@ -192,6 +194,26 @@ def _check_plan(
     return plan
 
 
+def _scatter_mode(plan: Optional[SegmentPlan]):
+    """Kernel selection for a lazy scatter-add, mirroring
+    :func:`_scatter_add`'s dispatch. Read when the op (or its gradient)
+    is *recorded* — the same moment the eager path would pick a kernel —
+    so ``reference_scatter()`` blocks behave identically even when
+    realization happens after the context exits."""
+    if plan is not None:
+        return "csr", (plan.perm, plan._nonempty, plan._reduce_starts)
+    if _REFERENCE_SCATTER:
+        return "ref", None
+    return "bc", None
+
+
+def _segmax_mode(plan: Optional[SegmentPlan]):
+    """Kernel selection for a lazy segment max (no bincount variant)."""
+    if plan is not None:
+        return "csr", (plan.perm, plan._nonempty, plan._reduce_starts)
+    return "ref", None
+
+
 def _scatter_add(
     shape: tuple,
     index: np.ndarray,
@@ -209,11 +231,14 @@ def _scatter_add(
     if values.ndim == 1:
         return np.bincount(index, weights=values, minlength=shape[0])
     # Flatten trailing dims into independent bins: bincount accumulates
-    # weights in item order, matching np.add.at bit for bit.
+    # weights in item order, matching np.add.at bit for bit. The flat
+    # index is memoized per index array (see numpy_backend), so cached
+    # batches pay for the flattening once, not once per step.
     cols = int(np.prod(shape[1:]))
-    flat_index = (index[:, None] * cols + np.arange(cols)).ravel()
     return np.bincount(
-        flat_index, weights=values.reshape(-1), minlength=shape[0] * cols
+        flat_scatter_index(index, cols),
+        weights=values.reshape(-1),
+        minlength=shape[0] * cols,
     ).reshape(shape)
 
 
@@ -233,6 +258,18 @@ def gather(
     if index.size and index.max() >= x.shape[0]:
         raise ModelError("gather index out of range")
     _check_plan(plan, index.shape[0], x.shape[0])
+    if is_lazy_enabled():
+        x_shape = x.shape
+        node = lazyir.gather_node(x._lazy_node(), index)
+
+        def vjp(g) -> None:
+            mode, plan_arrays = _scatter_mode(plan)
+            x._acc_node(
+                lazyir.scatter_add_node(g, index, x_shape, mode, plan_arrays)
+            )
+
+        return _lazy_result(node, (x,), vjp)
+
     x_shape = x.data.shape
 
     def backward(grad: np.ndarray) -> None:
@@ -253,6 +290,21 @@ def segment_sum(
     if index.size and index.max() >= num_segments:
         raise ModelError("segment index exceeds num_segments")
     _check_plan(plan, x.shape[0], num_segments)
+    if is_lazy_enabled():
+        mode, plan_arrays = _scatter_mode(plan)
+        node = lazyir.scatter_add_node(
+            x._lazy_node(),
+            index,
+            (num_segments,) + x.shape[1:],
+            mode,
+            plan_arrays,
+        )
+
+        def vjp(g) -> None:
+            x._acc_node(lazyir.gather_node(g, index))
+
+        return _lazy_result(node, (x,), vjp)
+
     out = _scatter_add(
         (num_segments,) + x.data.shape[1:], index, x.data, plan
     )
@@ -278,7 +330,7 @@ def segment_mean(
     else:
         counts = np.bincount(index, minlength=num_segments).astype(np.float64)
     safe = np.maximum(counts, 1.0)
-    shape = (num_segments,) + (1,) * (x.data.ndim - 1)
+    shape = (num_segments,) + (1,) * (x.ndim - 1)
     total = segment_sum(x, index, num_segments, plan=plan)
     return total * Tensor(1.0 / safe.reshape(shape))
 
@@ -301,6 +353,37 @@ def segment_max(
     if index.size and index.max() >= num_segments:
         raise ModelError("segment index exceeds num_segments")
     _check_plan(plan, x.shape[0], num_segments)
+    if is_lazy_enabled():
+        x_node = x._lazy_node()
+        out_shape = (num_segments,) + x.shape[1:]
+        max_mode, max_plan = _segmax_mode(plan)
+        raw = lazyir.segment_max_raw_node(
+            x_node, index, out_shape, max_mode, max_plan
+        )
+        node = lazyir.where_node(lazyir.alu1("isinf", raw), 0.0, raw)
+
+        def vjp(g) -> None:
+            mask = lazyir.cast_f8(
+                lazyir.alu("eq", x_node, lazyir.gather_node(node, index))
+            )
+            mode, plan_arrays = _scatter_mode(plan)
+            tie_count = lazyir.alu(
+                "maximum",
+                lazyir.scatter_add_node(
+                    mask, index, out_shape, mode, plan_arrays
+                ),
+                1.0,
+            )
+            x._acc_node(
+                lazyir.alu(
+                    "div",
+                    lazyir.alu("mul", mask, lazyir.gather_node(g, index)),
+                    lazyir.gather_node(tie_count, index),
+                )
+            )
+
+        return _lazy_result(node, (x,), vjp)
+
     feature_shape = x.data.shape[1:]
     if plan is not None:
         out = plan.max_into(x.data)
@@ -339,6 +422,29 @@ def segment_softmax(
     scores = _as_tensor(scores)
     index = _check_index(index, scores.shape[0])
     _check_plan(plan, scores.shape[0], num_segments)
+    if is_lazy_enabled():
+        scores_node = scores._lazy_node()
+        out_shape = (num_segments,) + scores.shape[1:]
+        max_mode, max_plan = _segmax_mode(plan)
+        raw = lazyir.segment_max_raw_node(
+            scores_node, index, out_shape, max_mode, max_plan
+        )
+        masked = lazyir.where_node(lazyir.alu1("isinf", raw), 0.0, raw)
+        # The shift and the empty-denominator indicator are constants
+        # (detached node wrappers): softmax is shift-invariant, so no
+        # gradient flows through either — matching the eager path.
+        shift = _lazy_result(lazyir.gather_node(masked, index), (), None)
+        shifted = scores - shift
+        exps = shifted.exp()
+        denom = segment_sum(exps, index, num_segments, plan=plan)
+        indicator = _lazy_result(
+            lazyir.cast_f8(lazyir.alu("eq", denom._lazy_node(), 0.0)),
+            (),
+            None,
+        )
+        denom_safe = denom + indicator
+        return exps * gather(denom_safe ** -1.0, index, plan=plan)
+
     feature_shape = scores.data.shape[1:]
     if plan is not None:
         max_per_segment = plan.max_into(scores.data)

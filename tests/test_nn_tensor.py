@@ -68,8 +68,22 @@ class TestBasicOps:
         check_gradient(lambda x: ((x * x + 1.0) ** 1.5).sum(), (3,))
 
     def test_pow_rejects_tensor_exponent(self):
-        with pytest.raises(ModelError):
+        with pytest.raises(TypeError):
             Tensor([1.0]) ** Tensor([2.0])
+
+    def test_pow_rejects_bool_and_array_exponents(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** True
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** np.array([2.0])
+
+    def test_pow_accepts_integer_and_0d_exponents(self):
+        base = np.array([1.5, 2.0, 3.0])
+        expected = base**2
+        for exponent in (2, np.int64(2), np.float64(2.0), np.array(2.0)):
+            np.testing.assert_array_equal(
+                (Tensor(base) ** exponent).data, expected
+            )
 
     def test_matmul(self):
         rng = np.random.default_rng(1)
