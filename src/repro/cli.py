@@ -381,6 +381,28 @@ def _add_serve(subparsers) -> None:
         "--breaker-reset", type=float, default=30.0,
         help="seconds a tripped breaker waits before probing the model",
     )
+    parser.add_argument(
+        "--replay-log", type=Path, default=None,
+        help="flywheel replay-log directory; every answered request is "
+        "appended for later selection/relabeling (repro flywheel)",
+    )
+    parser.add_argument(
+        "--replay-sample-rate", type=float, default=1.0,
+        help="fraction of requests logged (deterministic per request)",
+    )
+    parser.add_argument(
+        "--replay-max-bytes", type=int, default=4 << 20,
+        help="replay log size past which the active file rotates",
+    )
+    parser.add_argument(
+        "--watch-store", type=Path, default=None,
+        help="flywheel version store to poll; promoted models are "
+        "hot-swapped into the running service without a restart",
+    )
+    parser.add_argument(
+        "--watch-interval", type=float, default=2.0,
+        help="seconds between version-pointer polls",
+    )
     parser.set_defaults(func=_cmd_serve)
 
 
@@ -404,11 +426,37 @@ def _cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset,
     )
+    replay_log = None
+    if args.replay_log is not None:
+        from repro.flywheel import ReplayLog
+
+        replay_log = ReplayLog(
+            args.replay_log,
+            max_bytes=args.replay_max_bytes,
+            sample_rate=args.replay_sample_rate,
+        )
     model = load_model(args.model) if args.model is not None else None
-    service = PredictionService(model=model, config=config)
+    service = PredictionService(
+        model=model, config=config, replay_log=replay_log
+    )
+    watcher = None
+    if args.watch_store is not None:
+        from repro.flywheel import ModelWatcher
+
+        watcher = ModelWatcher(
+            service,
+            str(args.watch_store),
+            poll_interval_s=args.watch_interval,
+        )
+        watcher.check_once()  # serve the promoted version from request one
+        watcher.start()
     server = ServingHTTPServer(service, host=args.host, port=args.port)
     print(f"serving on http://{server.address[0]}:{server.port}")
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        if watcher is not None:
+            watcher.stop()
     return 0
 
 
@@ -471,6 +519,260 @@ def _cmd_predict(args) -> int:
         result = service.predict(graph)
     print(json.dumps(result.to_dict(), indent=2))
     return 0
+
+
+def _add_flywheel(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "flywheel",
+        help="run closed-loop cycles: replay log -> select -> relabel -> "
+        "retrain -> gated promotion -> hot-swap",
+    )
+    parser.add_argument(
+        "--workdir", type=Path, required=True,
+        help="flywheel state root (replay/, store/, dataset.json)",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--once", action="store_true",
+        help="run exactly one cycle (the default)",
+    )
+    group.add_argument(
+        "--cycles", type=int, default=None,
+        help="run N sequential cycles",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--replay-log", type=Path, default=None,
+        help="replay-log directory (default: WORKDIR/replay)",
+    )
+    parser.add_argument(
+        "--dataset", type=Path, default=None,
+        help="training dataset path, grown in place "
+        "(default: WORKDIR/dataset.json)",
+    )
+    parser.add_argument(
+        "--store", type=Path, default=None,
+        help="version store directory (default: WORKDIR/store)",
+    )
+    parser.add_argument(
+        "--traffic", type=int, default=0,
+        help="before cycling, drive N deterministic scripted requests "
+        "through an in-process service (serving the store's current "
+        "version) into the replay log, then observe the hot-swap live",
+    )
+    parser.add_argument("--traffic-min-nodes", type=int, default=4)
+    parser.add_argument("--traffic-max-nodes", type=int, default=8)
+    parser.add_argument(
+        "--p", type=int, default=1,
+        help="fallback depth for the scripted-traffic service",
+    )
+    parser.add_argument(
+        "--max-candidates", type=int, default=16,
+        help="replay classes relabeled per cycle",
+    )
+    parser.add_argument(
+        "--min-requests", type=int, default=1,
+        help="ignore replay classes seen fewer times than this",
+    )
+    parser.add_argument(
+        "--label-iters", type=int, default=120,
+        help="optimizer iterations per relabeled instance",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=8,
+        help="candidates per durable labeling-checkpoint shard",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="serial", help="relabeling fan-out backend",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="extra relabeling attempts per bucket before the cycle fails",
+    )
+    parser.add_argument(
+        "--inject-failure-rate", type=float, default=0.0,
+        help="TESTING: deterministically fail this fraction of relabeling "
+        "buckets once each (prove checkpoint+retry; pair with --retries)",
+    )
+    parser.add_argument(
+        "--arch", choices=("gat", "gcn", "gin", "sage", "mean"),
+        default="gin",
+    )
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument(
+        "--sdp-threshold", type=float, default=0.7,
+        help="SDP approximation-ratio threshold for new labels",
+    )
+    parser.add_argument(
+        "--selective-rate", type=float, default=0.0,
+        help="fraction of below-threshold labels retained by SDP",
+    )
+    parser.add_argument(
+        "--eval-size", type=int, default=6,
+        help="held-out records for the promotion gate",
+    )
+    parser.add_argument(
+        "--eval-iters", type=int, default=40,
+        help="optimizer iterations per gate-evaluation arm",
+    )
+    parser.add_argument(
+        "--margin", type=float, default=0.0,
+        help="mean-AR regression the gate tolerates before rejecting",
+    )
+    parser.set_defaults(func=_cmd_flywheel)
+
+
+def _scripted_traffic(
+    service, requests: int, seed: int, min_nodes: int, max_nodes: int
+) -> int:
+    """Deterministic request stream: sampled graphs, revisited in order.
+
+    Half the requests are unique graphs, the rest revisit them
+    round-robin, giving the selector a frequency signal. Pure function
+    of ``seed``, so two runs produce identical replay logs.
+    """
+    import numpy as np
+
+    from repro.data.generation import sample_graphs
+
+    unique = max(1, requests // 2)
+    graphs = sample_graphs(
+        GenerationConfig(
+            num_graphs=unique,
+            min_nodes=min_nodes,
+            max_nodes=max_nodes,
+            seed=seed,
+        ),
+        np.random.default_rng(seed),
+    )
+    for index in range(requests):
+        service.predict(graphs[index % len(graphs)])
+    return requests
+
+
+def _cmd_flywheel(args) -> int:
+    from repro.flywheel import (
+        FlywheelConfig,
+        ModelWatcher,
+        PromotionConfig,
+        RelabelConfig,
+        ReplayLog,
+        RetrainConfig,
+        SelectionConfig,
+        VersionStore,
+        run_cycles,
+    )
+    from repro.runtime import FaultInjector
+    from repro.serving import PredictionService, ServingConfig
+
+    cycles = args.cycles if args.cycles is not None else 1
+    if cycles < 1:
+        raise SystemExit("--cycles must be >= 1")
+    workdir = args.workdir
+    replay_dir = args.replay_log or workdir / "replay"
+    dataset_path = args.dataset or workdir / "dataset.json"
+    store = VersionStore(args.store or workdir / "store")
+
+    config = FlywheelConfig.seeded(
+        args.seed,
+        eval_size=args.eval_size,
+        selection=SelectionConfig(
+            max_candidates=args.max_candidates,
+            min_requests=args.min_requests,
+        ),
+        relabel=RelabelConfig(
+            optimizer_iters=args.label_iters,
+            checkpoint_every=args.checkpoint_every,
+            backend=args.backend,
+            workers=args.workers,
+            retries=args.retries,
+        ),
+        retrain=RetrainConfig(
+            arch=args.arch,
+            hidden_dim=args.hidden_dim,
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            sdp_threshold=args.sdp_threshold,
+            selective_rate=args.selective_rate,
+        ),
+        promotion=PromotionConfig(
+            eval_iters=args.eval_iters, margin=args.margin
+        ),
+    )
+    injector = (
+        FaultInjector(failure_rate=args.inject_failure_rate)
+        if args.inject_failure_rate > 0.0
+        else None
+    )
+
+    replay = ReplayLog(replay_dir, seed=args.seed)
+    service = None
+    watcher = None
+    if args.traffic > 0:
+        # A live in-process service: it writes the replay log the cycle
+        # consumes, and stays up to observe the hot-swap afterwards.
+        incumbent = (
+            store.load_current()[0] if store.current() is not None else None
+        )
+        service = PredictionService(
+            model=incumbent,
+            config=ServingConfig(batching=False, default_p=args.p),
+            replay_log=replay,
+        )
+        watcher = ModelWatcher(service, store)
+        served = _scripted_traffic(
+            service,
+            args.traffic,
+            args.seed,
+            args.traffic_min_nodes,
+            args.traffic_max_nodes,
+        )
+        print(f"drove {served} scripted requests into {replay_dir}")
+
+    reports = run_cycles(
+        cycles, replay, dataset_path, store, config, fault_injector=injector
+    )
+
+    summary = {
+        "cycles": reports,
+        "store": store.describe(),
+    }
+    if service is not None:
+        swap = watcher.check_once()
+        summary["hot_swap"] = swap
+        if swap is not None:
+            # One request through the live service proves the promoted
+            # model answers without a restart.
+            result = service.predict(_probe_graph(args.seed))
+            summary["post_swap_source"] = result.source
+        summary["serving_metrics"] = service.metrics_snapshot()["flywheel"]
+        service.close()
+    print(json.dumps(summary, indent=2))
+    promoted = [r["version"] for r in reports if r.get("promoted")]
+    if promoted:
+        print(
+            f"promoted version(s): "
+            f"{', '.join(f'v{v:04d}' for v in promoted)}"
+        )
+    else:
+        print("no promotion this run")
+    return 0
+
+
+def _probe_graph(seed: int) -> Graph:
+    """One deterministic graph for the post-swap probe request."""
+    import numpy as np
+
+    from repro.data.generation import sample_graphs
+
+    return sample_graphs(
+        GenerationConfig(num_graphs=1, min_nodes=6, max_nodes=6, seed=seed),
+        np.random.default_rng(seed),
+    )[0]
 
 
 def _add_bench(subparsers) -> None:
@@ -608,6 +910,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reproduce(subparsers)
     _add_serve(subparsers)
     _add_predict(subparsers)
+    _add_flywheel(subparsers)
     _add_bench(subparsers)
     return parser
 

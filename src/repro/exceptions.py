@@ -70,3 +70,11 @@ class InjectedFault(ReproError):
 class CheckpointError(DatasetError):
     """A labeling checkpoint directory is missing, corrupt, or belongs
     to a different generation configuration."""
+
+
+class FlywheelError(ReproError):
+    """A data-flywheel cycle step failed or was configured inconsistently."""
+
+
+class ReplayLogError(FlywheelError):
+    """The serving replay log is corrupt or misconfigured."""

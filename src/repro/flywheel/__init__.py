@@ -1,0 +1,67 @@
+"""The closed-loop data flywheel: serving traffic feeds training.
+
+Serving writes every answered prediction into a rotating replay log
+(:mod:`~repro.flywheel.replay`); a cycle turns that log into a better
+model: rank the logged instances (:mod:`~repro.flywheel.selector`),
+re-optimize the valuable ones warm-started from what was served
+(:mod:`~repro.flywheel.labeler`), fold the new labels into the dataset
+behind the paper's SDP filter and train a candidate
+(:mod:`~repro.flywheel.retrain`), gate it against the incumbent on a
+held-out evaluation (:mod:`~repro.flywheel.promotion`), and — only if
+it wins — publish it to the version store
+(:mod:`~repro.flywheel.versions`), where the serving-side watcher
+(:mod:`~repro.flywheel.watcher`) hot-swaps it into the live service.
+:mod:`~repro.flywheel.loop` composes the stages into one deterministic,
+checkpoint-resumable cycle (``repro flywheel --once``).
+"""
+
+from repro.flywheel.labeler import (
+    SOURCE_FLYWHEEL,
+    RelabelConfig,
+    relabel_candidates,
+)
+from repro.flywheel.loop import FlywheelConfig, run_cycle, run_cycles
+from repro.flywheel.promotion import (
+    PromotionConfig,
+    PromotionDecision,
+    gate_candidate,
+)
+from repro.flywheel.replay import ReplayLog, ReplayRecord
+from repro.flywheel.retrain import (
+    RetrainConfig,
+    RetrainReport,
+    fit_model,
+    fold_labels,
+    train_candidate,
+)
+from repro.flywheel.selector import (
+    Candidate,
+    SelectionConfig,
+    select_candidates,
+)
+from repro.flywheel.versions import VersionStore
+from repro.flywheel.watcher import ModelWatcher
+
+__all__ = [
+    "SOURCE_FLYWHEEL",
+    "RelabelConfig",
+    "relabel_candidates",
+    "FlywheelConfig",
+    "run_cycle",
+    "run_cycles",
+    "PromotionConfig",
+    "PromotionDecision",
+    "gate_candidate",
+    "ReplayLog",
+    "ReplayRecord",
+    "RetrainConfig",
+    "RetrainReport",
+    "fit_model",
+    "fold_labels",
+    "train_candidate",
+    "Candidate",
+    "SelectionConfig",
+    "select_candidates",
+    "VersionStore",
+    "ModelWatcher",
+]

@@ -1,0 +1,301 @@
+"""One turn of the flywheel: replay → select → relabel → retrain → gate.
+
+:func:`run_cycle` is the deterministic composition of every flywheel
+stage. Its contract — the one the CLI, the smoke tests, and the
+acceptance criterion lean on — is:
+
+    Given the same replay log contents, base dataset, version-store
+    state, and :class:`FlywheelConfig`, a cycle produces the same
+    selected candidates, the same labels (bit-identical, even across a
+    kill/resume through the labeling checkpoint), the same candidate
+    weights, the same gate scores, and therefore the same promoted
+    checkpoint fingerprint.
+
+Nothing in the cycle reads a clock, an unseeded RNG, or thread timing.
+The only wall-clock dependent artifacts are log lines and the latency
+fields *inside* replay records, which no stage consumes.
+
+Filesystem layout (all under the version store directory):
+
+.. code-block:: text
+
+    store/
+      versions/ candidates/ promotions/ CURRENT.json   (VersionStore)
+      label_ckpt_v0002/    # labeling checkpoint for the v2 attempt
+      cycles/cycle_00001.json  # per-cycle report
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.data.checkpoint import LabelingCheckpoint
+from repro.data.dataset import QAOADataset
+from repro.data.splits import stratified_split
+from repro.exceptions import CheckpointError, FlywheelError
+from repro.flywheel.labeler import RelabelConfig, relabel_candidates
+from repro.flywheel.promotion import PromotionConfig, gate_candidate
+from repro.flywheel.replay import ReplayLog
+from repro.flywheel.retrain import RetrainConfig, fit_model, fold_labels
+from repro.flywheel.selector import SelectionConfig, select_candidates
+from repro.flywheel.versions import VersionStore
+from repro.graphs.canonical import wl_canonical_hash
+from repro.maxcut.cache import ProblemCache
+from repro.runtime import FaultInjector
+from repro.utils.logging import get_logger
+from repro.utils.serialization import save_json
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class FlywheelConfig:
+    """Every knob of one cycle, stage configs included.
+
+    Use :meth:`seeded` to build a config whose stages all derive from
+    one root seed — the form the CLI and the acceptance criterion use.
+    """
+
+    seed: int = 0
+    #: Held-out records for the promotion gate (stratified split of the
+    #: merged dataset; the candidate never trains on them).
+    eval_size: int = 6
+    selection: SelectionConfig = field(default_factory=SelectionConfig)
+    relabel: RelabelConfig = field(default_factory=RelabelConfig)
+    retrain: RetrainConfig = field(default_factory=RetrainConfig)
+    promotion: PromotionConfig = field(default_factory=PromotionConfig)
+
+    def __post_init__(self):
+        if self.eval_size < 1:
+            raise FlywheelError("eval_size must be >= 1")
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        eval_size: int = 6,
+        selection: Optional[SelectionConfig] = None,
+        relabel: Optional[RelabelConfig] = None,
+        retrain: Optional[RetrainConfig] = None,
+        promotion: Optional[PromotionConfig] = None,
+    ) -> "FlywheelConfig":
+        """A config whose every stage is seeded from ``seed``."""
+        return cls(
+            seed=seed,
+            eval_size=eval_size,
+            selection=selection if selection is not None else SelectionConfig(),
+            relabel=replace(
+                relabel if relabel is not None else RelabelConfig(), seed=seed
+            ),
+            retrain=replace(
+                retrain if retrain is not None else RetrainConfig(), seed=seed
+            ),
+            promotion=replace(
+                promotion if promotion is not None else PromotionConfig(),
+                seed=seed,
+            ),
+        )
+
+
+def _load_replay(replay: Union[ReplayLog, str, Path]) -> ReplayLog:
+    return replay if isinstance(replay, ReplayLog) else ReplayLog(replay)
+
+
+def _next_cycle_index(cycles_dir: Path) -> int:
+    if not cycles_dir.is_dir():
+        return 1
+    return 1 + sum(
+        1 for p in cycles_dir.iterdir() if p.name.startswith("cycle_")
+    )
+
+
+def run_cycle(
+    replay: Union[ReplayLog, str, Path],
+    dataset_path: Union[str, Path],
+    store: Union[VersionStore, str, Path],
+    config: Optional[FlywheelConfig] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    problem_cache: Optional[ProblemCache] = None,
+) -> dict:
+    """Run one full flywheel cycle; returns a JSON-safe report.
+
+    ``dataset_path`` is read as the current training set (missing file
+    = empty cold start) and rewritten with the new labels folded in
+    whenever relabeling produced any. The version store is only
+    *published to* (new ``versions/`` entry + pointer move) when the
+    gate promotes; a rejected candidate stays staged under
+    ``candidates/`` and the serving surface is untouched.
+
+    ``fault_injector`` (tests/CI) injects deterministic failures into
+    the labeling stage; with retries configured the cycle still
+    completes with bit-identical output.
+    """
+    if config is None:
+        config = FlywheelConfig()
+    store = store if isinstance(store, VersionStore) else VersionStore(store)
+    replay_log = _load_replay(replay)
+    cache = problem_cache if problem_cache is not None else ProblemCache()
+    dataset_path = Path(dataset_path)
+
+    report: dict = {"promoted": False, "seed": config.seed}
+
+    # 1. Replay → records.
+    records = replay_log.load()
+    report["replay_records"] = len(records)
+
+    # 2. Base dataset + its WL classes (the dedup set).
+    base = (
+        QAOADataset.load(dataset_path)
+        if dataset_path.is_file()
+        else QAOADataset()
+    )
+    report["base_dataset"] = len(base)
+    existing = {wl_canonical_hash(graph) for graph in base.graphs()}
+
+    # 3. Selection.
+    candidates = select_candidates(
+        records, existing, config.selection, problem_cache=cache
+    )
+    report["candidates"] = [c.describe() for c in candidates]
+    if not candidates:
+        report["reason"] = "no labelable replay classes outside the dataset"
+        logger.info("flywheel cycle: %s; nothing to do", report["reason"])
+        _write_cycle_report(store, report)
+        return report
+
+    # 4. Checkpointed relabeling for the version this cycle is building.
+    next_version = (store.versions()[-1] + 1) if store.versions() else 1
+    ckpt_dir = store.directory / f"label_ckpt_v{next_version:04d}"
+    resume = LabelingCheckpoint(ckpt_dir).exists()
+    try:
+        new_records = relabel_candidates(
+            candidates,
+            config.relabel,
+            checkpoint=ckpt_dir,
+            resume=resume,
+            fault_injector=fault_injector,
+            problem_cache=cache,
+        )
+    except CheckpointError:
+        # The checkpoint belongs to a different worklist (the replay log
+        # moved since the interrupted cycle); start that version over.
+        logger.warning(
+            "labeling checkpoint %s is for a different candidate set; "
+            "restarting it",
+            ckpt_dir,
+        )
+        shutil.rmtree(ckpt_dir)
+        new_records = relabel_candidates(
+            candidates,
+            config.relabel,
+            checkpoint=ckpt_dir,
+            resume=False,
+            fault_injector=fault_injector,
+            problem_cache=cache,
+        )
+    report["labeled"] = len(new_records)
+
+    # 5. Fold labels (SDP-filtered) and persist the grown dataset.
+    merged, kept = fold_labels(base, new_records, config.retrain)
+    report["labels_kept"] = kept
+    report["labels_pruned"] = len(new_records) - kept
+    report["dataset_size"] = len(merged)
+    merged.save(dataset_path)
+    if kept == 0:
+        report["reason"] = "every new label was pruned by SDP"
+        logger.info("flywheel cycle: %s; skipping retrain", report["reason"])
+        _write_cycle_report(store, report)
+        return report
+
+    # 6. Train the candidate on everything but the held-out gate set.
+    if len(merged) > config.eval_size + 1:
+        train_ds, eval_ds = stratified_split(
+            merged, config.eval_size, rng=config.seed
+        )
+    else:
+        # Too small to hold anything out; gate on the training set
+        # (cold-start corner, still deterministic).
+        train_ds = eval_ds = merged
+    model, final_loss = fit_model(train_ds, config.retrain)
+    report["final_loss"] = final_loss
+    report["eval_graphs"] = len(eval_ds)
+
+    # 7. Gate against the incumbent.
+    incumbent = None
+    incumbent_pointer = store.current()
+    if incumbent_pointer is not None:
+        incumbent, _ = store.load_current()
+    decision = gate_candidate(
+        model,
+        incumbent,
+        eval_ds.graphs(),
+        config.promotion,
+        problem_cache=cache,
+    )
+    report["gate"] = decision.manifest()
+
+    # 8. Stage; publish only on promotion.
+    candidate_path = store.stage_candidate(
+        model, tag=decision.candidate_fingerprint, final_loss=final_loss
+    )
+    report["candidate_checkpoint"] = str(candidate_path)
+    if decision.promote:
+        pointer = store.promote_candidate(candidate_path)
+        manifest = dict(decision.manifest())
+        manifest.update(
+            version=pointer["version"],
+            dataset_size=len(merged),
+            labels_added=kept,
+        )
+        store.record_promotion(pointer["version"], manifest)
+        report["promoted"] = True
+        report["version"] = pointer["version"]
+        report["fingerprint"] = pointer["fingerprint"]
+    else:
+        report["reason"] = decision.reason
+    _write_cycle_report(store, report)
+    return report
+
+
+def _write_cycle_report(store: VersionStore, report: dict) -> None:
+    cycles_dir = store.directory / "cycles"
+    cycles_dir.mkdir(parents=True, exist_ok=True)
+    index = _next_cycle_index(cycles_dir)
+    report["cycle"] = index
+    save_json(report, cycles_dir / f"cycle_{index:05d}.json")
+
+
+def run_cycles(
+    cycles: int,
+    replay: Union[ReplayLog, str, Path],
+    dataset_path: Union[str, Path],
+    store: Union[VersionStore, str, Path],
+    config: Optional[FlywheelConfig] = None,
+    fault_injector: Optional[FaultInjector] = None,
+) -> list:
+    """Run ``cycles`` sequential flywheel turns; returns their reports.
+
+    Later cycles see the dataset earlier ones grew, so an unchanged
+    replay log converges after one productive turn (everything logged is
+    then deduplicated away) — looping is safe, not compounding.
+    """
+    if cycles < 1:
+        raise FlywheelError("cycles must be >= 1")
+    cache = ProblemCache()
+    reports = []
+    for index in range(cycles):
+        logger.info("flywheel cycle %d/%d", index + 1, cycles)
+        reports.append(
+            run_cycle(
+                replay,
+                dataset_path,
+                store,
+                config,
+                fault_injector=fault_injector,
+                problem_cache=cache,
+            )
+        )
+    return reports

@@ -1,0 +1,401 @@
+"""The serving replay store: one JSONL record per answered prediction.
+
+The flywheel starts here. :class:`ReplayLog` is the sink the prediction
+service writes into — one self-contained JSON line per request, carrying
+everything a later selection/relabeling pass needs: the graph itself
+(text format), its 1-WL canonical hash, the depth, the served
+parameters, the answer's provenance (``model`` / ``fixed_angle`` /
+``analytic`` / ``random``), whether it was a cache hit, the latency, and
+the fingerprint of the model that keyed the lookup.
+
+Durability model
+----------------
+Appends are *line-atomic*: each record is one ``write()`` of a complete
+``...\\n`` line onto an append-mode handle, flushed before the lock is
+released. A process killed mid-write can therefore leave at most one
+partial trailing line — which :meth:`ReplayLog.load` recovers from (the
+partial line is dropped and counted, every complete line survives) and
+which the constructor repairs on reopen (the torn tail is truncated so a
+restarted server appends on a clean boundary).
+
+The log rotates: once the active file passes ``max_bytes`` it is
+renamed (``os.replace``, atomic) to a numbered segment and a fresh
+active file begins. ``load()`` reads segments in rotation order, active
+file last, so replay order equals serving order.
+
+Sampling is deterministic: whether request ``seq`` is logged depends
+only on ``(seed, seq)``, never on wall-clock time or thread timing —
+two identically-driven services produce identical logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ReplayLogError
+from repro.graphs.graph import Graph
+from repro.graphs.io import graph_from_text, graph_to_text
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+PathLike = Union[str, Path]
+
+ACTIVE_NAME = "replay_current.jsonl"
+SEGMENT_PATTERN = re.compile(r"replay_(\d{5})\.jsonl$")
+
+#: Mixed into the sampling hash so a log and anything else sharing its
+#: seed still draw independent streams.
+_SAMPLE_STREAM = 0x5EED_F10C
+
+
+class ReplayRecord:
+    """One served prediction, as the flywheel sees it.
+
+    Attributes
+    ----------
+    graph:
+        The requested instance.
+    wl_hash:
+        Its 1-WL canonical hash (the dedup/frequency key).
+    p:
+        Depth of the served parameters.
+    gammas, betas:
+        The served warm-start parameters, length ``p`` each.
+    source:
+        Provenance tag (``model``, ``fixed_angle``, ``analytic``,
+        ``random``).
+    model_key:
+        Fingerprint of the serving model (or the ``fallback-p<p>`` tag
+        when no model was registered) the cache lookup was keyed under.
+    cached:
+        Whether the answer came from the prediction cache.
+    latency_ms:
+        Service-side latency of the request.
+    """
+
+    __slots__ = (
+        "graph", "wl_hash", "p", "gammas", "betas",
+        "source", "model_key", "cached", "latency_ms",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        wl_hash: str,
+        p: int,
+        gammas,
+        betas,
+        source: str,
+        model_key: str = "",
+        cached: bool = False,
+        latency_ms: float = 0.0,
+    ):
+        self.graph = graph
+        self.wl_hash = str(wl_hash)
+        self.p = int(p)
+        self.gammas = tuple(float(g) for g in gammas)
+        self.betas = tuple(float(b) for b in betas)
+        self.source = str(source)
+        self.model_key = str(model_key)
+        self.cached = bool(cached)
+        self.latency_ms = float(latency_ms)
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict (the on-disk line schema)."""
+        return {
+            "graph": graph_to_text(self.graph),
+            "wl_hash": self.wl_hash,
+            "p": self.p,
+            "gammas": list(self.gammas),
+            "betas": list(self.betas),
+            "source": self.source,
+            "model_key": self.model_key,
+            "cached": self.cached,
+            "latency_ms": self.latency_ms,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReplayRecord":
+        """Inverse of :meth:`to_payload`."""
+        try:
+            return cls(
+                graph=graph_from_text(payload["graph"]),
+                wl_hash=payload["wl_hash"],
+                p=payload["p"],
+                gammas=payload["gammas"],
+                betas=payload["betas"],
+                source=payload["source"],
+                model_key=payload.get("model_key", ""),
+                cached=payload.get("cached", False),
+                latency_ms=payload.get("latency_ms", 0.0),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplayLogError(f"malformed replay record: {exc}") from exc
+
+
+class ReplayLog:
+    """Rotating, line-atomic JSONL store of served predictions.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created on first use.
+    max_bytes:
+        Active-file size past which it rotates into a numbered segment.
+    sample_rate:
+        Fraction of requests logged. Selection is a pure function of
+        ``(seed, sequence number)``, so identical traffic produces
+        identical logs regardless of timing.
+    seed:
+        Root of the sampling stream.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        max_bytes: int = 4 << 20,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+    ):
+        if max_bytes < 1:
+            raise ReplayLogError(f"max_bytes must be >= 1, got {max_bytes}")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ReplayLogError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        self.directory = Path(directory)
+        self.max_bytes = int(max_bytes)
+        self.sample_rate = float(sample_rate)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[bytes]] = None
+        self.logged = 0
+        self.sampled_out = 0
+        self.dropped = 0
+        self.rotations = 0
+        self.recovered_lines = 0
+        #: Monotone per-process request counter driving the sampler.
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def active_path(self) -> Path:
+        """The file currently being appended to."""
+        return self.directory / ACTIVE_NAME
+
+    def segment_paths(self) -> List[Path]:
+        """Rotated segments, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        segments = [
+            path
+            for path in self.directory.iterdir()
+            if SEGMENT_PATTERN.match(path.name)
+        ]
+        return sorted(segments, key=lambda p: p.name)
+
+    def _next_segment_path(self) -> Path:
+        segments = self.segment_paths()
+        if not segments:
+            index = 0
+        else:
+            index = int(SEGMENT_PATTERN.match(segments[-1].name).group(1)) + 1
+        return self.directory / f"replay_{index:05d}.jsonl"
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> IO[bytes]:
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._repair_torn_tail()
+            self._handle = open(self.active_path, "ab")
+        return self._handle
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a partial trailing line left by a mid-write kill.
+
+        Append-mode writes are line-atomic from this process's point of
+        view, but a kill between the OS write and its completion can
+        leave a torn tail. Reopening on a clean line boundary keeps the
+        'at most one corrupt line, and only at the very end' invariant.
+        """
+        path = self.active_path
+        if not path.is_file():
+            return
+        data = path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1  # 0 when no newline at all
+        with open(path, "r+b") as handle:
+            handle.truncate(cut)
+        self.recovered_lines += 1
+        logger.warning(
+            "replay log %s had a torn trailing line (%d bytes); truncated",
+            path,
+            len(data) - cut,
+        )
+
+    def _should_log(self, seq: int) -> bool:
+        """Deterministic sampling decision for request ``seq``."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        rng = np.random.default_rng([self.seed, _SAMPLE_STREAM, int(seq)])
+        return float(rng.random()) < self.sample_rate
+
+    def append(self, record: ReplayRecord) -> Optional[bool]:
+        """Write one record.
+
+        Returns ``True`` when the record was durably appended, ``None``
+        when deterministic sampling skipped it, and ``False`` when the
+        write failed (the error is swallowed and counted — a broken log
+        must never break serving).
+        """
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            if not self._should_log(seq):
+                self.sampled_out += 1
+                return None
+            line = (
+                json.dumps(record.to_payload(), separators=(",", ":")) + "\n"
+            ).encode()
+            try:
+                handle = self._ensure_open()
+                handle.write(line)
+                handle.flush()
+                self.logged += 1
+                self._rotate_if_needed()
+            except OSError as exc:
+                self.dropped += 1
+                logger.warning("replay log append failed (%s); dropped", exc)
+                return False
+            return True
+
+    def log_prediction(self, graph: Graph, result) -> Optional[bool]:
+        """Append a :class:`ReplayRecord` built from a service answer.
+
+        ``result`` is duck-typed to
+        :class:`repro.serving.service.PredictionResult`; its
+        ``cache_key`` (``<model_key>:<wl_hash>``) supplies both the hash
+        and the model fingerprint without re-running 1-WL.
+        """
+        model_key, _, wl_hash = result.cache_key.rpartition(":")
+        return self.append(
+            ReplayRecord(
+                graph=graph,
+                wl_hash=wl_hash,
+                p=result.p,
+                gammas=result.gammas,
+                betas=result.betas,
+                source=result.source,
+                model_key=model_key,
+                cached=result.cached,
+                latency_ms=result.latency_s * 1e3,
+            )
+        )
+
+    def _rotate_if_needed(self) -> None:
+        """Rotate the active file once it exceeds the size budget."""
+        if self._handle is None:
+            return
+        if self._handle.tell() < self.max_bytes:
+            return
+        self._handle.close()
+        self._handle = None
+        os.replace(self.active_path, self._next_segment_path())
+        self.rotations += 1
+
+    def close(self) -> None:
+        """Flush and release the active file handle."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "ReplayLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> List[ReplayRecord]:
+        """Every parseable record, in serving order.
+
+        A corrupt *trailing* line (torn by a kill mid-append) is
+        recovered from silently; corrupt interior lines are skipped with
+        a warning and counted in ``recovered_lines`` rather than
+        bricking the whole flywheel on one bad byte.
+        """
+        records: List[ReplayRecord] = []
+        with self._lock:
+            paths = self.segment_paths()
+            if self.active_path.is_file():
+                paths.append(self.active_path)
+            for path in paths:
+                records.extend(self._load_file(path))
+        return records
+
+    def _load_file(self, path: Path) -> List[ReplayRecord]:
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ReplayLogError(f"unreadable replay segment {path}: {exc}")
+        records: List[ReplayRecord] = []
+        lines = text.splitlines()
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                records.append(ReplayRecord.from_payload(payload))
+            except (json.JSONDecodeError, ReplayLogError) as exc:
+                self.recovered_lines += 1
+                if number == len(lines):
+                    logger.warning(
+                        "replay segment %s: dropped torn trailing line", path
+                    )
+                else:
+                    logger.warning(
+                        "replay segment %s line %d unparseable (%s); skipped",
+                        path,
+                        number,
+                        exc,
+                    )
+        return records
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot (feeds the serving /metrics flywheel block)."""
+        with self._lock:
+            return {
+                "directory": str(self.directory),
+                "logged": self.logged,
+                "sampled_out": self.sampled_out,
+                "dropped": self.dropped,
+                "rotations": self.rotations,
+                "recovered_lines": self.recovered_lines,
+                "sample_rate": self.sample_rate,
+                "max_bytes": self.max_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplayLog({str(self.directory)!r}, logged={self.logged})"

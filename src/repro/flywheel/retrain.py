@@ -1,0 +1,163 @@
+"""Retraining: fold flywheel labels into the dataset, train a candidate.
+
+New labels pass through the paper's Selective Data Pruning filter
+*before* joining the dataset — a relabeling pass that produced a bad
+label (low approximation ratio) must not poison the training set the
+incumbent was trained on. The base dataset is taken as-is: it already
+went through SDP when it was generated, and re-pruning it here would
+silently change the incumbent's own training distribution between
+cycles.
+
+Training is fully seeded (model init and mini-batch shuffling both
+derive from ``RetrainConfig.seed``), so the candidate's weights — and
+therefore its fingerprint — are a pure function of
+``(base dataset, new labels, config)``. That is the property the
+acceptance criterion leans on: rerunning a cycle with the same seed
+reproduces the same promoted checkpoint fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.data.dataset import QAOADataset, QAOARecord
+from repro.data.pruning import selective_data_pruning
+from repro.exceptions import FlywheelError
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.pipeline.training import Trainer, TrainingConfig
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class RetrainConfig:
+    """Knobs for one candidate-training pass."""
+
+    arch: str = "gin"
+    hidden_dim: int = 32
+    num_layers: int = 2
+    epochs: int = 30
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    sdp_threshold: float = 0.7
+    selective_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise FlywheelError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise FlywheelError("batch_size must be >= 1")
+
+
+@dataclass
+class RetrainReport:
+    """What the retrain step did, JSON-safe via :meth:`describe`."""
+
+    new_labels: int
+    labels_kept: int
+    labels_pruned: int
+    dataset_size: int
+    final_loss: float
+
+    def describe(self) -> dict:
+        return {
+            "new_labels": self.new_labels,
+            "labels_kept": self.labels_kept,
+            "labels_pruned": self.labels_pruned,
+            "dataset_size": self.dataset_size,
+            "final_loss": self.final_loss,
+        }
+
+
+def fold_labels(
+    base: QAOADataset,
+    new_records: Sequence[QAOARecord],
+    config: RetrainConfig,
+) -> Tuple[QAOADataset, int]:
+    """SDP-filter the new labels and merge them into a fresh dataset.
+
+    Returns ``(merged dataset, kept count)``; the base dataset object is
+    not mutated.
+    """
+    kept: List[QAOARecord] = list(new_records)
+    if new_records:
+        filtered, report = selective_data_pruning(
+            QAOADataset(list(new_records)),
+            threshold=config.sdp_threshold,
+            selective_rate=config.selective_rate,
+            rng=config.seed,
+        )
+        kept = list(filtered.records)
+        if report.pruned:
+            logger.info(
+                "SDP pruned %d/%d flywheel labels (threshold %.2f)",
+                report.pruned,
+                len(new_records),
+                config.sdp_threshold,
+            )
+    merged = QAOADataset(list(base.records))
+    merged.extend(kept)
+    return merged, len(kept)
+
+
+def fit_model(
+    dataset: QAOADataset, config: RetrainConfig
+) -> Tuple[QAOAParameterPredictor, float]:
+    """Seeded model construction + training on ``dataset``.
+
+    Returns ``(trained model, final loss)``; both are deterministic
+    functions of the dataset contents and the config.
+    """
+    if not len(dataset):
+        raise FlywheelError("cannot train a candidate on an empty dataset")
+    model = QAOAParameterPredictor(
+        arch=config.arch,
+        p=dataset.depth(),
+        hidden_dim=config.hidden_dim,
+        num_layers=config.num_layers,
+        rng=config.seed,
+    )
+    trainer = Trainer(
+        model,
+        TrainingConfig(
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            seed=config.seed,
+        ),
+        rng=config.seed,
+    )
+    history = trainer.fit(dataset)
+    model.eval()
+    return model, float(history.final_loss)
+
+
+def train_candidate(
+    base: QAOADataset,
+    new_records: Sequence[QAOARecord],
+    config: RetrainConfig,
+) -> Tuple[QAOAParameterPredictor, QAOADataset, RetrainReport]:
+    """Train a candidate on base + SDP-filtered new labels.
+
+    Returns ``(model, merged dataset, report)``. Deterministic for
+    fixed inputs and config.
+    """
+    merged, kept = fold_labels(base, new_records, config)
+    model, final_loss = fit_model(merged, config)
+    report = RetrainReport(
+        new_labels=len(new_records),
+        labels_kept=kept,
+        labels_pruned=len(new_records) - kept,
+        dataset_size=len(merged),
+        final_loss=final_loss,
+    )
+    logger.info(
+        "trained candidate on %d records (%d new) — final loss %.5f",
+        report.dataset_size,
+        report.labels_kept,
+        report.final_loss,
+    )
+    return model, merged, report

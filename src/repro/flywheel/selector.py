@@ -1,0 +1,275 @@
+"""Candidate selection: which served instances deserve a real label.
+
+The replay log is a firehose; labeling budget is not. This module
+aggregates the log by 1-WL class and ranks the classes by how badly the
+service needs a better answer for them:
+
+1. **Fallback pressure** — classes that were (ever) answered from the
+   classical fallback chain instead of the model rank first: these are
+   exactly the instances the current model could not serve at all.
+2. **Served quality** — among equally fallback-pressured classes, the
+   worst achieved-vs-optimal approximation ratio of the *served*
+   parameters ranks first (the simulator re-evaluates the served angles
+   against the brute-force optimum; graphs the statevector path cannot
+   label are excluded up front).
+3. **Request frequency** — more-requested classes first; improving a hot
+   instance pays more than improving a cold one.
+
+Ties break on the WL hash, so the ranking is a pure function of the log
+contents — two cycles over the same traffic select the same candidates
+in the same order, which is what makes the whole flywheel replayable.
+
+Classes already present in the training dataset (same WL hash) are
+deduplicated away: the GNN maps 1-WL-indistinguishable graphs to the
+same output, so relabeling them buys nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import FlywheelError
+from repro.flywheel.replay import ReplayRecord
+from repro.graphs.graph import Graph
+from repro.maxcut.cache import ProblemCache
+from repro.qaoa.simulator import QAOASimulator
+from repro.serving.fallbacks import SOURCE_MODEL
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Largest graph the dense-statevector labeler will take on.
+MAX_LABELABLE_NODES = 15
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Knobs for one selection pass.
+
+    Attributes
+    ----------
+    max_candidates:
+        How many classes the labeling budget covers per cycle.
+    max_evaluations:
+        Cap on served-parameter re-evaluations (each costs a brute-force
+        optimum plus one expectation). Classes are pre-ranked by
+        fallback pressure and frequency, and only the top
+        ``max_evaluations`` get an AR; the rest keep ``None`` and rank
+        after scored classes within their pressure tier.
+    min_requests:
+        Classes seen fewer times than this are ignored.
+    max_nodes:
+        Largest labelable graph (dense statevector bound).
+    """
+
+    max_candidates: int = 32
+    max_evaluations: int = 128
+    min_requests: int = 1
+    max_nodes: int = MAX_LABELABLE_NODES
+
+    def __post_init__(self):
+        if self.max_candidates < 1:
+            raise FlywheelError("max_candidates must be >= 1")
+        if self.max_evaluations < 0:
+            raise FlywheelError("max_evaluations must be >= 0")
+        if self.min_requests < 1:
+            raise FlywheelError("min_requests must be >= 1")
+
+
+@dataclass
+class Candidate:
+    """One 1-WL class picked for relabeling.
+
+    Attributes
+    ----------
+    graph:
+        Representative instance (first seen in the log).
+    wl_hash:
+        The class key.
+    p:
+        Depth of the served parameters (and of the label to produce).
+    requests:
+        How many logged requests hit this class.
+    fallback_requests:
+        How many of them were answered off the fallback chain.
+    served_gammas, served_betas:
+        The most recently served parameters — the warm start for
+        relabeling.
+    served_ar:
+        Approximation ratio the served parameters actually achieve
+        (``None`` when outside the evaluation budget).
+    sources:
+        Request count per provenance tag.
+    """
+
+    graph: Graph
+    wl_hash: str
+    p: int
+    requests: int
+    fallback_requests: int
+    served_gammas: tuple
+    served_betas: tuple
+    served_ar: Optional[float]
+    sources: Dict[str, int]
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Share of requests answered off the fallback chain."""
+        return self.fallback_requests / self.requests if self.requests else 0.0
+
+    def describe(self) -> dict:
+        """JSON-safe summary (for cycle reports)."""
+        return {
+            "wl_hash": self.wl_hash,
+            "name": self.graph.name,
+            "num_nodes": self.graph.num_nodes,
+            "p": self.p,
+            "requests": self.requests,
+            "fallback_requests": self.fallback_requests,
+            "served_ar": self.served_ar,
+            "sources": dict(self.sources),
+        }
+
+
+class _ClassAggregate:
+    """Mutable per-WL-class accumulator used during the log sweep."""
+
+    __slots__ = ("graph", "p", "requests", "fallback", "sources",
+                 "gammas", "betas")
+
+    def __init__(self, record: ReplayRecord):
+        self.graph = record.graph
+        self.p = record.p
+        self.requests = 0
+        self.fallback = 0
+        self.sources: Dict[str, int] = {}
+        self.gammas = record.gammas
+        self.betas = record.betas
+
+    def add(self, record: ReplayRecord) -> None:
+        self.requests += 1
+        self.sources[record.source] = self.sources.get(record.source, 0) + 1
+        if record.source != SOURCE_MODEL:
+            self.fallback += 1
+        # Latest served parameters win: they reflect the model the next
+        # cycle competes against.
+        self.gammas = record.gammas
+        self.betas = record.betas
+
+
+def _labelable(graph: Graph, max_nodes: int) -> bool:
+    """Whether the dense labeler can take the graph on at all."""
+    return 2 <= graph.num_nodes <= max_nodes and graph.num_edges > 0
+
+
+def select_candidates(
+    records: Sequence[ReplayRecord],
+    existing_hashes: Iterable[str] = (),
+    config: Optional[SelectionConfig] = None,
+    problem_cache: Optional[ProblemCache] = None,
+) -> List[Candidate]:
+    """Rank the replay log into a labeling worklist.
+
+    Returns at most ``config.max_candidates`` candidates, most valuable
+    first, deduplicated against ``existing_hashes`` (WL hashes already
+    in the training dataset). Deterministic for fixed inputs.
+    """
+    if config is None:
+        config = SelectionConfig()
+    known: Set[str] = set(existing_hashes)
+    cache = problem_cache if problem_cache is not None else ProblemCache()
+
+    by_class: Dict[str, _ClassAggregate] = {}
+    skipped_known = 0
+    skipped_unlabelable = 0
+    for record in records:
+        if record.wl_hash in known:
+            skipped_known += 1
+            continue
+        aggregate = by_class.get(record.wl_hash)
+        if aggregate is None:
+            if not _labelable(record.graph, config.max_nodes):
+                known.add(record.wl_hash)  # don't re-test per record
+                skipped_unlabelable += 1
+                continue
+            aggregate = _ClassAggregate(record)
+            by_class[record.wl_hash] = aggregate
+        aggregate.add(record)
+
+    pool = [
+        (wl_hash, agg)
+        for wl_hash, agg in by_class.items()
+        if agg.requests >= config.min_requests
+    ]
+    # Pre-rank (pressure, frequency, hash) to spend the evaluation
+    # budget where it matters; the hash tiebreak keeps the order a pure
+    # function of log contents.
+    pool.sort(
+        key=lambda item: (
+            -item[1].fallback / item[1].requests,
+            -item[1].requests,
+            item[0],
+        )
+    )
+
+    candidates: List[Candidate] = []
+    for rank, (wl_hash, agg) in enumerate(pool):
+        served_ar = None
+        if rank < config.max_evaluations:
+            served_ar = _served_ratio(agg, cache)
+        candidates.append(
+            Candidate(
+                graph=agg.graph,
+                wl_hash=wl_hash,
+                p=agg.p,
+                requests=agg.requests,
+                fallback_requests=agg.fallback,
+                served_gammas=agg.gammas,
+                served_betas=agg.betas,
+                served_ar=served_ar,
+                sources=agg.sources,
+            )
+        )
+
+    candidates.sort(key=_rank_key)
+    selected = candidates[: config.max_candidates]
+    logger.info(
+        "selected %d/%d replay classes (%d records; %d already in "
+        "dataset, %d unlabelable)",
+        len(selected),
+        len(candidates),
+        len(records),
+        skipped_known,
+        skipped_unlabelable,
+    )
+    return selected
+
+
+def _served_ratio(agg: _ClassAggregate, cache: ProblemCache) -> float:
+    """AR the served parameters achieve on the representative graph."""
+    problem = cache.get(agg.graph)
+    simulator = QAOASimulator(problem)
+    expectation = simulator.expectation(
+        np.asarray(agg.gammas, dtype=np.float64),
+        np.asarray(agg.betas, dtype=np.float64),
+    )
+    return float(problem.approximation_ratio(float(expectation)))
+
+
+def _rank_key(candidate: Candidate):
+    """Most valuable first under ascending sort.
+
+    Fallback-served classes lead; within a pressure tier, worst served
+    AR first (unevaluated classes rank after every scored one); then
+    request frequency; then the hash for a total, deterministic order.
+    """
+    ar = candidate.served_ar if candidate.served_ar is not None else np.inf
+    return (
+        -candidate.fallback_fraction,
+        ar,
+        -candidate.requests,
+        candidate.wl_hash,
+    )

@@ -1,0 +1,192 @@
+"""Versioned model store with an atomic current-version pointer.
+
+The flywheel's contract with serving is a directory:
+
+.. code-block:: text
+
+    store/
+      versions/
+        v0001.json      # immutable checkpoint (save_checkpoint format)
+        v0002.json
+      candidates/
+        cand_0002.json  # staged, not yet promoted
+      CURRENT.json      # {"version": 2, "path": "...", "fingerprint": "..."}
+      promotions/
+        v0002.json      # promotion manifest (gate evidence)
+
+Candidates are *staged* outside ``versions/`` and only published (moved
+into ``versions/`` and pointed at by ``CURRENT.json``) when the
+promotion gate passes — a rejected candidate leaves the store's
+published surface byte-identical. ``CURRENT.json`` is written with an
+atomic replace, so a serving-side watcher polling it either sees the old
+pointer or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.exceptions import FlywheelError
+from repro.serving.registry import (
+    load_checkpoint,
+    model_fingerprint,
+    save_checkpoint,
+)
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json
+
+logger = get_logger(__name__)
+
+POINTER_NAME = "CURRENT.json"
+
+
+class VersionStore:
+    """Filesystem layout and pointer discipline for flywheel models."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def pointer_path(self) -> Path:
+        """The atomic current-version pointer file."""
+        return self.directory / POINTER_NAME
+
+    @property
+    def versions_dir(self) -> Path:
+        return self.directory / "versions"
+
+    @property
+    def candidates_dir(self) -> Path:
+        return self.directory / "candidates"
+
+    @property
+    def promotions_dir(self) -> Path:
+        return self.directory / "promotions"
+
+    def version_path(self, version: int) -> Path:
+        return self.versions_dir / f"v{version:04d}.json"
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def versions(self) -> List[int]:
+        """Published version numbers, ascending."""
+        if not self.versions_dir.is_dir():
+            return []
+        found = []
+        for path in self.versions_dir.iterdir():
+            name = path.name
+            if name.startswith("v") and name.endswith(".json"):
+                try:
+                    found.append(int(name[1:-5]))
+                except ValueError:
+                    continue
+        return sorted(found)
+
+    def current(self) -> Optional[dict]:
+        """The pointer payload, or ``None`` when nothing is published."""
+        if not self.pointer_path.is_file():
+            return None
+        payload = load_json(self.pointer_path)
+        for field in ("version", "path", "fingerprint"):
+            if field not in payload:
+                raise FlywheelError(
+                    f"version pointer {self.pointer_path} missing "
+                    f"field {field!r}"
+                )
+        return payload
+
+    def load_current(self):
+        """Load the currently pointed-at model (model, payload)."""
+        payload = self.current()
+        if payload is None:
+            raise FlywheelError(
+                f"no current version published under {self.directory}"
+            )
+        model = load_checkpoint(payload["path"])
+        return model, payload
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def publish(self, model, final_loss: Optional[float] = None) -> dict:
+        """Checkpoint ``model`` as the next version and repoint CURRENT.
+
+        The checkpoint is fully written before the pointer moves, so a
+        crash between the two leaves the previous version serving.
+        Returns the new pointer payload.
+        """
+        version = (self.versions()[-1] + 1) if self.versions() else 1
+        path = self.version_path(version)
+        self.versions_dir.mkdir(parents=True, exist_ok=True)
+        save_checkpoint(model, path, final_loss=final_loss)
+        pointer = {
+            "version": version,
+            "path": str(path),
+            "fingerprint": model_fingerprint(model),
+        }
+        save_json(pointer, self.pointer_path)
+        logger.info(
+            "published model version v%04d (fingerprint %s)",
+            version,
+            pointer["fingerprint"],
+        )
+        return pointer
+
+    def stage_candidate(self, model, tag: str,
+                        final_loss: Optional[float] = None) -> Path:
+        """Checkpoint a not-yet-promoted candidate outside ``versions/``."""
+        self.candidates_dir.mkdir(parents=True, exist_ok=True)
+        path = self.candidates_dir / f"cand_{tag}.json"
+        save_checkpoint(model, path, final_loss=final_loss)
+        return path
+
+    def promote_candidate(self, candidate_path: Union[str, Path]) -> dict:
+        """Publish a staged candidate checkpoint as the next version.
+
+        The staged file is moved (atomic rename on the same filesystem)
+        into ``versions/`` and the pointer is repointed at it.
+        """
+        candidate_path = Path(candidate_path)
+        if not candidate_path.is_file():
+            raise FlywheelError(
+                f"candidate checkpoint not found: {candidate_path}"
+            )
+        model = load_checkpoint(candidate_path)
+        version = (self.versions()[-1] + 1) if self.versions() else 1
+        path = self.version_path(version)
+        self.versions_dir.mkdir(parents=True, exist_ok=True)
+        os.replace(candidate_path, path)
+        pointer = {
+            "version": version,
+            "path": str(path),
+            "fingerprint": model_fingerprint(model),
+        }
+        save_json(pointer, self.pointer_path)
+        logger.info(
+            "promoted candidate %s as v%04d (fingerprint %s)",
+            candidate_path.name,
+            version,
+            pointer["fingerprint"],
+        )
+        return pointer
+
+    def record_promotion(self, version: int, manifest: dict) -> Path:
+        """Persist the gate's evidence next to the version it promoted."""
+        self.promotions_dir.mkdir(parents=True, exist_ok=True)
+        path = self.promotions_dir / f"v{version:04d}.json"
+        save_json(manifest, path)
+        return path
+
+    def describe(self) -> dict:
+        """JSON-safe store summary."""
+        return {
+            "directory": str(self.directory),
+            "versions": self.versions(),
+            "current": self.current(),
+        }

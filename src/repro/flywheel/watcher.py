@@ -1,0 +1,150 @@
+"""Serving-side hot-swap: watch the version pointer, swap on change.
+
+:class:`ModelWatcher` closes the loop from the serving end. It polls
+the :class:`~repro.flywheel.versions.VersionStore` pointer file
+(``CURRENT.json``, written atomically by the promotion step) and, when
+the pointed-at fingerprint differs from what is being served, loads the
+new checkpoint and calls
+:meth:`~repro.serving.service.PredictionService.swap_model` — which
+replaces the registry entry, drains the stale micro-batcher, resets the
+breaker, and invalidates the old fingerprint's cache entries. The
+service never restarts and never serves a torn model: the pointer
+moves atomically and the checkpoint it names is fully written before
+the pointer moves.
+
+``check_once()`` is the whole mechanism; ``start()`` just runs it on a
+daemon thread. Tests and the CLI cycle driver call ``check_once()``
+directly for deterministic, poll-free swaps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Union
+
+from repro.exceptions import FlywheelError
+from repro.flywheel.versions import VersionStore
+from repro.serving.registry import load_checkpoint
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+class ModelWatcher:
+    """Poll a version store and hot-swap the service on promotion."""
+
+    def __init__(
+        self,
+        service,
+        store: Union[VersionStore, str],
+        model_name: str = "default",
+        poll_interval_s: float = 2.0,
+    ):
+        if poll_interval_s <= 0:
+            raise FlywheelError(
+                f"poll_interval_s must be positive, got {poll_interval_s}"
+            )
+        self.service = service
+        self.store = store if isinstance(store, VersionStore) else VersionStore(store)
+        self.model_name = model_name
+        self.poll_interval_s = float(poll_interval_s)
+        self.swaps = 0
+        self.check_errors = 0
+        self._last_fingerprint: Optional[str] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def _served_fingerprint(self) -> Optional[str]:
+        registry = self.service.registry
+        if self.model_name not in registry:
+            return None
+        return registry.get(self.model_name).fingerprint
+
+    def check_once(self) -> Optional[dict]:
+        """One poll: swap if the pointer moved; return the swap summary.
+
+        Returns ``None`` when nothing changed (no pointer yet, or the
+        pointed-at fingerprint is already serving). Load/parse failures
+        are counted and swallowed — a torn store must not kill the
+        serving process; the next poll retries.
+        """
+        try:
+            pointer = self.store.current()
+        except Exception as exc:  # noqa: BLE001 — keep serving
+            self.check_errors += 1
+            logger.warning("version pointer check failed (%s)", exc)
+            return None
+        if pointer is None:
+            return None
+        fingerprint = pointer["fingerprint"]
+        if fingerprint == self._served_fingerprint():
+            self._last_fingerprint = fingerprint
+            return None
+        try:
+            model = load_checkpoint(pointer["path"])
+        except Exception as exc:  # noqa: BLE001 — keep serving
+            self.check_errors += 1
+            logger.warning(
+                "failed to load promoted checkpoint %s (%s); still "
+                "serving the previous model",
+                pointer["path"],
+                exc,
+            )
+            return None
+        summary = self.service.swap_model(
+            model,
+            name=self.model_name,
+            source=str(pointer["path"]),
+            version=int(pointer["version"]),
+        )
+        self.swaps += 1
+        self._last_fingerprint = fingerprint
+        logger.info(
+            "watcher swapped %r to v%04d (%s)",
+            self.model_name,
+            int(pointer["version"]),
+            fingerprint,
+        )
+        return summary
+
+    # ------------------------------------------------------------------
+    # Background polling
+    # ------------------------------------------------------------------
+    def start(self) -> "ModelWatcher":
+        """Begin polling on a daemon thread."""
+        if self._thread is not None:
+            raise FlywheelError("watcher already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="flywheel-watcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            self.check_once()
+
+    def stop(self) -> None:
+        """Stop the polling thread (waits for it to exit)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "ModelWatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stats(self) -> dict:
+        """JSON-safe watcher counters."""
+        return {
+            "model_name": self.model_name,
+            "swaps": self.swaps,
+            "check_errors": self.check_errors,
+            "last_fingerprint": self._last_fingerprint,
+            "poll_interval_s": self.poll_interval_s,
+            "running": self._thread is not None,
+        }

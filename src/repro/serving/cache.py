@@ -71,6 +71,7 @@ class PredictionCache:
         self.misses = 0
         self.evictions_lru = 0
         self.evictions_ttl = 0
+        self.evictions_swap = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -114,6 +115,23 @@ class PredictionCache:
             self.evictions_ttl += len(expired)
             return len(expired)
 
+    def invalidate_model(self, model_key: str) -> int:
+        """Drop every entry keyed under ``model_key``.
+
+        Hot-swap hygiene: cache keys are ``<model_key>:<wl_hash>``, so
+        purging the old model's fingerprint prefix guarantees a swapped
+        model can never serve a prediction its predecessor computed.
+        Returns how many entries were removed (also counted in
+        ``evictions_swap``).
+        """
+        prefix = f"{model_key}:"
+        with self._lock:
+            stale = [key for key in self._entries if key.startswith(prefix)]
+            for key in stale:
+                del self._entries[key]
+            self.evictions_swap += len(stale)
+            return len(stale)
+
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         with self._lock:
@@ -142,4 +160,5 @@ class PredictionCache:
             "hit_rate": self.hit_rate,
             "evictions_lru": self.evictions_lru,
             "evictions_ttl": self.evictions_ttl,
+            "evictions_swap": self.evictions_swap,
         }

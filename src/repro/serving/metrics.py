@@ -38,6 +38,10 @@ class ServingMetrics:
         self.breaker_trips = 0
         self.breaker_rejections = 0
         self.dropped_responses = 0
+        self.replay_logged = 0
+        self.replay_drops = 0
+        self.hot_swaps = 0
+        self.promotion_version: Optional[int] = None
 
     def record_request(
         self, latency_s: float, source: str, cached: bool
@@ -82,12 +86,39 @@ class ServingMetrics:
         with self._lock:
             self.dropped_responses += 1
 
-    def latency_percentiles(self) -> Dict[str, float]:
-        """p50/p90/p99/max over the sliding window, in milliseconds."""
+    def record_replay_logged(self) -> None:
+        """One request was durably appended to the replay log."""
+        with self._lock:
+            self.replay_logged += 1
+
+    def record_replay_drop(self) -> None:
+        """One replay-log append failed (serving carried on)."""
+        with self._lock:
+            self.replay_drops += 1
+
+    def record_hot_swap(self) -> None:
+        """The serving model was replaced without a restart."""
+        with self._lock:
+            self.hot_swaps += 1
+
+    def set_promotion_version(self, version: int) -> None:
+        """Note the flywheel version number now being served."""
+        with self._lock:
+            self.promotion_version = int(version)
+
+    def latency_percentiles(self) -> Dict[str, Optional[float]]:
+        """p50/p90/p99/max over the sliding window, in milliseconds.
+
+        An empty window reports ``None`` (JSON ``null``) for every
+        percentile — there is no latency to summarize, and a literal
+        zero would read as "instant".
+        """
         with self._lock:
             samples = np.asarray(self._latencies, dtype=np.float64)
         if samples.size == 0:
-            return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+            return {
+                "p50_ms": None, "p90_ms": None, "p99_ms": None, "max_ms": None,
+            }
         p50, p90, p99 = np.percentile(samples, [50.0, 90.0, 99.0]) * 1e3
         return {
             "p50_ms": float(p50),
@@ -102,6 +133,7 @@ class ServingMetrics:
         batcher_stats: Optional[dict] = None,
         models: Optional[list] = None,
         breakers: Optional[dict] = None,
+        replay_stats: Optional[dict] = None,
     ) -> dict:
         """JSON-safe aggregate, optionally embedding collaborator stats."""
         with self._lock:
@@ -118,6 +150,12 @@ class ServingMetrics:
                 "breaker_rejections": self.breaker_rejections,
                 "dropped_responses": self.dropped_responses,
             }
+            flywheel = {
+                "replay_logged": self.replay_logged,
+                "replay_drops": self.replay_drops,
+                "hot_swaps": self.hot_swaps,
+                "promotion_version": self.promotion_version,
+            }
         result = {
             "uptime_s": uptime,
             "requests": requests,
@@ -131,8 +169,11 @@ class ServingMetrics:
                 if source != "model"
             ),
             "fault_tolerance": fault_tolerance,
+            "flywheel": flywheel,
             "latency": self.latency_percentiles(),
         }
+        if replay_stats is not None:
+            result["flywheel"]["replay_log"] = replay_stats
         if cache_stats is not None:
             result["cache"] = cache_stats
         if batcher_stats is not None:

@@ -100,6 +100,7 @@ class PredictionService:
         config: Optional[ServingConfig] = None,
         fixed_angle_table: Optional[FixedAngleTable] = None,
         clock: Optional[Callable[[], float]] = None,
+        replay_log=None,
     ):
         self.config = config if config is not None else ServingConfig()
         self.registry = registry if registry is not None else ModelRegistry()
@@ -109,12 +110,19 @@ class PredictionService:
             max_size=self.config.cache_size, ttl_s=self.config.cache_ttl_s
         )
         self.metrics = ServingMetrics()
+        #: Optional flywheel sink (duck-typed to
+        #: :class:`repro.flywheel.replay.ReplayLog`): every answered
+        #: request is offered to ``replay_log.log_prediction``.
+        self.replay_log = replay_log
         self._executor = (
             ParallelExecutor(backend="thread", max_workers=self.config.workers)
             if self.config.workers > 1
             else None
         )
-        self._batchers: Dict[str, MicroBatcher] = {}
+        #: name -> (model fingerprint, batcher). The fingerprint pins a
+        #: batcher to the exact model it wraps, so a hot-swapped entry
+        #: can never be served by a stale queue.
+        self._batchers: Dict[str, Tuple[str, MicroBatcher]] = {}
         self._batcher_lock = threading.Lock()
         self._fallbacks: Dict[int, FallbackChain] = {}
         self._fixed_angle_table = fixed_angle_table
@@ -127,11 +135,15 @@ class PredictionService:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Drain and stop every micro-batcher."""
+        """Drain and stop every micro-batcher; release the replay log."""
         self._closed = True
-        for batcher in self._batchers.values():
+        with self._batcher_lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for _, batcher in batchers:
             batcher.close()
-        self._batchers.clear()
+        if self.replay_log is not None:
+            self.replay_log.close()
 
     def __enter__(self) -> "PredictionService":
         return self
@@ -163,6 +175,17 @@ class PredictionService:
             self.metrics.record_error()
             raise
         self.metrics.record_request(result.latency_s, result.source, result.cached)
+        if self.replay_log is not None:
+            try:
+                outcome = self.replay_log.log_prediction(graph, result)
+            except Exception as exc:  # noqa: BLE001 — log must not break serving
+                logger.warning("replay logging failed (%s); dropped", exc)
+                self.metrics.record_replay_drop()
+            else:
+                if outcome is True:
+                    self.metrics.record_replay_logged()
+                elif outcome is False:
+                    self.metrics.record_replay_drop()
         return result
 
     def _predict_inner(
@@ -253,6 +276,56 @@ class PredictionService:
             return row
         return None
 
+    def swap_model(
+        self,
+        model: QAOAParameterPredictor,
+        name: str = "default",
+        source: str = "<hot-swap>",
+        version: Optional[int] = None,
+    ) -> dict:
+        """Replace the model serving under ``name`` without a restart.
+
+        The swap is atomic at the registry level — every request sees
+        either the old entry or the new one. Afterwards the old model
+        cannot answer again: its micro-batcher is drained and closed,
+        its circuit-breaker state is discarded, and every cache entry
+        keyed under its fingerprint is invalidated (a swapped model must
+        never serve a stale cached prediction).
+
+        Returns a JSON-safe summary of what changed.
+        """
+        old = self.registry.get(name) if name in self.registry else None
+        entry = self.registry.register(name, model, source=source)
+        stale = None
+        with self._batcher_lock:
+            current = self._batchers.get(name)
+            if current is not None and current[0] != entry.fingerprint:
+                stale = self._batchers.pop(name)[1]
+        if stale is not None:
+            stale.close()
+        with self._breaker_lock:
+            self._breakers.pop(name, None)
+        invalidated = 0
+        if old is not None and old.fingerprint != entry.fingerprint:
+            invalidated = self.cache.invalidate_model(old.fingerprint)
+        self.metrics.record_hot_swap()
+        if version is not None:
+            self.metrics.set_promotion_version(version)
+        logger.info(
+            "hot-swapped model %r: %s -> %s (%d cache entries invalidated)",
+            name,
+            old.fingerprint if old is not None else "<none>",
+            entry.fingerprint,
+            invalidated,
+        )
+        return {
+            "name": name,
+            "old_fingerprint": old.fingerprint if old is not None else None,
+            "new_fingerprint": entry.fingerprint,
+            "invalidated_cache_entries": invalidated,
+            "version": version,
+        }
+
     def predict_angles(
         self, graph: Graph, model_name: Optional[str] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -276,16 +349,25 @@ class PredictionService:
     def _model_row(self, entry: RegisteredModel, graph: Graph) -> np.ndarray:
         if not self.config.batching:
             return entry.model.predict([graph])[0]
+        stale = None
         with self._batcher_lock:
-            batcher = self._batchers.get(entry.name)
-            if batcher is None:
+            current = self._batchers.get(entry.name)
+            if current is None or current[0] != entry.fingerprint:
+                # First request for this (name, model) pair — or the
+                # model under this name was hot-swapped and the cached
+                # batcher still wraps the predecessor's forward pass.
+                stale = current[1] if current is not None else None
                 batcher = MicroBatcher(
                     entry.model.predict,
                     max_batch_size=self.config.max_batch_size,
                     max_wait_ms=self.config.max_wait_ms,
                     executor=self._executor,
                 )
-                self._batchers[entry.name] = batcher
+                self._batchers[entry.name] = (entry.fingerprint, batcher)
+            else:
+                batcher = current[1]
+        if stale is not None:
+            stale.close()
         return batcher.predict(graph, timeout=self.config.request_timeout_s)
 
     def _fallback_chain(self, p: int) -> FallbackChain:
@@ -312,10 +394,11 @@ class PredictionService:
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> dict:
         """Aggregate service metrics (the /metrics payload)."""
-        batcher_stats = {
-            name: batcher.stats()
-            for name, batcher in self._batchers.items()
-        }
+        with self._batcher_lock:
+            batcher_stats = {
+                name: batcher.stats()
+                for name, (_, batcher) in self._batchers.items()
+            }
         with self._breaker_lock:
             breaker_stats = {
                 name: breaker.snapshot()
@@ -326,6 +409,11 @@ class PredictionService:
             batcher_stats=batcher_stats or None,
             models=self.registry.describe(),
             breakers=breaker_stats or None,
+            replay_stats=(
+                self.replay_log.stats()
+                if self.replay_log is not None
+                else None
+            ),
         )
 
     def describe(self) -> dict:

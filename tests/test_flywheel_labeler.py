@@ -1,0 +1,169 @@
+"""Tests for the background labeler (`repro.flywheel.labeler`)."""
+
+import pytest
+
+from repro.data.checkpoint import LabelingCheckpoint
+from repro.exceptions import CheckpointError, FlywheelError
+from repro.flywheel.labeler import (
+    SOURCE_FLYWHEEL,
+    RelabelConfig,
+    relabel_candidates,
+)
+from repro.flywheel.replay import ReplayRecord
+from repro.flywheel.selector import select_candidates
+from repro.graphs.canonical import wl_canonical_hash
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.graph import Graph
+from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.simulator import QAOASimulator
+from repro.runtime import FaultInjector
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    graphs = [
+        Graph.cycle(4, name="c4"),
+        Graph.cycle(5, name="c5"),
+        Graph.cycle(6, name="c6"),
+        random_regular_graph(6, 3, rng=1, name="r6"),
+        random_regular_graph(5, 2, rng=2, name="r5"),
+    ]
+    records = [
+        ReplayRecord(
+            graph=g,
+            wl_hash=wl_canonical_hash(g),
+            p=1,
+            gammas=(0.35,),
+            betas=(0.25,),
+            source="random",
+        )
+        for g in graphs
+    ]
+    return select_candidates(records)
+
+
+FAST = RelabelConfig(optimizer_iters=25, checkpoint_every=2)
+
+
+def assert_same_records(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.gammas == right.gammas
+        assert left.betas == right.betas
+        assert left.expectation == right.expectation
+        assert left.approximation_ratio == right.approximation_ratio
+
+
+class TestRelabeling:
+    def test_one_record_per_candidate_in_order(self, candidates):
+        records = relabel_candidates(candidates, FAST)
+        assert len(records) == len(candidates)
+        for candidate, record in zip(candidates, records):
+            assert record.graph.name == candidate.graph.name
+            assert record.p == 1
+            assert record.source == SOURCE_FLYWHEEL
+
+    def test_never_worse_than_served_params(self, candidates):
+        """Warm start + best-iterate tracking: labels only improve."""
+        records = relabel_candidates(candidates, FAST)
+        for candidate, record in zip(candidates, records):
+            assert record.approximation_ratio >= candidate.served_ar - 1e-9
+
+    def test_label_expectation_matches_simulator(self, candidates):
+        import numpy as np
+
+        record = relabel_candidates(candidates[:1], FAST)[0]
+        problem = MaxCutProblem(record.graph)
+        value = QAOASimulator(problem).expectation(
+            np.asarray(record.gammas), np.asarray(record.betas)
+        )
+        # Canonicalized angles reproduce the recorded expectation.
+        assert value == pytest.approx(record.expectation, abs=1e-9)
+
+    def test_deterministic(self, candidates):
+        assert_same_records(
+            relabel_candidates(candidates, FAST),
+            relabel_candidates(candidates, FAST),
+        )
+
+    def test_empty_worklist(self):
+        assert relabel_candidates([], FAST) == []
+
+    def test_config_validation(self):
+        with pytest.raises(FlywheelError):
+            RelabelConfig(optimizer_iters=0)
+        with pytest.raises(FlywheelError):
+            RelabelConfig(checkpoint_every=0)
+
+
+class TestFaultTolerance:
+    def test_injected_failures_with_retries_identical(self, candidates):
+        clean = relabel_candidates(candidates, FAST)
+        injected = relabel_candidates(
+            candidates,
+            RelabelConfig(optimizer_iters=25, checkpoint_every=2, retries=2),
+            fault_injector=FaultInjector(failure_rate=0.9),
+        )
+        assert_same_records(clean, injected)
+
+    def test_failure_past_retry_budget_raises(self, candidates):
+        with pytest.raises(FlywheelError, match="relabeling failed"):
+            relabel_candidates(
+                candidates,
+                FAST,  # no retries
+                fault_injector=FaultInjector(failure_rate=1.0),
+            )
+
+
+class TestCheckpointing:
+    def test_kill_and_resume_byte_identical(self, candidates, tmp_path):
+        clean = relabel_candidates(candidates, FAST)
+        ckpt = tmp_path / "ckpt"
+        # First shard completes, a later bucket dies hard.
+        with pytest.raises(FlywheelError):
+            relabel_candidates(
+                candidates,
+                FAST,
+                checkpoint=ckpt,
+                fault_injector=FaultInjector(fail_tasks={2: 99}),
+            )
+        partial = LabelingCheckpoint(ckpt).load_records()
+        assert 0 < len(partial) < len(candidates)
+        resumed = relabel_candidates(
+            candidates, FAST, checkpoint=ckpt, resume=True
+        )
+        assert_same_records(clean, resumed)
+
+    def test_completed_checkpoint_resumes_without_work(
+        self, candidates, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        first = relabel_candidates(candidates, FAST, checkpoint=ckpt)
+        # Resume with an executor that fails everything: nothing runs.
+        resumed = relabel_candidates(
+            candidates,
+            FAST,
+            checkpoint=ckpt,
+            resume=True,
+            fault_injector=FaultInjector(failure_rate=1.0),
+        )
+        assert_same_records(first, resumed)
+
+    def test_resume_with_different_worklist_rejected(
+        self, candidates, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        relabel_candidates(candidates, FAST, checkpoint=ckpt)
+        with pytest.raises(CheckpointError):
+            relabel_candidates(
+                candidates[:2], FAST, checkpoint=ckpt, resume=True
+            )
+
+    def test_fingerprint_covers_served_params(self, candidates):
+        config = RelabelConfig()
+        baseline = config.fingerprint(candidates)
+        import copy
+
+        shifted = copy.deepcopy(list(candidates))
+        shifted[0].served_gammas = (9.9,)
+        assert config.fingerprint(shifted) != baseline

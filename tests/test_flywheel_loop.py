@@ -1,0 +1,236 @@
+"""End-to-end tests for the flywheel cycle and hot-swap watcher."""
+
+import pytest
+
+from repro.data.dataset import QAOADataset
+from repro.data.generation import GenerationConfig, sample_graphs
+from repro.exceptions import FlywheelError
+from repro.flywheel import (
+    FlywheelConfig,
+    ModelWatcher,
+    PromotionConfig,
+    RelabelConfig,
+    ReplayLog,
+    RetrainConfig,
+    SelectionConfig,
+    VersionStore,
+    run_cycle,
+    run_cycles,
+)
+from repro.runtime import FaultInjector
+from repro.serving import SOURCE_MODEL, PredictionService, ServingConfig
+
+
+FAST = FlywheelConfig.seeded(
+    3,
+    eval_size=3,
+    selection=SelectionConfig(max_candidates=8),
+    relabel=RelabelConfig(optimizer_iters=30, checkpoint_every=3),
+    retrain=RetrainConfig(epochs=4, hidden_dim=16),
+    promotion=PromotionConfig(eval_iters=10),
+)
+
+
+def drive_traffic(tmp_path, seed=7, requests=14):
+    """A fallback-only service answering deterministic scripted traffic."""
+    replay = ReplayLog(tmp_path / "replay", seed=seed)
+    service = PredictionService(
+        config=ServingConfig(default_p=1, batching=False), replay_log=replay
+    )
+    import numpy as np
+
+    graphs = sample_graphs(
+        GenerationConfig(
+            num_graphs=requests // 2, min_nodes=4, max_nodes=7, seed=seed
+        ),
+        np.random.default_rng(seed),
+    )
+    for index in range(requests):
+        service.predict(graphs[index % len(graphs)])
+    return replay, service, graphs
+
+
+class TestCycle:
+    def test_cold_start_cycle_promotes(self, tmp_path):
+        replay, service, _ = drive_traffic(tmp_path)
+        report = run_cycle(
+            replay, tmp_path / "ds.json", tmp_path / "store", FAST
+        )
+        service.close()
+        assert report["promoted"] is True
+        assert report["version"] == 1
+        assert report["labeled"] > 0
+        store = VersionStore(tmp_path / "store")
+        assert store.current()["fingerprint"] == report["fingerprint"]
+        # The dataset grew and every record is depth-consistent.
+        dataset = QAOADataset.load(tmp_path / "ds.json")
+        assert len(dataset) == report["dataset_size"]
+        assert dataset.depth() == 1
+        # A cycle report landed on disk.
+        assert (tmp_path / "store" / "cycles" / "cycle_00001.json").is_file()
+
+    def test_same_seed_reproduces_same_fingerprint(self, tmp_path):
+        """The acceptance criterion: identical log + seed => identical
+        promoted checkpoint fingerprint, on fresh state."""
+        replay, service, _ = drive_traffic(tmp_path)
+        service.close()
+        r1 = run_cycle(replay, tmp_path / "ds1.json", tmp_path / "s1", FAST)
+        r2 = run_cycle(replay, tmp_path / "ds2.json", tmp_path / "s2", FAST)
+        assert r1["promoted"] and r2["promoted"]
+        assert r1["fingerprint"] == r2["fingerprint"]
+
+    def test_second_cycle_over_same_log_is_noop(self, tmp_path):
+        replay, service, _ = drive_traffic(tmp_path)
+        service.close()
+        reports = run_cycles(
+            2, replay, tmp_path / "ds.json", tmp_path / "store", FAST
+        )
+        assert reports[0]["promoted"] is True
+        assert reports[1]["promoted"] is False
+        assert "no labelable replay classes" in reports[1]["reason"]
+        assert VersionStore(tmp_path / "store").versions() == [1]
+
+    def test_cycle_with_injected_faults_same_fingerprint(self, tmp_path):
+        import dataclasses
+
+        replay, service, _ = drive_traffic(tmp_path)
+        service.close()
+        clean = run_cycle(replay, tmp_path / "ds1.json", tmp_path / "s1", FAST)
+        faulty_config = dataclasses.replace(
+            FAST,
+            relabel=dataclasses.replace(FAST.relabel, retries=2),
+        )
+        faulty = run_cycle(
+            replay,
+            tmp_path / "ds2.json",
+            tmp_path / "s2",
+            faulty_config,
+            fault_injector=FaultInjector(failure_rate=0.9),
+        )
+        assert faulty["fingerprint"] == clean["fingerprint"]
+
+    def test_killed_cycle_resumes_to_same_fingerprint(self, tmp_path):
+        replay, service, _ = drive_traffic(tmp_path)
+        service.close()
+        reference = run_cycle(
+            replay, tmp_path / "ds1.json", tmp_path / "s1", FAST
+        )
+        # Kill mid-labeling: a later bucket fails past its (zero) retry
+        # budget, after earlier shards checkpointed.
+        with pytest.raises(FlywheelError):
+            run_cycle(
+                replay,
+                tmp_path / "ds2.json",
+                tmp_path / "s2",
+                FAST,
+                fault_injector=FaultInjector(fail_tasks={3: 99}),
+            )
+        resumed = run_cycle(replay, tmp_path / "ds2.json", tmp_path / "s2", FAST)
+        assert resumed["promoted"] is True
+        assert resumed["fingerprint"] == reference["fingerprint"]
+
+    def test_rejected_candidate_leaves_pointer_untouched(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.flywheel.loop as loop
+        from repro.flywheel.promotion import PromotionDecision
+
+        replay, service, _ = drive_traffic(tmp_path)
+        service.close()
+        first = run_cycle(replay, tmp_path / "ds.json", tmp_path / "s", FAST)
+        assert first["promoted"]
+        store = VersionStore(tmp_path / "s")
+        pointer_before = store.current()
+
+        # New traffic, but force the gate to reject.
+        replay2, service2, _ = drive_traffic(
+            tmp_path / "more", seed=21, requests=8
+        )
+        service2.close()
+        monkeypatch.setattr(
+            loop,
+            "gate_candidate",
+            lambda *a, **k: PromotionDecision(
+                promote=False,
+                candidate_score=0.1,
+                incumbent_score=0.9,
+                margin=0.0,
+                candidate_fingerprint="cand",
+                incumbent_fingerprint="inc",
+                eval_graphs=1,
+                reason="forced rejection",
+            ),
+        )
+        report = run_cycle(replay2, tmp_path / "ds.json", tmp_path / "s", FAST)
+        assert report["promoted"] is False
+        assert store.current() == pointer_before
+        assert store.versions() == [1]
+
+    def test_empty_log_is_a_noop(self, tmp_path):
+        report = run_cycle(
+            ReplayLog(tmp_path / "replay"),
+            tmp_path / "ds.json",
+            tmp_path / "store",
+            FAST,
+        )
+        assert report["promoted"] is False
+        assert report["replay_records"] == 0
+
+    def test_run_cycles_validation(self, tmp_path):
+        with pytest.raises(FlywheelError):
+            run_cycles(
+                0, tmp_path / "r", tmp_path / "d.json", tmp_path / "s", FAST
+            )
+
+
+class TestHotSwap:
+    def test_live_service_observes_promotion_without_restart(self, tmp_path):
+        replay, service, graphs = drive_traffic(tmp_path)
+        # Before the cycle: fallback-only service.
+        before = service.predict(graphs[0])
+        assert before.source != SOURCE_MODEL
+
+        run_cycle(replay, tmp_path / "ds.json", tmp_path / "store", FAST)
+        watcher = ModelWatcher(service, str(tmp_path / "store"))
+        summary = watcher.check_once()
+        assert summary is not None
+        assert summary["version"] == 1
+
+        after = service.predict(graphs[0])
+        assert after.source == SOURCE_MODEL
+        snapshot = service.metrics_snapshot()["flywheel"]
+        assert snapshot["hot_swaps"] == 1
+        assert snapshot["promotion_version"] == 1
+        # Second poll: nothing new, no second swap.
+        assert watcher.check_once() is None
+        assert watcher.swaps == 1
+        service.close()
+
+    def test_watcher_survives_missing_and_torn_store(self, tmp_path):
+        service = PredictionService(
+            config=ServingConfig(default_p=1, batching=False)
+        )
+        watcher = ModelWatcher(service, str(tmp_path / "store"))
+        assert watcher.check_once() is None  # no pointer yet
+        store = VersionStore(tmp_path / "store")
+        store.pointer_path.parent.mkdir(parents=True, exist_ok=True)
+        store.pointer_path.write_text("{not json")
+        assert watcher.check_once() is None
+        assert watcher.check_errors == 1
+        service.close()
+
+    def test_watcher_background_thread_swaps(self, tmp_path):
+        import time
+
+        replay, service, graphs = drive_traffic(tmp_path)
+        run_cycle(replay, tmp_path / "ds.json", tmp_path / "store", FAST)
+        with ModelWatcher(
+            service, str(tmp_path / "store"), poll_interval_s=0.05
+        ) as watcher:
+            watcher.start()
+            deadline = time.monotonic() + 10.0
+            while watcher.swaps == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+        assert watcher.swaps == 1
+        assert service.predict(graphs[0]).source == SOURCE_MODEL
+        service.close()

@@ -1,0 +1,182 @@
+"""Tests for the promotion gate and version store."""
+
+import pytest
+
+from repro.exceptions import FlywheelError
+from repro.flywheel.promotion import (
+    PromotionConfig,
+    PromotionDecision,
+    gate_candidate,
+)
+from repro.flywheel.versions import VersionStore
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.graph import Graph
+from repro.serving.registry import load_checkpoint, model_fingerprint
+
+
+def make_model(seed: int) -> QAOAParameterPredictor:
+    model = QAOAParameterPredictor(arch="gin", p=1, hidden_dim=8, rng=seed)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def eval_graphs():
+    return [Graph.cycle(n) for n in (4, 5, 6)]
+
+
+FAST = PromotionConfig(eval_iters=8)
+
+
+class TestGate:
+    def test_cold_start_always_promotes(self, eval_graphs):
+        decision = gate_candidate(make_model(1), None, eval_graphs, FAST)
+        assert decision.promote is True
+        assert decision.incumbent_score is None
+        assert decision.incumbent_fingerprint is None
+
+    def test_exact_tie_promotes_deterministically(self, eval_graphs):
+        """Same weights on both sides: scores are equal, and equality is
+        within any margin — the candidate (with the fresher data) wins.
+        Re-running the gate flips nothing."""
+        model = make_model(2)
+        twin = make_model(2)
+        decisions = [
+            gate_candidate(model, twin, eval_graphs, FAST) for _ in range(2)
+        ]
+        for decision in decisions:
+            assert decision.candidate_score == decision.incumbent_score
+            assert decision.promote is True
+        assert decisions[0].manifest() == decisions[1].manifest()
+
+    def test_scores_are_paired_and_deterministic(self, eval_graphs):
+        a = gate_candidate(make_model(3), make_model(4), eval_graphs, FAST)
+        b = gate_candidate(make_model(3), make_model(4), eval_graphs, FAST)
+        assert a.candidate_score == b.candidate_score
+        assert a.incumbent_score == b.incumbent_score
+        assert a.promote == b.promote
+
+    def test_worse_candidate_rejected(self, eval_graphs, monkeypatch):
+        import repro.flywheel.promotion as promotion
+
+        candidate, incumbent = make_model(5), make_model(6)
+        scores = {id(candidate): 0.80, id(incumbent): 0.90}
+        monkeypatch.setattr(
+            promotion,
+            "_score",
+            lambda model, graphs, config, cache: scores[id(model)],
+        )
+        decision = gate_candidate(candidate, incumbent, eval_graphs, FAST)
+        assert decision.promote is False
+        assert "rejected" in decision.reason
+
+    def test_margin_tolerates_small_regression(self, eval_graphs, monkeypatch):
+        import repro.flywheel.promotion as promotion
+
+        candidate, incumbent = make_model(5), make_model(6)
+        scores = {id(candidate): 0.895, id(incumbent): 0.90}
+        monkeypatch.setattr(
+            promotion,
+            "_score",
+            lambda model, graphs, config, cache: scores[id(model)],
+        )
+        within = gate_candidate(
+            candidate, incumbent, eval_graphs, PromotionConfig(margin=0.01)
+        )
+        assert within.promote is True
+        beyond = gate_candidate(
+            candidate, incumbent, eval_graphs, PromotionConfig(margin=0.001)
+        )
+        assert beyond.promote is False
+
+    def test_manifest_is_json_safe(self, eval_graphs):
+        import json
+
+        decision = gate_candidate(make_model(1), make_model(2), eval_graphs, FAST)
+        payload = json.dumps(decision.manifest())
+        assert "candidate_fingerprint" in payload
+
+    def test_empty_eval_set_rejected(self):
+        with pytest.raises(FlywheelError):
+            gate_candidate(make_model(1), None, [], FAST)
+
+    def test_config_validation(self):
+        with pytest.raises(FlywheelError):
+            PromotionConfig(margin=-0.1)
+        with pytest.raises(FlywheelError):
+            PromotionConfig(eval_iters=0)
+
+
+class TestVersionStore:
+    def test_publish_and_load_roundtrip(self, tmp_path):
+        store = VersionStore(tmp_path)
+        model = make_model(1)
+        pointer = store.publish(model, final_loss=0.5)
+        assert pointer["version"] == 1
+        assert pointer["fingerprint"] == model_fingerprint(model)
+        loaded, payload = store.load_current()
+        assert model_fingerprint(loaded) == pointer["fingerprint"]
+        assert payload == store.current()
+        assert store.versions() == [1]
+
+    def test_versions_increment(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.publish(make_model(1))
+        pointer = store.publish(make_model(2))
+        assert pointer["version"] == 2
+        assert store.versions() == [1, 2]
+
+    def test_empty_store(self, tmp_path):
+        store = VersionStore(tmp_path)
+        assert store.current() is None
+        assert store.versions() == []
+        with pytest.raises(FlywheelError):
+            store.load_current()
+
+    def test_rejected_candidate_leaves_store_untouched(self, tmp_path):
+        """The rejection contract: staging writes nothing to the
+        published surface — versions/ and CURRENT.json stay identical."""
+        store = VersionStore(tmp_path)
+        incumbent_pointer = store.publish(make_model(1))
+        pointer_bytes = store.pointer_path.read_bytes()
+
+        staged = store.stage_candidate(make_model(2), tag="reject-me")
+        assert staged.is_file()
+        # No promotion happened; everything published is unchanged.
+        assert store.versions() == [1]
+        assert store.current() == incumbent_pointer
+        assert store.pointer_path.read_bytes() == pointer_bytes
+        # The staged checkpoint never entered versions/.
+        assert staged.parent == store.candidates_dir
+
+    def test_promote_candidate_moves_into_versions(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.publish(make_model(1))
+        model = make_model(2)
+        staged = store.stage_candidate(model, tag="winner")
+        pointer = store.promote_candidate(staged)
+        assert pointer["version"] == 2
+        assert pointer["fingerprint"] == model_fingerprint(model)
+        assert not staged.exists()  # moved, not copied
+        assert load_checkpoint(pointer["path"]).p == model.p
+        assert store.current() == pointer
+
+    def test_promote_missing_candidate_raises(self, tmp_path):
+        store = VersionStore(tmp_path)
+        with pytest.raises(FlywheelError):
+            store.promote_candidate(tmp_path / "nope.json")
+
+    def test_record_promotion_manifest(self, tmp_path):
+        import json
+
+        store = VersionStore(tmp_path)
+        path = store.record_promotion(3, {"promote": True, "margin": 0.0})
+        assert json.loads(path.read_text())["promote"] is True
+        assert path.name == "v0003.json"
+
+    def test_corrupt_pointer_raises(self, tmp_path):
+        store = VersionStore(tmp_path)
+        store.pointer_path.parent.mkdir(parents=True, exist_ok=True)
+        store.pointer_path.write_text('{"version": 1}')
+        with pytest.raises(FlywheelError, match="missing"):
+            store.current()

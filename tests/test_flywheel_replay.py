@@ -1,0 +1,242 @@
+"""Tests for the serving replay log (`repro.flywheel.replay`)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ReplayLogError
+from repro.flywheel.replay import ReplayLog, ReplayRecord
+from repro.graphs.graph import Graph
+from repro.serving import PredictionService, ServingConfig, cache_key
+
+
+def make_record(index: int = 0, source: str = "random") -> ReplayRecord:
+    graph = Graph.cycle(4 + (index % 3), name=f"g{index}")
+    return ReplayRecord(
+        graph=graph,
+        wl_hash=f"hash{index:04d}",
+        p=1,
+        gammas=(0.1 * (index + 1),),
+        betas=(0.2 * (index + 1),),
+        source=source,
+        model_key="abc123",
+        cached=False,
+        latency_ms=1.5,
+    )
+
+
+class TestRoundTrip:
+    def test_append_and_load(self, tmp_path):
+        log = ReplayLog(tmp_path / "replay")
+        for i in range(5):
+            assert log.append(make_record(i)) is True
+        log.close()
+        records = log.load()
+        assert len(records) == 5
+        assert [r.wl_hash for r in records] == [f"hash{i:04d}" for i in range(5)]
+        assert records[0].gammas == (0.1,)
+        assert records[0].source == "random"
+        assert records[0].model_key == "abc123"
+
+    def test_payload_roundtrip_preserves_graph(self, tmp_path):
+        record = make_record(2)
+        clone = ReplayRecord.from_payload(record.to_payload())
+        assert clone.graph.num_nodes == record.graph.num_nodes
+        assert clone.graph.edges == record.graph.edges
+        assert clone.gammas == record.gammas
+        assert clone.latency_ms == record.latency_ms
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ReplayLogError):
+            ReplayRecord.from_payload({"wl_hash": "x"})
+
+    def test_bad_config_rejected(self, tmp_path):
+        with pytest.raises(ReplayLogError):
+            ReplayLog(tmp_path, max_bytes=0)
+        with pytest.raises(ReplayLogError):
+            ReplayLog(tmp_path, sample_rate=1.5)
+
+
+class TestConcurrency:
+    def test_concurrent_appends_all_survive(self, tmp_path):
+        """Threaded serving workers appending must never interleave lines."""
+        log = ReplayLog(tmp_path / "replay")
+        per_thread = 25
+        threads = [
+            threading.Thread(
+                target=lambda base=base: [
+                    log.append(make_record(base + i)) for i in range(per_thread)
+                ]
+            )
+            for base in range(0, 200, per_thread)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        records = log.load()
+        assert len(records) == 200
+        # Every line is complete JSON (no torn interleaving).
+        assert log.recovered_lines == 0
+        assert {r.wl_hash for r in records} == {
+            f"hash{i:04d}" for i in range(200)
+        }
+
+
+class TestRotation:
+    def test_rotates_at_size_limit(self, tmp_path):
+        log = ReplayLog(tmp_path / "replay", max_bytes=512)
+        for i in range(30):
+            log.append(make_record(i))
+        log.close()
+        segments = log.segment_paths()
+        assert len(segments) >= 2
+        assert segments[0].name == "replay_00000.jsonl"
+        # Order preserved across segments + active file.
+        records = log.load()
+        assert [r.wl_hash for r in records] == [
+            f"hash{i:04d}" for i in range(30)
+        ]
+        assert log.rotations == len(segments)
+
+    def test_rotation_survives_reopen(self, tmp_path):
+        log = ReplayLog(tmp_path / "replay", max_bytes=512)
+        for i in range(15):
+            log.append(make_record(i))
+        log.close()
+        # A fresh process continues the segment numbering.
+        log2 = ReplayLog(tmp_path / "replay", max_bytes=512)
+        for i in range(15, 30):
+            log2.append(make_record(i))
+        log2.close()
+        assert len(log2.load()) == 30
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_trailing_line_recovered_on_load(self, tmp_path):
+        log = ReplayLog(tmp_path / "replay")
+        for i in range(3):
+            log.append(make_record(i))
+        log.close()
+        # Simulated kill mid-append: a torn, non-JSON trailing line.
+        with open(log.active_path, "ab") as handle:
+            handle.write(b'{"graph": "torn')
+        records = log.load()
+        assert len(records) == 3
+        assert log.recovered_lines == 1
+
+    def test_interior_corrupt_line_skipped_not_fatal(self, tmp_path):
+        log = ReplayLog(tmp_path / "replay")
+        log.append(make_record(0))
+        with open(log.active_path, "ab") as handle:
+            handle.write(b"not json at all\n")
+        log.close()
+        log2 = ReplayLog(tmp_path / "replay")
+        log2.append(make_record(1))
+        log2.close()
+        records = log2.load()
+        assert [r.wl_hash for r in records] == ["hash0000", "hash0001"]
+        assert log2.recovered_lines == 1
+
+    def test_torn_tail_repaired_on_reopen(self, tmp_path):
+        """A restarted writer truncates the torn tail before appending."""
+        log = ReplayLog(tmp_path / "replay")
+        for i in range(2):
+            log.append(make_record(i))
+        log.close()
+        data = log.active_path.read_bytes()
+        # Kill mid-write: last line half-flushed.
+        log.active_path.write_bytes(data + b'{"wl_hash": "h')
+        log2 = ReplayLog(tmp_path / "replay")
+        log2.append(make_record(2))
+        log2.close()
+        # The torn bytes are gone; every surviving line parses.
+        lines = log2.active_path.read_bytes().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+        assert log2.recovered_lines == 1
+
+    def test_atomicity_kill_loses_at_most_last_record(self, tmp_path):
+        """Truncating at any byte boundary loses at most one record."""
+        log = ReplayLog(tmp_path / "replay")
+        for i in range(4):
+            log.append(make_record(i))
+        log.close()
+        data = log.active_path.read_bytes()
+        for cut in (len(data) - 1, len(data) - 10, len(data) // 2):
+            log.active_path.write_bytes(data[:cut])
+            reader = ReplayLog(tmp_path / "replay")
+            records = reader.load()
+            complete = data[:cut].count(b"\n")
+            # Every fully terminated line survives; at most the one
+            # torn line is lost (it may still parse when only the
+            # newline itself was cut).
+            assert complete <= len(records) <= complete + 1
+            assert [r.wl_hash for r in records] == [
+                f"hash{i:04d}" for i in range(len(records))
+            ]
+        log.active_path.write_bytes(data)
+
+
+class TestSampling:
+    def test_sampling_deterministic_across_instances(self, tmp_path):
+        a = ReplayLog(tmp_path / "a", sample_rate=0.5, seed=3)
+        b = ReplayLog(tmp_path / "b", sample_rate=0.5, seed=3)
+        outcomes_a = [a.append(make_record(i)) for i in range(40)]
+        outcomes_b = [b.append(make_record(i)) for i in range(40)]
+        a.close()
+        b.close()
+        assert outcomes_a == outcomes_b
+        assert 0 < a.logged < 40
+        assert a.logged + a.sampled_out == 40
+
+    def test_zero_rate_logs_nothing(self, tmp_path):
+        log = ReplayLog(tmp_path / "replay", sample_rate=0.0)
+        assert log.append(make_record(0)) is None
+        assert not log.active_path.exists()
+
+
+class TestServiceWiring:
+    def test_predict_logs_one_record_per_request(self, tmp_path):
+        log = ReplayLog(tmp_path / "replay")
+        service = PredictionService(
+            config=ServingConfig(default_p=1, batching=False),
+            replay_log=log,
+        )
+        graph = Graph.cycle(5, name="c5")
+        result = service.predict(graph)
+        service.predict(graph)  # cache hit is logged too
+        service.close()
+        records = log.load()
+        assert len(records) == 2
+        assert records[0].cached is False
+        assert records[1].cached is True
+        # The WL hash matches the cache key's graph half.
+        assert cache_key(graph, "").endswith(records[0].wl_hash)
+        assert records[0].gammas == result.gammas
+        assert records[0].source == result.source
+        assert service.metrics.replay_logged == 2
+
+    def test_broken_log_never_breaks_serving(self, tmp_path):
+        # Directory path occupied by a file: every append fails.
+        blocker = tmp_path / "replay"
+        blocker.write_text("not a directory")
+        log = ReplayLog(blocker)
+        service = PredictionService(
+            config=ServingConfig(default_p=1, batching=False),
+            replay_log=log,
+        )
+        result = service.predict(Graph.cycle(4))
+        assert len(result.gammas) == 1
+        assert service.metrics.replay_drops == 1
+        assert log.dropped == 1
+
+    def test_stats_snapshot(self, tmp_path):
+        log = ReplayLog(tmp_path / "replay", sample_rate=0.9, seed=1)
+        log.append(make_record(0))
+        stats = log.stats()
+        assert stats["logged"] + stats["sampled_out"] == 1
+        assert stats["sample_rate"] == 0.9

@@ -1,0 +1,157 @@
+"""Tests for flywheel candidate selection (`repro.flywheel.selector`)."""
+
+import pytest
+
+from repro.exceptions import FlywheelError
+from repro.flywheel.replay import ReplayRecord
+from repro.flywheel.selector import (
+    Candidate,
+    SelectionConfig,
+    select_candidates,
+)
+from repro.graphs.canonical import wl_canonical_hash
+from repro.graphs.graph import Graph
+
+
+def record_for(graph: Graph, source: str = "random") -> ReplayRecord:
+    return ReplayRecord(
+        graph=graph,
+        wl_hash=wl_canonical_hash(graph),
+        p=1,
+        gammas=(0.4,),
+        betas=(0.3,),
+        source=source,
+    )
+
+
+@pytest.fixture
+def graphs():
+    return {
+        "c4": Graph.cycle(4, name="c4"),
+        "c5": Graph.cycle(5, name="c5"),
+        "c6": Graph.cycle(6, name="c6"),
+    }
+
+
+class TestRanking:
+    def test_fallback_pressure_ranks_first(self, graphs):
+        records = (
+            [record_for(graphs["c4"], source="model")] * 3
+            + [record_for(graphs["c5"], source="random")]
+        )
+        selected = select_candidates(records)
+        assert [c.graph.name for c in selected] == ["c5", "c4"]
+        assert selected[0].fallback_fraction == 1.0
+        assert selected[1].fallback_fraction == 0.0
+
+    def test_frequency_breaks_ties_within_pressure_tier(self, graphs):
+        records = (
+            [record_for(graphs["c4"], source="random")] * 1
+            + [record_for(graphs["c5"], source="random")] * 4
+        )
+        # Both 100% fallback; c5 has one WL class hit 4 times. Disable
+        # AR scoring so frequency decides.
+        selected = select_candidates(
+            records, config=SelectionConfig(max_evaluations=0)
+        )
+        assert [c.graph.name for c in selected] == ["c5", "c4"]
+        assert selected[0].requests == 4
+        assert selected[0].served_ar is None
+
+    def test_served_ar_is_real_and_orders_worst_first(self, graphs):
+        records = [
+            record_for(graphs["c4"]),
+            record_for(graphs["c6"]),
+        ]
+        selected = select_candidates(records)
+        for candidate in selected:
+            assert candidate.served_ar is not None
+            assert 0.0 < candidate.served_ar <= 1.0
+        ars = [c.served_ar for c in selected]
+        assert ars == sorted(ars)
+
+    def test_deterministic_across_runs(self, graphs):
+        records = [
+            record_for(g, source=s)
+            for g in graphs.values()
+            for s in ("random", "model", "fixed_angle")
+        ]
+        first = select_candidates(records)
+        second = select_candidates(records)
+        assert [c.wl_hash for c in first] == [c.wl_hash for c in second]
+
+
+class TestFiltering:
+    def test_dedup_against_existing_dataset(self, graphs):
+        records = [record_for(graphs["c4"]), record_for(graphs["c5"])]
+        existing = {wl_canonical_hash(graphs["c4"])}
+        selected = select_candidates(records, existing_hashes=existing)
+        assert [c.graph.name for c in selected] == ["c5"]
+
+    def test_isomorphic_copies_collapse_to_one_class(self):
+        # Relabeled C5s share a WL class: one candidate, three requests.
+        a = Graph(5, ((0, 1), (1, 2), (2, 3), (3, 4), (4, 0)))
+        b = Graph(5, ((1, 0), (0, 4), (4, 3), (3, 2), (2, 1)))
+        c = Graph.cycle(5)
+        selected = select_candidates([record_for(g) for g in (a, b, c)])
+        assert len(selected) == 1
+        assert selected[0].requests == 3
+
+    def test_min_requests_filters_cold_classes(self, graphs):
+        records = (
+            [record_for(graphs["c4"])] * 2 + [record_for(graphs["c5"])]
+        )
+        selected = select_candidates(
+            records, config=SelectionConfig(min_requests=2)
+        )
+        assert [c.graph.name for c in selected] == ["c4"]
+
+    def test_unlabelable_graphs_skipped(self, graphs):
+        too_big = Graph.cycle(18, name="c18")
+        edgeless = Graph(3, (), name="empty3")
+        records = [
+            record_for(too_big),
+            record_for(edgeless),
+            record_for(graphs["c4"]),
+        ]
+        selected = select_candidates(records)
+        assert [c.graph.name for c in selected] == ["c4"]
+
+    def test_max_candidates_caps_output(self, graphs):
+        records = [record_for(g) for g in graphs.values()]
+        selected = select_candidates(
+            records, config=SelectionConfig(max_candidates=2)
+        )
+        assert len(selected) == 2
+
+    def test_empty_log_selects_nothing(self):
+        assert select_candidates([]) == []
+
+
+class TestCandidate:
+    def test_latest_served_params_win(self, graphs):
+        early = record_for(graphs["c4"])
+        late = ReplayRecord(
+            graph=graphs["c4"],
+            wl_hash=early.wl_hash,
+            p=1,
+            gammas=(0.9,),
+            betas=(0.8,),
+            source="model",
+        )
+        selected = select_candidates([early, late])
+        assert selected[0].served_gammas == (0.9,)
+        assert selected[0].sources == {"random": 1, "model": 1}
+
+    def test_describe_is_json_safe(self, graphs):
+        import json
+
+        candidate = select_candidates([record_for(graphs["c4"])])[0]
+        assert isinstance(candidate, Candidate)
+        json.dumps(candidate.describe())
+
+    def test_config_validation(self):
+        with pytest.raises(FlywheelError):
+            SelectionConfig(max_candidates=0)
+        with pytest.raises(FlywheelError):
+            SelectionConfig(min_requests=0)
