@@ -10,11 +10,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.benchmarking import append_bench_entry, bench_serving
+from repro.benchmarking import (
+    append_bench_entry,
+    bench_serving,
+    bench_serving_scale,
+)
 
 pytestmark = pytest.mark.perf
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_1.json"
+SCALE_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_5.json"
 
 
 def test_perf_serving_cache_and_batching():
@@ -44,3 +49,29 @@ def test_perf_serving_cache_and_batching():
     # Latency sanity: percentile ordering holds.
     latency = results["latency"]
     assert latency["p50_ms"] <= latency["p90_ms"] <= latency["p99_ms"]
+
+
+def test_perf_serving_scale_multi_worker():
+    """The scale stack out-serves the thread-per-connection baseline.
+
+    Both stacks serve the same model over real HTTP under the same
+    closed-loop load. The scale stack must (a) answer bit-identically,
+    (b) sustain strictly more QPS with 2 workers than the
+    single-process server, and (c) stay clean under 10x overload —
+    bounded p99, no status other than 200/503, every 503 carrying
+    Retry-After.
+    """
+    results = bench_serving_scale(workers=2)
+    append_bench_entry(SCALE_BENCH_PATH, {"serving_scale": results})
+
+    assert results["bit_identical"], "scale stack answered differently"
+
+    qps = results["max_sustainable_qps"]
+    assert qps["scale"] > qps["baseline"], results["max_sustainable_qps"]
+
+    overload = results["overload"]
+    assert overload["clean"], overload
+    assert overload["p99_ms"] is not None
+    # Sheds bound latency: p99 under overload stays within the shed
+    # deadline (default 1s) plus scheduling slop, never unbounded.
+    assert overload["p99_ms"] < 5000.0, overload

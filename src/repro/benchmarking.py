@@ -77,6 +77,10 @@ DEFAULT_EVALUATION_BENCH_PATH = "BENCH_3.json"
 #: Fusion trajectory (lazy op-graph engine vs the eager oracle).
 DEFAULT_FUSION_BENCH_PATH = "BENCH_4.json"
 
+#: Scale-serving trajectory (thread-per-connection baseline vs the
+#: async front-end + multi-process worker stack, over real HTTP).
+DEFAULT_SCALE_BENCH_PATH = "BENCH_5.json"
+
 BENCH_SCHEMA_VERSION = 1
 
 
@@ -411,6 +415,159 @@ def bench_serving(
         "batches": batcher.get("batches", 0),
         "sources": snapshot["sources"],
         "latency": snapshot["latency"],
+    }
+
+
+def _scale_bench_graphs(num_graphs: int, seed: int):
+    """Irregular connected graphs + prebuilt HTTP request bodies."""
+    rng = np.random.default_rng(seed)
+    graphs = [
+        random_connected_graph(
+            int(rng.integers(6, 13)), rng=int(rng.integers(0, 2**31))
+        )
+        for _ in range(num_graphs)
+    ]
+    return graphs
+
+
+def bench_serving_scale(
+    num_graphs: int = 32,
+    workers: int = 2,
+    duration_s: float = 2.0,
+    levels: Tuple[int, ...] = (2, 4, 8),
+    overload_factor: int = 10,
+    seed: int = 20240305,
+) -> Dict[str, object]:
+    """Single-process HTTP serving vs the scale stack, over real HTTP.
+
+    Three arms, all driven by the closed-loop load generator
+    (:mod:`repro.serving.scale.loadgen`) against live servers on
+    ephemeral ports:
+
+    - **baseline** — the PR 2 thread-per-connection
+      :class:`~repro.serving.http.ServingHTTPServer`, concurrency sweep
+      -> max-sustainable-QPS;
+    - **scale** — :class:`~repro.serving.scale.ScaleServingServer` with
+      ``workers`` forked processes over shared weights, same sweep;
+    - **overload** — the scale stack at ``overload_factor`` x its best
+      concurrency: p99 must stay bounded (requests shed, not queued),
+      only 200/503 statuses may appear, and every 503 must carry
+      Retry-After.
+
+    Also replays the workload through both stacks once and asserts the
+    answers are bit-identical (the floats round-trip JSON exactly), so
+    the reported speedup cannot come from answering differently.
+    """
+    from repro.gnn.predictor import QAOAParameterPredictor
+    from repro.serving import PredictionService, ServingConfig, ServingHTTPServer
+    from repro.serving.scale import (
+        ScaleConfig,
+        ScaleServingServer,
+        WorkerPool,
+        graph_request_bodies,
+        run_load,
+        sweep_concurrency,
+    )
+
+    graphs = _scale_bench_graphs(num_graphs, seed)
+    bodies = graph_request_bodies(graphs)
+    model = QAOAParameterPredictor(arch="gin", p=1, hidden_dim=16, rng=seed)
+    model.eval()
+    serving_config = ServingConfig(max_wait_ms=1.0)
+
+    def collect_answers(port: int) -> list:
+        import json as _json
+        import urllib.request
+
+        answers = []
+        for body in bodies:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/predict",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = _json.load(response)
+            answers.append((payload["gammas"], payload["betas"]))
+        return answers
+
+    baseline_service = PredictionService(model=model, config=serving_config)
+    baseline_server = ServingHTTPServer(
+        baseline_service, port=0
+    ).start_background()
+    try:
+        baseline_answers = collect_answers(baseline_server.port)
+        baseline = sweep_concurrency(
+            "127.0.0.1",
+            baseline_server.port,
+            bodies,
+            levels,
+            duration_s,
+        )
+    finally:
+        baseline_server.close()
+
+    scale_config = ScaleConfig(workers=workers)
+    pool = WorkerPool(
+        model=model,
+        serving_config=serving_config,
+        scale_config=scale_config,
+    )
+    scale_server = ScaleServingServer(
+        pool, model=model, port=0, scale_config=scale_config
+    )
+    scale_server.start_background()
+    try:
+        scale_answers = collect_answers(scale_server.port)
+        scale = sweep_concurrency(
+            "127.0.0.1",
+            scale_server.port,
+            bodies,
+            levels,
+            duration_s,
+        )
+        overload = run_load(
+            "127.0.0.1",
+            scale_server.port,
+            bodies,
+            scale["best_concurrency"] * overload_factor,
+            duration_s,
+        )
+    finally:
+        scale_server.close()
+
+    bit_identical = baseline_answers == scale_answers
+    baseline_qps = baseline["max_sustainable_qps"]
+    scale_qps = scale["max_sustainable_qps"]
+    overload_clean = (
+        set(overload["statuses"]) <= {"200", "503"}
+        and overload["retry_after"]["missing"] == 0
+        and overload["connection_errors"] == 0
+    )
+    return {
+        "num_graphs": num_graphs,
+        "workers": workers,
+        "duration_s": duration_s,
+        "levels": list(levels),
+        "baseline": baseline,
+        "scale": scale,
+        "overload": {
+            "concurrency": overload["concurrency"],
+            "factor": overload_factor,
+            "statuses": overload["statuses"],
+            "p50_ms": overload["p50_ms"],
+            "p99_ms": overload["p99_ms"],
+            "max_ms": overload["max_ms"],
+            "retry_after": overload["retry_after"],
+            "connection_errors": overload["connection_errors"],
+            "clean": overload_clean,
+        },
+        "bit_identical": bit_identical,
+        "max_sustainable_qps": {
+            "baseline": baseline_qps,
+            "scale": scale_qps,
+        },
+        "speedup": scale_qps / baseline_qps if baseline_qps > 0 else 0.0,
     }
 
 
@@ -1002,6 +1159,10 @@ def run_benchmarks(
     fusion_epochs: int = 8,
     fusion_batch_size: int = 32,
     fusion_reps: int = 3,
+    skip_scale_serving: bool = False,
+    scale_path: PathLike = DEFAULT_SCALE_BENCH_PATH,
+    scale_workers: int = 2,
+    scale_duration_s: float = 2.0,
 ) -> dict:
     """Run the kernel (and optionally labeling/serving/training/
     evaluation/fusion) benchmarks. Kernel/labeling/serving results
@@ -1052,6 +1213,12 @@ def run_benchmarks(
             baseline_path=training_path,
         )
         append_bench_entry(fusion_path, {"fusion": fusion_results})
+    scale_results = None
+    if not skip_scale_serving:
+        scale_results = bench_serving_scale(
+            workers=scale_workers, duration_s=scale_duration_s
+        )
+        append_bench_entry(scale_path, {"serving_scale": scale_results})
     entry = append_bench_entry(path, results)
     if training_results is not None:
         entry["results"]["training"] = training_results
@@ -1059,6 +1226,8 @@ def run_benchmarks(
         entry["results"]["evaluation"] = evaluation_results
     if fusion_results is not None:
         entry["results"]["fusion"] = fusion_results
+    if scale_results is not None:
+        entry["results"]["serving_scale"] = scale_results
     return entry
 
 
@@ -1138,4 +1307,19 @@ def format_entry(entry: dict) -> str:
                 f"{stats['best_wall_s']:.2f}s, "
                 f"{stats['graphs_per_second']:.1f} graphs/s{suffix}"
             )
+    serving_scale = results.get("serving_scale")
+    if serving_scale:
+        qps = serving_scale["max_sustainable_qps"]
+        overload = serving_scale["overload"]
+        lines.append(
+            f"  serving_scale: baseline {qps['baseline']:.0f} qps -> "
+            f"scale({serving_scale['workers']}w) {qps['scale']:.0f} qps "
+            f"({serving_scale['speedup']:.1f}x), bit_identical="
+            f"{serving_scale['bit_identical']}"
+        )
+        lines.append(
+            f"  serving_scale overload x{overload['factor']}: "
+            f"p99 {overload['p99_ms']:.1f} ms, statuses "
+            f"{overload['statuses']}, clean={overload['clean']}"
+        )
     return "\n".join(lines)

@@ -255,23 +255,26 @@ class ReplayLog:
         rng = np.random.default_rng([self.seed, _SAMPLE_STREAM, int(seq)])
         return float(rng.random()) < self.sample_rate
 
-    def append(self, record: ReplayRecord) -> Optional[bool]:
-        """Write one record.
+    def _reserve(self) -> bool:
+        """Claim the next sequence slot; ``False`` when sampling skips it.
 
-        Returns ``True`` when the record was durably appended, ``None``
-        when deterministic sampling skipped it, and ``False`` when the
-        write failed (the error is swallowed and counted — a broken log
-        must never break serving).
+        The sampling decision happens *before* any record construction
+        or JSON serialization, so at ``sample_rate < 1`` the unsampled
+        majority of requests costs one lock acquisition and one hash —
+        zero serialization work on the serving hot path.
         """
         with self._lock:
             seq = self._seq
             self._seq += 1
             if not self._should_log(seq):
                 self.sampled_out += 1
-                return None
-            line = (
-                json.dumps(record.to_payload(), separators=(",", ":")) + "\n"
-            ).encode()
+                return False
+            return True
+
+    def _append_payload(self, payload: dict) -> bool:
+        """Serialize outside the lock, write the line under it."""
+        line = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        with self._lock:
             try:
                 handle = self._ensure_open()
                 handle.write(line)
@@ -284,28 +287,44 @@ class ReplayLog:
                 return False
             return True
 
+    def append(self, record: ReplayRecord) -> Optional[bool]:
+        """Write one record.
+
+        Returns ``True`` when the record was durably appended, ``None``
+        when deterministic sampling skipped it, and ``False`` when the
+        write failed (the error is swallowed and counted — a broken log
+        must never break serving).
+        """
+        if not self._reserve():
+            return None
+        return self._append_payload(record.to_payload())
+
     def log_prediction(self, graph: Graph, result) -> Optional[bool]:
         """Append a :class:`ReplayRecord` built from a service answer.
 
         ``result`` is duck-typed to
         :class:`repro.serving.service.PredictionResult`; its
         ``cache_key`` (``<model_key>:<wl_hash>``) supplies both the hash
-        and the model fingerprint without re-running 1-WL.
+        and the model fingerprint without re-running 1-WL. The record —
+        graph text included — is only built once the deterministic
+        sampler has claimed the request; sampled-out requests do no
+        serialization work at all.
         """
+        if not self._reserve():
+            return None
         model_key, _, wl_hash = result.cache_key.rpartition(":")
-        return self.append(
-            ReplayRecord(
-                graph=graph,
-                wl_hash=wl_hash,
-                p=result.p,
-                gammas=result.gammas,
-                betas=result.betas,
-                source=result.source,
-                model_key=model_key,
-                cached=result.cached,
-                latency_ms=result.latency_s * 1e3,
-            )
+        record = ReplayRecord(
+            graph=graph,
+            wl_hash=wl_hash,
+            p=result.p,
+            gammas=result.gammas,
+            betas=result.betas,
+            source=result.source,
+            model_key=model_key,
+            cached=result.cached,
+            latency_ms=result.latency_s * 1e3,
         )
+        return self._append_payload(record.to_payload())
 
     def _rotate_if_needed(self) -> None:
         """Rotate the active file once it exceeds the size budget."""

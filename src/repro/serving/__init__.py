@@ -15,7 +15,12 @@ from repro.serving.breaker import (
     STATE_OPEN,
     CircuitBreaker,
 )
-from repro.serving.cache import CacheError, PredictionCache, cache_key
+from repro.serving.cache import (
+    CacheError,
+    PredictionCache,
+    cache_key,
+    shard_index,
+)
 from repro.serving.fallbacks import (
     FALLBACK_ORDER,
     SOURCE_ANALYTIC,
@@ -37,6 +42,14 @@ from repro.serving.registry import (
     save_checkpoint,
     validate_checkpoint_state,
 )
+from repro.serving.scale import (
+    AdmissionController,
+    ScaleConfig,
+    ScaleError,
+    ScaleServingServer,
+    SharedWeights,
+    WorkerPool,
+)
 from repro.serving.service import (
     PredictionResult,
     PredictionService,
@@ -54,6 +67,7 @@ __all__ = [
     "CacheError",
     "PredictionCache",
     "cache_key",
+    "shard_index",
     "FALLBACK_ORDER",
     "SOURCE_ANALYTIC",
     "SOURCE_FIXED_ANGLE",
@@ -72,6 +86,12 @@ __all__ = [
     "model_fingerprint",
     "save_checkpoint",
     "validate_checkpoint_state",
+    "AdmissionController",
+    "ScaleConfig",
+    "ScaleError",
+    "ScaleServingServer",
+    "SharedWeights",
+    "WorkerPool",
     "PredictionResult",
     "PredictionService",
     "ServingConfig",

@@ -112,9 +112,15 @@ class ServingMetrics:
         An empty window reports ``None`` (JSON ``null``) for every
         percentile — there is no latency to summarize, and a literal
         zero would read as "instant".
+
+        Only a plain O(window) list copy happens under the lock; the
+        numpy conversion and the percentile sort run on the copy, so a
+        ``/metrics`` scrape never stalls request recorders behind an
+        O(n log n) sort.
         """
         with self._lock:
-            samples = np.asarray(self._latencies, dtype=np.float64)
+            window = list(self._latencies)
+        samples = np.asarray(window, dtype=np.float64)
         if samples.size == 0:
             return {
                 "p50_ms": None, "p90_ms": None, "p99_ms": None, "max_ms": None,
@@ -134,6 +140,8 @@ class ServingMetrics:
         models: Optional[list] = None,
         breakers: Optional[dict] = None,
         replay_stats: Optional[dict] = None,
+        admission: Optional[dict] = None,
+        workers: Optional[dict] = None,
     ) -> dict:
         """JSON-safe aggregate, optionally embedding collaborator stats."""
         with self._lock:
@@ -182,4 +190,8 @@ class ServingMetrics:
             result["models"] = models
         if breakers is not None:
             result["breakers"] = breakers
+        if admission is not None:
+            result["admission"] = admission
+        if workers is not None:
+            result["workers"] = workers
         return result

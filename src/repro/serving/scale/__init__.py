@@ -1,0 +1,59 @@
+"""Planetary-scale serving: async front-end, forked workers, sharding.
+
+The scale stack multiplies the single-process server out to N worker
+processes without giving up any of its guarantees:
+
+- :class:`ScaleServingServer` — one asyncio event loop doing HTTP
+  parse, admission control, and WL-hash routing (no model work).
+- :class:`WorkerPool` / ``worker_main`` — forked processes each running
+  a full :class:`~repro.serving.service.PredictionService` over
+  read-only weights shared via an mmap slab (:class:`SharedWeights`);
+  predictions are bit-identical to the single-process server.
+- Sharded caching — :func:`repro.serving.cache.shard_index` partitions
+  the WL-hash space so each worker's cache is authoritative for its
+  shard; snapshot/warm-up carries the cache across restarts/hot-swaps.
+- :class:`AdmissionController` — admit / degrade / shed gate plus
+  deadline drops, so ``/predict`` never hangs under overload.
+
+See DESIGN.md §13 and the README "Serving at scale" quickstart.
+"""
+
+from repro.serving.scale.admission import (
+    ADMIT,
+    DEGRADE,
+    SHED,
+    AdmissionController,
+)
+from repro.serving.scale.config import ScaleConfig, ScaleError
+from repro.serving.scale.frontend import ScaleServingServer
+from repro.serving.scale.loadgen import (
+    graph_request_bodies,
+    run_load,
+    sweep_concurrency,
+)
+from repro.serving.scale.pool import WorkerError, WorkerPool
+from repro.serving.scale.shared import (
+    SharedWeights,
+    build_model,
+    inline_manifest,
+)
+from repro.serving.scale.worker import worker_main
+
+__all__ = [
+    "ADMIT",
+    "DEGRADE",
+    "SHED",
+    "AdmissionController",
+    "ScaleConfig",
+    "ScaleError",
+    "ScaleServingServer",
+    "graph_request_bodies",
+    "run_load",
+    "sweep_concurrency",
+    "WorkerError",
+    "WorkerPool",
+    "SharedWeights",
+    "build_model",
+    "inline_manifest",
+    "worker_main",
+]

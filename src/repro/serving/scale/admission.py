@@ -1,0 +1,139 @@
+"""Admission control and load shedding for the scale front-end.
+
+The front-end never queues unboundedly and ``/predict`` never hangs.
+Every request passes through a three-state admission decision keyed on
+the number of requests currently in flight to the worker pool:
+
+- ``admit`` — fewer than ``max_inflight`` requests hold worker slots:
+  route to the owning shard.
+- ``degrade`` — the worker path is saturated, so the request is
+  answered *immediately* from the front-end's classical fallback chain
+  (bounded CPU, no queueing) with a 200 tagged ``"degraded": true``.
+- ``shed`` — the *total* number of requests concurrently inside the
+  front-end (admitted + being parsed/answered) has passed the shed
+  limit (``shed_factor * max_inflight``): even fallback work would
+  melt the front-end; answer 503 with a ``Retry-After`` header.
+
+Two counters drive this: worker *slots* (taken by ``decide() ==
+admit``, returned by :meth:`release`) bound the depth of the worker
+pipes, while the *concurrency* gauge (:meth:`enter`/:meth:`exit`,
+wrapped around the whole request) bounds the front-end itself —
+admitted requests hold both for their whole await, so a pile-up behind
+slow workers is what pushes concurrency into the shed band.
+
+Admitted requests additionally carry a deadline
+(``shed_deadline_ms``): one that the worker has not answered inside it
+is *dropped* with 503 + Retry-After rather than left queueing — under
+overload, latency is bounded by construction because nothing waits
+longer than the deadline.
+
+The controller is pure bookkeeping (cheap, one lock); the policy is
+driven by the front-end, which also wires worker failures into
+per-worker :class:`~repro.serving.breaker.CircuitBreaker` instances —
+a tripped worker's shard degrades to fallbacks until a probe succeeds.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving.scale.config import ScaleConfig
+
+ADMIT = "admit"
+DEGRADE = "degrade"
+SHED = "shed"
+
+
+class AdmissionController:
+    """Thread/loop-safe inflight accounting + the admit/degrade/shed gate."""
+
+    def __init__(self, config: ScaleConfig):
+        self.config = config
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._concurrent = 0
+        self.admitted = 0
+        self.degraded = 0
+        self.shed = 0
+        self.deadline_drops = 0
+        self.breaker_degrades = 0
+        self.max_observed_inflight = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def concurrent(self) -> int:
+        return self._concurrent
+
+    def enter(self) -> None:
+        """A request entered the front-end (pair with :meth:`exit`)."""
+        with self._lock:
+            self._concurrent += 1
+            if self._concurrent > self.max_observed_inflight:
+                self.max_observed_inflight = self._concurrent
+
+    def exit(self) -> None:
+        """The request's response has been written (or abandoned)."""
+        with self._lock:
+            self._concurrent -= 1
+
+    @property
+    def deadline_s(self) -> float:
+        return self.config.shed_deadline_ms / 1000.0
+
+    @property
+    def retry_after_s(self) -> float:
+        return self.config.retry_after_s
+
+    def decide(self) -> str:
+        """Admit (and take an inflight slot), degrade, or shed.
+
+        An ``admit`` result *must* be paired with :meth:`release` once
+        the request settles; ``degrade``/``shed`` take no slot.
+        """
+        with self._lock:
+            if self._concurrent >= self.config.shed_limit:
+                self.shed += 1
+                return SHED
+            if self._inflight >= self.config.max_inflight:
+                self.degraded += 1
+                return DEGRADE
+            self._inflight += 1
+            self.admitted += 1
+            return ADMIT
+
+    def release(self) -> None:
+        """Give back an admitted request's inflight slot."""
+        with self._lock:
+            self._inflight -= 1
+
+    def record_deadline_drop(self) -> None:
+        """An admitted request blew its deadline and was dropped."""
+        with self._lock:
+            self.deadline_drops += 1
+
+    def record_breaker_degrade(self) -> None:
+        """A request was degraded because its shard's breaker is open."""
+        with self._lock:
+            self.breaker_degrades += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-safe counters for the /metrics admission section."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "concurrent": self._concurrent,
+                "max_inflight": self.config.max_inflight,
+                "shed_limit": self.config.shed_limit,
+                "shed_deadline_ms": self.config.shed_deadline_ms,
+                "admitted": self.admitted,
+                "degraded": self.degraded,
+                "shed": self.shed,
+                "deadline_drops": self.deadline_drops,
+                "breaker_degrades": self.breaker_degrades,
+                "max_observed_inflight": self.max_observed_inflight,
+            }

@@ -1,0 +1,96 @@
+"""Knobs for the multi-process serving stack.
+
+:class:`ScaleConfig` covers everything above a single worker's
+:class:`~repro.serving.service.ServingConfig`: how many worker
+processes to fork, how much traffic the front-end admits before
+degrading and shedding, and how the front-end's per-worker circuit
+breakers are tuned. The per-worker config rides along unchanged — each
+worker process runs a full, ordinary :class:`PredictionService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+class ScaleError(ReproError):
+    """Invalid scale-serving configuration or a dead worker pool."""
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Front-end + worker-pool configuration.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes to fork. Each owns one shard of the WL-hash
+        space (its prediction cache is that shard's partition).
+    max_inflight:
+        Requests allowed in flight to workers before the front-end
+        stops routing and answers from its fallback chain (degrade).
+    shed_factor:
+        Multiple of ``max_inflight`` past which requests are shed
+        outright with 503 + Retry-After instead of degraded.
+    shed_deadline_ms:
+        Per-request deadline on the worker path; an admitted request
+        still unanswered past it is dropped with 503 + Retry-After
+        rather than queued deeper.
+    retry_after_s:
+        The Retry-After header value on shed responses.
+    inference_threads:
+        Threads per worker draining its request pipe into the
+        micro-batcher (concurrency inside one worker process).
+    l1_cache_size:
+        Entries in the front-end's hot-set cache (0 disables it). The
+        worker shards stay authoritative; the L1 only short-circuits
+        the pipe round-trip for the hottest WL classes.
+    breaker_threshold / breaker_reset_s:
+        Per-worker circuit breaker in the front-end: consecutive
+        worker failures/timeouts that trip it, and how long a tripped
+        worker's shard is served from fallbacks before a probe.
+    swap_timeout_s:
+        How long a hot-swap waits for every worker to drain and ack.
+    """
+
+    workers: int = 2
+    max_inflight: int = 64
+    shed_factor: float = 2.0
+    shed_deadline_ms: float = 1000.0
+    retry_after_s: float = 1.0
+    inference_threads: int = 4
+    l1_cache_size: int = 2048
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 5.0
+    swap_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ScaleError(f"workers must be >= 1, got {self.workers}")
+        if self.max_inflight < 1:
+            raise ScaleError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.shed_factor < 1.0:
+            raise ScaleError(
+                f"shed_factor must be >= 1.0, got {self.shed_factor}"
+            )
+        if self.shed_deadline_ms <= 0:
+            raise ScaleError(
+                f"shed_deadline_ms must be positive, got {self.shed_deadline_ms}"
+            )
+        if self.inference_threads < 1:
+            raise ScaleError(
+                f"inference_threads must be >= 1, got {self.inference_threads}"
+            )
+        if self.l1_cache_size < 0:
+            raise ScaleError(
+                f"l1_cache_size must be >= 0, got {self.l1_cache_size}"
+            )
+
+    @property
+    def shed_limit(self) -> int:
+        """Inflight count at which requests are shed with 503."""
+        return max(self.max_inflight + 1, int(self.max_inflight * self.shed_factor))

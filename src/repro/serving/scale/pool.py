@@ -1,0 +1,365 @@
+"""The worker pool: forked processes, sharded routing, swap barrier.
+
+:class:`WorkerPool` owns the process side of the scale stack:
+
+- **Fork over shared weights.** Workers are forked (fork start method
+  — cheap, no pickling, and the :class:`SharedWeights` slab rides in
+  for free) *before* the front-end starts its event loop or threads.
+- **Sharded routing.** `route(wl_hash)` partitions the WL-hash space
+  with :func:`repro.serving.cache.shard_index`; a WL class always
+  lands on the same worker, so each worker's prediction cache is an
+  authoritative partition — no coherence traffic, no duplicate
+  entries.
+- **Futures over pipes.** One reader thread per worker resolves
+  ``concurrent.futures.Future`` handles by request id; the asyncio
+  front-end awaits them via ``asyncio.wrap_future``. A worker death
+  fails that worker's pending futures and marks it dead — the
+  front-end's per-worker breaker then routes its shard to fallbacks.
+- **Swap barrier.** ``swap_model`` writes the new weights into the
+  slab (inline-ships them if they outgrew it), broadcasts the
+  manifest, and blocks until every worker has drained and acked — the
+  "hot-swap drains all workers" contract.
+- **Snapshot / warm-up.** ``snapshot()`` exports every shard's cache;
+  ``warm_up()`` re-routes a snapshot onto the *current* shard layout,
+  so a restart — even with a different worker count — starts warm.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Tuple
+
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.graph import Graph
+from repro.serving.cache import shard_index
+from repro.serving.scale.config import ScaleConfig, ScaleError
+from repro.serving.scale.shared import SharedWeights, inline_manifest
+from repro.serving.scale.worker import worker_main
+from repro.serving.service import ServingConfig
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+class WorkerError(ScaleError):
+    """A worker answered with an error or died mid-request."""
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process."""
+
+    def __init__(self, shard: int, process, conn):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.send_lock = threading.Lock()
+        self.pending: Dict[int, Future] = {}
+        self.pending_lock = threading.Lock()
+        self._ids = itertools.count()
+        self.reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-pool-reader-{shard}",
+            daemon=True,
+        )
+        self.reader.start()
+
+    # ------------------------------------------------------------------
+    def request(self, kind: str, *args) -> Future:
+        """Send one message; the returned future resolves on reply."""
+        future: Future = Future()
+        req_id = next(self._ids)
+        with self.pending_lock:
+            if not self.alive:
+                future.set_exception(
+                    WorkerError(f"worker {self.shard} is dead")
+                )
+                return future
+            self.pending[req_id] = future
+        try:
+            with self.send_lock:
+                self.conn.send((kind, req_id, *args))
+        except (BrokenPipeError, OSError) as exc:
+            with self.pending_lock:
+                self.pending.pop(req_id, None)
+            self._mark_dead()
+            future.set_exception(
+                WorkerError(f"worker {self.shard} pipe closed: {exc}")
+            )
+        return future
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                req_id, status, payload = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            with self.pending_lock:
+                future = self.pending.pop(req_id, None)
+            if future is None:
+                continue  # deadline-dropped request answering late
+            if status == "ok":
+                future.set_result(payload)
+            else:
+                future.set_exception(WorkerError(str(payload)))
+        self._mark_dead()
+
+    def _mark_dead(self) -> None:
+        with self.pending_lock:
+            if not self.alive:
+                return
+            self.alive = False
+            pending = list(self.pending.values())
+            self.pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(
+                    WorkerError(f"worker {self.shard} died")
+                )
+        logger.warning("worker %d marked dead", self.shard)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        try:
+            with self.send_lock:
+                self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - hung worker
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class WorkerPool:
+    """N forked prediction workers behind sharded request pipes."""
+
+    def __init__(
+        self,
+        model: Optional[QAOAParameterPredictor] = None,
+        serving_config: Optional[ServingConfig] = None,
+        scale_config: Optional[ScaleConfig] = None,
+    ):
+        self.scale_config = scale_config or ScaleConfig()
+        self.serving_config = serving_config or ServingConfig()
+        self.num_workers = self.scale_config.workers
+        self.shared: Optional[SharedWeights] = None
+        self.manifest: Optional[dict] = None
+        if model is not None:
+            self.shared, self.manifest = SharedWeights.for_model(model)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        self._workers: List[_WorkerHandle] = []
+        self._swap_lock = threading.Lock()
+        # All pipes are created before any fork, and every child closes
+        # every end that is not its own. Otherwise worker N inherits
+        # worker M's parent-side end (and a copy of its own), so a
+        # front-end killed by a signal would leave workers blocked in
+        # recv() forever instead of seeing EOF and exiting.
+        pipes = [context.Pipe() for _ in range(self.num_workers)]
+        processes = []
+        for shard in range(self.num_workers):
+            child_conn = pipes[shard][1]
+            close_in_child = [
+                end
+                for pair in pipes
+                for end in pair
+                if end is not child_conn
+            ]
+            process = context.Process(
+                target=worker_main,
+                args=(
+                    child_conn,
+                    self.shared,
+                    self.manifest,
+                    self.serving_config,
+                    shard,
+                    self.num_workers,
+                    self.scale_config.inference_threads,
+                    close_in_child,
+                ),
+                name=f"repro-serving-worker-{shard}",
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+        # Child ends are closed only after every fork: closing one
+        # earlier would free its fd number for reuse, and a later
+        # child's cleanup of the stale Connection could then close an
+        # unrelated descriptor.
+        for shard, process in enumerate(processes):
+            parent_conn, child_conn = pipes[shard]
+            child_conn.close()
+            self._workers.append(_WorkerHandle(shard, process, parent_conn))
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Routing + prediction
+    # ------------------------------------------------------------------
+    def route(self, wl_hash: str) -> int:
+        """The shard owning ``wl_hash``'s partition of the hash space."""
+        return shard_index(wl_hash, self.num_workers)
+
+    def worker(self, shard: int) -> _WorkerHandle:
+        return self._workers[shard]
+
+    def worker_alive(self, shard: int) -> bool:
+        return self._workers[shard].alive
+
+    def predict_future(
+        self,
+        graph: Graph,
+        wl_hash: str,
+        model_name: Optional[str] = None,
+    ) -> Tuple[Future, int]:
+        """Route one request; returns ``(future, shard)``."""
+        shard = self.route(wl_hash)
+        handle = self._workers[shard]
+        return handle.request("predict", graph, model_name, wl_hash), shard
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _broadcast(self, kind: str, *args, timeout: Optional[float] = None):
+        futures = [
+            (handle.shard, handle.request(kind, *args))
+            for handle in self._workers
+            if handle.alive
+        ]
+        results = {}
+        for shard, future in futures:
+            results[shard] = future.result(timeout=timeout)
+        return results
+
+    def swap_model(
+        self,
+        model: QAOAParameterPredictor,
+        version: Optional[int] = None,
+    ) -> dict:
+        """Write new weights and barrier every worker onto them.
+
+        Returns the per-shard swap summaries once *all* live workers
+        have drained their in-flight requests and acked the new
+        fingerprint.
+        """
+        with self._swap_lock:
+            manifest = None
+            if self.shared is not None:
+                try:
+                    manifest = self.shared.write(model)
+                except ScaleError as exc:
+                    logger.warning(
+                        "weights outgrew the shared slab (%s); "
+                        "shipping inline",
+                        exc,
+                    )
+            if manifest is None:
+                manifest = inline_manifest(model)
+            if version is not None:
+                manifest["version"] = int(version)
+            self.manifest = manifest
+            summaries = self._broadcast(
+                "swap", manifest, timeout=self.scale_config.swap_timeout_s
+            )
+            return {
+                "fingerprint": manifest["fingerprint"],
+                "workers": summaries,
+            }
+
+    def snapshot(self) -> dict:
+        """Every shard's cache entries, tagged with the shard layout."""
+        entries: list = []
+        for shard, shard_entries in self._broadcast(
+            "snapshot", timeout=self.scale_config.swap_timeout_s
+        ).items():
+            entries.extend(shard_entries)
+        return {"num_shards": self.num_workers, "entries": entries}
+
+    def warm_up(self, snapshot: dict) -> int:
+        """Load a snapshot, re-routing entries onto the current shards.
+
+        Entries are re-partitioned by the WL-hash tail of their cache
+        key, so a snapshot taken under a different worker count still
+        lands every entry on its owning shard.
+        """
+        buckets: Dict[int, list] = {}
+        for entry in snapshot.get("entries", []):
+            key = str(entry[0])
+            wl_hash = key.rpartition(":")[2]
+            try:
+                shard = self.route(wl_hash)
+            except (ValueError, ScaleError):
+                continue  # malformed key; skip rather than refuse to start
+            buckets.setdefault(shard, []).append(entry)
+        loaded = 0
+        for shard, entries in buckets.items():
+            handle = self._workers[shard]
+            if not handle.alive:
+                continue
+            result = handle.request("warmup", entries).result(
+                timeout=self.scale_config.swap_timeout_s
+            )
+            loaded += int(result.get("loaded", 0))
+        return loaded
+
+    def metrics(self, timeout: float = 5.0) -> Dict[str, dict]:
+        """Per-shard service metrics snapshots (dead workers noted)."""
+        results: Dict[str, dict] = {}
+        futures = [
+            (handle.shard, handle.request("metrics"))
+            for handle in self._workers
+            if handle.alive
+        ]
+        for handle in self._workers:
+            if not handle.alive:
+                results[str(handle.shard)] = {"status": "dead"}
+        for shard, future in futures:
+            try:
+                results[str(shard)] = future.result(timeout=timeout)
+            except Exception as exc:  # noqa: BLE001 — metrics must not raise
+                results[str(shard)] = {"status": f"unavailable: {exc}"}
+        return results
+
+    def ping_all(self, timeout: float = 5.0) -> List[dict]:
+        """Liveness + served fingerprint per worker (healthz payload)."""
+        statuses: List[dict] = []
+        for handle in self._workers:
+            if not handle.alive:
+                statuses.append({"shard": handle.shard, "alive": False})
+                continue
+            try:
+                payload = handle.request("ping").result(timeout=timeout)
+                payload["alive"] = True
+                statuses.append(payload)
+            except Exception:  # noqa: BLE001 — a hung worker reads as dead
+                statuses.append({"shard": handle.shard, "alive": False})
+        return statuses
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for handle in self._workers if handle.alive)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and release the slab."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            handle.stop()
+        if self.shared is not None:
+            self.shared.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

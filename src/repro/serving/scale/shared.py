@@ -1,0 +1,206 @@
+"""Read-only model weights shared across forked worker processes.
+
+The whole point of multi-process serving is that N workers must not
+mean N copies of the model. :class:`SharedWeights` is an anonymous
+``MAP_SHARED`` mmap slab created in the *parent* before any worker is
+forked: fork inherits the mapping, so every worker sees the same
+physical pages and attaching a model is just building numpy views over
+the buffer — zero copies, zero serialization.
+
+The slab is also the hot-swap transport. It is allocated with headroom;
+promoting a new checkpoint writes the new weights into the slab
+(visible to every worker, because the mapping is shared both ways) and
+ships only a tiny *manifest* — name/dtype/shape/offset per parameter —
+over each worker's control pipe. A worker "loads" the new model by
+re-slicing the same buffer. Weights that outgrow the slab fall back to
+shipping arrays inline through the pipe: slower, but a swap never
+fails for fitting reasons.
+
+Layout manifests are plain dicts (JSON-safe except for the inline
+fallback) so they cross the pipe cheaply; writes are coordinated by
+the pool's swap barrier, never lock-free.
+"""
+
+from __future__ import annotations
+
+import mmap
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.serving.registry import model_fingerprint
+from repro.serving.scale.config import ScaleError
+
+#: Slab capacity = max(model bytes * HEADROOM, 1 MiB) — room for a
+#: promoted model to grow (wider layers, deeper p) without re-forking.
+DEFAULT_HEADROOM = 4.0
+MIN_CAPACITY = 1 << 20
+
+
+def model_meta(model: QAOAParameterPredictor) -> dict:
+    """Constructor kwargs that rebuild ``model``'s architecture.
+
+    A superset of the checkpoint schema: the forward pass must be
+    *bit-identical* after a rebuild, so everything that shapes it —
+    head width, output scaling, readout, attention heads — is carried
+    explicitly rather than assumed default.
+    """
+    meta = {
+        "arch": model.arch,
+        "p": model.p,
+        "in_dim": model.in_dim,
+        "hidden_dim": model.encoder.out_dim,
+        "num_layers": len(model.encoder.layers),
+        "dropout": model.encoder.dropouts[0].rate,
+        "head_hidden": model.head_lin1.out_features,
+        "output_scaling": model.output_scaling,
+        "readout_kind": model.readout_kind,
+    }
+    first = model.encoder.layers[0]
+    if hasattr(first, "num_heads"):
+        meta["gat_heads"] = int(first.num_heads)
+    return meta
+
+
+class SharedWeights:
+    """A fork-inherited weight slab plus its layout bookkeeping."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ScaleError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        # Anonymous MAP_SHARED mapping: inherited by forked children,
+        # writes on either side visible to all.
+        self._mmap = mmap.mmap(-1, self.capacity)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_model(
+        cls,
+        model: QAOAParameterPredictor,
+        headroom: float = DEFAULT_HEADROOM,
+    ) -> Tuple["SharedWeights", dict]:
+        """Allocate a slab sized for ``model`` and write it in."""
+        state = model.state_dict()
+        need = sum(
+            np.ascontiguousarray(value).nbytes for value in state.values()
+        )
+        capacity = max(MIN_CAPACITY, int(need * max(1.0, headroom)))
+        shared = cls(capacity)
+        manifest = shared.write(model)
+        return shared, manifest
+
+    def write(self, model: QAOAParameterPredictor) -> dict:
+        """Lay ``model``'s weights into the slab; returns the manifest.
+
+        Raises :class:`ScaleError` when the weights do not fit — the
+        caller (the pool's swap path) then ships them inline instead.
+        """
+        state = model.state_dict()
+        offset = 0
+        entries = []
+        chunks = []
+        for name in sorted(state):
+            array = np.ascontiguousarray(state[name], dtype=np.float64)
+            entries.append(
+                {
+                    "name": name,
+                    "dtype": str(array.dtype),
+                    "shape": list(array.shape),
+                    "offset": offset,
+                    "nbytes": int(array.nbytes),
+                }
+            )
+            chunks.append((offset, array))
+            offset += array.nbytes
+        if offset > self.capacity:
+            raise ScaleError(
+                f"model needs {offset} bytes, slab holds {self.capacity}"
+            )
+        for start, array in chunks:
+            self._mmap[start : start + array.nbytes] = array.tobytes()
+        return {
+            "fingerprint": model_fingerprint(model),
+            "model": model_meta(model),
+            "entries": entries,
+            "total_bytes": offset,
+        }
+
+    # ------------------------------------------------------------------
+    def views(self, manifest: dict) -> Dict[str, np.ndarray]:
+        """Read-only arrays over the slab, one per parameter."""
+        buffer = memoryview(self._mmap)
+        views: Dict[str, np.ndarray] = {}
+        for entry in manifest["entries"]:
+            start = int(entry["offset"])
+            stop = start + int(entry["nbytes"])
+            array = np.frombuffer(
+                buffer[start:stop], dtype=np.dtype(entry["dtype"])
+            ).reshape(tuple(entry["shape"]))
+            array.flags.writeable = False
+            views[entry["name"]] = array
+        return views
+
+    def close(self) -> None:
+        """Release the mapping (workers keep their inherited copy)."""
+        try:
+            self._mmap.close()
+        except BufferError:  # pragma: no cover - live views keep it open
+            pass
+
+
+def build_model(
+    manifest: dict, shared: Optional[SharedWeights]
+) -> QAOAParameterPredictor:
+    """Instantiate a predictor whose parameters *view* the shared slab.
+
+    With an ``inline_state`` manifest (slab overflow fallback) the
+    arrays ship by value instead. Either way the model is eval-mode and
+    its output is bit-identical to one loaded from the checkpoint the
+    weights came from: parameter values are exact copies/views and the
+    forward pass runs the same kernels.
+    """
+    model = QAOAParameterPredictor(**manifest["model"], rng=0)
+    if "inline_state" in manifest:
+        state = {
+            name: np.asarray(value, dtype=np.float64)
+            for name, value in manifest["inline_state"].items()
+        }
+        model.load_state_dict(state)
+    else:
+        if shared is None:
+            raise ScaleError("manifest references a slab but none is attached")
+        views = shared.views(manifest)
+        params = dict(model.named_parameters())
+        missing = set(params) - set(views)
+        unexpected = set(views) - set(params)
+        if missing or unexpected:
+            raise ScaleError(
+                f"shared-weight manifest mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            view = views[name]
+            if view.shape != param.data.shape:
+                raise ScaleError(
+                    f"shape mismatch for {name}: "
+                    f"{view.shape} != {param.data.shape}"
+                )
+            # Zero-copy: the parameter *is* the shared read-only view.
+            param.data = view
+    model.eval()
+    return model
+
+
+def inline_manifest(model: QAOAParameterPredictor) -> dict:
+    """A manifest that carries the weights by value (no slab needed)."""
+    return {
+        "fingerprint": model_fingerprint(model),
+        "model": model_meta(model),
+        "entries": [],
+        "total_bytes": 0,
+        "inline_state": {
+            name: value for name, value in model.state_dict().items()
+        },
+    }

@@ -1,0 +1,196 @@
+"""The worker process: one full PredictionService fed over a pipe.
+
+Each forked worker owns one shard of the WL-hash space. It runs an
+ordinary :class:`~repro.serving.service.PredictionService` — cache,
+micro-batcher, circuit breaker, fallback chain, all of it — over the
+shared read-only weight slab, and speaks a tiny tagged-tuple protocol
+on its end of a ``multiprocessing.Pipe``:
+
+- ``("predict", req_id, graph, model_name, wl_hash)`` — answered
+  asynchronously from a small thread pool so concurrent requests
+  coalesce in the worker's micro-batcher exactly like threads did in
+  the single-process server.
+- ``("swap", req_id, manifest)`` — drain every in-flight predict, then
+  rebuild the model from the slab (or the manifest's inline weights)
+  and hot-swap it into the local service. The ack means: all pre-swap
+  requests answered, new fingerprint live, old fingerprint's cache
+  entries gone.
+- ``("snapshot" | "warmup" | "metrics" | "ping", ...)`` — cache
+  export/import for the warm-start protocol, metrics aggregation, and
+  liveness.
+- ``("stop",)`` — drain and exit.
+
+Replies are ``(req_id, "ok" | "err", payload)``; sends are serialized
+by a lock so replies from pool threads never interleave. The worker
+never logs replay records — the front-end owns the replay log, keeping
+the PR 7 single-writer invariant intact across any number of workers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Optional, Set
+
+from repro.serving.service import PredictionService, ServingConfig
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+class _WorkerState:
+    """Everything one worker loop needs, bundled for the handlers."""
+
+    def __init__(self, conn, service: PredictionService, shard: int,
+                 num_shards: int, shared):
+        self.conn = conn
+        self.service = service
+        self.shard = shard
+        self.num_shards = num_shards
+        self.shared = shared
+        self.send_lock = threading.Lock()
+        self.inflight: Set = set()
+        self.inflight_lock = threading.Lock()
+
+    def reply(self, req_id: int, status: str, payload) -> None:
+        with self.send_lock:
+            try:
+                self.conn.send((req_id, status, payload))
+            except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+                logger.warning("worker %d: parent pipe closed", self.shard)
+
+
+def _handle_predict(state: _WorkerState, req_id, graph, model_name, wl_hash):
+    try:
+        result = state.service.predict(
+            graph, model_name=model_name, wl_hash=wl_hash
+        )
+        payload = result.to_dict()
+        payload["cache_key"] = result.cache_key
+        payload["shard"] = state.shard
+        state.reply(req_id, "ok", payload)
+    except Exception as exc:  # noqa: BLE001 — fanned back to the front-end
+        state.reply(req_id, "err", f"{exc.__class__.__name__}: {exc}")
+
+
+def _handle_swap(state: _WorkerState, req_id, manifest):
+    from repro.serving.scale.shared import build_model
+
+    # Drain: every request admitted before the swap message finishes
+    # against whichever model it started with before the new one goes
+    # live. New requests queue behind this handler on the pipe.
+    with state.inflight_lock:
+        pending = set(state.inflight)
+    wait(pending)
+    try:
+        model = build_model(manifest, state.shared)
+        summary = state.service.swap_model(
+            model,
+            source="<shared-swap>",
+            version=manifest.get("version"),
+        )
+        summary["shard"] = state.shard
+        state.reply(req_id, "ok", summary)
+    except Exception as exc:  # noqa: BLE001 — a torn swap must not kill serving
+        logger.warning("worker %d: swap failed (%s)", state.shard, exc)
+        state.reply(req_id, "err", f"{exc.__class__.__name__}: {exc}")
+
+
+def worker_main(
+    conn,
+    shared,
+    manifest: Optional[dict],
+    config: Optional[ServingConfig],
+    shard: int,
+    num_shards: int,
+    inference_threads: int = 4,
+    close_conns=(),
+) -> None:
+    """Entry point of a forked worker process (runs until "stop")."""
+    from repro.serving.scale.shared import build_model
+
+    # The parent handles SIGINT; an interrupted foreground `repro
+    # serve` must not stack-trace N workers on ^C.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    # Drop the fork-inherited ends of every sibling's pipe (and the
+    # copy of our own parent end). If any worker kept another pipe's
+    # write end open, a front-end killed by a signal would never
+    # produce EOF and its workers would block in recv() forever.
+    for other in close_conns:
+        try:
+            other.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    service = PredictionService(config=config)
+    if manifest is not None:
+        model = build_model(manifest, shared)
+        service.registry.register("default", model, source="<shared>")
+    state = _WorkerState(conn, service, shard, num_shards, shared)
+    pool = ThreadPoolExecutor(
+        max_workers=max(1, int(inference_threads)),
+        thread_name_prefix=f"repro-worker-{shard}",
+    )
+    logger.info(
+        "worker %d/%d up (pid %d)", shard, num_shards, os.getpid()
+    )
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent died; exit quietly
+            kind = message[0]
+            if kind == "predict":
+                _, req_id, graph, model_name, wl_hash = message
+                future = pool.submit(
+                    _handle_predict, state, req_id, graph, model_name, wl_hash
+                )
+                with state.inflight_lock:
+                    state.inflight.add(future)
+                future.add_done_callback(
+                    lambda fut: state.inflight.discard(fut)
+                )
+            elif kind == "swap":
+                _, req_id, manifest = message
+                _handle_swap(state, req_id, manifest)
+            elif kind == "snapshot":
+                _, req_id = message
+                state.reply(req_id, "ok", service.cache.export_entries())
+            elif kind == "warmup":
+                _, req_id, entries = message
+                loaded = service.cache.import_entries(entries)
+                state.reply(req_id, "ok", {"loaded": loaded})
+            elif kind == "metrics":
+                _, req_id = message
+                state.reply(req_id, "ok", service.metrics_snapshot())
+            elif kind == "ping":
+                _, req_id = message
+                state.reply(
+                    req_id,
+                    "ok",
+                    {
+                        "shard": shard,
+                        "num_shards": num_shards,
+                        "pid": os.getpid(),
+                        "fingerprint": (
+                            service.registry.get().fingerprint
+                            if len(service.registry)
+                            else None
+                        ),
+                    },
+                )
+            elif kind == "stop":
+                break
+            else:  # pragma: no cover - protocol bug guard
+                logger.warning("worker %d: unknown message %r", shard, kind)
+    finally:
+        pool.shutdown(wait=True)
+        service.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -155,10 +155,17 @@ class PredictionService:
     # Prediction
     # ------------------------------------------------------------------
     def predict(
-        self, graph: Graph, model_name: Optional[str] = None
+        self,
+        graph: Graph,
+        model_name: Optional[str] = None,
+        wl_hash: Optional[str] = None,
     ) -> PredictionResult:
         """Warm-start ``(gammas, betas)`` for ``graph``, from the best
         available source.
+
+        ``wl_hash`` is an optional precomputed 1-WL canonical hash; the
+        scale front-end computes it once for shard routing and passes
+        it down so the worker never re-hashes the graph.
 
         Never raises for a structurally valid graph: every model-path
         failure — unknown model name, forward-pass exception, micro-batch
@@ -170,7 +177,7 @@ class PredictionService:
         """
         start = time.perf_counter()
         try:
-            result = self._predict_inner(graph, model_name, start)
+            result = self._predict_inner(graph, model_name, start, wl_hash)
         except Exception:
             self.metrics.record_error()
             raise
@@ -189,7 +196,11 @@ class PredictionService:
         return result
 
     def _predict_inner(
-        self, graph: Graph, model_name: Optional[str], start: float
+        self,
+        graph: Graph,
+        model_name: Optional[str],
+        start: float,
+        wl_hash: Optional[str] = None,
     ) -> PredictionResult:
         entry = None
         try:
@@ -205,6 +216,7 @@ class PredictionService:
         key = cache_key(
             graph,
             entry.fingerprint if entry is not None else f"fallback-p{p}",
+            wl_hash=wl_hash,
         )
         hit = self.cache.get(key)
         if hit is not None:

@@ -1,0 +1,232 @@
+"""Unit tests for the scale stack's in-process pieces.
+
+Admission gate, shard routing math, cache export/import, and the
+shared-weight slab — everything that needs no forked worker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.graph import Graph
+from repro.serving.cache import CacheError, PredictionCache, shard_index
+from repro.serving.scale import (
+    ADMIT,
+    DEGRADE,
+    SHED,
+    AdmissionController,
+    ScaleConfig,
+    ScaleError,
+    SharedWeights,
+    build_model,
+    inline_manifest,
+)
+
+
+class TestScaleConfig:
+    def test_defaults_validate(self):
+        config = ScaleConfig()
+        assert config.workers >= 1
+        assert config.shed_limit > config.max_inflight
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"max_inflight": 0},
+            {"shed_factor": 0.5},
+            {"shed_deadline_ms": 0},
+            {"inference_threads": 0},
+            {"l1_cache_size": -1},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ScaleError):
+            ScaleConfig(**kwargs)
+
+    def test_shed_limit_always_exceeds_max_inflight(self):
+        # Even a shed factor of ~1 must leave a degrade band of >= 1,
+        # otherwise DEGRADE is unreachable and everything sheds.
+        config = ScaleConfig(max_inflight=4, shed_factor=1.0)
+        assert config.shed_limit == 5
+
+
+class TestAdmissionController:
+    def test_admit_degrade_shed_progression(self):
+        control = AdmissionController(
+            ScaleConfig(max_inflight=2, shed_factor=2.0)
+        )
+        assert control.decide() == ADMIT
+        assert control.decide() == ADMIT
+        # Worker path saturated: degrade band until the shed limit.
+        decisions = [control.decide() for _ in range(10)]
+        assert set(decisions) == {DEGRADE}
+        assert control.inflight == 2  # degrades take no slot
+
+    def test_shed_past_limit(self):
+        control = AdmissionController(
+            ScaleConfig(max_inflight=1, shed_factor=1.0)
+        )
+        assert control.decide() == ADMIT
+        assert control.decide() == DEGRADE  # inflight == max_inflight == 1
+        # Shedding keys on *total* front-end concurrency, not worker
+        # slots: once shed_limit requests are in the house, the next
+        # decision sheds.
+        for _ in range(control.config.shed_limit):
+            control.enter()
+        assert control.decide() == SHED
+        for _ in range(control.config.shed_limit):
+            control.exit()
+        assert control.decide() == DEGRADE  # back under the limit
+
+    def test_release_reopens_admission(self):
+        control = AdmissionController(
+            ScaleConfig(max_inflight=1, shed_factor=2.0)
+        )
+        assert control.decide() == ADMIT
+        assert control.decide() == DEGRADE
+        control.release()
+        assert control.decide() == ADMIT
+
+    def test_stats_counts_every_outcome(self):
+        control = AdmissionController(
+            ScaleConfig(max_inflight=1, shed_factor=1.0)
+        )
+        control.decide()  # admit
+        control.decide()  # degrade
+        for _ in range(control.config.shed_limit):
+            control.enter()
+        control.decide()  # shed
+        control.record_deadline_drop()
+        control.record_breaker_degrade()
+        stats = control.stats()
+        assert stats["admitted"] == 1
+        assert stats["degraded"] == 1
+        assert stats["shed"] == 1
+        assert stats["deadline_drops"] == 1
+        assert stats["breaker_degrades"] == 1
+        assert stats["max_observed_inflight"] >= 1
+
+    def test_deadline_seconds(self):
+        control = AdmissionController(ScaleConfig(shed_deadline_ms=250.0))
+        assert control.deadline_s == pytest.approx(0.25)
+
+
+class TestShardIndex:
+    def test_partition_of_hash_space(self):
+        # Every hash lands on exactly one shard, and with enough
+        # distinct hashes every shard owns a non-empty partition.
+        hashes = [f"{i:08x}{'0' * 56}" for i in range(256)]
+        for n in (1, 2, 3, 5):
+            owners = [shard_index(h, n) for h in hashes]
+            assert all(0 <= s < n for s in owners)
+            assert set(owners) == set(range(n))
+
+    def test_deterministic(self):
+        h = "deadbeef" + "0" * 56
+        assert shard_index(h, 4) == shard_index(h, 4)
+
+    def test_single_shard_owns_everything(self):
+        assert shard_index("a" * 64, 1) == 0
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(CacheError):
+            shard_index("a" * 64, 0)
+
+
+class TestCacheExportImport:
+    def test_roundtrip(self):
+        cache = PredictionCache(max_size=8)
+        cache.put("fp:wl1", ((0.1, 0.2), (0.3, 0.4), "model"))
+        cache.put("fp:wl2", ((0.5,), (0.6,), "fixed_angle"))
+        entries = cache.export_entries()
+        restored = PredictionCache(max_size=8)
+        assert restored.import_entries(entries) == 2
+        assert restored.get("fp:wl1") == ((0.1, 0.2), (0.3, 0.4), "model")
+        assert restored.get("fp:wl2") == ((0.5,), (0.6,), "fixed_angle")
+
+    def test_import_respects_max_size(self):
+        cache = PredictionCache(max_size=4)
+        for i in range(4):
+            cache.put(f"fp:wl{i}", ((float(i),), (0.0,), "model"))
+        small = PredictionCache(max_size=2)
+        assert small.import_entries(cache.export_entries()) == 2
+
+    def test_expired_entries_are_skipped(self):
+        clock = [0.0]
+        cache = PredictionCache(max_size=4, ttl_s=10.0, clock=lambda: clock[0])
+        cache.put("fp:old", ((1.0,), (2.0,), "model"))
+        clock[0] = 50.0  # entry is 50s old at export time, TTL is 10s
+        entries = cache.export_entries()
+        restored = PredictionCache(
+            max_size=4, ttl_s=10.0, clock=lambda: clock[0]
+        )
+        assert restored.import_entries(entries) == 0
+        assert restored.get("fp:old") is None
+
+
+@pytest.fixture()
+def model():
+    return QAOAParameterPredictor(arch="gcn", p=2, hidden_dim=16, rng=11)
+
+
+class TestSharedWeights:
+    def test_views_are_bit_identical(self, model):
+        shared, manifest = SharedWeights.for_model(model)
+        try:
+            rebuilt = build_model(manifest, shared)
+            for name, value in model.state_dict().items():
+                np.testing.assert_array_equal(
+                    rebuilt.state_dict()[name], value
+                )
+        finally:
+            shared.close()
+
+    def test_rebuilt_model_forward_is_bit_identical(self, model):
+        from repro.gnn.batching import GraphBatch
+
+        shared, manifest = SharedWeights.for_model(model)
+        try:
+            rebuilt = build_model(manifest, shared)
+            graph = Graph(4, ((0, 1), (1, 2), (2, 3)))
+            model.eval()
+            batch = GraphBatch.from_graphs([graph])
+            expected = model(batch).data
+            actual = rebuilt(batch).data
+            np.testing.assert_array_equal(actual, expected)
+        finally:
+            shared.close()
+
+    def test_overflow_raises(self, model):
+        shared = SharedWeights(capacity=16)
+        try:
+            with pytest.raises(ScaleError):
+                shared.write(model)
+        finally:
+            shared.close()
+
+    def test_swap_rewrites_slab_in_place(self, model):
+        shared, _ = SharedWeights.for_model(model)
+        try:
+            other = QAOAParameterPredictor(
+                arch="gcn", p=2, hidden_dim=16, rng=99
+            )
+            manifest = shared.write(other)
+            rebuilt = build_model(manifest, shared)
+            for name, value in other.state_dict().items():
+                np.testing.assert_array_equal(
+                    rebuilt.state_dict()[name], value
+                )
+        finally:
+            shared.close()
+
+    def test_inline_manifest_needs_no_slab(self, model):
+        rebuilt = build_model(inline_manifest(model), None)
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(rebuilt.state_dict()[name], value)
+
+    def test_slab_manifest_without_slab_raises(self, model):
+        shared, manifest = SharedWeights.for_model(model)
+        shared.close()
+        with pytest.raises(ScaleError):
+            build_model(manifest, None)
