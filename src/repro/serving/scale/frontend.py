@@ -33,6 +33,7 @@ import asyncio
 import json
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
 from repro.exceptions import ReproError
@@ -113,6 +114,14 @@ class ScaleServingServer:
             for _ in range(pool.num_workers)
         ]
         self._swap_lock = threading.Lock()
+        # CPU-bound request work — graph parse + WL hash, fallback
+        # resolution, replay-log appends — runs here, off the event
+        # loop, so a burst of degraded traffic cannot serialize all
+        # request handling and starve worker-reply processing. Small on
+        # purpose: it also bounds degraded-path concurrency.
+        self._executor = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="repro-frontend-cpu"
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -140,7 +149,12 @@ class ScaleServingServer:
 
         Blocks until the pool's swap barrier completes — all workers
         drained and serving the new fingerprint — then invalidates the
-        front-end L1 under the old fingerprint.
+        front-end L1 under the old fingerprint. If the pool's swap
+        fails partway it rolls acked workers back and raises before
+        the registry or L1 are touched, so the front-end keeps
+        reflecting the fingerprint actually being served; an
+        unconfirmable rollback is flagged on ``/healthz`` as
+        ``fingerprint_consistent: false``.
         """
         with self._swap_lock:
             old = self.registry.get(name) if name in self.registry else None
@@ -302,20 +316,26 @@ class ScaleServingServer:
         finally:
             self.admission.exit()
 
+    def _parse_request(self, body: bytes):
+        """JSON decode + graph build + WL hash (CPU-bound; executor)."""
+        payload = json.loads(body)
+        graph = graph_from_payload(payload)
+        return payload, graph, wl_canonical_hash(graph)
+
     async def _predict_gated(self, body: bytes):
         start = time.perf_counter()
+        loop = asyncio.get_running_loop()
         try:
-            payload = json.loads(body)
+            payload, graph, wl_hash = await loop.run_in_executor(
+                self._executor, self._parse_request, body
+            )
         except json.JSONDecodeError as exc:
             return 400, {"error": f"invalid JSON: {exc}"}, ()
-        try:
-            graph = graph_from_payload(payload)
         except ReproError as exc:
             return 400, {"error": str(exc)}, ()
         model_name = (
             payload.get("model") if isinstance(payload, dict) else None
         )
-        wl_hash = wl_canonical_hash(graph)
         model_key, p = self._model_key_and_p()
         key = f"{model_key}:{wl_hash}"
 
@@ -324,7 +344,7 @@ class ScaleServingServer:
             hit = self._l1.get(key)
             if hit is not None:
                 gammas, betas, source = hit
-                return self._answer(
+                return await self._answer(
                     graph, key, p, gammas, betas, source, True, start
                 )
 
@@ -337,7 +357,7 @@ class ScaleServingServer:
             finally:
                 self.admission.release()
         if decision == DEGRADE:
-            return self._degraded_answer(graph, wl_hash, p, start)
+            return await self._degraded_answer(graph, wl_hash, p, start)
         return self._shed_response()
 
     async def _predict_admitted(
@@ -348,7 +368,7 @@ class ScaleServingServer:
         if not self.pool.worker_alive(shard) or not breaker.allow():
             self.admission.record_breaker_degrade()
             self.metrics.record_breaker_rejection()
-            return self._degraded_answer(graph, wl_hash, p, start)
+            return await self._degraded_answer(graph, wl_hash, p, start)
         future, _ = self.pool.predict_future(
             graph, wl_hash, model_name=model_name
         )
@@ -368,7 +388,7 @@ class ScaleServingServer:
             self.metrics.record_model_failure()
             if breaker.record_failure():
                 self.metrics.record_breaker_trip()
-            return self._degraded_answer(graph, wl_hash, p, start)
+            return await self._degraded_answer(graph, wl_hash, p, start)
         breaker.record_success()
         gammas = tuple(float(g) for g in answer["gammas"])
         betas = tuple(float(b) for b in answer["betas"])
@@ -376,7 +396,7 @@ class ScaleServingServer:
         key = answer.get("cache_key", key)
         if self._l1 is not None:
             self._l1.put(key, (gammas, betas, source))
-        return self._answer(
+        return await self._answer(
             graph,
             key,
             int(answer["p"]),
@@ -389,15 +409,23 @@ class ScaleServingServer:
             shard=answer.get("shard"),
         )
 
-    def _degraded_answer(self, graph, wl_hash, p, start):
-        """Fallback-chain answer computed in the front-end (bounded CPU)."""
+    async def _degraded_answer(self, graph, wl_hash, p, start):
+        """Fallback-chain answer resolved off-loop (bounded CPU).
+
+        Runs on the executor: under degrade-heavy overload this is the
+        hot path, and resolving inline would serialize the event loop
+        exactly when it most needs to keep draining worker replies.
+        """
         chain = self._fallbacks.get(p)
         if chain is None:
             chain = FallbackChain(p, table=self._fixed_angle_table)
             self._fallbacks[p] = chain
-        fallback = chain.resolve(graph)
+        loop = asyncio.get_running_loop()
+        fallback = await loop.run_in_executor(
+            self._executor, chain.resolve, graph
+        )
         key = f"fallback-p{p}:{wl_hash}"
-        status, payload, extra = self._answer(
+        status, payload, extra = await self._answer(
             graph,
             key,
             p,
@@ -421,7 +449,7 @@ class ScaleServingServer:
             (("Retry-After", f"{max(1, int(round(retry_after)))}"),),
         )
 
-    def _answer(
+    async def _answer(
         self,
         graph,
         key: str,
@@ -446,8 +474,17 @@ class ScaleServingServer:
         )
         self.metrics.record_request(latency_s, source, cached)
         if self.replay_log is not None:
+            # File append runs off-loop; the log's own lock serializes
+            # concurrent writers, so record ordering is preserved per
+            # request while the event loop keeps handling traffic.
+            loop = asyncio.get_running_loop()
             try:
-                outcome = self.replay_log.log_prediction(graph, result)
+                outcome = await loop.run_in_executor(
+                    self._executor,
+                    self.replay_log.log_prediction,
+                    graph,
+                    result,
+                )
             except Exception as exc:  # noqa: BLE001 — log must not break serving
                 logger.warning("replay logging failed (%s); dropped", exc)
                 self.metrics.record_replay_drop()
@@ -500,9 +537,12 @@ class ScaleServingServer:
         except Exception:  # noqa: BLE001 — report what we know
             statuses = []
         alive = sum(1 for status in statuses if status.get("alive"))
+        consistent = not self.pool.swap_inconsistent
+        healthy = alive == self.pool.num_workers and consistent
         return {
-            "status": "ok" if alive == self.pool.num_workers else "degraded",
+            "status": "ok" if healthy else "degraded",
             "mode": "scale",
+            "fingerprint_consistent": consistent,
             "workers": statuses,
             "models": self.registry.describe(),
             "config": {
@@ -610,6 +650,7 @@ class ScaleServingServer:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
+        self._executor.shutdown(wait=False)
         if self.cache_snapshot_path is not None:
             try:
                 saved = self.save_cache_snapshot(self.cache_snapshot_path)

@@ -16,9 +16,13 @@
   fails that worker's pending futures and marks it dead — the
   front-end's per-worker breaker then routes its shard to fallbacks.
 - **Swap barrier.** ``swap_model`` writes the new weights into the
-  slab (inline-ships them if they outgrew it), broadcasts the
-  manifest, and blocks until every worker has drained and acked — the
-  "hot-swap drains all workers" contract.
+  slab's *inactive* region (inline-ships them if they outgrew it),
+  broadcasts the manifest, and blocks until every worker has drained
+  and acked — the "hot-swap drains all workers" contract. Only then
+  are the manifest and slab region committed; on a partial failure
+  the acked workers are rolled back onto the previous manifest, and
+  if any worker's state is left unknown the pool flags
+  ``swap_inconsistent`` for ``/healthz``.
 - **Snapshot / warm-up.** ``snapshot()`` exports every shard's cache;
   ``warm_up()`` re-routes a snapshot onto the *current* shard layout,
   so a restart — even with a different worker count — starts warm.
@@ -29,7 +33,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import Dict, List, Optional, Tuple
 
 from repro.gnn.predictor import QAOAParameterPredictor
@@ -92,20 +96,30 @@ class _WorkerHandle:
         return future
 
     def _read_loop(self) -> None:
-        while True:
-            try:
-                req_id, status, payload = self.conn.recv()
-            except (EOFError, OSError):
-                break
-            with self.pending_lock:
-                future = self.pending.pop(req_id, None)
-            if future is None:
-                continue  # deadline-dropped request answering late
-            if status == "ok":
-                future.set_result(payload)
-            else:
-                future.set_exception(WorkerError(str(payload)))
-        self._mark_dead()
+        # The finally guarantees _mark_dead even if the loop body ever
+        # raises: a reader that died silently would leave alive=True
+        # with nobody resolving futures — a permanent shard outage.
+        try:
+            while True:
+                try:
+                    req_id, status, payload = self.conn.recv()
+                except (EOFError, OSError):
+                    break
+                with self.pending_lock:
+                    future = self.pending.pop(req_id, None)
+                if future is None or future.done():
+                    # Late reply to a deadline-dropped (and possibly
+                    # cancelled) request: drop it on the floor.
+                    continue
+                try:
+                    if status == "ok":
+                        future.set_result(payload)
+                    else:
+                        future.set_exception(WorkerError(str(payload)))
+                except InvalidStateError:
+                    pass  # cancelled between the done() check and the set
+        finally:
+            self._mark_dead()
 
     def _mark_dead(self) -> None:
         with self.pending_lock:
@@ -115,10 +129,13 @@ class _WorkerHandle:
             pending = list(self.pending.values())
             self.pending.clear()
         for future in pending:
-            if not future.done():
-                future.set_exception(
-                    WorkerError(f"worker {self.shard} died")
-                )
+            try:
+                if not future.done():
+                    future.set_exception(
+                        WorkerError(f"worker {self.shard} died")
+                    )
+            except InvalidStateError:  # cancelled concurrently
+                pass
         logger.warning("worker %d marked dead", self.shard)
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -159,6 +176,13 @@ class WorkerPool:
             context = multiprocessing.get_context()
         self._workers: List[_WorkerHandle] = []
         self._swap_lock = threading.Lock()
+        #: True when a partial swap failure left workers possibly
+        #: serving different fingerprints (surfaced via /healthz).
+        self.swap_inconsistent = False
+        # Workers bound their swap drain below the parent's ack
+        # timeout, so a hung inference yields an unambiguous "err"
+        # reply (old model still serving) instead of an ack timeout.
+        drain_timeout_s = max(1.0, self.scale_config.swap_timeout_s * 0.8)
         # All pipes are created before any fork, and every child closes
         # every end that is not its own. Otherwise worker N inherits
         # worker M's parent-side end (and a copy of its own), so a
@@ -185,6 +209,7 @@ class WorkerPool:
                     self.num_workers,
                     self.scale_config.inference_threads,
                     close_in_child,
+                    drain_timeout_s,
                 ),
                 name=f"repro-serving-worker-{shard}",
                 daemon=True,
@@ -239,6 +264,24 @@ class WorkerPool:
             results[shard] = future.result(timeout=timeout)
         return results
 
+    def _swap_shards(
+        self, shards, manifest: dict, timeout: float
+    ) -> Tuple[Dict[int, dict], Dict[int, Exception]]:
+        """Send ``swap`` to ``shards``; collect per-shard acks/failures."""
+        futures = []
+        for shard in shards:
+            handle = self._workers[shard]
+            if handle.alive:
+                futures.append((shard, handle.request("swap", manifest)))
+        acked: Dict[int, dict] = {}
+        failed: Dict[int, Exception] = {}
+        for shard, future in futures:
+            try:
+                acked[shard] = future.result(timeout=timeout)
+            except Exception as exc:  # noqa: BLE001 — collected, not raised
+                failed[shard] = exc
+        return acked, failed
+
     def swap_model(
         self,
         model: QAOAParameterPredictor,
@@ -246,11 +289,18 @@ class WorkerPool:
     ) -> dict:
         """Write new weights and barrier every worker onto them.
 
-        Returns the per-shard swap summaries once *all* live workers
+        The weights land in the slab's *inactive* region, so nothing a
+        worker is currently serving from is overwritten; the region and
+        ``self.manifest`` are committed only once *all* live workers
         have drained their in-flight requests and acked the new
-        fingerprint.
+        fingerprint. On a partial failure the acked workers are rolled
+        back onto the previous manifest and :class:`WorkerError` is
+        raised; if any worker's state cannot be confirmed (ack timeout,
+        failed rollback, or no previous model to roll back to),
+        ``swap_inconsistent`` is set for ``/healthz`` to surface.
         """
         with self._swap_lock:
+            previous = self.manifest
             manifest = None
             if self.shared is not None:
                 try:
@@ -265,14 +315,56 @@ class WorkerPool:
                 manifest = inline_manifest(model)
             if version is not None:
                 manifest["version"] = int(version)
-            self.manifest = manifest
-            summaries = self._broadcast(
-                "swap", manifest, timeout=self.scale_config.swap_timeout_s
+            timeout = self.scale_config.swap_timeout_s
+            live = [
+                handle.shard for handle in self._workers if handle.alive
+            ]
+            acked, failed = self._swap_shards(live, manifest, timeout)
+            if not failed:
+                if self.shared is not None and "region" in manifest:
+                    self.shared.activate(manifest["region"])
+                self.manifest = manifest
+                self.swap_inconsistent = False
+                return {
+                    "fingerprint": manifest["fingerprint"],
+                    "workers": acked,
+                }
+            # Partial failure: put every acked worker back on the
+            # previous manifest so the pool keeps serving one
+            # fingerprint. The slab region was never activated, so the
+            # previous weights are intact.
+            rolled_back: Dict[int, dict] = {}
+            rollback_failed: Dict[int, Exception] = {}
+            if previous is not None and acked:
+                rolled_back, rollback_failed = self._swap_shards(
+                    sorted(acked), previous, timeout
+                )
+            # A WorkerError means the worker replied "err" (it kept its
+            # old model) or died (it serves nothing); anything else —
+            # typically an ack timeout — leaves its state unknown.
+            ambiguous = sorted(
+                shard
+                for shard, exc in failed.items()
+                if not isinstance(exc, WorkerError)
             )
-            return {
-                "fingerprint": manifest["fingerprint"],
-                "workers": summaries,
-            }
+            if ambiguous or rollback_failed or (previous is None and acked):
+                self.swap_inconsistent = True
+            detail = "; ".join(
+                f"shard {shard}: {exc}" for shard, exc in sorted(failed.items())
+            )
+            message = (
+                f"swap to {manifest['fingerprint']} failed ({detail})"
+            )
+            if rolled_back:
+                message += f"; rolled back shards {sorted(rolled_back)}"
+            if rollback_failed:
+                message += (
+                    f"; rollback failed on {sorted(rollback_failed)}"
+                )
+            if self.swap_inconsistent:
+                message += "; pool fingerprints may be inconsistent"
+            logger.warning("%s", message)
+            raise WorkerError(message)
 
     def snapshot(self) -> dict:
         """Every shard's cache entries, tagged with the shard layout."""

@@ -7,13 +7,19 @@ forked: fork inherits the mapping, so every worker sees the same
 physical pages and attaching a model is just building numpy views over
 the buffer — zero copies, zero serialization.
 
-The slab is also the hot-swap transport. It is allocated with headroom;
-promoting a new checkpoint writes the new weights into the slab
-(visible to every worker, because the mapping is shared both ways) and
-ships only a tiny *manifest* — name/dtype/shape/offset per parameter —
-over each worker's control pipe. A worker "loads" the new model by
-re-slicing the same buffer. Weights that outgrow the slab fall back to
-shipping arrays inline through the pipe: slower, but a swap never
+The slab is also the hot-swap transport, and it is **double-buffered**:
+two equal regions, only one active at a time. Promoting a new
+checkpoint writes the new weights into the *inactive* region (visible
+to every worker, because the mapping is shared both ways) and ships
+only a tiny *manifest* — name/dtype/shape/offset per parameter — over
+each worker's control pipe. A worker "loads" the new model by
+re-slicing the buffer at the manifest's offsets. Because the active
+region is never written, requests in flight during a swap keep
+computing over the exact weights they started with — no torn
+half-old/half-new reads. The pool calls :meth:`SharedWeights.activate`
+only after every worker has drained and acked, flipping which region
+the next swap may overwrite. Weights that outgrow a region fall back
+to shipping arrays inline through the pipe: slower, but a swap never
 fails for fitting reasons.
 
 Layout manifests are plain dicts (JSON-safe except for the inline
@@ -32,10 +38,13 @@ from repro.gnn.predictor import QAOAParameterPredictor
 from repro.serving.registry import model_fingerprint
 from repro.serving.scale.config import ScaleError
 
-#: Slab capacity = max(model bytes * HEADROOM, 1 MiB) — room for a
-#: promoted model to grow (wider layers, deeper p) without re-forking.
+#: Per-region capacity = max(model bytes * HEADROOM, 1 MiB) — room for
+#: a promoted model to grow (wider layers, deeper p) without re-forking.
 DEFAULT_HEADROOM = 4.0
 MIN_CAPACITY = 1 << 20
+#: Double buffer: swaps write the inactive region, so the active one is
+#: never torn under in-flight requests.
+NUM_REGIONS = 2
 
 
 def model_meta(model: QAOAParameterPredictor) -> dict:
@@ -66,13 +75,23 @@ def model_meta(model: QAOAParameterPredictor) -> dict:
 class SharedWeights:
     """A fork-inherited weight slab plus its layout bookkeeping."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, regions: int = NUM_REGIONS):
         if capacity < 1:
             raise ScaleError(f"capacity must be >= 1, got {capacity}")
+        if regions < 2:
+            raise ScaleError(f"regions must be >= 2, got {regions}")
+        #: Per-region capacity; the mapping holds ``regions`` of these.
         self.capacity = int(capacity)
+        self.regions = int(regions)
         # Anonymous MAP_SHARED mapping: inherited by forked children,
-        # writes on either side visible to all.
-        self._mmap = mmap.mmap(-1, self.capacity)
+        # writes on either side visible to all. Untouched headroom
+        # pages are never faulted in, so the extra region is free
+        # until the first swap.
+        self._mmap = mmap.mmap(-1, self.capacity * self.regions)
+        #: Region the *committed* manifest points at; ``write`` targets
+        #: the next region over and :meth:`activate` flips this only
+        #: after the pool's swap barrier has every worker's ack.
+        self._active_region: Optional[int] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -89,15 +108,40 @@ class SharedWeights:
         capacity = max(MIN_CAPACITY, int(need * max(1.0, headroom)))
         shared = cls(capacity)
         manifest = shared.write(model)
+        shared.activate(manifest["region"])
         return shared, manifest
 
-    def write(self, model: QAOAParameterPredictor) -> dict:
-        """Lay ``model``'s weights into the slab; returns the manifest.
+    def _next_region(self) -> int:
+        """The region the next ``write`` may overwrite safely."""
+        if self._active_region is None:
+            return 0
+        return (self._active_region + 1) % self.regions
 
-        Raises :class:`ScaleError` when the weights do not fit — the
-        caller (the pool's swap path) then ships them inline instead.
+    def activate(self, region: int) -> None:
+        """Commit ``region`` as live — call only after the swap barrier.
+
+        Until this is called, the previously active region (the one
+        every worker's views point at) is never overwritten, so a
+        failed or partial swap leaves the serving weights intact.
+        """
+        region = int(region)
+        if not 0 <= region < self.regions:
+            raise ScaleError(f"region {region} out of range")
+        self._active_region = region
+
+    def write(self, model: QAOAParameterPredictor) -> dict:
+        """Lay ``model``'s weights into the inactive region.
+
+        Returns the manifest (with absolute slab offsets and the target
+        ``region``). The write never touches the active region, so
+        in-flight requests keep reading the weights they started with;
+        the caller activates the region once every worker has acked.
+        Raises :class:`ScaleError` when the weights do not fit a region
+        — the caller (the pool's swap path) then ships them inline.
         """
         state = model.state_dict()
+        region = self._next_region()
+        base = region * self.capacity
         offset = 0
         entries = []
         chunks = []
@@ -108,15 +152,16 @@ class SharedWeights:
                     "name": name,
                     "dtype": str(array.dtype),
                     "shape": list(array.shape),
-                    "offset": offset,
+                    "offset": base + offset,
                     "nbytes": int(array.nbytes),
                 }
             )
-            chunks.append((offset, array))
+            chunks.append((base + offset, array))
             offset += array.nbytes
         if offset > self.capacity:
             raise ScaleError(
-                f"model needs {offset} bytes, slab holds {self.capacity}"
+                f"model needs {offset} bytes, slab region holds "
+                f"{self.capacity}"
             )
         for start, array in chunks:
             self._mmap[start : start + array.nbytes] = array.tobytes()
@@ -125,6 +170,7 @@ class SharedWeights:
             "model": model_meta(model),
             "entries": entries,
             "total_bytes": offset,
+            "region": region,
         }
 
     # ------------------------------------------------------------------

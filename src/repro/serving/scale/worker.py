@@ -10,11 +10,14 @@ on its end of a ``multiprocessing.Pipe``:
   asynchronously from a small thread pool so concurrent requests
   coalesce in the worker's micro-batcher exactly like threads did in
   the single-process server.
-- ``("swap", req_id, manifest)`` — drain every in-flight predict, then
-  rebuild the model from the slab (or the manifest's inline weights)
-  and hot-swap it into the local service. The ack means: all pre-swap
-  requests answered, new fingerprint live, old fingerprint's cache
-  entries gone.
+- ``("swap", req_id, manifest)`` — drain every in-flight predict
+  (bounded by the drain timeout), then rebuild the model from the slab
+  (or the manifest's inline weights) and hot-swap it into the local
+  service. The ack means: all pre-swap requests answered, new
+  fingerprint live, old fingerprint's cache entries gone. If the drain
+  times out — one hung inference must not wedge the message loop
+  forever — the worker replies ``err`` and keeps serving the old
+  model.
 - ``("snapshot" | "warmup" | "metrics" | "ping", ...)`` — cache
   export/import for the warm-start protocol, metrics aggregation, and
   liveness.
@@ -39,17 +42,24 @@ from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
 
+#: Fallback swap-drain bound; the pool passes one derived from its
+#: ``swap_timeout_s`` so the worker errs out before the parent's ack
+#: timeout fires.
+DEFAULT_DRAIN_TIMEOUT_S = 24.0
+
 
 class _WorkerState:
     """Everything one worker loop needs, bundled for the handlers."""
 
     def __init__(self, conn, service: PredictionService, shard: int,
-                 num_shards: int, shared):
+                 num_shards: int, shared,
+                 drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S):
         self.conn = conn
         self.service = service
         self.shard = shard
         self.num_shards = num_shards
         self.shared = shared
+        self.drain_timeout_s = drain_timeout_s
         self.send_lock = threading.Lock()
         self.inflight: Set = set()
         self.inflight_lock = threading.Lock()
@@ -80,10 +90,29 @@ def _handle_swap(state: _WorkerState, req_id, manifest):
 
     # Drain: every request admitted before the swap message finishes
     # against whichever model it started with before the new one goes
-    # live. New requests queue behind this handler on the pipe.
+    # live. New requests queue behind this handler on the pipe. The
+    # drain is bounded: one hung inference must not wedge this loop
+    # forever — on timeout the worker declines the swap and keeps
+    # serving the old model, which the pool reads as an unambiguous
+    # failure (no rollback needed for this shard).
     with state.inflight_lock:
         pending = set(state.inflight)
-    wait(pending)
+    _done, not_done = wait(pending, timeout=state.drain_timeout_s)
+    if not_done:
+        logger.warning(
+            "worker %d: swap drain timed out with %d requests in "
+            "flight; old model still serving",
+            state.shard,
+            len(not_done),
+        )
+        state.reply(
+            req_id,
+            "err",
+            f"swap drain timed out after {state.drain_timeout_s:g}s "
+            f"with {len(not_done)} requests in flight; "
+            "old model still serving",
+        )
+        return
     try:
         model = build_model(manifest, state.shared)
         summary = state.service.swap_model(
@@ -107,6 +136,7 @@ def worker_main(
     num_shards: int,
     inference_threads: int = 4,
     close_conns=(),
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
 ) -> None:
     """Entry point of a forked worker process (runs until "stop")."""
     from repro.serving.scale.shared import build_model
@@ -129,7 +159,10 @@ def worker_main(
     if manifest is not None:
         model = build_model(manifest, shared)
         service.registry.register("default", model, source="<shared>")
-    state = _WorkerState(conn, service, shard, num_shards, shared)
+    state = _WorkerState(
+        conn, service, shard, num_shards, shared,
+        drain_timeout_s=drain_timeout_s,
+    )
     pool = ThreadPoolExecutor(
         max_workers=max(1, int(inference_threads)),
         thread_name_prefix=f"repro-worker-{shard}",

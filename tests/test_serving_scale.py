@@ -8,10 +8,13 @@ worker, snapshots warm a fresh pool, and the admission gate sheds with
 """
 
 import json
+import multiprocessing
 import threading
 import urllib.error
 import urllib.request
+from concurrent.futures import Future
 
+import numpy as np
 import pytest
 
 from repro.flywheel import ReplayLog
@@ -27,6 +30,8 @@ from repro.serving import (
     shard_index,
 )
 from repro.serving.scale import graph_request_bodies, run_load
+from repro.serving.scale.pool import WorkerError, _WorkerHandle
+from repro.serving.scale.shared import SharedWeights
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
@@ -217,6 +222,133 @@ class TestHotSwap:
         status, payload = get(server.port, "/healthz")
         fingerprints = {w.get("fingerprint") for w in payload["workers"]}
         assert fingerprints == {summary["new_fingerprint"]}
+
+
+class TestSwapSafety:
+    def test_shared_slab_double_buffers_swap_writes(self):
+        # The active region must never be overwritten mid-swap: a
+        # request in flight keeps computing over exactly the weights
+        # it started with.
+        model_a = make_model(rng=1)
+        model_b = make_model(rng=2)
+        shared, manifest_a = SharedWeights.for_model(model_a)
+        try:
+            before = {
+                name: view.copy()
+                for name, view in shared.views(manifest_a).items()
+            }
+            manifest_b = shared.write(model_b)
+            assert manifest_b["region"] != manifest_a["region"]
+            # Old views (what in-flight requests read) are untouched.
+            for name, view in shared.views(manifest_a).items():
+                np.testing.assert_array_equal(view, before[name])
+            # New views carry model B exactly.
+            state_b = model_b.state_dict()
+            for name, view in shared.views(manifest_b).items():
+                np.testing.assert_array_equal(
+                    view,
+                    np.ascontiguousarray(state_b[name], dtype=np.float64),
+                )
+            # Until activate(), another write reuses the same inactive
+            # region — a failed swap never burns the live weights.
+            assert shared.write(model_b)["region"] == manifest_b["region"]
+            shared.activate(manifest_b["region"])
+            assert shared.write(model_a)["region"] == manifest_a["region"]
+        finally:
+            shared.close()
+
+    def test_reader_survives_late_reply_to_cancelled_request(self):
+        # A deadline-dropped request cancels its future; the worker's
+        # late reply must be swallowed, not kill the reader thread
+        # (which would permanently blackhole the shard).
+        parent, child = multiprocessing.get_context().Pipe()
+        handle = _WorkerHandle(0, process=None, conn=parent)
+        try:
+            future = handle.request("ping")
+            _kind, req_id = child.recv()
+            assert future.cancel()  # deadline drop before the reply
+            child.send((req_id, "ok", {"late": True}))
+            second = handle.request("ping")
+            _kind, req_id2 = child.recv()
+            child.send((req_id2, "ok", {"pong": True}))
+            assert second.result(timeout=10) == {"pong": True}
+            assert handle.alive
+        finally:
+            child.close()
+            handle.reader.join(timeout=10)
+            parent.close()
+
+    def test_swap_drain_timeout_keeps_old_model(self):
+        # One hung inference must not wedge the worker loop: the drain
+        # is bounded and the worker declines the swap with "err".
+        from repro.serving.scale.worker import _WorkerState, _handle_swap
+
+        class Conn:
+            def __init__(self):
+                self.sent = []
+
+            def send(self, message):
+                self.sent.append(message)
+
+        state = _WorkerState(
+            Conn(), service=None, shard=0, num_shards=1, shared=None,
+            drain_timeout_s=0.05,
+        )
+        state.inflight.add(Future())  # never completes
+        _handle_swap(state, 7, {"fingerprint": "deadbeef"})
+        req_id, status, payload = state.conn.sent[-1]
+        assert (req_id, status) == (7, "err")
+        assert "drain timed out" in payload
+
+    def test_partial_swap_failure_rolls_back_and_flags(self, model):
+        config = ScaleConfig(workers=2, swap_timeout_s=5.0)
+        pool = WorkerPool(model=model, scale_config=config)
+        try:
+            old_fingerprint = pool.manifest["fingerprint"]
+            broken = pool.worker(1)
+            real_request = broken.request
+
+            def black_hole(kind, *args):
+                if kind == "swap":
+                    return Future()  # never acks -> parent times out
+                return real_request(kind, *args)
+
+            broken.request = black_hole
+            with pytest.raises(WorkerError):
+                pool.swap_model(make_model(rng=99))
+            # Manifest only commits after *all* acks; ambiguous state
+            # (an ack timeout) is flagged for /healthz.
+            assert pool.manifest["fingerprint"] == old_fingerprint
+            assert pool.swap_inconsistent
+            # The acked worker was rolled back onto the old manifest.
+            assert (
+                pool.worker(0)
+                .request("ping")
+                .result(timeout=10)["fingerprint"]
+                == old_fingerprint
+            )
+            # Recovery: a clean swap converges and clears the flag.
+            broken.request = real_request
+            summary = pool.swap_model(make_model(rng=99))
+            assert not pool.swap_inconsistent
+            fingerprints = {
+                status["fingerprint"] for status in pool.ping_all()
+            }
+            assert fingerprints == {summary["fingerprint"]}
+        finally:
+            pool.close()
+
+    def test_healthz_surfaces_fingerprint_inconsistency(self, server):
+        server.pool.swap_inconsistent = True
+        try:
+            status, payload = get(server.port, "/healthz")
+            assert status == 200
+            assert payload["status"] == "degraded"
+            assert payload["fingerprint_consistent"] is False
+        finally:
+            server.pool.swap_inconsistent = False
+        _, payload = get(server.port, "/healthz")
+        assert payload["fingerprint_consistent"] is True
 
 
 class TestSnapshotWarmup:
