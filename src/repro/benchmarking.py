@@ -29,10 +29,18 @@ Two benchmark families quantify the hot paths this repo optimizes:
   engine ("batched", :mod:`repro.qaoa.batched`), with every per-graph
   approximation ratio equivalence-checked between arms. Recorded to
   its own trajectory, ``BENCH_3.json``.
+- **Backend benchmarks** — the BENCH_4 training workload once per
+  lazy-engine kernel backend (numpy reference, cstyle compiled-C,
+  threaded tiles), arms interleaved with bit-identical loss traces
+  asserted in-process. Recorded to its own trajectory,
+  ``BENCH_6.json``, anchored against BENCH_4's lazy arm.
 
 Results append to a ``BENCH_*.json`` *trajectory*: a JSON list with one
 entry per run (timestamp, machine info, metrics), so successive PRs can
 regress against the history instead of a single overwritten number.
+:func:`run_benchmarks` stages every trajectory append until all
+requested sections finish, then commits each file atomically — a
+crash mid-run never leaves a partial entry behind.
 """
 
 from __future__ import annotations
@@ -80,6 +88,10 @@ DEFAULT_FUSION_BENCH_PATH = "BENCH_4.json"
 #: Scale-serving trajectory (thread-per-connection baseline vs the
 #: async front-end + multi-process worker stack, over real HTTP).
 DEFAULT_SCALE_BENCH_PATH = "BENCH_5.json"
+
+#: Kernel-backend trajectory (numpy reference vs the cstyle compiled
+#: backend vs its threaded-tile variant, same lazy engine throughout).
+DEFAULT_BACKENDS_BENCH_PATH = "BENCH_6.json"
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -969,6 +981,327 @@ def _bench2_cached_baseline(
     return None
 
 
+def bench_backends(
+    num_graphs: int = 128,
+    batch_size: int = 32,
+    epochs: int = 8,
+    arch: str = "gin",
+    seed: int = 20240305,
+    reps: int = 3,
+    verify: bool = True,
+    baseline_path: Optional[PathLike] = DEFAULT_FUSION_BENCH_PATH,
+) -> Dict[str, object]:
+    """Epoch throughput of the lazy engine across kernel backends.
+
+    The same BENCH_2/BENCH_4 ``cached`` training workload, run once per
+    backend — ``numpy`` (the reference per-op kernels), ``cstyle``
+    (fused groups compiled to C via cffi), ``threaded`` (the same
+    kernels with the outer loop tiled across a thread pool) — under the
+    BENCH_4 measurement protocol: one shared
+    :class:`~repro.data.compiled.CompiledDataset`, a full-length warmup
+    fit per arm (the realize plan cache is keyed by backend, so every
+    arm's plans — and the compiled arms' C kernels — stay warm across
+    switches), arms interleaved ``reps`` times, best epoch as the
+    per-arm statistic.
+
+    Each arm records its engine counter deltas, so the trajectory
+    shows *what ran*: ``compiled_kernels`` (fused groups executing as
+    one C call), per-backend kernel counts, and kernel-cache traffic.
+    On a box without a C toolchain only the ``numpy`` arm runs; the
+    skipped arms are recorded with ``"available": False`` rather than
+    silently measuring numpy three times.
+
+    ``baseline_path`` names a ``BENCH_4.json`` trajectory; its latest
+    matching ``lazy`` arm (the lazy-engine-over-numpy record) becomes
+    the cross-PR baseline for ``speedup_vs_bench4_lazy``.
+
+    With ``verify`` (default), every arm's loss trace must be
+    bit-identical to the numpy arm's: compiled backends promise the
+    same bits, not merely close ones.
+    """
+    from repro.data.compiled import CompiledDataset
+    from repro.gnn.predictor import QAOAParameterPredictor
+    from repro.nn.backends import BACKEND_NAMES, set_backend
+    from repro.nn.realize import counters as engine_counters
+    from repro.pipeline.training import Trainer, TrainingConfig
+
+    dataset = training_benchmark_dataset(num_graphs=num_graphs, seed=seed)
+    probe = QAOAParameterPredictor(arch=arch, p=dataset.depth(), rng=0)
+    shared = CompiledDataset(
+        list(dataset),
+        feature_kind="degree_onehot",
+        max_nodes=probe.in_dim,
+        build_plans=False,
+    )
+
+    def run_arm(arm_epochs: int, profile: bool = False):
+        model = QAOAParameterPredictor(arch=arch, p=dataset.depth(), rng=0)
+        trainer = Trainer(
+            model,
+            TrainingConfig(
+                epochs=arm_epochs,
+                batch_size=batch_size,
+                seed=0,
+                compile_batches=True,
+                csr_kernels=False,
+                profile=profile,
+                engine="lazy",
+            ),
+        )
+        return trainer.fit(dataset, compiled=shared)
+
+    counted_keys = ("kernels", "ops", "realizes")
+    warmup_keys = (
+        "compiled_kernels", "kernel_cache_hits", "kernel_cache_misses",
+    )
+    arm_names: List[str] = []
+    unavailable: List[str] = []
+    for name in BACKEND_NAMES:
+        if set_backend(name) == name:
+            arm_names.append(name)
+        else:
+            unavailable.append(name)
+
+    try:
+        # Warmup: every arm compiles its plans (and, for the compiled
+        # backends, its C kernels) against exactly the batch shapes the
+        # timed fits will replay. Compile-time counters only move here
+        # — the timed fits below are 100% plan-cache hits — so the
+        # warmup deltas are where kernel counts and cache traffic live.
+        warmup: Dict[str, Dict[str, float]] = {}
+        for name in arm_names:
+            set_backend(name)
+            before = engine_counters.snapshot()
+            run_arm(epochs)
+            now = engine_counters.snapshot()
+            warmup[name] = {
+                key: now[key] - before[key] for key in warmup_keys
+            }
+            warmup[name]["compile_seconds"] = round(
+                now["compile_seconds"] - before["compile_seconds"], 6
+            )
+
+        epoch_times: Dict[str, List[float]] = {n: [] for n in arm_names}
+        losses: Dict[str, List[float]] = {}
+        counted = {
+            n: {key: 0 for key in counted_keys} for n in arm_names
+        }
+        executed_compiled = {n: 0 for n in arm_names}
+        for _ in range(max(1, reps)):
+            for name in arm_names:
+                set_backend(name)
+                before = engine_counters.snapshot()
+                history = run_arm(epochs)
+                now = engine_counters.snapshot()
+                for key in counted_keys:
+                    counted[name][key] += now[key] - before[key]
+                # Kernel executions attributed to this backend (numpy
+                # remainders of a compiled plan stay under "numpy").
+                if name != "numpy":
+                    backend_key = f"kernels_{name}"
+                    executed_compiled[name] += now.get(
+                        backend_key, 0
+                    ) - before.get(backend_key, 0)
+                epoch_times[name].extend(history.epoch_times)
+                losses[name] = list(history.losses)
+    finally:
+        set_backend("numpy")
+
+    timed_reps = max(1, reps)
+    arms: Dict[str, object] = {}
+    for name in arm_names:
+        times = epoch_times[name]
+        best = min(times, default=0.0)
+        total = sum(times)
+        stats = {
+            key: value // timed_reps for key, value in counted[name].items()
+        }
+        stats["compiled_kernels"] = executed_compiled[name] // timed_reps
+        stats["compiled_coverage"] = (
+            stats["compiled_kernels"] / stats["kernels"]
+            if stats["kernels"]
+            else 0.0
+        )
+        stats["warmup"] = warmup[name]
+        arms[name] = {
+            "available": True,
+            "wall_time_s": total,
+            "mean_epoch_s": total / len(times) if times else 0.0,
+            "best_epoch_s": best,
+            "epochs_per_second": 1.0 / best if best > 0 else 0.0,
+            "timed_reps": timed_reps,
+            "final_loss": losses[name][-1] if losses.get(name) else 0.0,
+            "engine_counters": stats,
+        }
+    for name in unavailable:
+        arms[name] = {"available": False}
+
+    if verify:
+        for name in arm_names:
+            if name == "numpy":
+                continue
+            if not np.array_equal(losses["numpy"], losses[name]):
+                raise AssertionError(
+                    f"{name} backend loss trace is not bit-identical "
+                    "to the numpy backend"
+                )
+            arms[name]["bit_identical_to_numpy"] = True
+
+    numpy_epoch = arms["numpy"]["best_epoch_s"]
+    best_compiled: Optional[str] = None
+    for name in arm_names:
+        if name == "numpy":
+            continue
+        arm_epoch = arms[name]["best_epoch_s"]
+        arms[name]["speedup_vs_numpy"] = (
+            numpy_epoch / arm_epoch if arm_epoch > 0 else float("inf")
+        )
+        if best_compiled is None or (
+            arms[name]["epochs_per_second"]
+            > arms[best_compiled]["epochs_per_second"]
+        ):
+            best_compiled = name
+
+    baseline = _bench4_lazy_baseline(
+        baseline_path, num_graphs=num_graphs, batch_size=batch_size,
+        arch=arch,
+    )
+    speedup_vs_bench4 = None
+    if baseline is not None and best_compiled is not None:
+        base_epoch = baseline.get("best_epoch_s") or 0.0
+        arm_epoch = arms[best_compiled]["best_epoch_s"]
+        if base_epoch and arm_epoch > 0:
+            speedup_vs_bench4 = base_epoch / arm_epoch
+            arms[best_compiled]["speedup_vs_bench4_lazy"] = speedup_vs_bench4
+
+    for name in arm_names:
+        stats = arms[name]["engine_counters"]
+        logger.info(
+            "backends arm=%s: %.1f epochs/s%s, %d kernels "
+            "(%d compiled, %.0f%% coverage)",
+            name,
+            arms[name]["epochs_per_second"],
+            (
+                f" ({arms[name]['speedup_vs_numpy']:.2f}x vs numpy)"
+                if name != "numpy"
+                else ""
+            ),
+            stats["kernels"],
+            stats["compiled_kernels"],
+            100.0 * stats["compiled_coverage"],
+        )
+
+    results: Dict[str, object] = {
+        "num_graphs": num_graphs,
+        "batch_size": batch_size,
+        "epochs": epochs,
+        "reps": timed_reps,
+        "arch": arch,
+        "arms": arms,
+    }
+    if best_compiled is not None:
+        results["best_compiled"] = best_compiled
+        results["speedup"] = arms[best_compiled]["speedup_vs_numpy"]
+    if baseline is not None:
+        results["bench4_lazy_baseline"] = baseline
+    if speedup_vs_bench4 is not None:
+        results["speedup_vs_bench4_lazy"] = speedup_vs_bench4
+    return results
+
+
+def bench_backends_suite(
+    num_graphs: int = 128,
+    batch_size: int = 32,
+    full_batch_size: Optional[int] = None,
+    epochs: int = 8,
+    arch: str = "gin",
+    seed: int = 20240305,
+    reps: int = 3,
+    verify: bool = True,
+    baseline_path: Optional[PathLike] = DEFAULT_FUSION_BENCH_PATH,
+) -> Dict[str, object]:
+    """Backend sweep over two workloads, recorded as one BENCH_6 entry.
+
+    The top-level fields replay the exact BENCH_2/BENCH_4 workload
+    (``batch_size`` mini-batches), so ``speedup_vs_bench4_lazy`` stays
+    an apples-to-apples cross-PR comparison. That workload is
+    front-end bound: at small batches the per-batch graph build and
+    plan-cache walk — identical across backends — dominate the epoch,
+    so it understates what the compiled kernels themselves buy.
+
+    The ``full_batch`` section reruns the same sweep (same graphs,
+    same protocol, all arms interleaved) with ``full_batch_size``
+    rows per batch — default one batch per epoch — where kernel
+    execution dominates the epoch. Its per-arm ``speedup_vs_numpy``
+    is the compiled-vs-lazy-numpy ratio on that workload and is the
+    headline compiled-backend number.
+    """
+    results = bench_backends(
+        num_graphs=num_graphs,
+        batch_size=batch_size,
+        epochs=epochs,
+        arch=arch,
+        seed=seed,
+        reps=reps,
+        verify=verify,
+        baseline_path=baseline_path,
+    )
+    full_bs = full_batch_size or num_graphs
+    if full_bs != batch_size:
+        results["full_batch"] = bench_backends(
+            num_graphs=num_graphs,
+            batch_size=full_bs,
+            epochs=epochs,
+            arch=arch,
+            seed=seed,
+            reps=reps,
+            verify=verify,
+            baseline_path=None,
+        )
+    return results
+
+
+def _bench4_lazy_baseline(
+    path: Optional[PathLike],
+    num_graphs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    arch: Optional[str] = None,
+) -> Optional[dict]:
+    """Latest recorded ``lazy`` fusion arm from a BENCH_4 trajectory.
+
+    The backend sweep's cross-PR anchor: BENCH_4's lazy arm is the
+    engine running on the numpy backend, so the ratio isolates what
+    *compilation* buys on the identical workload. Matching and shape
+    mirror :func:`_bench2_cached_baseline`.
+    """
+    if path is None or not Path(path).exists():
+        return None
+    try:
+        trajectory = load_trajectory(path)
+    except (ValueError, json.JSONDecodeError):
+        return None
+    for entry in reversed(trajectory):
+        fusion = entry.get("results", {}).get("fusion")
+        if not fusion:
+            continue
+        if num_graphs is not None and fusion.get("num_graphs") != num_graphs:
+            continue
+        if batch_size is not None and fusion.get("batch_size") != batch_size:
+            continue
+        if arch is not None and fusion.get("arch") != arch:
+            continue
+        lazy = fusion.get("arms", {}).get("lazy")
+        if not lazy:
+            continue
+        return {
+            "best_epoch_s": lazy.get("best_epoch_s"),
+            "epochs_per_second": lazy.get("epochs_per_second"),
+            "run": entry.get("run"),
+            "timestamp": entry.get("timestamp"),
+        }
+    return None
+
+
 # ----------------------------------------------------------------------
 # Evaluation throughput benchmarks
 # ----------------------------------------------------------------------
@@ -1163,16 +1496,32 @@ def run_benchmarks(
     scale_path: PathLike = DEFAULT_SCALE_BENCH_PATH,
     scale_workers: int = 2,
     scale_duration_s: float = 2.0,
+    skip_backends: bool = False,
+    backends_path: PathLike = DEFAULT_BACKENDS_BENCH_PATH,
+    backends_graphs: int = 128,
+    backends_epochs: int = 8,
+    backends_batch_size: int = 32,
+    backends_full_batch_size: Optional[int] = None,
+    backends_reps: int = 3,
 ) -> dict:
     """Run the kernel (and optionally labeling/serving/training/
-    evaluation/fusion) benchmarks. Kernel/labeling/serving results
-    append one entry to the trajectory at ``path``; the training,
-    evaluation, and fusion benchmarks append their own entries to
-    ``training_path`` (``BENCH_2.json``), ``evaluation_path``
-    (``BENCH_3.json``), and ``fusion_path`` (``BENCH_4.json``).
-    Returns the ``path`` entry, with the training, evaluation, and
-    fusion results merged into its ``results`` in memory (not on disk)
-    so callers can render one summary."""
+    evaluation/fusion/backend) benchmarks. Kernel/labeling/serving
+    results append one entry to the trajectory at ``path``; the
+    training, evaluation, fusion, scale-serving, and backend-sweep
+    benchmarks append their own entries to ``training_path``
+    (``BENCH_2.json``), ``evaluation_path`` (``BENCH_3.json``),
+    ``fusion_path`` (``BENCH_4.json``), ``scale_path``
+    (``BENCH_5.json``), and ``backends_path`` (``BENCH_6.json``).
+
+    All trajectory writes are staged until every requested section has
+    finished, then committed file by file (each one atomically, via a
+    temp file and ``os.replace``): a benchmark that crashes halfway
+    never dirties any existing ``BENCH_*.json`` with a partial run.
+
+    Returns the ``path`` entry, with the section results merged into
+    its ``results`` in memory (not on disk) so callers can render one
+    summary."""
+    staged: List[Tuple[PathLike, Dict[str, object]]] = []
     results: Dict[str, object] = {
         "gradient_kernel_n15_p2": bench_gradient_kernel(
             repeats=kernel_repeats
@@ -1194,7 +1543,7 @@ def run_benchmarks(
             batch_size=training_batch_size,
             epochs=training_epochs,
         )
-        append_bench_entry(training_path, {"training": training_results})
+        staged.append((training_path, {"training": training_results}))
     evaluation_results = None
     if not skip_evaluation:
         evaluation_results = bench_evaluation(
@@ -1202,7 +1551,7 @@ def run_benchmarks(
             p=evaluation_p,
             optimizer_iters=evaluation_iters,
         )
-        append_bench_entry(evaluation_path, {"evaluation": evaluation_results})
+        staged.append((evaluation_path, {"evaluation": evaluation_results}))
     fusion_results = None
     if not skip_fusion:
         fusion_results = bench_fusion(
@@ -1212,14 +1561,30 @@ def run_benchmarks(
             reps=fusion_reps,
             baseline_path=training_path,
         )
-        append_bench_entry(fusion_path, {"fusion": fusion_results})
+        staged.append((fusion_path, {"fusion": fusion_results}))
     scale_results = None
     if not skip_scale_serving:
         scale_results = bench_serving_scale(
             workers=scale_workers, duration_s=scale_duration_s
         )
-        append_bench_entry(scale_path, {"serving_scale": scale_results})
-    entry = append_bench_entry(path, results)
+        staged.append((scale_path, {"serving_scale": scale_results}))
+    backends_results = None
+    if not skip_backends:
+        backends_results = bench_backends_suite(
+            num_graphs=backends_graphs,
+            batch_size=backends_batch_size,
+            full_batch_size=backends_full_batch_size,
+            epochs=backends_epochs,
+            reps=backends_reps,
+            baseline_path=fusion_path,
+        )
+        staged.append((backends_path, {"backends": backends_results}))
+    # Commit point: every section succeeded, so the trajectories update
+    # together. A failure above leaves all BENCH_*.json files untouched.
+    staged.append((path, results))
+    entry = None
+    for staged_path, staged_results in staged:
+        entry = append_bench_entry(staged_path, staged_results)
     if training_results is not None:
         entry["results"]["training"] = training_results
     if evaluation_results is not None:
@@ -1228,6 +1593,8 @@ def run_benchmarks(
         entry["results"]["fusion"] = fusion_results
     if scale_results is not None:
         entry["results"]["serving_scale"] = scale_results
+    if backends_results is not None:
+        entry["results"]["backends"] = backends_results
     return entry
 
 
@@ -1306,6 +1673,38 @@ def format_entry(entry: dict) -> str:
                 f"  evaluation[{name}]: "
                 f"{stats['best_wall_s']:.2f}s, "
                 f"{stats['graphs_per_second']:.1f} graphs/s{suffix}"
+            )
+    backends_sweep = results.get("backends")
+    if backends_sweep:
+        sections = [("", backends_sweep)]
+        full_batch = backends_sweep.get("full_batch")
+        if full_batch:
+            sections.append(
+                (f" bs={full_batch['batch_size']}", full_batch)
+            )
+        for label, section in sections:
+            for name, stats in section["arms"].items():
+                if not stats.get("available", True):
+                    lines.append(
+                        f"  backend[{name}]{label}: unavailable "
+                        "(no toolchain)"
+                    )
+                    continue
+                speedup = stats.get("speedup_vs_numpy")
+                suffix = f" ({speedup:.2f}x vs numpy)" if speedup else ""
+                counters = stats["engine_counters"]
+                lines.append(
+                    f"  backend[{name}]{label}: "
+                    f"{stats['mean_epoch_s'] * 1e3:.1f} ms/epoch, "
+                    f"{stats['epochs_per_second']:.1f} epochs/s{suffix}, "
+                    f"{counters['compiled_kernels']}/{counters['kernels']} "
+                    f"kernels compiled"
+                )
+        bench4 = backends_sweep.get("speedup_vs_bench4_lazy")
+        if bench4:
+            lines.append(
+                f"  backend[{backends_sweep['best_compiled']}] vs BENCH_4 "
+                f"lazy arm: {bench4:.2f}x"
             )
     serving_scale = results.get("serving_scale")
     if serving_scale:

@@ -11,7 +11,8 @@ Seven subcommands cover the offline pipeline and the online service:
 - ``repro train`` — train one architecture on a saved dataset, save a
   versioned model checkpoint (``--profile`` prints the per-phase
   wall-time report; ``--no-batch-cache`` / ``--fast-kernels`` toggle
-  the cached-batch and CSR-kernel paths).
+  the cached-batch and CSR-kernel paths; ``--backend cstyle|threaded``
+  runs fused groups as compiled C kernels, bit-identical to numpy).
 - ``repro evaluate`` — warm-start evaluation of a saved model against
   random initialization on a saved dataset's held-out split
   (``--batched`` runs the size-bucketed lock-step engine — identical
@@ -23,10 +24,12 @@ Seven subcommands cover the offline pipeline and the online service:
 - ``repro predict`` — one-shot prediction for a single graph, printed
   as JSON.
 - ``repro bench`` — run the kernel / labeling / serving / training /
-  evaluation / engine benchmarks; kernel results append to
+  evaluation / engine / backend benchmarks; kernel results append to
   ``BENCH_1.json``, training throughput to ``BENCH_2.json``,
   evaluation-sweep throughput to ``BENCH_3.json``, lazy-vs-eager
-  engine throughput to ``BENCH_4.json``.
+  engine throughput to ``BENCH_4.json``, the kernel-backend sweep
+  (numpy vs compiled) to ``BENCH_6.json``. No trajectory file is
+  written unless every requested section finishes.
 
 Example::
 
@@ -46,6 +49,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.tables import format_table1
+from repro.nn.backends import BACKEND_NAMES, set_backend
 from repro.data.dataset import QAOADataset
 from repro.data.generation import GenerationConfig, generate_dataset
 from repro.data.splits import stratified_split
@@ -211,11 +215,21 @@ def _add_train(subparsers) -> None:
         help="tensor engine: lazy fused kernels (default, bit-identical)"
         " or the op-at-a-time eager oracle",
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="numpy",
+        help="lazy-engine kernel backend: numpy (reference), cstyle "
+        "(fused groups compiled to C, bit-identical), or threaded "
+        "(compiled + outer-loop tiling); compiled backends silently "
+        "fall back to numpy when no C toolchain is available",
+    )
     parser.add_argument("--out", type=Path, required=True)
     parser.set_defaults(func=_cmd_train)
 
 
 def _cmd_train(args) -> int:
+    # Silent toolchain fallback: the effective name may be "numpy" even
+    # when a compiled backend was requested (ctoolchain logs the why).
+    set_backend(args.backend)
     dataset = QAOADataset.load(args.dataset)
     model = QAOAParameterPredictor(
         arch=args.arch,
@@ -432,10 +446,17 @@ def _add_serve(subparsers) -> None:
         "--watch-interval", type=float, default=2.0,
         help="seconds between version-pointer polls",
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="numpy",
+        help="lazy-engine kernel backend for forward passes (set before "
+        "workers fork, so the scale stack inherits it); compiled "
+        "backends silently fall back to numpy without a C toolchain",
+    )
     parser.set_defaults(func=_cmd_serve)
 
 
 def _cmd_serve(args) -> int:
+    set_backend(args.backend)
     from repro.serving import (
         PredictionService,
         ServingConfig,
@@ -982,6 +1003,35 @@ def _add_bench(subparsers) -> None:
         "--scale-duration", type=float, default=2.0,
         help="seconds per load-generator arm of the scale benchmark",
     )
+    parser.add_argument(
+        "--skip-backends", action="store_true",
+        help="skip the kernel-backend sweep (numpy vs cstyle vs threaded)",
+    )
+    parser.add_argument(
+        "--backends-out", type=Path, default=Path("BENCH_6.json"),
+        help="trajectory file for the kernel-backend sweep",
+    )
+    parser.add_argument(
+        "--backends-graphs", type=int, default=128,
+        help="dataset size for the kernel-backend sweep",
+    )
+    parser.add_argument(
+        "--backends-epochs", type=int, default=8,
+        help="epochs per arm of the kernel-backend sweep",
+    )
+    parser.add_argument(
+        "--backends-batch-size", type=int, default=32,
+        help="mini-batch size for the BENCH_4-comparable sweep workload",
+    )
+    parser.add_argument(
+        "--backends-full-batch-size", type=int, default=None,
+        help="batch size for the kernel-bound full-batch sweep workload "
+        "(default: one batch per epoch)",
+    )
+    parser.add_argument(
+        "--backends-reps", type=int, default=3,
+        help="interleaved timing reps per arm of the kernel-backend sweep",
+    )
     parser.set_defaults(func=_cmd_bench)
 
 
@@ -1016,6 +1066,13 @@ def _cmd_bench(args) -> int:
         scale_path=args.scale_out,
         scale_workers=args.scale_workers,
         scale_duration_s=args.scale_duration,
+        skip_backends=args.skip_backends,
+        backends_path=args.backends_out,
+        backends_graphs=args.backends_graphs,
+        backends_epochs=args.backends_epochs,
+        backends_batch_size=args.backends_batch_size,
+        backends_full_batch_size=args.backends_full_batch_size,
+        backends_reps=args.backends_reps,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
@@ -1027,6 +1084,8 @@ def _cmd_bench(args) -> int:
         print(f"appended engine benchmark to {args.fusion_out}")
     if not args.skip_scale_serving:
         print(f"appended scale-serving benchmark to {args.scale_out}")
+    if not args.skip_backends:
+        print(f"appended kernel-backend sweep to {args.backends_out}")
     return 0
 
 

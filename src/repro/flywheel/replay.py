@@ -23,6 +23,15 @@ renamed (``os.replace``, atomic) to a numbered segment and a fresh
 active file begins. ``load()`` reads segments in rotation order, active
 file last, so replay order equals serving order.
 
+Rotation also *compacts* the sealed segment: records are deduplicated
+by WL class, keeping the latest record of each class — but duplicates
+are merged, not discarded. The survivor absorbs the dropped records'
+request ``weight`` and per-source counts, so the selector's frequency
+and fallback-pressure signals over a compacted segment are exactly
+what the raw segment would have produced, at a fraction of the bytes.
+The rewrite is atomic (temp file + ``os.replace``); a crash mid-compact
+leaves the uncompacted segment, which is merely bigger, never wrong.
+
 Sampling is deterministic: whether request ``seq`` is logged depends
 only on ``(seed, seq)``, never on wall-clock time or thread timing —
 two identically-driven services produce identical logs.
@@ -33,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import tempfile
 import threading
 from pathlib import Path
 from typing import IO, List, Optional, Union
@@ -79,11 +89,22 @@ class ReplayRecord:
         Whether the answer came from the prediction cache.
     latency_ms:
         Service-side latency of the request.
+    weight:
+        How many original requests this record stands for. Freshly
+        logged records weigh 1; segment compaction merges a WL class's
+        duplicates into its latest record and sums their weights, so
+        frequency signals survive the dedup.
+    source_counts:
+        Per-source request histogram behind ``weight`` (``{source:
+        count}``). For a fresh record this is ``{source: 1}``; a
+        compacted record carries the merged histogram of everything it
+        absorbed, preserving the fallback-pressure split exactly.
     """
 
     __slots__ = (
         "graph", "wl_hash", "p", "gammas", "betas",
         "source", "model_key", "cached", "latency_ms",
+        "weight", "source_counts",
     )
 
     def __init__(
@@ -97,6 +118,8 @@ class ReplayRecord:
         model_key: str = "",
         cached: bool = False,
         latency_ms: float = 0.0,
+        weight: int = 1,
+        source_counts: Optional[dict] = None,
     ):
         self.graph = graph
         self.wl_hash = str(wl_hash)
@@ -107,10 +130,16 @@ class ReplayRecord:
         self.model_key = str(model_key)
         self.cached = bool(cached)
         self.latency_ms = float(latency_ms)
+        self.weight = int(weight)
+        self.source_counts = (
+            {str(key): int(value) for key, value in source_counts.items()}
+            if source_counts
+            else {self.source: self.weight}
+        )
 
     def to_payload(self) -> dict:
         """JSON-safe dict (the on-disk line schema)."""
-        return {
+        payload = {
             "graph": graph_to_text(self.graph),
             "wl_hash": self.wl_hash,
             "p": self.p,
@@ -121,6 +150,12 @@ class ReplayRecord:
             "cached": self.cached,
             "latency_ms": self.latency_ms,
         }
+        # Only compacted records carry the merged fields; the hot-path
+        # line for a fresh record stays as small as before.
+        if self.weight != 1 or self.source_counts != {self.source: 1}:
+            payload["weight"] = self.weight
+            payload["source_counts"] = dict(self.source_counts)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ReplayRecord":
@@ -136,8 +171,10 @@ class ReplayRecord:
                 model_key=payload.get("model_key", ""),
                 cached=payload.get("cached", False),
                 latency_ms=payload.get("latency_ms", 0.0),
+                weight=payload.get("weight", 1),
+                source_counts=payload.get("source_counts"),
             )
-        except (KeyError, TypeError, ValueError) as exc:
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ReplayLogError(f"malformed replay record: {exc}") from exc
 
 
@@ -181,6 +218,8 @@ class ReplayLog:
         self.sampled_out = 0
         self.dropped = 0
         self.rotations = 0
+        self.compactions = 0
+        self.compacted_records = 0
         self.recovered_lines = 0
         #: Monotone per-process request counter driving the sampler.
         self._seq = 0
@@ -334,8 +373,89 @@ class ReplayLog:
             return
         self._handle.close()
         self._handle = None
-        os.replace(self.active_path, self._next_segment_path())
+        segment = self._next_segment_path()
+        os.replace(self.active_path, segment)
         self.rotations += 1
+        self._compact_segment(segment)
+
+    def _compact_segment(self, path: Path) -> None:
+        """Dedupe a sealed segment by WL class, keeping the latest record.
+
+        Duplicates are *merged*, not discarded: the surviving (latest)
+        record of each class absorbs the dropped records' request
+        ``weight`` and per-source counts, so selection sweeps over the
+        compacted segment see exactly the frequency and fallback-
+        pressure signals the raw segment carried. Unparseable lines are
+        kept verbatim (``load()`` already skips and counts them), and
+        the rewrite is atomic — any failure leaves the raw segment,
+        which is merely bigger, never wrong.
+        """
+        try:
+            lines = path.read_bytes().splitlines()
+        except OSError as exc:
+            logger.warning("segment compaction read failed (%s); kept", exc)
+            return
+        # wl class -> (line index, raw line, parsed payload) of the
+        # latest occurrence; merged weight/source histograms per class.
+        kept: dict = {}
+        merged_weight: dict = {}
+        merged_sources: dict = {}
+        raw_keep: list = []
+        removed = 0
+        for idx, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                key = payload["wl_hash"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                raw_keep.append((idx, line))
+                continue
+            if key in kept:
+                removed += 1
+            kept[key] = (idx, line, payload)
+            weight = int(payload.get("weight", 1))
+            merged_weight[key] = merged_weight.get(key, 0) + weight
+            counts = payload.get("source_counts") or {
+                str(payload.get("source", "")): weight
+            }
+            bucket = merged_sources.setdefault(key, {})
+            for source, count in counts.items():
+                bucket[source] = bucket.get(source, 0) + int(count)
+        if not removed:
+            return
+        out = list(raw_keep)
+        for key, (idx, line, payload) in kept.items():
+            if merged_weight[key] != int(payload.get("weight", 1)):
+                payload["weight"] = merged_weight[key]
+                payload["source_counts"] = merged_sources[key]
+                line = json.dumps(payload, separators=(",", ":")).encode()
+            out.append((idx, line))
+        # Survivors stay in serving order (order of latest occurrence).
+        out.sort()
+        data = b"\n".join(line for _, line in out) + b"\n"
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".jsonl.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError as exc:
+            logger.warning("segment compaction write failed (%s); kept", exc)
+            return
+        self.compactions += 1
+        self.compacted_records += removed
+        logger.info(
+            "compacted %s: %d records merged into %d classes",
+            path.name,
+            removed + len(kept),
+            len(kept),
+        )
 
     def close(self) -> None:
         """Flush and release the active file handle."""
@@ -411,6 +531,8 @@ class ReplayLog:
                 "sampled_out": self.sampled_out,
                 "dropped": self.dropped,
                 "rotations": self.rotations,
+                "compactions": self.compactions,
+                "compacted_records": self.compacted_records,
                 "recovered_lines": self.recovered_lines,
                 "sample_rate": self.sample_rate,
                 "max_bytes": self.max_bytes,

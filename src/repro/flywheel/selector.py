@@ -150,10 +150,15 @@ class _ClassAggregate:
         self.betas = record.betas
 
     def add(self, record: ReplayRecord) -> None:
-        self.requests += 1
-        self.sources[record.source] = self.sources.get(record.source, 0) + 1
-        if record.source != SOURCE_MODEL:
-            self.fallback += 1
+        # A compacted record stands for ``weight`` original requests;
+        # its source_counts histogram carries the per-source split, so
+        # frequency and fallback pressure are identical whether the
+        # segment was compacted or raw.
+        self.requests += record.weight
+        for source, count in record.source_counts.items():
+            self.sources[source] = self.sources.get(source, 0) + count
+            if source != SOURCE_MODEL:
+                self.fallback += count
         # Latest served parameters win: they reflect the model the next
         # cycle competes against.
         self.gammas = record.gammas

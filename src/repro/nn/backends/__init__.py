@@ -3,34 +3,92 @@
 A backend turns individual :class:`~repro.nn.lazyir.LazyNode` ops into
 executable kernels; the scheduler in :mod:`repro.nn.realize` decides
 *grouping* (which ops share temporaries) and the backend decides
-*execution* (which library calls implement each op). The numpy
-reference backend is the only implementation today — its kernels replay
-the exact ufunc sequences of the eager path, which is what makes the
-bitwise-equivalence contract testable. The seam exists so a later PR
-can drop in e.g. a threaded tile backend without touching the IR or the
-scheduler: implement :func:`~repro.nn.backends.numpy_backend.build_instr`
-and :func:`~repro.nn.backends.numpy_backend.build_view` with the same
-signatures and register it here.
+*execution* (which library calls implement each op). Three backends
+ship:
+
+- ``numpy`` — the reference. Its kernels replay the exact ufunc
+  sequences of the eager path, which is what makes the
+  bitwise-equivalence contract testable.
+- ``cstyle`` — renders each fused group to a single C function
+  compiled via cffi (:mod:`repro.nn.backends.cstyle`), bit-identical
+  to the reference by construction and by runtime probe.
+- ``threaded`` — the same compiled kernels with large row-independent
+  outer loops tiled across a thread pool.
+
+Selection is by name through :func:`set_backend` (the CLI's
+``--backend`` flag lands here). The compiled backends require a C
+toolchain; when the probe fails (no compiler, ``CC=/bin/false``, a
+sandboxed build environment), selection *silently* falls back to numpy — same
+results, just slower — so ``--backend cstyle`` is always safe to pass.
+A backend can also be a module object exposing ``build_instr`` /
+``build_view`` (tests inject doubles this way); optional hooks:
+``compile_groups`` for whole-group kernels and ``available`` for the
+fallback gate.
 """
 
 from repro.nn.backends import numpy_backend
 
+#: Public backend names, in CLI-choice order.
+BACKEND_NAMES = ("numpy", "cstyle", "threaded")
+
 _ACTIVE_BACKEND = numpy_backend
+_ACTIVE_NAME = "numpy"
+
+
+def _resolve(name: str):
+    """Backend module for ``name``, honouring the toolchain fallback."""
+    if name == "numpy":
+        return numpy_backend, "numpy"
+    if name == "cstyle":
+        from repro.nn.backends import cstyle
+
+        if cstyle.available():
+            return cstyle, "cstyle"
+        return numpy_backend, "numpy"
+    if name == "threaded":
+        from repro.nn.backends import threaded
+
+        if threaded.available():
+            return threaded, "threaded"
+        return numpy_backend, "numpy"
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
 
 
 def get_backend():
-    """The backend module used to compile kernels (numpy for now)."""
+    """The backend module used to compile kernels."""
     return _ACTIVE_BACKEND
 
 
-def set_backend(backend) -> None:
-    """Swap the kernel backend (the seam for future accelerators).
+def get_backend_name() -> str:
+    """Name of the active backend (``"numpy"`` after a silent fallback)."""
+    return _ACTIVE_NAME
 
-    The backend must expose ``build_instr(node, loaders, out_index)``
-    and ``build_view(node)``. Swapping does not invalidate plans already
-    compiled by the previous backend; callers flip backends before any
-    realization (tests, benchmarks) or clear the plan cache explicitly
-    via :func:`repro.nn.realize.clear_plan_cache`.
+
+def set_backend(backend) -> str:
+    """Select the kernel backend by name (or inject a module object).
+
+    With a string, resolves through the toolchain probe: asking for a
+    compiled backend on a box without a C compiler quietly selects
+    numpy and returns ``"numpy"`` — callers that care (the CLI's
+    ``--profile`` output) can surface the effective name; everything
+    still runs. With a module object (tests), the module must expose
+    ``build_instr(node, srcs, out_index)`` and ``build_view(node)``.
+
+    Swapping is safe at any point: the realize plan cache is keyed by
+    the active backend name, so plans compiled by the previous backend
+    are never replayed — each backend keeps (and re-warms) its own
+    plans. Injected module objects share one ``"custom"`` namespace;
+    tests that swap doubles should
+    :func:`repro.nn.realize.clear_plan_cache` between them.
     """
-    global _ACTIVE_BACKEND
-    _ACTIVE_BACKEND = backend
+    global _ACTIVE_BACKEND, _ACTIVE_NAME
+    if isinstance(backend, str):
+        _ACTIVE_BACKEND, _ACTIVE_NAME = _resolve(backend)
+    else:
+        _ACTIVE_BACKEND = backend
+        _ACTIVE_NAME = getattr(backend, "__name__", "custom").rsplit(
+            ".", 1
+        )[-1].replace("_backend", "")
+    return _ACTIVE_NAME

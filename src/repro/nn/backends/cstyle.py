@@ -1,0 +1,1145 @@
+"""Compiled-kernel backend: fused groups rendered to C via cffi.
+
+The numpy backend executes a fused group as a sequence of full-width
+ufunc calls — one memory round-trip per op. This backend renders each
+fused group of a realize plan into a *single* C function: one loop nest
+over the output, scalar temporaries in registers for every in-group
+elementwise op, and loads/stores only at the group boundary. The
+contract is the same bitwise equivalence the numpy backend upholds:
+
+- Ops are emitted in the exact order and double precision of the numpy
+  reference. IEEE arithmetic (``+ - * /``), comparisons, ``sqrt`` and
+  ``fabs`` are correctly rounded and therefore bit-identical by
+  specification. ``-ffp-contract=off`` keeps the compiler from fusing
+  multiply-adds into single-rounding FMAs.
+- numpy's *pairwise summation* is replayed exactly (8-accumulator
+  blocks, fixed combination tree, halving recursion aligned down to a
+  multiple of 8) for full and last-axis ``sum``/``mean``; leading-axis
+  reductions replay numpy's sequential row accumulation.
+- ``maximum`` uses ``(a > b || isnan(a)) ? a : b`` — probed to match
+  numpy 2.x on every NaN/±0 combination (numpy's SIMD loops return the
+  *second* operand on equal ±0, unlike the textbook ``>=`` form).
+- Anything that cannot be proven equivalent is simply not rendered:
+  transcendentals whose libm differs from numpy's loops by an ulp
+  (caught by :func:`_numeric_caps`, a compile-and-compare probe run
+  once per process), exotic reduce layouts, BLAS matmuls. Groups
+  containing an unrenderable op fall back to the per-op numpy closures
+  — correctness never depends on coverage.
+
+``compile_groups`` is the scheduler hook: it receives the fusion
+grouping from :func:`repro.nn.realize._compile`, renders every
+renderable group into one translation unit, compiles it through the
+on-disk cache in :mod:`repro.nn.backends.ctoolchain`, and returns
+``{root_index: (run, external_source_indices)}``. Per-op ``build_instr``
+/ ``build_view`` delegate to the numpy backend, so unrendered groups
+execute exactly as before.
+
+The ``threaded`` variant (:mod:`repro.nn.backends.threaded`) reuses
+every kernel unchanged: each function takes ``(lo, hi)`` bounds on its
+outer loop, so row-independent kernels can be tiled across a thread
+pool — cffi releases the GIL for the duration of the call.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.backends import ctoolchain, numpy_backend
+from repro.nn.lazyir import KIND_EW, KIND_OPAQUE, KIND_REDUCE, KIND_VIEW
+
+# Per-op numpy closures for every group the renderer declines.
+build_instr = numpy_backend.build_instr
+build_view = numpy_backend.build_view
+
+#: Stack buffers per kernel (reduce outputs + pairwise row buffers) are
+#: capped well under the default 8 MB thread stack.
+LOCAL_BYTES_CAP = 4 * 1024 * 1024
+
+#: Elementwise kernels below this output size are not worth tiling.
+TILE_MIN_ELEMS = 32768
+
+_F8, _B1, _I8 = "<f8", "|b1", "<i8"
+
+_HEADER = r"""
+#include <math.h>
+#include <stdint.h>
+typedef long long i64;
+typedef unsigned long long u64;
+
+/* numpy 2.x maximum: returns the SECOND operand on equality (so
+   max(+0,-0) == -0, matching the SIMD loops), NaN propagates. */
+static inline double rr_max(double a, double b) {
+    return (a > b || isnan(a)) ? a : b;
+}
+static inline double rr_sign(double a) {
+    return a > 0.0 ? 1.0 : (a < 0.0 ? -1.0 : a);
+}
+/* numpy's pairwise summation, exactly: <8 sequential; <=128 via eight
+   accumulators seeded from the first block then a fixed combination
+   tree; else halve with the split aligned down to a multiple of 8. */
+static double rr_pairwise(const double *a, i64 n) {
+    if (n < 8) {
+        double res = 0.0;
+        for (i64 i = 0; i < n; i++) res += a[i];
+        return res;
+    }
+    if (n <= 128) {
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        i64 i = 8;
+        for (; i + 8 <= n; i += 8) {
+            r0 += a[i];     r1 += a[i + 1]; r2 += a[i + 2]; r3 += a[i + 3];
+            r4 += a[i + 4]; r5 += a[i + 5]; r6 += a[i + 6]; r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++) res += a[i];
+        return res;
+    }
+    i64 n2 = n / 2;
+    n2 -= n2 % 8;
+    return rr_pairwise(a, n2) + rr_pairwise(a + n2, n - n2);
+}
+"""
+
+_SIG = "(const u64 *b, const i64 *m, i64 lo, i64 hi)"
+_CDEF = ("void {name}(const unsigned long long *, const long long *, "
+         "long long, long long);")
+
+
+# ---------------------------------------------------------------------------
+# Numeric capability probe
+# ---------------------------------------------------------------------------
+_CAPS: Optional[frozenset] = None
+_CAPS_LOCK = threading.Lock()
+
+_PROBE_SRC = r"""
+void p_pair(const double *a, double *o, const i64 *ns, i64 k) {
+    i64 off = 0;
+    for (i64 j = 0; j < k; j++) { o[j] = rr_pairwise(a + off, ns[j]); off += ns[j]; }
+}
+void p_max2(const double *a, const double *b, double *o, i64 n) {
+    for (i64 i = 0; i < n; i++) o[i] = rr_max(a[i], b[i]);
+}
+void p_maxflat(const double *a, double *o, i64 n) {
+    double acc = -INFINITY;
+    for (i64 i = 0; i < n; i++) acc = rr_max(acc, a[i]);
+    *o = acc;
+}
+void p_unary(const double *a, double *o, i64 n, i64 which) {
+    for (i64 i = 0; i < n; i++) {
+        double v = a[i];
+        o[i] = which == 0 ? exp(v) : which == 1 ? log(v)
+             : which == 2 ? tanh(v) : which == 3 ? sqrt(v)
+             : which == 4 ? fabs(v) : rr_sign(v);
+    }
+}
+"""
+
+_PROBE_DECLS = [
+    "void p_pair(const double *, double *, const long long *, long long);",
+    "void p_max2(const double *, const double *, double *, long long);",
+    "void p_maxflat(const double *, double *, long long);",
+    "void p_unary(const double *, double *, long long, long long);",
+]
+
+
+def _numeric_caps() -> Optional[frozenset]:
+    """Which render rules are bitwise-equal to numpy on this platform.
+
+    Compiles a probe translation unit built from the same helpers the
+    kernels use and fuzz-compares each risky rule against numpy,
+    byte-for-byte, across sizes that straddle every pairwise-summation
+    threshold and an adversarial NaN/±0/inf vector. Returns ``None``
+    when no toolchain exists; an empty-ish set merely shrinks coverage
+    (unrenderable groups run the numpy closures instead).
+    """
+    global _CAPS
+    if _CAPS is not None:
+        return _CAPS
+    with _CAPS_LOCK:
+        if _CAPS is not None:
+            return _CAPS
+        loaded = ctoolchain.load(_HEADER + _PROBE_SRC, _PROBE_DECLS)
+        if loaded is None:
+            return None
+        ffi, lib = loaded
+
+        def dptr(a):
+            return ffi.cast("double *", a.ctypes.data)
+
+        rng = np.random.default_rng(20260807)
+        sizes = [0, 1, 3, 5, 7, 8, 9, 16, 31, 100, 127, 128, 129, 130,
+                 256, 1000, 1023, 4096, 65536, 100001]
+        adversarial = np.array(
+            [0.0, -0.0, np.nan, np.inf, -np.inf, 1.0, -1.0,
+             5e-324, -5e-324, 1e308, -1e308, 2.0, -2.0, 0.5, -0.5, 3.0]
+        )
+        caps = set()
+
+        data = rng.standard_normal(sum(sizes)) * 10.0
+        ns = np.array(sizes, dtype=np.int64)
+        got = np.empty(len(sizes))
+        lib.p_pair(dptr(data), dptr(got), ffi.cast("long long *", ns.ctypes.data),
+                   len(sizes))
+        want, off = [], 0
+        for n in sizes:
+            want.append(data[off:off + n].sum())
+            off += n
+        want_arr = np.array(want)
+        mean_ok = all(
+            data[o:o + n].mean() == data[o:o + n].sum() / n
+            for o, n in ((sum(sizes[:j]), sizes[j])
+                         for j in range(len(sizes))) if n
+        )
+        if got.tobytes() == want_arr.tobytes() and mean_ok:
+            caps.add("pairwise")
+
+        a = np.concatenate([rng.standard_normal(509), adversarial,
+                            adversarial[::-1]])
+        b = np.concatenate([rng.standard_normal(509),
+                            np.repeat(adversarial, 2)[:32]])
+        got = np.empty(a.size)
+        lib.p_max2(dptr(a), dptr(b), dptr(got), a.size)
+        flat_ok = True
+        for vec in (a, b, np.concatenate([adversarial, rng.standard_normal(97)])):
+            out1 = np.empty(1)
+            lib.p_maxflat(dptr(vec), dptr(out1), vec.size)
+            if out1.tobytes() != np.array([np.max(vec)]).tobytes():
+                flat_ok = False
+        if got.tobytes() == np.maximum(a, b).tobytes() and flat_ok:
+            caps.add("maximum")
+
+        unary_ref = {0: np.exp, 1: np.log, 2: np.tanh, 3: np.sqrt,
+                     4: np.absolute, 5: np.sign}
+        unary_name = {0: "exp", 1: "log", 2: "tanh", 3: "sqrt",
+                      4: "abs", 5: "sign"}
+        base = np.concatenate([rng.standard_normal(997) * 3.0, adversarial])
+        for which, ref in unary_ref.items():
+            x = np.abs(base) + 1e-12 if which == 1 else base
+            got = np.empty(x.size)
+            with np.errstate(all="ignore"):
+                expect = ref(x)
+            lib.p_unary(dptr(x), dptr(got), x.size, which)
+            if got.tobytes() == expect.tobytes():
+                caps.add(unary_name[which])
+
+        _CAPS = frozenset(caps)
+        return _CAPS
+
+
+def reset_caps_cache() -> None:
+    """Forget the probed capability set (tests only)."""
+    global _CAPS
+    with _CAPS_LOCK:
+        _CAPS = None
+
+
+def available() -> bool:
+    """True when the toolchain probe succeeded (registry gate)."""
+    return ctoolchain.available()
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+class _Spec:
+    """One rendered kernel: source plus the runtime binding recipe.
+
+    Kernels address their operands through a *plan-wide* pointer table:
+    ``b[slot]`` is the data pointer of value slot ``slot`` (the plan
+    order index), shared by every kernel of the translation unit. Only
+    slots whose strides are unknowable at render time (views, bound
+    input buffers) read strides from the shared ``m`` table; everything
+    else — plan-owned temps, scheduler-allocated outputs — is provably
+    C-contiguous, so its strides are baked into the source as literals.
+    """
+
+    __slots__ = ("name", "source", "decl", "out_idx", "nrows",
+                 "tileable", "total_elems", "ext_idxs")
+
+    def __init__(self, name, source, out_idx, nrows,
+                 tileable, total_elems, ext_idxs):
+        self.name = name
+        self.source = source
+        self.decl = _CDEF.format(name=name)
+        self.out_idx = out_idx
+        self.nrows = nrows
+        self.tileable = tileable
+        self.total_elems = total_elems
+        self.ext_idxs = ext_idxs
+
+
+class _Unrenderable(Exception):
+    """Internal control flow: this group stays on the numpy closures."""
+
+
+def _ctype(dtype) -> str:
+    s = dtype.str
+    if s == _F8:
+        return "double"
+    if s == _B1:
+        return "unsigned char"
+    if s == _I8:
+        return "i64"
+    raise _Unrenderable(f"dtype {s}")
+
+
+def _clit(v: float) -> str:
+    v = float(v)
+    if v != v:
+        return "NAN"
+    if v == math.inf:
+        return "INFINITY"
+    if v == -math.inf:
+        return "(-INFINITY)"
+    return v.hex()  # C99 hex float: exact by construction
+
+
+def _flat_index(tokens: Sequence[str], shape: Tuple[int, ...]) -> str:
+    """Row-major offset expression for baked (contiguous) storage."""
+    terms = []
+    stride = 1
+    for d in range(len(shape) - 1, -1, -1):
+        tok = tokens[d]
+        if shape[d] != 1 and tok != "0":
+            terms.append(tok if stride == 1 else f"{tok} * {stride}")
+        stride *= shape[d]
+    terms.reverse()
+    return " + ".join(terms) if terms else "0"
+
+
+def _provably_contiguous(node) -> bool:
+    """True when this slot's runtime array is C-contiguous by construction.
+
+    Non-view slots are filled by the scheduler with pooled or fresh
+    ``np.empty`` buffers ("out"-mode kernels) or by kernels whose numpy
+    implementation returns a freshly allocated contiguous result ("set"
+    mode) — with one exception: ``getitem_obj`` assigns whatever
+    ``a[key]`` returns, which numpy may hand back as a strided view for
+    some key shapes. Bound input buffers and views carry
+    caller-controlled strides and must be described at bind time.
+    """
+    return (node.kind != KIND_VIEW and node.buffer is None
+            and node.op != "getitem_obj")
+
+
+def _project(tokens: Sequence[str], cshape: Tuple[int, ...],
+             sshape: Tuple[int, ...]) -> Tuple[str, ...]:
+    """Right-aligned broadcast projection of consumer loop tokens."""
+    k = len(cshape) - len(sshape)
+    if k < 0:
+        raise _Unrenderable("source outranks consumer")
+    return tuple(
+        "0" if sshape[d] == 1 else tokens[d + k] for d in range(len(sshape))
+    )
+
+
+class _GroupRenderer:
+    """Renders one fused group into one C function."""
+
+    def __init__(self, order, index, members, name, caps, strides):
+        self.order = order
+        self.index = index
+        self.members = sorted(members)          # ascending topo
+        self.root = max(members)
+        self.in_group = set(members)
+        self.name = name
+        self.caps = caps
+        # external slots this kernel reads (plan order indices)
+        self.ext_slots: set = set()
+        # (order idx, dim) -> meta offset; shared across the whole TU so
+        # every kernel reading the same strided slot agrees on offsets
+        self.strides = strides
+        self.used_strides: set = set()          # (i, d) this kernel reads
+        self.decls: List[str] = []              # function-scope arrays
+        self.local_bytes = 0
+        self.emitted_nests: List[str] = []
+        self.reduce_done: set = set()
+
+    # -- registration helpers ------------------------------------------------
+    def _ext_load(self, i: int, tokens: Sequence[str]) -> str:
+        node = self.order[i]
+        self.ext_slots.add(i)
+        if _provably_contiguous(node):
+            return f"p{i}[{_flat_index(tokens, node.shape)}]"
+        terms = []
+        for d, tok in enumerate(tokens):
+            if node.shape[d] == 1 or tok == "0":
+                continue  # broadcast dim: offset contribution is zero
+            self.strides.setdefault((i, d), len(self.strides))
+            self.used_strides.add((i, d))
+            terms.append(f"{tok} * s{i}_{d}")
+        idx = " + ".join(terms) if terms else "0"
+        return f"p{i}[{idx}]"
+
+    def _local(self, decl: str, nbytes: int) -> None:
+        self.local_bytes += nbytes
+        if self.local_bytes > LOCAL_BYTES_CAP:
+            raise _Unrenderable("local buffers exceed cap")
+        self.decls.append(decl)
+
+    # -- expression tree -----------------------------------------------------
+    def _gen(self, node, tokens, body: List[str]) -> str:
+        """Emit statements for the subtree of ``node`` into ``body``.
+
+        Returns the C expression (a scalar temporary, load, or literal)
+        for ``node``'s value at the loop position ``tokens``.
+        """
+        i = self.index[id(node)]
+        if i not in self.in_group:
+            return self._ext_load(i, tokens)
+        if self.order[i].kind == KIND_REDUCE:
+            # an inner reduce, already materialized into its local array
+            # (nests emit in ascending topo order, so it exists by now)
+            return f"a{i}[{_flat_index(tokens, node.shape)}]"
+        return self._gen_ew(i, tokens, body)
+
+    def _operand(self, node, src, tokens, body) -> str:
+        stoks = _project(tokens, node.shape, src.shape)
+        return self._gen(src, stoks, body)
+
+    def _gen_ew(self, i, tokens, body: List[str]) -> str:
+        node = self.order[i]
+        op, arg = node.op, node.arg
+        caps = self.caps
+
+        def operand(k):
+            return self._operand(node, node.srcs[k], tokens, body)
+
+        if op in ("add", "sub", "mul", "div", "maximum", "eq"):
+            if op == "maximum" and "maximum" not in caps:
+                raise _Unrenderable("maximum")
+            if arg is None:
+                a, b = operand(0), operand(1)
+            elif arg[0] == "sr":
+                a, b = operand(0), _clit(arg[1])
+            else:
+                a, b = _clit(arg[1]), operand(0)
+            sym = {"add": "+", "sub": "-", "mul": "*", "div": "/"}.get(op)
+            if op == "maximum":
+                expr = f"rr_max({a}, {b})"
+            elif op == "eq":
+                expr = f"(unsigned char)({a} == {b})"
+            else:
+                expr = f"({a} {sym} {b})"
+        elif op in ("neg", "abs", "sqrt", "sign", "exp", "log", "tanh"):
+            if op != "neg" and op not in caps:
+                raise _Unrenderable(op)
+            a = operand(0)
+            expr = {
+                "neg": f"(-{a})", "abs": f"fabs({a})", "sqrt": f"sqrt({a})",
+                "sign": f"rr_sign({a})", "exp": f"exp({a})",
+                "log": f"log({a})", "tanh": f"tanh({a})",
+            }[op]
+        elif op == "gt0":
+            expr = f"(unsigned char)({operand(0)} > 0.0)"
+        elif op == "isinf":
+            expr = f"(unsigned char)(isinf({operand(0)}) != 0)"
+        elif op == "not":
+            expr = f"(unsigned char)(!{operand(0)})"
+        elif op == "cast":
+            expr = f"((double){operand(0)})"
+        elif op == "pow":
+            # Mirror ndarray ** fast paths (square / reciprocal / sqrt);
+            # the generic pow loop is not provably equal to libm pow.
+            e = float(arg[1])
+            a = operand(0)
+            if e == 2.0:
+                expr = f"({a} * {a})"
+            elif e == -1.0:
+                expr = f"(1.0 / {a})"
+            elif e == 0.5:
+                if "sqrt" not in caps:
+                    raise _Unrenderable("pow 0.5")
+                expr = f"sqrt({a})"
+            elif e == 1.0:
+                expr = f"({a})"
+            elif e == 0.0:
+                expr = "1.0"
+            else:
+                raise _Unrenderable(f"pow {e}")
+        elif op == "where":
+            _, const_a, const_b = arg
+            c = operand(0)
+            k = 1
+            if const_a is None:
+                a = operand(k)
+                k += 1
+            else:
+                a = _clit(const_a)
+            b = operand(k) if const_b is None else _clit(const_b)
+            expr = f"({c} ? {a} : {b})"
+        elif op == "expand":
+            rshape, target = arg
+            rp = (1,) * (len(target) - len(rshape)) + tuple(rshape)
+            src = node.srcs[0]
+            if tuple(d for d in rp if d != 1) != tuple(
+                d for d in src.shape if d != 1
+            ):
+                raise _Unrenderable("expand reshapes data")
+            collected = iter(
+                tokens[d] for d in range(len(rp)) if rp[d] != 1
+            )
+            stoks = tuple(
+                "0" if d == 1 else next(collected) for d in src.shape
+            )
+            return self._gen(src, stoks, body)
+        elif op in ("sum", "mean", "max"):
+            raise _Unrenderable("unsupported reduce position")
+        else:
+            raise _Unrenderable(op)
+
+        ct = _ctype(node.dtype)
+        body.append(f"{ct} t{i} = {expr};")
+        return f"t{i}"
+
+    # -- reduce nests --------------------------------------------------------
+    def _reduce_layout(self, node):
+        """Classify a reduce: ('full'|'rows'|'cols'), input shape."""
+        src_shape = node.srcs[0].shape
+        axis, _keep = node.arg
+        ndim = len(src_shape)
+        if axis is None:
+            axes = set(range(ndim))
+        else:
+            raw = axis if isinstance(axis, tuple) else (axis,)
+            axes = {a % ndim for a in raw}
+        if ndim == 0 or axes == set(range(ndim)):
+            return "full", src_shape
+        if ndim == 2 and axes == {1}:
+            return "rows", src_shape
+        if ndim == 2 and axes == {0}:
+            return "cols", src_shape
+        raise _Unrenderable(f"reduce layout {src_shape} axis={axis}")
+
+    def _emit_reduce(self, i, target: Optional[str], tile: bool) -> bool:
+        """Emit the loop nest for reduce member ``i``.
+
+        ``target`` is a C lvalue prefix (``"po"`` for the root output)
+        or ``None`` to materialize into a local array ``a{i}``. Returns
+        True when the nest's outer loop honours ``lo``/``hi``.
+        """
+        node = self.order[i]
+        op = node.op
+        if op in ("sum", "mean") and "pairwise" not in self.caps:
+            raise _Unrenderable("pairwise")
+        if op == "max" and "maximum" not in self.caps:
+            raise _Unrenderable("maximum")
+        layout, rs = self._reduce_layout(node)
+        if op == "max" and any(d == 0 for d in rs):
+            raise _Unrenderable("max of empty")
+        src = node.srcs[0]
+        if src.dtype.str != _F8:
+            raise _Unrenderable("non-f8 reduce input")
+        if (
+            op in ("sum", "mean")
+            and self.index[id(src)] not in self.in_group
+            and not _provably_contiguous(src)
+        ):
+            # numpy picks its summation order from the operand's memory
+            # layout (pairwise along whichever axis is contiguous), and
+            # input-slot contiguity is not part of the plan key — only
+            # group-internal values and plan-owned temps (always fresh
+            # ``np.empty``) are provably C-contiguous. Max reduces are
+            # plain folds, which are order-insensitive for real data.
+            raise _Unrenderable("sum over possibly-strided external")
+        out_size = max(1, math.prod(node.shape)) if node.shape else 1
+        if target is None:
+            self._local(f"double a{i}[{out_size}];", 8 * out_size)
+            dest = f"a{i}"
+        else:
+            dest = target
+        lines: List[str] = []
+        w = lines.append
+
+        def chain(tokens, body):
+            # tokens iterate rs == src.shape, so the projection is the
+            # identity; _gen handles members, loads, and inner reduces.
+            return self._gen(src, tokens, body)
+
+        if layout == "full":
+            n = max(1, math.prod(rs)) if rs else 1
+            if math.prod(rs) == 0:
+                n = 0
+            if op in ("sum", "mean"):
+                self._local(f"double rb{i}[{max(1, n)}];", 8 * max(1, n))
+                body: List[str] = []
+                expr = chain(tuple(f"x{d}" for d in range(len(rs))), body)
+                flat = _flat_index(tuple(f"x{d}" for d in range(len(rs))), rs)
+                w("{")
+                for d, dim in enumerate(rs):
+                    w(f"for (i64 x{d} = 0; x{d} < {dim}; x{d}++) {{")
+                lines.extend(body)
+                w(f"rb{i}[{flat}] = {expr};")
+                for _ in rs:
+                    w("}")
+                divisor = f" / (double){n}" if op == "mean" else ""
+                w(f"{dest}[0] = rr_pairwise(rb{i}, {n}){divisor};")
+                w("}")
+            else:  # max: sequential fold from -inf (== init-from-first)
+                body = []
+                expr = chain(tuple(f"x{d}" for d in range(len(rs))), body)
+                w("{")
+                w("double acc = -INFINITY;")
+                for d, dim in enumerate(rs):
+                    w(f"for (i64 x{d} = 0; x{d} < {dim}; x{d}++) {{")
+                lines.extend(body)
+                w(f"acc = rr_max(acc, {expr});")
+                for _ in rs:
+                    w("}")
+                w(f"{dest}[0] = acc;")
+                w("}")
+            self.emitted_nests.append("\n".join(lines))
+            return False
+
+        nrows, ncols = rs
+        if layout == "rows":
+            lo = "lo" if tile else "0"
+            hi = "hi" if tile else str(nrows)
+            w("{")
+            if op in ("sum", "mean"):
+                self._local(f"double rb{i}[{max(1, ncols)}];",
+                            8 * max(1, ncols))
+                body = []
+                expr = chain(("x0", "x1"), body)
+                w(f"for (i64 x0 = {lo}; x0 < {hi}; x0++) {{")
+                w(f"for (i64 x1 = 0; x1 < {ncols}; x1++) {{")
+                lines.extend(body)
+                w(f"rb{i}[x1] = {expr};")
+                w("}")
+                divisor = f" / (double){ncols}" if op == "mean" else ""
+                w(f"{dest}[x0] = rr_pairwise(rb{i}, {ncols}){divisor};")
+                w("}")
+            else:
+                body = []
+                expr = chain(("x0", "x1"), body)
+                w(f"for (i64 x0 = {lo}; x0 < {hi}; x0++) {{")
+                w("double acc = -INFINITY;")
+                w(f"for (i64 x1 = 0; x1 < {ncols}; x1++) {{")
+                lines.extend(body)
+                w(f"acc = rr_max(acc, {expr});")
+                w("}")
+                w(f"{dest}[x0] = acc;")
+                w("}")
+            w("}")
+            self.emitted_nests.append("\n".join(lines))
+            return tile
+
+        # layout == "cols": numpy accumulates row 0 as a copy, then adds
+        # (or max-folds) each later row — replay that exact order.
+        w("{")
+        body0: List[str] = []
+        expr0 = chain(("0", "x1"), body0)
+        w(f"for (i64 x1 = 0; x1 < {ncols}; x1++) {{")
+        lines.extend(body0)
+        w(f"{dest}[x1] = {expr0};")
+        w("}")
+        body1: List[str] = []
+        expr1 = chain(("x0", "x1"), body1)
+        w(f"for (i64 x0 = 1; x0 < {nrows}; x0++) {{")
+        w(f"for (i64 x1 = 0; x1 < {ncols}; x1++) {{")
+        lines.extend(body1)
+        if op == "max":
+            w(f"{dest}[x1] = rr_max({dest}[x1], {expr1});")
+        else:
+            w(f"{dest}[x1] = {dest}[x1] + {expr1};")
+        w("}")
+        w("}")
+        if op == "mean":
+            w(f"for (i64 x1 = 0; x1 < {ncols}; x1++) "
+              f"{dest}[x1] = {dest}[x1] / (double){nrows};")
+        w("}")
+        self.emitted_nests.append("\n".join(lines))
+        return False
+
+    # -- driver --------------------------------------------------------------
+    def render(self, tile_wanted: bool) -> _Spec:
+        order = self.order
+        root_node = order[self.root]
+        for i in self.members:
+            _ctype(order[i].dtype)  # dtype gate for every member
+            for src in order[i].srcs:
+                _ctype(src.dtype)
+
+        reduces = [i for i in self.members
+                   if order[i].kind == KIND_REDUCE and i != self.root]
+        root_is_reduce = order[self.root].kind == KIND_REDUCE
+        tileable = False
+        nrows = 1
+        for i in reduces:
+            self._emit_reduce(i, target=None, tile=False)
+        if root_is_reduce:
+            tiled = self._emit_reduce(
+                self.root, target="po",
+                tile=tile_wanted and not reduces
+                and self._reduce_layout(root_node)[0] == "rows",
+            )
+            if tiled:
+                tileable = True
+                nrows = root_node.srcs[0].shape[0]
+        else:
+            shape = root_node.shape
+            toks = tuple(f"x{d}" for d in range(len(shape)))
+            body: List[str] = []
+            expr = self._gen_ew(self.root, toks, body)
+            lines: List[str] = ["{"]
+            tileable = bool(shape) and not reduces
+            for d, dim in enumerate(shape):
+                if d == 0 and tileable:
+                    lines.append("for (i64 x0 = lo; x0 < hi; x0++) {")
+                    nrows = dim
+                else:
+                    lines.append(f"for (i64 x{d} = 0; x{d} < {dim}; x{d}++) {{")
+            lines.extend(body)
+            lines.append(f"po[{_flat_index(toks, shape)}] = {expr};")
+            for _ in shape:
+                lines.append("}")
+            lines.append("}")
+            self.emitted_nests.append("\n".join(lines))
+
+        return self._assemble(root_node, tileable, nrows)
+
+    def _assemble(self, root_node, tileable, nrows) -> _Spec:
+        order = self.order
+        ct_out = _ctype(root_node.dtype)
+        # The scheduler never hands a kernel an output buffer that
+        # aliases one of its own operands (operands are recycled only
+        # after the output is assigned), so the write pointer is
+        # restrict-qualified — without it the compiler must assume
+        # every po store can clobber the source pointers and cannot
+        # keep accumulators in registers or vectorize.
+        prelude = [f"{ct_out} * restrict po = "
+                   f"({ct_out} *)(uintptr_t)b[{self.root}];"]
+        for i in sorted(self.ext_slots):
+            ct = _ctype(order[i].dtype)
+            prelude.append(
+                f"const {ct} * const p{i} = "
+                f"(const {ct} *)(uintptr_t)b[{i}];"
+            )
+        for i, d in sorted(self.used_strides):
+            prelude.append(f"const i64 s{i}_{d} = m[{self.strides[(i, d)]}];")
+        body = "\n".join(prelude + self.decls + self.emitted_nests)
+        source = (f"void {self.name}{_SIG} {{\n(void)lo; (void)hi; "
+                  f"(void)m;\n{body}\n}}\n")
+        total = max(1, math.prod(root_node.shape)) if root_node.shape else 1
+        return _Spec(
+            name=self.name, source=source, out_idx=self.root,
+            nrows=nrows, tileable=tileable and nrows >= 2,
+            total_elems=total, ext_idxs=tuple(sorted(self.ext_slots)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Opaque single-op kernels
+# ---------------------------------------------------------------------------
+def _render_opaque(order, index, root_i, name, caps, strides) -> _Spec:
+    """Render a renderable OPAQUE op (its own one-op group) to C."""
+    node = order[root_i]
+    op, arg = node.op, node.arg
+    r = _GroupRenderer(order, index, [root_i], name, caps, strides)
+
+    def reg(src):
+        i = index[id(src)]
+        r.ext_slots.add(i)
+        return i
+
+    def stride(i, d):
+        src = order[i]
+        if _provably_contiguous(src):
+            return str(math.prod(src.shape[d + 1:]))
+        r.strides.setdefault((i, d), len(r.strides))
+        r.used_strides.add((i, d))
+        return f"s{i}_{d}"
+
+    lines: List[str] = []
+    w = lines.append
+
+    if op == "matmul" and arg:  # batch-invariant rowwise kernel
+        a, b = node.srcs
+        if a.dtype.str != _F8 or b.dtype.str != _F8:
+            raise _Unrenderable("matmul dtype")
+        (mm, kk), (_, nn) = a.shape, b.shape
+        ia = reg(a)
+        ib = reg(b)
+        # out[i,j] = fold_k (acc + a[i,k]*b[k,j]) from acc = 0.0 — the
+        # same fixed k-order as rowwise_matmul's `out += a[:,k,None]*b[k]`.
+        w(f"for (i64 i = lo; i < hi; i++) {{")
+        w(f"for (i64 j = 0; j < {nn}; j++) {{")
+        w("double acc = 0.0;")
+        w(f"for (i64 k = 0; k < {kk}; k++) "
+          f"acc = acc + p{ia}[i * {stride(ia, 0)} + k * {stride(ia, 1)}]"
+          f" * p{ib}[k * {stride(ib, 0)} + j * {stride(ib, 1)}];")
+        w(f"po[i * {nn} + j] = acc;")
+        w("}")
+        w("}")
+        r.emitted_nests.append("\n".join(lines))
+        return r._assemble(node, tileable=mm >= 2, nrows=mm)
+
+    if op == "getitem_arr":
+        x, idx = node.srcs
+        if idx.dtype.str != _I8 or x.dtype.str != _F8:
+            raise _Unrenderable("gather dtype")
+        if len(idx.shape) != 1 or not 1 <= len(x.shape) <= 2:
+            raise _Unrenderable("gather rank")
+        rows = idx.shape[0]
+        nx = x.shape[0]
+        if nx == 0:
+            raise _Unrenderable("gather from empty")
+        cols = x.shape[1] if len(x.shape) == 2 else 1
+        ix = reg(x)
+        ii = reg(idx)
+        w(f"for (i64 s = lo; s < hi; s++) {{")
+        w(f"i64 t = p{ii}[s * {stride(ii, 0)}];")
+        # np.take(mode="clip") — the reference kernel's bounds handling.
+        w("if (t < 0) t = 0;")
+        w(f"if (t > {nx - 1}) t = {nx - 1};")
+        if len(x.shape) == 2:
+            w(f"for (i64 c = 0; c < {cols}; c++) "
+              f"po[s * {cols} + c] = "
+              f"p{ix}[t * {stride(ix, 0)} + c * {stride(ix, 1)}];")
+        else:
+            w(f"po[s] = p{ix}[t * {stride(ix, 0)}];")
+        w("}")
+        r.emitted_nests.append("\n".join(lines))
+        return r._assemble(node, tileable=rows >= 2, nrows=rows)
+
+    if op in ("scatter_add", "putadd", "segmax_raw"):
+        is_max = op == "segmax_raw"
+        if is_max and "maximum" not in caps:
+            raise _Unrenderable("maximum")
+        if op == "scatter_add" and arg[0] not in ("ref", "bc"):
+            raise _Unrenderable("csr scatter")
+        if op == "putadd" and arg[0] != "arr":
+            raise _Unrenderable("putadd mode")
+        if op == "segmax_raw" and arg[0] != "ref":
+            raise _Unrenderable("csr segmax")
+        vals, idx = node.srcs
+        if idx.dtype.str != _I8 or vals.dtype.str != _F8:
+            raise _Unrenderable("scatter dtype")
+        if len(idx.shape) != 1 or len(vals.shape) > 2:
+            raise _Unrenderable("scatter rank")
+        if len(vals.shape) != len(node.shape) or not node.shape:
+            raise _Unrenderable("scatter layout")
+        nrows_out = node.shape[0]
+        cols = node.shape[1] if len(node.shape) == 2 else 1
+        if len(vals.shape) == 2 and vals.shape[1] != cols:
+            raise _Unrenderable("scatter broadcast")
+        ev = vals.shape[0]
+        iv = reg(vals)
+        ii = reg(idx)
+        out_size = nrows_out * cols
+        init = "-INFINITY" if is_max else "0.0"
+        w(f"for (i64 x = 0; x < {out_size}; x++) po[x] = {init};")
+        w(f"for (i64 e = 0; e < {ev}; e++) {{")
+        w(f"i64 t = p{ii}[e * {stride(ii, 0)}];")
+        # np.add.at / np.maximum.at wrap negative indices; anything
+        # still out of range would raise there — skip it here so an
+        # invalid index can never scribble outside the buffer.
+        w(f"if (t < 0) t += {nrows_out};")
+        w(f"if (t < 0 || t >= {nrows_out}) continue;")
+        if len(vals.shape) == 2:
+            vexpr = f"p{iv}[e * {stride(iv, 0)} + c * {stride(iv, 1)}]"
+            w(f"for (i64 c = 0; c < {cols}; c++) {{")
+        else:
+            vexpr = f"p{iv}[e * {stride(iv, 0)}]"
+            w("{ i64 c = 0;")
+        tgt = f"po[t * {cols} + c]"
+        if is_max:
+            w(f"{tgt} = rr_max({tgt}, {vexpr});")
+        else:
+            w(f"{tgt} = {tgt} + {vexpr};")
+        w("}")
+        w("}")
+        r.emitted_nests.append("\n".join(lines))
+        return r._assemble(node, tileable=False, nrows=1)
+
+    raise _Unrenderable(op)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler hook
+# ---------------------------------------------------------------------------
+def _counters():
+    from repro.nn.realize import counters
+
+    return counters
+
+
+_TILE_POOL: Optional[ThreadPoolExecutor] = None
+_TILE_LOCK = threading.Lock()
+
+
+def _tile_pool() -> ThreadPoolExecutor:
+    global _TILE_POOL
+    if _TILE_POOL is None:
+        with _TILE_LOCK:
+            if _TILE_POOL is None:
+                workers = max(2, min(8, os.cpu_count() or 1))
+                _TILE_POOL = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-tile"
+                )
+    return _TILE_POOL
+
+
+#: Per-slot pointer memo entries; bounds how many stale arrays a memo
+#: can pin (entries hold the array to keep its id from being reused).
+_SLOT_MEMO_CAP = 8
+
+
+class _KernelSet:
+    """Per-plan binding state shared by every kernel of one plan.
+
+    One pointer table (indexed by plan order index) and one stride table
+    serve the whole translation unit, so a slot produced by one kernel
+    and consumed by three others is bound exactly once. ``bound``
+    identity-caches the array object last bound per slot: plans replay
+    with the same pooled temporaries in the same slots, so steady-state
+    binding is an identity check for everything except freshly
+    allocated escape buffers and per-batch inputs. A second-level
+    per-slot memo (``memos``) catches inputs that *cycle* — cached
+    batches rebind the same few arrays every epoch — so only genuinely
+    new arrays pay the pointer extraction. Memo entries hold the array
+    object itself: the identity check is exact and the held reference
+    pins the id against reuse at a stale address.
+    """
+
+    __slots__ = ("ffi", "table", "meta", "bound", "memos")
+
+    def __init__(self, ffi, nslots: int, meta_len: int):
+        self.ffi = ffi
+        self.table = ffi.new("unsigned long long[]", max(1, nslots))
+        self.meta = ffi.new("long long[]", max(1, meta_len))
+        self.bound: List[object] = [None] * max(1, nslots)
+        self.memos: Dict[int, dict] = {}
+
+
+def _make_bind(kset: _KernelSet, bind_slots: Sequence[int],
+               slot_fills: Dict[int, Tuple[Tuple[int, int], ...]],
+               fast_slots):
+    """Binder closure for ``bind_slots``: refresh table/meta from ``V``.
+
+    ``fast_slots`` holds the provably-contiguous slots, whose pointer is
+    extracted through ``ffi.from_buffer`` (~2x cheaper than
+    ``ndarray.ctypes.data``, but it rejects non-contiguous views — which
+    only the slow slots can carry).
+    """
+    ffi = kset.ffi
+    cast, from_buffer = ffi.cast, ffi.from_buffer
+    table, meta, bound, memos = (kset.table, kset.meta, kset.bound,
+                                 kset.memos)
+    binds = tuple(
+        (slot, slot_fills.get(slot, ()), memos.setdefault(slot, {}),
+         slot in fast_slots)
+        for slot in bind_slots
+    )
+
+    def bind(V):
+        for slot, fills, memo, fast in binds:
+            a = V[slot]
+            if a is bound[slot]:
+                continue
+            bound[slot] = a
+            hit = memo.get(id(a))
+            if hit is not None and hit[0] is a:
+                table[slot] = hit[1]
+                for off, st in hit[2]:
+                    meta[off] = st
+                continue
+            if fast:
+                ptr = int(cast("unsigned long long", from_buffer(a)))
+            else:
+                ptr = a.ctypes.data
+            isz = a.itemsize
+            svals = tuple((off, a.strides[d] // isz) for off, d in fills)
+            if len(memo) >= _SLOT_MEMO_CAP:
+                memo.clear()
+            memo[id(a)] = (a, ptr, svals)
+            table[slot] = ptr
+            for off, st in svals:
+                meta[off] = st
+
+    return bind
+
+
+def _make_runner(kset: _KernelSet, lib, spec: _Spec, tile: bool,
+                 slot_fills: Dict[int, Tuple[Tuple[int, int], ...]],
+                 fast_slots):
+    fn = getattr(lib, spec.name)
+    table, meta = kset.table, kset.meta
+    bind = _make_bind(kset, (*spec.ext_idxs, spec.out_idx), slot_fills,
+                      fast_slots)
+    nrows = spec.nrows
+
+    if tile and spec.tileable and spec.total_elems >= TILE_MIN_ELEMS:
+        pool = _tile_pool()
+        workers = pool._max_workers
+        step = -(-nrows // workers)
+        spans = [(lo, min(lo + step, nrows))
+                 for lo in range(0, nrows, step)]
+
+        def run(V):
+            bind(V)
+            futures = [pool.submit(fn, table, meta, lo, hi)
+                       for lo, hi in spans]
+            for future in futures:
+                future.result()
+
+        return run
+
+    def run(V):
+        bind(V)
+        fn(table, meta, 0, nrows)
+
+    return run
+
+
+def compile_groups(order, index, groups, group_of, consumers, is_input,
+                   tile: bool = False):
+    """Render every renderable fused group of one plan into C kernels.
+
+    Called by the scheduler after fusion grouping. Returns
+    ``{root_order_index: (run, ext_source_indices)}`` for the groups
+    that rendered; every other group keeps its per-op numpy closures.
+    Adjacent compiled kernels — rendered roots with nothing but inputs
+    and in-group members between them in plan order — are *stitched*
+    into one C driver function, so a run of k kernels costs one bind
+    and one foreign call instead of k: the run's final root maps to the
+    driver and the earlier roots map to ``(None, ext_idxs)``, which
+    tells the scheduler to allocate their output slots and record their
+    reads (keeping buffer recycling exactly as tight as unstitched
+    execution) but emit no instruction. Failure anywhere (no toolchain,
+    compile error) returns ``{}`` — the plan still executes,
+    uncompiled.
+    """
+    if not ctoolchain.available():
+        return {}
+    caps = _numeric_caps()
+    if caps is None:
+        return {}
+
+    # TU-wide (slot, dim) -> stride-table offset. Renderers that later
+    # fail _Unrenderable may leave dead offsets behind; those are never
+    # read, they just pad the table.
+    strides: Dict[Tuple[int, int], int] = {}
+    specs: List[Tuple[int, _Spec]] = []
+    silent = set()          # in-group members of rendered groups
+    for members in groups:
+        root_i = max(members)
+        node = order[root_i]
+        kind = node.kind
+        if kind == KIND_VIEW:
+            continue
+        name = f"k{len(specs)}"
+        try:
+            if kind == KIND_OPAQUE:
+                spec = _render_opaque(order, index, root_i, name, caps,
+                                      strides)
+            elif kind in (KIND_EW, KIND_REDUCE):
+                spec = _GroupRenderer(
+                    order, index, members, name, caps, strides
+                ).render(tile_wanted=tile)
+            else:  # pragma: no cover - buffers are never group roots
+                continue
+        except _Unrenderable:
+            continue
+        specs.append((root_i, spec))
+        silent.update(m for m in members if m != root_i)
+
+    if not specs:
+        return {}
+
+    # --- stitch adjacent kernels into driver functions. Kernels that
+    # the threaded variant will tile across the pool stay standalone.
+    spec_by_root = dict(specs)
+    pool_tiled = set()
+    if tile:
+        pool_tiled = {r for r, s in specs
+                      if s.tileable and s.total_elems >= TILE_MIN_ELEMS}
+    runs: List[List[int]] = []
+    prev = None
+    for r in sorted(spec_by_root):
+        if r in pool_tiled:
+            prev = None
+            continue
+        if prev is not None and all(
+            j in silent or is_input[j] for j in range(prev + 1, r)
+        ):
+            runs[-1].append(r)
+        else:
+            runs.append([r])
+        prev = r
+
+    driver_sources: List[str] = []
+    driver_decls: List[str] = []
+    drivers: List[Tuple[List[int], str]] = []
+    for members in runs:
+        if len(members) < 2:
+            continue
+        name = f"d{len(drivers)}"
+        calls = "\n".join(
+            f"{spec_by_root[r].name}(b, m, 0, {spec_by_root[r].nrows});"
+            for r in members
+        )
+        driver_sources.append(
+            f"void {name}{_SIG} {{\n(void)lo; (void)hi;\n{calls}\n}}\n"
+        )
+        driver_decls.append(_CDEF.format(name=name))
+        drivers.append((members, name))
+
+    source = _HEADER + "\n".join(
+        [spec.source for _, spec in specs] + driver_sources
+    )
+    decls = [spec.decl for _, spec in specs] + driver_decls
+    loaded = ctoolchain.load(source, decls)
+    if loaded is None:
+        return {}
+    ffi, lib = loaded
+    _counters().compiled_kernels += len(specs)
+    slot_fills: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+    for slot in {i for i, _d in strides}:
+        slot_fills[slot] = tuple(sorted(
+            (off, d) for (i, d), off in strides.items() if i == slot
+        ))
+    fast_slots = {i for i, node in enumerate(order)
+                  if _provably_contiguous(node)}
+    kset = _KernelSet(ffi, len(order), len(strides))
+
+    result = {}
+    stitched = set()
+    for members, name in drivers:
+        stitched.update(members)
+        ext_union = sorted({
+            e for r in members for e in spec_by_root[r].ext_idxs
+        })
+        bind_slots = sorted({*ext_union, *members})
+        fn = getattr(lib, name)
+        bind = _make_bind(kset, bind_slots, slot_fills, fast_slots)
+        table, meta = kset.table, kset.meta
+
+        def run(V, bind=bind, fn=fn, table=table, meta=meta):
+            bind(V)
+            fn(table, meta, 0, 0)
+
+        # Each member reports its external reads at its *own* plan
+        # position so buffer recycling stays exactly as tight as
+        # unstitched execution. This is safe: between members only
+        # fused in-group nodes and inputs exist, and the driver runs
+        # its kernels in plan order, so any slot the pool hands from a
+        # member's source to a later member's output is read before it
+        # is overwritten.
+        for r in members[:-1]:
+            result[r] = (None, spec_by_root[r].ext_idxs)
+        result[members[-1]] = (run, spec_by_root[members[-1]].ext_idxs)
+    for root_i, spec in specs:
+        if root_i not in stitched:
+            result[root_i] = (
+                _make_runner(kset, lib, spec, tile, slot_fills, fast_slots),
+                spec.ext_idxs,
+            )
+    return result

@@ -1,0 +1,232 @@
+"""C toolchain probe, kernel compilation, and the on-disk kernel cache.
+
+The cstyle backend renders every fused group of a realize plan into one
+C translation unit; this module turns that source into callable
+function pointers:
+
+1. **Probe** — :func:`available` compiles a one-line translation unit
+   the first time it is called (honouring ``$CC``) and memoizes the
+   answer. No toolchain, no cffi, or a sandboxed compiler all collapse
+   to ``False``, which backend selection reads as *silently fall back
+   to numpy* — ``CC=/bin/false repro train --backend cstyle`` must
+   behave exactly like ``--backend numpy``.
+2. **Cache** — compiled shared objects live under
+   :func:`cache_dir` (``$REPRO_KERNEL_CACHE`` or
+   ``~/.cache/repro-kernels``), keyed by the sha256 of the rendered
+   source plus compiler flags and ABI version. The rendered source is a
+   pure function of the plan's structural key (ops, args, shapes,
+   topology — never values), so the file name *is* the plan's
+   structural hash: a process restart, or a second process on the same
+   machine, reuses the ``.so`` without invoking the compiler at all.
+   Hits and misses feed ``EngineCounters.kernel_cache_hits/_misses``.
+3. **Load** — each translation unit gets a fresh :class:`cffi.FFI` in
+   ABI mode (``cdef`` + ``dlopen``); no setuptools, no build isolation,
+   and the GIL is released for the duration of every kernel call.
+
+Compilation is atomic (temp file + ``os.replace``) so concurrent
+processes racing on the same kernel at worst compile twice, never load
+a torn object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Bump when the kernel ABI (signature, meta layout) changes: old cached
+#: shared objects become unreachable rather than subtly wrong.
+ABI_VERSION = 2
+
+#: Flags are part of the cache key. ``-ffp-contract=off`` is
+#: load-bearing: a contracted multiply-add rounds once instead of
+#: twice, which would break bitwise equivalence with numpy on any
+#: hardware where the compiler emits FMA. ``-O3 -march=native`` is safe
+#: alongside it: without ``-ffast-math`` the vectorizer only runs
+#: transforms that preserve each element's exact operation sequence
+#: (lane-parallel loops and independent accumulator chains), never
+#: reassociating a loop-carried reduction — so codegen level and vector
+#: width cannot change results, and numpy's own kernels are dispatched
+#: for the same ISA at runtime. The kernel cache is per-machine, so
+#: native codegen never leaks across hosts; the flags sit in the cache
+#: key, so changing them invalidates cleanly. The numeric-caps probe
+#: revalidates every op bitwise under these exact flags before any
+#: group is allowed to render.
+CFLAGS: Tuple[str, ...] = (
+    "-O3", "-march=native", "-fPIC", "-shared", "-fno-strict-aliasing",
+    "-ffp-contract=off",
+)
+
+_LOCK = threading.Lock()
+_TOOLCHAIN: Optional[bool] = None
+#: hash -> (ffi, lib); the FFI object must stay alive with its lib.
+_LOADED: Dict[str, Tuple[object, object]] = {}
+
+
+def cc_command() -> str:
+    """The C compiler to invoke (``$CC`` or ``cc``)."""
+    return os.environ.get("CC") or "cc"
+
+
+def cache_dir() -> str:
+    """On-disk kernel cache root (created lazily)."""
+    root = os.environ.get("REPRO_KERNEL_CACHE")
+    if not root:
+        base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+            os.path.expanduser("~"), ".cache"
+        )
+        root = os.path.join(base, "repro-kernels")
+    return root
+
+
+def _counters():
+    from repro.nn.realize import counters
+
+    return counters
+
+
+def _compile(source: str, out_path: str) -> bool:
+    """Compile ``source`` to ``out_path`` atomically; False on failure."""
+    directory = os.path.dirname(out_path)
+    os.makedirs(directory, exist_ok=True)
+    fd, src_path = tempfile.mkstemp(suffix=".c", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(source)
+        fd2, tmp_so = tempfile.mkstemp(suffix=".so", dir=directory)
+        os.close(fd2)
+        try:
+            proc = subprocess.run(
+                [cc_command(), *CFLAGS, "-o", tmp_so, src_path, "-lm"],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                logger.debug(
+                    "kernel compile failed: %s",
+                    proc.stderr.decode("utf-8", "replace")[:500],
+                )
+                return False
+            os.replace(tmp_so, out_path)
+            return True
+        finally:
+            if os.path.exists(tmp_so):
+                os.unlink(tmp_so)
+    except (OSError, subprocess.SubprocessError, ValueError) as exc:
+        logger.debug("kernel compile failed: %s", exc)
+        return False
+    finally:
+        if os.path.exists(src_path):
+            os.unlink(src_path)
+
+
+def available() -> bool:
+    """True when cffi and a working C compiler exist (probed once)."""
+    global _TOOLCHAIN
+    if _TOOLCHAIN is not None:
+        return _TOOLCHAIN
+    with _LOCK:
+        if _TOOLCHAIN is not None:
+            return _TOOLCHAIN
+        ok = False
+        try:
+            import cffi  # noqa: F401 — probe only
+
+            with tempfile.TemporaryDirectory() as tmp:
+                ok = _compile(
+                    "int repro_toolchain_probe(void) { return 42; }\n",
+                    os.path.join(tmp, "probe.so"),
+                )
+        except Exception as exc:  # noqa: BLE001 — any failure means "no"
+            logger.debug("toolchain probe failed: %s", exc)
+            ok = False
+        if not ok:
+            logger.info(
+                "no usable C toolchain (CC=%s); compiled backends fall "
+                "back to numpy",
+                cc_command(),
+            )
+        _TOOLCHAIN = ok
+        return ok
+
+
+def reset_probe_cache() -> None:
+    """Forget the toolchain probe and loaded libraries (tests only)."""
+    global _TOOLCHAIN
+    with _LOCK:
+        _TOOLCHAIN = None
+        _LOADED.clear()
+
+
+def source_key(source: str) -> str:
+    """Structural hash of a rendered translation unit (the cache key)."""
+    payload = f"abi{ABI_VERSION}|{cc_command()}|{'|'.join(CFLAGS)}|".encode()
+    return hashlib.sha256(payload + source.encode()).hexdigest()
+
+
+def load(source: str, decls: List[str]):
+    """Compile (or fetch from cache) and dlopen one translation unit.
+
+    ``decls`` are the cffi ``cdef`` prototypes for the functions the
+    caller will pull out of the library. Returns ``(ffi, lib)`` or
+    ``None`` when the toolchain is missing or the compile fails — the
+    caller then degrades to the numpy per-op path.
+    """
+    if not available():
+        return None
+    key = source_key(source)
+    with _LOCK:
+        hit = _LOADED.get(key)
+    if hit is not None:
+        return hit
+
+    counters = _counters()
+    so_path = os.path.join(cache_dir(), f"{key}.so")
+    began = time.perf_counter()
+    if os.path.exists(so_path):
+        counters.kernel_cache_hits += 1
+    else:
+        counters.kernel_cache_misses += 1
+        # Keep the source next to the object for debuggability.
+        try:
+            c_path = os.path.join(cache_dir(), f"{key}.c")
+            os.makedirs(cache_dir(), exist_ok=True)
+            with open(c_path, "w") as handle:
+                handle.write(source)
+        except OSError:  # pragma: no cover - cache dir unwritable
+            pass
+        if not _compile(source, so_path):
+            return None
+    try:
+        from cffi import FFI
+
+        ffi = FFI()
+        for decl in decls:
+            ffi.cdef(decl)
+        lib = ffi.dlopen(so_path)
+    except Exception as exc:  # noqa: BLE001 — torn cache entry etc.
+        logger.warning("kernel dlopen failed (%s); falling back", exc)
+        try:
+            os.unlink(so_path)
+        except OSError:
+            pass
+        return None
+    counters.compile_seconds += time.perf_counter() - began
+    with _LOCK:
+        _LOADED[key] = (ffi, lib)
+    return ffi, lib
+
+
+def new_ffi():
+    """A fresh FFI for building argument buffers (caller keeps it alive)."""
+    from cffi import FFI
+
+    return FFI()

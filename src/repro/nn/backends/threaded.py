@@ -1,0 +1,32 @@
+"""Threaded-tile variant of the cstyle compiled backend.
+
+Same renderer, same kernels, same bitwise contract — every generated
+function already takes ``(lo, hi)`` bounds on its outer loop, so this
+module only changes *how kernels are invoked*: row-independent kernels
+(pure elementwise nests, last-axis reductions, gathers, the
+batch-invariant matmul) whose output is large enough to amortize the
+dispatch get their outer loop split across a shared thread pool. cffi
+releases the GIL for the duration of each C call, so tiles genuinely
+run in parallel.
+
+Tiling never changes results: a kernel is marked tileable only when
+every output row is computed independently (no cross-row accumulation,
+no scatter), so the bytes written are identical for any split. Kernels
+that are not tileable — or too small to bother — run exactly as under
+``cstyle``.
+"""
+
+from repro.nn.backends import cstyle, numpy_backend
+
+# Per-op fallbacks are shared with cstyle (and thus with numpy).
+build_instr = numpy_backend.build_instr
+build_view = numpy_backend.build_view
+
+available = cstyle.available
+
+
+def compile_groups(order, index, groups, group_of, consumers, is_input):
+    """cstyle's renderer with outer-loop tiling enabled."""
+    return cstyle.compile_groups(
+        order, index, groups, group_of, consumers, is_input, tile=True
+    )

@@ -56,7 +56,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import profiling
-from repro.nn.backends import get_backend
+from repro.nn.backends import get_backend, get_backend_name
 from repro.nn.lazyir import (
     KIND_EW,
     KIND_REDUCE,
@@ -69,8 +69,12 @@ from repro.nn.lazyir import (
 PLAN_CACHE_CAP = 256
 
 #: Total plan-owned temporary bytes kept across all cached plans;
-#: exceeding it evicts oldest plans first.
-PLAN_OWNED_BYTES_CAP = 128 * 1024 * 1024
+#: exceeding it evicts oldest plans first. Sized so a multi-backend
+#: sweep (each backend caches its own plans, and an LR schedule mints
+#: plans per epoch) stays resident: eviction thrash is catastrophic for
+#: compiled backends, which re-render and re-bind kernels on every
+#: plan miss.
+PLAN_OWNED_BYTES_CAP = 512 * 1024 * 1024
 
 
 # ---------------------------------------------------------------------------
@@ -96,7 +100,19 @@ class EngineCounters:
         self.temp_bytes = 0  # cumulative flow through realize calls
         self.cur_bytes = 0
         self.peak_bytes = 0
+        # compiled-backend statistics (cstyle / threaded)
+        self.compiled_kernels = 0     # group kernels rendered + loaded
+        self.kernel_cache_hits = 0    # on-disk .so cache
+        self.kernel_cache_misses = 0
+        self.compile_seconds = 0.0
+        self.backend_kernels: Dict[str, int] = {}  # executed, per backend
         self._marks: List[int] = []
+
+    def count_backend_kernels(self, name: str, count: int) -> None:
+        if count:
+            self.backend_kernels[name] = (
+                self.backend_kernels.get(name, 0) + count
+            )
 
     def grow(self, nbytes: int) -> None:
         self.temp_bytes += nbytes
@@ -117,9 +133,9 @@ class EngineCounters:
         self.peak_bytes = max(previous, peak)
         return peak
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, float]:
         """Monotonic counters (no watermark state)."""
-        return {
+        snap = {
             "kernels": self.kernels,
             "ops": self.ops,
             "views": self.views,
@@ -127,7 +143,14 @@ class EngineCounters:
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
             "temp_bytes": self.temp_bytes,
+            "compiled_kernels": self.compiled_kernels,
+            "kernel_cache_hits": self.kernel_cache_hits,
+            "kernel_cache_misses": self.kernel_cache_misses,
+            "compile_seconds": round(self.compile_seconds, 6),
         }
+        for name, count in self.backend_kernels.items():
+            snap[f"kernels_{name}"] = count
+        return snap
 
 
 #: Process-wide engine counters (races under threads are benign:
@@ -142,11 +165,17 @@ class _EngineCounterSource:
         counters.push_mark()
         return counters.snapshot()
 
+    #: Keys surfaced per profiling phase. Backend-kernel counts are
+    #: dynamic (``kernels_<name>``), so deltas are computed over the
+    #: whole snapshot and filtered to zero-suppress.
+    _SKIP = frozenset({"views", "plan_hits", "plan_misses"})
+
     def end(self, token) -> Dict[str, int]:
         now = counters.snapshot()
         deltas = {
-            key: now[key] - token[key]
-            for key in ("kernels", "ops", "realizes", "temp_bytes")
+            key: value - token.get(key, 0)
+            for key, value in now.items()
+            if key not in self._SKIP
         }
         deltas["peak_temp_bytes"] = counters.pop_mark()
         return {key: value for key, value in deltas.items() if value}
@@ -170,11 +199,12 @@ class _Plan:
 
     __slots__ = ("n_slots", "input_slots", "instrs", "template",
                  "escape_alloc", "target_slots", "flow_bytes",
-                 "owned_bytes", "n_kernels", "n_ops", "n_views", "lock")
+                 "owned_bytes", "n_kernels", "n_ops", "n_views",
+                 "n_compiled", "backend_name", "lock")
 
     def __init__(self, n_slots, input_slots, instrs, template,
                  escape_alloc, target_slots, flow_bytes, owned_bytes,
-                 n_kernels, n_ops, n_views):
+                 n_kernels, n_ops, n_views, n_compiled, backend_name):
         self.n_slots = n_slots
         self.input_slots = input_slots
         self.instrs = instrs
@@ -186,6 +216,8 @@ class _Plan:
         self.n_kernels = n_kernels
         self.n_ops = n_ops
         self.n_views = n_views
+        self.n_compiled = n_compiled      # groups rendered to C kernels
+        self.backend_name = backend_name  # backend that compiled the plan
         self.lock = threading.Lock()
 
 
@@ -235,42 +267,49 @@ def _walk(targets: Sequence[LazyNode]):
     seen = set()
     order: List[LazyNode] = []
     index: dict = {}
+    parts: list = []
+    cacheable = True
+    add_seen = seen.add
+    push_node = order.append
+    append = parts.append
     stack = [(t, False) for t in reversed(targets)]
+    push = stack.append
     while stack:
         node, processed = stack.pop()
         if processed:
+            # Post-order position: every source is already indexed, so
+            # the key part is built here in the same pass. Source
+            # positions flatten into the part tuple; arity keeps
+            # same-prefix keys distinct.
             index[id(node)] = len(order)
-            order.append(node)
+            push_node(node)
+            if node.nocache:
+                cacheable = False
+            srcs = node.srcs
+            n = len(srcs)
+            if n == 1:
+                append((node.op, node.arg, index[id(srcs[0])]))
+            elif n == 2:
+                append((node.op, node.arg,
+                        index[id(srcs[0])], index[id(srcs[1])]))
+            else:
+                append((node.op, node.arg, n)
+                       + tuple(index[id(s)] for s in srcs))
             continue
         nid = id(node)
         if nid in seen:
             continue
-        seen.add(nid)
-        stack.append((node, True))
-        if node.buffer is None:
-            for src in reversed(node.srcs):
-                stack.append((src, False))
-    cacheable = True
-    parts = []
-    append = parts.append
-    for node in order:
+        add_seen(nid)
         if node.buffer is not None:
+            # Realized input: a leaf of the plan — index it immediately
+            # (same position the two-phase walk would assign).
+            index[nid] = len(order)
+            push_node(node)
             append(("B", node.shape, node.dtype.str))
             continue
-        if node.nocache:
-            cacheable = False
-        srcs = node.srcs
-        n = len(srcs)
-        # Source positions flatten into the part tuple; arity keeps
-        # same-prefix keys distinct.
-        if n == 1:
-            append((node.op, node.arg, index[id(srcs[0])]))
-        elif n == 2:
-            append((node.op, node.arg,
-                    index[id(srcs[0])], index[id(srcs[1])]))
-        else:
-            append((node.op, node.arg, n)
-                   + tuple(index[id(s)] for s in srcs))
+        push((node, True))
+        for src in reversed(node.srcs):
+            push((src, False))
     key = (tuple(parts), tuple(index[id(t)] for t in targets))
     return order, index, key, cacheable
 
@@ -333,6 +372,30 @@ def _compile(order: List[LazyNode], index, targets: Sequence[LazyNode]):
             n_kernels += 1
             n_ops += len(members)
 
+    # --- whole-group kernels (compiled backends render fused groups to
+    # C; the numpy backend has no hook and every group stays per-op).
+    # ``rendered`` maps a group root to its kernel closure; internal
+    # members of rendered groups are skipped entirely — no instruction,
+    # no buffer — which is where the one-loop fusion payoff lives.
+    rendered: Dict[int, tuple] = {}
+    compile_hook = getattr(backend, "compile_groups", None)
+    if compile_hook is not None:
+        rendered = compile_hook(
+            order, index, groups, group_of, consumers, is_input
+        ) or {}
+    skipped = set()
+    # Position at which node i's operand reads actually happen: for an
+    # internal member of a rendered group that is the *root's* slot —
+    # the C kernel reads every external source when it runs — so the
+    # lifetime of those sources must stretch to the root, or the pool
+    # would recycle a buffer the kernel still reads.
+    read_pos = list(range(n))
+    for root_i in rendered:
+        for member in groups[group_of[root_i]]:
+            if member != root_i:
+                skipped.add(member)
+                read_pos[member] = root_i
+
     # --- ownership and lifetimes (a view charges the viewed buffer)
     owner = list(range(n))
     last_use = [-1] * n
@@ -341,10 +404,11 @@ def _compile(order: List[LazyNode], index, targets: Sequence[LazyNode]):
             continue
         if node.kind == KIND_VIEW:
             owner[i] = owner[index[id(node.srcs[0])]]
+        pos = read_pos[i]
         for src in node.srcs:
             own = owner[index[id(src)]]
-            if last_use[own] < i:
-                last_use[own] = i
+            if last_use[own] < pos:
+                last_use[own] = pos
     escapes = [False] * n
     for t in target_idx:
         escapes[owner[t]] = True
@@ -363,7 +427,36 @@ def _compile(order: List[LazyNode], index, targets: Sequence[LazyNode]):
         if is_input[i]:
             input_slots.append(i)
             continue
-        if node.kind == KIND_VIEW:
+        if i in skipped:
+            # Internal member of a rendered group: the C kernel computes
+            # it in a register at the root's position — no instruction,
+            # no buffer, no recycling at this slot.
+            continue
+        if i in rendered:
+            run, ext_idxs = rendered[i]
+            if run is not None:
+                instrs.append(run)
+            # run=None: this root is stitched into a later driver
+            # instruction. It still reports its own external reads here
+            # (ext_idxs), so recycling stays as tight as unstitched
+            # execution, and its output slot still gets a buffer.
+            nbytes = _nbytes(node.shape, node.dtype)
+            read_idxs = ext_idxs
+            if escapes[i]:
+                escape_alloc.append((i, node.shape, node.dtype))
+                flow_bytes += nbytes
+            else:
+                pool = pools.get((node.shape, node.dtype.str))
+                if pool:
+                    buf = pool.pop()
+                else:
+                    buf = np.empty(node.shape, dtype=node.dtype)
+                template[i] = buf
+                if id(buf) not in owned_ids:
+                    owned_ids.add(id(buf))
+                    flow_bytes += buf.nbytes
+                    owned_bytes += buf.nbytes
+        elif node.kind == KIND_VIEW:
             fn = backend.build_view(node)
             si = index[id(node.srcs[0])]
 
@@ -371,10 +464,12 @@ def _compile(order: List[LazyNode], index, targets: Sequence[LazyNode]):
                 V[oi] = fn(V[si])
 
             instrs.append(run)
+            read_idxs = (si,)
         else:
             srcs = tuple(index[id(s)] for s in node.srcs)
             run, mode = backend.build_instr(node, srcs, i)
             instrs.append(run)
+            read_idxs = srcs
             nbytes = _nbytes(node.shape, node.dtype)
             if mode == "out":
                 if escapes[i]:
@@ -395,10 +490,12 @@ def _compile(order: List[LazyNode], index, targets: Sequence[LazyNode]):
                 flow_bytes += nbytes  # per-call result allocation
         # Recycle operand buffers whose last alias read just happened —
         # after assigning this node's output, so an output buffer never
-        # aliases the node's own operands.
+        # aliases the node's own operands. For a rendered group the
+        # reads are the group's *external* sources, whose lifetimes
+        # were stretched to this root above.
         freed = set()
-        for src in node.srcs:
-            own = owner[index[id(src)]]
+        for si_ in read_idxs:
+            own = owner[si_]
             if (
                 own not in freed
                 and last_use[own] == i
@@ -422,6 +519,8 @@ def _compile(order: List[LazyNode], index, targets: Sequence[LazyNode]):
         n_kernels=n_kernels,
         n_ops=n_ops,
         n_views=n_views,
+        n_compiled=len(rendered),
+        backend_name=get_backend_name(),
     )
 
 
@@ -449,6 +548,11 @@ def realize(nodes: Sequence[LazyNode]) -> None:
 
     counters.realizes += 1
     order, index, key, cacheable = _walk(deduped)
+    # Plans embed backend-compiled kernels, so the active backend is
+    # part of the cache identity: swapping backends never replays the
+    # previous backend's kernels, and each backend keeps its own plans
+    # warm (the backend-sweep benchmark interleaves all three).
+    key = (get_backend_name(), key)
 
     plan = None
     if cacheable:
@@ -465,6 +569,13 @@ def realize(nodes: Sequence[LazyNode]) -> None:
     counters.kernels += plan.n_kernels
     counters.ops += plan.n_ops
     counters.views += plan.n_views
+    if plan.n_compiled:
+        counters.count_backend_kernels(plan.backend_name, plan.n_compiled)
+        counters.count_backend_kernels(
+            "numpy", plan.n_kernels - plan.n_compiled
+        )
+    else:
+        counters.count_backend_kernels("numpy", plan.n_kernels)
     counters.grow(plan.flow_bytes)
 
     with plan.lock:

@@ -17,7 +17,11 @@ path. One asyncio event loop does *parse, admission, and routing only*:
 5. Per-worker circuit breakers (PR 5's
    :class:`~repro.serving.breaker.CircuitBreaker`): worker failures
    and deadline drops trip the shard onto the fallback chain until a
-   probe succeeds.
+   probe succeeds. A *dead* worker additionally schedules one
+   background respawn — the pool forks a replacement on the current
+   manifest, its cache shard is warmed from the latest snapshot, and
+   the restart is counted in ``/metrics`` — while traffic for the
+   shard keeps degrading to fallbacks until the replacement is live.
 
 Replay logging and the flywheel watcher both live here, in the single
 front-end process: the replay log keeps its single-writer invariant no
@@ -114,6 +118,11 @@ class ScaleServingServer:
             for _ in range(pool.num_workers)
         ]
         self._swap_lock = threading.Lock()
+        # Shards with a respawn in flight (guarded by _revive_lock):
+        # the first request that finds a shard dead schedules exactly
+        # one revival; the rest degrade to fallbacks until it lands.
+        self._revive_lock = threading.Lock()
+        self._reviving: set = set()
         # CPU-bound request work — graph parse + WL hash, fallback
         # resolution, replay-log appends — runs here, off the event
         # loop, so a burst of degraded traffic cannot serialize all
@@ -365,7 +374,12 @@ class ScaleServingServer:
     ):
         shard = self.pool.route(wl_hash)
         breaker = self._breakers[shard]
-        if not self.pool.worker_alive(shard) or not breaker.allow():
+        if not self.pool.worker_alive(shard):
+            self._schedule_revival(shard)
+            self.admission.record_breaker_degrade()
+            self.metrics.record_breaker_rejection()
+            return await self._degraded_answer(graph, wl_hash, p, start)
+        if not breaker.allow():
             self.admission.record_breaker_degrade()
             self.metrics.record_breaker_rejection()
             return await self._degraded_answer(graph, wl_hash, p, start)
@@ -385,6 +399,8 @@ class ScaleServingServer:
             return self._shed_response()
         except Exception as exc:  # noqa: BLE001 — worker error/death
             logger.warning("worker %d predict failed (%s)", shard, exc)
+            if not self.pool.worker_alive(shard):
+                self._schedule_revival(shard)
             self.metrics.record_model_failure()
             if breaker.record_failure():
                 self.metrics.record_breaker_trip()
@@ -437,6 +453,56 @@ class ScaleServingServer:
         )
         payload["degraded"] = True
         return status, payload, extra
+
+    def _schedule_revival(self, shard: int) -> None:
+        """Kick off at most one background respawn for a dead shard."""
+        if self._closed:
+            return
+        with self._revive_lock:
+            if shard in self._reviving:
+                return
+            self._reviving.add(shard)
+        self._executor.submit(self._revive_worker, shard)
+
+    def _revive_worker(self, shard: int) -> None:
+        """Respawn a dead worker and warm its cache shard (executor).
+
+        The replacement boots on the pool's current manifest; its
+        empty cache shard is warmed from the latest snapshot file when
+        one exists, and its breaker is replaced so the first real
+        request probes the fresh worker instead of waiting out the old
+        breaker's open window.
+        """
+        try:
+            if not self.pool.respawn_worker(shard):
+                return
+            self._breakers[shard] = CircuitBreaker(
+                failure_threshold=self.scale_config.breaker_threshold,
+                reset_timeout_s=self.scale_config.breaker_reset_s,
+            )
+            loaded = 0
+            if self.cache_snapshot_path is not None:
+                from repro.utils.serialization import load_json
+
+                try:
+                    snapshot = load_json(self.cache_snapshot_path)
+                    loaded = self.pool.warm_up(snapshot, only_shard=shard)
+                except FileNotFoundError:
+                    pass  # no snapshot yet; the shard warms organically
+                except Exception as exc:  # noqa: BLE001 — warm-up is best effort
+                    logger.warning(
+                        "shard %d warm-up after respawn failed (%s)",
+                        shard,
+                        exc,
+                    )
+            logger.info(
+                "revived worker %d (%d cache entries warmed)", shard, loaded
+            )
+        except Exception as exc:  # noqa: BLE001 — revival must not kill serving
+            logger.warning("worker %d respawn failed (%s)", shard, exc)
+        finally:
+            with self._revive_lock:
+                self._reviving.discard(shard)
 
     def _shed_response(self):
         retry_after = self.admission.retry_after_s

@@ -15,6 +15,11 @@
   front-end awaits them via ``asyncio.wrap_future``. A worker death
   fails that worker's pending futures and marks it dead — the
   front-end's per-worker breaker then routes its shard to fallbacks.
+- **Respawn.** ``respawn_worker(shard)`` forks a replacement for a
+  dead worker on the *current* manifest (so a post-swap restart
+  serves the swapped weights, not the boot weights). Restart counts
+  per shard ride along in ``metrics()`` for ``/metrics``; the
+  front-end warms the reborn shard from the latest cache snapshot.
 - **Swap barrier.** ``swap_model`` writes the new weights into the
   slab's *inactive* region (inline-ships them if they outgrew it),
   broadcasts the manifest, and blocks until every worker has drained
@@ -174,8 +179,12 @@ class WorkerPool:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             context = multiprocessing.get_context()
+        self._context = context
         self._workers: List[_WorkerHandle] = []
         self._swap_lock = threading.Lock()
+        self._respawn_lock = threading.Lock()
+        #: Per-shard count of workers respawned after a death.
+        self.worker_restarts: Dict[int, int] = {}
         #: True when a partial swap failure left workers possibly
         #: serving different fingerprints (surfaced via /healthz).
         self.swap_inconsistent = False
@@ -183,6 +192,7 @@ class WorkerPool:
         # timeout, so a hung inference yields an unambiguous "err"
         # reply (old model still serving) instead of an ack timeout.
         drain_timeout_s = max(1.0, self.scale_config.swap_timeout_s * 0.8)
+        self._drain_timeout_s = drain_timeout_s
         # All pipes are created before any fork, and every child closes
         # every end that is not its own. Otherwise worker N inherits
         # worker M's parent-side end (and a copy of its own), so a
@@ -238,6 +248,61 @@ class WorkerPool:
 
     def worker_alive(self, shard: int) -> bool:
         return self._workers[shard].alive
+
+    def respawn_worker(self, shard: int) -> bool:
+        """Fork a replacement for a dead worker on its shard.
+
+        Returns ``False`` when the worker is still alive or the pool
+        is closed. The replacement boots from the *current* manifest —
+        including any weights hot-swapped since the original fork, as
+        the slab region in ``self.manifest`` is only ever committed
+        after a full swap barrier — and starts with an empty cache
+        shard; the front-end warms it from the latest snapshot.
+        """
+        with self._respawn_lock:
+            if self._closed:
+                return False
+            old = self._workers[shard]
+            if old.alive:
+                return False
+            old.stop(timeout=1.0)
+            parent_conn, child_conn = self._context.Pipe()
+            # The fork inherits every sibling's parent-side pipe end;
+            # the child closes them (plus the copy of its own parent
+            # end) so a dead front-end still reads as EOF on every
+            # worker's pipe. Sibling child-side ends were closed in
+            # the parent at boot, so they never ride along.
+            close_in_child = [parent_conn] + [
+                handle.conn for handle in self._workers if handle is not old
+            ]
+            process = self._context.Process(
+                target=worker_main,
+                args=(
+                    child_conn,
+                    self.shared,
+                    self.manifest,
+                    self.serving_config,
+                    shard,
+                    self.num_workers,
+                    self.scale_config.inference_threads,
+                    close_in_child,
+                    self._drain_timeout_s,
+                ),
+                name=f"repro-serving-worker-{shard}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers[shard] = _WorkerHandle(shard, process, parent_conn)
+            self.worker_restarts[shard] = (
+                self.worker_restarts.get(shard, 0) + 1
+            )
+            logger.info(
+                "respawned worker %d (restart #%d)",
+                shard,
+                self.worker_restarts[shard],
+            )
+            return True
 
     def predict_future(
         self,
@@ -375,12 +440,14 @@ class WorkerPool:
             entries.extend(shard_entries)
         return {"num_shards": self.num_workers, "entries": entries}
 
-    def warm_up(self, snapshot: dict) -> int:
+    def warm_up(self, snapshot: dict, only_shard: Optional[int] = None) -> int:
         """Load a snapshot, re-routing entries onto the current shards.
 
         Entries are re-partitioned by the WL-hash tail of their cache
         key, so a snapshot taken under a different worker count still
-        lands every entry on its owning shard.
+        lands every entry on its owning shard. ``only_shard`` restricts
+        the load to one shard's partition — the respawn path warms a
+        reborn worker without touching its siblings' caches.
         """
         buckets: Dict[int, list] = {}
         for entry in snapshot.get("entries", []):
@@ -390,6 +457,8 @@ class WorkerPool:
                 shard = self.route(wl_hash)
             except (ValueError, ScaleError):
                 continue  # malformed key; skip rather than refuse to start
+            if only_shard is not None and shard != only_shard:
+                continue
             buckets.setdefault(shard, []).append(entry)
         loaded = 0
         for shard, entries in buckets.items():
@@ -418,6 +487,10 @@ class WorkerPool:
                 results[str(shard)] = future.result(timeout=timeout)
             except Exception as exc:  # noqa: BLE001 — metrics must not raise
                 results[str(shard)] = {"status": f"unavailable: {exc}"}
+        for shard in range(len(self._workers)):
+            payload = results.get(str(shard))
+            if isinstance(payload, dict):
+                payload["restarts"] = self.worker_restarts.get(shard, 0)
         return results
 
     def ping_all(self, timeout: float = 5.0) -> List[dict]:

@@ -240,3 +240,96 @@ class TestServiceWiring:
         stats = log.stats()
         assert stats["logged"] + stats["sampled_out"] == 1
         assert stats["sample_rate"] == 0.9
+
+
+class TestCompaction:
+    @staticmethod
+    def _record(cls: int, source: str, gamma: float) -> ReplayRecord:
+        # Same graph per class: duplicate WL hashes describe the same
+        # instance, as they do in real traffic.
+        return ReplayRecord(
+            graph=Graph.cycle(5 + cls, name=f"class{cls}"),
+            wl_hash=f"class{cls}",
+            p=1,
+            gammas=(gamma,),
+            betas=(gamma,),
+            source=source,
+        )
+
+    def _rotate_with(self, tmp_path, sequence):
+        """Append ``sequence``, forcing rotation (and compaction) on the
+        last append so every record lands in one sealed segment."""
+        log = ReplayLog(tmp_path / "replay", max_bytes=1 << 20)
+        for cls, source, gamma in sequence[:-1]:
+            assert log.append(self._record(cls, source, gamma)) is True
+        log.max_bytes = 1
+        assert log.append(self._record(*sequence[-1])) is True
+        log.close()
+        return log
+
+    def test_rotation_dedupes_by_wl_class_keeping_latest(self, tmp_path):
+        sequence = [
+            (0, "random", 0.1),
+            (1, "model", 0.2),
+            (0, "model", 0.3),
+            (2, "fixed_angle", 0.4),
+            (0, "fixed_angle", 0.5),
+        ]
+        log = self._rotate_with(tmp_path, sequence)
+        assert log.compactions == 1
+        assert log.compacted_records == 2
+        records = log.load()
+        # Survivors keep serving order of their *latest* occurrence.
+        assert [r.wl_hash for r in records] == ["class1", "class2", "class0"]
+        merged = records[-1]
+        assert merged.gammas == (0.5,)  # latest served params win
+        assert merged.weight == 3
+        assert merged.source_counts == {
+            "random": 1, "model": 1, "fixed_angle": 1,
+        }
+        # Untouched classes stay weight-1 with a compact line.
+        assert records[0].weight == 1
+        stats = log.stats()
+        assert stats["compactions"] == 1
+        assert stats["compacted_records"] == 2
+
+    def test_selector_signals_survive_compaction(self, tmp_path):
+        from repro.flywheel.selector import SelectionConfig, select_candidates
+
+        sequence = [
+            (0, "random", 0.1),
+            (0, "model", 0.2),
+            (1, "fixed_angle", 0.3),
+            (0, "analytic", 0.4),
+        ]
+        raw = [self._record(*item) for item in sequence]
+        log = self._rotate_with(tmp_path, sequence)
+        compacted = log.load()
+        assert len(compacted) == 2  # two classes survive
+
+        config = SelectionConfig(max_evaluations=0)
+        signature = lambda cands: [  # noqa: E731 - local shorthand
+            (c.wl_hash, c.requests, c.fallback_requests, dict(c.sources))
+            for c in cands
+        ]
+        assert signature(select_candidates(raw, config=config)) == signature(
+            select_candidates(compacted, config=config)
+        )
+
+    def test_double_compaction_is_stable(self, tmp_path):
+        # Re-compacting already-compacted records (e.g. a weighted
+        # record duplicated again in a later segment) keeps summing
+        # weights instead of resetting them.
+        log = ReplayLog(tmp_path / "replay", max_bytes=1 << 20)
+        weighted = self._record(0, "model", 0.7)
+        weighted.weight = 4
+        weighted.source_counts = {"model": 3, "random": 1}
+        assert log.append(weighted) is True
+        log.max_bytes = 1
+        assert log.append(self._record(0, "random", 0.9)) is True
+        log.close()
+        records = log.load()
+        assert len(records) == 1
+        assert records[0].weight == 5
+        assert records[0].source_counts == {"model": 3, "random": 2}
+        assert records[0].gammas == (0.9,)

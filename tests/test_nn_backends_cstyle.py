@@ -1,0 +1,252 @@
+"""Tests for the compiled kernel backends (`repro.nn.backends.cstyle`).
+
+The compiled backends promise the *same bits* as the numpy reference,
+not merely close ones — every comparison here is ``tobytes()``
+equality. Three contracts are covered:
+
+1. **Bitwise equivalence** across op mixes, shapes, reduce axes, view
+   inputs, and batch-invariant matmul, including fuzzed random chains.
+2. **Kernel cache** behaviour: on-disk reuse counts a hit, a changed
+   source (or ABI/flags/compiler, via the cache key) recompiles.
+3. **Silent fallback**: with ``CC=/bin/false`` selecting ``cstyle`` or
+   ``threaded`` quietly resolves to numpy and everything still runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import lazyir as ir
+from repro.nn import realize as rz
+from repro.nn.backends import ctoolchain, cstyle, set_backend
+
+HAVE_TOOLCHAIN = ctoolchain.available()
+
+needs_toolchain = pytest.mark.skipif(
+    not HAVE_TOOLCHAIN, reason="no C toolchain; compiled backends fall back"
+)
+
+
+@pytest.fixture(autouse=True)
+def numpy_backend_after():
+    """Every test leaves the process on the numpy backend."""
+    yield
+    set_backend("numpy")
+    rz.clear_plan_cache()
+
+
+def realize_with(backend: str, build_targets):
+    """Build + realize ``build_targets()`` under ``backend``; copy out."""
+    set_backend(backend)
+    rz.clear_plan_cache()
+    targets = build_targets()
+    rz.realize(targets)
+    return [t.buffer.copy() for t in targets]
+
+
+def assert_bitwise(build_targets, backends=("cstyle", "threaded")):
+    reference = realize_with("numpy", build_targets)
+    for backend in backends:
+        got = realize_with(backend, build_targets)
+        for position, (want, have) in enumerate(zip(reference, got)):
+            assert want.tobytes() == have.tobytes(), (
+                f"{backend} target {position} diverges: "
+                f"max |delta| = {np.max(np.abs(want - have))}"
+            )
+
+
+class TestBitwiseEquivalence:
+    @needs_toolchain
+    def test_mixed_op_targets(self):
+        rng = np.random.default_rng(7)
+        X = rng.standard_normal((33, 17))
+        Y = rng.standard_normal((33, 17))
+        W = rng.standard_normal((17, 9))
+        IDX = rng.integers(0, 33, size=51).astype(np.int64)
+        SEG = rng.integers(0, 12, size=33).astype(np.int64)
+        BIG = rng.standard_normal((600, 130))
+
+        def build():
+            a = ir.buffer(X.copy())
+            b = ir.buffer(Y.copy())
+            w = ir.buffer(W.copy())
+            big = ir.buffer(BIG.copy())
+            targets = []
+            chain = ir.alu("mul", ir.alu("add", a, b), ir.alu("sub", a, 0.5))
+            targets.append(ir.alu1("tanh", chain))
+            gate = ir._node("gt0", (a,), None, a.shape, np.dtype("|b1"))
+            targets.append(ir.where_node(gate, ir.alu("mul", a, 2.0), 0.0))
+            targets.append(
+                ir.reduce_node("sum", ir.alu("mul", a, a), None, False)
+            )
+            targets.append(ir.reduce_node("sum", ir.alu("add", a, b), 1, False))
+            targets.append(
+                ir.reduce_node("mean", ir.alu("mul", a, 1.5), 0, False)
+            )
+            targets.append(ir.reduce_node("max", ir.alu("sub", a, b), None, False))
+            targets.append(ir.reduce_node("max", ir.alu("mul", big, 1.1), 1, False))
+            targets.append(ir.alu1("exp", ir.alu("mul", big, 0.01)))
+            targets.append(ir.matmul_node(a, w, True))  # batch-invariant
+            targets.append(ir.gather_node(ir.alu("add", a, 1.0), IDX))
+            targets.append(ir.scatter_add_node(a, SEG, (12, 17), "ref"))
+            targets.append(ir.segment_max_raw_node(a, SEG, (12, 17), "ref"))
+            targets.append(ir.putadd_node(a, SEG, (12, 17)))
+            rowsum = ir.reduce_node("sum", a, 0, True)
+            targets.append(
+                ir.alu("mul", a, ir.expand_node(rowsum, (1, 17), (33, 17)))
+            )
+            flipped = ir.transpose_node(a)
+            targets.append(ir.reduce_node("mean", flipped, 0, False))
+            targets.append(ir.reduce_node("sum", flipped, 1, False))
+            targets.append(ir.reduce_node("max", flipped, 0, False))
+            targets.append(ir.reduce_node("sum", flipped, None, False))
+            return targets
+
+        assert_bitwise(build)
+
+    @needs_toolchain
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fuzzed_chains(self, seed):
+        """Random op chains over random shapes stay bit-identical."""
+        rng = np.random.default_rng(1000 + seed)
+        shape = [(7, 5), (33, 17), (1, 9), (48, 31), (170,)][seed % 5]
+        base = rng.standard_normal(shape)
+        other = rng.standard_normal(shape)
+        binary_ops = ["add", "sub", "mul", "div", "maximum"]
+        unary_ops = ["tanh", "abs", "sign", "exp", "sqrt"]
+
+        def build():
+            node = ir.buffer(base.copy())
+            second = ir.buffer(other.copy())
+            for _ in range(int(rng.integers(2, 7))):
+                if rng.random() < 0.35:
+                    op = unary_ops[int(rng.integers(len(unary_ops)))]
+                    if op == "sqrt":
+                        node = ir.alu1("sqrt", ir.alu1("abs", node))
+                    elif op == "exp":
+                        node = ir.alu1("exp", ir.alu("mul", node, 0.01))
+                    else:
+                        node = ir.alu1(op, node)
+                else:
+                    op = binary_ops[int(rng.integers(len(binary_ops)))]
+                    if rng.random() < 0.5:
+                        node = ir.alu(op, node, float(rng.normal()) + 1.7)
+                    else:
+                        node = ir.alu(op, node, second)
+            terminal = rng.random()
+            if terminal < 0.6:
+                axis_choices = [None, 0] + ([1] if len(shape) == 2 else [])
+                axis = axis_choices[int(rng.integers(len(axis_choices)))]
+                kind = ["sum", "mean", "max"][int(rng.integers(3))]
+                node = ir.reduce_node(kind, node, axis, False)
+            return [node]
+
+        # Same rng stream must drive every realization identically.
+        state = rng.bit_generator.state
+        reference = realize_with("numpy", build)
+        for backend in ("cstyle", "threaded"):
+            rng.bit_generator.state = state
+            got = realize_with(backend, build)
+            assert reference[0].tobytes() == got[0].tobytes(), (
+                f"{backend} diverges on seed {seed}"
+            )
+
+    @needs_toolchain
+    def test_batch_invariant_matmul(self):
+        """batch_invariant mode keeps its bits under compiled backends."""
+        rng = np.random.default_rng(11)
+        A = rng.standard_normal((40, 13))
+        W = rng.standard_normal((13, 6))
+
+        def build():
+            a = ir.buffer(A.copy())
+            w = ir.buffer(W.copy())
+            full = ir.matmul_node(a, w, True)
+            head = ir.matmul_node(ir.buffer(A[:5].copy()), w, True)
+            return [full, head, ir.alu1("tanh", full)]
+
+        reference = realize_with("numpy", build)
+        full, head, _ = reference
+        # Rows 0..4 of the full-batch product equal the 5-row product
+        # exactly: that is what batch invariance means.
+        assert np.ascontiguousarray(full[:5]).tobytes() == head.tobytes()
+        assert_bitwise(build)
+
+
+class TestKernelCache:
+    @needs_toolchain
+    def test_disk_reuse_counts_a_hit(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        source = (
+            "void cache_probe_fn(double *x) { x[0] = x[0] * 2.0 + 1.0; }\n"
+        )
+        decls = ["void cache_probe_fn(double *);"]
+        counters = rz.counters
+        before = counters.snapshot()
+        assert ctoolchain.load(source, decls) is not None
+        mid = counters.snapshot()
+        assert mid["kernel_cache_misses"] == before["kernel_cache_misses"] + 1
+        # Drop the in-process handle: the on-disk object must satisfy
+        # the reload without invoking the compiler.
+        ctoolchain._LOADED.clear()
+        assert ctoolchain.load(source, decls) is not None
+        after = counters.snapshot()
+        assert after["kernel_cache_hits"] == mid["kernel_cache_hits"] + 1
+        assert after["kernel_cache_misses"] == mid["kernel_cache_misses"]
+
+    @needs_toolchain
+    def test_changed_source_recompiles(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        decls = ["void cache_probe_fn2(double *);"]
+        first = "void cache_probe_fn2(double *x) { x[0] += 1.0; }\n"
+        second = "void cache_probe_fn2(double *x) { x[0] += 2.0; }\n"
+        counters = rz.counters
+        before = counters.snapshot()
+        assert ctoolchain.load(first, decls) is not None
+        assert ctoolchain.load(second, decls) is not None
+        after = counters.snapshot()
+        assert (
+            after["kernel_cache_misses"] == before["kernel_cache_misses"] + 2
+        )
+
+    def test_cache_key_binds_abi_flags_and_compiler(self, monkeypatch):
+        source = "int f(void) { return 1; }\n"
+        base = ctoolchain.source_key(source)
+        monkeypatch.setattr(ctoolchain, "ABI_VERSION", 9999)
+        assert ctoolchain.source_key(source) != base
+        monkeypatch.undo()
+        monkeypatch.setattr(ctoolchain, "CFLAGS", ("-O0",))
+        assert ctoolchain.source_key(source) != base
+        monkeypatch.undo()
+        monkeypatch.setenv("CC", "some-other-cc")
+        assert ctoolchain.source_key(source) != base
+
+
+class TestNoToolchainFallback:
+    @pytest.fixture()
+    def broken_toolchain(self, monkeypatch):
+        monkeypatch.setenv("CC", "/bin/false")
+        ctoolchain.reset_probe_cache()
+        cstyle.reset_caps_cache()
+        yield
+        monkeypatch.undo()
+        ctoolchain.reset_probe_cache()
+        cstyle.reset_caps_cache()
+
+    def test_selection_silently_resolves_to_numpy(self, broken_toolchain):
+        assert set_backend("cstyle") == "numpy"
+        assert set_backend("threaded") == "numpy"
+
+    def test_realize_still_works_and_matches(self, broken_toolchain):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((9, 4))
+
+        def build():
+            a = ir.buffer(X.copy())
+            return [
+                ir.reduce_node("sum", ir.alu1("tanh", ir.alu("mul", a, a)),
+                               1, False)
+            ]
+
+        got = realize_with("cstyle", build)  # resolves to numpy
+        want = np.tanh(X * X).sum(axis=1)
+        assert got[0].tobytes() == want.tobytes()

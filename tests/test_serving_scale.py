@@ -10,6 +10,7 @@ worker, snapshots warm a fresh pool, and the admission gate sheds with
 import json
 import multiprocessing
 import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import Future
@@ -391,6 +392,80 @@ class TestSnapshotWarmup:
             assert payload["cached"] is True
         finally:
             second.close()
+
+
+class TestWorkerRespawn:
+    def test_dead_worker_respawns_warm_and_counts_in_metrics(self, tmp_path):
+        model = make_model(rng=9, p=1)
+        graphs = graphs_for_test(count=12, nodes=6)
+        snapshot_path = tmp_path / "cache_snapshot.json"
+        config = ScaleConfig(workers=2)
+        server = ScaleServingServer(
+            WorkerPool(model=model, scale_config=config),
+            model=model,
+            port=0,
+            scale_config=config,
+            cache_snapshot_path=snapshot_path,
+        )
+        server.start_background()
+        try:
+            for graph in graphs:
+                status, _, _ = post_predict(server.port, graph)
+                assert status == 200
+            assert server.save_cache_snapshot(snapshot_path) > 0
+
+            # Kill the worker owning graphs[0]'s shard: its snapshot
+            # partition is non-empty, so the respawn warm-up below has
+            # something to restore.
+            victim = server.pool.route(wl_canonical_hash(graphs[0]))
+            handle = server.pool.worker(victim)
+            handle.process.terminate()
+            handle.process.join(10)
+            deadline = time.time() + 10
+            while server.pool.worker_alive(victim) and time.time() < deadline:
+                time.sleep(0.05)
+            assert not server.pool.worker_alive(victim)
+
+            # A request for the dead shard (fresh graphs, so the L1
+            # cannot short-circuit) degrades to fallbacks and schedules
+            # the respawn.
+            triggered = False
+            for i in range(64):
+                fresh = erdos_renyi_graph(6, 0.5, rng=900 + i)
+                if server.pool.route(wl_canonical_hash(fresh)) != victim:
+                    continue
+                status, payload, _ = post_predict(server.port, fresh)
+                assert status == 200
+                assert payload.get("degraded") is True
+                triggered = True
+                break
+            assert triggered
+
+            # The replacement comes up in the background, warmed from
+            # the snapshot partition it owns.
+            deadline = time.time() + 20
+            warmed = []
+            while time.time() < deadline:
+                if server.pool.worker_alive(victim):
+                    warmed = server.pool.worker(victim).request(
+                        "snapshot"
+                    ).result(timeout=10)
+                    if warmed:
+                        break
+                time.sleep(0.1)
+            assert server.pool.worker_alive(victim)
+            assert len(warmed) > 0
+            assert server.pool.worker_restarts.get(victim) == 1
+
+            status, payload = get(server.port, "/metrics")
+            assert status == 200
+            assert payload["workers"][str(victim)]["restarts"] == 1
+
+            status, payload = get(server.port, "/healthz")
+            assert payload["status"] == "ok"
+            assert all(w["alive"] for w in payload["workers"])
+        finally:
+            server.close()
 
 
 class TestAdmissionOverHTTP:
