@@ -93,6 +93,11 @@ DEFAULT_SCALE_BENCH_PATH = "BENCH_5.json"
 #: backend vs its threaded-tile variant, same lazy engine throughout).
 DEFAULT_BACKENDS_BENCH_PATH = "BENCH_6.json"
 
+#: Size-generalization trajectory (a size-agnostic-feature GNN trained
+#: on small graphs, scored on the p=1 closed form far above its
+#: training sizes, against the fixed-angle and analytic baselines).
+DEFAULT_TRANSFER_BENCH_PATH = "BENCH_7.json"
+
 BENCH_SCHEMA_VERSION = 1
 
 
@@ -1433,6 +1438,100 @@ def bench_evaluation(
 
 
 # ----------------------------------------------------------------------
+# Size-generalization benchmarks
+# ----------------------------------------------------------------------
+def bench_transfer(
+    node_sizes: Tuple[int, ...] = (50, 100, 200),
+    degree: int = 3,
+    graphs_per_size: int = 3,
+    train_graphs: int = 96,
+    train_min_nodes: int = 6,
+    train_max_nodes: int = 10,
+    epochs: int = 40,
+    feature_kind: str = "structural",
+    arch: str = "gin",
+    seed: int = 20240305,
+) -> Dict[str, object]:
+    """Size generalization: train small, score far above training size.
+
+    End-to-end arm for the claim the n<=15 cap-lift makes: a GNN with a
+    size-agnostic feature kind, trained *only* on graphs of
+    ``train_min_nodes``–``train_max_nodes`` nodes, predicts useful
+    angles for graphs an order of magnitude larger.
+
+    - Labels come from the analytic-p1 surface
+      (``label_method="analytic-p1"``), the same oracle the transfer
+      evaluation scores against, so train and test targets live on one
+      surface.
+    - Transfer scoring (:func:`repro.pipeline.transfer
+      .evaluate_size_transfer`) reports, per size, the model's mean
+      expectation ratio against the per-instance p=1 optimum next to
+      the degree-d fixed-angle baseline's ratio — no statevector
+      anywhere, so 200-node graphs are cheap.
+
+    Records training/labeling/evaluation wall times alongside the
+    ratios; deterministic for a fixed seed.
+    """
+    from repro.gnn.predictor import QAOAParameterPredictor
+    from repro.pipeline.training import Trainer, TrainingConfig
+    from repro.pipeline.transfer import evaluate_size_transfer
+
+    start = time.perf_counter()
+    dataset = generate_dataset(
+        GenerationConfig(
+            num_graphs=train_graphs,
+            min_nodes=train_min_nodes,
+            max_nodes=train_max_nodes,
+            p=1,
+            label_method="analytic-p1",
+            seed=seed,
+            progress_every=0,
+        )
+    )
+    label_wall = time.perf_counter() - start
+
+    model = QAOAParameterPredictor(
+        arch=arch, p=1, feature_kind=feature_kind, rng=seed
+    )
+    start = time.perf_counter()
+    trainer = Trainer(
+        model, TrainingConfig(epochs=epochs, batch_size=32, seed=0)
+    )
+    history = trainer.fit(dataset)
+    train_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = evaluate_size_transfer(
+        model,
+        node_sizes=node_sizes,
+        degree=degree,
+        graphs_per_size=graphs_per_size,
+        rng=seed,
+    )
+    eval_wall = time.perf_counter() - start
+
+    sizes = report["sizes"]
+    return {
+        "feature_kind": feature_kind,
+        "arch": arch,
+        "train_graphs": train_graphs,
+        "train_node_range": [train_min_nodes, train_max_nodes],
+        "epochs": epochs,
+        "final_loss": history.final_loss,
+        "degree": degree,
+        "graphs_per_size": graphs_per_size,
+        "label_wall_s": label_wall,
+        "train_wall_s": train_wall,
+        "eval_wall_s": eval_wall,
+        "sizes": sizes,
+        # Headline: worst-size model ratio — how much of the best
+        # achievable p=1 expectation the model retains at every tested
+        # size, despite never seeing a graph above train_max_nodes.
+        "min_model_ratio": min(entry["model_ratio"] for entry in sizes),
+    }
+
+
+# ----------------------------------------------------------------------
 # Trajectory persistence
 # ----------------------------------------------------------------------
 def load_trajectory(path: PathLike) -> List[dict]:
@@ -1503,15 +1602,24 @@ def run_benchmarks(
     backends_batch_size: int = 32,
     backends_full_batch_size: Optional[int] = None,
     backends_reps: int = 3,
+    skip_transfer: bool = False,
+    transfer_path: PathLike = DEFAULT_TRANSFER_BENCH_PATH,
+    transfer_nodes: Tuple[int, ...] = (50, 100, 200),
+    transfer_degree: int = 3,
+    transfer_graphs_per_size: int = 3,
+    transfer_train_graphs: int = 96,
+    transfer_epochs: int = 40,
+    transfer_feature_kind: str = "structural",
 ) -> dict:
     """Run the kernel (and optionally labeling/serving/training/
     evaluation/fusion/backend) benchmarks. Kernel/labeling/serving
     results append one entry to the trajectory at ``path``; the
-    training, evaluation, fusion, scale-serving, and backend-sweep
-    benchmarks append their own entries to ``training_path``
-    (``BENCH_2.json``), ``evaluation_path`` (``BENCH_3.json``),
-    ``fusion_path`` (``BENCH_4.json``), ``scale_path``
-    (``BENCH_5.json``), and ``backends_path`` (``BENCH_6.json``).
+    training, evaluation, fusion, scale-serving, backend-sweep, and
+    size-transfer benchmarks append their own entries to
+    ``training_path`` (``BENCH_2.json``), ``evaluation_path``
+    (``BENCH_3.json``), ``fusion_path`` (``BENCH_4.json``),
+    ``scale_path`` (``BENCH_5.json``), ``backends_path``
+    (``BENCH_6.json``), and ``transfer_path`` (``BENCH_7.json``).
 
     All trajectory writes are staged until every requested section has
     finished, then committed file by file (each one atomically, via a
@@ -1568,6 +1676,17 @@ def run_benchmarks(
             workers=scale_workers, duration_s=scale_duration_s
         )
         staged.append((scale_path, {"serving_scale": scale_results}))
+    transfer_results = None
+    if not skip_transfer:
+        transfer_results = bench_transfer(
+            node_sizes=tuple(transfer_nodes),
+            degree=transfer_degree,
+            graphs_per_size=transfer_graphs_per_size,
+            train_graphs=transfer_train_graphs,
+            epochs=transfer_epochs,
+            feature_kind=transfer_feature_kind,
+        )
+        staged.append((transfer_path, {"transfer": transfer_results}))
     backends_results = None
     if not skip_backends:
         backends_results = bench_backends_suite(
@@ -1595,6 +1714,8 @@ def run_benchmarks(
         entry["results"]["serving_scale"] = scale_results
     if backends_results is not None:
         entry["results"]["backends"] = backends_results
+    if transfer_results is not None:
+        entry["results"]["transfer"] = transfer_results
     return entry
 
 
@@ -1705,6 +1826,22 @@ def format_entry(entry: dict) -> str:
             lines.append(
                 f"  backend[{backends_sweep['best_compiled']}] vs BENCH_4 "
                 f"lazy arm: {bench4:.2f}x"
+            )
+    transfer = results.get("transfer")
+    if transfer:
+        lines.append(
+            f"  transfer[{transfer['feature_kind']}]: trained on "
+            f"n<={transfer['train_node_range'][1]}, "
+            f"{transfer['train_wall_s']:.1f}s train"
+        )
+        for entry_size in transfer["sizes"]:
+            fixed = entry_size.get("fixed_ratio")
+            suffix = f" (fixed {fixed:.3f})" if fixed is not None else ""
+            lines.append(
+                f"  transfer n={entry_size['num_nodes']}: model "
+                f"{entry_size['model_ratio']:.3f} of p=1 optimum"
+                f"{suffix}, {entry_size['predict_ms_per_graph']:.1f} "
+                "ms/graph predict"
             )
     serving_scale = results.get("serving_scale")
     if serving_scale:

@@ -28,8 +28,10 @@ Seven subcommands cover the offline pipeline and the online service:
   ``BENCH_1.json``, training throughput to ``BENCH_2.json``,
   evaluation-sweep throughput to ``BENCH_3.json``, lazy-vs-eager
   engine throughput to ``BENCH_4.json``, the kernel-backend sweep
-  (numpy vs compiled) to ``BENCH_6.json``. No trajectory file is
-  written unless every requested section finishes.
+  (numpy vs compiled) to ``BENCH_6.json``, and the size-generalization
+  sweep (train on n<=10, score angles at n in {50,100,200}) to
+  ``BENCH_7.json``. No trajectory file is written unless every
+  requested section finishes.
 
 Example::
 
@@ -51,9 +53,14 @@ from pathlib import Path
 from repro.analysis.tables import format_table1
 from repro.nn.backends import BACKEND_NAMES, set_backend
 from repro.data.dataset import QAOADataset
-from repro.data.generation import GenerationConfig, generate_dataset
+from repro.data.generation import (
+    LABEL_METHODS,
+    GenerationConfig,
+    generate_dataset,
+)
 from repro.data.splits import stratified_split
 from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.features import FEATURE_KINDS
 from repro.graphs.graph import Graph
 from repro.graphs.io import load_graph
 from repro.pipeline.evaluation import WarmStartEvaluator
@@ -71,6 +78,12 @@ def _add_generate(subparsers) -> None:
     parser.add_argument("--iters", type=int, default=100)
     parser.add_argument("--restarts", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--label-method", choices=LABEL_METHODS, default="statevector",
+        help="statevector: exact dense simulation (n <= 20); "
+        "analytic-p1: exact p=1 closed form, unweighted graphs up to "
+        "512 nodes, no statevector",
+    )
     parser.add_argument(
         "--backend",
         choices=("serial", "thread", "process"),
@@ -161,6 +174,7 @@ def _cmd_generate(args) -> int:
             optimizer_iters=args.iters,
             restarts=args.restarts,
             seed=args.seed,
+            label_method=args.label_method,
             backend=args.backend,
             workers=args.workers,
             retries=args.retries,
@@ -198,6 +212,12 @@ def _add_train(subparsers) -> None:
     parser.add_argument("--num-layers", type=int, default=2)
     parser.add_argument("--dropout", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--feature-kind", choices=FEATURE_KINDS, default="degree_onehot",
+        help="node featurization; size-agnostic kinds (structural, "
+        "wl_histogram, degree_positional) lift the max-nodes cap so the "
+        "model serves graphs of any size",
+    )
     parser.add_argument(
         "--profile", action="store_true",
         help="print the per-phase wall-time report after training",
@@ -237,6 +257,7 @@ def _cmd_train(args) -> int:
         hidden_dim=args.hidden_dim,
         num_layers=args.num_layers,
         dropout=args.dropout,
+        feature_kind=args.feature_kind,
         rng=args.seed,
     )
     trainer = Trainer(
@@ -272,8 +293,27 @@ def _add_evaluate(subparsers) -> None:
     parser = subparsers.add_parser(
         "evaluate", help="warm-start evaluation of a saved model"
     )
-    parser.add_argument("--dataset", type=Path, required=True)
+    parser.add_argument(
+        "--dataset", type=Path, default=None,
+        help="saved dataset for the warm-start evaluation (optional "
+        "when --transfer-nodes alone is requested)",
+    )
     parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument(
+        "--transfer-nodes", type=str, default=None, metavar="N,N,...",
+        help='size-generalization arm: score the model\'s angles on '
+        'regular graphs of these sizes (e.g. "50,100,200") against the '
+        "fixed-angle baseline and the p=1 closed-form optimum — no "
+        "statevector, so sizes far above training are cheap",
+    )
+    parser.add_argument(
+        "--transfer-degree", type=int, default=3,
+        help="regular-graph degree for the transfer arm",
+    )
+    parser.add_argument(
+        "--transfer-count", type=int, default=4,
+        help="graphs per size for the transfer arm",
+    )
     parser.add_argument("--test-size", type=int, default=30)
     parser.add_argument("--eval-iters", type=int, default=15)
     parser.add_argument("--seed", type=int, default=0)
@@ -295,8 +335,28 @@ def _add_evaluate(subparsers) -> None:
 def _cmd_evaluate(args) -> int:
     from repro.profiling import NULL_PROFILER, EvaluationProfiler
 
-    dataset = QAOADataset.load(args.dataset)
     model = load_model(args.model)
+    if args.transfer_nodes is not None:
+        from repro.pipeline.transfer import evaluate_size_transfer
+
+        sizes = tuple(
+            int(token)
+            for token in args.transfer_nodes.split(",")
+            if token.strip()
+        )
+        report = evaluate_size_transfer(
+            model,
+            node_sizes=sizes,
+            degree=args.transfer_degree,
+            graphs_per_size=args.transfer_count,
+            rng=args.seed,
+        )
+        print(json.dumps(report, indent=2))
+        if args.dataset is None:
+            return 0
+    if args.dataset is None:
+        raise SystemExit("evaluate needs --dataset and/or --transfer-nodes")
+    dataset = QAOADataset.load(args.dataset)
     _, test = stratified_split(dataset, args.test_size, args.seed)
     profiler = EvaluationProfiler() if args.profile else NULL_PROFILER
     evaluator = WarmStartEvaluator(
@@ -400,6 +460,16 @@ def _add_serve(subparsers) -> None:
         "at startup and write it back on shutdown",
     )
     parser.add_argument(
+        "--max-request-nodes", type=int, default=None,
+        help="reject /predict graphs above this node count with a 400 "
+        "(default: 1024); applies to both serving stacks",
+    )
+    parser.add_argument(
+        "--max-request-edges", type=int, default=None,
+        help="reject /predict graphs above this edge count with a 400 "
+        "(default: 32768); applies to both serving stacks",
+    )
+    parser.add_argument(
         "--no-batching", action="store_true",
         help="answer each request with its own forward pass",
     )
@@ -462,7 +532,15 @@ def _cmd_serve(args) -> int:
         ServingConfig,
         ServingHTTPServer,
     )
+    from repro.serving.http import (
+        DEFAULT_MAX_REQUEST_EDGES,
+        DEFAULT_MAX_REQUEST_NODES,
+    )
 
+    if args.max_request_nodes is None:
+        args.max_request_nodes = DEFAULT_MAX_REQUEST_NODES
+    if args.max_request_edges is None:
+        args.max_request_edges = DEFAULT_MAX_REQUEST_EDGES
     scale = args.workers > 1
     config = ServingConfig(
         cache_size=args.cache_size,
@@ -503,7 +581,13 @@ def _cmd_serve(args) -> int:
         )
         watcher.check_once()  # serve the promoted version from request one
         watcher.start()
-    server = ServingHTTPServer(service, host=args.host, port=args.port)
+    server = ServingHTTPServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_request_nodes=args.max_request_nodes,
+        max_request_edges=args.max_request_edges,
+    )
     print(f"serving on http://{server.address[0]}:{server.port}")
     try:
         server.serve_forever()
@@ -547,6 +631,8 @@ def _serve_scale(args, config, model, replay_log) -> int:
         scale_config=scale_config,
         replay_log=replay_log,
         cache_snapshot_path=args.cache_snapshot,
+        max_request_nodes=args.max_request_nodes,
+        max_request_edges=args.max_request_edges,
     )
     if args.cache_snapshot is not None and args.cache_snapshot.exists():
         loaded = server.load_cache_snapshot(args.cache_snapshot)
@@ -711,6 +797,12 @@ def _add_flywheel(subparsers) -> None:
         help="optimizer iterations per relabeled instance",
     )
     parser.add_argument(
+        "--label-method", choices=LABEL_METHODS, default="statevector",
+        help="analytic-p1 admits unweighted depth-1 replay classes up "
+        "to 512 nodes (labeled on the exact closed form); statevector "
+        "keeps the dense n <= 15 bound",
+    )
+    parser.add_argument(
         "--checkpoint-every", type=int, default=8,
         help="candidates per durable labeling-checkpoint shard",
     )
@@ -815,9 +907,11 @@ def _cmd_flywheel(args) -> int:
         selection=SelectionConfig(
             max_candidates=args.max_candidates,
             min_requests=args.min_requests,
+            label_method=args.label_method,
         ),
         relabel=RelabelConfig(
             optimizer_iters=args.label_iters,
+            label_method=args.label_method,
             checkpoint_every=args.checkpoint_every,
             backend=args.backend,
             workers=args.workers,
@@ -1032,6 +1126,39 @@ def _add_bench(subparsers) -> None:
         "--backends-reps", type=int, default=3,
         help="interleaved timing reps per arm of the kernel-backend sweep",
     )
+    parser.add_argument(
+        "--skip-transfer", action="store_true",
+        help="skip the size-generalization benchmark",
+    )
+    parser.add_argument(
+        "--transfer-out", type=Path, default=Path("BENCH_7.json"),
+        help="trajectory file for the size-generalization benchmark",
+    )
+    parser.add_argument(
+        "--transfer-nodes", type=str, default="50,100,200",
+        help="comma-separated sizes for the size-generalization sweep",
+    )
+    parser.add_argument(
+        "--transfer-degree", type=int, default=3,
+        help="regular-graph degree for the size-generalization sweep",
+    )
+    parser.add_argument(
+        "--transfer-graphs-per-size", type=int, default=3,
+        help="graphs per size for the size-generalization sweep",
+    )
+    parser.add_argument(
+        "--transfer-train-graphs", type=int, default=96,
+        help="small-graph training-set size for the transfer benchmark",
+    )
+    parser.add_argument(
+        "--transfer-epochs", type=int, default=40,
+        help="training epochs for the transfer benchmark",
+    )
+    parser.add_argument(
+        "--transfer-feature-kind", default="structural",
+        choices=("structural", "wl_histogram", "degree_positional"),
+        help="size-agnostic feature kind for the transfer benchmark",
+    )
     parser.set_defaults(func=_cmd_bench)
 
 
@@ -1073,6 +1200,18 @@ def _cmd_bench(args) -> int:
         backends_batch_size=args.backends_batch_size,
         backends_full_batch_size=args.backends_full_batch_size,
         backends_reps=args.backends_reps,
+        skip_transfer=args.skip_transfer,
+        transfer_path=args.transfer_out,
+        transfer_nodes=tuple(
+            int(token)
+            for token in args.transfer_nodes.split(",")
+            if token.strip()
+        ),
+        transfer_degree=args.transfer_degree,
+        transfer_graphs_per_size=args.transfer_graphs_per_size,
+        transfer_train_graphs=args.transfer_train_graphs,
+        transfer_epochs=args.transfer_epochs,
+        transfer_feature_kind=args.transfer_feature_kind,
     )
     print(format_entry(entry))
     print(f"appended run {entry['run']} to {args.out}")
@@ -1086,6 +1225,8 @@ def _cmd_bench(args) -> int:
         print(f"appended scale-serving benchmark to {args.scale_out}")
     if not args.skip_backends:
         print(f"appended kernel-backend sweep to {args.backends_out}")
+    if not args.skip_transfer:
+        print(f"appended size-generalization benchmark to {args.transfer_out}")
     return 0
 
 

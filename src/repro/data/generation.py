@@ -34,6 +34,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.maxcut.problem import MaxCutProblem
+from repro.qaoa.analytic import p1_expectation, p1_optimize_angles
 from repro.qaoa.initialization import InitializationStrategy, RandomInitialization
 from repro.qaoa.optimizers import AdamOptimizer
 from repro.qaoa.simulator import QAOASimulator
@@ -48,6 +49,25 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 
 logger = get_logger(__name__)
+
+#: Supported labeling backends: dense statevector optimization (the
+#: paper's method, exact for any p but capped by 2^n memory) and the
+#: closed-form p=1 surface (exact for unweighted graphs at any size).
+LABEL_METHODS = ("statevector", "analytic-p1")
+
+#: Node caps per label method. The statevector labeler holds a dense
+#: 2^n state; the analytic labeler is O(edges) per probe, so its cap is
+#: a sanity bound, not a memory one.
+MAX_STATEVECTOR_NODES = 20
+MAX_ANALYTIC_NODES = 512
+
+#: Above this size the brute-force Max-Cut optimum (2^n enumeration) is
+#: off the table; analytic labels then report the total-edge-weight
+#: upper bound, making the recorded ratio a lower bound on the true AR.
+MAX_EXACT_OPTIMUM_NODES = 16
+
+#: Provenance tag of closed-form p=1 labels.
+SOURCE_ANALYTIC_P1 = "analytic_p1"
 
 
 def canonicalize_angles(
@@ -177,6 +197,10 @@ class GenerationConfig:
     deadline_s: Optional[float] = None
     #: Graphs per checkpoint shard when a checkpoint directory is used.
     checkpoint_every: int = 32
+    #: Labeling backend: "statevector" (dense optimization, any p,
+    #: n <= 20) or "analytic-p1" (closed-form p=1 surface, unweighted,
+    #: n up to MAX_ANALYTIC_NODES — the large-graph path).
+    label_method: str = "statevector"
 
     def executor(
         self, fault_injector: Optional[FaultInjector] = None
@@ -214,6 +238,7 @@ class GenerationConfig:
             "weighted": self.weighted,
             "weight_range": list(self.weight_range),
             "seed": self.seed,
+            "label_method": self.label_method,
         }
 
 
@@ -225,8 +250,24 @@ def sample_graphs(config: GenerationConfig, rng: RngLike = None) -> List[Graph]:
     """
     if config.num_graphs < 1:
         raise DatasetError("num_graphs must be positive")
-    if config.min_nodes < 2 or config.max_nodes > 20:
-        raise DatasetError("node range outside supported [2, 20]")
+    if config.label_method not in LABEL_METHODS:
+        raise DatasetError(
+            f"unknown label method {config.label_method!r}; "
+            f"choose from {LABEL_METHODS}"
+        )
+    # The dense statevector labeler holds 2^n amplitudes, which is what
+    # caps the paper at ~15 nodes; the analytic-p1 labeler has no such
+    # wall, so its node range opens up to the large-graph bound.
+    node_cap = (
+        MAX_STATEVECTOR_NODES
+        if config.label_method == "statevector"
+        else MAX_ANALYTIC_NODES
+    )
+    if config.min_nodes < 2 or config.max_nodes > node_cap:
+        raise DatasetError(
+            f"node range outside supported [2, {node_cap}] for "
+            f"label method {config.label_method!r}"
+        )
     if config.min_nodes > config.max_nodes:
         raise DatasetError(
             f"min_nodes {config.min_nodes} > max_nodes {config.max_nodes}"
@@ -337,6 +378,74 @@ def label_graph(
     )
 
 
+class _AnalyticP1Evaluator:
+    """Duck-typed stand-in for ``QAOASimulator`` on the closed form.
+
+    Exposes just ``expectation(gammas, betas)`` so
+    :func:`canonical_representative` can verify symmetry images of a
+    p=1 label without a dense statevector.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def expectation(self, gammas, betas) -> float:
+        return p1_expectation(self.graph, float(gammas[0]), float(betas[0]))
+
+
+def label_graph_analytic(
+    graph: Graph,
+    p: int = 1,
+    warm_start=None,
+    source: str = SOURCE_ANALYTIC_P1,
+) -> QAOARecord:
+    """Label one graph via the exact p=1 closed form — no statevector.
+
+    Triangle-free regular graphs get the exact closed-form optimum;
+    everything else runs the deterministic grid search on the analytic
+    surface (``warm_start=(gammas, betas)`` adds a candidate, e.g. the
+    parameters a service actually served). For graphs small enough to
+    brute-force, ``optimal_value`` is the true Max-Cut optimum; above
+    :data:`MAX_EXACT_OPTIMUM_NODES` it is the total-edge-weight upper
+    bound, so the recorded ratio is a lower bound on the true AR.
+    """
+    if p != 1:
+        raise DatasetError(
+            f"analytic-p1 labeling is exact only at depth 1, got p={p}"
+        )
+    if graph.is_weighted:
+        raise DatasetError("analytic-p1 labeling requires unweighted graphs")
+    if graph.num_edges == 0:
+        raise DatasetError("cannot label a graph with no edges")
+    extra = []
+    if warm_start is not None:
+        warm_gammas, warm_betas = warm_start
+        extra.append((float(warm_gammas[0]), float(warm_betas[0])))
+    gamma, beta, _ = p1_optimize_angles(graph, extra_candidates=extra)
+    gammas, betas = canonicalize_angles(
+        np.asarray([gamma]), np.asarray([beta])
+    )
+    gammas, betas = canonical_representative(
+        _AnalyticP1Evaluator(graph), gammas, betas
+    )
+    expectation = p1_expectation(graph, float(gammas[0]), float(betas[0]))
+    if graph.num_nodes <= MAX_EXACT_OPTIMUM_NODES:
+        optimum = MaxCutProblem(graph).max_cut_value()
+    else:
+        optimum = float(np.sum(graph.weights))
+    return QAOARecord(
+        graph=graph,
+        p=1,
+        gammas=tuple(float(g) for g in gammas),
+        betas=tuple(float(b) for b in betas),
+        expectation=float(expectation),
+        optimal_value=float(optimum),
+        approximation_ratio=float(expectation / optimum),
+        best_cut_value=float(optimum),
+        source=source,
+    )
+
+
 def _label_task(payload) -> QAOARecord:
     """Label one graph from a self-contained payload.
 
@@ -344,7 +453,20 @@ def _label_task(payload) -> QAOARecord:
     it; the per-graph seed makes the task independent of execution order,
     which is what keeps parallel output bit-identical to serial.
     """
-    graph, seed, p, optimizer_iters, learning_rate, tol, restarts = payload
+    (
+        graph,
+        seed,
+        p,
+        optimizer_iters,
+        learning_rate,
+        tol,
+        restarts,
+        label_method,
+    ) = payload
+    if label_method == "analytic-p1":
+        # Deterministic closed-form labeling: the seed is unused on
+        # purpose, so the label is a pure function of the graph.
+        return label_graph_analytic(graph, p=p)
     return label_graph(
         graph,
         p=p,
@@ -420,6 +542,16 @@ def generate_dataset(
     label_rng = spawn_rng(generator)
     graphs = sample_graphs(config, graph_rng)
     seeds = derive_task_seeds(label_rng, len(graphs))
+    if config.label_method == "analytic-p1":
+        if config.p != 1:
+            raise DatasetError(
+                f"analytic-p1 labeling is exact only at depth 1, "
+                f"got p={config.p}"
+            )
+        if config.weighted:
+            raise DatasetError(
+                "analytic-p1 labeling requires unweighted graphs"
+            )
     payloads = [
         (
             graph,
@@ -429,6 +561,7 @@ def generate_dataset(
             config.learning_rate,
             config.tol,
             config.restarts,
+            config.label_method,
         )
         for graph, seed in zip(graphs, seeds)
     ]

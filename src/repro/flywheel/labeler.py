@@ -35,9 +35,14 @@ import numpy as np
 
 from repro.data.checkpoint import LabelingCheckpoint
 from repro.data.dataset import QAOARecord, record_to_payload
-from repro.data.generation import canonical_representative, canonicalize_angles
+from repro.data.generation import (
+    LABEL_METHODS,
+    canonical_representative,
+    canonicalize_angles,
+    label_graph_analytic,
+)
 from repro.exceptions import ExecutionError, FlywheelError
-from repro.flywheel.selector import Candidate
+from repro.flywheel.selector import MAX_LABELABLE_NODES, Candidate
 from repro.maxcut.cache import ProblemCache
 from repro.maxcut.problem import MaxCutProblem
 from repro.qaoa.batched import BatchedAdamOptimizer, BatchedQAOASimulator
@@ -65,6 +70,9 @@ class RelabelConfig:
     learning_rate: float = 0.05
     tol: float = 0.0
     seed: int = 0
+    #: ``"analytic-p1"`` labels buckets beyond the dense statevector
+    #: bound on the closed-form p=1 surface instead of refusing them.
+    label_method: str = "statevector"
     #: Candidates per durable checkpoint shard.
     checkpoint_every: int = 16
     #: Max instance rows per batched statevector stack.
@@ -85,6 +93,11 @@ class RelabelConfig:
             raise FlywheelError("checkpoint_every must be >= 1")
         if self.max_bucket < 1:
             raise FlywheelError("max_bucket must be >= 1")
+        if self.label_method not in LABEL_METHODS:
+            raise FlywheelError(
+                f"unknown label method {self.label_method!r}; "
+                f"choose from {LABEL_METHODS}"
+            )
 
     def executor(
         self, fault_injector: Optional[FaultInjector] = None
@@ -118,6 +131,7 @@ class RelabelConfig:
             "learning_rate": self.learning_rate,
             "tol": self.tol,
             "seed": self.seed,
+            "label_method": self.label_method,
             "candidates": [
                 {
                     "wl_hash": c.wl_hash,
@@ -136,6 +150,7 @@ class RelabelConfig:
             "learning_rate": self.learning_rate,
             "tol": self.tol,
             "seed": self.seed,
+            "label_method": self.label_method,
             "checkpoint_every": self.checkpoint_every,
             "max_bucket": self.max_bucket,
         }
@@ -156,7 +171,26 @@ def _relabel_bucket(payload) -> List[QAOARecord]:
     exactly as offline generation does, so flywheel labels and seed
     labels live on the same target surface.
     """
-    entries, p, optimizer_iters, learning_rate, tol, cache = payload
+    entries, p, optimizer_iters, learning_rate, tol, cache, label_method = payload
+    # Buckets group same-node-count candidates, so the whole bucket is
+    # either within the dense statevector bound or beyond it. Beyond it
+    # (only reachable when the selector admitted the class under the
+    # analytic-p1 labeler) each entry is labeled on the closed-form
+    # surface, warm-started from the served parameters.
+    if (
+        label_method == "analytic-p1"
+        and entries
+        and entries[0][0].num_nodes > MAX_LABELABLE_NODES
+    ):
+        return [
+            label_graph_analytic(
+                graph,
+                p=p,
+                warm_start=(gammas, betas),
+                source=SOURCE_FLYWHEEL,
+            )
+            for graph, gammas, betas in entries
+        ]
     problems: List[MaxCutProblem] = []
     gamma_rows = []
     beta_rows = []
@@ -338,6 +372,7 @@ def relabel_candidates(
                     config.learning_rate,
                     config.tol,
                     cache,
+                    config.label_method,
                 )
                 for bucket in buckets
             ]

@@ -31,10 +31,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.data.generation import LABEL_METHODS, MAX_ANALYTIC_NODES
 from repro.exceptions import FlywheelError
 from repro.flywheel.replay import ReplayRecord
 from repro.graphs.graph import Graph
 from repro.maxcut.cache import ProblemCache
+from repro.qaoa.analytic import p1_expectation
 from repro.qaoa.simulator import QAOASimulator
 from repro.serving.fallbacks import SOURCE_MODEL
 from repro.utils.logging import get_logger
@@ -63,12 +65,21 @@ class SelectionConfig:
         Classes seen fewer times than this are ignored.
     max_nodes:
         Largest labelable graph (dense statevector bound).
+    label_method:
+        Which labeler the downstream cycle will use. With
+        ``"analytic-p1"``, unweighted depth-1 classes are labelable up
+        to ``analytic_max_nodes`` via the closed-form surface, so the
+        dense ``max_nodes`` bound stops excluding large graphs.
+    analytic_max_nodes:
+        Size bound when the analytic labeler applies.
     """
 
     max_candidates: int = 32
     max_evaluations: int = 128
     min_requests: int = 1
     max_nodes: int = MAX_LABELABLE_NODES
+    label_method: str = "statevector"
+    analytic_max_nodes: int = MAX_ANALYTIC_NODES
 
     def __post_init__(self):
         if self.max_candidates < 1:
@@ -77,6 +88,11 @@ class SelectionConfig:
             raise FlywheelError("max_evaluations must be >= 0")
         if self.min_requests < 1:
             raise FlywheelError("min_requests must be >= 1")
+        if self.label_method not in LABEL_METHODS:
+            raise FlywheelError(
+                f"unknown label method {self.label_method!r}; "
+                f"choose from {LABEL_METHODS}"
+            )
 
 
 @dataclass
@@ -165,9 +181,24 @@ class _ClassAggregate:
         self.betas = record.betas
 
 
-def _labelable(graph: Graph, max_nodes: int) -> bool:
-    """Whether the dense labeler can take the graph on at all."""
-    return 2 <= graph.num_nodes <= max_nodes and graph.num_edges > 0
+def _labelable(graph: Graph, p: int, config: SelectionConfig) -> bool:
+    """Whether the configured labeler can take the graph on at all.
+
+    The dense statevector bound always qualifies; with the analytic-p1
+    labeler configured, unweighted depth-1 classes additionally qualify
+    up to ``analytic_max_nodes`` — that is the relaxation that lets the
+    flywheel learn from large-graph traffic.
+    """
+    if graph.num_nodes < 2 or graph.num_edges == 0:
+        return False
+    if graph.num_nodes <= config.max_nodes:
+        return True
+    return (
+        config.label_method == "analytic-p1"
+        and p == 1
+        and not graph.is_weighted
+        and graph.num_nodes <= config.analytic_max_nodes
+    )
 
 
 def select_candidates(
@@ -196,7 +227,7 @@ def select_candidates(
             continue
         aggregate = by_class.get(record.wl_hash)
         if aggregate is None:
-            if not _labelable(record.graph, config.max_nodes):
+            if not _labelable(record.graph, record.p, config):
                 known.add(record.wl_hash)  # don't re-test per record
                 skipped_unlabelable += 1
                 continue
@@ -224,7 +255,7 @@ def select_candidates(
     for rank, (wl_hash, agg) in enumerate(pool):
         served_ar = None
         if rank < config.max_evaluations:
-            served_ar = _served_ratio(agg, cache)
+            served_ar = _served_ratio(agg, cache, config)
         candidates.append(
             Candidate(
                 graph=agg.graph,
@@ -253,8 +284,21 @@ def select_candidates(
     return selected
 
 
-def _served_ratio(agg: _ClassAggregate, cache: ProblemCache) -> float:
-    """AR the served parameters achieve on the representative graph."""
+def _served_ratio(
+    agg: _ClassAggregate, cache: ProblemCache, config: SelectionConfig
+) -> float:
+    """AR the served parameters achieve on the representative graph.
+
+    Graphs beyond the dense statevector bound (admitted only when the
+    analytic labeler applies) are scored on the exact p=1 closed form,
+    normalized by the total-edge-weight upper bound — a lower bound on
+    the true AR, but a consistent ranking signal across large classes.
+    """
+    if agg.graph.num_nodes > config.max_nodes:
+        expectation = p1_expectation(
+            agg.graph, float(agg.gammas[0]), float(agg.betas[0])
+        )
+        return float(expectation / max(float(np.sum(agg.graph.weights)), 1.0))
     problem = cache.get(agg.graph)
     simulator = QAOASimulator(problem)
     expectation = simulator.expectation(

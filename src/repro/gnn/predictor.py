@@ -18,6 +18,7 @@ from repro.exceptions import ModelError
 from repro.gnn.batching import GraphBatch
 from repro.gnn.layers import GATConv, GCNConv, GINConv, MeanConv, SAGEConv
 from repro.gnn.pooling import readout
+from repro.graphs.features import FEATURE_KINDS, feature_dim, feature_max_nodes
 from repro.graphs.graph import Graph
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
@@ -93,13 +94,19 @@ class QAOAParameterPredictor(Module):
     beta in [0, pi)); ``'linear'`` leaves it unbounded (plain
     regression). Bounded is the default because the training targets are
     canonicalized into those ranges.
+
+    ``feature_kind`` is part of the model's identity: it decides how
+    graphs are featurized at both training and inference time, and —
+    via :attr:`max_nodes` — whether the model has a size cap at all
+    (size-agnostic kinds serve graphs of any size). ``in_dim=None``
+    derives the input dimension from the kind.
     """
 
     def __init__(
         self,
         arch: str = "gin",
         p: int = 1,
-        in_dim: int = 15,
+        in_dim: int = None,
         hidden_dim: int = 32,
         num_layers: int = 2,
         dropout: float = 0.5,
@@ -107,6 +114,7 @@ class QAOAParameterPredictor(Module):
         output_scaling: str = "bounded",
         readout_kind: str = "mean",
         gat_heads: int = 1,
+        feature_kind: str = "degree_onehot",
         rng: RngLike = None,
     ):
         super().__init__()
@@ -114,10 +122,27 @@ class QAOAParameterPredictor(Module):
             raise ModelError("depth p must be >= 1")
         if output_scaling not in ("bounded", "linear"):
             raise ModelError(f"unknown output scaling {output_scaling!r}")
+        if feature_kind not in FEATURE_KINDS:
+            raise ModelError(
+                f"unknown feature kind {feature_kind!r}; "
+                f"choose from {FEATURE_KINDS}"
+            )
+        if in_dim is None:
+            in_dim = feature_dim(feature_kind)
+        in_dim = int(in_dim)
+        if feature_max_nodes(feature_kind) is None and in_dim != feature_dim(
+            feature_kind
+        ):
+            raise ModelError(
+                f"feature kind {feature_kind!r} produces "
+                f"{feature_dim(feature_kind)}-dim features, but in_dim="
+                f"{in_dim}"
+            )
         generator = ensure_rng(rng)
         self.arch = arch
         self.p = p
         self.in_dim = in_dim
+        self.feature_kind = feature_kind
         self.output_scaling = output_scaling
         self.readout_kind = readout_kind
         self.encoder = GNNEncoder(
@@ -140,6 +165,33 @@ class QAOAParameterPredictor(Module):
         return squashed * Tensor(scale[None, :])
 
     # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+    @property
+    def max_nodes(self):
+        """Largest graph this model can featurize (``None`` = unbounded).
+
+        One-hot-family kinds are capped by their column budget
+        (``in_dim`` columns, minus the degree column for
+        ``degree_plus_onehot``); size-agnostic kinds have no cap. The
+        serving gate uses this — not ``in_dim`` — to decide whether the
+        model path applies to a request.
+        """
+        return feature_max_nodes(self.feature_kind, self.feature_budget)
+
+    @property
+    def feature_budget(self) -> int:
+        """The ``max_nodes`` argument :func:`build_features` expects.
+
+        ``in_dim`` for the one-hot column kinds (minus the extra degree
+        column for ``degree_plus_onehot``); ignored by size-agnostic
+        kinds, where it just passes ``in_dim`` through.
+        """
+        if self.feature_kind == "degree_plus_onehot":
+            return self.in_dim - 1
+        return self.in_dim
+
+    # ------------------------------------------------------------------
     # Inference conveniences
     # ------------------------------------------------------------------
     def predict(self, graphs: Sequence[Graph]) -> np.ndarray:
@@ -153,7 +205,9 @@ class QAOAParameterPredictor(Module):
         self.eval()
         try:
             batch = GraphBatch.from_graphs(
-                graphs, feature_kind="degree_onehot", max_nodes=self.in_dim
+                graphs,
+                feature_kind=self.feature_kind,
+                max_nodes=self.feature_budget,
             )
             with no_grad(), batch_invariant():
                 output = self.forward(batch)

@@ -18,6 +18,26 @@ from repro.graphs.graph import Graph
 
 PAPER_INPUT_DIM = 15
 
+#: WL-histogram feature geometry: refinement rounds kept and color
+#: buckets per round. The dimension (rounds * buckets) is fixed, so the
+#: kind works at any graph size.
+WL_FEATURE_ROUNDS = 3
+WL_FEATURE_BUCKETS = 8
+
+#: Random-walk steps for the degree/positional kind: dimension is
+#: 2 (degree, normalized degree) + this many return probabilities.
+POSITIONAL_WALK_STEPS = 6
+
+#: Kinds whose dimension does not depend on graph size — models built on
+#: them have no maximum node count.
+SIZE_AGNOSTIC_KINDS = ("structural", "wl_histogram", "degree_positional")
+
+FEATURE_KINDS = (
+    "degree_onehot",
+    "onehot",
+    "degree_plus_onehot",
+) + SIZE_AGNOSTIC_KINDS
+
 
 def onehot_id_features(graph: Graph, max_nodes: int = PAPER_INPUT_DIM) -> np.ndarray:
     """One-hot node-id features, zero-padded to ``max_nodes`` columns."""
@@ -83,13 +103,83 @@ def structural_features(graph: Graph) -> np.ndarray:
     )
 
 
+def wl_histogram_features(
+    graph: Graph,
+    rounds: int = WL_FEATURE_ROUNDS,
+    buckets: int = WL_FEATURE_BUCKETS,
+) -> np.ndarray:
+    """Per-node WL-color histograms over the closed neighborhood.
+
+    For each of ``rounds`` 1-WL refinement rounds (round 0 = degree
+    signature; stabilized colorings repeat the final round), node ``v``
+    gets the normalized color histogram of ``{v} ∪ N(v)`` with colors
+    bucketed modulo ``buckets``. Colors are the canonical dense ids from
+    :func:`~repro.graphs.canonical.wl_color_classes`, so the features
+    are permutation-equivariant; the dimension ``rounds * buckets``
+    never depends on graph size.
+    """
+    from repro.graphs.canonical import wl_color_classes
+
+    if rounds < 1 or buckets < 1:
+        raise GraphError("wl_histogram needs rounds >= 1 and buckets >= 1")
+    n = graph.num_nodes
+    color_rounds = wl_color_classes(graph, max_iterations=rounds - 1)
+    neighbors = [[] for _ in range(n)]
+    for u, v in graph.edges:
+        neighbors[u].append(v)
+        neighbors[v].append(u)
+    features = np.zeros((n, rounds * buckets), dtype=np.float64)
+    for r in range(rounds):
+        colors = color_rounds[min(r, len(color_rounds) - 1)]
+        base = r * buckets
+        for v in range(n):
+            members = [v] + neighbors[v]
+            weight = 1.0 / len(members)
+            for u in members:
+                features[v, base + colors[u] % buckets] += weight
+    return features
+
+
+def degree_positional_features(
+    graph: Graph, walk_steps: int = POSITIONAL_WALK_STEPS
+) -> np.ndarray:
+    """Degree plus random-walk return probabilities (RWSE).
+
+    Columns: degree, degree normalized by ``n - 1``, then
+    ``diag(P^k)`` for ``k = 1..walk_steps`` with ``P = D^{-1} A`` (the
+    weighted random-walk operator; rows of isolated nodes are zero).
+    Permutation-equivariant with a fixed dimension ``2 + walk_steps``.
+    """
+    if walk_steps < 1:
+        raise GraphError("degree_positional needs walk_steps >= 1")
+    degrees = graph.degrees().astype(np.float64)
+    adj = graph.adjacency_matrix().astype(np.float64)
+    weighted_degree = adj.sum(axis=1)
+    inv = np.divide(
+        1.0,
+        weighted_degree,
+        out=np.zeros_like(weighted_degree),
+        where=weighted_degree > 0,
+    )
+    walk = adj * inv[:, None]
+    max_degree = max(graph.num_nodes - 1, 1)
+    columns = [degrees, degrees / max_degree]
+    power = walk
+    for _ in range(walk_steps):
+        columns.append(np.diag(power).copy())
+        power = power @ walk
+    return np.stack(columns, axis=1)
+
+
 def build_features(
     graph: Graph, kind: str = "degree_onehot", max_nodes: int = PAPER_INPUT_DIM
 ) -> np.ndarray:
     """Dispatch feature construction by name.
 
     ``kind`` is one of ``degree_onehot`` (paper default), ``onehot``,
-    ``degree_plus_onehot`` or ``structural``.
+    ``degree_plus_onehot``, or the size-agnostic ``structural``,
+    ``wl_histogram``, ``degree_positional`` (``max_nodes`` is ignored
+    for those).
     """
     if kind == "degree_onehot":
         return degree_onehot_features(graph, max_nodes)
@@ -99,6 +189,10 @@ def build_features(
         return degree_plus_onehot_features(graph, max_nodes)
     if kind == "structural":
         return structural_features(graph)
+    if kind == "wl_histogram":
+        return wl_histogram_features(graph)
+    if kind == "degree_positional":
+        return degree_positional_features(graph)
     raise GraphError(f"unknown feature kind {kind!r}")
 
 
@@ -110,6 +204,24 @@ def feature_dim(kind: str = "degree_onehot", max_nodes: int = PAPER_INPUT_DIM) -
         return max_nodes + 1
     if kind == "structural":
         return 5
+    if kind == "wl_histogram":
+        return WL_FEATURE_ROUNDS * WL_FEATURE_BUCKETS
+    if kind == "degree_positional":
+        return 2 + POSITIONAL_WALK_STEPS
+    raise GraphError(f"unknown feature kind {kind!r}")
+
+
+def feature_max_nodes(kind: str, max_nodes: int = PAPER_INPUT_DIM):
+    """Largest graph ``kind`` can featurize (``None`` = unbounded).
+
+    One-hot-style kinds are capped by their column budget; the
+    size-agnostic kinds work at any graph size, which is what lets a
+    model trained on small graphs answer for arbitrarily large ones.
+    """
+    if kind in SIZE_AGNOSTIC_KINDS:
+        return None
+    if kind in ("degree_onehot", "onehot", "degree_plus_onehot"):
+        return int(max_nodes)
     raise GraphError(f"unknown feature kind {kind!r}")
 
 

@@ -182,8 +182,8 @@ class Trainer:
             with profiler.phase("compile"):
                 compiled = CompiledDataset(
                     records,
-                    feature_kind="degree_onehot",
-                    max_nodes=self.model.in_dim,
+                    feature_kind=self.model.feature_kind,
+                    max_nodes=self.model.feature_budget,
                     build_plans=self.config.csr_kernels,
                 )
         elif len(compiled) != len(records):
@@ -199,8 +199,8 @@ class Trainer:
             with profiler.phase("compile"):
                 val_batch = GraphBatch.from_graphs(
                     validation.graphs(),
-                    feature_kind="degree_onehot",
-                    max_nodes=self.model.in_dim,
+                    feature_kind=self.model.feature_kind,
+                    max_nodes=self.model.feature_budget,
                 )
                 if self.config.csr_kernels:
                     val_batch.build_plans()
@@ -252,8 +252,8 @@ class Trainer:
         """The seed path: rebuild the batch from raw graphs every step."""
         batch = GraphBatch.from_graphs(
             [r.graph for r in records],
-            feature_kind="degree_onehot",
-            max_nodes=self.model.in_dim,
+            feature_kind=self.model.feature_kind,
+            max_nodes=self.model.feature_budget,
         )
         if self.config.csr_kernels:
             batch.build_plans()
@@ -298,8 +298,8 @@ class Trainer:
         if batch is None:
             batch = GraphBatch.from_graphs(
                 dataset.graphs(),
-                feature_kind="degree_onehot",
-                max_nodes=self.model.in_dim,
+                feature_kind=self.model.feature_kind,
+                max_nodes=self.model.feature_budget,
             )
         if targets is None:
             targets = Tensor(dataset.targets())

@@ -1,0 +1,152 @@
+"""Size-generalization evaluation: does the model transfer beyond n=15?
+
+The paper's pipeline trains and evaluates on graphs up to 15 nodes
+(the dense statevector bound). A size-agnostic feature kind removes the
+architectural cap — this module measures whether the *learned mapping*
+actually transfers, by scoring the model's predicted angles on regular
+graphs far above the training sizes.
+
+Scoring never touches a statevector: every angle pair is evaluated on
+the exact p=1 closed form (:mod:`repro.qaoa.analytic`), so 200-node
+graphs cost O(edges) per probe. Three strategies are compared per graph:
+
+- **model** — the GNN's predicted angles,
+- **fixed** — the degree-d fixed-angle table entry,
+- **optimum** — the best angles on the closed-form surface
+  (deterministic grid + refinement), the normalizer.
+
+The reported ``*_ratio`` values are expectation ratios against that p=1
+optimum: 1.0 means the strategy found the best depth-1 angles for the
+instance; the gap to 1.0 is regret attributable to the angle choice
+alone. Everything is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import FixedAngleLookupError, ModelError
+from repro.gnn.predictor import QAOAParameterPredictor
+from repro.graphs.generators import regular_graph_family
+from repro.qaoa.analytic import p1_expectation, p1_optimize_angles
+from repro.qaoa.fixed_angles import fixed_angles_for_graph
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, ensure_rng
+
+logger = get_logger(__name__)
+
+#: Default transfer sweep: well beyond the n<=15 training regime.
+DEFAULT_TRANSFER_NODES = (50, 100, 200)
+DEFAULT_TRANSFER_DEGREE = 3
+DEFAULT_GRAPHS_PER_SIZE = 4
+
+
+def evaluate_size_transfer(
+    model: QAOAParameterPredictor,
+    node_sizes: Sequence[int] = DEFAULT_TRANSFER_NODES,
+    degree: int = DEFAULT_TRANSFER_DEGREE,
+    graphs_per_size: int = DEFAULT_GRAPHS_PER_SIZE,
+    rng: RngLike = None,
+) -> dict:
+    """Score the model's angles on regular graphs of each listed size.
+
+    Returns a JSON-safe report with one entry per size. Raises
+    :class:`~repro.exceptions.ModelError` when the model's feature kind
+    caps it below a requested size (one-hot featurizations cannot embed
+    a graph larger than their budget), or when the model's depth is not
+    1 (the closed-form oracle is exact only at p=1).
+    """
+    if model.p != 1:
+        raise ModelError(
+            "size-transfer evaluation scores angles on the exact p=1 "
+            f"closed form; model predicts depth {model.p}"
+        )
+    if graphs_per_size < 1:
+        raise ModelError("graphs_per_size must be >= 1")
+    sizes = [int(size) for size in node_sizes]
+    if not sizes:
+        raise ModelError("node_sizes must be non-empty")
+    cap = model.max_nodes
+    for size in sizes:
+        if cap is not None and size > cap:
+            raise ModelError(
+                f"model feature kind {model.feature_kind!r} caps inputs "
+                f"at {cap} nodes; cannot evaluate transfer to {size}. "
+                "Train with a size-agnostic feature kind (structural, "
+                "wl_histogram, degree_positional) instead."
+            )
+    generator = ensure_rng(rng)
+
+    per_size: List[dict] = []
+    for size in sizes:
+        graphs = regular_graph_family(
+            [size], degree, count_per_size=graphs_per_size, rng=generator
+        )
+        if not graphs:
+            raise ModelError(
+                f"no {degree}-regular graph exists on {size} nodes "
+                "(n * degree must be even and degree < n)"
+            )
+        start = time.perf_counter()
+        predictions = model.predict(graphs)
+        predict_s = time.perf_counter() - start
+
+        model_ratios = []
+        fixed_ratios = []
+        optimum_fractions = []
+        for row, graph in enumerate(graphs):
+            gamma = float(predictions[row][0])
+            beta = float(predictions[row][model.p])
+            model_exp = p1_expectation(graph, gamma, beta)
+            _, _, optimum_exp = p1_optimize_angles(graph)
+            try:
+                fixed = fixed_angles_for_graph(graph, p=1)
+                fixed_exp = p1_expectation(
+                    graph, float(fixed.gammas[0]), float(fixed.betas[0])
+                )
+            except FixedAngleLookupError:
+                fixed_exp = None
+            model_ratios.append(model_exp / optimum_exp)
+            if fixed_exp is not None:
+                fixed_ratios.append(fixed_exp / optimum_exp)
+            optimum_fractions.append(optimum_exp / graph.num_edges)
+
+        entry: Dict[str, object] = {
+            "num_nodes": size,
+            "num_graphs": len(graphs),
+            "model_ratio": float(np.mean(model_ratios)),
+            "model_ratio_min": float(np.min(model_ratios)),
+            "fixed_ratio": (
+                float(np.mean(fixed_ratios)) if fixed_ratios else None
+            ),
+            "model_vs_fixed": (
+                float(np.mean(model_ratios) - np.mean(fixed_ratios))
+                if fixed_ratios
+                else None
+            ),
+            "optimum_edge_fraction": float(np.mean(optimum_fractions)),
+            "predict_ms_per_graph": predict_s * 1000.0 / len(graphs),
+        }
+        per_size.append(entry)
+        logger.info(
+            "transfer n=%d: model %.4f vs fixed %s of p=1 optimum",
+            size,
+            entry["model_ratio"],
+            "n/a" if entry["fixed_ratio"] is None
+            else f"{entry['fixed_ratio']:.4f}",
+        )
+
+    return {
+        "degree": int(degree),
+        "graphs_per_size": int(graphs_per_size),
+        "model": {
+            "arch": model.arch,
+            "p": model.p,
+            "feature_kind": model.feature_kind,
+            "max_nodes": cap,
+        },
+        "sizes": per_size,
+    }

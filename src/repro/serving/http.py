@@ -29,30 +29,52 @@ from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
 
-MAX_REQUEST_BYTES = 1 << 20  # 1 MiB is orders beyond any 15-node graph
+MAX_REQUEST_BYTES = 1 << 20  # 1 MiB body cap
+
+#: Default request-size caps. Large enough for every supported
+#: workload (size-agnostic models serve hundreds of nodes), small
+#: enough that one hostile request cannot allocate a huge adjacency or
+#: stall WL hashing on the hot path. Both are configurable on the
+#: servers (``repro serve --max-request-nodes/--max-request-edges``).
+DEFAULT_MAX_REQUEST_NODES = 1024
+DEFAULT_MAX_REQUEST_EDGES = 32768
 
 
-def graph_from_payload(payload: dict) -> Graph:
+def graph_from_payload(
+    payload: dict,
+    max_nodes: int = DEFAULT_MAX_REQUEST_NODES,
+    max_edges: int = DEFAULT_MAX_REQUEST_EDGES,
+) -> Graph:
     """Build a graph from a /predict request body.
 
     Accepts either the edge-list form (``num_nodes`` + ``edges`` [+
     ``weights``]) or the text form (``graph``). Raises
     :class:`ReproError` subclasses on malformed structure, ``KeyError``/
-    ``TypeError`` never escape to the handler.
+    ``TypeError`` never escape to the handler. Graphs over the
+    ``max_nodes`` / ``max_edges`` caps are rejected *before* any
+    adjacency is materialized, so oversized requests cost nothing.
     """
     if not isinstance(payload, dict):
         raise ReproError("request body must be a JSON object")
     if "graph" in payload:
         if not isinstance(payload["graph"], str):
             raise ReproError("'graph' must be a text-format string")
-        return graph_from_text(payload["graph"])
+        graph = graph_from_text(payload["graph"])
+        _check_request_size(graph.num_nodes, graph.num_edges, max_nodes, max_edges)
+        return graph
     if "num_nodes" not in payload or "edges" not in payload:
         raise ReproError(
             "request needs 'num_nodes' + 'edges' (or a 'graph' text block)"
         )
     try:
         num_nodes = int(payload["num_nodes"])
-        edges = [(int(u), int(v)) for u, v in payload["edges"]]
+        raw_edges = payload["edges"]
+        num_edges = len(raw_edges)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"malformed graph payload: {exc}") from exc
+    _check_request_size(num_nodes, num_edges, max_nodes, max_edges)
+    try:
+        edges = [(int(u), int(v)) for u, v in raw_edges]
     except (TypeError, ValueError) as exc:
         raise ReproError(f"malformed graph payload: {exc}") from exc
     weights = payload.get("weights")
@@ -66,7 +88,27 @@ def graph_from_payload(payload: dict) -> Graph:
     )
 
 
-def _make_handler(service: PredictionService):
+def _check_request_size(
+    num_nodes: int, num_edges: int, max_nodes: int, max_edges: int
+) -> None:
+    """Reject oversized request graphs with an actionable 400 message."""
+    if max_nodes is not None and num_nodes > max_nodes:
+        raise ReproError(
+            f"request graph has {num_nodes} nodes; this server caps "
+            f"requests at {max_nodes} nodes"
+        )
+    if max_edges is not None and num_edges > max_edges:
+        raise ReproError(
+            f"request graph has {num_edges} edges; this server caps "
+            f"requests at {max_edges} edges"
+        )
+
+
+def _make_handler(
+    service: PredictionService,
+    max_request_nodes: int = DEFAULT_MAX_REQUEST_NODES,
+    max_request_edges: int = DEFAULT_MAX_REQUEST_EDGES,
+):
     class ServingHandler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
@@ -106,7 +148,11 @@ def _make_handler(service: PredictionService):
                 self._send(400, {"error": f"invalid JSON: {exc}"})
                 return
             try:
-                graph = graph_from_payload(payload)
+                graph = graph_from_payload(
+                    payload,
+                    max_nodes=max_request_nodes,
+                    max_edges=max_request_edges,
+                )
                 model_name = payload.get("model") if isinstance(payload, dict) else None
                 result = service.predict(graph, model_name=model_name)
             except ReproError as exc:
@@ -161,10 +207,13 @@ class ServingHTTPServer:
         service: PredictionService,
         host: str = "127.0.0.1",
         port: int = 8000,
+        max_request_nodes: int = DEFAULT_MAX_REQUEST_NODES,
+        max_request_edges: int = DEFAULT_MAX_REQUEST_EDGES,
     ):
         self.service = service
         self._httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(service)
+            (host, port),
+            _make_handler(service, max_request_nodes, max_request_edges),
         )
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None

@@ -28,9 +28,13 @@ from repro.utils.serialization import load_json, save_json
 
 PathLike = Union[str, Path]
 
-#: Version of the ``repro train`` checkpoint JSON layout. Bump on any
-#: incompatible change; :func:`load_checkpoint` accepts only this value.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Version of the ``repro train`` checkpoint JSON layout. v2 added the
+#: forward-affecting metadata (``feature_kind``, ``in_dim``,
+#: ``head_hidden``, ``output_scaling``, ``readout_kind``, ``gat_heads``);
+#: :func:`load_checkpoint` still reads v1, filling those with the
+#: defaults every v1 checkpoint was trained under.
+CHECKPOINT_FORMAT_VERSION = 2
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 _REQUIRED_KEYS = (
     "format_version",
@@ -42,6 +46,16 @@ _REQUIRED_KEYS = (
     "state",
 )
 
+#: v2 metadata keys and the v1-era defaults used when loading a v1 file.
+_V2_DEFAULTS = {
+    "feature_kind": "degree_onehot",
+    "in_dim": 15,
+    "head_hidden": 32,
+    "output_scaling": "bounded",
+    "readout_kind": "mean",
+    "gat_heads": 1,
+}
+
 
 def build_checkpoint_state(
     model: QAOAParameterPredictor,
@@ -52,11 +66,19 @@ def build_checkpoint_state(
         "format_version": CHECKPOINT_FORMAT_VERSION,
         "arch": model.arch,
         "p": model.p,
+        "in_dim": model.in_dim,
         "hidden_dim": model.encoder.out_dim,
         "num_layers": len(model.encoder.layers),
         "dropout": model.encoder.dropouts[0].rate,
+        "head_hidden": model.head_lin1.out_features,
+        "feature_kind": model.feature_kind,
+        "output_scaling": model.output_scaling,
+        "readout_kind": model.readout_kind,
         "state": {k: v.tolist() for k, v in model.state_dict().items()},
     }
+    first = model.encoder.layers[0]
+    if hasattr(first, "num_heads"):
+        state["gat_heads"] = int(first.num_heads)
     if final_loss is not None:
         state["final_loss"] = float(final_loss)
     return state
@@ -92,11 +114,11 @@ def validate_checkpoint_state(state: object, origin: str = "checkpoint") -> dict
             f"{origin}: missing checkpoint keys {missing}{hint}"
         )
     version = state["format_version"]
-    if version != CHECKPOINT_FORMAT_VERSION:
+    if version not in SUPPORTED_CHECKPOINT_VERSIONS:
         raise ModelError(
             f"{origin}: checkpoint format_version {version!r} is not "
-            f"supported (this build reads version "
-            f"{CHECKPOINT_FORMAT_VERSION}); re-export the model"
+            f"supported (this build reads versions "
+            f"{SUPPORTED_CHECKPOINT_VERSIONS}); re-export the model"
         )
     if state["arch"] not in ARCHITECTURES:
         raise ModelError(
@@ -125,13 +147,23 @@ def load_checkpoint(path: PathLike) -> QAOAParameterPredictor:
             "be truncated or corrupt"
         ) from exc
     state = validate_checkpoint_state(state, origin=str(path))
+    # v1 checkpoints predate the metadata keys; every v1 model was
+    # trained under these exact defaults, so filling them in reproduces
+    # the original forward pass bit for bit.
+    meta = {key: state.get(key, default) for key, default in _V2_DEFAULTS.items()}
     try:
         model = QAOAParameterPredictor(
             arch=state["arch"],
             p=int(state["p"]),
+            in_dim=int(meta["in_dim"]),
             hidden_dim=int(state["hidden_dim"]),
             num_layers=int(state["num_layers"]),
             dropout=float(state["dropout"]),
+            head_hidden=int(meta["head_hidden"]),
+            output_scaling=str(meta["output_scaling"]),
+            readout_kind=str(meta["readout_kind"]),
+            gat_heads=int(meta["gat_heads"]),
+            feature_kind=str(meta["feature_kind"]),
             rng=0,
         )
         model.load_state_dict(
@@ -146,13 +178,25 @@ def load_checkpoint(path: PathLike) -> QAOAParameterPredictor:
 
 
 def model_fingerprint(model: QAOAParameterPredictor) -> str:
-    """Content hash of a model: architecture, depth, and all weights.
+    """Content hash of a model: every forward-affecting field + weights.
 
     Used as the model half of prediction-cache keys, so swapping in a
-    retrained checkpoint invalidates every cached prediction.
+    retrained checkpoint invalidates every cached prediction. The
+    header covers *all* metadata that changes the forward pass —
+    ``feature_kind``, ``output_scaling``, ``readout_kind`` included —
+    because two checkpoints with identical weights but different
+    featurization produce different predictions, and a collision here
+    would let a hot-swap serve stale cache rows.
     """
     digest = hashlib.sha256()
-    digest.update(f"{model.arch}|p={model.p}|in={model.in_dim}".encode())
+    digest.update(
+        (
+            f"{model.arch}|p={model.p}|in={model.in_dim}"
+            f"|feat={model.feature_kind}"
+            f"|scale={model.output_scaling}"
+            f"|readout={model.readout_kind}"
+        ).encode()
+    )
     for name, value in sorted(model.state_dict().items()):
         digest.update(name.encode())
         digest.update(np.ascontiguousarray(value).tobytes())
@@ -174,12 +218,20 @@ class RegisteredModel:
         self.fingerprint = model_fingerprint(model)
 
     def describe(self) -> dict:
-        """JSON-safe metadata (for /healthz and /metrics)."""
+        """JSON-safe metadata (for /healthz and /metrics).
+
+        ``max_nodes`` is the model's *true* serving capability (null =
+        unbounded, for size-agnostic feature kinds) — not ``in_dim``,
+        which is a feature-space width and only coincides with a size
+        cap for the one-hot kinds.
+        """
         return {
             "name": self.name,
             "arch": self.model.arch,
             "p": self.model.p,
-            "max_nodes": self.model.in_dim,
+            "feature_kind": self.model.feature_kind,
+            "in_dim": self.model.in_dim,
+            "max_nodes": self.model.max_nodes,
             "num_parameters": self.model.num_parameters(),
             "fingerprint": self.fingerprint,
             "source": self.source,

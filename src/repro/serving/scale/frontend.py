@@ -47,7 +47,12 @@ from repro.qaoa.fixed_angles import FixedAngleTable
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.cache import PredictionCache
 from repro.serving.fallbacks import FallbackChain
-from repro.serving.http import MAX_REQUEST_BYTES, graph_from_payload
+from repro.serving.http import (
+    DEFAULT_MAX_REQUEST_EDGES,
+    DEFAULT_MAX_REQUEST_NODES,
+    MAX_REQUEST_BYTES,
+    graph_from_payload,
+)
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry
 from repro.serving.scale.admission import ADMIT, DEGRADE, AdmissionController
@@ -89,10 +94,14 @@ class ScaleServingServer:
         replay_log=None,
         fixed_angle_table: Optional[FixedAngleTable] = None,
         cache_snapshot_path=None,
+        max_request_nodes: int = DEFAULT_MAX_REQUEST_NODES,
+        max_request_edges: int = DEFAULT_MAX_REQUEST_EDGES,
     ):
         self.pool = pool
         self.host = host
         self._requested_port = port
+        self.max_request_nodes = max_request_nodes
+        self.max_request_edges = max_request_edges
         self.scale_config = scale_config or pool.scale_config
         self.replay_log = replay_log
         self.cache_snapshot_path = cache_snapshot_path
@@ -326,9 +335,18 @@ class ScaleServingServer:
             self.admission.exit()
 
     def _parse_request(self, body: bytes):
-        """JSON decode + graph build + WL hash (CPU-bound; executor)."""
+        """JSON decode + graph build + WL hash (CPU-bound; executor).
+
+        The request-size cap is enforced here, before any adjacency is
+        materialized or WL-hashed, so an oversized graph costs a 400
+        and nothing else.
+        """
         payload = json.loads(body)
-        graph = graph_from_payload(payload)
+        graph = graph_from_payload(
+            payload,
+            max_nodes=self.max_request_nodes,
+            max_edges=self.max_request_edges,
+        )
         return payload, graph, wl_canonical_hash(graph)
 
     async def _predict_gated(self, body: bytes):

@@ -59,6 +59,7 @@ def model_meta(model: QAOAParameterPredictor) -> dict:
         "arch": model.arch,
         "p": model.p,
         "in_dim": model.in_dim,
+        "feature_kind": model.feature_kind,
         "hidden_dim": model.encoder.out_dim,
         "num_layers": len(model.encoder.layers),
         "dropout": model.encoder.dropouts[0].rate,

@@ -355,8 +355,15 @@ class PredictionService:
 
     @staticmethod
     def _model_supports(entry: RegisteredModel, graph: Graph) -> bool:
-        """Inside the model's feature cap (graphs beyond it fall back)."""
-        return graph.num_nodes <= entry.model.in_dim
+        """Inside the model's size capability (beyond it falls back).
+
+        ``max_nodes`` is None for size-agnostic feature kinds — those
+        models serve graphs of any size. Gating on ``in_dim`` here used
+        to conflate feature width with graph size and sent every graph
+        larger than the feature dimension to the fallback chain.
+        """
+        cap = entry.model.max_nodes
+        return cap is None or graph.num_nodes <= cap
 
     def _model_row(self, entry: RegisteredModel, graph: Graph) -> np.ndarray:
         if not self.config.batching:
